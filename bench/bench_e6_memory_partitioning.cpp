@@ -1,0 +1,125 @@
+// E6 — §III-B memory management: partitioning + multi-port memories.
+//
+// Sweeps bank count and partition type for an unrolled streaming kernel and
+// prints achieved II, BRAM cost, and end-to-end cycles — reproducing the
+// canonical memory-partitioning result (conflicts drop, II → 1, at a BRAM
+// cost that grows with banks).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "hls/cdfg.hpp"
+#include "hls/hls.hpp"
+#include "hls/memory.hpp"
+#include "ir/builder.hpp"
+#include "ir/dialect.hpp"
+
+using namespace everest;
+using namespace everest::hls;
+
+namespace {
+
+ir::Module make_stream_kernel(std::int64_t n) {
+  ir::register_everest_dialects();
+  ir::Module m("stream");
+  ir::Type mem = ir::Type::memref({n}, ir::ScalarKind::kF64,
+                                  ir::MemorySpace::kOnChip);
+  ir::Function* fn =
+      m.add_function("saxpy", ir::Type::function({mem, mem, mem}, {})).value();
+  ir::OpBuilder b(&fn->entry());
+  ir::Operation& loop = b.create("kernel.for", {}, {},
+                                 {{"lb", ir::Attribute::integer(0)},
+                                  {"ub", ir::Attribute::integer(n)},
+                                  {"step", ir::Attribute::integer(1)}});
+  ir::Block& body = loop.emplace_region().emplace_block({ir::Type::index()});
+  ir::OpBuilder ib(&body);
+  ir::Value x = ib.create_value("kernel.load", {fn->arg(0), body.arg(0)},
+                                ir::Type::f64());
+  ir::Value y = ib.create_value("kernel.load", {fn->arg(1), body.arg(0)},
+                                ir::Type::f64());
+  ir::Value a = ib.constant_f64(3.0);
+  ir::Value ax = ib.create_value("kernel.binop", {a, x}, ir::Type::f64(),
+                                 {{"op", ir::Attribute::string("mul")}});
+  ir::Value s = ib.create_value("kernel.binop", {ax, y}, ir::Type::f64(),
+                                {{"op", ir::Attribute::string("add")}});
+  ib.create("kernel.store", {s, fn->arg(2), body.arg(0)}, {});
+  ib.create("kernel.yield", {}, {});
+  b.ret();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6: memory partitioning and multi-port memories ===\n\n");
+  constexpr std::int64_t kN = 4096;
+  ir::Module m = make_stream_kernel(kN);
+  auto nests = extract_loop_nests(*m.find("saxpy"));
+  if (!nests.ok()) {
+    std::printf("extraction failed: %s\n", nests.status().to_string().c_str());
+    return 1;
+  }
+  const KernelLoopNest& nest = (*nests)[0];
+
+  // --- Series 1: fixed unroll=8, sweep banking of array arg0 -------------
+  std::printf("unroll=8, banking sweep for one input array:\n");
+  Table banks({"banks", "type", "max acc/bank", "required II", "BRAM blocks"});
+  for (int nbanks : {1, 2, 4, 8}) {
+    for (PartitionType type : {PartitionType::kCyclic, PartitionType::kBlock}) {
+      if (nbanks == 1 && type == PartitionType::kBlock) continue;
+      ArrayBanking banking{nbanks == 1 ? PartitionType::kNone : type, nbanks,
+                           2};
+      const ConflictReport report =
+          analyze_conflicts(nest, "arg0", banking, /*unroll=*/8);
+      banks.add_row({std::to_string(nbanks),
+                     std::string(to_string(banking.type)),
+                     std::to_string(report.max_accesses_per_bank),
+                     std::to_string(report.required_ii),
+                     std::to_string(bram_blocks_for(kN, 8, banking))});
+    }
+  }
+  std::printf("%s\n", banks.render().c_str());
+
+  // --- Series 2: end-to-end cycles/area vs unroll (planner active) -------
+  std::printf("end-to-end synthesis, partitioner chooses banking:\n");
+  Table synth({"unroll", "II", "cycles", "BRAM", "LUT", "speedup"});
+  double base_cycles = 0.0;
+  for (int unroll : {1, 2, 4, 8, 16}) {
+    HlsConfig config;
+    config.unroll = unroll;
+    config.max_banks = 32;
+    auto design = synthesize(*m.find("saxpy"), config,
+                             FpgaDevice::p9_vu9p());
+    if (!design.ok()) {
+      std::printf("unroll %d: %s\n", unroll,
+                  design.status().to_string().c_str());
+      continue;
+    }
+    if (unroll == 1) base_cycles = double(design->estimate.total_cycles);
+    synth.add_row(
+        {std::to_string(unroll), std::to_string(design->nests[0].ii.ii()),
+         std::to_string(design->estimate.total_cycles),
+         std::to_string(design->estimate.resources.brams),
+         std::to_string(design->estimate.resources.luts),
+         fmt_double(base_cycles / double(design->estimate.total_cycles), 2) +
+             "x"});
+  }
+  std::printf("%s\n", synth.render().c_str());
+
+  // --- Series 3: multi-port (replicated) banks ---------------------------
+  std::printf("ports-per-bank at fixed 4 banks, unroll=16:\n");
+  Table ports({"ports/bank", "required II", "BRAM blocks"});
+  for (int p : {1, 2, 4}) {
+    ArrayBanking banking{PartitionType::kCyclic, 4, p};
+    const ConflictReport report =
+        analyze_conflicts(nest, "arg0", banking, 16);
+    ports.add_row({std::to_string(p), std::to_string(report.required_ii),
+                   std::to_string(bram_blocks_for(kN, 8, banking))});
+  }
+  std::printf("%s\n", ports.render().c_str());
+  std::printf("shape check: cyclic banking removes unit-stride conflicts "
+              "(block banking does not); II falls to 1 once banks x ports "
+              ">= simultaneous accesses; BRAM grows with banks and port "
+              "replication — the classic partitioning trade-off.\n\nE6 "
+              "done.\n");
+  return 0;
+}

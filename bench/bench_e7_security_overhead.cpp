@@ -1,0 +1,138 @@
+// E7 — §III-A/§IV security: cost of protection and quality of detection.
+//
+// Series 1: TaintHLS-style DIFT instrumentation overhead (area/latency).
+// Series 2: crypto — software AES-GCM throughput vs modeled accelerator
+//           cores (the "library of optimized accelerators" claim).
+// Series 3: anomaly-detector operating characteristic on injected attacks.
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dsl/tensor_expr.hpp"
+#include "compiler/lowering.hpp"
+#include "hls/crypto_cores.hpp"
+#include "hls/hls.hpp"
+#include "security/aes.hpp"
+#include "security/anomaly.hpp"
+
+using namespace everest;
+
+int main() {
+  std::printf("=== E7: security features — overhead and detection ===\n\n");
+
+  // --- Series 1: DIFT overhead on the use-case kernels -------------------
+  std::printf("DIFT (TaintHLS-style) instrumentation overhead:\n");
+  Table dift({"kernel", "LUT base", "LUT +DIFT", "area ovh", "cycles ovh"});
+  auto make_program = [](int which) {
+    if (which == 0) {
+      dsl::TensorProgram p("plume_k");
+      auto a = p.input("a", {256, 256});
+      auto b = p.input("b", {256, 256});
+      p.output("y", exp(a * b));
+      return p;
+    }
+    dsl::TensorProgram p("gemm_k");
+    auto a = p.input("a", {128, 128});
+    auto b = p.input("b", {128, 128});
+    p.output("y", matmul(a, b));
+    return p;
+  };
+  for (int which : {0, 1}) {
+    const char* label = which == 0 ? "plume 256x256 (exp)" : "gemm 128x128";
+    dsl::TensorProgram p = make_program(which);
+    auto module = p.lower();
+    if (!module.ok()) continue;
+    auto name = compiler::lower_to_kernel(*module, p.name());
+    if (!name.ok()) continue;
+    hls::HlsConfig plain;
+    hls::HlsConfig secured;
+    secured.enable_dift = true;
+    auto d0 = hls::synthesize(*module->find(*name), plain,
+                              hls::FpgaDevice::p9_vu9p());
+    auto d1 = hls::synthesize(*module->find(*name), secured,
+                              hls::FpgaDevice::p9_vu9p());
+    if (!d0.ok() || !d1.ok()) continue;
+    dift.add_row(
+        {label, std::to_string(d0->estimate.resources.luts),
+         std::to_string(d1->estimate.resources.luts),
+         fmt_double(100.0 * (double(d1->estimate.resources.luts) /
+                                 double(d0->estimate.resources.luts) -
+                             1.0),
+                    1) +
+             "%",
+         std::to_string(d1->estimate.total_cycles -
+                        d0->estimate.total_cycles)});
+  }
+  std::printf("%s\n", dift.render().c_str());
+
+  // --- Series 2: crypto throughput ---------------------------------------
+  std::printf("AES-128-GCM: software vs modeled accelerator cores:\n");
+  // Measure the software implementation.
+  security::Block16 key{};
+  std::array<std::uint8_t, 12> iv{};
+  std::vector<std::uint8_t> payload(1 << 20);
+  Rng rng(5);
+  for (auto& byte : payload) {
+    byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto sealed = security::aes128_gcm_encrypt(key, iv, payload);
+  const auto end = std::chrono::steady_clock::now();
+  const double sw_seconds =
+      std::chrono::duration<double>(end - start).count();
+  const double sw_mbps = payload.size() / sw_seconds / 1e6;
+
+  Table crypto({"implementation", "throughput (MB/s)", "LUTs", "pJ/byte"});
+  crypto.add_row({"software (this host)", fmt_double(sw_mbps, 1), "-", "-"});
+  for (const hls::CryptoCore& core : hls::crypto_core_catalog()) {
+    if (core.algo != "aes128-gcm") continue;
+    crypto.add_row({core.name, fmt_double(core.throughput_mbps(250.0), 0),
+                    std::to_string(core.luts),
+                    fmt_double(core.energy_pj_per_byte, 1)});
+  }
+  std::printf("%s", crypto.render().c_str());
+  std::printf("(tag of the measured run: %02x%02x..., kept to defeat "
+              "dead-code elimination)\n\n",
+              sealed.tag[0], sealed.tag[1]);
+
+  // --- Series 3: anomaly-detector ROC ------------------------------------
+  std::printf("anomaly detector: detection vs false-positive rate across "
+              "attack magnitudes:\n");
+  Table roc({"attack magnitude (x)", "detection rate", "false-pos rate"});
+  for (double magnitude : {1.02, 1.05, 1.1, 1.2, 1.5, 3.0}) {
+    int detected = 0, attacks = 0, false_pos = 0, clean = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      security::AnomalyDetector detector;
+      Rng trng(static_cast<std::uint64_t>(trial) * 31 + 7);
+      auto normal = [&] {
+        security::BehaviorSample s;
+        s.latency_us = trng.normal(100, 5);
+        s.bytes = trng.normal(1e6, 3e4);
+        s.value_range = trng.normal(50, 2);
+        s.access_stride = 1.0;
+        return s;
+      };
+      for (int i = 0; i < 150; ++i) {
+        const auto v = detector.observe(normal());
+        if (i > 30 && v.anomalous) ++false_pos;
+        if (i > 30) ++clean;
+      }
+      for (int i = 0; i < 10; ++i) {
+        auto s = normal();
+        s.latency_us *= magnitude;  // timing-channel style stall
+        ++attacks;
+        detected += detector.observe(s).anomalous;
+      }
+    }
+    roc.add_row({fmt_double(magnitude, 2),
+                 fmt_double(100.0 * detected / attacks, 1) + "%",
+                 fmt_double(100.0 * false_pos / clean, 2) + "%"});
+  }
+  std::printf("%s\n", roc.render().c_str());
+  std::printf("shape check: DIFT costs single-digit-%% area and ~constant "
+              "cycles (TaintHLS numbers); accelerator cores beat software "
+              "AES by orders of magnitude; detection saturates quickly with "
+              "attack magnitude at sub-%% false positives.\n\nE7 done.\n");
+  return 0;
+}

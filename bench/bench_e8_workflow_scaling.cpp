@@ -1,0 +1,133 @@
+// E8 — §III-A HyperLoom claim: "improve resource utilization and reduce
+// the overall workflow processing time".
+//
+// Series 1: makespan + utilization vs worker count (strong scaling).
+// Series 2: scheduler comparison (FIFO vs HEFT vs work stealing) on
+//           heterogeneous pools and communication-heavy graphs.
+// Series 3: graph-size scaling 1k → 100k tasks (engine throughput).
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "workflow/scheduler.hpp"
+#include "workflow/task_graph.hpp"
+
+using namespace everest;
+using namespace everest::workflow;
+
+namespace {
+
+std::vector<WorkerSpec> pool(std::size_t n, double gflops = 10.0) {
+  std::vector<WorkerSpec> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.push_back({"w" + std::to_string(i), gflops, 1.0, 10.0});
+  }
+  return workers;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E8: workflow engine scaling (HyperLoom role) ===\n\n");
+
+  // --- Series 1: strong scaling ------------------------------------------
+  Rng rng(3);
+  TaskGraph graph = TaskGraph::random_layered(10, 64, 3, rng, 2e8, 1e6);
+  std::printf("strong scaling, %zu-task layered DAG (HEFT):\n", graph.size());
+  Table scaling({"workers", "makespan (ms)", "speedup", "utilization"});
+  double base = 0.0;
+  for (std::size_t n : {1, 2, 4, 8, 16, 32}) {
+    SimulationOptions options;
+    options.scheduler = SchedulerKind::kHeft;
+    auto outcome = simulate_schedule(graph, pool(n), options);
+    if (!outcome.ok()) continue;
+    if (n == 1) base = outcome->makespan_us;
+    scaling.add_row({std::to_string(n),
+                     fmt_double(outcome->makespan_us / 1e3, 1),
+                     fmt_double(base / outcome->makespan_us, 2) + "x",
+                     fmt_double(outcome->mean_utilization * 100, 0) + "%"});
+  }
+  std::printf("%s\n", scaling.render().c_str());
+
+  // --- Series 2: scheduler comparison ------------------------------------
+  std::printf("schedulers under two regimes (heterogeneous pool: 1 fast + 7 "
+              "slow):\n");
+  struct Regime {
+    const char* name;
+    double flops;
+    double bytes;
+  };
+  std::vector<WorkerSpec> hetero = pool(8, 4.0);
+  hetero[0].gflops = 40.0;
+  for (const Regime regime : {Regime{"compute-dominated", 2e9, 5e6},
+                              {"communication-dominated", 5e8, 2e7}}) {
+    Rng rng2(7);
+    TaskGraph heavy = TaskGraph::random_layered(8, 32, 3, rng2, regime.flops,
+                                                regime.bytes);
+    Table sched({"scheduler", "makespan (ms)", "utilization", "GB moved"});
+    for (SchedulerKind kind : {SchedulerKind::kFifo, SchedulerKind::kHeft,
+                               SchedulerKind::kWorkStealing}) {
+      SimulationOptions options;
+      options.scheduler = kind;
+      auto outcome = simulate_schedule(heavy, hetero, options);
+      if (!outcome.ok()) continue;
+      sched.add_row({std::string(to_string(kind)),
+                     fmt_double(outcome->makespan_us / 1e3, 1),
+                     fmt_double(outcome->mean_utilization * 100, 0) + "%",
+                     fmt_double(outcome->bytes_transferred / 1e9, 2)});
+    }
+    std::printf("[%s]\n%s\n", regime.name, sched.render().c_str());
+  }
+
+  // --- Series 3: graph-size scaling --------------------------------------
+  std::printf("engine throughput vs graph size (16 workers, map-reduce):\n");
+  Table size_table({"tasks", "makespan (s)", "sim wall time (ms)",
+                    "tasks/sim-ms"});
+  for (std::size_t width : {1000, 10000, 50000, 100000}) {
+    TaskGraph big = TaskGraph::map_reduce(width, 32, 5e7, 2e8, 1e5);
+    SimulationOptions options;
+    options.scheduler = SchedulerKind::kFifo;  // HEFT rank is O(V+E), fine too
+    const auto start = std::chrono::steady_clock::now();
+    auto outcome = simulate_schedule(big, pool(16), options);
+    const auto end = std::chrono::steady_clock::now();
+    if (!outcome.ok()) continue;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    size_table.add_row({std::to_string(big.size()),
+                        fmt_double(outcome->makespan_us / 1e6, 1),
+                        fmt_double(wall_ms, 1),
+                        fmt_double(big.size() / wall_ms, 0)});
+  }
+  std::printf("%s\n", size_table.render().c_str());
+
+  // --- Series 4: fault tolerance -----------------------------------------
+  std::printf("fault injection (32 workers, 10k tasks):\n");
+  TaskGraph faulty_graph = TaskGraph::map_reduce(10000, 16);
+  Table fault({"failure prob", "makespan (s)", "executions", "overhead"});
+  double clean_makespan = 0.0;
+  for (double p : {0.0, 0.01, 0.05, 0.15}) {
+    SimulationOptions options;
+    options.scheduler = SchedulerKind::kFifo;
+    options.failure_probability = p;
+    options.max_retries = 20;
+    auto outcome = simulate_schedule(faulty_graph, pool(32), options);
+    if (!outcome.ok()) continue;
+    if (p == 0.0) clean_makespan = outcome->makespan_us;
+    fault.add_row({fmt_double(p, 2),
+                   fmt_double(outcome->makespan_us / 1e6, 2),
+                   std::to_string(outcome->executions),
+                   fmt_double(100.0 * (outcome->makespan_us / clean_makespan -
+                                       1.0),
+                              1) +
+                       "%"});
+  }
+  std::printf("%s\n", fault.render().c_str());
+  std::printf("shape check: near-linear scaling until the critical path "
+              "binds; HEFT wins when compute dominates (EFT placement on "
+              "the fast node), locality-aware work stealing wins when "
+              "communication dominates (fewest bytes moved); 100k-task "
+              "graphs simulate in milliseconds; retry overhead tracks "
+              "failure probability.\n\nE8 done.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// E9 — §IV mARGOt dynamic autotuning quality.
+//
+// Series 1: regret vs an oracle under drifting load (how close the
+//           decision-maker stays to the best possible choice).
+// Series 2: online learning — the knowledge base corrects a mispredicted
+//           static estimate and recovers.
+// Series 3: goal switch at runtime (performance → energy) changes the
+//           selected variants, honoring constraints.
+#include <cstdio>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "runtime/autotuner.hpp"
+#include "runtime/knowledge.hpp"
+
+using namespace everest;
+using compiler::TargetKind;
+using compiler::Variant;
+
+namespace {
+
+Variant mk(const std::string& id, TargetKind target, double lat, double en,
+           bool dift = false) {
+  Variant v;
+  v.id = id;
+  v.kernel = "k";
+  v.target = target;
+  v.latency_us = lat;
+  v.energy_uj = en;
+  v.dift = dift;
+  v.device = target == TargetKind::kFpga ? "P9-VU9P" : "";
+  return v;
+}
+
+std::vector<Variant> variant_set() {
+  return {mk("cpu-t16", TargetKind::kCpu, 100.0, 9000.0),
+          mk("cpu-t4", TargetKind::kCpu, 220.0, 5000.0),
+          mk("fpga-u8", TargetKind::kFpga, 80.0, 2200.0),
+          mk("fpga-u2", TargetKind::kFpga, 180.0, 1400.0, true)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E9: autotuner decision quality (mARGOt role) ===\n\n");
+
+  // --- Series 1: regret under drifting load -------------------------------
+  {
+    runtime::KnowledgeBase kb;
+    (void)kb.load(variant_set());
+    runtime::Autotuner tuner(&kb);
+    Rng rng(11);
+    double tuned = 0.0, oracle = 0.0, fixed_cpu = 0.0, fixed_fpga = 0.0;
+    const int steps = 2000;
+    for (int t = 0; t < steps; ++t) {
+      runtime::SystemState state;
+      // Slow sinusoidal drift of CPU load plus FPGA queue bursts.
+      state.cpu_load = 0.45 + 0.45 * std::sin(t * 0.01);
+      state.fpga_queue_depth = (t / 250) % 2 == 1 ? 3.0 : 0.0;
+      auto sel = tuner.select("k", runtime::Goal{}, state);
+      double best = std::numeric_limits<double>::infinity();
+      for (const Variant& v : kb.variants_for("k")) {
+        best = std::min(best, tuner.adjusted_latency("k", v, state));
+      }
+      if (sel.ok()) tuned += sel->predicted_latency_us;
+      oracle += best;
+      fixed_cpu +=
+          tuner.adjusted_latency("k", *kb.find("k", "cpu-t16"), state);
+      fixed_fpga +=
+          tuner.adjusted_latency("k", *kb.find("k", "fpga-u8"), state);
+    }
+    Table t({"policy", "mean latency (us)", "regret vs oracle"});
+    auto row = [&](const char* name, double total) {
+      t.add_row({name, fmt_double(total / steps, 1),
+                 fmt_double(100.0 * (total - oracle) / oracle, 1) + "%"});
+    };
+    row("autotuner (adaptive)", tuned);
+    row("static cpu-t16", fixed_cpu);
+    row("static fpga-u8", fixed_fpga);
+    row("oracle", oracle);
+    std::printf("drifting load, 2000 decisions:\n%s\n", t.render().c_str());
+  }
+
+  // --- Series 2: online learning recovers from bad estimates --------------
+  {
+    runtime::KnowledgeBase kb;
+    auto variants = variant_set();
+    variants[2].latency_us = 20.0;  // fpga-u8 estimate is 4x optimistic
+    (void)kb.load(variants);
+    runtime::Autotuner tuner(&kb);
+    Rng rng(3);
+    const double fpga_reality = 80.0;
+    Table t({"invocation", "selected", "observed us", "expected(fpga) us"});
+    for (int i = 0; i < 10; ++i) {
+      auto sel = tuner.select("k", runtime::Goal{}, runtime::SystemState{});
+      if (!sel.ok()) break;
+      const double observed =
+          sel->variant.id == "fpga-u8"
+              ? rng.normal(fpga_reality, 2.0)
+              : rng.normal(sel->variant.latency_us, 2.0);
+      tuner.observe("k", sel->variant.id, observed, sel->variant.energy_uj);
+      if (i < 6 || i == 9) {
+        t.add_row({std::to_string(i), sel->variant.id,
+                   fmt_double(observed, 1),
+                   fmt_double(kb.expected_latency("k", *kb.find("k", "fpga-u8")),
+                              1)});
+      }
+    }
+    std::printf("online calibration of a 4x-optimistic FPGA estimate:\n%s\n",
+                t.render().c_str());
+  }
+
+  // --- Series 3: runtime goal switch --------------------------------------
+  {
+    runtime::KnowledgeBase kb;
+    (void)kb.load(variant_set());
+    runtime::Autotuner tuner(&kb);
+    runtime::Goal perf;
+    runtime::Goal energy;
+    energy.objective = runtime::Goal::Objective::kMinEnergy;
+    runtime::Goal deadline_energy = energy;
+    deadline_energy.latency_deadline_us = 150.0;
+    Table t({"goal", "selected", "latency us", "energy uJ", "feasible"});
+    for (const auto& [label, goal] :
+         {std::pair<const char*, runtime::Goal>{"min latency", perf},
+          {"min energy", energy},
+          {"min energy, deadline 150us", deadline_energy}}) {
+      auto sel = tuner.select("k", goal, runtime::SystemState{});
+      if (!sel.ok()) continue;
+      t.add_row({label, sel->variant.id,
+                 fmt_double(sel->predicted_latency_us, 1),
+                 fmt_double(sel->predicted_energy_uj, 0),
+                 sel->constraints_met ? "yes" : "no"});
+    }
+    std::printf("goal switching (paper: optimization goal set for "
+                "execution):\n%s\n",
+                t.render().c_str());
+  }
+  std::printf("shape check: adaptive regret is a few %% (statics pay 2x+ in "
+              "some phase); misestimates are corrected within ~3 "
+              "observations; goal switches move along the Pareto front.\n\n"
+              "E9 done.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the SDK's hot paths: crypto,
+// IR construction/verification, einsum inference, HLS synthesis, scheduler
+// throughput, and PTDR sampling. These guard against performance
+// regressions in the toolchain itself.
+#include <benchmark/benchmark.h>
+
+#include "apps/traffic.hpp"
+#include "common/rng.hpp"
+#include "compiler/lowering.hpp"
+#include "compiler/variants.hpp"
+#include "dsl/einsum.hpp"
+#include "dsl/tensor_expr.hpp"
+#include "hls/hls.hpp"
+#include "ir/builder.hpp"
+#include "ir/dialect.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "security/aes.hpp"
+#include "security/sha256.hpp"
+#include "workflow/scheduler.hpp"
+
+namespace {
+
+using namespace everest;
+
+void BM_AesGcmEncrypt(benchmark::State& state) {
+  security::Block16 key{};
+  std::array<std::uint8_t, 12> iv{};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto _ : state) {
+    auto out = security::aes128_gcm_encrypt(key, iv, data);
+    benchmark::DoNotOptimize(out.tag);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesGcmEncrypt)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto digest = security::sha256(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(1 << 20);
+
+void BM_IrBuildVerify(benchmark::State& state) {
+  ir::register_everest_dialects();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ir::Module m("bench");
+    ir::Type t = ir::Type::tensor({16}, ir::ScalarKind::kF64);
+    ir::Function* fn =
+        m.add_function("f", ir::Type::function({t}, {t})).value();
+    ir::OpBuilder b(&fn->entry());
+    ir::Value v = fn->arg(0);
+    for (int i = 0; i < n; ++i) {
+      v = b.create_value("tensor.add", {v, v}, t);
+    }
+    b.ret({v});
+    benchmark::DoNotOptimize(ir::verify(m).ok());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * n);
+}
+BENCHMARK(BM_IrBuildVerify)->Arg(100)->Arg(1000);
+
+void BM_IrPrintParseRoundTrip(benchmark::State& state) {
+  ir::register_everest_dialects();
+  ir::Module m("bench");
+  ir::Type t = ir::Type::tensor({16}, ir::ScalarKind::kF64);
+  ir::Function* fn = m.add_function("f", ir::Type::function({t}, {t})).value();
+  ir::OpBuilder b(&fn->entry());
+  ir::Value v = fn->arg(0);
+  for (int i = 0; i < 200; ++i) v = b.create_value("tensor.add", {v, v}, t);
+  b.ret({v});
+  for (auto _ : state) {
+    const std::string text = ir::print(m);
+    auto parsed = ir::parse_module(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_IrPrintParseRoundTrip);
+
+void BM_EinsumInference(benchmark::State& state) {
+  for (auto _ : state) {
+    auto spec = dsl::parse_einsum("abc,cd,de->abe");
+    auto shape = dsl::infer_output_shape(
+        *spec, {{8, 16, 32}, {32, 64}, {64, 4}});
+    benchmark::DoNotOptimize(shape.ok());
+  }
+}
+BENCHMARK(BM_EinsumInference);
+
+void BM_HlsSynthesis(benchmark::State& state) {
+  dsl::TensorProgram p("k");
+  auto a = p.input("a", {64, 64});
+  auto w = p.input("w", {64, 64});
+  p.output("y", relu(matmul(a, w)));
+  ir::Module m = p.lower().value();
+  (void)compiler::lower_to_kernel(m, "k");
+  ir::Function* kfn = m.find("k_kernel");
+  hls::HlsConfig config;
+  config.unroll = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto design = hls::synthesize(*kfn, config, hls::FpgaDevice::p9_vu9p());
+    benchmark::DoNotOptimize(design.ok());
+  }
+}
+BENCHMARK(BM_HlsSynthesis)->Arg(1)->Arg(8);
+
+void BM_VariantGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    dsl::TensorProgram p("k");
+    auto a = p.input("a", {64, 64});
+    auto w = p.input("w", {64, 64});
+    p.output("y", relu(matmul(a, w)));
+    ir::Module m = p.lower().value();
+    state.ResumeTiming();
+    compiler::VariantSpace space;
+    space.devices = {hls::FpgaDevice::p9_vu9p()};
+    auto variants = compiler::generate_variants(m, "k", space,
+                                                compiler::CpuModel::power9());
+    benchmark::DoNotOptimize(variants.ok());
+  }
+}
+BENCHMARK(BM_VariantGeneration);
+
+void BM_WorkflowSimulation(benchmark::State& state) {
+  Rng rng(3);
+  workflow::TaskGraph graph = workflow::TaskGraph::random_layered(
+      10, static_cast<std::size_t>(state.range(0)), 3, rng);
+  std::vector<workflow::WorkerSpec> workers;
+  for (int i = 0; i < 16; ++i) {
+    workers.push_back({"w" + std::to_string(i), 10.0, 1.0, 10.0});
+  }
+  workflow::SimulationOptions options;
+  options.scheduler = workflow::SchedulerKind::kHeft;
+  for (auto _ : state) {
+    auto outcome = workflow::simulate_schedule(graph, workers, options);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(graph.size()));
+}
+BENCHMARK(BM_WorkflowSimulation)->Arg(32)->Arg(256);
+
+void BM_PtdrSampling(benchmark::State& state) {
+  apps::RoadNetwork city = apps::RoadNetwork::make_grid(12, 12, 9);
+  const auto path = city.shortest_path(0, city.num_nodes() - 1, 8);
+  Rng rng(5);
+  for (auto _ : state) {
+    auto dist = apps::ptdr_route_time(
+        city, path, 8, static_cast<std::size_t>(state.range(0)), rng);
+    benchmark::DoNotOptimize(dist.mean_s);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PtdrSampling)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

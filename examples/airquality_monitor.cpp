@@ -1,0 +1,99 @@
+// Use case §VI-B: Plum'air-style air-quality monitoring of an industrial
+// site. Forecasts pollutant exceedance probabilities at sensitive
+// receptors from an ensemble weather feed, recommends curtailment hours,
+// and demonstrates the data-protection layer (taint tracking + AES-GCM
+// encryption of the confidential emission data).
+#include <cstdio>
+
+#include "apps/airquality.hpp"
+#include "common/table.hpp"
+#include "security/aes.hpp"
+#include "security/taint.hpp"
+
+using namespace everest;
+using namespace everest::apps;
+
+int main() {
+  std::printf("== EVEREST use case B: air-quality monitoring ==\n\n");
+
+  // Industrial site: two stacks in a 10 km domain.
+  std::vector<StackSource> sources = {
+      {5.0, 4.0, 60.0, 400.0},  // main stack
+      {5.4, 4.2, 35.0, 250.0},  // secondary stack
+  };
+  std::vector<Receptor> receptors = {
+      {"school", 5.0, 6.5},
+      {"hospital", 6.5, 5.0},
+      {"station-east", 5.0, 9.0},
+  };
+
+  WeatherOptions weather;
+  weather.ny = 10;
+  weather.nx = 10;
+  weather.dx_km = 1.0;
+  weather.mean_wind = 4.0;
+  WeatherGenerator generator(weather, 77);
+
+  AirQualityOptions options;
+  options.ensemble_members = 12;
+  options.limit_ugm3 = 40.0;
+  options.curtail_threshold = 0.25;
+  const AirQualityForecast forecast =
+      forecast_air_quality(sources, receptors, generator, options);
+
+  Table table({"receptor", "peak mean ug/m3", "max P(exceed)", "worst hour"});
+  for (std::size_t r = 0; r < receptors.size(); ++r) {
+    double peak = 0.0, worst_p = 0.0;
+    int worst_hour = 0;
+    for (int h = 0; h < options.horizon_hours; ++h) {
+      peak = std::max(peak, forecast.mean_ugm3[r][h]);
+      if (forecast.exceedance_probability[r][h] > worst_p) {
+        worst_p = forecast.exceedance_probability[r][h];
+        worst_hour = h;
+      }
+    }
+    table.add_row({receptors[r].name, fmt_double(peak, 1),
+                   fmt_double(worst_p, 2), std::to_string(worst_hour)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("recommended curtailment hours:");
+  if (forecast.curtail_hours.empty()) std::printf(" none");
+  for (int h : forecast.curtail_hours) std::printf(" %d", h);
+  std::printf("\ncompute: %.2f GFLOP for %d members x %d hours\n\n",
+              forecast.compute_flops / 1e9, options.ensemble_members,
+              options.horizon_hours);
+
+  // --- data protection (paper §III-A): emission data is business-critical.
+  security::TaintTracker taint;
+  taint.set_label("emissions", security::TaintLabel({"confidential"}));
+  taint.propagate("dispersion", {"emissions", "weather"}, {"conc-field"});
+  taint.propagate("aggregate", {"conc-field"}, {"public-report"},
+                  /*declassifies=*/{"confidential"});
+  std::printf("taint: conc-field confidential=%s, public-report "
+              "confidential=%s\n",
+              taint.label_of("conc-field").has("confidential") ? "yes" : "no",
+              taint.label_of("public-report").has("confidential") ? "yes"
+                                                                  : "no");
+  if (Status st = taint.check_sink("conc-field", security::TaintLabel{});
+      !st.ok()) {
+    std::printf("policy: conc-field blocked from public sink (%s)\n",
+                std::string(to_string(st.code())).c_str());
+  }
+
+  // Encrypt the emission record for transport to the cloud tier.
+  security::Block16 key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  std::array<std::uint8_t, 12> iv{9, 9, 9};
+  std::vector<std::uint8_t> record;
+  for (const StackSource& s : sources) {
+    record.push_back(static_cast<std::uint8_t>(s.emission_gs / 10));
+  }
+  const auto sealed = security::aes128_gcm_encrypt(key, iv, record);
+  auto opened = security::aes128_gcm_decrypt(key, iv, sealed.ciphertext,
+                                             sealed.tag);
+  std::printf("emission record sealed with AES-128-GCM (%zu bytes, tag ok: "
+              "%s)\n",
+              sealed.ciphertext.size(), opened.ok() ? "yes" : "no");
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Quickstart: the EVEREST SDK in one file.
+//
+// 1. Write a kernel in the tensor eDSL (with data/security annotations).
+// 2. Lower it to the unified IR; inspect it.
+// 3. Generate software + hardware variants (compiler middle-end + HLS).
+// 4. Load the variant metadata into the runtime knowledge base.
+// 5. Let the mARGOt-style autotuner pick variants as conditions change.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "compiler/backend.hpp"
+#include "compiler/dse.hpp"
+#include "dsl/workflow_dsl.hpp"
+#include "compiler/variants.hpp"
+#include "dsl/tensor_expr.hpp"
+#include "hls/hls.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "runtime/autotuner.hpp"
+#include "runtime/knowledge.hpp"
+
+using namespace everest;
+
+int main() {
+  std::printf("== EVEREST SDK quickstart ==\n\n");
+
+  // -- 1. Application kernel in the tensor eDSL ---------------------------
+  dsl::TensorProgram program("postprocess");
+  dsl::DataAnnotations sensor;
+  sensor.volume_mb = 2.0;
+  sensor.locality = dsl::Locality::kStreaming;
+  sensor.confidential = true;  // the data-centric security annotation
+  auto x = program.input("ensemble", {64, 128}, sensor);
+  auto w = program.input("weights", {128, 32});
+  program.output("prediction", relu(matmul(x, w)));
+
+  // -- 2. Lower to the unified IR -----------------------------------------
+  auto module_or = program.lower();
+  if (!module_or.ok()) {
+    std::printf("lowering failed: %s\n", module_or.status().to_string().c_str());
+    return 1;
+  }
+  ir::Module module = std::move(module_or).value();
+  std::printf("--- unified IR ---\n%s\n", ir::print(module).c_str());
+  if (Status st = ir::verify(module); !st.ok()) {
+    std::printf("verification failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  // -- 3. Variant generation ----------------------------------------------
+  compiler::VariantSpace space;
+  space.thread_counts = {1, 4, 16};
+  space.tile_sizes = {0, 64};
+  space.layouts = {"soa"};
+  space.unroll_factors = {1, 4};
+  space.devices = {hls::FpgaDevice::p9_vu9p(),
+                   hls::FpgaDevice::cloudfpga_ku060()};
+  space.with_dift = true;
+  auto variants_or = compiler::generate_variants(
+      module, "postprocess", space, compiler::CpuModel::power9());
+  if (!variants_or.ok()) {
+    std::printf("variant generation failed: %s\n",
+                variants_or.status().to_string().c_str());
+    return 1;
+  }
+  const auto& variants = *variants_or;
+
+  Table table({"variant", "target", "latency (us)", "energy (uJ)", "area"});
+  for (const compiler::Variant& v : variants) {
+    table.add_row({v.id, std::string(compiler::to_string(v.target)),
+                   fmt_double(v.latency_us, 1), fmt_double(v.energy_uj, 1),
+                   v.target == compiler::TargetKind::kFpga
+                       ? fmt_double(v.area_fraction * 100, 1) + "%"
+                       : "-"});
+  }
+  std::printf("--- %zu generated variants ---\n%s\n", variants.size(),
+              table.render().c_str());
+
+  const auto front = compiler::pareto_variants(variants);
+  std::printf("Pareto front: %zu variants; knee point: %s\n\n", front.size(),
+              front[compiler::knee_point(front)].id.c_str());
+
+  // -- 4/5. Runtime: knowledge base + autotuner ---------------------------
+  runtime::KnowledgeBase kb;
+  (void)kb.load(variants);
+  runtime::Autotuner tuner(&kb);
+
+  struct Scenario {
+    const char* name;
+    runtime::SystemState state;
+    runtime::Goal goal;
+  };
+  runtime::Goal latency_goal;
+  runtime::Goal energy_goal;
+  energy_goal.objective = runtime::Goal::Objective::kMinEnergy;
+  runtime::SystemState idle;
+  runtime::SystemState busy_cpu;
+  busy_cpu.cpu_load = 0.9;
+  runtime::SystemState no_fpga;
+  no_fpga.fpgas_available = 0;
+  runtime::SystemState under_attack;
+  under_attack.protection = security::ProtectionLevel::kProtect;
+
+  const Scenario scenarios[] = {
+      {"idle system, min latency", idle, latency_goal},
+      {"idle system, min energy", idle, energy_goal},
+      {"CPU 90% loaded", busy_cpu, latency_goal},
+      {"FPGAs offline", no_fpga, latency_goal},
+      {"auto-protection active", under_attack, latency_goal},
+  };
+  std::printf("--- dynamic selection (paper Fig. 2) ---\n");
+  for (const Scenario& s : scenarios) {
+    auto sel = tuner.select("postprocess", s.goal, s.state);
+    if (sel.ok()) {
+      std::printf("  %-28s -> %-28s (%.1f us predicted)\n", s.name,
+                  sel->variant.id.c_str(), sel->predicted_latency_us);
+    } else {
+      std::printf("  %-28s -> %s\n", s.name, sel.status().to_string().c_str());
+    }
+  }
+  // -- 6. Backend: SYCL-flavored orchestration code -----------------------
+  dsl::WorkflowBuilder wf("app");
+  dsl::SourceOptions so;
+  so.rate_hz = 10.0;
+  auto feed = wf.source("ensemble", so);
+  auto pred = wf.task("postprocess").kernel("postprocess").inputs({feed})
+                  .output_shape({64, 32}).done();
+  (void)wf.sink("market", pred);
+  auto wf_module = wf.lower();
+  if (wf_module.ok()) {
+    const auto knee = variants[compiler::knee_point(variants)];
+    auto emitted = compiler::emit_backend(
+        *wf_module, "app", {{"postprocess", knee}});
+    if (emitted.ok()) {
+      std::printf("--- backend output (paper Fig. 1, '%s' selected) ---\n%s\n",
+                  knee.id.c_str(), emitted->source.c_str());
+    }
+  }
+  std::printf("quickstart done.\n");
+  return 0;
+}

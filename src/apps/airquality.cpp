@@ -1,0 +1,164 @@
+#include "apps/airquality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace everest::apps {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Stability classify_stability(double solar_wm2, double wind_ms) {
+  // Simplified Turner scheme: strong sun + weak wind → unstable; night +
+  // weak wind → stable; strong wind → neutral.
+  if (wind_ms >= 6.0) return Stability::kD;
+  if (solar_wm2 > 600.0) return wind_ms < 3.0 ? Stability::kA : Stability::kB;
+  if (solar_wm2 > 300.0) return wind_ms < 3.0 ? Stability::kB : Stability::kC;
+  if (solar_wm2 > 50.0) return Stability::kC;
+  // Night.
+  return wind_ms < 3.0 ? Stability::kF : Stability::kE;
+}
+
+void briggs_sigmas(Stability stability, double x_m, double* sigma_y,
+                   double* sigma_z) {
+  x_m = std::max(x_m, 1.0);
+  // Briggs (1973) rural fits.
+  switch (stability) {
+    case Stability::kA:
+      *sigma_y = 0.22 * x_m / std::sqrt(1.0 + 0.0001 * x_m);
+      *sigma_z = 0.20 * x_m;
+      break;
+    case Stability::kB:
+      *sigma_y = 0.16 * x_m / std::sqrt(1.0 + 0.0001 * x_m);
+      *sigma_z = 0.12 * x_m;
+      break;
+    case Stability::kC:
+      *sigma_y = 0.11 * x_m / std::sqrt(1.0 + 0.0001 * x_m);
+      *sigma_z = 0.08 * x_m / std::sqrt(1.0 + 0.0002 * x_m);
+      break;
+    case Stability::kD:
+      *sigma_y = 0.08 * x_m / std::sqrt(1.0 + 0.0001 * x_m);
+      *sigma_z = 0.06 * x_m / std::sqrt(1.0 + 0.0015 * x_m);
+      break;
+    case Stability::kE:
+      *sigma_y = 0.06 * x_m / std::sqrt(1.0 + 0.0001 * x_m);
+      *sigma_z = 0.03 * x_m / (1.0 + 0.0003 * x_m);
+      break;
+    case Stability::kF:
+      *sigma_y = 0.04 * x_m / std::sqrt(1.0 + 0.0001 * x_m);
+      *sigma_z = 0.016 * x_m / (1.0 + 0.0003 * x_m);
+      break;
+  }
+}
+
+double plume_concentration(const StackSource& source, double wind_ms,
+                           double wind_dir_rad, Stability stability,
+                           double receptor_y_km, double receptor_x_km) {
+  const double u = std::max(0.5, wind_ms);
+  // Rotate receptor into plume coordinates (x downwind, y crosswind).
+  const double dy = (receptor_y_km - source.y_km) * 1000.0;
+  const double dx = (receptor_x_km - source.x_km) * 1000.0;
+  const double cos_d = std::cos(wind_dir_rad);
+  const double sin_d = std::sin(wind_dir_rad);
+  const double downwind = dx * cos_d + dy * sin_d;
+  const double crosswind = -dx * sin_d + dy * cos_d;
+  if (downwind <= 1.0) return 0.0;  // upwind of the source
+  double sigma_y = 0.0, sigma_z = 0.0;
+  briggs_sigmas(stability, downwind, &sigma_y, &sigma_z);
+  const double q_ug = source.emission_gs * 1e6;  // g/s → µg/s
+  const double h = source.height_m;
+  // Ground-level Gaussian plume with total reflection.
+  const double norm = q_ug / (2.0 * kPi * u * sigma_y * sigma_z);
+  const double lateral =
+      std::exp(-0.5 * (crosswind / sigma_y) * (crosswind / sigma_y));
+  const double vertical = 2.0 * std::exp(-0.5 * (h / sigma_z) * (h / sigma_z));
+  return norm * lateral * vertical;
+}
+
+ConcentrationField dispersion_field(const std::vector<StackSource>& sources,
+                                    const WeatherState& weather, int ny,
+                                    int nx, double dx_km) {
+  ConcentrationField field;
+  field.ny = ny;
+  field.nx = nx;
+  field.dx_km = dx_km;
+  field.ugm3.assign(static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx),
+                    0.0);
+  for (const StackSource& source : sources) {
+    // Weather sampled at the source location (local-scale assumption).
+    const double gy = source.y_km / weather.wind_speed.dx_km;
+    const double gx = source.x_km / weather.wind_speed.dx_km;
+    const double wind = weather.wind_speed.sample(gy, gx);
+    const double dir = weather.wind_dir.sample(gy, gx);
+    const double solar = weather.solar.sample(gy, gx);
+    const Stability stability = classify_stability(solar, wind);
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        field.ugm3[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                   static_cast<std::size_t>(x)] +=
+            plume_concentration(source, wind, dir, stability, y * dx_km,
+                                x * dx_km);
+      }
+    }
+  }
+  return field;
+}
+
+double dispersion_flops(std::size_t sources, int ny, int nx) {
+  // ~40 FLOPs per source-cell evaluation (rotation, sigmas, two exps).
+  return 40.0 * static_cast<double>(sources) * ny * nx;
+}
+
+AirQualityForecast forecast_air_quality(
+    const std::vector<StackSource>& sources,
+    const std::vector<Receptor>& receptors, WeatherGenerator& generator,
+    const AirQualityOptions& options) {
+  AirQualityForecast out;
+  out.exceedance_probability.assign(
+      receptors.size(), std::vector<double>(options.horizon_hours, 0.0));
+  out.mean_ugm3.assign(receptors.size(),
+                       std::vector<double>(options.horizon_hours, 0.0));
+
+  const auto truth = generator.generate_truth(options.horizon_hours);
+  std::vector<std::vector<WeatherState>> members;
+  for (int m = 0; m < options.ensemble_members; ++m) {
+    members.push_back(generator.perturb_member(truth));
+  }
+
+  for (int h = 0; h < options.horizon_hours; ++h) {
+    for (const auto& member : members) {
+      const ConcentrationField field =
+          dispersion_field(sources, member[h], options.grid_ny,
+                           options.grid_nx, options.grid_dx_km);
+      out.compute_flops +=
+          dispersion_flops(sources.size(), options.grid_ny, options.grid_nx);
+      for (std::size_t r = 0; r < receptors.size(); ++r) {
+        const int gy = std::clamp(
+            static_cast<int>(receptors[r].y_km / options.grid_dx_km), 0,
+            options.grid_ny - 1);
+        const int gx = std::clamp(
+            static_cast<int>(receptors[r].x_km / options.grid_dx_km), 0,
+            options.grid_nx - 1);
+        const double c = field.at(gy, gx);
+        out.mean_ugm3[r][static_cast<std::size_t>(h)] += c;
+        if (c > options.limit_ugm3) {
+          out.exceedance_probability[r][static_cast<std::size_t>(h)] += 1.0;
+        }
+      }
+    }
+    bool curtail = false;
+    for (std::size_t r = 0; r < receptors.size(); ++r) {
+      out.mean_ugm3[r][static_cast<std::size_t>(h)] /=
+          options.ensemble_members;
+      out.exceedance_probability[r][static_cast<std::size_t>(h)] /=
+          options.ensemble_members;
+      curtail |= out.exceedance_probability[r][static_cast<std::size_t>(h)] >
+                 options.curtail_threshold;
+    }
+    if (curtail) out.curtail_hours.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace everest::apps

@@ -1,0 +1,93 @@
+// Use case §VI-B: Plum'air-style air-quality forecasting for industrial
+// sites. Gaussian-plume dispersion of stack emissions on a local (~10 km)
+// grid, driven by ensemble weather; forecast mode estimates exceedance
+// probabilities at receptors so the site can curtail production.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/weather.hpp"
+#include "common/status.hpp"
+
+namespace everest::apps {
+
+/// Pasquill stability classes (A = very unstable … F = very stable).
+enum class Stability { kA, kB, kC, kD, kE, kF };
+
+/// Stability from solar radiation and wind speed (simplified Turner table).
+Stability classify_stability(double solar_wm2, double wind_ms);
+
+/// One emission stack.
+struct StackSource {
+  double y_km = 0.0;
+  double x_km = 0.0;
+  double height_m = 50.0;
+  double emission_gs = 100.0;  // g/s of the tracked pollutant
+};
+
+/// Dispersion coefficients sigma_y/sigma_z (m) at downwind distance x (m)
+/// for a stability class (Briggs power-law fits, rural).
+void briggs_sigmas(Stability stability, double x_m, double* sigma_y,
+                   double* sigma_z);
+
+/// Ground-level concentration (µg/m³) at a receptor from one source under
+/// steady wind (speed m/s, direction radians, blowing towards +x rotated).
+double plume_concentration(const StackSource& source, double wind_ms,
+                           double wind_dir_rad, Stability stability,
+                           double receptor_y_km, double receptor_x_km);
+
+/// A monitoring/forecast grid around the site.
+struct ConcentrationField {
+  int ny = 0, nx = 0;
+  double dx_km = 0.25;
+  std::vector<double> ugm3;
+  [[nodiscard]] double at(int y, int x) const {
+    return ugm3[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                static_cast<std::size_t>(x)];
+  }
+};
+
+/// Computes the concentration field for a set of sources and one weather
+/// state (wind/solar sampled at each source).
+ConcentrationField dispersion_field(const std::vector<StackSource>& sources,
+                                    const WeatherState& weather, int ny,
+                                    int nx, double dx_km);
+
+/// FLOPs per dispersion_field call (cost accounting).
+double dispersion_flops(std::size_t sources, int ny, int nx);
+
+/// Receptor of interest (school, hospital, monitoring station).
+struct Receptor {
+  std::string name;
+  double y_km = 0.0;
+  double x_km = 0.0;
+};
+
+/// Forecast outcome at the receptors.
+struct AirQualityForecast {
+  /// P(concentration > limit) per receptor per hour [receptor][hour].
+  std::vector<std::vector<double>> exceedance_probability;
+  /// Ensemble-mean concentration [receptor][hour].
+  std::vector<std::vector<double>> mean_ugm3;
+  /// Recommended curtailment hours (any receptor's P(exceed) > threshold).
+  std::vector<int> curtail_hours;
+  double compute_flops = 0.0;
+};
+
+struct AirQualityOptions {
+  int ensemble_members = 8;
+  int horizon_hours = 24;
+  double limit_ugm3 = 50.0;
+  double curtail_threshold = 0.3;
+  int grid_ny = 40, grid_nx = 40;
+  double grid_dx_km = 0.25;  // 10 km domain
+};
+
+/// Runs the forecast pipeline for one day.
+AirQualityForecast forecast_air_quality(
+    const std::vector<StackSource>& sources,
+    const std::vector<Receptor>& receptors, WeatherGenerator& generator,
+    const AirQualityOptions& options);
+
+}  // namespace everest::apps

@@ -1,0 +1,166 @@
+#include "apps/mlp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace everest::apps {
+
+Mlp::Mlp(std::vector<int> layer_sizes, Rng& rng)
+    : layer_sizes_(std::move(layer_sizes)) {
+  assert(layer_sizes_.size() >= 2);
+  for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    Layer layer;
+    layer.in = layer_sizes_[l];
+    layer.out = layer_sizes_[l + 1];
+    // Xavier-style init.
+    const double scale = std::sqrt(2.0 / (layer.in + layer.out));
+    layer.weights.resize(static_cast<std::size_t>(layer.in) *
+                         static_cast<std::size_t>(layer.out));
+    for (double& w : layer.weights) w = rng.normal(0.0, scale);
+    layer.bias.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::forward(const std::vector<double>& input,
+                  std::vector<std::vector<double>>* activations) const {
+  activations->clear();
+  activations->push_back(input);
+  std::vector<double> current = input;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(static_cast<std::size_t>(layer.out), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[static_cast<std::size_t>(o)];
+      const double* row =
+          &layer.weights[static_cast<std::size_t>(o) *
+                         static_cast<std::size_t>(layer.in)];
+      for (int i = 0; i < layer.in; ++i) {
+        sum += row[i] * current[static_cast<std::size_t>(i)];
+      }
+      // tanh on hidden layers, identity on the output layer.
+      next[static_cast<std::size_t>(o)] =
+          l + 1 < layers_.size() ? std::tanh(sum) : sum;
+    }
+    activations->push_back(next);
+    current = std::move(next);
+  }
+}
+
+std::vector<double> Mlp::predict(const std::vector<double>& input) const {
+  std::vector<std::vector<double>> activations;
+  forward(input, &activations);
+  return activations.back();
+}
+
+double Mlp::train_epoch(const std::vector<std::vector<double>>& inputs,
+                        const std::vector<std::vector<double>>& targets,
+                        double learning_rate, Rng& rng) {
+  assert(inputs.size() == targets.size());
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  double total_loss = 0.0;
+  for (std::size_t sample : order) {
+    std::vector<std::vector<double>> acts;
+    forward(inputs[sample], &acts);
+    // Output delta (MSE, linear output).
+    std::vector<double> delta = acts.back();
+    for (std::size_t o = 0; o < delta.size(); ++o) {
+      delta[o] -= targets[sample][o];
+      total_loss += delta[o] * delta[o];
+    }
+    // Backprop.
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      Layer& layer = layers_[l];
+      const std::vector<double>& in_act = acts[l];
+      std::vector<double> prev_delta(static_cast<std::size_t>(layer.in), 0.0);
+      for (int o = 0; o < layer.out; ++o) {
+        const double d = delta[static_cast<std::size_t>(o)];
+        double* row = &layer.weights[static_cast<std::size_t>(o) *
+                                     static_cast<std::size_t>(layer.in)];
+        for (int i = 0; i < layer.in; ++i) {
+          prev_delta[static_cast<std::size_t>(i)] += row[i] * d;
+          row[i] -= learning_rate * d * in_act[static_cast<std::size_t>(i)];
+        }
+        layer.bias[static_cast<std::size_t>(o)] -= learning_rate * d;
+      }
+      if (l > 0) {
+        // Through the tanh of the previous layer's output.
+        for (std::size_t i = 0; i < prev_delta.size(); ++i) {
+          const double a = acts[l][i];
+          prev_delta[i] *= 1.0 - a * a;
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+  return inputs.empty() ? 0.0
+                        : total_loss / static_cast<double>(inputs.size());
+}
+
+double Mlp::evaluate(const std::vector<std::vector<double>>& inputs,
+                     const std::vector<std::vector<double>>& targets) const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < inputs.size(); ++s) {
+    const std::vector<double> out = predict(inputs[s]);
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      const double d = out[o] - targets[s][o];
+      total += d * d;
+    }
+  }
+  return inputs.empty() ? 0.0 : total / static_cast<double>(inputs.size());
+}
+
+dsl::TensorProgram Mlp::to_tensor_program(const std::string& name,
+                                          int batch) const {
+  dsl::TensorProgram program(name);
+  dsl::DataAnnotations annotations;
+  annotations.provenance = "mlp-inference";
+  dsl::TensorExpr x = program.input(
+      "x", {batch, layer_sizes_.front()}, annotations);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    // Weights stored out×in; the tensor program multiplies x(batch,in) by
+    // W^T(in,out).
+    std::vector<double> wt(static_cast<std::size_t>(layer.in) *
+                           static_cast<std::size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      for (int i = 0; i < layer.in; ++i) {
+        wt[static_cast<std::size_t>(i) * static_cast<std::size_t>(layer.out) +
+           static_cast<std::size_t>(o)] =
+            layer.weights[static_cast<std::size_t>(o) *
+                              static_cast<std::size_t>(layer.in) +
+                          static_cast<std::size_t>(i)];
+      }
+    }
+    dsl::TensorExpr w = program.constant({layer.in, layer.out}, wt);
+    // Bias broadcast over the batch.
+    std::vector<double> bias_rep(static_cast<std::size_t>(batch) *
+                                 static_cast<std::size_t>(layer.out));
+    for (int b = 0; b < batch; ++b) {
+      for (int o = 0; o < layer.out; ++o) {
+        bias_rep[static_cast<std::size_t>(b) *
+                     static_cast<std::size_t>(layer.out) +
+                 static_cast<std::size_t>(o)] =
+            layer.bias[static_cast<std::size_t>(o)];
+      }
+    }
+    dsl::TensorExpr bias = program.constant({batch, layer.out}, bias_rep);
+    x = matmul(x, w) + bias;
+    if (l + 1 < layers_.size()) x = tanh_(x);
+  }
+  program.output("y", x);
+  return program;
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const Layer& layer : layers_) {
+    n += layer.weights.size() + layer.bias.size();
+  }
+  return n;
+}
+
+}  // namespace everest::apps

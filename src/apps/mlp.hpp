@@ -1,0 +1,61 @@
+// A small from-scratch MLP (inference + SGD training). Stands in for the
+// "AI libraries and frameworks" of the paper's use cases, and bridges into
+// the SDK: to_tensor_program() re-expresses the trained network in the
+// tensor eDSL so it can flow through the EVEREST compiler/HLS pipeline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "dsl/tensor_expr.hpp"
+
+namespace everest::apps {
+
+/// Fully connected network with tanh hidden activations and linear output.
+class Mlp {
+ public:
+  /// layer_sizes = {inputs, hidden..., outputs}.
+  Mlp(std::vector<int> layer_sizes, Rng& rng);
+
+  [[nodiscard]] int num_inputs() const { return layer_sizes_.front(); }
+  [[nodiscard]] int num_outputs() const { return layer_sizes_.back(); }
+
+  /// Forward pass for one sample.
+  [[nodiscard]] std::vector<double> predict(
+      const std::vector<double>& input) const;
+
+  /// One SGD epoch over the dataset (MSE loss); returns the mean loss.
+  double train_epoch(const std::vector<std::vector<double>>& inputs,
+                     const std::vector<std::vector<double>>& targets,
+                     double learning_rate, Rng& rng);
+
+  /// Mean squared error over a dataset.
+  [[nodiscard]] double evaluate(
+      const std::vector<std::vector<double>>& inputs,
+      const std::vector<std::vector<double>>& targets) const;
+
+  /// Re-expresses inference as a tensor program over a batch of
+  /// `batch` samples (weights baked in as constants).
+  [[nodiscard]] dsl::TensorProgram to_tensor_program(
+      const std::string& name, int batch) const;
+
+  /// Total trainable parameters.
+  [[nodiscard]] std::size_t num_parameters() const;
+
+ private:
+  struct Layer {
+    int in = 0, out = 0;
+    std::vector<double> weights;  // out × in, row-major
+    std::vector<double> bias;     // out
+  };
+  /// Forward keeping pre-activations and activations (for backprop).
+  void forward(const std::vector<double>& input,
+               std::vector<std::vector<double>>* activations) const;
+
+  std::vector<int> layer_sizes_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace everest::apps

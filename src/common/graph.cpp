@@ -1,0 +1,52 @@
+#include "common/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace everest {
+
+WeightedDigraph::ShortestPaths WeightedDigraph::dijkstra(
+    std::size_t source) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  ShortestPaths sp;
+  sp.dist.assign(num_nodes(), kInf);
+  sp.pred.assign(num_nodes(), kNone);
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  sp.dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, n] = pq.top();
+    pq.pop();
+    if (d > sp.dist[n]) continue;
+    for (const Edge& e : adj_[n]) {
+      const double nd = d + e.weight;
+      if (nd < sp.dist[e.to]) {
+        sp.dist[e.to] = nd;
+        sp.pred[e.to] = n;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return sp;
+}
+
+std::vector<std::size_t> WeightedDigraph::extract_path(
+    const ShortestPaths& sp, std::size_t source, std::size_t target) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  if (target >= sp.dist.size() ||
+      sp.dist[target] == std::numeric_limits<double>::infinity()) {
+    return {};
+  }
+  std::vector<std::size_t> path;
+  for (std::size_t n = target; n != kNone; n = sp.pred[n]) {
+    path.push_back(n);
+    if (n == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != source) return {};
+  return path;
+}
+
+}  // namespace everest

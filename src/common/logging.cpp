@@ -1,0 +1,33 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace everest {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[" << level_name(level) << "][" << component << "] " << msg
+            << "\n";
+}
+
+}  // namespace everest

@@ -1,0 +1,58 @@
+// Minimal leveled logger. Thread-safe sink, printf-free (streams), and a
+// global level so benches can silence library chatter.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace everest {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logging controls.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes one formatted line to stderr (thread-safe).
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().write(level_, component_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Logger::instance().enabled(level_)) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace everest
+
+#define EVEREST_LOG(level, component) \
+  ::everest::detail::LogLine(::everest::LogLevel::level, component)

@@ -1,0 +1,152 @@
+// Deterministic pseudo-random number generation (xoshiro256** + SplitMix64
+// seeding). All simulators and workload generators in the SDK take an
+// explicit Rng so experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace everest {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xE5E4E57ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's nearly-divisionless method.
+    __uint128_t m = static_cast<__uint128_t>(next()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do { u1 = uniform(); } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate) {
+    double u = 0.0;
+    do { u = uniform(); } while (u <= 1e-300);
+    return -std::log(u) / rate;
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Samples an index according to (unnormalized, non-negative) weights.
+  /// Returns weights.size() if all weights are zero.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return weights.size();
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_int(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-task streams).
+  Rng fork() { return Rng(next() ^ 0x9E3779B97F4A7C15ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace everest

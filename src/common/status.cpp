@@ -1,0 +1,41 @@
+#include "common/status.hpp"
+
+namespace everest {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out(everest::to_string(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+
+}  // namespace everest

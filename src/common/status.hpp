@@ -1,0 +1,141 @@
+// Status / Result<T>: lightweight error propagation used across the EVEREST
+// SDK instead of exceptions (see DESIGN.md §7). A Status is cheap to copy on
+// the ok path (empty shared state) and carries a code + message otherwise.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace everest {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kPermissionDenied,
+  kDataLoss,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view to_string(StatusCode code);
+
+/// Error-or-success result of an operation that produces no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+  [[nodiscard]] const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+Status ResourceExhausted(std::string message);
+Status PermissionDenied(std::string message);
+Status DataLoss(std::string message);
+
+/// Value-or-Status. Access to value() on an error Result asserts in debug
+/// builds; call ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() &&
+           "Result must not be built from an OK status");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
+
+  [[nodiscard]] const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define EVEREST_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::everest::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression or returns its status.
+#define EVEREST_ASSIGN_OR_RETURN(lhs, expr)    \
+  EVEREST_ASSIGN_OR_RETURN_IMPL_(              \
+      EVEREST_CONCAT_(_result_, __LINE__), lhs, expr)
+#define EVEREST_CONCAT_INNER_(a, b) a##b
+#define EVEREST_CONCAT_(a, b) EVEREST_CONCAT_INNER_(a, b)
+#define EVEREST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace everest

@@ -1,0 +1,26 @@
+// Small string helpers (split/join/trim/printf-style format).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace everest {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// snprintf into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace everest

@@ -1,0 +1,44 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace everest {
+
+std::string Table::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto emit = [&](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      if (c + 1 < cols) out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit(out, header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < cols; ++c) rule += width[c] + (c + 1 < cols ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(out, r);
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace everest

@@ -1,0 +1,32 @@
+// ASCII table renderer used by the per-experiment report binaries in
+// bench/ to print the rows/series a paper figure would plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace everest {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds a row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with a header rule, e.g. for report output.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shorthand for formatting a double with the given precision.
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace everest

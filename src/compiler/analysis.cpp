@@ -1,0 +1,130 @@
+#include "compiler/analysis.hpp"
+
+#include <algorithm>
+
+#include "dsl/einsum.hpp"
+
+namespace everest::compiler {
+
+namespace {
+
+double tensor_bytes(const ir::Type& t) {
+  return t.is_shaped() ? static_cast<double>(t.byte_size()) : 8.0;
+}
+
+Status profile_op(const ir::Operation& op, KernelProfile& out) {
+  const std::string& name = op.name();
+  auto operand_bytes = [&] {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < op.num_operands(); ++i) {
+      sum += tensor_bytes(op.operand(i).type());
+    }
+    return sum;
+  };
+  auto result_bytes = [&] {
+    double sum = 0.0;
+    for (const ir::Type& t : op.result_types()) sum += tensor_bytes(t);
+    return sum;
+  };
+  auto result_elems = [&]() -> double {
+    if (op.num_results() == 0) return 0.0;
+    const ir::Type& t = op.result_types()[0];
+    return t.is_shaped() ? static_cast<double>(t.num_elements()) : 1.0;
+  };
+
+  if (name == "tensor.add" || name == "tensor.sub" || name == "tensor.mul" ||
+      name == "tensor.div" || name == "tensor.scale") {
+    out.flops += result_elems();
+    out.bytes_read += operand_bytes();
+    out.bytes_written += result_bytes();
+    return OkStatus();
+  }
+  if (name == "tensor.map") {
+    const std::string fn = op.str_attr("fn");
+    if (fn == "relu" || fn == "abs" || fn == "neg") {
+      out.flops += result_elems();
+    } else {
+      out.special_ops += result_elems();
+    }
+    out.bytes_read += operand_bytes();
+    out.bytes_written += result_bytes();
+    return OkStatus();
+  }
+  if (name == "tensor.matmul") {
+    const auto& a = op.operand(0).type();
+    const auto& b = op.operand(1).type();
+    out.flops += 2.0 * double(a.shape()[0]) * double(a.shape()[1]) *
+                 double(b.shape()[1]);
+    out.bytes_read += operand_bytes();
+    out.bytes_written += result_bytes();
+    return OkStatus();
+  }
+  if (name == "tensor.contract") {
+    EVEREST_ASSIGN_OR_RETURN(dsl::EinsumSpec spec,
+                             dsl::parse_einsum(op.str_attr("spec")));
+    std::vector<std::vector<std::int64_t>> shapes;
+    for (std::size_t i = 0; i < op.num_operands(); ++i) {
+      shapes.push_back(op.operand(i).type().shape());
+    }
+    EVEREST_ASSIGN_OR_RETURN(std::int64_t mac,
+                             dsl::contraction_flops(spec, shapes));
+    out.flops += 2.0 * static_cast<double>(mac);
+    out.bytes_read += operand_bytes();
+    out.bytes_written += result_bytes();
+    return OkStatus();
+  }
+  if (name == "tensor.reduce") {
+    out.flops += static_cast<double>(
+        op.operand(0).type().num_elements());
+    out.bytes_read += operand_bytes();
+    out.bytes_written += result_bytes();
+    return OkStatus();
+  }
+  if (name == "tensor.transpose" || name == "tensor.reshape" ||
+      name == "tensor.broadcast") {
+    out.bytes_read += operand_bytes();
+    out.bytes_written += result_bytes();
+    return OkStatus();
+  }
+  if (name == "tensor.constant") {
+    out.bytes_read += result_bytes();
+    return OkStatus();
+  }
+  // builtin/workflow/etc.: no datapath cost here.
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<KernelProfile> profile_kernel(const ir::Function& fn) {
+  KernelProfile out;
+  Status st = OkStatus();
+  std::int64_t live = 0;
+  // const_cast: walk is non-const but does not mutate through our callback.
+  auto& mutable_fn = const_cast<ir::Function&>(fn);
+  mutable_fn.walk([&](ir::Operation& op) {
+    if (!st.ok()) return;
+    st = profile_op(op, out);
+    for (const ir::Type& t : op.result_types()) {
+      if (t.is_shaped()) live += t.byte_size();
+    }
+  });
+  EVEREST_RETURN_IF_ERROR(st);
+  for (const ir::Type& t : fn.input_types()) {
+    if (t.is_shaped()) live += t.byte_size();
+  }
+  out.live_bytes = live;
+  return out;
+}
+
+Result<std::map<std::string, KernelProfile>> profile_module(
+    const ir::Module& module) {
+  std::map<std::string, KernelProfile> out;
+  for (const auto& fn : module) {
+    EVEREST_ASSIGN_OR_RETURN(KernelProfile profile, profile_kernel(*fn));
+    out.emplace(fn->name(), profile);
+  }
+  return out;
+}
+
+}  // namespace everest::compiler

@@ -1,0 +1,39 @@
+// Static cost analysis of tensor-dialect kernels: FLOP and byte counts per
+// invocation. Feeds the software cost model and the workflow scheduler.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "ir/module.hpp"
+
+namespace everest::compiler {
+
+/// Per-kernel static profile.
+struct KernelProfile {
+  double flops = 0.0;          // adds+muls counted separately (FMA = 2)
+  double special_ops = 0.0;    // exp/log/sqrt/... evaluations
+  double bytes_read = 0.0;     // tensor operand traffic
+  double bytes_written = 0.0;  // tensor result traffic
+  std::int64_t live_bytes = 0; // peak simultaneous tensor footprint (approx)
+
+  [[nodiscard]] double total_bytes() const { return bytes_read + bytes_written; }
+  /// Arithmetic intensity (FLOP/byte); 0 when no traffic.
+  [[nodiscard]] double intensity() const {
+    const double b = total_bytes();
+    return b > 0 ? (flops + special_ops) / b : 0.0;
+  }
+};
+
+/// Analyzes a tensor-dialect function. Ops outside the tensor/builtin
+/// dialects contribute nothing (workflow functions profile their kernels
+/// separately).
+Result<KernelProfile> profile_kernel(const ir::Function& fn);
+
+/// Profiles every function of a module, keyed by name.
+Result<std::map<std::string, KernelProfile>> profile_module(
+    const ir::Module& module);
+
+}  // namespace everest::compiler

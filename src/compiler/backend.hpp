@@ -1,0 +1,42 @@
+// Backend code generation (paper Fig. 1, §III-B: "the backend will generate
+// software implementation relying on state-of-the-art programming models
+// (e.g. SYCL) ... Meta-information about the variants will be provided to
+// the runtime system").
+//
+// Given a workflow-dialect function and the variant chosen per kernel, the
+// backend emits (a) a SYCL-flavored C++ orchestration source — CPU variants
+// become parallel_for submissions, FPGA variants become everest::offload()
+// calls over the right link, confidential data gets seal/unseal wrappers —
+// and (b) the runtime metadata JSON. It also stamps each workflow.task op
+// with an "ev.selected_variant" attribute so the annotated IR round-trips.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "compiler/variants.hpp"
+#include "ir/module.hpp"
+
+namespace everest::compiler {
+
+/// Everything the backend hands to the build/deploy step.
+struct BackendOutput {
+  /// SYCL-flavored orchestration source for the workflow.
+  std::string source;
+  /// Variant metadata for the runtime (everest.variants.v1 JSON).
+  std::string metadata_json;
+  /// Tasks emitted / offloaded / sealed (for reporting).
+  int tasks = 0;
+  int offloaded = 0;
+  int sealed = 0;
+};
+
+/// Emits code for `workflow_fn` inside `module`. `selection` maps kernel
+/// symbol → chosen variant; kernels without a selection run as plain host
+/// tasks. Fails if the function is missing or not a workflow function.
+Result<BackendOutput> emit_backend(ir::Module& module,
+                                   const std::string& workflow_fn,
+                                   const std::map<std::string, Variant>& selection);
+
+}  // namespace everest::compiler

@@ -1,0 +1,113 @@
+#include "compiler/cache_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace everest::compiler {
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
+  const std::int64_t lines =
+      std::max<std::int64_t>(1, config_.size_kib * 1024 / config_.line_bytes);
+  config_.ways = std::clamp<std::int64_t>(config_.ways, 1, lines);
+  num_sets_ = std::max<std::int64_t>(1, lines / config_.ways);
+  tags_.assign(static_cast<std::size_t>(num_sets_),
+               std::vector<std::uint64_t>(
+                   static_cast<std::size_t>(config_.ways), ~0ULL));
+  stamps_.assign(static_cast<std::size_t>(num_sets_),
+                 std::vector<std::uint64_t>(
+                     static_cast<std::size_t>(config_.ways), 0));
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = address / static_cast<std::uint64_t>(config_.line_bytes);
+  const auto set = static_cast<std::size_t>(
+      line % static_cast<std::uint64_t>(num_sets_));
+  const std::uint64_t tag = line / static_cast<std::uint64_t>(num_sets_);
+  auto& set_tags = tags_[set];
+  auto& set_stamps = stamps_[set];
+  for (std::size_t w = 0; w < set_tags.size(); ++w) {
+    if (set_tags[w] == tag) {
+      set_stamps[w] = clock_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Evict LRU way.
+  std::size_t victim = 0;
+  for (std::size_t w = 1; w < set_tags.size(); ++w) {
+    if (set_stamps[w] < set_stamps[victim]) victim = w;
+  }
+  set_tags[victim] = tag;
+  set_stamps[victim] = clock_;
+  return false;
+}
+
+Result<CacheStats> simulate_kernel_cache(ir::Function& fn,
+                                         std::size_t nest_index,
+                                         const CacheConfig& config,
+                                         std::uint64_t max_accesses) {
+  EVEREST_ASSIGN_OR_RETURN(AffineNest nest,
+                           collect_affine_nest(fn, nest_index));
+  for (const AffineReference& ref : nest.references) {
+    if (!ref.analyzable) {
+      return FailedPrecondition(
+          "nest has non-affine references; cannot build a trace");
+    }
+  }
+  // Disjoint base addresses per array, 64-byte aligned.
+  std::map<std::string, std::uint64_t> base_of;
+  std::uint64_t next_base = 1 << 20;
+  for (const AffineReference& ref : nest.references) {
+    if (base_of.count(ref.array) > 0) continue;
+    std::int64_t elems = 1;
+    for (std::int64_t d : ref.array_shape) elems *= d;
+    base_of[ref.array] = next_base;
+    next_base += static_cast<std::uint64_t>((elems * 8 + 4095) / 4096 + 1) * 4096;
+  }
+
+  CacheSim cache(config);
+  CacheStats stats;
+  const std::size_t levels = nest.lb.size();
+  std::vector<std::int64_t> iv = nest.lb;
+  bool done = levels == 0;
+  while (!done) {
+    for (const AffineReference& ref : nest.references) {
+      // Linearize the subscripts row-major over the array shape.
+      std::int64_t flat = 0;
+      for (std::size_t d = 0; d < ref.dim_coeffs.size(); ++d) {
+        std::int64_t idx = ref.dim_consts[d];
+        for (std::size_t l = 0; l < levels; ++l) {
+          idx += ref.dim_coeffs[d][l] * iv[l];
+        }
+        flat = flat * ref.array_shape[d] + idx;
+      }
+      const std::uint64_t address =
+          base_of[ref.array] + static_cast<std::uint64_t>(flat) * 8;
+      cache.access(address);
+      if (cache.accesses() >= max_accesses) {
+        stats.truncated = true;
+        done = true;
+        break;
+      }
+    }
+    if (done) break;
+    // Advance the iteration vector (innermost fastest).
+    std::size_t l = levels;
+    while (l-- > 0) {
+      iv[l] += nest.step[l] > 0 ? nest.step[l] : 1;
+      if (iv[l] < nest.ub[l]) break;
+      iv[l] = nest.lb[l];
+      if (l == 0) done = true;
+    }
+  }
+  stats.accesses = cache.accesses();
+  stats.misses = cache.misses();
+  stats.miss_rate = cache.miss_rate();
+  stats.dram_bytes =
+      static_cast<double>(cache.misses()) * double(config.line_bytes);
+  return stats;
+}
+
+}  // namespace everest::compiler

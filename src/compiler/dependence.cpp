@@ -1,0 +1,386 @@
+#include "compiler/dependence.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <optional>
+
+namespace everest::compiler {
+
+namespace {
+
+using ir::Block;
+using ir::Operation;
+using ir::Value;
+
+/// Affine form over the nest's induction variables: sum(coeff[l]*iv_l) + c.
+struct AffineForm {
+  std::vector<std::int64_t> coeff;  // one per loop level
+  std::int64_t constant = 0;
+  bool analyzable = true;
+};
+
+struct Reference {
+  std::string array_key;           // stable identity of the base memref
+  bool is_store = false;
+  std::vector<AffineForm> dims;    // one per memref dimension
+  std::vector<std::int64_t> shape; // memref shape (for linearization)
+  bool analyzable = true;
+};
+
+std::string base_key(const Value& base) {
+  char buf[48];
+  if (base.is_block_arg()) {
+    std::snprintf(buf, sizeof buf, "arg:%p:%u",
+                  static_cast<const void*>(base.owner_block()), base.index());
+  } else {
+    std::snprintf(buf, sizeof buf, "op:%p:%u",
+                  static_cast<const void*>(base.defining_op()), base.index());
+  }
+  return buf;
+}
+
+class NestAnalyzer {
+ public:
+  Result<std::vector<DependenceVector>> run(ir::Function& fn,
+                                            std::size_t nest_index) {
+    EVEREST_RETURN_IF_ERROR(collect_nest(fn, nest_index));
+    collect_references();
+    return build_dependences();
+  }
+
+  Result<AffineNest> summarize(ir::Function& fn, std::size_t nest_index) {
+    EVEREST_RETURN_IF_ERROR(collect_nest(fn, nest_index));
+    collect_references();
+    AffineNest out;
+    for (Operation* loop : loops_) {
+      out.lb.push_back(loop->int_attr("lb"));
+      out.ub.push_back(loop->int_attr("ub"));
+      out.step.push_back(loop->int_attr("step", 1));
+    }
+    for (const Reference& ref : references_) {
+      AffineReference r;
+      r.array = ref.array_key;
+      r.is_store = ref.is_store;
+      r.analyzable = ref.analyzable;
+      r.array_shape = ref.shape;
+      for (const AffineForm& form : ref.dims) {
+        r.dim_coeffs.push_back(form.coeff);
+        r.dim_consts.push_back(form.constant);
+      }
+      out.references.push_back(std::move(r));
+    }
+    return out;
+  }
+
+ private:
+  Status collect_nest(ir::Function& fn, std::size_t nest_index) {
+    std::vector<Operation*> tops;
+    for (auto& op : fn.entry()) {
+      if (op->name() == "kernel.for") tops.push_back(op.get());
+    }
+    if (nest_index >= tops.size()) {
+      return NotFound("function has only " + std::to_string(tops.size()) +
+                      " loop nests");
+    }
+    Operation* current = tops[nest_index];
+    while (true) {
+      loops_.push_back(current);
+      Block& body = current->region(0).front();
+      iv_blocks_.push_back(&body);
+      Operation* nested = nullptr;
+      bool other = false;
+      for (auto& op : body) {
+        if (op->name() == "kernel.for") nested = op.get();
+        else if (op->name() != "kernel.yield") other = true;
+      }
+      if (nested == nullptr || other) {
+        innermost_ = &body;
+        break;
+      }
+      current = nested;
+    }
+    return OkStatus();
+  }
+
+  /// Level of a block-arg induction variable, or -1.
+  int level_of(const Value& v) const {
+    if (!v.is_block_arg() || v.index() != 0) return -1;
+    for (std::size_t l = 0; l < iv_blocks_.size(); ++l) {
+      if (v.owner_block() == iv_blocks_[l]) return static_cast<int>(l);
+    }
+    return -1;
+  }
+
+  AffineForm analyze(const Value& v) const {
+    AffineForm out;
+    out.coeff.assign(loops_.size(), 0);
+    const int level = level_of(v);
+    if (level >= 0) {
+      out.coeff[static_cast<std::size_t>(level)] = 1;
+      return out;
+    }
+    if (v.is_block_arg()) {
+      out.analyzable = false;
+      return out;
+    }
+    const Operation* def = v.defining_op();
+    if (def == nullptr) {
+      out.analyzable = false;
+      return out;
+    }
+    if (def->name() == "builtin.constant") {
+      const ir::Attribute* a = def->attr("value");
+      if (a != nullptr && a->is_int()) {
+        out.constant = a->as_int();
+        return out;
+      }
+      if (a != nullptr && a->is_double()) {
+        out.constant = static_cast<std::int64_t>(a->as_double());
+        return out;
+      }
+      out.analyzable = false;
+      return out;
+    }
+    if (def->name() == "kernel.binop") {
+      const std::string kind = def->str_attr("op");
+      AffineForm a = analyze(def->operand(0));
+      AffineForm b = analyze(def->operand(1));
+      if (!a.analyzable || !b.analyzable) {
+        out.analyzable = false;
+        return out;
+      }
+      if (kind == "add" || kind == "sub") {
+        const std::int64_t sign = kind == "add" ? 1 : -1;
+        for (std::size_t l = 0; l < out.coeff.size(); ++l) {
+          out.coeff[l] = a.coeff[l] + sign * b.coeff[l];
+        }
+        out.constant = a.constant + sign * b.constant;
+        return out;
+      }
+      if (kind == "mul") {
+        auto is_const = [](const AffineForm& f) {
+          for (std::int64_t c : f.coeff) {
+            if (c != 0) return false;
+          }
+          return true;
+        };
+        if (is_const(a)) std::swap(a, b);
+        if (is_const(b)) {
+          for (std::size_t l = 0; l < out.coeff.size(); ++l) {
+            out.coeff[l] = a.coeff[l] * b.constant;
+          }
+          out.constant = a.constant * b.constant;
+          return out;
+        }
+      }
+    }
+    out.analyzable = false;
+    return out;
+  }
+
+  void collect_references() {
+    for (const auto& op : *innermost_) {
+      const bool is_load = op->name() == "kernel.load";
+      const bool is_store = op->name() == "kernel.store";
+      if (!is_load && !is_store) continue;
+      Reference ref;
+      ref.is_store = is_store;
+      const std::size_t base_idx = is_store ? 1 : 0;
+      const Value& base = op->operand(base_idx);
+      ref.array_key = base_key(base);
+      ref.shape = base.type().shape();
+      const std::size_t rank = base.type().rank();
+      for (std::size_t d = 0; d < rank; ++d) {
+        AffineForm form = analyze(op->operand(base_idx + 1 + d));
+        ref.analyzable &= form.analyzable;
+        ref.dims.push_back(std::move(form));
+      }
+      references_.push_back(std::move(ref));
+    }
+  }
+
+  /// Direction vector between source and sink references (same array), or
+  /// nullopt when the subscripts prove independence.
+  std::optional<DependenceVector> pair_dependence(const Reference& src,
+                                                  const Reference& sink) const {
+    DependenceVector dep;
+    dep.array = src.array_key;
+    dep.kind = src.is_store ? (sink.is_store ? "WAW" : "RAW") : "WAR";
+    dep.dir.assign(loops_.size(), '*');
+    if (!src.analyzable || !sink.analyzable ||
+        src.dims.size() != sink.dims.size()) {
+      dep.unknown = true;
+      return dep;
+    }
+    // distance[l]: level already bound to a dependence distance.
+    std::vector<std::optional<std::int64_t>> distance(loops_.size());
+    for (std::size_t d = 0; d < src.dims.size(); ++d) {
+      const AffineForm& a = src.dims[d];
+      const AffineForm& b = sink.dims[d];
+      if (a.coeff != b.coeff) {
+        dep.unknown = true;  // coupled/unequal subscripts: give up
+        return dep;
+      }
+      int varying = -1;
+      int count = 0;
+      for (std::size_t l = 0; l < a.coeff.size(); ++l) {
+        if (a.coeff[l] != 0) {
+          varying = static_cast<int>(l);
+          ++count;
+        }
+      }
+      if (count == 0) {
+        // Pure constants: different addresses ⇒ no dependence at all.
+        if (a.constant != b.constant) return std::nullopt;
+        continue;
+      }
+      if (count > 1) {
+        dep.unknown = true;  // multi-variable subscript: conservative
+        return dep;
+      }
+      const std::int64_t c = a.coeff[static_cast<std::size_t>(varying)];
+      const std::int64_t delta = a.constant - b.constant;
+      if (delta % c != 0) return std::nullopt;  // GCD test: no solution
+      const std::int64_t dist = delta / c;  // i_sink - i_src
+      auto& slot = distance[static_cast<std::size_t>(varying)];
+      if (slot.has_value() && *slot != dist) return std::nullopt;
+      slot = dist;
+    }
+    for (std::size_t l = 0; l < loops_.size(); ++l) {
+      if (!distance[l].has_value()) continue;  // stays '*'
+      dep.dir[l] = *distance[l] > 0 ? '<' : (*distance[l] < 0 ? '>' : '=');
+    }
+    return dep;
+  }
+
+  Result<std::vector<DependenceVector>> build_dependences() {
+    std::vector<DependenceVector> out;
+    for (std::size_t i = 0; i < references_.size(); ++i) {
+      for (std::size_t j = 0; j < references_.size(); ++j) {
+        const Reference& src = references_[i];
+        const Reference& sink = references_[j];
+        if (src.array_key != sink.array_key) continue;
+        if (!src.is_store && !sink.is_store) continue;  // RR: no dependence
+        // Each unordered pair once; self-pairs only for stores (WAW across
+        // iterations) and store/load pairs in both roles collapse to one
+        // vector set since directions cover both signs via '*'.
+        if (j < i) continue;
+        if (i == j && !src.is_store) continue;
+        auto dep = pair_dependence(src, sink);
+        if (!dep.has_value()) continue;
+        // All-'=' vectors are loop-independent (same-iteration ordering):
+        // they constrain the schedule inside one iteration, not loop
+        // transforms, so they are dropped here.
+        const bool all_equal =
+            !dep->unknown &&
+            std::all_of(dep->dir.begin(), dep->dir.end(),
+                        [](char c) { return c == '='; });
+        if (all_equal) continue;
+        // Both orientations matter: whichever instantiation is
+        // lexicographically positive is the real dependence. Emit the
+        // vector and its negation; the legality check filters positives.
+        DependenceVector negated = *dep;
+        for (char& c : negated.dir) {
+          if (c == '<') c = '>';
+          else if (c == '>') c = '<';
+        }
+        const bool symmetric = negated.dir == dep->dir;
+        out.push_back(std::move(*dep));
+        if (!symmetric) out.push_back(std::move(negated));
+      }
+    }
+    return out;
+  }
+
+  std::vector<Operation*> loops_;
+  std::vector<Block*> iv_blocks_;
+  Block* innermost_ = nullptr;
+  std::vector<Reference> references_;
+};
+
+/// Enumerates '*' expansions of `dir` (limited depth) and calls `fn` with
+/// each concrete vector.
+void for_each_instance(const std::vector<char>& dir, std::size_t pos,
+                       std::vector<char>& current,
+                       const std::function<void(const std::vector<char>&)>& fn) {
+  if (pos == dir.size()) {
+    fn(current);
+    return;
+  }
+  if (dir[pos] == '*') {
+    for (char c : {'<', '=', '>'}) {
+      current[pos] = c;
+      for_each_instance(dir, pos + 1, current, fn);
+    }
+  } else {
+    current[pos] = dir[pos];
+    for_each_instance(dir, pos + 1, current, fn);
+  }
+}
+
+/// Lexicographic sign: +1 positive, 0 all-equal, -1 negative.
+int lex_sign(const std::vector<char>& v) {
+  for (char c : v) {
+    if (c == '<') return 1;
+    if (c == '>') return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<std::vector<DependenceVector>> analyze_dependences(
+    ir::Function& fn, std::size_t nest_index) {
+  return NestAnalyzer().run(fn, nest_index);
+}
+
+Result<AffineNest> collect_affine_nest(ir::Function& fn,
+                                       std::size_t nest_index) {
+  NestAnalyzer analyzer;
+  return analyzer.summarize(fn, nest_index);
+}
+
+bool interchange_is_legal(const std::vector<DependenceVector>& dependences,
+                          std::size_t a, std::size_t b) {
+  for (const DependenceVector& dep : dependences) {
+    if (dep.unknown) return false;
+    if (a >= dep.dir.size() || b >= dep.dir.size()) return false;
+    bool legal = true;
+    std::vector<char> scratch(dep.dir.size());
+    for_each_instance(dep.dir, 0, scratch, [&](const std::vector<char>& inst) {
+      // Only lexicographically positive instances are real dependences
+      // (all-'=' is loop-independent and unaffected by interchange).
+      if (lex_sign(inst) <= 0) return;
+      std::vector<char> permuted = inst;
+      std::swap(permuted[a], permuted[b]);
+      if (lex_sign(permuted) < 0) legal = false;
+    });
+    if (!legal) return false;
+  }
+  return true;
+}
+
+bool innermost_is_parallel(const std::vector<DependenceVector>& dependences) {
+  for (const DependenceVector& dep : dependences) {
+    if (dep.unknown) return false;
+    if (dep.dir.empty()) continue;
+    bool legal = true;
+    std::vector<char> scratch(dep.dir.size());
+    for_each_instance(dep.dir, 0, scratch, [&](const std::vector<char>& inst) {
+      if (lex_sign(inst) <= 0) return;
+      // Carried by the innermost loop iff every outer component is '='
+      // and the innermost is '<'.
+      bool outer_equal = true;
+      for (std::size_t l = 0; l + 1 < inst.size(); ++l) {
+        outer_equal &= inst[l] == '=';
+      }
+      if (outer_equal && inst.back() == '<') legal = false;
+    });
+    if (!legal) return false;
+  }
+  return true;
+}
+
+}  // namespace everest::compiler

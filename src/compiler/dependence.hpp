@@ -1,0 +1,82 @@
+// Polyhedral-style data-dependence analysis for kernel loop nests (paper
+// §III-B cites polyhedral-based transformations). Computes dependence
+// direction vectors between memory references with per-dimension affine
+// index forms, and answers loop-interchange legality questions precisely
+// (falling back to "unknown ⇒ illegal" for non-affine accesses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ir/module.hpp"
+
+namespace everest::compiler {
+
+/// One dependence between two references of the same array inside a nest.
+/// `dir[l]` is the direction at loop level l (0 = outermost):
+///   '<' sink iterates after source, '=' same iteration,
+///   '>' sink before source (only inside '*' expansions),
+///   '*' unconstrained by the subscripts.
+struct DependenceVector {
+  std::string array;
+  std::vector<char> dir;
+  /// RAW (store→load), WAR (load→store), or WAW (store→store).
+  std::string kind;
+  /// True when the subscripts were not analyzable: assume the worst.
+  bool unknown = false;
+};
+
+/// Analyzes the `nest_index`-th top-level perfect nest of `fn` and returns
+/// every loop-carried or loop-independent dependence between references of
+/// the same array where at least one reference is a store. Distinct
+/// constant addresses (provably different elements) produce no dependence.
+Result<std::vector<DependenceVector>> analyze_dependences(
+    ir::Function& fn, std::size_t nest_index);
+
+/// True if interchanging loop levels `a` and `b` keeps every dependence
+/// lexicographically positive ('*' expands to {<,=,>}; vectors that were
+/// not positive before the permutation are not dependences and are
+/// ignored). Unknown dependences make the interchange illegal.
+bool interchange_is_legal(const std::vector<DependenceVector>& dependences,
+                          std::size_t a, std::size_t b);
+
+/// True if the innermost loop carries no dependence (every vector has '='
+/// or the dependence is carried by an outer '<'): the condition for
+/// pipelining the innermost loop with II unconstrained by recurrences.
+bool innermost_is_parallel(const std::vector<DependenceVector>& dependences);
+
+// ---- Affine nest summary (shared with the cache model) -------------------
+
+/// One memory reference with fully affine subscripts over the nest's
+/// induction variables.
+struct AffineReference {
+  std::string array;                 // stable identity of the base memref
+  bool is_store = false;
+  /// Per array dimension: coefficients per loop level + constant.
+  std::vector<std::vector<std::int64_t>> dim_coeffs;
+  std::vector<std::int64_t> dim_consts;
+  std::vector<std::int64_t> array_shape;
+  bool analyzable = true;
+};
+
+/// Bounds + references of one perfect nest.
+struct AffineNest {
+  std::vector<std::int64_t> lb, ub, step;  // per level, outer→inner
+  std::vector<AffineReference> references;
+
+  [[nodiscard]] std::int64_t total_iterations() const {
+    std::int64_t n = 1;
+    for (std::size_t l = 0; l < lb.size(); ++l) {
+      const std::int64_t s = step[l] > 0 ? step[l] : 1;
+      n *= (ub[l] - lb[l] + s - 1) / s;
+    }
+    return n;
+  }
+};
+
+/// Extracts the affine summary of the `nest_index`-th top-level nest.
+Result<AffineNest> collect_affine_nest(ir::Function& fn,
+                                       std::size_t nest_index);
+
+}  // namespace everest::compiler

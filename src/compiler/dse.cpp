@@ -1,0 +1,77 @@
+#include "compiler/dse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace everest::compiler {
+
+namespace {
+
+/// a dominates b: no worse on all enabled objectives, better on one.
+bool dominates(const Variant& a, const Variant& b,
+               const DseObjectives& objectives) {
+  bool better = false;
+  auto check = [&](double va, double vb) {
+    if (va > vb) return false;  // worse
+    if (va < vb) better = true;
+    return true;
+  };
+  if (objectives.latency && !check(a.latency_us, b.latency_us)) return false;
+  if (objectives.energy && !check(a.energy_uj, b.energy_uj)) return false;
+  if (objectives.area && !check(a.area_fraction, b.area_fraction)) return false;
+  return better;
+}
+
+}  // namespace
+
+std::vector<std::size_t> pareto_front(const std::vector<Variant>& variants,
+                                      const DseObjectives& objectives) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < variants.size() && !dominated; ++j) {
+      if (i != j) dominated = dominates(variants[j], variants[i], objectives);
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<Variant> pareto_variants(const std::vector<Variant>& variants,
+                                     const DseObjectives& objectives) {
+  std::vector<Variant> out;
+  for (std::size_t i : pareto_front(variants, objectives)) {
+    out.push_back(variants[i]);
+  }
+  return out;
+}
+
+std::size_t knee_point(const std::vector<Variant>& variants) {
+  if (variants.empty()) return static_cast<std::size_t>(-1);
+  double min_lat = std::numeric_limits<double>::infinity();
+  double max_lat = 0, min_en = std::numeric_limits<double>::infinity(),
+         max_en = 0;
+  for (const Variant& v : variants) {
+    min_lat = std::min(min_lat, v.latency_us);
+    max_lat = std::max(max_lat, v.latency_us);
+    min_en = std::min(min_en, v.energy_uj);
+    max_en = std::max(max_en, v.energy_uj);
+  }
+  const double lat_range = std::max(max_lat - min_lat, 1e-12);
+  const double en_range = std::max(max_en - min_en, 1e-12);
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const double dl = (variants[i].latency_us - min_lat) / lat_range;
+    const double de = (variants[i].energy_uj - min_en) / en_range;
+    const double dist = std::sqrt(dl * dl + de * de);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace everest::compiler

@@ -1,0 +1,33 @@
+// Design-space exploration over generated variants: Pareto filtering on
+// (latency, energy[, area]) and knee-point selection (paper §III-B: the
+// middle-end "explores the design space").
+#pragma once
+
+#include <vector>
+
+#include "compiler/variants.hpp"
+
+namespace everest::compiler {
+
+/// Objectives considered by the Pareto filter.
+struct DseObjectives {
+  bool latency = true;
+  bool energy = true;
+  bool area = false;
+};
+
+/// Returns the indices of Pareto-optimal variants (minimization on every
+/// enabled objective). Order follows the input.
+std::vector<std::size_t> pareto_front(const std::vector<Variant>& variants,
+                                      const DseObjectives& objectives = {});
+
+/// Returns the variants (copies) on the Pareto front.
+std::vector<Variant> pareto_variants(const std::vector<Variant>& variants,
+                                     const DseObjectives& objectives = {});
+
+/// Knee point of the latency/energy front: the variant minimizing the
+/// normalized distance to the utopia point (min latency, min energy).
+/// Returns SIZE_MAX for an empty set.
+std::size_t knee_point(const std::vector<Variant>& variants);
+
+}  // namespace everest::compiler

@@ -1,0 +1,43 @@
+// Tensor-dialect → kernel-dialect lowering (paper Fig. 1: the step between
+// the unified MLIR and HLS / code generation).
+//
+// A tensor function
+//     func @k(%x: tensor<MxK>, %w: tensor<KxN>) -> (tensor<MxN>)
+// lowers to a buffer-semantics kernel function
+//     func @k_kernel(%x: memref<MxK, device>, %w: memref<KxN, device>,
+//                    %out0: memref<MxN, device>) -> ()
+// made of perfect kernel.for nests the HLS engine can synthesize and the
+// CPU cost model can reason about.
+//
+// Lowering decisions:
+//   * inputs / outputs / promoted constants live off-chip (device space);
+//   * intermediate tensors become on-chip allocs — "a chain of tensor
+//     operations directly on the FPGA logic before writing back to main
+//     memory" (paper §III-B);
+//   * chains of single-use elementwise ops fuse into one loop nest;
+//   * tensor.constant is promoted to an extra function argument (weights
+//     are bound at runtime) — recorded in the "ev.promoted_constants" attr.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "ir/module.hpp"
+
+namespace everest::compiler {
+
+/// Options controlling the lowering.
+struct LoweringOptions {
+  /// Fuse single-use elementwise producer chains into one loop nest.
+  bool fuse_elementwise = true;
+  /// Suffix appended to the tensor function's name.
+  std::string suffix = "_kernel";
+};
+
+/// Lowers `tensor_fn` (a tensor-dialect function inside `module`) into a new
+/// kernel-dialect function; returns the new function's name.
+Result<std::string> lower_to_kernel(ir::Module& module,
+                                    const std::string& tensor_fn,
+                                    const LoweringOptions& options = {});
+
+}  // namespace everest::compiler

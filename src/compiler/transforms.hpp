@@ -1,0 +1,51 @@
+// Middle-end transformations over the EVEREST IR (paper Fig. 1 middle-end):
+// classic cleanups (constant folding, CSE, DCE) as passes, plus loop-level
+// utilities (tiling, interchange with a dependence legality check) used by
+// the variant generator.
+#pragma once
+
+#include "common/status.hpp"
+#include "ir/module.hpp"
+#include "ir/pass.hpp"
+
+namespace everest::compiler {
+
+/// Folds kernel.binop / kernel.unop / tensor elementwise ops whose operands
+/// are builtin.constants.
+class ConstantFoldPass : public ir::Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "constant-fold"; }
+  Status run(ir::Module& module) override;
+};
+
+/// Common-subexpression elimination within each block for side-effect-free
+/// ops (same name, operands, and attributes).
+class CsePass : public ir::Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cse"; }
+  Status run(ir::Module& module) override;
+};
+
+/// Removes side-effect-free ops whose results are unused.
+class DcePass : public ir::Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dce"; }
+  Status run(ir::Module& module) override;
+};
+
+/// Tiles the innermost loop of the `nest_index`-th top-level loop nest of
+/// `fn` by `factor`: for i in [0,N) → for it in [0,N/T) { for ii in [0,T) }.
+/// The trip count must be divisible by the factor.
+Status tile_innermost(ir::Function& fn, std::size_t nest_index, int factor);
+
+/// Interchanges loop levels `a` and `b` (0 = outermost) of the given nest.
+/// Conservatively legal only when no array is both loaded and stored inside
+/// the nest (no loop-carried dependences to violate); returns
+/// FAILED_PRECONDITION otherwise.
+Status interchange_loops(ir::Function& fn, std::size_t nest_index,
+                         std::size_t a, std::size_t b);
+
+/// Number of top-level kernel.for nests in the function.
+std::size_t count_loop_nests(const ir::Function& fn);
+
+}  // namespace everest::compiler

@@ -1,0 +1,241 @@
+#include "compiler/variants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "compiler/lowering.hpp"
+
+namespace everest::compiler {
+
+CpuModel CpuModel::power9() {
+  CpuModel m;
+  m.name = "POWER9";
+  m.cores = 16;
+  m.peak_gflops_per_core = 14.0;
+  m.mem_bw_gbps = 110.0;
+  m.l2_kib_per_core = 512.0;
+  m.active_power_w = 190.0;
+  m.idle_power_w = 60.0;
+  return m;
+}
+
+CpuModel CpuModel::edge_arm() {
+  CpuModel m;
+  m.name = "Edge-ARM";
+  m.cores = 4;
+  m.peak_gflops_per_core = 4.0;
+  m.mem_bw_gbps = 12.8;
+  m.l2_kib_per_core = 256.0;
+  m.active_power_w = 12.0;
+  m.idle_power_w = 3.0;
+  return m;
+}
+
+std::string_view to_string(TargetKind kind) {
+  return kind == TargetKind::kCpu ? "cpu" : "fpga";
+}
+
+SwEstimate estimate_software(const KernelProfile& profile, const CpuModel& cpu,
+                             int threads, int tile,
+                             const std::string& layout) {
+  SwEstimate out;
+  threads = std::clamp(threads, 1, cpu.cores);
+
+  // Compute efficiency: tiling that fits L2 keeps the SIMD pipes fed.
+  double compute_eff = 0.55;
+  if (tile > 0) {
+    const double tile_bytes = double(tile) * double(tile) * 8.0;
+    compute_eff = tile_bytes <= cpu.l2_kib_per_core * 1024.0 ? 0.85 : 0.5;
+  }
+  const double effective_gflops =
+      cpu.peak_gflops_per_core * threads * compute_eff;
+  const double flop_equiv =
+      profile.flops + profile.special_ops * cpu.special_op_cost;
+  out.compute_us = flop_equiv / (effective_gflops * 1e3);  // GFLOP/s → us
+
+  // Memory: SoA streams at full bandwidth; AoS wastes cache lines when only
+  // one field is touched. Bandwidth saturates after a few cores.
+  const double layout_eff = layout == "soa" ? 1.0 : 0.45;
+  const double bw_scale =
+      std::min(1.0, 0.35 + 0.65 * double(threads) / double(cpu.cores));
+  const double effective_bw = cpu.mem_bw_gbps * layout_eff * bw_scale;
+  out.memory_us = profile.total_bytes() / (effective_bw * 1e3);  // GB/s → us
+
+  // Roofline with a small overlap bonus.
+  out.latency_us = std::max(out.compute_us, out.memory_us) +
+                   0.25 * std::min(out.compute_us, out.memory_us);
+  const double busy_fraction = double(threads) / double(cpu.cores);
+  const double power =
+      cpu.idle_power_w + (cpu.active_power_w - cpu.idle_power_w) * busy_fraction;
+  out.energy_uj = power * out.latency_us;  // W * us = uJ
+  return out;
+}
+
+namespace {
+
+/// Bytes moved in/out of the kernel, from the tensor signature.
+void io_bytes(const ir::Function& fn, double* in_bytes, double* out_bytes) {
+  *in_bytes = 0;
+  *out_bytes = 0;
+  for (const ir::Type& t : fn.input_types()) {
+    if (t.is_shaped()) *in_bytes += double(t.byte_size());
+  }
+  for (const ir::Type& t : fn.result_types()) {
+    if (t.is_shaped()) *out_bytes += double(t.byte_size());
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Variant>> generate_variants(ir::Module& module,
+                                               const std::string& tensor_fn,
+                                               const VariantSpace& space,
+                                               const CpuModel& cpu) {
+  ir::Function* fn = module.find(tensor_fn);
+  if (fn == nullptr) return NotFound("function '" + tensor_fn + "' not found");
+  EVEREST_ASSIGN_OR_RETURN(KernelProfile profile, profile_kernel(*fn));
+  double bytes_in = 0, bytes_out = 0;
+  io_bytes(*fn, &bytes_in, &bytes_out);
+
+  std::vector<Variant> variants;
+
+  // Software variants.
+  for (int threads : space.thread_counts) {
+    for (int tile : space.tile_sizes) {
+      for (const std::string& layout : space.layouts) {
+        Variant v;
+        v.kernel = tensor_fn;
+        v.target = TargetKind::kCpu;
+        v.threads = threads;
+        v.tile = tile;
+        v.layout = layout;
+        v.id = strprintf("cpu-t%d-tile%d-%s", threads, tile, layout.c_str());
+        const SwEstimate est =
+            estimate_software(profile, cpu, threads, tile, layout);
+        v.latency_us = est.latency_us;
+        v.energy_uj = est.energy_uj;
+        v.bytes_in = bytes_in;
+        v.bytes_out = bytes_out;
+        variants.push_back(std::move(v));
+      }
+    }
+  }
+
+  // Hardware variants: lower once, synthesize per device × unroll.
+  if (!space.devices.empty()) {
+    const std::string kernel_name = tensor_fn + "_kernel";
+    if (module.find(kernel_name) == nullptr) {
+      EVEREST_RETURN_IF_ERROR(
+          lower_to_kernel(module, tensor_fn).status());
+    }
+    ir::Function* kernel_fn = module.find(kernel_name);
+    const auto offchip_bytes =
+        static_cast<std::int64_t>(bytes_in + bytes_out);
+    for (const hls::FpgaDevice& device : space.devices) {
+      for (int unroll : space.unroll_factors) {
+        std::vector<std::pair<bool, std::string>> security_modes = {
+            {false, ""}};
+        if (space.with_dift) security_modes.push_back({true, ""});
+        if (!space.with_encryption.empty()) {
+          security_modes.push_back({false, space.with_encryption});
+        }
+        for (const auto& [dift, encryption] : security_modes) {
+          hls::HlsConfig config;
+          config.unroll = unroll;
+          config.enable_dift = dift;
+          config.encrypt_offchip = encryption;
+          auto design =
+              hls::synthesize(*kernel_fn, config, device, offchip_bytes);
+          if (!design.ok()) continue;  // does not fit: skip this point
+          Variant v;
+          v.kernel = tensor_fn;
+          v.target = TargetKind::kFpga;
+          v.unroll = unroll;
+          v.device = device.name;
+          v.dift = dift;
+          v.encrypted = encryption;
+          v.id = strprintf("fpga-%s-u%d%s%s", device.name.c_str(), unroll,
+                           dift ? "-dift" : "",
+                           encryption.empty() ? "" : "-enc");
+          v.latency_us = design->estimate.latency_us;
+          v.energy_uj = design->estimate.energy_uj();
+          v.area_fraction = design->estimate.resources.utilization(device);
+          v.bytes_in = bytes_in;
+          v.bytes_out = bytes_out;
+          variants.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  return variants;
+}
+
+json::Value Variant::to_json() const {
+  json::Object o;
+  o["id"] = id;
+  o["kernel"] = kernel;
+  o["target"] = std::string(compiler::to_string(target));
+  o["threads"] = threads;
+  o["tile"] = tile;
+  o["layout"] = layout;
+  o["unroll"] = unroll;
+  o["device"] = device;
+  o["dift"] = dift;
+  o["encrypted"] = encrypted;
+  o["latency_us"] = latency_us;
+  o["energy_uj"] = energy_uj;
+  o["area_fraction"] = area_fraction;
+  o["bytes_in"] = bytes_in;
+  o["bytes_out"] = bytes_out;
+  return o;
+}
+
+Result<Variant> Variant::from_json(const json::Value& v) {
+  if (!v.is_object()) return InvalidArgument("variant JSON must be an object");
+  Variant out;
+  out.id = v.at("id").as_string();
+  out.kernel = v.at("kernel").as_string();
+  if (out.id.empty() || out.kernel.empty()) {
+    return InvalidArgument("variant JSON needs non-empty id and kernel");
+  }
+  out.target = v.at("target").as_string() == "fpga" ? TargetKind::kFpga
+                                                    : TargetKind::kCpu;
+  out.threads = static_cast<int>(v.at("threads").as_int());
+  out.tile = static_cast<int>(v.at("tile").as_int());
+  out.layout = v.at("layout").as_string();
+  out.unroll = static_cast<int>(v.at("unroll").as_int());
+  out.device = v.at("device").as_string();
+  out.dift = v.at("dift").as_bool();
+  out.encrypted = v.at("encrypted").as_string();
+  out.latency_us = v.at("latency_us").as_number();
+  out.energy_uj = v.at("energy_uj").as_number();
+  out.area_fraction = v.at("area_fraction").as_number();
+  out.bytes_in = v.at("bytes_in").as_number();
+  out.bytes_out = v.at("bytes_out").as_number();
+  return out;
+}
+
+json::Value variants_to_json(const std::vector<Variant>& variants) {
+  json::Array arr;
+  arr.reserve(variants.size());
+  for (const Variant& v : variants) arr.push_back(v.to_json());
+  json::Object o;
+  o["variants"] = std::move(arr);
+  o["schema"] = "everest.variants.v1";
+  return o;
+}
+
+Result<std::vector<Variant>> variants_from_json(const json::Value& v) {
+  if (v.at("schema").as_string() != "everest.variants.v1") {
+    return InvalidArgument("unknown variant metadata schema");
+  }
+  std::vector<Variant> out;
+  for (const json::Value& item : v.at("variants").as_array()) {
+    EVEREST_ASSIGN_OR_RETURN(Variant variant, Variant::from_json(item));
+    out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+}  // namespace everest::compiler

@@ -1,0 +1,104 @@
+// Variant generation (paper §III-B: "multiple hardware and software
+// variants ... performance/energy trade-offs that are exposed to the
+// runtime system"). Software variants sweep threading/tiling/layout knobs
+// through a roofline-style CPU model; hardware variants sweep HLS
+// configurations through the HLS estimator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "compiler/analysis.hpp"
+#include "hls/hls.hpp"
+#include "ir/module.hpp"
+
+namespace everest::compiler {
+
+/// Analytical CPU node model (roofline: compute vs memory bound).
+struct CpuModel {
+  std::string name = "generic";
+  int cores = 8;
+  double peak_gflops_per_core = 8.0;   // f64, SIMD
+  double mem_bw_gbps = 25.6;           // saturated DRAM bandwidth
+  double l2_kib_per_core = 512.0;
+  double special_op_cost = 8.0;        // exp/log/... in flop-equivalents
+  double active_power_w = 90.0;
+  double idle_power_w = 25.0;
+
+  /// POWER9-class cloud node (paper §V).
+  static CpuModel power9();
+  /// ARM edge node.
+  static CpuModel edge_arm();
+};
+
+/// Execution target of a variant.
+enum class TargetKind : std::uint8_t { kCpu, kFpga };
+
+std::string_view to_string(TargetKind kind);
+
+/// One pre-generated implementation of a kernel with estimated metrics.
+/// This is the meta-information handed to the runtime for dynamic
+/// selection (paper §IV).
+struct Variant {
+  std::string id;       // unique within a kernel, e.g. "cpu-t4-tile64-soa"
+  std::string kernel;   // tensor-function name
+  TargetKind target = TargetKind::kCpu;
+
+  // Software knobs.
+  int threads = 1;
+  int tile = 0;              // 0 = untiled
+  std::string layout = "soa";
+
+  // Hardware knobs.
+  int unroll = 1;
+  std::string device;        // FPGA device name ("" for CPU)
+  bool dift = false;
+  std::string encrypted;     // crypto algo or ""
+
+  // Estimated metrics (compute only; link transfer is the runtime's job).
+  double latency_us = 0.0;
+  double energy_uj = 0.0;
+  double area_fraction = 0.0;  // FPGA utilization, 0 for CPU
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+
+  [[nodiscard]] json::Value to_json() const;
+  static Result<Variant> from_json(const json::Value& v);
+};
+
+/// The knob space the generator sweeps.
+struct VariantSpace {
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<int> tile_sizes = {0, 32, 128};
+  std::vector<std::string> layouts = {"soa", "aos"};
+  std::vector<int> unroll_factors = {1, 2, 4, 8};
+  std::vector<hls::FpgaDevice> devices;  // empty = no hardware variants
+  bool with_dift = false;
+  std::string with_encryption;  // "" = no encrypted variants
+};
+
+/// Estimates one software configuration (visible for testing/benches).
+struct SwEstimate {
+  double latency_us = 0.0;
+  double energy_uj = 0.0;
+  double compute_us = 0.0;
+  double memory_us = 0.0;
+};
+SwEstimate estimate_software(const KernelProfile& profile, const CpuModel& cpu,
+                             int threads, int tile, const std::string& layout);
+
+/// Generates the full variant set for `tensor_fn` inside `module`. Hardware
+/// variants require the kernel lowering; it is created on demand (function
+/// `<name>_kernel`). Designs that do not fit a device are skipped.
+Result<std::vector<Variant>> generate_variants(ir::Module& module,
+                                               const std::string& tensor_fn,
+                                               const VariantSpace& space,
+                                               const CpuModel& cpu);
+
+/// Serializes variants for the runtime (paper Fig. 1 "variant metadata").
+json::Value variants_to_json(const std::vector<Variant>& variants);
+Result<std::vector<Variant>> variants_from_json(const json::Value& v);
+
+}  // namespace everest::compiler

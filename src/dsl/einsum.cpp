@@ -1,0 +1,138 @@
+#include "dsl/einsum.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace everest::dsl {
+
+std::string EinsumSpec::all_indices() const {
+  std::string out;
+  auto add = [&](char c) {
+    if (out.find(c) == std::string::npos) out += c;
+  };
+  for (const std::string& in : inputs) {
+    for (char c : in) add(c);
+  }
+  for (char c : output) add(c);
+  return out;
+}
+
+std::string EinsumSpec::contracted_indices() const {
+  std::string out;
+  for (char c : all_indices()) {
+    if (output.find(c) == std::string::npos) out += c;
+  }
+  return out;
+}
+
+std::string EinsumSpec::to_string() const {
+  std::string out = join(inputs, ",");
+  out += "->";
+  out += output;
+  return out;
+}
+
+Result<EinsumSpec> parse_einsum(const std::string& spec) {
+  const auto arrow = spec.find("->");
+  if (arrow == std::string::npos) {
+    return InvalidArgument("einsum spec '" + spec + "' lacks '->'");
+  }
+  EinsumSpec out;
+  const std::string lhs = spec.substr(0, arrow);
+  out.output = spec.substr(arrow + 2);
+  out.inputs = split(lhs, ',');
+  if (out.inputs.empty() || lhs.empty()) {
+    return InvalidArgument("einsum spec '" + spec + "' has no inputs");
+  }
+  auto check_letters = [&](const std::string& s,
+                           bool allow_dups) -> Status {
+    std::string seen;
+    for (char c : s) {
+      if (c < 'a' || c > 'z') {
+        return InvalidArgument("einsum index '" + std::string(1, c) +
+                               "' is not a lowercase letter");
+      }
+      if (!allow_dups && seen.find(c) != std::string::npos) {
+        return InvalidArgument("einsum operand '" + s +
+                               "' repeats index '" + std::string(1, c) + "'");
+      }
+      seen += c;
+    }
+    return OkStatus();
+  };
+  for (const std::string& in : out.inputs) {
+    if (in.empty()) {
+      return InvalidArgument("einsum spec '" + spec + "' has an empty operand");
+    }
+    EVEREST_RETURN_IF_ERROR(check_letters(in, /*allow_dups=*/false));
+  }
+  EVEREST_RETURN_IF_ERROR(check_letters(out.output, /*allow_dups=*/false));
+  // Output indices must come from the inputs.
+  const std::string all = out.all_indices();
+  for (char c : out.output) {
+    bool found = false;
+    for (const std::string& in : out.inputs) {
+      if (in.find(c) != std::string::npos) found = true;
+    }
+    if (!found) {
+      return InvalidArgument("einsum output index '" + std::string(1, c) +
+                             "' does not appear in any input");
+    }
+  }
+  return out;
+}
+
+Result<std::map<char, std::int64_t>> infer_index_extents(
+    const EinsumSpec& spec,
+    const std::vector<std::vector<std::int64_t>>& input_shapes) {
+  if (input_shapes.size() != spec.inputs.size()) {
+    return InvalidArgument("einsum '" + spec.to_string() + "' expects " +
+                           std::to_string(spec.inputs.size()) +
+                           " operands, got " +
+                           std::to_string(input_shapes.size()));
+  }
+  std::map<char, std::int64_t> extents;
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    const std::string& idx = spec.inputs[i];
+    const auto& shape = input_shapes[i];
+    if (idx.size() != shape.size()) {
+      return InvalidArgument("operand " + std::to_string(i) + " of '" +
+                             spec.to_string() + "' has rank " +
+                             std::to_string(shape.size()) + ", spec wants " +
+                             std::to_string(idx.size()));
+    }
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+      auto [it, inserted] = extents.emplace(idx[d], shape[d]);
+      if (!inserted && it->second != shape[d]) {
+        return InvalidArgument(
+            "einsum index '" + std::string(1, idx[d]) + "' bound to both " +
+            std::to_string(it->second) + " and " + std::to_string(shape[d]));
+      }
+    }
+  }
+  return extents;
+}
+
+Result<std::vector<std::int64_t>> infer_output_shape(
+    const EinsumSpec& spec,
+    const std::vector<std::vector<std::int64_t>>& input_shapes) {
+  EVEREST_ASSIGN_OR_RETURN(auto extents,
+                           infer_index_extents(spec, input_shapes));
+  std::vector<std::int64_t> shape;
+  shape.reserve(spec.output.size());
+  for (char c : spec.output) shape.push_back(extents.at(c));
+  return shape;
+}
+
+Result<std::int64_t> contraction_flops(
+    const EinsumSpec& spec,
+    const std::vector<std::vector<std::int64_t>>& input_shapes) {
+  EVEREST_ASSIGN_OR_RETURN(auto extents,
+                           infer_index_extents(spec, input_shapes));
+  std::int64_t total = 1;
+  for (const auto& [idx, extent] : extents) total *= extent;
+  return total;
+}
+
+}  // namespace everest::dsl

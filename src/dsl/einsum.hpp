@@ -1,0 +1,52 @@
+// Einsum contraction specs ("ij,jk->ik"): parsing, validation, shape
+// inference, and loop-nest metadata. Used by the tensor eDSL and by the
+// tensor→kernel lowering (paper §III-B: "tensor expression optimizations").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace everest::dsl {
+
+/// A parsed einsum specification.
+struct EinsumSpec {
+  /// One index string per input operand, e.g. {"ij", "jk"}.
+  std::vector<std::string> inputs;
+  /// Output index string, e.g. "ik".
+  std::string output;
+
+  /// All distinct index letters in first-appearance order.
+  [[nodiscard]] std::string all_indices() const;
+  /// Indices that appear in inputs but not the output (contracted).
+  [[nodiscard]] std::string contracted_indices() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "ij,jk->ik". Index letters must be lowercase a–z; each operand
+/// needs at least one index; duplicate letters within one operand are
+/// rejected (no trace shorthand).
+Result<EinsumSpec> parse_einsum(const std::string& spec);
+
+/// Given operand shapes, checks consistency (same letter ⇒ same extent) and
+/// returns extents for every index letter.
+Result<std::map<char, std::int64_t>> infer_index_extents(
+    const EinsumSpec& spec,
+    const std::vector<std::vector<std::int64_t>>& input_shapes);
+
+/// Output shape for the spec given consistent input shapes.
+Result<std::vector<std::int64_t>> infer_output_shape(
+    const EinsumSpec& spec,
+    const std::vector<std::vector<std::int64_t>>& input_shapes);
+
+/// Number of scalar multiply-accumulate operations the contraction performs
+/// (product of all index extents).
+Result<std::int64_t> contraction_flops(
+    const EinsumSpec& spec,
+    const std::vector<std::vector<std::int64_t>>& input_shapes);
+
+}  // namespace everest::dsl

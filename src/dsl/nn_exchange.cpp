@@ -1,0 +1,203 @@
+#include "dsl/nn_exchange.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace everest::dsl {
+
+namespace {
+
+Result<std::vector<std::int64_t>> parse_shape(const json::Value& v) {
+  if (!v.is_array()) return InvalidArgument("shape must be an array");
+  std::vector<std::int64_t> shape;
+  for (const json::Value& d : v.as_array()) {
+    if (!d.is_number() || d.as_int() <= 0) {
+      return InvalidArgument("shape dims must be positive integers");
+    }
+    shape.push_back(d.as_int());
+  }
+  return shape;
+}
+
+}  // namespace
+
+Result<TensorProgram> import_nn_model(const std::string& json_text) {
+  EVEREST_ASSIGN_OR_RETURN(json::Value doc, json::parse(json_text));
+  if (doc.at("format").as_string() != "everest.nn.v1") {
+    return InvalidArgument("unknown model format '" +
+                           doc.at("format").as_string() + "'");
+  }
+  const std::string name = doc.at("name").is_string()
+                               ? doc.at("name").as_string()
+                               : "model";
+  TensorProgram program(name);
+  std::map<std::string, TensorExpr> env;
+
+  for (const json::Value& input : doc.at("inputs").as_array()) {
+    const std::string& tensor_name = input.at("name").as_string();
+    EVEREST_ASSIGN_OR_RETURN(auto shape, parse_shape(input.at("shape")));
+    env[tensor_name] = program.input(tensor_name, shape);
+  }
+  for (const json::Value& init : doc.at("initializers").as_array()) {
+    const std::string& tensor_name = init.at("name").as_string();
+    EVEREST_ASSIGN_OR_RETURN(auto shape, parse_shape(init.at("shape")));
+    std::vector<double> data;
+    for (const json::Value& d : init.at("data").as_array()) {
+      data.push_back(d.as_number());
+    }
+    env[tensor_name] = program.constant(shape, std::move(data));
+  }
+
+  auto lookup = [&](const std::string& tensor_name) -> Result<TensorExpr> {
+    auto it = env.find(tensor_name);
+    if (it == env.end()) {
+      return NotFound("tensor '" + tensor_name +
+                      "' is not defined before use");
+    }
+    return it->second;
+  };
+
+  for (const json::Value& node : doc.at("nodes").as_array()) {
+    const std::string op = node.at("op").as_string();
+    const std::string out = node.at("output").as_string();
+    if (env.count(out) > 0) {
+      return AlreadyExists("tensor '" + out + "' defined twice");
+    }
+    std::vector<TensorExpr> args;
+    for (const json::Value& in : node.at("inputs").as_array()) {
+      EVEREST_ASSIGN_OR_RETURN(TensorExpr e, lookup(in.as_string()));
+      args.push_back(std::move(e));
+    }
+    auto need = [&](std::size_t n) -> Status {
+      if (args.size() != n) {
+        return InvalidArgument("op '" + op + "' (output '" + out +
+                               "') expects " + std::to_string(n) + " inputs");
+      }
+      return OkStatus();
+    };
+    TensorExpr result;
+    if (op == "MatMul") {
+      EVEREST_RETURN_IF_ERROR(need(2));
+      result = matmul(args[0], args[1]);
+    } else if (op == "Add" || op == "Sub" || op == "Mul" || op == "Div") {
+      EVEREST_RETURN_IF_ERROR(need(2));
+      if (op == "Add") result = args[0] + args[1];
+      else if (op == "Sub") result = args[0] - args[1];
+      else if (op == "Mul") result = args[0] * args[1];
+      else result = args[0] / args[1];
+    } else if (op == "Relu" || op == "Tanh" || op == "Sigmoid" ||
+               op == "Exp" || op == "Sqrt" || op == "Neg" || op == "Abs" ||
+               op == "Log") {
+      EVEREST_RETURN_IF_ERROR(need(1));
+      std::string fn = op;
+      for (char& c : fn) c = static_cast<char>(std::tolower(c));
+      result = map(fn, args[0]);
+    } else if (op == "Scale") {
+      EVEREST_RETURN_IF_ERROR(need(1));
+      if (!node.at("attr").is_number()) {
+        return InvalidArgument("Scale node '" + out + "' needs numeric attr");
+      }
+      result = scale(args[0], node.at("attr").as_number());
+    } else if (op == "Transpose") {
+      EVEREST_RETURN_IF_ERROR(need(1));
+      if (!node.at("perm").is_array()) {
+        return InvalidArgument("Transpose node '" + out + "' needs a perm");
+      }
+      std::vector<std::int64_t> p;  // perm entries may legitimately be 0
+      for (const json::Value& d : node.at("perm").as_array()) {
+        p.push_back(d.as_int());
+      }
+      result = transpose(args[0], p);
+    } else if (op == "ReduceSum" || op == "ReduceMean" || op == "ReduceMax" ||
+               op == "ReduceMin") {
+      EVEREST_RETURN_IF_ERROR(need(1));
+      const std::string kind = op == "ReduceSum" ? "sum"
+                               : op == "ReduceMean" ? "mean"
+                               : op == "ReduceMax" ? "max"
+                                                   : "min";
+      result = reduce(kind, args[0]);
+    } else if (op == "Einsum") {
+      if (!node.at("equation").is_string()) {
+        return InvalidArgument("Einsum node '" + out + "' needs an equation");
+      }
+      result = contract(node.at("equation").as_string(), args);
+    } else {
+      return Unimplemented("unsupported node op '" + op + "'");
+    }
+    if (!result.ok()) {
+      return InvalidArgument("node '" + out + "': " + result.error());
+    }
+    env[out] = std::move(result);
+  }
+
+  const std::string& output_name = doc.at("output").as_string();
+  EVEREST_ASSIGN_OR_RETURN(TensorExpr out_expr, lookup(output_name));
+  program.output(output_name, std::move(out_expr));
+  return program;
+}
+
+NnModelBuilder::NnModelBuilder(std::string name) {
+  doc_["format"] = "everest.nn.v1";
+  doc_["name"] = std::move(name);
+}
+
+NnModelBuilder& NnModelBuilder::input(const std::string& name,
+                                      std::vector<std::int64_t> shape) {
+  json::Object o;
+  o["name"] = name;
+  json::Array s;
+  for (std::int64_t d : shape) s.push_back(d);
+  o["shape"] = std::move(s);
+  inputs_.push_back(std::move(o));
+  return *this;
+}
+
+NnModelBuilder& NnModelBuilder::initializer(const std::string& name,
+                                            std::vector<std::int64_t> shape,
+                                            std::vector<double> data) {
+  json::Object o;
+  o["name"] = name;
+  json::Array s;
+  for (std::int64_t d : shape) s.push_back(d);
+  o["shape"] = std::move(s);
+  json::Array values;
+  for (double v : data) values.push_back(v);
+  o["data"] = std::move(values);
+  initializers_.push_back(std::move(o));
+  return *this;
+}
+
+NnModelBuilder& NnModelBuilder::node(const std::string& op,
+                                     std::vector<std::string> inputs,
+                                     std::string output, json::Value attr) {
+  json::Object o;
+  o["op"] = op;
+  json::Array in;
+  for (std::string& name : inputs) in.push_back(std::move(name));
+  o["inputs"] = std::move(in);
+  o["output"] = std::move(output);
+  if (!attr.is_null()) {
+    // The importer looks for op-specific keys.
+    if (op == "Scale") o["attr"] = std::move(attr);
+    else if (op == "Transpose") o["perm"] = std::move(attr);
+    else if (op == "Einsum") o["equation"] = std::move(attr);
+  }
+  nodes_.push_back(std::move(o));
+  return *this;
+}
+
+NnModelBuilder& NnModelBuilder::output(const std::string& name) {
+  output_ = name;
+  return *this;
+}
+
+std::string NnModelBuilder::to_json() const {
+  json::Object doc = doc_;
+  doc["inputs"] = inputs_;
+  doc["initializers"] = initializers_;
+  doc["nodes"] = nodes_;
+  doc["output"] = output_;
+  return json::Value(doc).dump(2);
+}
+
+}  // namespace everest::dsl

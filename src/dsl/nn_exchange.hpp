@@ -1,0 +1,66 @@
+// Neural-network exchange format ingestion (paper §III-B: "The tool chain
+// will support standard exchange formats used in machine learning (e.g.,
+// NNEF or ONNX)"). We define a compact JSON graph format with
+// ONNX-flavored semantics (initializers, node ops, single output) and
+// import it into a TensorProgram, from which the full EVEREST pipeline
+// (variants, HLS, runtime) applies.
+//
+// Document shape:
+// {
+//   "format": "everest.nn.v1",
+//   "name": "model",
+//   "inputs":  [{"name": "x", "shape": [1, 4]}],
+//   "initializers": [{"name": "W", "shape": [4, 8], "data": [..]}],
+//   "nodes": [
+//     {"op": "MatMul",  "inputs": ["x", "W"],  "output": "h0"},
+//     {"op": "Add",     "inputs": ["h0", "b"], "output": "h1"},
+//     {"op": "Relu",    "inputs": ["h1"],      "output": "h2"},
+//     {"op": "Tanh"|"Sigmoid"|"Exp"|"Sqrt"|"Neg"|"Abs", ...},
+//     {"op": "Mul"|"Sub"|"Div", "inputs": [a, b], "output": ...},
+//     {"op": "Scale", "inputs": [a], "attr": 0.5, "output": ...},
+//     {"op": "Transpose", "inputs": [a], "perm": [1, 0], "output": ...},
+//     {"op": "ReduceSum"|"ReduceMean"|"ReduceMax", "inputs": [a], ...},
+//     {"op": "Einsum", "inputs": [...], "equation": "ij,jk->ik", ...}
+//   ],
+//   "output": "h2"
+// }
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "dsl/tensor_expr.hpp"
+
+namespace everest::dsl {
+
+/// Parses the JSON document and builds the equivalent TensorProgram.
+/// Errors carry the offending node/tensor name.
+Result<TensorProgram> import_nn_model(const std::string& json_text);
+
+/// Serializes a trained-model description the other way (used by tests to
+/// round-trip and by apps exporting their MLPs). Only the ops listed above
+/// are representable.
+struct NnModelBuilder {
+  explicit NnModelBuilder(std::string name);
+
+  NnModelBuilder& input(const std::string& name,
+                        std::vector<std::int64_t> shape);
+  NnModelBuilder& initializer(const std::string& name,
+                              std::vector<std::int64_t> shape,
+                              std::vector<double> data);
+  NnModelBuilder& node(const std::string& op,
+                       std::vector<std::string> inputs, std::string output,
+                       json::Value attr = json::Value());
+  NnModelBuilder& output(const std::string& name);
+
+  /// Final JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  json::Object doc_;
+  json::Array inputs_, initializers_, nodes_;
+  std::string output_;
+};
+
+}  // namespace everest::dsl

@@ -1,0 +1,396 @@
+#include "dsl/tensor_expr.hpp"
+
+#include <map>
+
+#include "ir/builder.hpp"
+#include "ir/dialect.hpp"
+
+namespace everest::dsl {
+
+namespace detail {
+
+enum class ExprKind {
+  kInput, kConstant, kBinary, kMap, kMatmul, kContract, kReduce,
+  kTranspose, kReshape, kScale,
+};
+
+struct ExprNode {
+  ExprKind kind;
+  std::vector<std::shared_ptr<ExprNode>> operands;
+  std::vector<std::int64_t> shape;
+  std::string error;  // sticky: first error in this subtree
+
+  // Per-kind payloads.
+  std::string name;               // kInput
+  std::vector<double> values;     // kConstant
+  std::string op;                 // kBinary ("add"...), kMap (fn), kReduce
+  EinsumSpec spec;                // kContract
+  std::vector<std::int64_t> perm; // kTranspose
+  double factor = 1.0;            // kScale
+  DataAnnotations annotations;    // kInput
+  int input_index = -1;           // kInput: argument position
+};
+
+namespace {
+
+std::shared_ptr<ExprNode> make_error(std::string message) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kInput;
+  n->error = std::move(message);
+  return n;
+}
+
+std::string propagate_error(
+    const std::vector<std::shared_ptr<ExprNode>>& operands) {
+  for (const auto& op : operands) {
+    if (!op) return "null operand expression";
+    if (!op->error.empty()) return op->error;
+  }
+  return {};
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::ExprKind;
+using detail::ExprNode;
+
+const std::vector<std::int64_t>& TensorExpr::shape() const {
+  static const std::vector<std::int64_t> kEmpty;
+  return node_ ? node_->shape : kEmpty;
+}
+
+std::string TensorExpr::error() const {
+  return node_ ? node_->error : "uninitialized expression";
+}
+
+TensorExpr binary(const std::string& op, const TensorExpr& a,
+                  const TensorExpr& b) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kBinary;
+  n->op = op;
+  n->operands = {a.node_, b.node_};
+  n->error = detail::propagate_error(n->operands);
+  if (n->error.empty()) {
+    if (a.shape() != b.shape()) {
+      n->error = "elementwise '" + op + "' on mismatched shapes";
+    } else {
+      n->shape = a.shape();
+    }
+  }
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr operator+(const TensorExpr& a, const TensorExpr& b) {
+  return binary("add", a, b);
+}
+TensorExpr operator-(const TensorExpr& a, const TensorExpr& b) {
+  return binary("sub", a, b);
+}
+TensorExpr operator*(const TensorExpr& a, const TensorExpr& b) {
+  return binary("mul", a, b);
+}
+TensorExpr operator/(const TensorExpr& a, const TensorExpr& b) {
+  return binary("div", a, b);
+}
+
+TensorExpr matmul(const TensorExpr& a, const TensorExpr& b) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kMatmul;
+  n->operands = {a.node_, b.node_};
+  n->error = detail::propagate_error(n->operands);
+  if (n->error.empty()) {
+    if (a.shape().size() != 2 || b.shape().size() != 2) {
+      n->error = "matmul needs rank-2 operands";
+    } else if (a.shape()[1] != b.shape()[0]) {
+      n->error = "matmul inner dimensions disagree";
+    } else {
+      n->shape = {a.shape()[0], b.shape()[1]};
+    }
+  }
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr contract(const std::string& spec,
+                    const std::vector<TensorExpr>& operands) {
+  auto parsed = parse_einsum(spec);
+  if (!parsed.ok()) {
+    return TensorExpr(detail::make_error(parsed.status().message()));
+  }
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kContract;
+  n->spec = std::move(parsed).value();
+  for (const TensorExpr& e : operands) n->operands.push_back(e.node_);
+  n->error = detail::propagate_error(n->operands);
+  if (n->error.empty()) {
+    std::vector<std::vector<std::int64_t>> shapes;
+    shapes.reserve(operands.size());
+    for (const TensorExpr& e : operands) shapes.push_back(e.shape());
+    auto out_shape = infer_output_shape(n->spec, shapes);
+    if (!out_shape.ok()) {
+      n->error = out_shape.status().message();
+    } else {
+      n->shape = std::move(out_shape).value();
+    }
+  }
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr map(const std::string& fn, const TensorExpr& x) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kMap;
+  n->op = fn;
+  n->operands = {x.node_};
+  n->error = detail::propagate_error(n->operands);
+  if (n->error.empty()) n->shape = x.shape();
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr reduce(const std::string& kind, const TensorExpr& x) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kReduce;
+  n->op = kind;
+  n->operands = {x.node_};
+  n->error = detail::propagate_error(n->operands);
+  // Full reduction to rank-0: shape stays empty.
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr transpose(const TensorExpr& x,
+                     const std::vector<std::int64_t>& perm) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kTranspose;
+  n->perm = perm;
+  n->operands = {x.node_};
+  n->error = detail::propagate_error(n->operands);
+  if (n->error.empty()) {
+    if (perm.size() != x.shape().size()) {
+      n->error = "transpose perm rank mismatch";
+    } else {
+      n->shape.resize(perm.size());
+      std::vector<bool> seen(perm.size(), false);
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] < 0 || static_cast<std::size_t>(perm[i]) >= perm.size() ||
+            seen[static_cast<std::size_t>(perm[i])]) {
+          n->error = "transpose perm is not a permutation";
+          break;
+        }
+        seen[static_cast<std::size_t>(perm[i])] = true;
+        n->shape[i] = x.shape()[static_cast<std::size_t>(perm[i])];
+      }
+    }
+  }
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr reshape(const TensorExpr& x, std::vector<std::int64_t> new_shape) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kReshape;
+  n->operands = {x.node_};
+  n->error = detail::propagate_error(n->operands);
+  if (n->error.empty()) {
+    std::int64_t in_elems = 1, out_elems = 1;
+    for (std::int64_t d : x.shape()) in_elems *= d;
+    for (std::int64_t d : new_shape) {
+      if (d <= 0) n->error = "reshape dims must be positive";
+      out_elems *= d;
+    }
+    if (n->error.empty() && in_elems != out_elems) {
+      n->error = "reshape must preserve the element count";
+    } else {
+      n->shape = std::move(new_shape);
+    }
+  }
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr scale(const TensorExpr& x, double factor) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kScale;
+  n->factor = factor;
+  n->operands = {x.node_};
+  n->error = detail::propagate_error(n->operands);
+  if (n->error.empty()) n->shape = x.shape();
+  return TensorExpr(std::move(n));
+}
+
+TensorExpr TensorProgram::input(const std::string& name,
+                                std::vector<std::int64_t> shape,
+                                DataAnnotations annotations) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kInput;
+  n->name = name;
+  n->shape = std::move(shape);
+  n->annotations = annotations;
+  n->input_index = static_cast<int>(inputs_.size());
+  for (std::int64_t d : n->shape) {
+    if (d <= 0) n->error = "input '" + name + "' has non-positive dimension";
+  }
+  TensorExpr expr(n);
+  inputs_.push_back({name, expr, std::move(annotations)});
+  if (!n->error.empty() && error_.empty()) error_ = n->error;
+  return expr;
+}
+
+TensorExpr TensorProgram::constant(std::vector<std::int64_t> shape,
+                                   std::vector<double> values) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::kConstant;
+  n->shape = std::move(shape);
+  std::int64_t expected = 1;
+  for (std::int64_t d : n->shape) expected *= d;
+  if (static_cast<std::int64_t>(values.size()) != expected) {
+    n->error = "constant value count does not match shape";
+    if (error_.empty()) error_ = n->error;
+  }
+  n->values = std::move(values);
+  return TensorExpr(std::move(n));
+}
+
+void TensorProgram::output(const std::string& name, TensorExpr expr) {
+  if (!expr.ok() && error_.empty()) {
+    error_ = "output '" + name + "': " + expr.error();
+  }
+  outputs_.push_back({name, std::move(expr)});
+}
+
+namespace {
+
+/// Emits IR for a node (memoized on node pointer).
+class Lowerer {
+ public:
+  Lowerer(ir::OpBuilder& builder, ir::Function& fn)
+      : builder_(builder), fn_(fn) {}
+
+  Result<ir::Value> lower(const std::shared_ptr<ExprNode>& node) {
+    if (!node) return InvalidArgument("null expression node");
+    if (!node->error.empty()) return InvalidArgument(node->error);
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+    EVEREST_ASSIGN_OR_RETURN(ir::Value v, lower_uncached(*node));
+    memo_.emplace(node.get(), v);
+    return v;
+  }
+
+ private:
+  Result<ir::Value> lower_uncached(const ExprNode& node) {
+    using ir::Attribute;
+    const ir::Type result_type =
+        ir::Type::tensor(node.shape, ir::ScalarKind::kF64);
+    switch (node.kind) {
+      case ExprKind::kInput:
+        return fn_.arg(static_cast<unsigned>(node.input_index));
+      case ExprKind::kConstant:
+        return builder_.create_value(
+            "tensor.constant", {}, result_type,
+            {{"value", Attribute::dense_f64(node.values)}});
+      case ExprKind::kBinary: {
+        EVEREST_ASSIGN_OR_RETURN(ir::Value a, lower(node.operands[0]));
+        EVEREST_ASSIGN_OR_RETURN(ir::Value b, lower(node.operands[1]));
+        return builder_.create_value("tensor." + node.op, {a, b}, result_type);
+      }
+      case ExprKind::kMap: {
+        EVEREST_ASSIGN_OR_RETURN(ir::Value a, lower(node.operands[0]));
+        return builder_.create_value("tensor.map", {a}, result_type,
+                                     {{"fn", Attribute::string(node.op)}});
+      }
+      case ExprKind::kMatmul: {
+        EVEREST_ASSIGN_OR_RETURN(ir::Value a, lower(node.operands[0]));
+        EVEREST_ASSIGN_OR_RETURN(ir::Value b, lower(node.operands[1]));
+        return builder_.create_value("tensor.matmul", {a, b}, result_type);
+      }
+      case ExprKind::kContract: {
+        std::vector<ir::Value> args;
+        for (const auto& op : node.operands) {
+          EVEREST_ASSIGN_OR_RETURN(ir::Value v, lower(op));
+          args.push_back(v);
+        }
+        return builder_.create_value(
+            "tensor.contract", std::move(args), result_type,
+            {{"spec", Attribute::string(node.spec.to_string())}});
+      }
+      case ExprKind::kReduce: {
+        EVEREST_ASSIGN_OR_RETURN(ir::Value a, lower(node.operands[0]));
+        return builder_.create_value("tensor.reduce", {a}, result_type,
+                                     {{"kind", Attribute::string(node.op)}});
+      }
+      case ExprKind::kTranspose: {
+        EVEREST_ASSIGN_OR_RETURN(ir::Value a, lower(node.operands[0]));
+        return builder_.create_value("tensor.transpose", {a}, result_type,
+                                     {{"perm", Attribute::int_array(node.perm)}});
+      }
+      case ExprKind::kReshape: {
+        EVEREST_ASSIGN_OR_RETURN(ir::Value a, lower(node.operands[0]));
+        return builder_.create_value("tensor.reshape", {a}, result_type);
+      }
+      case ExprKind::kScale: {
+        EVEREST_ASSIGN_OR_RETURN(ir::Value a, lower(node.operands[0]));
+        ir::Value factor = builder_.constant_f64(node.factor);
+        return builder_.create_value("tensor.scale", {a, factor}, result_type);
+      }
+    }
+    return Internal("unhandled expression kind");
+  }
+
+  ir::OpBuilder& builder_;
+  ir::Function& fn_;
+  std::map<const ExprNode*, ir::Value> memo_;
+};
+
+}  // namespace
+
+Status TensorProgram::lower_into(ir::Module& module) const {
+  ir::register_everest_dialects();
+  if (!error_.empty()) return InvalidArgument(error_);
+  if (outputs_.empty()) {
+    return FailedPrecondition("program '" + name_ + "' declares no outputs");
+  }
+  std::vector<ir::Type> input_types;
+  input_types.reserve(inputs_.size());
+  for (const Input& in : inputs_) {
+    input_types.push_back(
+        ir::Type::tensor(in.expr.shape(), ir::ScalarKind::kF64));
+  }
+  std::vector<ir::Type> result_types;
+  result_types.reserve(outputs_.size());
+  for (const Output& out : outputs_) {
+    result_types.push_back(
+        ir::Type::tensor(out.expr.shape(), ir::ScalarKind::kF64));
+  }
+  EVEREST_ASSIGN_OR_RETURN(
+      ir::Function * fn,
+      module.add_function(name_, ir::Type::function(std::move(input_types),
+                                                    std::move(result_types))));
+  // Input annotations become per-argument function attributes.
+  bool any_confidential = false;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    ir::AttrMap attrs;
+    inputs_[i].annotations.attach_to(attrs);
+    any_confidential |= inputs_[i].annotations.confidential;
+    for (auto& [k, v] : attrs) {
+      fn->set_attr("arg" + std::to_string(i) + "." + k, v);
+    }
+  }
+  if (any_confidential) {
+    fn->set_attr("ev.requires_protection", ir::Attribute::boolean(true));
+  }
+  fn->set_attr("ev.dsl", ir::Attribute::string("tensor"));
+
+  ir::OpBuilder builder(&fn->entry());
+  Lowerer lowerer(builder, *fn);
+  std::vector<ir::Value> results;
+  for (const Output& out : outputs_) {
+    EVEREST_ASSIGN_OR_RETURN(ir::Value v, lowerer.lower(out.expr.node_));
+    results.push_back(v);
+  }
+  builder.ret(std::move(results));
+  return OkStatus();
+}
+
+Result<ir::Module> TensorProgram::lower() const {
+  ir::Module module(name_ + "_module");
+  EVEREST_RETURN_IF_ERROR(lower_into(module));
+  return module;
+}
+
+}  // namespace everest::dsl

@@ -1,0 +1,126 @@
+// Tensor-expression eDSL (CFDlang/TeIL-style, paper §III-A/B): application
+// experts write kernels as algebraic expressions over named tensors; the
+// program lowers to the `tensor` dialect of the EVEREST IR.
+//
+//   TensorProgram p("postproc");
+//   auto x = p.input("ens", {kMembers, kCells});
+//   auto w = p.input("w", {kCells, kOut});
+//   p.output("y", relu(matmul(x, w)));
+//   auto module = p.lower();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dsl/annotations.hpp"
+#include "dsl/einsum.hpp"
+#include "ir/module.hpp"
+
+namespace everest::dsl {
+
+namespace detail {
+struct ExprNode;
+}
+
+/// A value-semantic handle to a tensor expression tree node.
+class TensorExpr {
+ public:
+  TensorExpr() = default;
+
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+  /// Inferred shape (empty for rank-0). Valid only if ok().
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const;
+  /// First construction error in this subtree ("" if none).
+  [[nodiscard]] std::string error() const;
+  [[nodiscard]] bool ok() const { return valid() && error().empty(); }
+
+  // Elementwise algebra (shapes must match).
+  friend TensorExpr operator+(const TensorExpr& a, const TensorExpr& b);
+  friend TensorExpr operator-(const TensorExpr& a, const TensorExpr& b);
+  friend TensorExpr operator*(const TensorExpr& a, const TensorExpr& b);
+  friend TensorExpr operator/(const TensorExpr& a, const TensorExpr& b);
+
+ private:
+  friend class TensorProgram;
+  friend TensorExpr matmul(const TensorExpr&, const TensorExpr&);
+  friend TensorExpr contract(const std::string&,
+                             const std::vector<TensorExpr>&);
+  friend TensorExpr map(const std::string&, const TensorExpr&);
+  friend TensorExpr reduce(const std::string&, const TensorExpr&);
+  friend TensorExpr transpose(const TensorExpr&,
+                              const std::vector<std::int64_t>&);
+  friend TensorExpr reshape(const TensorExpr&, std::vector<std::int64_t>);
+  friend TensorExpr scale(const TensorExpr&, double);
+  friend TensorExpr binary(const std::string&, const TensorExpr&,
+                           const TensorExpr&);
+
+  explicit TensorExpr(std::shared_ptr<detail::ExprNode> node)
+      : node_(std::move(node)) {}
+  std::shared_ptr<detail::ExprNode> node_;
+};
+
+/// Rank-2 matrix product.
+TensorExpr matmul(const TensorExpr& a, const TensorExpr& b);
+/// Generalized einsum contraction, e.g. contract("mc,co->mo", {x, w}).
+TensorExpr contract(const std::string& spec,
+                    const std::vector<TensorExpr>& operands);
+/// Elementwise function: relu/exp/log/sqrt/tanh/sigmoid/abs/neg/square.
+TensorExpr map(const std::string& fn, const TensorExpr& x);
+inline TensorExpr relu(const TensorExpr& x) { return map("relu", x); }
+inline TensorExpr exp(const TensorExpr& x) { return map("exp", x); }
+inline TensorExpr sqrt(const TensorExpr& x) { return map("sqrt", x); }
+inline TensorExpr tanh_(const TensorExpr& x) { return map("tanh", x); }
+inline TensorExpr sigmoid(const TensorExpr& x) { return map("sigmoid", x); }
+/// Full reduction to rank-0: kind is sum/max/min/mean.
+TensorExpr reduce(const std::string& kind, const TensorExpr& x);
+/// Dimension permutation.
+TensorExpr transpose(const TensorExpr& x, const std::vector<std::int64_t>& perm);
+/// Shape change preserving the element count and row-major order.
+TensorExpr reshape(const TensorExpr& x, std::vector<std::int64_t> new_shape);
+/// Multiply by a compile-time scalar.
+TensorExpr scale(const TensorExpr& x, double factor);
+
+/// A named kernel written in the tensor eDSL. Inputs are declared with
+/// shapes (+ optional annotations); one or more named outputs close the
+/// program. `lower()` emits one IR function into a fresh module;
+/// `lower_into()` appends to an existing module (used by the workflow DSL).
+class TensorProgram {
+ public:
+  explicit TensorProgram(std::string name) : name_(std::move(name)) {}
+
+  /// Declares an input tensor; order of declaration = argument order.
+  TensorExpr input(const std::string& name, std::vector<std::int64_t> shape,
+                   DataAnnotations annotations = {});
+  /// Declares a compile-time constant tensor (row-major values).
+  TensorExpr constant(std::vector<std::int64_t> shape,
+                      std::vector<double> values);
+
+  /// Declares a named output.
+  void output(const std::string& name, TensorExpr expr);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Lowers into a fresh single-function module.
+  Result<ir::Module> lower() const;
+  /// Appends function @name_ to `module`.
+  Status lower_into(ir::Module& module) const;
+
+ private:
+  struct Input {
+    std::string name;
+    TensorExpr expr;
+    DataAnnotations annotations;
+  };
+  struct Output {
+    std::string name;
+    TensorExpr expr;
+  };
+  std::string name_;
+  std::vector<Input> inputs_;
+  std::vector<Output> outputs_;
+  std::string error_;  // first construction error, reported at lower()
+};
+
+}  // namespace everest::dsl

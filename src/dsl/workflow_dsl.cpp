@@ -1,0 +1,156 @@
+#include "dsl/workflow_dsl.hpp"
+
+#include "ir/builder.hpp"
+#include "ir/dialect.hpp"
+
+namespace everest::dsl {
+
+TaskBuilder& TaskBuilder::kernel(std::string symbol) {
+  owner_->nodes_[static_cast<std::size_t>(node_id_)].kernel = std::move(symbol);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::implemented_by(
+    std::shared_ptr<TensorProgram> program) {
+  auto& node = owner_->nodes_[static_cast<std::size_t>(node_id_)];
+  if (node.kernel.empty()) node.kernel = program->name();
+  node.program = std::move(program);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::inputs(std::vector<WorkflowValue> deps) {
+  auto& node = owner_->nodes_[static_cast<std::size_t>(node_id_)];
+  for (const WorkflowValue& v : deps) {
+    if (!v.valid() || v.node_id >= static_cast<int>(owner_->nodes_.size())) {
+      if (owner_->error_.empty()) {
+        owner_->error_ = "task '" + node.name + "' has an invalid input handle";
+      }
+      continue;
+    }
+    node.inputs.push_back(v.node_id);
+  }
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::output_shape(std::vector<std::int64_t> shape) {
+  owner_->nodes_[static_cast<std::size_t>(node_id_)].shape = std::move(shape);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::flops(double flops) {
+  owner_->nodes_[static_cast<std::size_t>(node_id_)].flops = flops;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::annotate(DataAnnotations annotations) {
+  owner_->nodes_[static_cast<std::size_t>(node_id_)].annotations =
+      std::move(annotations);
+  return *this;
+}
+
+WorkflowValue TaskBuilder::done() { return WorkflowValue{node_id_}; }
+
+WorkflowValue WorkflowBuilder::source(const std::string& name,
+                                      SourceOptions options) {
+  Node node;
+  node.kind = NodeKind::kSource;
+  node.name = name;
+  node.source_options = std::move(options);
+  nodes_.push_back(std::move(node));
+  return WorkflowValue{static_cast<int>(nodes_.size()) - 1};
+}
+
+TaskBuilder WorkflowBuilder::task(const std::string& name) {
+  Node node;
+  node.kind = NodeKind::kTask;
+  node.name = name;
+  nodes_.push_back(std::move(node));
+  return TaskBuilder(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Status WorkflowBuilder::sink(const std::string& name, WorkflowValue input) {
+  if (!input.valid() || input.node_id >= static_cast<int>(nodes_.size())) {
+    return InvalidArgument("sink '" + name + "' has an invalid input handle");
+  }
+  Node node;
+  node.kind = NodeKind::kSink;
+  node.name = name;
+  node.inputs = {input.node_id};
+  nodes_.push_back(std::move(node));
+  return OkStatus();
+}
+
+Result<ir::Module> WorkflowBuilder::lower() const {
+  using ir::Attribute;
+  ir::register_everest_dialects();
+  if (!error_.empty()) return InvalidArgument(error_);
+
+  ir::Module module(name_);
+  // Lower attached tensor programs first so tasks can reference them.
+  for (const Node& node : nodes_) {
+    if (node.program && module.find(node.program->name()) == nullptr) {
+      EVEREST_RETURN_IF_ERROR(node.program->lower_into(module));
+    }
+  }
+
+  EVEREST_ASSIGN_OR_RETURN(
+      ir::Function * fn,
+      module.add_function(name_, ir::Type::function({}, {})));
+  fn->set_attr("ev.dsl", Attribute::string("workflow"));
+  ir::OpBuilder b(&fn->entry());
+
+  std::vector<ir::Value> node_values(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    switch (node.kind) {
+      case NodeKind::kSource: {
+        ir::AttrMap attrs{{"name", Attribute::string(node.name)},
+                          {"rate_hz",
+                           Attribute::real(node.source_options.rate_hz)}};
+        node.source_options.annotations.attach_to(attrs);
+        node_values[i] = b.create_value(
+            "workflow.source", {}, ir::Type::stream(node.source_options.elem),
+            std::move(attrs));
+        break;
+      }
+      case NodeKind::kTask: {
+        if (node.kernel.empty()) {
+          return InvalidArgument("task '" + node.name + "' has no kernel");
+        }
+        std::vector<ir::Value> operands;
+        for (int dep : node.inputs) {
+          const ir::Value& v = node_values[static_cast<std::size_t>(dep)];
+          if (!v.valid()) {
+            return InvalidArgument("task '" + node.name +
+                                   "' depends on a node lowered after it");
+          }
+          operands.push_back(v);
+        }
+        ir::AttrMap attrs{{"name", Attribute::string(node.name)},
+                          {"kernel", Attribute::string(node.kernel)}};
+        if (node.flops > 0) attrs["est_flops"] = Attribute::real(node.flops);
+        node.annotations.attach_to(attrs);
+        node_values[i] = b.create_value(
+            "workflow.task", std::move(operands),
+            ir::Type::tensor(node.shape, ir::ScalarKind::kF64),
+            std::move(attrs));
+        break;
+      }
+      case NodeKind::kSink: {
+        const ir::Value& v =
+            node_values[static_cast<std::size_t>(node.inputs[0])];
+        if (!v.valid()) {
+          return InvalidArgument("sink '" + node.name +
+                                 "' consumes an unlowered node");
+        }
+        b.create("workflow.sink", {v}, {},
+                 {{"name", Attribute::string(node.name)}});
+        break;
+      }
+    }
+  }
+  b.ret();
+  return module;
+}
+
+}  // namespace everest::dsl

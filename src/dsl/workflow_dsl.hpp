@@ -1,0 +1,113 @@
+// Workflow eDSL (paper §III-A: "a workflow pipeline where each node can be
+// specified in C/C++ or with proper AI libraries", executed HyperLoom-style).
+// Applications compose named tasks over data dependencies; kernels can be
+// plain symbols (implemented elsewhere) or attached TensorPrograms that are
+// lowered into the same module.
+//
+//   WorkflowBuilder wf("energy");
+//   auto feed = wf.source("ensemble_feed", {.rate_hz = 24});
+//   auto grid = wf.task("downscale").kernel("downscale_k")
+//                 .inputs({feed}).output_shape({512, 512})
+//                 .annotate({.volume_mb = 120}).done();
+//   wf.sink("market", grid);
+//   auto module = wf.lower();
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dsl/annotations.hpp"
+#include "dsl/tensor_expr.hpp"
+#include "ir/module.hpp"
+
+namespace everest::dsl {
+
+/// Opaque handle to a workflow node's data output.
+struct WorkflowValue {
+  int node_id = -1;
+  [[nodiscard]] bool valid() const { return node_id >= 0; }
+};
+
+struct SourceOptions {
+  /// Nominal arrival rate of items (used by the runtime placement model).
+  double rate_hz = 1.0;
+  /// Element scalar kind of the stream.
+  ir::ScalarKind elem = ir::ScalarKind::kF64;
+  DataAnnotations annotations;
+};
+
+class WorkflowBuilder;
+
+/// Fluent configurator returned by WorkflowBuilder::task().
+class TaskBuilder {
+ public:
+  /// Names the kernel function implementing this task (required).
+  TaskBuilder& kernel(std::string symbol);
+  /// Attaches a tensor-eDSL implementation; the kernel symbol defaults to
+  /// the program's name and the program is lowered into the module.
+  TaskBuilder& implemented_by(std::shared_ptr<TensorProgram> program);
+  /// Declares data dependencies (outputs of other nodes).
+  TaskBuilder& inputs(std::vector<WorkflowValue> deps);
+  /// Output tensor shape (f64); rank-0 by default.
+  TaskBuilder& output_shape(std::vector<std::int64_t> shape);
+  /// Estimated work per invocation in FLOPs (drives variant selection).
+  TaskBuilder& flops(double flops);
+  /// Data/security annotations for the task's output.
+  TaskBuilder& annotate(DataAnnotations annotations);
+  /// Finalizes and returns the task's output handle.
+  WorkflowValue done();
+
+ private:
+  friend class WorkflowBuilder;
+  TaskBuilder(WorkflowBuilder* owner, int node_id)
+      : owner_(owner), node_id_(node_id) {}
+  WorkflowBuilder* owner_;
+  int node_id_;
+};
+
+/// Builds a workflow pipeline and lowers it to the `workflow` dialect.
+class WorkflowBuilder {
+ public:
+  explicit WorkflowBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Declares an external data source.
+  WorkflowValue source(const std::string& name, SourceOptions options = {});
+
+  /// Starts configuring a new task.
+  TaskBuilder task(const std::string& name);
+
+  /// Declares a terminal consumer.
+  Status sink(const std::string& name, WorkflowValue input);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Lowers the workflow into a module: one @<name> orchestration function
+  /// in the workflow dialect plus one function per attached TensorProgram.
+  Result<ir::Module> lower() const;
+
+ private:
+  friend class TaskBuilder;
+
+  enum class NodeKind { kSource, kTask, kSink };
+  struct Node {
+    NodeKind kind;
+    std::string name;
+    std::string kernel;              // tasks
+    std::vector<int> inputs;         // node ids
+    std::vector<std::int64_t> shape; // output shape (tasks)
+    double flops = 0.0;
+    SourceOptions source_options;    // sources
+    DataAnnotations annotations;
+    std::shared_ptr<TensorProgram> program;  // optional implementation
+  };
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::string error_;
+};
+
+}  // namespace everest::dsl

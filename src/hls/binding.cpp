@@ -1,0 +1,63 @@
+#include "hls/binding.hpp"
+
+#include <algorithm>
+
+namespace everest::hls {
+
+Binding bind(const KernelLoopNest& nest, const Schedule& schedule) {
+  Binding binding;
+  binding.instance.assign(nest.nodes.size(), -1);
+
+  // Group nodes by class, sort by issue cycle (left edge), and assign the
+  // lowest-numbered instance free at that cycle.
+  std::map<OpClass, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    if (nest.nodes[i].address_only) continue;
+    by_class[nest.nodes[i].cls].push_back(i);
+  }
+  for (auto& [cls, nodes] : by_class) {
+    std::sort(nodes.begin(), nodes.end(), [&](std::size_t a, std::size_t b) {
+      return schedule.start[a] < schedule.start[b];
+    });
+    // busy_until[k] = last cycle instance k issued in.
+    std::vector<int> last_issue;
+    for (std::size_t node : nodes) {
+      const int cycle = schedule.start[node];
+      int chosen = -1;
+      for (std::size_t k = 0; k < last_issue.size(); ++k) {
+        if (last_issue[k] < cycle) {
+          chosen = static_cast<int>(k);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        chosen = static_cast<int>(last_issue.size());
+        last_issue.push_back(cycle);
+      } else {
+        last_issue[static_cast<std::size_t>(chosen)] = cycle;
+      }
+      binding.instance[node] = chosen;
+    }
+    binding.instances[cls] = static_cast<int>(last_issue.size());
+  }
+
+  // Register estimate: one 64-bit register per producer→consumer edge value
+  // that crosses at least one cycle boundary; count max live values per
+  // cycle. Values are live from producer finish to last consumer issue.
+  std::map<int, int> live_at;
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    const int produce =
+        schedule.start[i] + latency_of_node(nest, i);
+    int last_use = produce;
+    for (std::size_t succ : nest.deps.successors(i)) {
+      last_use = std::max(last_use, schedule.start[succ]);
+    }
+    for (int c = produce; c < last_use; ++c) ++live_at[c];
+  }
+  for (const auto& [cycle, live] : live_at) {
+    binding.registers = std::max(binding.registers, live);
+  }
+  return binding;
+}
+
+}  // namespace everest::hls

@@ -1,0 +1,29 @@
+// Resource binding: assigns scheduled operations to functional-unit
+// instances (left-edge over issue intervals) and estimates the registers
+// needed to carry values across cycles.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hls/cdfg.hpp"
+#include "hls/scheduling.hpp"
+
+namespace everest::hls {
+
+/// Binding of DFG nodes to functional-unit instances.
+struct Binding {
+  /// Per node: instance id within its op class (-1 for address-only ops).
+  std::vector<int> instance;
+  /// Instances allocated per class.
+  std::map<OpClass, int> instances;
+  /// 64-bit registers required to hold values live across cycle boundaries.
+  int registers = 0;
+};
+
+/// Left-edge binding on the given schedule. Pipelined units occupy their
+/// instance only at the issue cycle, so two ops share an instance iff they
+/// issue in different cycles.
+Binding bind(const KernelLoopNest& nest, const Schedule& schedule);
+
+}  // namespace everest::hls

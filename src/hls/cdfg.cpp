@@ -1,0 +1,283 @@
+#include "hls/cdfg.hpp"
+
+#include <cassert>
+
+namespace everest::hls {
+
+namespace {
+
+/// Tracks how a Value relates to the loop induction variables.
+struct AffineCtx {
+  const ir::Block* innermost = nullptr;
+  std::vector<const ir::Block*> outer;  // outer loop bodies
+  std::map<const ir::Operation*, std::size_t> node_of;
+
+  [[nodiscard]] bool is_outer_var(const ir::Value& v) const {
+    if (!v.is_block_arg()) return false;
+    for (const ir::Block* b : outer) {
+      if (v.owner_block() == b && v.index() == 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Evaluates an index expression as AffineIndex over the innermost var.
+AffineIndex analyze_affine(const ir::Value& v, const AffineCtx& ctx) {
+  AffineIndex out;
+  if (v.is_block_arg()) {
+    if (v.owner_block() == ctx.innermost && v.index() == 0) {
+      out.coeff = 1;
+      return out;
+    }
+    if (ctx.is_outer_var(v)) {
+      out.outer_terms = true;
+      return out;
+    }
+    out.analyzable = false;
+    return out;
+  }
+  const ir::Operation* def = v.defining_op();
+  if (def == nullptr) {
+    out.analyzable = false;
+    return out;
+  }
+  if (def->name() == "builtin.constant") {
+    const ir::Attribute* a = def->attr("value");
+    if (a && a->is_int()) {
+      out.constant = a->as_int();
+      return out;
+    }
+    if (a && a->is_double()) {
+      out.constant = static_cast<std::int64_t>(a->as_double());
+      return out;
+    }
+    out.analyzable = false;
+    return out;
+  }
+  if (def->name() == "kernel.binop") {
+    const std::string op = def->str_attr("op");
+    AffineIndex a = analyze_affine(def->operand(0), ctx);
+    AffineIndex b = analyze_affine(def->operand(1), ctx);
+    if (!a.analyzable || !b.analyzable) {
+      out.analyzable = false;
+      return out;
+    }
+    if (op == "add") {
+      out.coeff = a.coeff + b.coeff;
+      out.constant = a.constant + b.constant;
+      out.outer_terms = a.outer_terms || b.outer_terms;
+      return out;
+    }
+    if (op == "sub") {
+      out.coeff = a.coeff - b.coeff;
+      out.constant = a.constant - b.constant;
+      out.outer_terms = a.outer_terms || b.outer_terms;
+      return out;
+    }
+    if (op == "mul") {
+      // Affine only if one side is a pure constant.
+      const bool a_const = a.coeff == 0 && !a.outer_terms;
+      const bool b_const = b.coeff == 0 && !b.outer_terms;
+      if (a_const) {
+        out.coeff = b.coeff * a.constant;
+        out.constant = b.constant * a.constant;
+        out.outer_terms = b.outer_terms;
+        return out;
+      }
+      if (b_const) {
+        out.coeff = a.coeff * b.constant;
+        out.constant = a.constant * b.constant;
+        out.outer_terms = a.outer_terms;
+        return out;
+      }
+      out.analyzable = false;
+      return out;
+    }
+  }
+  out.analyzable = false;
+  return out;
+}
+
+/// Stable name for a memref base value.
+std::string array_name(const ir::Value& base,
+                       std::map<const ir::Operation*, int>& alloc_ids) {
+  if (base.is_block_arg()) {
+    return "arg" + std::to_string(base.index());
+  }
+  const ir::Operation* def = base.defining_op();
+  if (def != nullptr && def->name() == "kernel.alloc") {
+    auto [it, inserted] =
+        alloc_ids.emplace(def, static_cast<int>(alloc_ids.size()));
+    return "alloc" + std::to_string(it->second);
+  }
+  return "unknown";
+}
+
+/// Row-major flattened linear index of a multi-dim access.
+AffineIndex flatten_index(const ir::Operation& access, std::size_t first_index,
+                          const ir::Type& memref, const AffineCtx& ctx) {
+  AffineIndex linear;
+  std::int64_t stride = 1;
+  const auto& shape = memref.shape();
+  // Accumulate from the last dimension backwards.
+  std::vector<AffineIndex> dims;
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    dims.push_back(analyze_affine(access.operand(first_index + d), ctx));
+  }
+  for (std::size_t d = shape.size(); d-- > 0;) {
+    const AffineIndex& idx = dims[d];
+    if (!idx.analyzable) {
+      linear.analyzable = false;
+      return linear;
+    }
+    linear.coeff += idx.coeff * stride;
+    linear.constant += idx.constant * stride;
+    linear.outer_terms |= idx.outer_terms;
+    stride *= shape[d];
+  }
+  return linear;
+}
+
+/// True if the block's only non-terminator op is a nested kernel.for
+/// (perfect nesting).
+const ir::Operation* sole_nested_for(const ir::Block& body) {
+  const ir::Operation* nested = nullptr;
+  for (const auto& op : body) {
+    if (op->name() == "kernel.yield") continue;
+    if (op->name() == "kernel.for") {
+      if (nested != nullptr) return nullptr;  // two loops: not perfect
+      nested = op.get();
+    } else {
+      return nullptr;  // real work at this level: treat as innermost
+    }
+  }
+  return nested;
+}
+
+LoopInfo loop_info_of(const ir::Operation& op) {
+  LoopInfo info;
+  info.lb = op.int_attr("lb");
+  info.ub = op.int_attr("ub");
+  info.step = op.int_attr("step", 1);
+  return info;
+}
+
+Result<KernelLoopNest> build_nest(ir::Operation& top_for) {
+  KernelLoopNest nest;
+  AffineCtx ctx;
+  ir::Operation* current = &top_for;
+  ir::Block* body = nullptr;
+  while (true) {
+    nest.loops.push_back(loop_info_of(*current));
+    if (current->num_regions() != 1 || current->region(0).num_blocks() != 1) {
+      return InvalidArgument("kernel.for without a single-block body");
+    }
+    body = &current->region(0).front();
+    const ir::Operation* nested = sole_nested_for(*body);
+    if (nested == nullptr) break;
+    ctx.outer.push_back(body);
+    current = const_cast<ir::Operation*>(nested);
+  }
+  ctx.innermost = body;
+
+  // DFG nodes: every non-terminator op of the innermost body. A nested
+  // kernel.for here means an imperfect nest; reject for now (the compiler
+  // lowering only emits perfect nests).
+  std::map<const ir::Operation*, std::size_t> node_of;
+  for (const auto& op : *body) {
+    if (op->name() == "kernel.yield") continue;
+    if (op->name() == "kernel.for") {
+      return Unimplemented("imperfect loop nests are not supported by HLS");
+    }
+    DfgNode node;
+    node.op = op.get();
+    std::string detail = op->str_attr("op");
+    if (detail.empty()) detail = op->str_attr("fn");
+    node.cls = classify_op(op->name(), detail);
+    // Index arithmetic feeding only loads/stores is address generation.
+    if (node.cls == OpClass::kLogic &&
+        (op->name() == "kernel.binop" || op->name() == "builtin.constant")) {
+      node.address_only = true;
+    }
+    node_of[op.get()] = nest.nodes.size();
+    nest.nodes.push_back(node);
+  }
+  // Integer constants and index arithmetic: mark address-only when they
+  // produce index-typed values.
+  for (DfgNode& node : nest.nodes) {
+    if (node.op->num_results() == 1) {
+      const ir::Type& t = node.op->result_types()[0];
+      if (t.is_scalar() && t.elem() == ir::ScalarKind::kIndex) {
+        node.address_only = true;
+      }
+    }
+  }
+
+  nest.deps = Digraph(nest.nodes.size());
+  // Data dependencies within the body.
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    const ir::Operation* op = nest.nodes[i].op;
+    for (std::size_t k = 0; k < op->num_operands(); ++k) {
+      const ir::Value& v = op->operand(k);
+      if (v.is_op_result()) {
+        auto it = node_of.find(v.defining_op());
+        if (it != node_of.end()) nest.deps.add_edge(it->second, i);
+      }
+    }
+  }
+
+  // Memory accesses + ordering edges per array.
+  std::map<const ir::Operation*, int> alloc_ids;
+  std::map<std::string, std::vector<std::size_t>> per_array;  // access idx
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    const ir::Operation* op = nest.nodes[i].op;
+    if (op->name() != "kernel.load" && op->name() != "kernel.store") continue;
+    MemAccess acc;
+    acc.is_store = op->name() == "kernel.store";
+    const std::size_t base_idx = acc.is_store ? 1 : 0;
+    const ir::Value& base = op->operand(base_idx);
+    acc.array = array_name(base, alloc_ids);
+    acc.index = flatten_index(*op, base_idx + 1, base.type(), ctx);
+    acc.node = i;
+    acc.array_elems = base.type().num_elements();
+    acc.space = base.type().memory_space();
+    per_array[acc.array].push_back(nest.accesses.size());
+    nest.accesses.push_back(acc);
+  }
+  for (const auto& [array, access_ids] : per_array) {
+    for (std::size_t a = 0; a < access_ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < access_ids.size(); ++b) {
+        const MemAccess& first = nest.accesses[access_ids[a]];
+        const MemAccess& second = nest.accesses[access_ids[b]];
+        // Keep ordering whenever at least one is a store (RAW/WAR/WAW).
+        if (first.is_store || second.is_store) {
+          nest.deps.add_edge(first.node, second.node);
+        }
+      }
+    }
+  }
+  return nest;
+}
+
+}  // namespace
+
+std::map<OpClass, int> KernelLoopNest::op_histogram() const {
+  std::map<OpClass, int> hist;
+  for (const DfgNode& node : nodes) {
+    if (node.address_only) continue;
+    ++hist[node.cls];
+  }
+  return hist;
+}
+
+Result<std::vector<KernelLoopNest>> extract_loop_nests(ir::Function& fn) {
+  std::vector<KernelLoopNest> nests;
+  for (auto& op : fn.entry()) {
+    if (op->name() != "kernel.for") continue;
+    EVEREST_ASSIGN_OR_RETURN(KernelLoopNest nest, build_nest(*op));
+    nests.push_back(std::move(nest));
+  }
+  return nests;
+}
+
+}  // namespace everest::hls

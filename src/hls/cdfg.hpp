@@ -1,0 +1,86 @@
+// CDFG extraction: turns a kernel-dialect loop nest into the data-flow graph
+// plus memory-access summary the HLS scheduler consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/graph.hpp"
+#include "common/status.hpp"
+#include "hls/resource_library.hpp"
+#include "ir/module.hpp"
+
+namespace everest::hls {
+
+/// One loop of a perfect nest (outer → inner order in KernelLoopNest).
+struct LoopInfo {
+  std::int64_t lb = 0;
+  std::int64_t ub = 0;
+  std::int64_t step = 1;
+  [[nodiscard]] std::int64_t trip_count() const {
+    return step > 0 ? (ub - lb + step - 1) / step : 0;
+  }
+};
+
+/// Linear index expression a*i + b with respect to the innermost induction
+/// variable i. Contributions from outer induction variables are summarized
+/// by `outer_terms` (true if any outer var participates); their value is
+/// constant within one innermost-loop execution.
+struct AffineIndex {
+  std::int64_t coeff = 0;   // multiplier of the innermost var
+  std::int64_t constant = 0;
+  bool outer_terms = false;
+  bool analyzable = true;   // false: index not affine in the induction vars
+};
+
+/// One memory access in the innermost body.
+struct MemAccess {
+  std::string array;     // stable name: "argN" or "allocN"
+  bool is_store = false;
+  AffineIndex index;     // flattened (row-major) linear index
+  std::size_t node;      // DFG node id
+  std::int64_t array_elems = 0;  // total elements of the memref
+  /// Where the array lives: kOnChip arrays consume BRAM; others stream
+  /// from off-chip through the load/store units.
+  ir::MemorySpace space = ir::MemorySpace::kDefault;
+};
+
+/// One DFG node (an operation of the innermost body).
+struct DfgNode {
+  const ir::Operation* op = nullptr;
+  OpClass cls = OpClass::kLogic;
+  /// True for index-arithmetic that compiles to address generation (free
+  /// relative to the datapath; still scheduled, with kLogic cost).
+  bool address_only = false;
+};
+
+/// A perfect loop nest with its innermost-body DFG.
+struct KernelLoopNest {
+  std::vector<LoopInfo> loops;  // outer → inner
+  std::vector<DfgNode> nodes;
+  Digraph deps;                 // data + memory-ordering dependencies
+  std::vector<MemAccess> accesses;
+
+  [[nodiscard]] std::int64_t innermost_trip() const {
+    return loops.empty() ? 1 : loops.back().trip_count();
+  }
+  [[nodiscard]] std::int64_t outer_iterations() const {
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i + 1 < loops.size(); ++i) {
+      n *= loops[i].trip_count();
+    }
+    return n;
+  }
+  /// Ops per class in one innermost iteration.
+  [[nodiscard]] std::map<OpClass, int> op_histogram() const;
+};
+
+/// Extracts every top-level loop nest of a kernel function. Non-loop ops at
+/// function scope (constants, returns) are ignored; a function with no loops
+/// yields an empty vector.
+Result<std::vector<KernelLoopNest>> extract_loop_nests(ir::Function& fn);
+
+}  // namespace everest::hls

@@ -1,0 +1,59 @@
+#include "hls/crypto_cores.hpp"
+
+#include <algorithm>
+
+namespace everest::hls {
+
+const std::vector<CryptoCore>& crypto_core_catalog() {
+  // Design points in line with published AES-GCM / SHA-256 FPGA
+  // implementations: x1 = iterative, x2/x4 = partially/fully unrolled
+  // rounds, wide = multi-lane.
+  static const std::vector<CryptoCore> kCatalog = {
+      {"aes128-ctr-x1", "aes128-ctr", 1.6, 44, 3200, 2900, 2, 28.0},
+      {"aes128-ctr-x4", "aes128-ctr", 6.4, 14, 11800, 9800, 8, 24.0},
+      {"aes128-gcm-x1", "aes128-gcm", 1.45, 60, 5200, 4700, 4, 36.0},
+      {"aes128-gcm-x2", "aes128-gcm", 2.9, 36, 9400, 8600, 8, 33.0},
+      {"aes128-gcm-x4", "aes128-gcm", 5.8, 22, 17600, 16100, 16, 31.0},
+      {"aes128-gcm-wide", "aes128-gcm", 11.6, 22, 34100, 31500, 32, 30.0},
+      {"sha256-x1", "sha256", 0.94, 68, 2300, 2100, 1, 18.0},
+      {"sha256-x2", "sha256", 1.88, 36, 4300, 3900, 2, 16.5},
+  };
+  return kCatalog;
+}
+
+Result<CryptoCore> select_crypto_core(const std::string& algo,
+                                      double min_throughput_mbps,
+                                      double clock_mhz) {
+  const CryptoCore* best = nullptr;
+  for (const CryptoCore& core : crypto_core_catalog()) {
+    if (core.algo != algo) continue;
+    if (core.throughput_mbps(clock_mhz) < min_throughput_mbps) continue;
+    if (best == nullptr || core.luts < best->luts) best = &core;
+  }
+  if (best == nullptr) {
+    return NotFound("no '" + algo + "' core sustains " +
+                    std::to_string(min_throughput_mbps) + " MB/s at " +
+                    std::to_string(clock_mhz) + " MHz");
+  }
+  return *best;
+}
+
+Result<CryptoCore> select_crypto_core_best_effort(const std::string& algo,
+                                                  double min_throughput_mbps,
+                                                  double clock_mhz) {
+  auto exact = select_crypto_core(algo, min_throughput_mbps, clock_mhz);
+  if (exact.ok()) return exact;
+  const CryptoCore* fastest = nullptr;
+  for (const CryptoCore& core : crypto_core_catalog()) {
+    if (core.algo != algo) continue;
+    if (fastest == nullptr || core.bytes_per_cycle > fastest->bytes_per_cycle) {
+      fastest = &core;
+    }
+  }
+  if (fastest == nullptr) {
+    return NotFound("unknown crypto algorithm '" + algo + "'");
+  }
+  return *fastest;
+}
+
+}  // namespace everest::hls

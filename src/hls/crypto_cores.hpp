@@ -1,0 +1,50 @@
+// Catalog of cryptographic accelerator cores (paper §III-A/B: "a
+// comprehensive library of optimized accelerators for memory and near
+// memory encryption", "a library of cryptographic functions"). Each entry
+// is an area/throughput design point; selection matches application
+// requirements (throughput floor, area ceiling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace everest::hls {
+
+/// One synthesizable crypto-core design point.
+struct CryptoCore {
+  std::string name;        // "aes128-gcm-x1"
+  std::string algo;        // "aes128-gcm", "aes128-ctr", "sha256"
+  double bytes_per_cycle;  // steady-state throughput
+  int latency_cycles;      // pipeline fill latency
+  std::int64_t luts;
+  std::int64_t ffs;
+  std::int64_t brams;
+  double energy_pj_per_byte;
+
+  /// Steady-state throughput at a clock (MB/s).
+  [[nodiscard]] double throughput_mbps(double clock_mhz) const {
+    return bytes_per_cycle * clock_mhz;  // MB/s since MHz * B/cycle
+  }
+};
+
+/// All available design points (several unrolling degrees per algorithm).
+const std::vector<CryptoCore>& crypto_core_catalog();
+
+/// Smallest-area core of `algo` meeting `min_throughput_mbps` at the given
+/// clock. NOT_FOUND if no point qualifies.
+Result<CryptoCore> select_crypto_core(const std::string& algo,
+                                      double min_throughput_mbps,
+                                      double clock_mhz);
+
+/// Like select_crypto_core, but when no design point sustains the demand it
+/// returns the fastest available core of `algo` (encryption then becomes
+/// the bottleneck and the caller must serialize behind it). NOT_FOUND only
+/// for an unknown algorithm.
+Result<CryptoCore> select_crypto_core_best_effort(const std::string& algo,
+                                                  double min_throughput_mbps,
+                                                  double clock_mhz);
+
+}  // namespace everest::hls

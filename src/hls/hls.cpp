@@ -1,0 +1,219 @@
+#include "hls/hls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace everest::hls {
+
+std::string HlsConfig::summary() const {
+  std::string out = strprintf("unroll=%d ports=%d clk=%.0fMHz", unroll,
+                              mem_ports_per_array, clock_mhz);
+  if (enable_dift) out += " +dift";
+  if (!encrypt_offchip.empty()) out += " +" + encrypt_offchip;
+  return out;
+}
+
+double ResourceUsage::utilization(const FpgaDevice& device) const {
+  double u = 0.0;
+  if (device.luts > 0) u = std::max(u, double(luts) / double(device.luts));
+  if (device.ffs > 0) u = std::max(u, double(ffs) / double(device.ffs));
+  if (device.dsps > 0) u = std::max(u, double(dsps) / double(device.dsps));
+  if (device.bram_blocks > 0) {
+    u = std::max(u, double(brams) / double(device.bram_blocks));
+  }
+  return u;
+}
+
+namespace {
+
+/// TaintHLS-calibrated DIFT overhead knobs (Pilato et al., TCAD'19 report
+/// single-digit-% area and negligible latency overhead for shadow logic).
+constexpr double kDiftLutPerUnitFraction = 0.08;
+constexpr int kDiftExtraDepth = 2;
+constexpr double kDiftEnergyFraction = 0.05;
+
+struct NestCost {
+  NestReport report;
+  ResourceUsage resources;
+  double dynamic_energy_pj = 0.0;
+  double max_delay_ns = 0.0;
+};
+
+Result<NestCost> cost_nest(const KernelLoopNest& nest, const HlsConfig& config,
+                           const FpgaDevice& device) {
+  NestCost out;
+  out.report.loops = nest.loops;
+
+  const int unroll =
+      std::max<int>(1, std::min<std::int64_t>(config.unroll,
+                                              nest.innermost_trip()));
+  // Memory partitioning sized for the unrolled access group.
+  out.report.banking = plan_partitioning(nest, unroll, config.max_banks);
+
+  ResourceConstraints constraints;
+  constraints.max_units = config.max_units;
+  constraints.mem_ports_per_array = config.mem_ports_per_array;
+  EVEREST_ASSIGN_OR_RETURN(Schedule schedule,
+                           list_schedule(nest, constraints));
+  out.report.depth = schedule.length;
+
+  IiAnalysis ii = analyze_ii(nest, constraints, out.report.banking);
+  // Unrolled copies contend for banks: re-run the memory analysis with the
+  // unroll factor to get the group II.
+  for (const auto& [array, banking] : out.report.banking.arrays) {
+    const ConflictReport report =
+        analyze_conflicts(nest, array, banking, unroll);
+    ii.memory_mii = std::max(ii.memory_mii, report.required_ii);
+  }
+  out.report.ii = ii;
+
+  // Cycles: pipeline fill + one II per (grouped) iteration.
+  const std::int64_t groups =
+      (nest.innermost_trip() + unroll - 1) / std::max(1, unroll);
+  const std::int64_t inner_cycles =
+      schedule.length +
+      static_cast<std::int64_t>(ii.ii()) * std::max<std::int64_t>(0, groups - 1);
+  out.report.cycles = inner_cycles * nest.outer_iterations();
+
+  // Units: one set per unrolled copy.
+  for (const auto& [cls, count] : schedule.units) {
+    out.report.units[cls] = count * unroll;
+  }
+
+  // Area: functional units + registers + banking BRAM.
+  Binding binding = bind(nest, schedule);
+  for (const auto& [cls, count] : out.report.units) {
+    const OpProfile& p = profile_for(cls);
+    out.resources.luts += std::int64_t(p.luts) * count;
+    out.resources.ffs += std::int64_t(p.ffs) * count;
+    out.resources.dsps += std::int64_t(p.dsps) * count;
+    out.max_delay_ns = std::max(out.max_delay_ns, p.delay_ns);
+  }
+  out.resources.ffs += std::int64_t(binding.registers) * 64 * unroll;
+  // BRAM is charged for on-chip arrays only; default/device-space memrefs
+  // stream from off-chip through the load/store units.
+  std::map<std::string, std::int64_t> array_elems;
+  for (const MemAccess& acc : nest.accesses) {
+    if (acc.space == ir::MemorySpace::kOnChip) {
+      array_elems[acc.array] = acc.array_elems;
+    }
+  }
+  for (const auto& [array, elems] : array_elems) {
+    out.resources.brams +=
+        bram_blocks_for(elems, /*elem_bytes=*/8, out.report.banking.of(array));
+  }
+
+  // Dynamic energy: every executed op pays its profile energy.
+  const std::int64_t total_iters =
+      nest.innermost_trip() * nest.outer_iterations();
+  for (const auto& [cls, per_iter] : nest.op_histogram()) {
+    out.dynamic_energy_pj += profile_for(cls).energy_pj *
+                             static_cast<double>(per_iter) *
+                             static_cast<double>(total_iters) *
+                             device.dynamic_scale;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AcceleratorDesign> synthesize(ir::Function& fn, const HlsConfig& config,
+                                     const FpgaDevice& device,
+                                     std::int64_t offchip_bytes) {
+  if (config.unroll < 1) {
+    return InvalidArgument("unroll factor must be >= 1");
+  }
+  EVEREST_ASSIGN_OR_RETURN(std::vector<KernelLoopNest> nests,
+                           extract_loop_nests(fn));
+  if (nests.empty()) {
+    return FailedPrecondition("function '" + fn.name() +
+                              "' has no kernel loop nests to synthesize "
+                              "(lower tensor ops to the kernel dialect first)");
+  }
+  AcceleratorDesign design;
+  design.kernel = fn.name();
+  design.config = config;
+  design.device = device;
+
+  double max_delay_ns = 0.0;
+  double dynamic_energy_pj = 0.0;
+  for (const KernelLoopNest& nest : nests) {
+    EVEREST_ASSIGN_OR_RETURN(NestCost cost, cost_nest(nest, config, device));
+    design.estimate.total_cycles += cost.report.cycles;
+    design.estimate.resources += cost.resources;
+    dynamic_energy_pj += cost.dynamic_energy_pj;
+    max_delay_ns = std::max(max_delay_ns, cost.max_delay_ns);
+    design.nests.push_back(std::move(cost.report));
+  }
+
+  // Clock: bounded by request, device ceiling, and datapath delay.
+  double fmax = std::min(config.clock_mhz, device.max_fmax_mhz);
+  if (max_delay_ns > 0.0) fmax = std::min(fmax, 1000.0 / max_delay_ns);
+  design.estimate.fmax_mhz = fmax;
+
+  // Security: DIFT shadow logic scales the datapath area and deepens the
+  // pipeline slightly.
+  if (config.enable_dift) {
+    const auto base_luts = design.estimate.resources.luts;
+    const auto extra =
+        static_cast<std::int64_t>(std::ceil(base_luts * kDiftLutPerUnitFraction));
+    design.estimate.resources.luts += extra;
+    design.estimate.resources.ffs +=
+        static_cast<std::int64_t>(std::ceil(extra * 0.6));
+    design.security.dift_area_fraction =
+        base_luts > 0 ? double(extra) / double(base_luts) : 0.0;
+    design.security.dift_extra_depth = kDiftExtraDepth;
+    design.estimate.total_cycles += kDiftExtraDepth;
+    dynamic_energy_pj *= 1.0 + kDiftEnergyFraction;
+  }
+
+  design.estimate.latency_us =
+      design.estimate.total_cycles / design.estimate.fmax_mhz;  // cycles/MHz=us
+  design.estimate.dynamic_energy_uj = dynamic_energy_pj * 1e-6;
+
+  // Off-chip encryption through a crypto core sized to keep up with the
+  // accelerator's effective bandwidth demand.
+  if (!config.encrypt_offchip.empty() && offchip_bytes > 0) {
+    const double needed_mbps =
+        design.estimate.latency_us > 0
+            ? offchip_bytes / design.estimate.latency_us  // B/us == MB/s
+            : 100.0;
+    EVEREST_ASSIGN_OR_RETURN(
+        CryptoCore core,
+        select_crypto_core_best_effort(config.encrypt_offchip,
+                                       needed_mbps * 0.5, fmax));
+    design.security.crypto_core = core.name;
+    design.security.crypto_resources = {core.luts, core.ffs, 0, core.brams};
+    design.estimate.resources += design.security.crypto_resources;
+    const double crypto_cycles =
+        core.latency_cycles + double(offchip_bytes) / core.bytes_per_cycle;
+    const double crypto_time_us = crypto_cycles / fmax;
+    // Encryption overlaps the datapath; the exposed tail is at least a
+    // quarter of the crypto time, and all of the excess when the core
+    // cannot keep up with the accelerator.
+    design.security.crypto_latency_us =
+        std::max(0.25 * crypto_time_us,
+                 crypto_time_us - design.estimate.latency_us);
+    design.estimate.latency_us += design.security.crypto_latency_us;
+    design.estimate.dynamic_energy_uj +=
+        core.energy_pj_per_byte * double(offchip_bytes) * 1e-6;
+  }
+
+  design.estimate.static_energy_uj =
+      device.static_power_w * design.estimate.latency_us;  // W*us = uJ
+
+  if (!design.estimate.resources.fits(device)) {
+    return ResourceExhausted(strprintf(
+        "design for '%s' (%s) exceeds device %s: %lld LUT / %lld DSP / %lld "
+        "BRAM needed",
+        fn.name().c_str(), config.summary().c_str(), device.name.c_str(),
+        static_cast<long long>(design.estimate.resources.luts),
+        static_cast<long long>(design.estimate.resources.dsps),
+        static_cast<long long>(design.estimate.resources.brams)));
+  }
+  return design;
+}
+
+}  // namespace everest::hls

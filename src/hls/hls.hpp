@@ -1,0 +1,120 @@
+// Top-level HLS entry point (Bambu-style, paper §III-B): synthesizes a
+// kernel-dialect function into an accelerator design with cycle/area/energy
+// estimates, optional DIFT security instrumentation, and optional off-chip
+// encryption via a crypto core.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hls/binding.hpp"
+#include "hls/cdfg.hpp"
+#include "hls/crypto_cores.hpp"
+#include "hls/memory.hpp"
+#include "hls/resource_library.hpp"
+#include "hls/scheduling.hpp"
+#include "ir/module.hpp"
+
+namespace everest::hls {
+
+/// Knobs for one hardware variant.
+struct HlsConfig {
+  /// Innermost-loop unroll factor (copies issued per II).
+  int unroll = 1;
+  /// Memory ports visible per array per cycle (pre-partitioning).
+  int mem_ports_per_array = 2;
+  /// Functional-unit ceilings; empty = bounded only by the device.
+  std::map<OpClass, int> max_units;
+  /// Target clock (capped by the device and datapath delay).
+  double clock_mhz = 250.0;
+  /// Maximum banks the partitioner may use per array.
+  int max_banks = 16;
+  /// TaintHLS-style dynamic information flow tracking.
+  bool enable_dift = false;
+  /// Encrypt all off-chip traffic with this algo ("" = off).
+  std::string encrypt_offchip;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Aggregate FPGA resource usage.
+struct ResourceUsage {
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t dsps = 0;
+  std::int64_t brams = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& other) {
+    luts += other.luts;
+    ffs += other.ffs;
+    dsps += other.dsps;
+    brams += other.brams;
+    return *this;
+  }
+  /// True if this fits within the device.
+  [[nodiscard]] bool fits(const FpgaDevice& device) const {
+    return luts <= device.luts && ffs <= device.ffs && dsps <= device.dsps &&
+           brams <= device.bram_blocks;
+  }
+  /// Max fractional utilization across resource kinds.
+  [[nodiscard]] double utilization(const FpgaDevice& device) const;
+};
+
+/// Per-loop-nest synthesis report.
+struct NestReport {
+  std::vector<LoopInfo> loops;
+  IiAnalysis ii;
+  int depth = 0;                 // pipeline depth of one iteration
+  std::int64_t cycles = 0;       // total cycles for the whole nest
+  BankingPlan banking;
+  std::map<OpClass, int> units;  // per unrolled iteration group
+};
+
+/// Whole-accelerator estimate.
+struct AcceleratorEstimate {
+  std::int64_t total_cycles = 0;
+  double fmax_mhz = 0.0;
+  double latency_us = 0.0;
+  ResourceUsage resources;
+  double dynamic_energy_uj = 0.0;
+  double static_energy_uj = 0.0;
+  [[nodiscard]] double energy_uj() const {
+    return dynamic_energy_uj + static_energy_uj;
+  }
+  /// Effective power (W) over the run.
+  [[nodiscard]] double power_w() const {
+    return latency_us > 0 ? energy_uj() / latency_us : 0.0;
+  }
+};
+
+/// Overheads attributable to security features (filled when enabled).
+struct SecurityOverheads {
+  double dift_area_fraction = 0.0;    // extra LUTs / baseline LUTs
+  int dift_extra_depth = 0;           // extra pipeline stages
+  double crypto_latency_us = 0.0;     // off-chip encryption time
+  ResourceUsage crypto_resources;
+  std::string crypto_core;            // selected core name
+};
+
+/// A fully synthesized hardware variant.
+struct AcceleratorDesign {
+  std::string kernel;
+  HlsConfig config;
+  FpgaDevice device;
+  std::vector<NestReport> nests;
+  AcceleratorEstimate estimate;
+  SecurityOverheads security;
+};
+
+/// Synthesizes `fn` (kernel dialect) for `device` under `config`.
+/// `offchip_bytes` is the data volume moved across the off-chip boundary
+/// per invocation (drives the encryption overhead when enabled).
+/// Fails with RESOURCE_EXHAUSTED if the design does not fit the device.
+Result<AcceleratorDesign> synthesize(ir::Function& fn, const HlsConfig& config,
+                                     const FpgaDevice& device,
+                                     std::int64_t offchip_bytes = 0);
+
+}  // namespace everest::hls

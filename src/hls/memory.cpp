@@ -1,0 +1,143 @@
+#include "hls/memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace everest::hls {
+
+std::string_view to_string(PartitionType type) {
+  switch (type) {
+    case PartitionType::kNone: return "none";
+    case PartitionType::kCyclic: return "cyclic";
+    case PartitionType::kBlock: return "block";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int64_t bank_of(std::int64_t elem, std::int64_t elems_total,
+                     const ArrayBanking& banking) {
+  if (banking.banks <= 1) return 0;
+  switch (banking.type) {
+    case PartitionType::kNone: return 0;
+    case PartitionType::kCyclic: {
+      std::int64_t b = elem % banking.banks;
+      return b < 0 ? b + banking.banks : b;
+    }
+    case PartitionType::kBlock: {
+      const std::int64_t block =
+          std::max<std::int64_t>(1, (elems_total + banking.banks - 1) /
+                                        banking.banks);
+      return std::clamp<std::int64_t>(elem / block, 0, banking.banks - 1);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+ConflictReport analyze_conflicts(const KernelLoopNest& nest,
+                                 const std::string& array,
+                                 const ArrayBanking& banking, int unroll) {
+  ConflictReport report;
+  std::vector<const MemAccess*> accesses;
+  for (const MemAccess& acc : nest.accesses) {
+    if (acc.array == array) accesses.push_back(&acc);
+  }
+  report.accesses = static_cast<int>(accesses.size()) * unroll;
+  if (accesses.empty()) return report;
+
+  // Worst case: every unrolled access hits the same bank.
+  auto conservative_result = [&] {
+    report.conservative = true;
+    report.max_accesses_per_bank = report.accesses;
+    report.required_ii = static_cast<int>(
+        (report.accesses + banking.ports_per_bank - 1) /
+        banking.ports_per_bank);
+    return report;
+  };
+
+  // Count per-bank pressure for the unrolled iteration group. Outer-loop
+  // contributions shift all cyclic banks uniformly when shared, so we
+  // evaluate at outer offset 0; a residual `conservative` flag marks
+  // non-affine indices. A loop-invariant address (coeff == 0) is fetched
+  // once and broadcast to every unrolled copy, so duplicate (load, elem)
+  // pairs collapse; stores to the same element still serialize.
+  std::map<std::int64_t, int> per_bank;
+  std::set<std::pair<bool, std::int64_t>> seen_loads;
+  int unique_accesses = 0;
+  const bool offchip = accesses.front()->space != ir::MemorySpace::kOnChip;
+  for (const MemAccess* acc : accesses) {
+    if (!acc->index.analyzable) return conservative_result();
+    for (int u = 0; u < unroll; ++u) {
+      const std::int64_t elem =
+          acc->index.coeff * u + acc->index.constant;
+      if (!acc->is_store && !seen_loads.insert({false, elem}).second) {
+        continue;  // broadcast of an already-fetched element
+      }
+      ++unique_accesses;
+      ++per_bank[bank_of(elem, acc->array_elems, banking)];
+    }
+  }
+  for (const auto& [bank, count] : per_bank) {
+    report.max_accesses_per_bank =
+        std::max(report.max_accesses_per_bank, count);
+  }
+  if (offchip) {
+    // Off-chip arrays stream through a wide AXI-style channel: the limit is
+    // burst width (elements per cycle), not BRAM ports.
+    constexpr int kBurstElemsPerCycle = 8;  // 512-bit bus, f64 elements
+    report.required_ii =
+        (unique_accesses + kBurstElemsPerCycle - 1) / kBurstElemsPerCycle;
+  } else {
+    report.required_ii =
+        (report.max_accesses_per_bank + banking.ports_per_bank - 1) /
+        banking.ports_per_bank;
+  }
+  report.required_ii = std::max(report.required_ii, 1);
+  return report;
+}
+
+BankingPlan plan_partitioning(const KernelLoopNest& nest, int unroll,
+                              int max_banks) {
+  BankingPlan plan;
+  std::map<std::string, bool> arrays;
+  for (const MemAccess& acc : nest.accesses) arrays[acc.array] = true;
+
+  for (const auto& [array, unused] : arrays) {
+    ArrayBanking best;
+    int best_ii = analyze_conflicts(nest, array, best, unroll).required_ii;
+    for (int banks = 2; banks <= max_banks && best_ii > 1; banks *= 2) {
+      for (PartitionType type : {PartitionType::kCyclic, PartitionType::kBlock}) {
+        ArrayBanking candidate{type, banks, 2};
+        const int ii = analyze_conflicts(nest, array, candidate, unroll)
+                           .required_ii;
+        if (ii < best_ii) {
+          best = candidate;
+          best_ii = ii;
+        }
+        if (best_ii == 1) break;
+      }
+    }
+    plan.arrays[array] = best;
+  }
+  return plan;
+}
+
+std::int64_t bram_blocks_for(std::int64_t array_elems, std::int64_t elem_bytes,
+                             const ArrayBanking& banking) {
+  // One BRAM block ≈ 36 Kib = 4.5 KiB of storage.
+  constexpr std::int64_t kBlockBytes = 4608;
+  const std::int64_t banks = std::max(1, banking.banks);
+  const std::int64_t bytes_per_bank =
+      (array_elems * elem_bytes + banks - 1) / banks;
+  const std::int64_t blocks_per_bank =
+      std::max<std::int64_t>(1, (bytes_per_bank + kBlockBytes - 1) / kBlockBytes);
+  const std::int64_t replication =
+      std::max(1, (banking.ports_per_bank + 1) / 2);
+  return banks * blocks_per_bank * replication;
+}
+
+}  // namespace everest::hls

@@ -1,0 +1,73 @@
+// On-chip memory partitioning (paper §III-B: "polyhedral-based
+// transformations, multi-port memories and dedicated micro-architectures to
+// schedule the memory accesses"). Implements cyclic/block partitioning with
+// Wang–Li–Cong-style bank-conflict analysis for affine accesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/cdfg.hpp"
+
+namespace everest::hls {
+
+enum class PartitionType : std::uint8_t { kNone, kCyclic, kBlock };
+
+std::string_view to_string(PartitionType type);
+
+/// Partitioning decision for one array.
+struct ArrayBanking {
+  PartitionType type = PartitionType::kNone;
+  int banks = 1;
+  /// Ports per bank (BRAM offers 2; >2 implies replication, which the
+  /// estimator charges for).
+  int ports_per_bank = 2;
+};
+
+/// Partitioning decisions for every array touched by a loop nest.
+struct BankingPlan {
+  std::map<std::string, ArrayBanking> arrays;
+
+  [[nodiscard]] const ArrayBanking& of(const std::string& array) const {
+    static const ArrayBanking kDefault;
+    auto it = arrays.find(array);
+    return it == arrays.end() ? kDefault : it->second;
+  }
+};
+
+/// Result of conflict analysis for one array under a banking choice.
+struct ConflictReport {
+  /// Worst-case simultaneous accesses directed at one bank in one
+  /// initiation interval (1 = conflict-free given one port).
+  int max_accesses_per_bank = 0;
+  /// Cycles the accesses force between loop iterations: ceil(max/ports).
+  int required_ii = 1;
+  /// Total accesses analyzed.
+  int accesses = 0;
+  /// True if any access was non-affine (analysis fell back to worst case).
+  bool conservative = false;
+};
+
+/// Analyzes bank conflicts for `array` among the accesses of `nest`,
+/// assuming the loop is unrolled by `unroll` (consecutive iterations issue
+/// together). Bank of element e: cyclic ⇒ e mod banks; block ⇒
+/// floor(e / ceil(elems/banks)).
+ConflictReport analyze_conflicts(const KernelLoopNest& nest,
+                                 const std::string& array,
+                                 const ArrayBanking& banking, int unroll);
+
+/// Chooses a banking plan: smallest bank count (power of two up to
+/// `max_banks`, trying cyclic then block) that brings every array's
+/// required II to 1 at the given unroll factor; falls back to the best
+/// found. BRAM cost grows with banks, so smaller is better.
+BankingPlan plan_partitioning(const KernelLoopNest& nest, int unroll,
+                              int max_banks = 16);
+
+/// BRAM blocks consumed by an array under a banking decision (each bank is
+/// at least one block; replication for >2 ports multiplies).
+std::int64_t bram_blocks_for(std::int64_t array_elems, std::int64_t elem_bytes,
+                             const ArrayBanking& banking);
+
+}  // namespace everest::hls

@@ -1,0 +1,93 @@
+#include "hls/resource_library.hpp"
+
+namespace everest::hls {
+
+const OpProfile& profile_for(OpClass cls) {
+  // f64 datapath profiles: latency/area in line with vendor floating-point
+  // core datasheets at ~250 MHz.
+  static const OpProfile kAdd{OpClass::kAdd, 3, 1, 3.2, 700, 900, 3, 18.0};
+  static const OpProfile kMul{OpClass::kMul, 4, 1, 3.5, 250, 420, 11, 35.0};
+  static const OpProfile kDiv{OpClass::kDiv, 28, 1, 3.8, 3200, 3600, 0, 120.0};
+  static const OpProfile kSpecial{OpClass::kSpecial, 22, 1, 3.6, 2600, 2900,
+                                  9, 95.0};
+  static const OpProfile kLoad{OpClass::kLoad, 2, 1, 2.4, 60, 80, 0, 12.0};
+  static const OpProfile kStore{OpClass::kStore, 1, 1, 2.4, 40, 60, 0, 12.0};
+  static const OpProfile kCast{OpClass::kCast, 1, 1, 1.8, 90, 120, 0, 4.0};
+  static const OpProfile kLogic{OpClass::kLogic, 1, 1, 1.5, 30, 40, 0, 2.0};
+  switch (cls) {
+    case OpClass::kAdd: return kAdd;
+    case OpClass::kMul: return kMul;
+    case OpClass::kDiv: return kDiv;
+    case OpClass::kSpecial: return kSpecial;
+    case OpClass::kLoad: return kLoad;
+    case OpClass::kStore: return kStore;
+    case OpClass::kCast: return kCast;
+    case OpClass::kLogic: return kLogic;
+  }
+  return kLogic;
+}
+
+OpClass classify_op(std::string_view op_name, std::string_view detail) {
+  if (op_name == "kernel.load") return OpClass::kLoad;
+  if (op_name == "kernel.store") return OpClass::kStore;
+  if (op_name == "kernel.cast") return OpClass::kCast;
+  if (op_name == "kernel.binop") {
+    if (detail == "mul") return OpClass::kMul;
+    if (detail == "div") return OpClass::kDiv;
+    if (detail == "and" || detail == "or" || detail == "xor" ||
+        detail == "mod") {
+      return OpClass::kLogic;
+    }
+    return OpClass::kAdd;  // add/sub/min/max/cmp share the adder class
+  }
+  if (op_name == "kernel.unop") {
+    if (detail == "neg" || detail == "abs") return OpClass::kAdd;
+    return OpClass::kSpecial;
+  }
+  if (op_name == "builtin.constant") return OpClass::kLogic;
+  return OpClass::kLogic;
+}
+
+FpgaDevice FpgaDevice::cloudfpga_ku060() {
+  FpgaDevice d;
+  d.name = "cloudFPGA-KU060";
+  d.luts = 331000;
+  d.ffs = 663000;
+  d.dsps = 2760;
+  d.bram_kib = 38000;
+  d.bram_blocks = 1080;
+  d.max_fmax_mhz = 250.0;
+  d.static_power_w = 8.0;
+  d.dynamic_scale = 1.0;
+  return d;
+}
+
+FpgaDevice FpgaDevice::p9_vu9p() {
+  FpgaDevice d;
+  d.name = "P9-VU9P";
+  d.luts = 1182000;
+  d.ffs = 2364000;
+  d.dsps = 6840;
+  d.bram_kib = 75900;
+  d.bram_blocks = 2160;
+  d.max_fmax_mhz = 300.0;
+  d.static_power_w = 20.0;
+  d.dynamic_scale = 1.0;
+  return d;
+}
+
+FpgaDevice FpgaDevice::edge_zu7ev() {
+  FpgaDevice d;
+  d.name = "Edge-ZU7EV";
+  d.luts = 230000;
+  d.ffs = 461000;
+  d.dsps = 1728;
+  d.bram_kib = 11000;
+  d.bram_blocks = 312;
+  d.max_fmax_mhz = 200.0;
+  d.static_power_w = 3.0;
+  d.dynamic_scale = 0.8;  // smaller process node configuration
+  return d;
+}
+
+}  // namespace everest::hls

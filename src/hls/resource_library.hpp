@@ -1,0 +1,76 @@
+// FPGA operator library and device models for the HLS engine (paper §III-B:
+// Bambu-style HLS with "hardware estimations for code-snippets").
+//
+// Latencies/areas are calibrated to typical mid-range FPGA operator
+// implementations (DSP48-based f64 arithmetic, LUTRAM/BRAM memories); the
+// SDK needs *relative* estimates to rank design points, not sign-off timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace everest::hls {
+
+/// Operation classes the scheduler understands.
+enum class OpClass : std::uint8_t {
+  kAdd,      // f64 add/sub/min/max/compare
+  kMul,      // f64 multiply
+  kDiv,      // f64 divide
+  kSpecial,  // exp/log/sqrt/tanh/sigmoid (CORDIC/poly cores)
+  kLoad,     // memory read
+  kStore,    // memory write
+  kCast,     // width/type conversion
+  kLogic,    // integer/bit ops, index arithmetic
+};
+
+/// Per-operator implementation characteristics.
+struct OpProfile {
+  OpClass cls;
+  /// Pipeline latency in cycles.
+  int latency = 1;
+  /// Initiation interval of the unit itself (1 = fully pipelined).
+  int unit_ii = 1;
+  /// Combinational delay in ns (limits fmax).
+  double delay_ns = 2.0;
+  /// Area cost of one unit instance.
+  int luts = 0;
+  int ffs = 0;
+  int dsps = 0;
+  /// Dynamic energy per operation (pJ).
+  double energy_pj = 10.0;
+};
+
+/// Returns the profile for an op class (f64 datapath).
+const OpProfile& profile_for(OpClass cls);
+
+/// Maps a kernel-dialect operation name + attribute to an op class.
+/// `detail` carries the binop kind or unop fn name.
+OpClass classify_op(std::string_view op_name, std::string_view detail);
+
+/// An FPGA device model (capacity + clocking + power).
+struct FpgaDevice {
+  std::string name;
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t dsps = 0;
+  /// Total BRAM capacity in KiB and number of independent BRAM blocks
+  /// (each block offers two ports).
+  std::int64_t bram_kib = 0;
+  std::int64_t bram_blocks = 0;
+  /// Achievable clock ceiling (MHz) for well-pipelined designs.
+  double max_fmax_mhz = 300.0;
+  /// Static power (W) and a dynamic scale factor applied to datapath energy.
+  double static_power_w = 2.0;
+  double dynamic_scale = 1.0;
+
+  /// Presets used across the EVEREST target system (paper §V).
+  /// cloudFPGA-style network-attached device (Kintex UltraScale).
+  static FpgaDevice cloudfpga_ku060();
+  /// CAPI/OpenCAPI bus-attached card on the POWER9 node (Virtex UltraScale+).
+  static FpgaDevice p9_vu9p();
+  /// Edge-class device (Zynq UltraScale+).
+  static FpgaDevice edge_zu7ev();
+};
+
+}  // namespace everest::hls

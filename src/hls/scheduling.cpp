@@ -1,0 +1,218 @@
+#include "hls/scheduling.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace everest::hls {
+
+namespace {
+
+int latency_of(const DfgNode& node) {
+  return node.address_only ? 1 : profile_for(node.cls).latency;
+}
+
+std::map<OpClass, int> count_units(const KernelLoopNest& nest,
+                                   const std::vector<int>& start) {
+  // Fully pipelined units: an instance is busy at its issue cycle only, so
+  // instances required = max simultaneous issues per class.
+  std::map<OpClass, std::map<int, int>> issues;
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    if (nest.nodes[i].address_only) continue;
+    ++issues[nest.nodes[i].cls][start[i]];
+  }
+  std::map<OpClass, int> units;
+  for (const auto& [cls, by_cycle] : issues) {
+    int peak = 0;
+    for (const auto& [cycle, n] : by_cycle) peak = std::max(peak, n);
+    units[cls] = peak;
+  }
+  return units;
+}
+
+}  // namespace
+
+Schedule schedule_asap(const KernelLoopNest& nest) {
+  Schedule s;
+  s.start.assign(nest.nodes.size(), 0);
+  auto order = nest.deps.topological_order();
+  if (!order) return s;  // cyclic (should not happen); all at 0
+  for (std::size_t n : *order) {
+    for (std::size_t succ : nest.deps.successors(n)) {
+      s.start[succ] =
+          std::max(s.start[succ],
+                   s.start[n] + latency_of(nest.nodes[n]));
+    }
+  }
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    s.length = std::max(s.length, s.start[i] + latency_of(nest.nodes[i]));
+  }
+  s.units = count_units(nest, s.start);
+  return s;
+}
+
+Schedule schedule_alap(const KernelLoopNest& nest, int deadline) {
+  Schedule s;
+  s.start.assign(nest.nodes.size(), 0);
+  auto order = nest.deps.topological_order();
+  if (!order) return s;
+  // Initialize each node to its latest finish = deadline.
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    s.start[i] = deadline - latency_of(nest.nodes[i]);
+  }
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const std::size_t n = *it;
+    for (std::size_t succ : nest.deps.successors(n)) {
+      s.start[n] = std::min(s.start[n],
+                            s.start[succ] - latency_of(nest.nodes[n]));
+    }
+    s.start[n] = std::max(s.start[n], 0);
+  }
+  s.length = deadline;
+  s.units = count_units(nest, s.start);
+  return s;
+}
+
+std::vector<int> slack(const KernelLoopNest& nest) {
+  Schedule asap = schedule_asap(nest);
+  Schedule alap = schedule_alap(nest, asap.length);
+  std::vector<int> out(nest.nodes.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = alap.start[i] - asap.start[i];
+  }
+  return out;
+}
+
+Result<Schedule> list_schedule(const KernelLoopNest& nest,
+                               const ResourceConstraints& constraints) {
+  const std::size_t n = nest.nodes.size();
+  Schedule s;
+  s.start.assign(n, -1);
+  if (n == 0) return s;
+  auto order = nest.deps.topological_order();
+  if (!order) return InvalidArgument("DFG has a dependency cycle");
+  const std::vector<int> node_slack = slack(nest);
+
+  std::vector<std::size_t> unscheduled_preds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    unscheduled_preds[i] = nest.deps.in_degree(i);
+  }
+  // Ready list ordered by (slack, id) — least slack first (critical path).
+  auto cmp = [&](std::size_t a, std::size_t b) {
+    if (node_slack[a] != node_slack[b]) return node_slack[a] > node_slack[b];
+    return a > b;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
+      ready(cmp);
+  std::vector<int> earliest(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (unscheduled_preds[i] == 0) ready.push(i);
+  }
+
+  // usage[cycle][class] = issues already placed.
+  std::map<int, std::map<OpClass, int>> usage;
+  // Memory-port usage per cycle per array.
+  std::map<int, std::map<std::string, int>> mem_usage;
+  std::map<std::size_t, const MemAccess*> access_of_node;
+  for (const MemAccess& acc : nest.accesses) access_of_node[acc.node] = &acc;
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const std::size_t node = ready.top();
+    ready.pop();
+    const DfgNode& dn = nest.nodes[node];
+    int cycle = earliest[node];
+    if (!dn.address_only) {
+      auto unit_limit = [&]() -> int {
+        auto it = constraints.max_units.find(dn.cls);
+        return it == constraints.max_units.end() ? 1 << 30 : it->second;
+      }();
+      while (true) {
+        bool fits = usage[cycle][dn.cls] < unit_limit;
+        if (fits && access_of_node.count(node) > 0) {
+          const MemAccess* acc = access_of_node[node];
+          fits = mem_usage[cycle][acc->array] <
+                 constraints.mem_ports_per_array;
+        }
+        if (fits) break;
+        ++cycle;
+      }
+      ++usage[cycle][dn.cls];
+      if (access_of_node.count(node) > 0) {
+        ++mem_usage[cycle][access_of_node[node]->array];
+      }
+    }
+    s.start[node] = cycle;
+    ++scheduled;
+    const int finish = cycle + latency_of(dn);
+    s.length = std::max(s.length, finish);
+    for (std::size_t succ : nest.deps.successors(node)) {
+      earliest[succ] = std::max(earliest[succ], finish);
+      if (--unscheduled_preds[succ] == 0) ready.push(succ);
+    }
+  }
+  if (scheduled != n) return Internal("list scheduler dropped nodes");
+  s.units = count_units(nest, s.start);
+  return s;
+}
+
+IiAnalysis analyze_ii(const KernelLoopNest& nest,
+                      const ResourceConstraints& constraints,
+                      const BankingPlan& banking) {
+  IiAnalysis out;
+
+  // Resource MII: ops of a class per iteration / available units.
+  for (const auto& [cls, count] : nest.op_histogram()) {
+    auto it = constraints.max_units.find(cls);
+    if (it == constraints.max_units.end() || it->second <= 0) continue;
+    out.resource_mii = std::max(
+        out.resource_mii, (count + it->second - 1) / it->second);
+  }
+
+  // Memory MII: per-array conflict analysis under the banking plan.
+  std::map<std::string, bool> arrays;
+  for (const MemAccess& acc : nest.accesses) arrays[acc.array] = true;
+  for (const auto& [array, unused] : arrays) {
+    const ConflictReport report =
+        analyze_conflicts(nest, array, banking.of(array), /*unroll=*/1);
+    out.memory_mii = std::max(out.memory_mii, report.required_ii);
+  }
+
+  // Recurrence MII: a load and a store on the same array whose linear index
+  // does not advance with the innermost variable (coeff == 0) form a
+  // loop-carried dependence (e.g. an accumulator); the II must cover the
+  // latency of the path load → ... → store.
+  for (const MemAccess& load : nest.accesses) {
+    if (load.is_store || load.index.coeff != 0 || !load.index.analyzable) {
+      continue;
+    }
+    for (const MemAccess& store : nest.accesses) {
+      if (!store.is_store || store.array != load.array) continue;
+      if (!store.index.analyzable || store.index.coeff != 0) continue;
+      if (store.index.constant != load.index.constant) continue;
+      // Longest latency path from the load node to the store node.
+      std::vector<int> dist(nest.nodes.size(), -1);
+      dist[load.node] = latency_of_node(nest, load.node);
+      auto order = nest.deps.topological_order();
+      if (!order) continue;
+      for (std::size_t n : *order) {
+        if (dist[n] < 0) continue;
+        for (std::size_t succ : nest.deps.successors(n)) {
+          dist[succ] =
+              std::max(dist[succ], dist[n] + latency_of_node(nest, succ));
+        }
+      }
+      if (dist[store.node] > 0) {
+        out.recurrence_mii = std::max(out.recurrence_mii, dist[store.node]);
+      }
+    }
+  }
+  return out;
+}
+
+int latency_of_node(const KernelLoopNest& nest, std::size_t node) {
+  return nest.nodes[node].address_only
+             ? 1
+             : profile_for(nest.nodes[node].cls).latency;
+}
+
+}  // namespace everest::hls

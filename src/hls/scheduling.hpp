@@ -1,0 +1,63 @@
+// HLS operation scheduling: ASAP / ALAP / resource-constrained list
+// scheduling, plus initiation-interval analysis for pipelined loops.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hls/cdfg.hpp"
+#include "hls/memory.hpp"
+
+namespace everest::hls {
+
+/// Resource budget the scheduler must respect (per innermost iteration).
+struct ResourceConstraints {
+  /// Max functional-unit instances per class (missing key = unlimited).
+  std::map<OpClass, int> max_units;
+  /// Memory ports available per array per cycle (after partitioning).
+  int mem_ports_per_array = 2;
+};
+
+/// A cycle-accurate schedule of one innermost-loop body.
+struct Schedule {
+  std::vector<int> start;   // per DFG node, issue cycle
+  int length = 0;           // makespan in cycles (depth of one iteration)
+  /// Units actually required per class (max concurrent issues).
+  std::map<OpClass, int> units;
+};
+
+/// Unconstrained as-soon-as-possible schedule.
+Schedule schedule_asap(const KernelLoopNest& nest);
+
+/// As-late-as-possible within `deadline` (use asap.length for min-latency).
+Schedule schedule_alap(const KernelLoopNest& nest, int deadline);
+
+/// Slack per node (ALAP start − ASAP start); drives list-scheduling priority.
+std::vector<int> slack(const KernelLoopNest& nest);
+
+/// Resource-constrained list scheduling (priority = min slack).
+Result<Schedule> list_schedule(const KernelLoopNest& nest,
+                               const ResourceConstraints& constraints);
+
+/// Initiation-interval analysis for pipelined execution of the innermost
+/// loop: II = max(resource MII, memory MII, recurrence MII).
+struct IiAnalysis {
+  int resource_mii = 1;
+  int memory_mii = 1;
+  int recurrence_mii = 1;
+  [[nodiscard]] int ii() const {
+    return std::max(resource_mii, std::max(memory_mii, recurrence_mii));
+  }
+};
+
+/// `banking` describes the memory partitioning in force (bank count/type per
+/// array); pass the result of plan_partitioning().
+IiAnalysis analyze_ii(const KernelLoopNest& nest,
+                      const ResourceConstraints& constraints,
+                      const BankingPlan& banking);
+
+/// Latency in cycles of one DFG node (1 for address-only logic).
+int latency_of_node(const KernelLoopNest& nest, std::size_t node);
+
+}  // namespace everest::hls

@@ -1,0 +1,142 @@
+#include "ir/attribute.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace everest::ir {
+
+Attribute Attribute::boolean(bool v) {
+  Attribute a;
+  a.kind_ = Kind::kBool;
+  a.bool_ = v;
+  return a;
+}
+
+Attribute Attribute::integer(std::int64_t v) {
+  Attribute a;
+  a.kind_ = Kind::kInt;
+  a.int_ = v;
+  return a;
+}
+
+Attribute Attribute::real(double v) {
+  Attribute a;
+  a.kind_ = Kind::kDouble;
+  a.double_ = v;
+  return a;
+}
+
+Attribute Attribute::string(std::string v) {
+  Attribute a;
+  a.kind_ = Kind::kString;
+  a.string_ = std::move(v);
+  return a;
+}
+
+Attribute Attribute::type(Type t) {
+  Attribute a;
+  a.kind_ = Kind::kType;
+  a.type_ = std::move(t);
+  return a;
+}
+
+Attribute Attribute::array(std::vector<Attribute> items) {
+  Attribute a;
+  a.kind_ = Kind::kArray;
+  a.array_ = std::make_shared<const std::vector<Attribute>>(std::move(items));
+  return a;
+}
+
+Attribute Attribute::dense_f64(std::vector<double> values) {
+  Attribute a;
+  a.kind_ = Kind::kDenseF64;
+  a.dense_ = std::make_shared<const std::vector<double>>(std::move(values));
+  return a;
+}
+
+Attribute Attribute::int_array(const std::vector<std::int64_t>& values) {
+  std::vector<Attribute> items;
+  items.reserve(values.size());
+  for (std::int64_t v : values) items.push_back(integer(v));
+  return array(std::move(items));
+}
+
+std::vector<std::int64_t> Attribute::as_int_array() const {
+  assert(is_array());
+  std::vector<std::int64_t> out;
+  out.reserve(array_->size());
+  for (const Attribute& a : *array_) {
+    assert(a.is_int());
+    out.push_back(a.as_int());
+  }
+  return out;
+}
+
+bool Attribute::operator==(const Attribute& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kUnit: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kInt: return int_ == other.int_;
+    case Kind::kDouble: return double_ == other.double_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kType: return type_ == other.type_;
+    case Kind::kArray: return *array_ == *other.array_;
+    case Kind::kDenseF64: return *dense_ == *other.dense_;
+  }
+  return false;
+}
+
+std::string Attribute::to_string() const {
+  switch (kind_) {
+    case Kind::kUnit: return "unit";
+    case Kind::kBool: return bool_ ? "true" : "false";
+    case Kind::kInt: return std::to_string(int_);
+    case Kind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      // Ensure a decimal marker so the parser can tell double from int.
+      std::string s(buf);
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case Kind::kString: {
+      std::string out = "\"";
+      for (char c : string_) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+    case Kind::kType: return type_.to_string();
+    case Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_->size(); ++i) {
+        if (i) out += ", ";
+        out += (*array_)[i].to_string();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::kDenseF64: {
+      std::string out = "dense<";
+      const std::size_t n = dense_->size();
+      for (std::size_t i = 0; i < n && i < 8; ++i) {
+        if (i) out += ", ";
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%g", (*dense_)[i]);
+        out += buf;
+      }
+      if (n > 8) out += ", ...";
+      out += "> (" + std::to_string(n) + " values)";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace everest::ir

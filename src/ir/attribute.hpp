@@ -1,0 +1,74 @@
+// IR attributes: compile-time-constant metadata attached to operations.
+// EVEREST uses attributes to carry the DSL annotations the paper relies on
+// (data characteristics, security requirements, variant knobs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace everest::ir {
+
+/// Immutable attribute value: unit (flag), bool, int, double, string,
+/// type, array of attributes, or dense f64 data.
+class Attribute {
+ public:
+  enum class Kind : std::uint8_t {
+    kUnit, kBool, kInt, kDouble, kString, kType, kArray, kDenseF64,
+  };
+
+  Attribute() : kind_(Kind::kUnit) {}
+  static Attribute unit() { return Attribute(); }
+  static Attribute boolean(bool v);
+  static Attribute integer(std::int64_t v);
+  static Attribute real(double v);
+  static Attribute string(std::string v);
+  static Attribute type(Type t);
+  static Attribute array(std::vector<Attribute> items);
+  static Attribute dense_f64(std::vector<double> values);
+  static Attribute int_array(const std::vector<std::int64_t>& values);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_unit() const { return kind_ == Kind::kUnit; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_double() const { return kind_ == Kind::kDouble; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_type() const { return kind_ == Kind::kType; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_dense_f64() const { return kind_ == Kind::kDenseF64; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] double as_double() const { return double_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Type& as_type() const { return type_; }
+  [[nodiscard]] const std::vector<Attribute>& as_array() const { return *array_; }
+  [[nodiscard]] const std::vector<double>& as_dense_f64() const { return *dense_; }
+  /// Array-of-int accessor (asserts each element is an int attribute).
+  [[nodiscard]] std::vector<std::int64_t> as_int_array() const;
+
+  bool operator==(const Attribute& other) const;
+  bool operator!=(const Attribute& other) const { return !(*this == other); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Type type_;
+  std::shared_ptr<const std::vector<Attribute>> array_;
+  std::shared_ptr<const std::vector<double>> dense_;
+};
+
+/// Ordered name → attribute map attached to every operation.
+using AttrMap = std::map<std::string, Attribute>;
+
+}  // namespace everest::ir

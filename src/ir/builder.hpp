@@ -1,0 +1,76 @@
+// OpBuilder: convenience API for constructing IR, with an insertion point
+// into a block. All DSL front-ends build IR through this class.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace everest::ir {
+
+/// Builds operations at a movable insertion point (defaults to block end).
+class OpBuilder {
+ public:
+  explicit OpBuilder(Block* block = nullptr) { set_insertion_point(block); }
+
+  void set_insertion_point(Block* block) {
+    block_ = block;
+    index_ = block ? block->size() : 0;
+  }
+  void set_insertion_point(Block* block, std::size_t index) {
+    block_ = block;
+    index_ = index;
+  }
+  [[nodiscard]] Block* insertion_block() const { return block_; }
+
+  /// Creates and inserts a generic operation; returns a reference to it.
+  Operation& create(std::string name, std::vector<Value> operands,
+                    std::vector<Type> result_types, AttrMap attributes = {}) {
+    auto op = std::make_unique<Operation>(std::move(name), std::move(operands),
+                                          std::move(result_types),
+                                          std::move(attributes));
+    Operation& ref = block_->insert(index_, std::move(op));
+    ++index_;
+    return ref;
+  }
+
+  /// Single-result shorthand returning the result value.
+  Value create_value(std::string name, std::vector<Value> operands,
+                     Type result_type, AttrMap attributes = {}) {
+    return create(std::move(name), std::move(operands), {std::move(result_type)},
+                  std::move(attributes))
+        .result(0);
+  }
+
+  // -- Builtin dialect helpers ---------------------------------------------
+
+  /// `builtin.constant` with a dense payload (rank-0 scalar or tensor).
+  Value constant_f64(double value) {
+    return create_value("builtin.constant", {}, Type::f64(),
+                        {{"value", Attribute::real(value)}});
+  }
+  Value constant_index(std::int64_t value) {
+    return create_value("builtin.constant", {}, Type::index(),
+                        {{"value", Attribute::integer(value)}});
+  }
+
+  /// `builtin.return` terminator.
+  Operation& ret(std::vector<Value> values = {}) {
+    return create("builtin.return", std::move(values), {});
+  }
+
+  /// `builtin.call` to a module-level function.
+  Operation& call(const std::string& callee, std::vector<Value> operands,
+                  std::vector<Type> result_types) {
+    return create("builtin.call", std::move(operands), std::move(result_types),
+                  {{"callee", Attribute::string(callee)}});
+  }
+
+ private:
+  Block* block_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+}  // namespace everest::ir

@@ -1,0 +1,397 @@
+#include "ir/dialect.hpp"
+
+#include <algorithm>
+
+namespace everest::ir {
+
+DialectRegistry& DialectRegistry::instance() {
+  static DialectRegistry registry;
+  return registry;
+}
+
+void DialectRegistry::register_op(OpDef def) {
+  ops_[def.name] = std::move(def);
+}
+
+const OpDef* DialectRegistry::lookup(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+bool DialectRegistry::has_dialect(std::string_view dialect) const {
+  const std::string prefix = std::string(dialect) + ".";
+  auto it = ops_.lower_bound(prefix);
+  return it != ops_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string> DialectRegistry::registered_ops() const {
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& [name, def] : ops_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+Status op_error(const Operation& op, const std::string& what) {
+  return InvalidArgument("op '" + op.name() + "': " + what);
+}
+
+Status verify_elementwise_binary(const Operation& op) {
+  const Type& a = op.operand(0).type();
+  const Type& b = op.operand(1).type();
+  if (a != b) {
+    return op_error(op, "operand types differ: " + a.to_string() + " vs " +
+                            b.to_string());
+  }
+  if (op.result_types()[0] != a) {
+    return op_error(op, "result type must match operand type");
+  }
+  return OkStatus();
+}
+
+Status verify_matmul(const Operation& op) {
+  const Type& a = op.operand(0).type();
+  const Type& b = op.operand(1).type();
+  const Type& r = op.result_types()[0];
+  if (!a.is_tensor() || !b.is_tensor() || !r.is_tensor()) {
+    return op_error(op, "operands/result must be tensors");
+  }
+  if (a.rank() != 2 || b.rank() != 2 || r.rank() != 2) {
+    return op_error(op, "matmul requires rank-2 tensors");
+  }
+  if (a.shape()[1] != b.shape()[0]) {
+    return op_error(op, "inner dimensions disagree");
+  }
+  if (r.shape()[0] != a.shape()[0] || r.shape()[1] != b.shape()[1]) {
+    return op_error(op, "result shape must be MxN");
+  }
+  return OkStatus();
+}
+
+Status verify_transpose(const Operation& op) {
+  const Type& in = op.operand(0).type();
+  const Type& out = op.result_types()[0];
+  if (!in.is_tensor() || !out.is_tensor()) {
+    return op_error(op, "transpose operates on tensors");
+  }
+  const Attribute* perm = op.attr("perm");
+  if (!perm || !perm->is_array()) return op_error(op, "needs 'perm' array attr");
+  const auto p = perm->as_int_array();
+  if (p.size() != in.rank()) return op_error(op, "perm rank mismatch");
+  std::vector<bool> seen(p.size(), false);
+  for (std::int64_t x : p) {
+    if (x < 0 || static_cast<std::size_t>(x) >= p.size() ||
+        seen[static_cast<std::size_t>(x)]) {
+      return op_error(op, "perm is not a permutation");
+    }
+    seen[static_cast<std::size_t>(x)] = true;
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (out.shape()[i] != in.shape()[static_cast<std::size_t>(p[i])]) {
+      return op_error(op, "result shape does not match permutation");
+    }
+  }
+  return OkStatus();
+}
+
+Status verify_reshape(const Operation& op) {
+  const Type& in = op.operand(0).type();
+  const Type& out = op.result_types()[0];
+  if (!in.is_shaped() || !out.is_shaped()) {
+    return op_error(op, "reshape operates on shaped types");
+  }
+  if (in.num_elements() != out.num_elements()) {
+    return op_error(op, "element count must be preserved");
+  }
+  return OkStatus();
+}
+
+Status verify_reduce(const Operation& op) {
+  const Type& in = op.operand(0).type();
+  if (!in.is_tensor()) return op_error(op, "reduce operates on tensors");
+  const std::string kind = op.str_attr("kind");
+  if (kind != "sum" && kind != "max" && kind != "min" && kind != "mean") {
+    return op_error(op, "kind must be one of sum/max/min/mean");
+  }
+  return OkStatus();
+}
+
+Status verify_map(const Operation& op) {
+  static const char* kFns[] = {"relu", "exp",  "log",     "sqrt", "tanh",
+                               "sigmoid", "abs", "neg", "square"};
+  const std::string fn = op.str_attr("fn");
+  if (std::none_of(std::begin(kFns), std::end(kFns),
+                   [&](const char* f) { return fn == f; })) {
+    return op_error(op, "unknown map fn '" + fn + "'");
+  }
+  if (op.operand(0).type() != op.result_types()[0]) {
+    return op_error(op, "map preserves its operand type");
+  }
+  return OkStatus();
+}
+
+Status verify_for(const Operation& op) {
+  if (op.num_regions() != 1 || op.region(0).num_blocks() != 1) {
+    return op_error(op, "kernel.for needs exactly one single-block region");
+  }
+  const Block& body = op.region(0).front();
+  if (body.num_args() != 1 || !body.arg_types()[0].is_scalar() ||
+      body.arg_types()[0].elem() != ScalarKind::kIndex) {
+    return op_error(op, "body block must take one index argument");
+  }
+  if (body.empty() || body.back().name() != "kernel.yield") {
+    return op_error(op, "body must end with kernel.yield");
+  }
+  const std::int64_t lb = op.int_attr("lb");
+  const std::int64_t ub = op.int_attr("ub");
+  const std::int64_t step = op.int_attr("step", 1);
+  if (step <= 0) return op_error(op, "step must be positive");
+  if (ub < lb) return op_error(op, "ub must be >= lb");
+  return OkStatus();
+}
+
+Status verify_load(const Operation& op) {
+  const Type& mem = op.operand(0).type();
+  if (!mem.is_memref()) return op_error(op, "first operand must be a memref");
+  if (op.num_operands() != 1 + mem.rank()) {
+    return op_error(op, "index count must equal memref rank");
+  }
+  for (std::size_t i = 1; i < op.num_operands(); ++i) {
+    const Type& t = op.operand(i).type();
+    if (!t.is_scalar() || t.elem() != ScalarKind::kIndex) {
+      return op_error(op, "indices must have index type");
+    }
+  }
+  return OkStatus();
+}
+
+Status verify_store(const Operation& op) {
+  const Type& mem = op.operand(1).type();
+  if (!mem.is_memref()) return op_error(op, "second operand must be a memref");
+  if (op.num_operands() != 2 + mem.rank()) {
+    return op_error(op, "index count must equal memref rank");
+  }
+  return OkStatus();
+}
+
+Status verify_binop(const Operation& op) {
+  static const char* kOps[] = {"add", "sub", "mul", "div", "mod", "min", "max",
+                               "and", "or", "xor", "cmplt", "cmple"};
+  const std::string kind = op.str_attr("op");
+  if (std::none_of(std::begin(kOps), std::end(kOps),
+                   [&](const char* o) { return kind == o; })) {
+    return op_error(op, "unknown binop '" + kind + "'");
+  }
+  return OkStatus();
+}
+
+Status verify_task(const Operation& op) {
+  if (op.str_attr("kernel").empty()) {
+    return op_error(op, "task needs a non-empty 'kernel' symbol attr");
+  }
+  return OkStatus();
+}
+
+Status verify_offload(const Operation& op) {
+  const std::string link = op.str_attr("link");
+  if (link != "opencapi" && link != "network" && link != "local") {
+    return op_error(op, "link must be opencapi/network/local");
+  }
+  return OkStatus();
+}
+
+Status verify_crypto(const Operation& op) {
+  const std::string algo = op.str_attr("algo");
+  if (algo != "aes128-gcm" && algo != "aes128-ctr" && algo != "sha256") {
+    return op_error(op, "algo must be aes128-gcm/aes128-ctr/sha256");
+  }
+  return OkStatus();
+}
+
+void register_builtin() {
+  auto& r = DialectRegistry::instance();
+  r.register_op({.name = "builtin.constant",
+                 .min_operands = 0,
+                 .max_operands = 0,
+                 .num_results = 1,
+                 .required_attrs = {"value"}});
+  r.register_op({.name = "builtin.return",
+                 .num_results = 0,
+                 .is_terminator = true});
+  r.register_op({.name = "builtin.call", .required_attrs = {"callee"}});
+}
+
+void register_workflow() {
+  auto& r = DialectRegistry::instance();
+  // A computational task in the HyperLoom-style workflow; `kernel` names the
+  // module-level function that implements it. Data-characteristic and
+  // security annotations ride along as attributes.
+  r.register_op({.name = "workflow.task",
+                 .required_attrs = {"kernel"},
+                 .verify = verify_task});
+  // An external data source (sensor stream, weather ensemble feed, FCD feed).
+  r.register_op({.name = "workflow.source",
+                 .min_operands = 0,
+                 .max_operands = 0,
+                 .num_results = 1,
+                 .required_attrs = {"name"}});
+  // A terminal consumer of workflow outputs.
+  r.register_op({.name = "workflow.sink",
+                 .min_operands = 1,
+                 .num_results = 0,
+                 .required_attrs = {"name"}});
+}
+
+void register_tensor() {
+  auto& r = DialectRegistry::instance();
+  auto binary = [&](const char* name) {
+    r.register_op({.name = name,
+                   .min_operands = 2,
+                   .max_operands = 2,
+                   .num_results = 1,
+                   .verify = verify_elementwise_binary});
+  };
+  binary("tensor.add");
+  binary("tensor.sub");
+  binary("tensor.mul");
+  binary("tensor.div");
+  r.register_op({.name = "tensor.constant",
+                 .min_operands = 0,
+                 .max_operands = 0,
+                 .num_results = 1,
+                 .required_attrs = {"value"}});
+  r.register_op({.name = "tensor.scale",
+                 .min_operands = 2,
+                 .max_operands = 2,
+                 .num_results = 1});
+  r.register_op({.name = "tensor.matmul",
+                 .min_operands = 2,
+                 .max_operands = 2,
+                 .num_results = 1,
+                 .verify = verify_matmul});
+  // Generalized einsum-style contraction, e.g. spec = "ij,jk->ik".
+  r.register_op({.name = "tensor.contract",
+                 .min_operands = 1,
+                 .num_results = 1,
+                 .required_attrs = {"spec"}});
+  r.register_op({.name = "tensor.map",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1,
+                 .required_attrs = {"fn"},
+                 .verify = verify_map});
+  r.register_op({.name = "tensor.reduce",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1,
+                 .required_attrs = {"kind"},
+                 .verify = verify_reduce});
+  r.register_op({.name = "tensor.transpose",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1,
+                 .required_attrs = {"perm"},
+                 .verify = verify_transpose});
+  r.register_op({.name = "tensor.reshape",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1,
+                 .verify = verify_reshape});
+  r.register_op({.name = "tensor.broadcast",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1});
+}
+
+void register_kernel() {
+  auto& r = DialectRegistry::instance();
+  r.register_op({.name = "kernel.alloc",
+                 .min_operands = 0,
+                 .max_operands = 0,
+                 .num_results = 1});
+  r.register_op({.name = "kernel.for",
+                 .min_operands = 0,
+                 .max_operands = 0,
+                 .num_results = 0,
+                 .num_regions = 1,
+                 .required_attrs = {"lb", "ub"},
+                 .verify = verify_for});
+  r.register_op({.name = "kernel.load",
+                 .min_operands = 1,
+                 .num_results = 1,
+                 .verify = verify_load});
+  r.register_op({.name = "kernel.store",
+                 .min_operands = 2,
+                 .num_results = 0,
+                 .verify = verify_store});
+  r.register_op({.name = "kernel.binop",
+                 .min_operands = 2,
+                 .max_operands = 2,
+                 .num_results = 1,
+                 .required_attrs = {"op"},
+                 .verify = verify_binop});
+  r.register_op({.name = "kernel.unop",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1,
+                 .required_attrs = {"fn"}});
+  r.register_op({.name = "kernel.cast",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1});
+  r.register_op({.name = "kernel.yield",
+                 .num_results = 0,
+                 .is_terminator = true});
+}
+
+void register_hw() {
+  auto& r = DialectRegistry::instance();
+  // Marks a kernel function instance configured as a hardware accelerator.
+  r.register_op({.name = "hw.accel",
+                 .required_attrs = {"kernel"}});
+  // Dispatches data to an accelerator over a given link (paper Fig. 4).
+  r.register_op({.name = "hw.offload",
+                 .required_attrs = {"kernel", "link"},
+                 .verify = verify_offload});
+  // TaintHLS-style dynamic information flow tracking checkpoint.
+  r.register_op({.name = "hw.dift_check",
+                 .min_operands = 1,
+                 .num_results = 0});
+  r.register_op({.name = "hw.encrypt",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1,
+                 .required_attrs = {"algo"},
+                 .verify = verify_crypto});
+  r.register_op({.name = "hw.decrypt",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1,
+                 .required_attrs = {"algo"},
+                 .verify = verify_crypto});
+  r.register_op({.name = "hw.stream_read",
+                 .min_operands = 1,
+                 .max_operands = 1,
+                 .num_results = 1});
+  r.register_op({.name = "hw.stream_write",
+                 .min_operands = 2,
+                 .max_operands = 2,
+                 .num_results = 0});
+}
+
+}  // namespace
+
+void register_everest_dialects() {
+  static const bool once = [] {
+    register_builtin();
+    register_workflow();
+    register_tensor();
+    register_kernel();
+    register_hw();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace everest::ir

@@ -1,0 +1,58 @@
+// Dialect registry. Each operation name ("dialect.mnemonic") is registered
+// with structural constraints and an optional semantic verifier, mirroring
+// MLIR's ODS role. The EVEREST dialects (workflow, tensor, kernel, hw) are
+// registered by register_everest_dialects().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ir/operation.hpp"
+
+namespace everest::ir {
+
+/// Structural + semantic definition of one operation.
+struct OpDef {
+  std::string name;
+  /// Operand count bounds; max < 0 means unbounded.
+  int min_operands = 0;
+  int max_operands = -1;
+  /// Result count; < 0 means any.
+  int num_results = -1;
+  /// Region count; < 0 means any.
+  int num_regions = 0;
+  /// Terminators must be the last operation of their block.
+  bool is_terminator = false;
+  /// Attributes that must be present.
+  std::vector<std::string> required_attrs;
+  /// Optional semantic verifier (types, attribute contents).
+  std::function<Status(const Operation&)> verify;
+};
+
+/// Process-wide registry of op definitions, keyed by full op name.
+class DialectRegistry {
+ public:
+  static DialectRegistry& instance();
+
+  /// Registers an op definition; re-registration overwrites (idempotent
+  /// registration of the same dialect is allowed).
+  void register_op(OpDef def);
+
+  [[nodiscard]] const OpDef* lookup(const std::string& name) const;
+  [[nodiscard]] bool has_dialect(std::string_view dialect) const;
+  [[nodiscard]] std::vector<std::string> registered_ops() const;
+
+ private:
+  DialectRegistry() = default;
+  std::map<std::string, OpDef> ops_;
+};
+
+/// Registers builtin + workflow + tensor + kernel + hw dialects. Safe to
+/// call multiple times.
+void register_everest_dialects();
+
+}  // namespace everest::ir

@@ -1,0 +1,31 @@
+#include "ir/module.hpp"
+
+namespace everest::ir {
+
+Result<Function*> Module::add_function(std::string name, Type function_type) {
+  if (!function_type.is_function()) {
+    return InvalidArgument("function '" + name + "' needs a function type");
+  }
+  if (find(name) != nullptr) {
+    return AlreadyExists("function '" + name + "' already defined");
+  }
+  functions_.push_back(
+      std::make_unique<Function>(std::move(name), std::move(function_type)));
+  return functions_.back().get();
+}
+
+Function* Module::find(std::string_view name) {
+  for (auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+const Function* Module::find(std::string_view name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace everest::ir

@@ -1,0 +1,107 @@
+// Module and Function: the top-level IR containers. A Module corresponds to
+// one EVEREST application (a workflow plus its kernels); Functions hold
+// either workflow orchestration ops or kernel-level ops.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ir/operation.hpp"
+
+namespace everest::ir {
+
+/// A named function with a single-region body whose entry block carries the
+/// function arguments.
+class Function {
+ public:
+  Function(std::string name, Type function_type)
+      : name_(std::move(name)), type_(std::move(function_type)) {
+    body_.emplace_block(type_.signature().inputs);
+  }
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Type& type() const { return type_; }
+  [[nodiscard]] const std::vector<Type>& input_types() const {
+    return type_.signature().inputs;
+  }
+  [[nodiscard]] const std::vector<Type>& result_types() const {
+    return type_.signature().results;
+  }
+
+  [[nodiscard]] Region& body() { return body_; }
+  [[nodiscard]] const Region& body() const { return body_; }
+  [[nodiscard]] Block& entry() { return body_.front(); }
+  [[nodiscard]] const Block& entry() const { return body_.front(); }
+  [[nodiscard]] Value arg(unsigned i) { return entry().arg(i); }
+
+  [[nodiscard]] const AttrMap& attributes() const { return attributes_; }
+  [[nodiscard]] AttrMap& attributes() { return attributes_; }
+  void set_attr(std::string key, Attribute value) {
+    attributes_[std::move(key)] = std::move(value);
+  }
+  [[nodiscard]] const Attribute* attr(const std::string& key) const {
+    auto it = attributes_.find(key);
+    return it == attributes_.end() ? nullptr : &it->second;
+  }
+
+  /// Walks all operations in the body, pre-order, including nested regions.
+  void walk(const std::function<void(Operation&)>& fn) {
+    for (auto& block : body_) {
+      for (auto& op : *block) op->walk(fn);
+    }
+  }
+
+ private:
+  std::string name_;
+  Type type_;
+  Region body_;
+  AttrMap attributes_;
+};
+
+/// A compilation unit: named functions plus module-level attributes.
+class Module {
+ public:
+  explicit Module(std::string name = "module") : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  // Moves are safe: functions are held by pointer and never relocate.
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Creates a function; fails on duplicate names.
+  Result<Function*> add_function(std::string name, Type function_type);
+
+  [[nodiscard]] Function* find(std::string_view name);
+  [[nodiscard]] const Function* find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t num_functions() const { return functions_.size(); }
+  [[nodiscard]] Function& function(std::size_t i) { return *functions_[i]; }
+  [[nodiscard]] const Function& function(std::size_t i) const {
+    return *functions_[i];
+  }
+
+  auto begin() { return functions_.begin(); }
+  auto end() { return functions_.end(); }
+  [[nodiscard]] auto begin() const { return functions_.begin(); }
+  [[nodiscard]] auto end() const { return functions_.end(); }
+
+  [[nodiscard]] AttrMap& attributes() { return attributes_; }
+  [[nodiscard]] const AttrMap& attributes() const { return attributes_; }
+
+  void walk(const std::function<void(Operation&)>& fn) {
+    for (auto& f : functions_) f->walk(fn);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  AttrMap attributes_;
+};
+
+}  // namespace everest::ir

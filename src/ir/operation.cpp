@@ -1,0 +1,71 @@
+#include "ir/operation.hpp"
+
+namespace everest::ir {
+
+Block& Region::emplace_block(std::vector<Type> arg_types) {
+  blocks_.push_back(std::make_unique<Block>(std::move(arg_types)));
+  return *blocks_.back();
+}
+
+Operation& Block::append(std::unique_ptr<Operation> op) {
+  op->set_parent(this);
+  ops_.push_back(std::move(op));
+  return *ops_.back();
+}
+
+Operation& Block::insert(std::size_t index, std::unique_ptr<Operation> op) {
+  assert(index <= ops_.size());
+  op->set_parent(this);
+  auto it = ops_.insert(ops_.begin() + static_cast<std::ptrdiff_t>(index),
+                        std::move(op));
+  return **it;
+}
+
+void Block::erase(std::size_t index) {
+  assert(index < ops_.size());
+  ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+std::unique_ptr<Operation> Block::take(std::size_t index) {
+  assert(index < ops_.size());
+  std::unique_ptr<Operation> out = std::move(ops_[index]);
+  ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(index));
+  out->set_parent(nullptr);
+  return out;
+}
+
+std::size_t Block::index_of(const Operation* op) const {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].get() == op) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void Operation::walk(const std::function<void(Operation&)>& fn) {
+  fn(*this);
+  for (auto& region : regions_) {
+    for (auto& block : *region) {
+      for (auto& op : *block) op->walk(fn);
+    }
+  }
+}
+
+std::size_t replace_all_uses(Block& block, const Value& from, const Value& to) {
+  std::size_t count = 0;
+  for (auto& op : block) {
+    for (std::size_t i = 0; i < op->num_operands(); ++i) {
+      if (op->operand(i) == from) {
+        op->set_operand(i, to);
+        ++count;
+      }
+    }
+    for (std::size_t r = 0; r < op->num_regions(); ++r) {
+      for (auto& nested : op->region(r)) {
+        count += replace_all_uses(*nested, from, to);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace everest::ir

@@ -1,0 +1,19 @@
+// Parser for the textual IR form produced by printer.hpp (round-trip).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "ir/module.hpp"
+
+namespace everest::ir {
+
+/// Parses a textual module. On success the returned module verifies iff the
+/// printed module verified.
+Result<std::unique_ptr<Module>> parse_module(std::string_view text);
+
+/// Parses a standalone type, e.g. "tensor<4x8xf64>".
+Result<Type> parse_type(std::string_view text);
+
+}  // namespace everest::ir

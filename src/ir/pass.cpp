@@ -1,0 +1,41 @@
+#include "ir/pass.hpp"
+
+#include "common/logging.hpp"
+#include "ir/verifier.hpp"
+
+namespace everest::ir {
+
+Status PassManager::run(Module& module) {
+  records_.clear();
+  for (const auto& pass : passes_) {
+    PassRecord record;
+    record.pass_name = std::string(pass->name());
+    const auto start = std::chrono::steady_clock::now();
+    Status st = pass->run(module);
+    const auto end = std::chrono::steady_clock::now();
+    record.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    record.ok = st.ok();
+    if (!st.ok()) {
+      record.error = st.message();
+      records_.push_back(std::move(record));
+      return st;
+    }
+    if (verify_each_) {
+      Status vst = verify(module);
+      if (!vst.ok()) {
+        record.ok = false;
+        record.error = "post-pass verification failed: " + vst.message();
+        records_.push_back(record);
+        return Internal("pass '" + record.pass_name + "' broke the IR: " +
+                        vst.message());
+      }
+    }
+    EVEREST_LOG(kDebug, "pass") << record.pass_name << " took "
+                                << record.millis << " ms";
+    records_.push_back(std::move(record));
+  }
+  return OkStatus();
+}
+
+}  // namespace everest::ir

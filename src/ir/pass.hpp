@@ -1,0 +1,58 @@
+// Pass infrastructure: module passes, a pass manager with instrumentation
+// (timing + optional verification between passes), mirroring the middle-end
+// of the EVEREST compilation flow (paper Fig. 1).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ir/module.hpp"
+
+namespace everest::ir {
+
+/// Base class for module-level transformations.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual Status run(Module& module) = 0;
+};
+
+/// Timing/result record for one pass execution.
+struct PassRecord {
+  std::string pass_name;
+  double millis = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs a pipeline of passes; optionally verifies the IR after each pass.
+class PassManager {
+ public:
+  explicit PassManager(bool verify_each = true) : verify_each_(verify_each) {}
+
+  PassManager& add(std::unique_ptr<Pass> pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+
+  template <typename P, typename... Args>
+  PassManager& add(Args&&... args) {
+    return add(std::make_unique<P>(std::forward<Args>(args)...));
+  }
+
+  /// Runs all passes in order; stops at the first failure.
+  Status run(Module& module);
+
+  [[nodiscard]] const std::vector<PassRecord>& records() const { return records_; }
+
+ private:
+  bool verify_each_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<PassRecord> records_;
+};
+
+}  // namespace everest::ir

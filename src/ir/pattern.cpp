@@ -1,0 +1,65 @@
+#include "ir/pattern.hpp"
+
+#include <algorithm>
+
+namespace everest::ir {
+
+namespace {
+
+/// One sweep over a block (recursing into regions); returns true on change.
+bool sweep_block(Block& root, Block& block,
+                 const std::vector<RewritePattern*>& sorted) {
+  bool changed = false;
+  // Scan ops; after any rewrite restart the scan of this block, since
+  // indices may have shifted.
+  bool restart = true;
+  while (restart) {
+    restart = false;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      for (RewritePattern* pattern : sorted) {
+        PatternRewriter rewriter(block);
+        rewriter.set_root(root);
+        if (pattern->match_and_rewrite(block, i, rewriter)) {
+          changed = true;
+          restart = true;
+          break;
+        }
+      }
+      if (restart) break;
+      // Recurse into regions of the (unchanged) op.
+      Operation& op = block.op(i);
+      for (std::size_t r = 0; r < op.num_regions(); ++r) {
+        for (auto& nested : op.region(r)) {
+          changed |= sweep_block(root, *nested, sorted);
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool apply_patterns_greedily(
+    Function& fn, const std::vector<std::unique_ptr<RewritePattern>>& patterns,
+    int max_iterations) {
+  std::vector<RewritePattern*> sorted;
+  sorted.reserve(patterns.size());
+  for (const auto& p : patterns) sorted.push_back(p.get());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const RewritePattern* a, const RewritePattern* b) {
+                     return a->benefit() > b->benefit();
+                   });
+  bool any_change = false;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (auto& block : fn.body()) {
+      changed |= sweep_block(fn.entry(), *block, sorted);
+    }
+    any_change |= changed;
+    if (!changed) break;
+  }
+  return any_change;
+}
+
+}  // namespace everest::ir

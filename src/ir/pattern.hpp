@@ -1,0 +1,62 @@
+// Rewrite patterns and a greedy driver, the mechanism behind the EVEREST
+// code-variant transformations (paper §III-B).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace everest::ir {
+
+/// Mutation interface handed to patterns; tracks whether anything changed
+/// and provides block-local edit helpers.
+class PatternRewriter {
+ public:
+  explicit PatternRewriter(Block& block) : block_(&block) {}
+
+  [[nodiscard]] Block& block() { return *block_; }
+
+  /// Replaces all uses of op's result `index` (searching from the block
+  /// root given at construction) and marks the IR changed.
+  void replace_uses(const Value& from, const Value& to) {
+    replace_all_uses(*root_, from, to);
+    changed_ = true;
+  }
+
+  /// Erases the op at `index` in the current block.
+  void erase_op(std::size_t index) {
+    block_->erase(index);
+    changed_ = true;
+  }
+
+  void mark_changed() { changed_ = true; }
+  [[nodiscard]] bool changed() const { return changed_; }
+
+  void set_root(Block& root) { root_ = &root; }
+
+ private:
+  Block* block_;
+  Block* root_ = nullptr;
+  bool changed_ = false;
+};
+
+/// One local rewrite. `match_and_rewrite` inspects the op at `index` inside
+/// `block`; on a match it edits and returns true (the driver restarts scan).
+class RewritePattern {
+ public:
+  virtual ~RewritePattern() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Higher benefit patterns are tried first.
+  [[nodiscard]] virtual int benefit() const { return 1; }
+  virtual bool match_and_rewrite(Block& block, std::size_t index,
+                                 PatternRewriter& rewriter) = 0;
+};
+
+/// Applies patterns greedily to every block of a function until fixpoint
+/// (bounded by `max_iterations` sweeps). Returns true if the IR changed.
+bool apply_patterns_greedily(
+    Function& fn, const std::vector<std::unique_ptr<RewritePattern>>& patterns,
+    int max_iterations = 32);
+
+}  // namespace everest::ir

@@ -1,0 +1,111 @@
+// Minimal discrete-event simulation core used by the platform executor and
+// the workflow engine: an event queue plus counted resources with FIFO
+// waiters. Times are in microseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace everest::platform {
+
+/// Event-driven simulator. Deterministic: ties in time break by insertion
+/// order.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` us from now (delay >= 0).
+  void schedule(double delay, Callback fn) {
+    events_.push(Event{now_ + (delay < 0 ? 0 : delay), seq_++, std::move(fn)});
+  }
+
+  /// Runs until the queue drains or `until` (us) is reached.
+  /// Returns the number of events executed.
+  std::size_t run(double until = 1e300) {
+    std::size_t executed = 0;
+    while (!events_.empty()) {
+      const Event& top = events_.top();
+      if (top.time > until) break;
+      // Copy out before pop: callbacks may schedule new events.
+      Callback fn = top.fn;
+      now_ = top.time;
+      events_.pop();
+      fn();
+      ++executed;
+    }
+    if (events_.empty() && now_ < until) {
+      // Time only advances with events.
+    }
+    return executed;
+  }
+
+  [[nodiscard]] bool idle() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+/// A counted resource (k identical servers) with FIFO waiting.
+class SimResource {
+ public:
+  SimResource(Simulator& sim, int capacity)
+      : sim_(&sim), capacity_(capacity) {}
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiters_.size(); }
+
+  /// Requests one server; `on_granted` runs (via the simulator, zero delay)
+  /// once a server is available.
+  void acquire(Simulator::Callback on_granted) {
+    if (in_use_ < capacity_) {
+      ++in_use_;
+      sim_->schedule(0, std::move(on_granted));
+    } else {
+      waiters_.push(std::move(on_granted));
+    }
+  }
+
+  /// Returns one server; hands it to the first waiter if any.
+  void release() {
+    if (!waiters_.empty()) {
+      Simulator::Callback next = std::move(waiters_.front());
+      waiters_.pop();
+      sim_->schedule(0, std::move(next));
+    } else {
+      --in_use_;
+    }
+  }
+
+  /// Busy-time accounting helper: total server-us of completed holds.
+  void add_busy_time(double us) { busy_us_ += us; }
+  [[nodiscard]] double busy_us() const { return busy_us_; }
+  /// Utilization over a horizon.
+  [[nodiscard]] double utilization(double horizon_us) const {
+    return horizon_us > 0 ? busy_us_ / (horizon_us * capacity_) : 0.0;
+  }
+
+ private:
+  Simulator* sim_;
+  int capacity_;
+  int in_use_ = 0;
+  std::queue<Simulator::Callback> waiters_;
+  double busy_us_ = 0.0;
+};
+
+}  // namespace everest::platform

@@ -1,0 +1,90 @@
+#include "platform/executor.hpp"
+
+namespace everest::platform {
+
+namespace {
+
+/// Transfer cost of pulling the variant's inputs from their home node.
+double remote_pull_us(const PlatformSpec& platform, const NodeSpec& node,
+                      const compiler::Variant& variant,
+                      const ExecutionContext& ctx) {
+  if (ctx.data_home.empty() || ctx.data_home == node.name) return 0.0;
+  const NodeSpec* home = platform.find(ctx.data_home);
+  if (home == nullptr) return 0.0;
+  const LinkModel link = platform.link_between(*home, node);
+  return link.transfer_us(variant.bytes_in * ctx.volume_scale);
+}
+
+}  // namespace
+
+Result<ExecutionBreakdown> execute_on_cpu(const PlatformSpec& platform,
+                                          const NodeSpec& node,
+                                          const compiler::Variant& variant,
+                                          const ExecutionContext& ctx) {
+  if (variant.target != compiler::TargetKind::kCpu) {
+    return InvalidArgument("variant '" + variant.id + "' targets FPGA");
+  }
+  ExecutionBreakdown out;
+  out.transfer_in_us = remote_pull_us(platform, node, variant, ctx);
+  // The metadata's latency was estimated on the generator's CPU model;
+  // rescale by relative peak throughput for this node's CPU.
+  const compiler::CpuModel& cpu = node.cpu;
+  const double gen_peak =
+      compiler::CpuModel::power9().peak_gflops_per_core *
+      compiler::CpuModel::power9().cores;
+  const double node_peak = cpu.peak_gflops_per_core * cpu.cores;
+  const double scale = node_peak > 0 ? gen_peak / node_peak : 1.0;
+  out.compute_us = variant.latency_us * scale;
+  out.energy_uj = variant.energy_uj * scale *
+                  (cpu.active_power_w /
+                   compiler::CpuModel::power9().active_power_w);
+  return out;
+}
+
+Result<ExecutionBreakdown> execute_on_fpga(const PlatformSpec& platform,
+                                           NodeSpec& node, FpgaSlot& slot,
+                                           const compiler::Variant& variant,
+                                           const ExecutionContext& ctx) {
+  if (variant.target != compiler::TargetKind::kFpga) {
+    return InvalidArgument("variant '" + variant.id + "' targets CPU");
+  }
+  if (variant.device != slot.device.name) {
+    return FailedPrecondition("variant '" + variant.id + "' synthesized for " +
+                              variant.device + ", slot has " +
+                              slot.device.name);
+  }
+  ExecutionBreakdown out;
+  out.transfer_in_us = remote_pull_us(platform, node, variant, ctx);
+  out.transfer_in_us +=
+      slot.link.transfer_us(variant.bytes_in * ctx.volume_scale);
+  out.transfer_out_us =
+      slot.link.transfer_us(variant.bytes_out * ctx.volume_scale);
+  if (ctx.allow_reconfig) {
+    out.reconfig_us = slot.reconfig_us(variant.kernel);
+    slot.current_role = variant.kernel;
+  } else if (slot.current_role != variant.kernel) {
+    return FailedPrecondition("slot '" + slot.id + "' holds role '" +
+                              slot.current_role + "' and reconfig is off");
+  }
+  out.compute_us = variant.latency_us;
+  out.energy_uj = variant.energy_uj +
+                  // Link energy: ~50 pJ/byte for network, ~15 for coherent.
+                  (slot.network_attached ? 50e-6 : 15e-6) *
+                      (variant.bytes_in + variant.bytes_out) *
+                      ctx.volume_scale;
+  return out;
+}
+
+FpgaSlot* find_slot(NodeSpec& node, const compiler::Variant& variant) {
+  FpgaSlot* best = nullptr;
+  for (FpgaSlot& slot : node.fpgas) {
+    if (slot.device.name != variant.device) continue;
+    if (best == nullptr ||
+        slot.reconfig_us(variant.kernel) < best->reconfig_us(variant.kernel)) {
+      best = &slot;
+    }
+  }
+  return best;
+}
+
+}  // namespace everest::platform

@@ -1,0 +1,61 @@
+// Variant execution model: computes the end-to-end time/energy of running
+// one variant invocation on a node (CPU) or an FPGA slot (bus- or
+// network-attached), including data movement and partial reconfiguration.
+// This is the cost oracle the runtime's dynamic selection consults.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "compiler/variants.hpp"
+#include "platform/node.hpp"
+
+namespace everest::platform {
+
+/// Cost breakdown of one invocation.
+struct ExecutionBreakdown {
+  double transfer_in_us = 0.0;
+  double compute_us = 0.0;
+  double transfer_out_us = 0.0;
+  double reconfig_us = 0.0;
+  double queue_us = 0.0;  // filled by contention-aware callers
+
+  [[nodiscard]] double total_us() const {
+    return transfer_in_us + compute_us + transfer_out_us + reconfig_us +
+           queue_us;
+  }
+  double energy_uj = 0.0;
+};
+
+/// Options for one invocation.
+struct ExecutionContext {
+  /// Where the input data currently lives (node name). Transfers from
+  /// another node pay the inter-node link first.
+  std::string data_home;
+  /// Load the FPGA role if it differs from the slot's current one, and
+  /// remember it (stateful).
+  bool allow_reconfig = true;
+  /// Scale factor on the input/output bytes (partial reads).
+  double volume_scale = 1.0;
+};
+
+/// Executes a CPU variant on `node` (data pulled from `data_home` if
+/// remote). Fails if the variant targets FPGA.
+Result<ExecutionBreakdown> execute_on_cpu(const PlatformSpec& platform,
+                                          const NodeSpec& node,
+                                          const compiler::Variant& variant,
+                                          const ExecutionContext& ctx = {});
+
+/// Executes an FPGA variant on the given slot of `node`. The variant's
+/// device name must match the slot's device; pays link transfers and role
+/// reconfiguration, and updates `slot.current_role`.
+Result<ExecutionBreakdown> execute_on_fpga(const PlatformSpec& platform,
+                                           NodeSpec& node, FpgaSlot& slot,
+                                           const compiler::Variant& variant,
+                                           const ExecutionContext& ctx = {});
+
+/// Convenience: best slot on the node for this variant (matching device,
+/// least reconfig), or nullptr.
+FpgaSlot* find_slot(NodeSpec& node, const compiler::Variant& variant);
+
+}  // namespace everest::platform

@@ -1,0 +1,82 @@
+#include "platform/links.hpp"
+
+#include <cmath>
+
+namespace everest::platform {
+
+double LinkModel::transfer_us(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  double time = latency_us + bytes / (bandwidth_gbps * 1e3);  // GB/s → B/us
+  if (packet_bytes > 0 && per_packet_us > 0) {
+    const double packets = std::ceil(bytes / packet_bytes);
+    time += packets * per_packet_us;
+  }
+  // Coherent links avoid the doorbell/pinning round trip small transfers
+  // otherwise pay: modeled as half the setup latency for <4 KiB payloads.
+  if (coherent && bytes < 4096) {
+    time -= 0.5 * latency_us;
+  }
+  return time;
+}
+
+double LinkModel::effective_gbps(double bytes) const {
+  const double t = transfer_us(bytes);
+  return t > 0 ? bytes / (t * 1e3) : 0.0;
+}
+
+LinkModel LinkModel::opencapi() {
+  LinkModel l;
+  l.name = "opencapi";
+  l.latency_us = 0.75;     // sub-us coherent access
+  l.bandwidth_gbps = 22.0; // OpenCAPI 3.0 x8
+  l.coherent = true;
+  return l;
+}
+
+LinkModel LinkModel::pcie3() {
+  LinkModel l;
+  l.name = "pcie3";
+  l.latency_us = 2.5;      // DMA setup + doorbell
+  l.bandwidth_gbps = 12.0; // x16 effective
+  return l;
+}
+
+LinkModel LinkModel::tcp_datacenter() {
+  LinkModel l;
+  l.name = "tcp";
+  l.latency_us = 18.0;     // kernel TCP stack round-trip share
+  l.bandwidth_gbps = 9.5;  // 100GbE with TCP overhead... per-flow 10G shell
+  l.per_packet_us = 0.35;
+  l.packet_bytes = 1448.0; // MSS
+  return l;
+}
+
+LinkModel LinkModel::udp_datacenter() {
+  LinkModel l;
+  l.name = "udp";
+  l.latency_us = 6.0;      // cloudFPGA-style lightweight stack
+  l.bandwidth_gbps = 9.8;
+  l.per_packet_us = 0.08;
+  l.packet_bytes = 1472.0;
+  return l;
+}
+
+LinkModel LinkModel::edge_wan() {
+  LinkModel l;
+  l.name = "wan";
+  l.latency_us = 4000.0;   // metro RTT share
+  l.bandwidth_gbps = 0.125; // 1 Gb/s uplink
+  l.per_packet_us = 0.0;
+  return l;
+}
+
+LinkModel LinkModel::local_dram() {
+  LinkModel l;
+  l.name = "dram";
+  l.latency_us = 0.0;
+  l.bandwidth_gbps = 100.0;
+  l.coherent = true;
+  return l;
+}
+
+}  // namespace everest::platform

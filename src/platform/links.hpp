@@ -1,0 +1,41 @@
+// Interconnect models for the EVEREST target system (paper Fig. 4:
+// "OpenCAPI cache coherent and TCP/UDP protocols"). Each link is an
+// analytical latency/bandwidth/packet-overhead model calibrated to
+// published measurements of the corresponding technology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace everest::platform {
+
+/// One point-to-point transport.
+struct LinkModel {
+  std::string name;
+  /// One-way setup latency per transfer (us).
+  double latency_us = 1.0;
+  /// Sustained bandwidth (GB/s).
+  double bandwidth_gbps = 10.0;
+  /// Extra cost per packet (us) and packet payload size (bytes); zero
+  /// packet_bytes disables packetization (memory-mapped links).
+  double per_packet_us = 0.0;
+  double packet_bytes = 0.0;
+  /// Cache-coherent links skip explicit copies/pinning for small transfers.
+  bool coherent = false;
+
+  /// Time to move `bytes` across the link (us).
+  [[nodiscard]] double transfer_us(double bytes) const;
+
+  /// Effective throughput moving `bytes` (GB/s), including overheads.
+  [[nodiscard]] double effective_gbps(double bytes) const;
+
+  // Presets (calibrated to published figures for each technology).
+  static LinkModel opencapi();        // coherent bus-attached FPGA
+  static LinkModel pcie3();           // classic bus-attached FPGA
+  static LinkModel tcp_datacenter();  // network-attached FPGA over TCP
+  static LinkModel udp_datacenter();  // network-attached FPGA over UDP
+  static LinkModel edge_wan();        // edge→cloud WAN hop
+  static LinkModel local_dram();      // on-node memory "link"
+};
+
+}  // namespace everest::platform

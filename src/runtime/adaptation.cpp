@@ -1,0 +1,68 @@
+#include "runtime/adaptation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace everest::runtime {
+
+security::ProtectionLevel AdaptationLoop::protection(
+    const std::string& kernel) const {
+  auto it = policies_.find(kernel);
+  return it == policies_.end() ? security::ProtectionLevel::kNormal
+                               : it->second.level();
+}
+
+Result<InvocationRecord> AdaptationLoop::invoke(const std::string& kernel,
+                                                const Goal& goal,
+                                                const InvocationContext& ctx) {
+  // 1. Assemble the system state from live signals.
+  SystemState state;
+  state.cpu_load = ctx.cpu_load;
+  state.data_scale = ctx.data_scale;
+  state.protection = protection(kernel);
+  // Queue signal: normalize waiting time by a typical accelerator latency.
+  const double wait = hypervisor_.queue_wait_us("", now_us_);
+  state.fpga_queue_depth = wait / 1000.0;
+
+  // 2. Select.
+  EVEREST_ASSIGN_OR_RETURN(Selection selection,
+                           tuner_.select(kernel, goal, state));
+
+  // 3. Execute through the hypervisor.
+  EVEREST_ASSIGN_OR_RETURN(
+      VmExecution execution,
+      hypervisor_.execute(vm_, selection.variant, now_us_));
+  double latency = (execution.end_us - execution.start_us) * ctx.data_scale;
+  if (noise_fraction_ > 0.0) {
+    latency *= std::max(0.1, rng_.normal(1.0, noise_fraction_));
+  }
+  const double energy = execution.breakdown.energy_uj * ctx.data_scale;
+  now_us_ += latency;
+
+  // 4. Feed the monitors.
+  security::BehaviorSample sample;
+  sample.latency_us =
+      ctx.injected_latency_us > 0 ? ctx.injected_latency_us : latency;
+  sample.bytes = ctx.injected_bytes > 0
+                     ? ctx.injected_bytes
+                     : (selection.variant.bytes_in +
+                        selection.variant.bytes_out) * ctx.data_scale;
+  sample.value_range = 100.0;
+  sample.access_stride = 1.0;
+  const auto verdict = detectors_[kernel].observe(sample);
+  const auto level = policies_[kernel].update(verdict);
+
+  // 5. Learn.
+  tuner_.observe(kernel, selection.variant.id, latency, energy);
+
+  InvocationRecord record;
+  record.kernel = kernel;
+  record.variant_id = selection.variant.id;
+  record.latency_us = latency;
+  record.energy_uj = energy;
+  record.anomaly_flagged = verdict.anomalous;
+  record.protection_after = level;
+  return record;
+}
+
+}  // namespace everest::runtime

@@ -1,0 +1,75 @@
+// The closed control loop of the virtualized runtime (paper §IV, Fig. 2):
+// monitors feed the anomaly detectors and the knowledge base; the
+// auto-protection policy sets the protection level; the autotuner picks the
+// variant; the hypervisor executes it. One AdaptationLoop instance manages
+// one application on one node.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/autotuner.hpp"
+#include "runtime/knowledge.hpp"
+#include "runtime/vm.hpp"
+#include "security/anomaly.hpp"
+
+namespace everest::runtime {
+
+/// One completed invocation, as reported to the caller.
+struct InvocationRecord {
+  std::string kernel;
+  std::string variant_id;
+  double latency_us = 0.0;
+  double energy_uj = 0.0;
+  bool anomaly_flagged = false;
+  security::ProtectionLevel protection_after =
+      security::ProtectionLevel::kNormal;
+};
+
+/// Per-invocation environment the caller supplies (workload knobs).
+struct InvocationContext {
+  /// Data-volume scale relative to the profiled size.
+  double data_scale = 1.0;
+  /// CPU contention from other tenants (0..1).
+  double cpu_load = 0.0;
+  /// Behavioral overrides for attack injection (0 = derive from run).
+  double injected_latency_us = 0.0;
+  double injected_bytes = 0.0;
+};
+
+class AdaptationLoop {
+ public:
+  /// The loop borrows the knowledge base (shared with other loops) and owns
+  /// a hypervisor bound to one node.
+  AdaptationLoop(KnowledgeBase* kb, Hypervisor hypervisor, VmHandle vm)
+      : kb_(kb), tuner_(kb), hypervisor_(std::move(hypervisor)), vm_(vm) {}
+
+  /// Runs one invocation of `kernel` under `goal`, advancing virtual time.
+  Result<InvocationRecord> invoke(const std::string& kernel, const Goal& goal,
+                                  const InvocationContext& ctx = {});
+
+  [[nodiscard]] double now_us() const { return now_us_; }
+  [[nodiscard]] security::ProtectionLevel protection(
+      const std::string& kernel) const;
+
+  /// Measurement noise applied to observed latency (std fraction).
+  void set_noise(double fraction, std::uint64_t seed) {
+    noise_fraction_ = fraction;
+    rng_.reseed(seed);
+  }
+
+ private:
+  KnowledgeBase* kb_;
+  Autotuner tuner_;
+  Hypervisor hypervisor_;
+  VmHandle vm_;
+  double now_us_ = 0.0;
+  double noise_fraction_ = 0.0;
+  Rng rng_{123};
+  std::map<std::string, security::AnomalyDetector> detectors_;
+  std::map<std::string, security::AutoProtectionPolicy> policies_;
+};
+
+}  // namespace everest::runtime

@@ -1,0 +1,113 @@
+#include "runtime/autotuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace everest::runtime {
+
+bool Autotuner::eligible(const compiler::Variant& variant,
+                         const SystemState& state) const {
+  using security::ProtectionLevel;
+  if (variant.target == compiler::TargetKind::kFpga &&
+      state.fpgas_available <= 0) {
+    return false;
+  }
+  switch (state.protection) {
+    case ProtectionLevel::kNormal:
+    case ProtectionLevel::kMonitor:
+      // Monitor prefers protected variants via scoring, not filtering.
+      return true;
+    case ProtectionLevel::kProtect:
+      // Only variants with active protection may run. CPU variants are
+      // excluded (no DIFT shadow logic on commodity cores).
+      return variant.target == compiler::TargetKind::kFpga &&
+             (variant.dift || !variant.encrypted.empty());
+    case ProtectionLevel::kQuarantine:
+      return false;
+  }
+  return true;
+}
+
+double Autotuner::adjusted_latency(const std::string& kernel,
+                                   const compiler::Variant& variant,
+                                   const SystemState& state) const {
+  double latency = kb_->expected_latency(kernel, variant);
+  // Data features: compute scales with volume (linear model).
+  latency *= state.data_scale;
+  if (variant.target == compiler::TargetKind::kCpu) {
+    // Contention leaves (1 - load) of the machine.
+    const double free_fraction = std::max(0.05, 1.0 - state.cpu_load);
+    latency /= free_fraction;
+  } else {
+    // Queueing behind outstanding offloads on the shared accelerators.
+    latency *= 1.0 + state.fpga_queue_depth;
+  }
+  return latency;
+}
+
+Result<Selection> Autotuner::select(const std::string& kernel,
+                                    const Goal& goal,
+                                    const SystemState& state) const {
+  if (state.protection == security::ProtectionLevel::kQuarantine) {
+    return FailedPrecondition("kernel '" + kernel +
+                              "' is quarantined by auto-protection");
+  }
+  const auto& variants = kb_->variants_for(kernel);
+  if (variants.empty()) {
+    return NotFound("no variants loaded for kernel '" + kernel + "'");
+  }
+
+  const bool prefer_protected =
+      state.protection == security::ProtectionLevel::kMonitor;
+
+  const Selection* chosen = nullptr;
+  Selection best_feasible, best_infeasible;
+  double best_feasible_score = std::numeric_limits<double>::infinity();
+  double best_violation = std::numeric_limits<double>::infinity();
+
+  for (const compiler::Variant& v : variants) {
+    if (!eligible(v, state)) continue;
+    Selection s;
+    s.variant = v;
+    s.predicted_latency_us = adjusted_latency(kernel, v, state);
+    s.predicted_energy_uj =
+        kb_->expected_energy(kernel, v) * state.data_scale;
+    const double lat_excess =
+        std::max(0.0, s.predicted_latency_us - goal.latency_deadline_us);
+    const double en_excess =
+        std::max(0.0, s.predicted_energy_uj - goal.energy_budget_uj);
+    s.constraints_met = lat_excess == 0.0 && en_excess == 0.0;
+
+    double score = goal.objective == Goal::Objective::kMinLatency
+                       ? s.predicted_latency_us
+                       : s.predicted_energy_uj;
+    // In monitor mode, protected variants get a 20% scoring bonus so they
+    // win ties against marginally faster unprotected ones.
+    if (prefer_protected && (v.dift || !v.encrypted.empty())) score *= 0.8;
+
+    if (s.constraints_met) {
+      if (score < best_feasible_score) {
+        best_feasible_score = score;
+        best_feasible = s;
+        chosen = &best_feasible;
+      }
+    } else if (chosen == nullptr) {
+      const double violation =
+          lat_excess / std::max(goal.latency_deadline_us, 1e-9) +
+          en_excess / std::max(goal.energy_budget_uj, 1e-9);
+      if (violation < best_violation) {
+        best_violation = violation;
+        best_infeasible = s;
+      }
+    }
+  }
+  if (chosen != nullptr) return best_feasible;
+  if (best_violation < std::numeric_limits<double>::infinity()) {
+    return best_infeasible;  // least-violating fallback
+  }
+  return FailedPrecondition("no eligible variant for kernel '" + kernel +
+                            "' under the current protection level");
+}
+
+}  // namespace everest::runtime

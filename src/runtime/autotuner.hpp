@@ -1,0 +1,78 @@
+// Dynamic variant selection (mARGOt-style, paper §IV): "an intelligent
+// policy to select the code variant or hardware configuration to execute,
+// among the ones pre-generated at compile time, based on the system
+// status". Selection honours (1) dynamic system characteristics,
+// (2) the optimization goal, (3) dynamic requirements (security level,
+// data features), and (4) resource availability.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "runtime/knowledge.hpp"
+#include "security/anomaly.hpp"
+
+namespace everest::runtime {
+
+/// What the application asks for.
+struct Goal {
+  enum class Objective { kMinLatency, kMinEnergy };
+  Objective objective = Objective::kMinLatency;
+  /// Constraints (infinity = unconstrained).
+  double latency_deadline_us = 1e300;
+  double energy_budget_uj = 1e300;
+};
+
+/// Snapshot of the system status used to adjust the estimates.
+struct SystemState {
+  /// FPGA slots reachable right now (0 disables hardware variants).
+  int fpgas_available = 1;
+  /// Outstanding offloads per available FPGA (queueing delay multiplier).
+  double fpga_queue_depth = 0.0;
+  /// CPU contention 0..1 (fraction of cores taken by other tenants).
+  double cpu_load = 0.0;
+  /// Current auto-protection level (restricts eligible variants).
+  security::ProtectionLevel protection = security::ProtectionLevel::kNormal;
+  /// Data-volume scale vs the profiled size (data feature input).
+  double data_scale = 1.0;
+};
+
+/// One selection decision with its adjusted expectations.
+struct Selection {
+  compiler::Variant variant;
+  double predicted_latency_us = 0.0;
+  double predicted_energy_uj = 0.0;
+  bool constraints_met = true;
+};
+
+/// The decision maker. Stateless across calls except through the shared
+/// KnowledgeBase (observations feed back via observe()).
+class Autotuner {
+ public:
+  explicit Autotuner(KnowledgeBase* kb) : kb_(kb) {}
+
+  /// Picks the best eligible variant for `kernel`. NOT_FOUND if the kernel
+  /// has no variants, FAILED_PRECONDITION if quarantined.
+  Result<Selection> select(const std::string& kernel, const Goal& goal,
+                           const SystemState& state) const;
+
+  /// Feeds a runtime measurement back into the knowledge base.
+  void observe(const std::string& kernel, const std::string& variant_id,
+               double latency_us, double energy_uj) {
+    kb_->observe(kernel, variant_id, latency_us, energy_uj);
+  }
+
+  /// Adjusted latency estimate for a variant under a system state
+  /// (exposed for tests/benches).
+  [[nodiscard]] double adjusted_latency(const std::string& kernel,
+                                        const compiler::Variant& variant,
+                                        const SystemState& state) const;
+
+ private:
+  [[nodiscard]] bool eligible(const compiler::Variant& variant,
+                              const SystemState& state) const;
+
+  KnowledgeBase* kb_;
+};
+
+}  // namespace everest::runtime

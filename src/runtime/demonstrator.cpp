@@ -1,0 +1,159 @@
+#include "runtime/demonstrator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "platform/executor.hpp"
+
+namespace everest::runtime {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// One candidate execution of a task.
+struct Candidate {
+  std::size_t node_index = kNone;
+  const compiler::Variant* variant = nullptr;  // null = generic CPU task
+  double start_us = 0.0;
+  double end_us = 0.0;
+  double transfer_us = 0.0;
+  double reconfig_us = 0.0;
+  double energy_uj = 0.0;
+  double inter_node_bytes = 0.0;
+};
+
+}  // namespace
+
+Result<DemonstratorRun> run_demonstrator(
+    const platform::PlatformSpec& platform_template,
+    const KnowledgeBase& knowledge, const workflow::TaskGraph& graph,
+    const DemonstratorOptions& options) {
+  EVEREST_RETURN_IF_ERROR(graph.validate());
+  if (platform_template.nodes.empty()) {
+    return InvalidArgument("platform has no nodes");
+  }
+  platform::PlatformSpec platform = platform_template;  // mutable copy
+
+  DemonstratorRun run;
+  std::vector<double> node_free(platform.nodes.size(), 0.0);
+  std::vector<double> task_finish(graph.size(), 0.0);
+  std::vector<std::size_t> task_node(graph.size(), kNone);
+
+  const double load = std::clamp(options.background_cpu_load, 0.0, 0.95);
+
+  for (std::size_t t = 0; t < graph.size(); ++t) {
+    const workflow::TaskNode& task = graph.task(t);
+    Candidate best;
+    double best_score = std::numeric_limits<double>::infinity();
+
+    for (std::size_t n = 0; n < platform.nodes.size(); ++n) {
+      platform::NodeSpec& node = platform.nodes[n];
+      // When the inputs land on this node.
+      double data_ready = 0.0;
+      double inter_bytes = 0.0;
+      double xfer = 0.0;
+      for (std::size_t dep : task.deps) {
+        double arrive = task_finish[dep];
+        if (task_node[dep] != n && task_node[dep] != kNone) {
+          const platform::LinkModel link = platform.link_between(
+              platform.nodes[task_node[dep]], node);
+          const double move = link.transfer_us(graph.task(dep).output_bytes);
+          arrive += move;
+          xfer = std::max(xfer, move);
+          inter_bytes += graph.task(dep).output_bytes;
+        }
+        data_ready = std::max(data_ready, arrive);
+      }
+      const double earliest = std::max(node_free[n], data_ready);
+
+      auto consider = [&](const compiler::Variant* variant, double compute_us,
+                          double reconfig_us, double energy_uj) {
+        Candidate c;
+        c.node_index = n;
+        c.variant = variant;
+        c.start_us = earliest;
+        c.transfer_us = xfer;
+        c.reconfig_us = reconfig_us;
+        c.end_us = earliest + compute_us + reconfig_us;
+        c.energy_uj = energy_uj;
+        c.inter_node_bytes = inter_bytes;
+        const double score = options.goal.objective == Goal::Objective::kMinEnergy
+                                 ? energy_uj + c.end_us * 1e-6
+                                 : c.end_us;
+        if (score < best_score) {
+          best_score = score;
+          best = c;
+        }
+      };
+
+      const auto& variants = knowledge.variants_for(task.kernel);
+      if (!variants.empty()) {
+        for (const compiler::Variant& v : variants) {
+          if (v.target == compiler::TargetKind::kCpu) {
+            auto exec = platform::execute_on_cpu(platform, node, v);
+            if (!exec.ok()) continue;
+            const double stretched =
+                exec->compute_us / std::max(0.05, 1.0 - load);
+            consider(&v, stretched, 0.0, exec->energy_uj);
+          } else {
+            platform::FpgaSlot* slot = platform::find_slot(node, v);
+            if (slot == nullptr) continue;
+            // Predict without committing the role change.
+            const double reconfig = slot->reconfig_us(v.kernel);
+            const double io = slot->link.transfer_us(v.bytes_in) +
+                              slot->link.transfer_us(v.bytes_out);
+            const double energy =
+                v.energy_uj + (slot->network_attached ? 50e-6 : 15e-6) *
+                                  (v.bytes_in + v.bytes_out);
+            consider(&v, v.latency_us + io, reconfig, energy);
+          }
+        }
+      }
+      if (variants.empty() && options.allow_generic_tasks) {
+        const double gflops =
+            node.cpu.peak_gflops_per_core * node.cpu.cores * 0.6 *
+            std::max(0.05, 1.0 - load);
+        const double compute = task.flops / (gflops * 1e3);
+        const double energy = node.cpu.active_power_w * compute * 0.6;
+        consider(nullptr, compute, 0.0, energy);
+      }
+    }
+
+    if (best.node_index == kNone) {
+      return FailedPrecondition("task '" + task.name +
+                                "' has no runnable variant on any node");
+    }
+    // Commit: persist FPGA role state for hardware picks.
+    platform::NodeSpec& chosen_node = platform.nodes[best.node_index];
+    if (best.variant != nullptr &&
+        best.variant->target == compiler::TargetKind::kFpga) {
+      platform::FpgaSlot* slot =
+          platform::find_slot(chosen_node, *best.variant);
+      if (slot != nullptr) slot->current_role = best.variant->kernel;
+    }
+    node_free[best.node_index] = best.end_us;
+    task_finish[t] = best.end_us;
+    task_node[t] = best.node_index;
+
+    TaskPlacement placement;
+    placement.task = task.name;
+    placement.node = chosen_node.name;
+    placement.variant_id =
+        best.variant != nullptr ? best.variant->id : "generic-cpu";
+    placement.start_us = best.start_us;
+    placement.end_us = best.end_us;
+    placement.transfer_us = best.transfer_us;
+    placement.reconfig_us = best.reconfig_us;
+    placement.energy_uj = best.energy_uj;
+    run.placements.push_back(placement);
+    run.makespan_us = std::max(run.makespan_us, best.end_us);
+    run.total_energy_uj += best.energy_uj;
+    run.bytes_moved += best.inter_node_bytes;
+    ++run.variant_mix[placement.variant_id];
+    run.node_busy_us[chosen_node.name] += best.end_us - best.start_us;
+  }
+  return run;
+}
+
+}  // namespace everest::runtime

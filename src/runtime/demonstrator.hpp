@@ -1,0 +1,68 @@
+// The multi-node EVEREST demonstrator (paper §V: "We aim at developing a
+// small multi-node demonstrator based on the technology and the components
+// available during the project's timeline").
+//
+// Ties the layers together end to end: a HyperLoom-style task graph is
+// scheduled across the platform's nodes; for every task the mARGOt-style
+// autotuner picks a variant given that node's live state (CPU pressure,
+// FPGA queue, protection level); the platform executor prices the run
+// (compute + link transfers + reconfiguration); monitors feed back into the
+// knowledge base. The result is the full Fig. 1 → Fig. 2 → Fig. 4 loop in
+// one call.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "platform/node.hpp"
+#include "runtime/autotuner.hpp"
+#include "runtime/knowledge.hpp"
+#include "workflow/task_graph.hpp"
+
+namespace everest::runtime {
+
+/// Where one task ran and what it cost.
+struct TaskPlacement {
+  std::string task;
+  std::string node;
+  std::string variant_id;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  double transfer_us = 0.0;
+  double reconfig_us = 0.0;
+  double energy_uj = 0.0;
+};
+
+/// Aggregate outcome of one demonstrator run.
+struct DemonstratorRun {
+  double makespan_us = 0.0;
+  double total_energy_uj = 0.0;
+  double bytes_moved = 0.0;
+  std::vector<TaskPlacement> placements;
+  /// Variant-id → times selected.
+  std::map<std::string, int> variant_mix;
+  /// Node → busy time (us).
+  std::map<std::string, double> node_busy_us;
+};
+
+struct DemonstratorOptions {
+  Goal goal;
+  /// Extra CPU load per node (co-tenants), 0..1.
+  double background_cpu_load = 0.0;
+  /// Tasks whose kernel has no variants fall back to a generic CPU cost
+  /// (flops / node-throughput) instead of failing.
+  bool allow_generic_tasks = true;
+};
+
+/// Executes the task graph on the platform. Tasks whose `kernel` matches a
+/// knowledge-base entry are autotuned; placement greedily minimizes
+/// predicted finish time (data transfers included). Node/FPGA state
+/// (role caching, queue depths) persists across tasks.
+Result<DemonstratorRun> run_demonstrator(
+    const platform::PlatformSpec& platform_template,
+    const KnowledgeBase& knowledge, const workflow::TaskGraph& graph,
+    const DemonstratorOptions& options = {});
+
+}  // namespace everest::runtime

@@ -1,0 +1,97 @@
+#include "runtime/knowledge.hpp"
+
+#include "common/json.hpp"
+
+namespace everest::runtime {
+
+Status KnowledgeBase::load(const std::vector<compiler::Variant>& variants) {
+  for (const compiler::Variant& v : variants) {
+    auto& list = variants_[v.kernel];
+    for (const compiler::Variant& existing : list) {
+      if (existing.id == v.id) {
+        return AlreadyExists("variant '" + v.id + "' already loaded for '" +
+                             v.kernel + "'");
+      }
+    }
+    list.push_back(v);
+  }
+  return OkStatus();
+}
+
+Status KnowledgeBase::load_json(const std::string& json_text) {
+  EVEREST_ASSIGN_OR_RETURN(json::Value doc, json::parse(json_text));
+  EVEREST_ASSIGN_OR_RETURN(std::vector<compiler::Variant> variants,
+                           compiler::variants_from_json(doc));
+  return load(variants);
+}
+
+std::vector<std::string> KnowledgeBase::kernels() const {
+  std::vector<std::string> out;
+  for (const auto& [kernel, list] : variants_) out.push_back(kernel);
+  return out;
+}
+
+const std::vector<compiler::Variant>& KnowledgeBase::variants_for(
+    const std::string& kernel) const {
+  static const std::vector<compiler::Variant> kEmpty;
+  auto it = variants_.find(kernel);
+  return it == variants_.end() ? kEmpty : it->second;
+}
+
+const compiler::Variant* KnowledgeBase::find(
+    const std::string& kernel, const std::string& variant_id) const {
+  for (const compiler::Variant& v : variants_for(kernel)) {
+    if (v.id == variant_id) return &v;
+  }
+  return nullptr;
+}
+
+void KnowledgeBase::observe(const std::string& kernel,
+                            const std::string& variant_id, double latency_us,
+                            double energy_uj) {
+  Observation& obs = observations_[kernel][variant_id];
+  obs.latency_us.add(latency_us);
+  obs.energy_uj.add(energy_uj);
+  ++obs.samples;
+}
+
+const Observation* KnowledgeBase::observation(
+    const std::string& kernel, const std::string& variant_id) const {
+  auto kit = observations_.find(kernel);
+  if (kit == observations_.end()) return nullptr;
+  auto vit = kit->second.find(variant_id);
+  return vit == kit->second.end() ? nullptr : &vit->second;
+}
+
+namespace {
+/// Blend weight of observations: 0 below 1 sample, 1 from 3 samples on.
+double blend(int samples) {
+  if (samples <= 0) return 0.0;
+  if (samples >= 3) return 1.0;
+  return samples / 3.0;
+}
+}  // namespace
+
+double KnowledgeBase::expected_latency(const std::string& kernel,
+                                       const compiler::Variant& variant) const {
+  const Observation* obs = observation(kernel, variant.id);
+  if (obs == nullptr || obs->samples == 0) return variant.latency_us;
+  const double w = blend(obs->samples);
+  return w * obs->latency_us.mean() + (1.0 - w) * variant.latency_us;
+}
+
+double KnowledgeBase::expected_energy(const std::string& kernel,
+                                      const compiler::Variant& variant) const {
+  const Observation* obs = observation(kernel, variant.id);
+  if (obs == nullptr || obs->samples == 0) return variant.energy_uj;
+  const double w = blend(obs->samples);
+  return w * obs->energy_uj.mean() + (1.0 - w) * variant.energy_uj;
+}
+
+int KnowledgeBase::observation_count(const std::string& kernel,
+                                     const std::string& variant_id) const {
+  const Observation* obs = observation(kernel, variant_id);
+  return obs == nullptr ? 0 : obs->samples;
+}
+
+}  // namespace everest::runtime

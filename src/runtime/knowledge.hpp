@@ -1,0 +1,59 @@
+// Application knowledge base (mARGOt-style, paper §IV): holds the variant
+// metadata emitted by the compiler plus online observations, and blends the
+// two into calibrated expectations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "compiler/variants.hpp"
+
+namespace everest::runtime {
+
+/// Online measurements for one variant.
+struct Observation {
+  Ewma latency_us{0.2};
+  Ewma energy_uj{0.2};
+  int samples = 0;
+};
+
+/// Per-application store of variants and their observed behavior.
+class KnowledgeBase {
+ public:
+  /// Loads compiler metadata (appends; ids must be unique per kernel).
+  Status load(const std::vector<compiler::Variant>& variants);
+  /// Convenience: load from serialized metadata.
+  Status load_json(const std::string& json_text);
+
+  [[nodiscard]] std::vector<std::string> kernels() const;
+  [[nodiscard]] const std::vector<compiler::Variant>& variants_for(
+      const std::string& kernel) const;
+  [[nodiscard]] const compiler::Variant* find(const std::string& kernel,
+                                              const std::string& variant_id) const;
+
+  /// Records a runtime measurement for a variant.
+  void observe(const std::string& kernel, const std::string& variant_id,
+               double latency_us, double energy_uj);
+
+  /// Expected latency/energy: the static estimate until enough samples
+  /// exist, then the observed EWMA (smooth handover after 3 samples).
+  [[nodiscard]] double expected_latency(const std::string& kernel,
+                                        const compiler::Variant& variant) const;
+  [[nodiscard]] double expected_energy(const std::string& kernel,
+                                       const compiler::Variant& variant) const;
+
+  [[nodiscard]] int observation_count(const std::string& kernel,
+                                      const std::string& variant_id) const;
+
+ private:
+  [[nodiscard]] const Observation* observation(
+      const std::string& kernel, const std::string& variant_id) const;
+
+  std::map<std::string, std::vector<compiler::Variant>> variants_;
+  std::map<std::string, std::map<std::string, Observation>> observations_;
+};
+
+}  // namespace everest::runtime

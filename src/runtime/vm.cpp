@@ -1,0 +1,82 @@
+#include "runtime/vm.hpp"
+
+#include <algorithm>
+
+namespace everest::runtime {
+
+Result<VmHandle> Hypervisor::create_vm(const VmConfig& config) {
+  if (config.vcpus <= 0) return InvalidArgument("vcpus must be positive");
+  int total = config.vcpus;
+  for (const VmConfig& vm : vms_) total += vm.vcpus;
+  if (total > 2 * node_.cpu.cores) {
+    return ResourceExhausted("vCPU overcommit limit reached on " + node_.name);
+  }
+  vms_.push_back(config);
+  return VmHandle{static_cast<int>(vms_.size()) - 1};
+}
+
+double Hypervisor::cpu_pressure() const {
+  int total = 0;
+  for (const VmConfig& vm : vms_) total += vm.vcpus;
+  return node_.cpu.cores > 0
+             ? static_cast<double>(total) / node_.cpu.cores
+             : 0.0;
+}
+
+Result<VmExecution> Hypervisor::execute(VmHandle vm,
+                                        const compiler::Variant& variant,
+                                        double now_us) {
+  if (!vm.valid() || static_cast<std::size_t>(vm.id) >= vms_.size()) {
+    return InvalidArgument("invalid VM handle");
+  }
+  const VmConfig& config = vms_[static_cast<std::size_t>(vm.id)];
+  VmExecution out;
+  out.start_us = now_us;
+
+  if (variant.target == compiler::TargetKind::kCpu) {
+    EVEREST_ASSIGN_OR_RETURN(
+        out.breakdown, platform::execute_on_cpu(platform_, node_, variant));
+    // Contention: the VM holds vcpus/cores of the machine; when the node is
+    // overcommitted the hypervisor time-slices, stretching latency.
+    const double pressure = std::max(1.0, cpu_pressure());
+    out.breakdown.compute_us *= pressure;
+    out.end_us = now_us + out.breakdown.total_us();
+    return out;
+  }
+
+  if (!config.vfpga_access) {
+    return PermissionDenied("VM '" + config.name + "' has no vFPGA access");
+  }
+  platform::FpgaSlot* slot = platform::find_slot(node_, variant);
+  if (slot == nullptr) {
+    return NotFound("no slot with device '" + variant.device + "' on " +
+                    node_.name);
+  }
+  // Queue behind earlier offloads on this slot.
+  double& busy_until = slot_busy_until_[slot->id];
+  const double queue_wait = std::max(0.0, busy_until - now_us);
+  out.remoting_us = config.api_remoting_us;
+  EVEREST_ASSIGN_OR_RETURN(
+      out.breakdown,
+      platform::execute_on_fpga(platform_, node_, *slot, variant));
+  out.breakdown.queue_us = queue_wait;
+  out.slot_id = slot->id;
+  out.end_us = now_us + queue_wait + out.remoting_us + out.breakdown.total_us();
+  busy_until = out.end_us;
+  return out;
+}
+
+double Hypervisor::queue_wait_us(const std::string& device,
+                                 double now_us) const {
+  double best = -1.0;
+  for (const platform::FpgaSlot& slot : node_.fpgas) {
+    if (!device.empty() && slot.device.name != device) continue;
+    auto it = slot_busy_until_.find(slot.id);
+    const double wait =
+        it == slot_busy_until_.end() ? 0.0 : std::max(0.0, it->second - now_us);
+    if (best < 0.0 || wait < best) best = wait;
+  }
+  return best < 0.0 ? 0.0 : best;
+}
+
+}  // namespace everest::runtime

@@ -1,0 +1,76 @@
+// Virtualization layer (paper §IV, Fig. 2): VMs share a node through a
+// hypervisor that exposes vCPUs and vFPGA access. Accelerator calls go
+// through API remoting (guest → hypervisor → device), and FPGA slots are
+// time-multiplexed across VMs with per-slot queues.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "platform/executor.hpp"
+#include "platform/node.hpp"
+
+namespace everest::runtime {
+
+/// Guest configuration.
+struct VmConfig {
+  std::string name;
+  int vcpus = 4;
+  bool vfpga_access = false;
+  /// Per accelerator call: guest→hypervisor→device round trip (us).
+  double api_remoting_us = 15.0;
+};
+
+/// Opaque VM handle.
+struct VmHandle {
+  int id = -1;
+  [[nodiscard]] bool valid() const { return id >= 0; }
+};
+
+/// Result of one virtualized invocation.
+struct VmExecution {
+  platform::ExecutionBreakdown breakdown;
+  double remoting_us = 0.0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::string slot_id;  // FPGA slot used ("" for CPU)
+};
+
+/// Manages one node's VMs and multiplexes its FPGA slots.
+class Hypervisor {
+ public:
+  explicit Hypervisor(platform::NodeSpec node,
+                      platform::PlatformSpec platform)
+      : node_(std::move(node)), platform_(std::move(platform)) {}
+
+  /// Creates a VM; fails when vCPUs would exceed 2× physical cores
+  /// (overcommit limit).
+  Result<VmHandle> create_vm(const VmConfig& config);
+
+  [[nodiscard]] std::size_t num_vms() const { return vms_.size(); }
+  /// Aggregate vCPU overcommit: total vCPUs / physical cores.
+  [[nodiscard]] double cpu_pressure() const;
+
+  /// Runs a variant for a VM at wall-clock `now_us`. CPU variants run in
+  /// the VM directly; FPGA variants pay API remoting and queue on the
+  /// least-busy matching slot. PERMISSION_DENIED if the VM lacks vFPGA
+  /// access.
+  Result<VmExecution> execute(VmHandle vm, const compiler::Variant& variant,
+                              double now_us);
+
+  /// Outstanding queued time (us) at `now_us` on the least-busy matching
+  /// slot — feeds the autotuner's fpga_queue_depth signal.
+  [[nodiscard]] double queue_wait_us(const std::string& device,
+                                     double now_us) const;
+
+ private:
+  platform::NodeSpec node_;
+  platform::PlatformSpec platform_;
+  std::vector<VmConfig> vms_;
+  /// Per FPGA slot: time until which it is busy.
+  std::map<std::string, double> slot_busy_until_;
+};
+
+}  // namespace everest::runtime

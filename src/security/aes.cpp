@@ -1,0 +1,250 @@
+#include "security/aes.hpp"
+
+#include <cstring>
+
+namespace everest::security {
+
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16,
+};
+
+constexpr std::uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+void sub_bytes(std::uint8_t* s) {
+  for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];
+}
+
+void shift_rows(std::uint8_t* s) {
+  // State is column-major: s[col*4 + row].
+  std::uint8_t t;
+  // Row 1: shift left by 1.
+  t = s[1];
+  s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // Row 2: shift left by 2.
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // Row 3: shift left by 3 (== right by 1).
+  t = s[15];
+  s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void mix_columns(std::uint8_t* s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+    col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
+    col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
+    col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
+    col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
+  }
+}
+
+void add_round_key(std::uint8_t* s, const std::uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+Aes128::Aes128(const Block16& key) {
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  for (int i = 4; i < 44; ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, &round_keys_[(i - 1) * 4], 4);
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ kRcon[i / 4]);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t0];
+    }
+    for (int b = 0; b < 4; ++b) {
+      round_keys_[i * 4 + b] =
+          static_cast<std::uint8_t>(round_keys_[(i - 4) * 4 + b] ^ temp[b]);
+    }
+  }
+}
+
+Block16 Aes128::encrypt_block(const Block16& plaintext) const {
+  Block16 state = plaintext;
+  std::uint8_t* s = state.data();
+  add_round_key(s, round_keys_.data());
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, &round_keys_[round * 16]);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, &round_keys_[160]);
+  return state;
+}
+
+std::vector<std::uint8_t> aes128_ctr(const Block16& key, const Block16& iv,
+                                     const std::vector<std::uint8_t>& data) {
+  Aes128 aes(key);
+  std::vector<std::uint8_t> out(data.size());
+  Block16 counter = iv;
+  for (std::size_t offset = 0; offset < data.size(); offset += 16) {
+    const Block16 keystream = aes.encrypt_block(counter);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[offset + i] = data[offset + i] ^ keystream[i];
+    }
+    // Increment the big-endian 32-bit block counter (last 4 bytes).
+    for (int i = 15; i >= 12; --i) {
+      if (++counter[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// GF(2^128) multiplication for GHASH (right-shift algorithm, NIST spec).
+Block16 gf_mult(const Block16& x, const Block16& y) {
+  Block16 z{};
+  Block16 v = y;
+  for (int i = 0; i < 128; ++i) {
+    const int byte = i / 8;
+    const int bit = 7 - (i % 8);
+    if ((x[static_cast<std::size_t>(byte)] >> bit) & 1) {
+      for (int b = 0; b < 16; ++b) z[b] ^= v[b];
+    }
+    const bool lsb = v[15] & 1;
+    // v >>= 1 (big-endian bit order).
+    for (int b = 15; b > 0; --b) {
+      v[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(
+          (v[static_cast<std::size_t>(b)] >> 1) |
+          (v[static_cast<std::size_t>(b - 1)] << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  return z;
+}
+
+class Ghash {
+ public:
+  explicit Ghash(const Block16& h) : h_(h) {}
+
+  void update(const std::vector<std::uint8_t>& data) {
+    for (std::size_t offset = 0; offset < data.size(); offset += 16) {
+      Block16 block{};
+      const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+      std::memcpy(block.data(), data.data() + offset, n);
+      absorb(block);
+    }
+  }
+
+  void absorb(const Block16& block) {
+    for (int i = 0; i < 16; ++i) y_[i] ^= block[i];
+    y_ = gf_mult(y_, h_);
+  }
+
+  [[nodiscard]] Block16 digest() const { return y_; }
+
+ private:
+  Block16 h_;
+  Block16 y_{};
+};
+
+Block16 lengths_block(std::size_t aad_bytes, std::size_t ct_bytes) {
+  Block16 out{};
+  const std::uint64_t aad_bits = aad_bytes * 8;
+  const std::uint64_t ct_bits = ct_bytes * 8;
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(7 - i)] =
+        static_cast<std::uint8_t>(aad_bits >> (8 * i));
+    out[static_cast<std::size_t>(15 - i)] =
+        static_cast<std::uint8_t>(ct_bits >> (8 * i));
+  }
+  return out;
+}
+
+Block16 initial_counter(const std::array<std::uint8_t, 12>& iv) {
+  Block16 j0{};
+  std::memcpy(j0.data(), iv.data(), 12);
+  j0[15] = 1;
+  return j0;
+}
+
+Block16 compute_tag(const Aes128& aes, const Block16& h,
+                    const std::array<std::uint8_t, 12>& iv,
+                    const std::vector<std::uint8_t>& ciphertext,
+                    const std::vector<std::uint8_t>& aad) {
+  Ghash ghash(h);
+  ghash.update(aad);
+  ghash.update(ciphertext);
+  ghash.absorb(lengths_block(aad.size(), ciphertext.size()));
+  const Block16 s = ghash.digest();
+  const Block16 ek_j0 = aes.encrypt_block(initial_counter(iv));
+  Block16 tag;
+  for (int i = 0; i < 16; ++i) tag[i] = s[i] ^ ek_j0[i];
+  return tag;
+}
+
+}  // namespace
+
+GcmResult aes128_gcm_encrypt(const Block16& key,
+                             const std::array<std::uint8_t, 12>& iv,
+                             const std::vector<std::uint8_t>& plaintext,
+                             const std::vector<std::uint8_t>& aad) {
+  Aes128 aes(key);
+  const Block16 h = aes.encrypt_block(Block16{});
+  Block16 counter = initial_counter(iv);
+  counter[15] = 2;  // CTR starts at J0 + 1
+  GcmResult result;
+  result.ciphertext = aes128_ctr(key, counter, plaintext);
+  result.tag = compute_tag(aes, h, iv, result.ciphertext, aad);
+  return result;
+}
+
+Result<std::vector<std::uint8_t>> aes128_gcm_decrypt(
+    const Block16& key, const std::array<std::uint8_t, 12>& iv,
+    const std::vector<std::uint8_t>& ciphertext, const Block16& tag,
+    const std::vector<std::uint8_t>& aad) {
+  Aes128 aes(key);
+  const Block16 h = aes.encrypt_block(Block16{});
+  const Block16 expected = compute_tag(aes, h, iv, ciphertext, aad);
+  std::uint8_t diff = 0;
+  for (int i = 0; i < 16; ++i) diff |= expected[i] ^ tag[i];
+  if (diff != 0) {
+    return DataLoss("GCM authentication tag mismatch");
+  }
+  Block16 counter = initial_counter(iv);
+  counter[15] = 2;
+  return aes128_ctr(key, counter, ciphertext);
+}
+
+}  // namespace everest::security

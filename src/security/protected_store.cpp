@@ -1,0 +1,90 @@
+#include "security/protected_store.hpp"
+
+#include <cstring>
+
+#include "security/sha256.hpp"
+
+namespace everest::security {
+
+Block16 ProtectedStore::derive_key(const std::string& name) const {
+  const Sha256Digest mac = hmac_sha256(
+      master_secret_, std::vector<std::uint8_t>(name.begin(), name.end()));
+  Block16 key{};
+  std::memcpy(key.data(), mac.data(), key.size());
+  return key;
+}
+
+Status ProtectedStore::put(const std::string& name,
+                           const std::vector<std::uint8_t>& data,
+                           TaintLabel label) {
+  StoredObject object;
+  object.version = ++put_counter_;
+  // Unique IV per (object, version): 96 bits of the global put counter.
+  // A never-repeating IV is the one hard requirement of GCM.
+  for (int i = 0; i < 8; ++i) {
+    object.iv[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(object.version >> (8 * i));
+  }
+  const Block16 key = derive_key(name);
+  // The object name is authenticated as AAD: a ciphertext swapped between
+  // two names fails authentication even under the same master secret.
+  const std::vector<std::uint8_t> aad(name.begin(), name.end());
+  GcmResult sealed = aes128_gcm_encrypt(key, object.iv, data, aad);
+  object.ciphertext = std::move(sealed.ciphertext);
+  object.tag = sealed.tag;
+  object.label = std::move(label);
+  objects_[name] = std::move(object);
+  return OkStatus();
+}
+
+Result<std::vector<std::uint8_t>> ProtectedStore::get(
+    const std::string& name, const TaintLabel& clearance) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return NotFound("object '" + name + "' is not in the store");
+  }
+  const StoredObject& object = it->second;
+  if (!object.label.subset_of(clearance)) {
+    return PermissionDenied("caller lacks clearance for object '" + name +
+                            "'");
+  }
+  const Block16 key = derive_key(name);
+  const std::vector<std::uint8_t> aad(name.begin(), name.end());
+  auto plaintext =
+      aes128_gcm_decrypt(key, object.iv, object.ciphertext, object.tag, aad);
+  if (!plaintext.ok()) {
+    return DataLoss("object '" + name +
+                    "' failed authentication (tampered or corrupted)");
+  }
+  return plaintext;
+}
+
+const TaintLabel& ProtectedStore::label_of(const std::string& name) const {
+  static const TaintLabel kEmpty;
+  auto it = objects_.find(name);
+  return it == objects_.end() ? kEmpty : it->second.label;
+}
+
+std::size_t ProtectedStore::bytes_at_rest() const {
+  std::size_t total = 0;
+  for (const auto& [name, object] : objects_) {
+    total += object.ciphertext.size();
+  }
+  return total;
+}
+
+Status ProtectedStore::corrupt(const std::string& name,
+                               std::size_t byte_index) {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return NotFound("object '" + name + "'");
+  if (it->second.ciphertext.empty()) {
+    // Empty payloads: corrupt the tag instead.
+    it->second.tag[0] ^= 1;
+    return OkStatus();
+  }
+  byte_index %= it->second.ciphertext.size();
+  it->second.ciphertext[byte_index] ^= 0x40;
+  return OkStatus();
+}
+
+}  // namespace everest::security

@@ -1,0 +1,69 @@
+// The runtime data-protection layer (paper §III-A "confidentiality,
+// authentication and integrity of the data handled by the system", §IV
+// "data protection layer"): a store for workflow data objects that
+// encrypts at rest with AES-128-GCM (per-object keys derived via
+// HMAC-SHA256 from a master secret), authenticates on read, and enforces
+// taint clearance at access time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "security/aes.hpp"
+#include "security/taint.hpp"
+
+namespace everest::security {
+
+/// Encrypted, labeled storage for named data objects.
+class ProtectedStore {
+ public:
+  explicit ProtectedStore(std::vector<std::uint8_t> master_secret)
+      : master_secret_(std::move(master_secret)) {}
+
+  /// Encrypts and stores `data` under `name` with the given label.
+  /// Overwriting an existing object is allowed (new IV, version bump).
+  Status put(const std::string& name, const std::vector<std::uint8_t>& data,
+             TaintLabel label = {});
+
+  /// Decrypts and returns the object after (1) verifying the GCM tag and
+  /// (2) checking the caller's clearance against the object's label.
+  /// PERMISSION_DENIED on clearance failure, DATA_LOSS on tampering.
+  Result<std::vector<std::uint8_t>> get(const std::string& name,
+                                        const TaintLabel& clearance) const;
+
+  /// The object's label (empty for unknown objects).
+  [[nodiscard]] const TaintLabel& label_of(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return objects_.count(name) > 0;
+  }
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+  /// Total ciphertext bytes at rest.
+  [[nodiscard]] std::size_t bytes_at_rest() const;
+
+  /// Test hook: flips one ciphertext bit to emulate at-rest corruption or
+  /// a malicious modification; get() must subsequently fail DATA_LOSS.
+  Status corrupt(const std::string& name, std::size_t byte_index);
+
+ private:
+  struct StoredObject {
+    std::vector<std::uint8_t> ciphertext;
+    Block16 tag{};
+    std::array<std::uint8_t, 12> iv{};
+    std::uint64_t version = 0;
+    TaintLabel label;
+  };
+
+  /// Per-object key: first 16 bytes of HMAC(master, name).
+  [[nodiscard]] Block16 derive_key(const std::string& name) const;
+
+  std::vector<std::uint8_t> master_secret_;
+  std::map<std::string, StoredObject> objects_;
+  std::uint64_t put_counter_ = 0;
+};
+
+}  // namespace everest::security

@@ -1,0 +1,59 @@
+#include "security/taint.hpp"
+
+#include <algorithm>
+
+namespace everest::security {
+
+bool TaintLabel::subset_of(const TaintLabel& other) const {
+  return std::includes(other.tags_.begin(), other.tags_.end(), tags_.begin(),
+                       tags_.end());
+}
+
+void TaintTracker::set_label(const std::string& object, TaintLabel label) {
+  labels_[object] = std::move(label);
+}
+
+const TaintLabel& TaintTracker::label_of(const std::string& object) const {
+  static const TaintLabel kEmpty;
+  auto it = labels_.find(object);
+  return it == labels_.end() ? kEmpty : it->second;
+}
+
+void TaintTracker::propagate(const std::string& task,
+                             const std::vector<std::string>& inputs,
+                             const std::vector<std::string>& outputs,
+                             const std::set<std::string>& declassifies) {
+  (void)task;  // kept for audit-log extensions
+  TaintLabel joined;
+  for (const std::string& in : inputs) joined.join(label_of(in));
+  std::set<std::string> tags = joined.tags();
+  for (const std::string& d : declassifies) tags.erase(d);
+  TaintLabel out_label{std::move(tags)};
+  for (const std::string& out : outputs) labels_[out] = out_label;
+}
+
+Status TaintTracker::check_sink(const std::string& object,
+                                const TaintLabel& sink_clearance) const {
+  const TaintLabel& label = label_of(object);
+  if (label.subset_of(sink_clearance)) return OkStatus();
+  std::string missing;
+  for (const std::string& tag : label.tags()) {
+    if (!sink_clearance.has(tag)) {
+      if (!missing.empty()) missing += ", ";
+      missing += tag;
+    }
+  }
+  return PermissionDenied("object '" + object +
+                          "' carries uncleared tags: " + missing);
+}
+
+std::vector<std::string> TaintTracker::objects_with(
+    const std::string& tag) const {
+  std::vector<std::string> out;
+  for (const auto& [object, label] : labels_) {
+    if (label.has(tag)) out.push_back(object);
+  }
+  return out;
+}
+
+}  // namespace everest::security

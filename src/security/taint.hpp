@@ -1,0 +1,73 @@
+// Data-centric information-flow tracking for workflow data objects — the
+// software half of the TaintHLS story (paper §III-A: "information flow
+// tracking, monitoring, and protection against malicious uses"). Labels
+// propagate through task dependencies; policies check that confidential
+// data never reaches an unprotected sink.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace everest::security {
+
+/// Security label lattice: a set of tags (e.g. "confidential", "pii",
+/// "integrity-checked"). Join = set union.
+class TaintLabel {
+ public:
+  TaintLabel() = default;
+  explicit TaintLabel(std::set<std::string> tags) : tags_(std::move(tags)) {}
+
+  void add(const std::string& tag) { tags_.insert(tag); }
+  [[nodiscard]] bool has(const std::string& tag) const {
+    return tags_.count(tag) > 0;
+  }
+  [[nodiscard]] bool empty() const { return tags_.empty(); }
+  [[nodiscard]] const std::set<std::string>& tags() const { return tags_; }
+
+  /// Lattice join.
+  void join(const TaintLabel& other) {
+    tags_.insert(other.tags_.begin(), other.tags_.end());
+  }
+
+  /// True if this label flows to (is a subset of what's allowed by) other.
+  [[nodiscard]] bool subset_of(const TaintLabel& other) const;
+
+ private:
+  std::set<std::string> tags_;
+};
+
+/// Tracks labels over named data objects and propagates through task edges.
+class TaintTracker {
+ public:
+  /// Sets the label of a source object.
+  void set_label(const std::string& object, TaintLabel label);
+
+  [[nodiscard]] const TaintLabel& label_of(const std::string& object) const;
+
+  /// Records that `task` consumed `inputs` and produced `outputs`: every
+  /// output's label joins all input labels. `declassifies` removes the
+  /// listed tags from the outputs (explicit, audited downgrade).
+  void propagate(const std::string& task,
+                 const std::vector<std::string>& inputs,
+                 const std::vector<std::string>& outputs,
+                 const std::set<std::string>& declassifies = {});
+
+  /// Policy check: an object may reach a sink only if the sink's clearance
+  /// contains every tag of the object. PERMISSION_DENIED otherwise.
+  Status check_sink(const std::string& object,
+                    const TaintLabel& sink_clearance) const;
+
+  /// All objects currently carrying a given tag.
+  [[nodiscard]] std::vector<std::string> objects_with(
+      const std::string& tag) const;
+
+ private:
+  std::map<std::string, TaintLabel> labels_;
+};
+
+}  // namespace everest::security

@@ -1,0 +1,331 @@
+#include "workflow/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace everest::workflow {
+
+std::string_view to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kHeft: return "heft";
+    case SchedulerKind::kWorkStealing: return "work-stealing";
+  }
+  return "?";
+}
+
+std::vector<WorkerSpec> workers_from_platform(
+    const platform::PlatformSpec& spec) {
+  std::vector<WorkerSpec> workers;
+  for (const platform::NodeSpec& node : spec.nodes) {
+    WorkerSpec w;
+    w.name = node.name;
+    w.gflops = node.cpu.peak_gflops_per_core * node.cpu.cores * 0.6;
+    const bool cloud = node.tier == platform::Tier::kCloud;
+    w.link_gbps = cloud ? spec.intra_dc.bandwidth_gbps
+                        : spec.edge_uplink.bandwidth_gbps;
+    w.link_latency_us =
+        cloud ? spec.intra_dc.latency_us : spec.edge_uplink.latency_us;
+    workers.push_back(std::move(w));
+  }
+  return workers;
+}
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+double compute_us(const TaskNode& task, const WorkerSpec& worker) {
+  return task.flops / (worker.gflops * 1e3);  // GFLOP/s → FLOP/us
+}
+
+/// Transfer time for pulling all dep outputs produced on other workers.
+/// Fetches overlap, so the cost is the slowest single fetch.
+double transfer_us(const TaskGraph& graph, const TaskNode& task,
+                   std::size_t target_worker,
+                   const std::vector<std::size_t>& assignment,
+                   const std::vector<WorkerSpec>& workers,
+                   double* bytes_moved) {
+  double worst = 0.0;
+  for (std::size_t dep : task.deps) {
+    if (assignment[dep] == target_worker || assignment[dep] == kNone) continue;
+    const WorkerSpec& w = workers[target_worker];
+    const double bytes = graph.task(dep).output_bytes;
+    worst = std::max(worst,
+                     w.link_latency_us + bytes / (w.link_gbps * 1e3));
+    if (bytes_moved != nullptr) *bytes_moved += bytes;
+  }
+  return worst;
+}
+
+/// HEFT: upward ranks, then min-EFT worker per task in rank order.
+/// Returns per-task assignment and a priority order.
+void heft_plan(const TaskGraph& graph, const std::vector<WorkerSpec>& workers,
+               std::vector<std::size_t>* assignment,
+               std::vector<std::size_t>* order) {
+  const std::size_t n = graph.size();
+  double mean_gflops = 0.0;
+  for (const WorkerSpec& w : workers) mean_gflops += w.gflops;
+  mean_gflops /= static_cast<double>(workers.size());
+  double mean_gbps = 0.0, mean_lat = 0.0;
+  for (const WorkerSpec& w : workers) {
+    mean_gbps += w.link_gbps;
+    mean_lat += w.link_latency_us;
+  }
+  mean_gbps /= static_cast<double>(workers.size());
+  mean_lat /= static_cast<double>(workers.size());
+
+  const auto succ = graph.successors();
+  std::vector<double> rank(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    const TaskNode& task = graph.task(i);
+    const double w_avg = task.flops / (mean_gflops * 1e3);
+    double best_succ = 0.0;
+    for (std::size_t s : succ[i]) {
+      const double comm =
+          mean_lat + task.output_bytes / (mean_gbps * 1e3);
+      best_succ = std::max(best_succ, comm + rank[s]);
+    }
+    rank[i] = w_avg + best_succ;
+  }
+  order->resize(n);
+  for (std::size_t i = 0; i < n; ++i) (*order)[i] = i;
+  std::stable_sort(order->begin(), order->end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rank[a] > rank[b];
+                   });
+
+  // Min-EFT placement.
+  assignment->assign(n, kNone);
+  std::vector<double> worker_free(workers.size(), 0.0);
+  std::vector<double> finish(n, 0.0);
+  for (std::size_t t : *order) {
+    const TaskNode& task = graph.task(t);
+    double best_eft = std::numeric_limits<double>::infinity();
+    std::size_t best_worker = 0;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      double data_ready = 0.0;
+      for (std::size_t dep : task.deps) {
+        double arrive = finish[dep];
+        if ((*assignment)[dep] != w) {
+          arrive += workers[w].link_latency_us +
+                    graph.task(dep).output_bytes /
+                        (workers[w].link_gbps * 1e3);
+        }
+        data_ready = std::max(data_ready, arrive);
+      }
+      const double start = std::max(worker_free[w], data_ready);
+      const double eft = start + compute_us(task, workers[w]);
+      if (eft < best_eft) {
+        best_eft = eft;
+        best_worker = w;
+      }
+    }
+    (*assignment)[t] = best_worker;
+    finish[t] = best_eft;
+    worker_free[best_worker] = best_eft;
+  }
+}
+
+}  // namespace
+
+Result<ScheduleOutcome> simulate_schedule(
+    const TaskGraph& graph, const std::vector<WorkerSpec>& workers,
+    const SimulationOptions& options) {
+  EVEREST_RETURN_IF_ERROR(graph.validate());
+  if (workers.empty()) return InvalidArgument("no workers");
+  const std::size_t n = graph.size();
+  ScheduleOutcome outcome;
+  outcome.busy_us.assign(workers.size(), 0.0);
+  outcome.assignment.assign(n, kNone);
+  if (n == 0) return outcome;
+
+  Rng rng(options.seed);
+  const auto succ = graph.successors();
+
+  // HEFT precomputes a static plan; FIFO/WS decide online.
+  std::vector<std::size_t> heft_assignment, heft_order;
+  std::vector<std::size_t> heft_position(n, 0);
+  if (options.scheduler == SchedulerKind::kHeft) {
+    heft_plan(graph, workers, &heft_assignment, &heft_order);
+    for (std::size_t i = 0; i < n; ++i) heft_position[heft_order[i]] = i;
+  }
+
+  std::vector<std::size_t> missing_deps(n);
+  for (std::size_t i = 0; i < n; ++i) missing_deps[i] = graph.task(i).deps.size();
+  std::vector<double> finish(n, 0.0);
+  std::vector<int> attempts(n, 0);
+
+  // Ready containers.
+  // FIFO: one central deque. WS: per-worker deques (locality placement).
+  // HEFT: per-worker sets ordered by rank position.
+  std::deque<std::size_t> central;
+  std::vector<std::deque<std::size_t>> local(workers.size());
+  auto heft_cmp = [&](std::size_t a, std::size_t b) {
+    return heft_position[a] > heft_position[b];
+  };
+  std::vector<std::priority_queue<std::size_t, std::vector<std::size_t>,
+                                  decltype(heft_cmp)>>
+      heft_ready(workers.size(),
+                 std::priority_queue<std::size_t, std::vector<std::size_t>,
+                                     decltype(heft_cmp)>(heft_cmp));
+
+  auto locality_worker = [&](std::size_t task) -> std::size_t {
+    // Place where the biggest input lives; round-robin for roots.
+    double best_bytes = -1.0;
+    std::size_t best = task % workers.size();
+    for (std::size_t dep : graph.task(task).deps) {
+      if (outcome.assignment[dep] == kNone) continue;
+      if (graph.task(dep).output_bytes > best_bytes) {
+        best_bytes = graph.task(dep).output_bytes;
+        best = outcome.assignment[dep];
+      }
+    }
+    return best;
+  };
+
+  auto enqueue_ready = [&](std::size_t task) {
+    switch (options.scheduler) {
+      case SchedulerKind::kFifo:
+        central.push_back(task);
+        break;
+      case SchedulerKind::kWorkStealing:
+        local[locality_worker(task)].push_back(task);
+        break;
+      case SchedulerKind::kHeft:
+        heft_ready[heft_assignment[task]].push(task);
+        break;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (missing_deps[i] == 0) enqueue_ready(i);
+  }
+
+  // Event loop over worker completions.
+  struct Completion {
+    double time;
+    std::size_t worker;
+    std::size_t task;
+    bool operator>(const Completion& other) const {
+      if (time != other.time) return time > other.time;
+      return task > other.task;
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running;
+  std::vector<bool> busy(workers.size(), false);
+  std::vector<double> worker_now(workers.size(), 0.0);
+  double now = 0.0;
+  std::size_t completed = 0;
+
+  auto try_dispatch = [&](std::size_t w) -> bool {
+    if (busy[w]) return false;
+    std::size_t task = kNone;
+    switch (options.scheduler) {
+      case SchedulerKind::kFifo:
+        if (!central.empty()) {
+          task = central.front();
+          central.pop_front();
+        }
+        break;
+      case SchedulerKind::kWorkStealing: {
+        if (!local[w].empty()) {
+          task = local[w].front();
+          local[w].pop_front();
+        } else {
+          // Steal from the longest queue.
+          std::size_t victim = kNone, longest = 0;
+          for (std::size_t v = 0; v < workers.size(); ++v) {
+            if (local[v].size() > longest) {
+              longest = local[v].size();
+              victim = v;
+            }
+          }
+          if (victim != kNone) {
+            task = local[victim].back();
+            local[victim].pop_back();
+          }
+        }
+        break;
+      }
+      case SchedulerKind::kHeft:
+        if (!heft_ready[w].empty()) {
+          task = heft_ready[w].top();
+          heft_ready[w].pop();
+        }
+        break;
+    }
+    if (task == kNone) return false;
+    outcome.assignment[task] = w;
+    double moved = 0.0;
+    const double xfer = transfer_us(graph, graph.task(task), w,
+                                    outcome.assignment, workers, &moved);
+    outcome.bytes_transferred += moved;
+    const double exec = compute_us(graph.task(task), workers[w]);
+    const double start = std::max(now, worker_now[w]);
+    const double end = start + xfer + exec;
+    outcome.busy_us[w] += exec;
+    worker_now[w] = end;
+    busy[w] = true;
+    ++outcome.executions;
+    running.push({end, w, task});
+    return true;
+  };
+
+  auto dispatch_all = [&] {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        progress |= try_dispatch(w);
+      }
+    }
+  };
+
+  dispatch_all();
+  while (completed < n) {
+    if (running.empty()) {
+      return Internal("scheduler deadlock: no running task but " +
+                      std::to_string(n - completed) + " remain");
+    }
+    const Completion done = running.top();
+    running.pop();
+    now = done.time;
+    busy[done.worker] = false;
+    const bool failed = options.failure_probability > 0 &&
+                        rng.bernoulli(options.failure_probability);
+    if (failed) {
+      if (++attempts[done.task] > options.max_retries) {
+        return ResourceExhausted("task '" + graph.task(done.task).name +
+                                 "' exceeded retry budget");
+      }
+      // Retry on the same worker.
+      switch (options.scheduler) {
+        case SchedulerKind::kFifo: central.push_front(done.task); break;
+        case SchedulerKind::kWorkStealing:
+          local[done.worker].push_front(done.task);
+          break;
+        case SchedulerKind::kHeft: heft_ready[done.worker].push(done.task); break;
+      }
+    } else {
+      finish[done.task] = now;
+      ++completed;
+      outcome.makespan_us = std::max(outcome.makespan_us, now);
+      for (std::size_t s : succ[done.task]) {
+        if (--missing_deps[s] == 0) enqueue_ready(s);
+      }
+    }
+    dispatch_all();
+  }
+
+  double mean = 0.0;
+  for (double b : outcome.busy_us) {
+    mean += outcome.makespan_us > 0 ? b / outcome.makespan_us : 0.0;
+  }
+  outcome.mean_utilization = mean / static_cast<double>(workers.size());
+  return outcome;
+}
+
+}  // namespace everest::workflow

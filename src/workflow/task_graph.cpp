@@ -1,0 +1,166 @@
+#include "workflow/task_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace everest::workflow {
+
+std::size_t TaskGraph::add_task(TaskNode node) {
+  tasks_.push_back(std::move(node));
+  return tasks_.size() - 1;
+}
+
+std::vector<std::vector<std::size_t>> TaskGraph::successors() const {
+  std::vector<std::vector<std::size_t>> out(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (std::size_t dep : tasks_[i].deps) out[dep].push_back(i);
+  }
+  return out;
+}
+
+Status TaskGraph::validate() const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (std::size_t dep : tasks_[i].deps) {
+      if (dep >= i) {
+        return InvalidArgument("task '" + tasks_[i].name +
+                               "' depends on a later or equal task id");
+      }
+    }
+    if (tasks_[i].flops < 0 || tasks_[i].output_bytes < 0) {
+      return InvalidArgument("task '" + tasks_[i].name +
+                             "' has negative work or output size");
+    }
+  }
+  return OkStatus();
+}
+
+double TaskGraph::total_flops() const {
+  double sum = 0.0;
+  for (const TaskNode& t : tasks_) sum += t.flops;
+  return sum;
+}
+
+double TaskGraph::critical_path_flops() const {
+  std::vector<double> path(tasks_.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    double longest_dep = 0.0;
+    for (std::size_t dep : tasks_[i].deps) {
+      longest_dep = std::max(longest_dep, path[dep]);
+    }
+    path[i] = longest_dep + tasks_[i].flops;
+    best = std::max(best, path[i]);
+  }
+  return best;
+}
+
+Result<TaskGraph> TaskGraph::from_ir(ir::Function& fn) {
+  TaskGraph graph;
+  // Map from defining op → task id, in program order.
+  std::map<const ir::Operation*, std::size_t> task_of;
+  for (auto& op : fn.entry()) {
+    const std::string& n = op->name();
+    if (n != "workflow.task" && n != "workflow.source" && n != "workflow.sink") {
+      continue;
+    }
+    TaskNode node;
+    node.name = op->str_attr("name", "task" + std::to_string(graph.size()));
+    if (n == "workflow.task") {
+      node.flops = op->double_attr("est_flops", 1e6);
+      node.kernel = op->str_attr("kernel");
+      if (op->num_results() == 1 && op->result_types()[0].is_shaped()) {
+        node.output_bytes =
+            static_cast<double>(op->result_types()[0].byte_size());
+      }
+    } else if (n == "workflow.source") {
+      node.flops = 0.0;
+      node.output_bytes = 4096.0;  // stream window handle
+    } else {
+      node.flops = 0.0;
+    }
+    for (std::size_t i = 0; i < op->num_operands(); ++i) {
+      const ir::Value& v = op->operand(i);
+      if (!v.is_op_result()) continue;
+      auto it = task_of.find(v.defining_op());
+      if (it != task_of.end()) node.deps.push_back(it->second);
+    }
+    task_of[op.get()] = graph.add_task(std::move(node));
+  }
+  EVEREST_RETURN_IF_ERROR(graph.validate());
+  return graph;
+}
+
+TaskGraph TaskGraph::random_layered(std::size_t layers, std::size_t width,
+                                    int max_deps, Rng& rng, double mean_flops,
+                                    double mean_bytes) {
+  TaskGraph graph;
+  std::vector<std::size_t> previous;
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    std::vector<std::size_t> current;
+    for (std::size_t w = 0; w < width; ++w) {
+      TaskNode node;
+      node.name = "t" + std::to_string(layer) + "_" + std::to_string(w);
+      node.flops = rng.lognormal(std::log(mean_flops), 0.6);
+      node.output_bytes = rng.lognormal(std::log(mean_bytes), 0.5);
+      if (!previous.empty()) {
+        const int deps = 1 + static_cast<int>(rng.uniform_int(
+                                 static_cast<std::uint64_t>(max_deps)));
+        std::vector<std::size_t> pool = previous;
+        rng.shuffle(pool);
+        for (int d = 0; d < deps && d < static_cast<int>(pool.size()); ++d) {
+          node.deps.push_back(pool[static_cast<std::size_t>(d)]);
+        }
+        std::sort(node.deps.begin(), node.deps.end());
+        node.deps.erase(std::unique(node.deps.begin(), node.deps.end()),
+                        node.deps.end());
+      }
+      current.push_back(graph.add_task(std::move(node)));
+    }
+    previous = std::move(current);
+  }
+  return graph;
+}
+
+TaskGraph TaskGraph::map_reduce(std::size_t width, std::size_t reducers,
+                                double map_flops, double reduce_flops,
+                                double shuffle_bytes) {
+  TaskGraph graph;
+  std::vector<std::size_t> mappers;
+  for (std::size_t i = 0; i < width; ++i) {
+    TaskNode m;
+    m.name = "map" + std::to_string(i);
+    m.flops = map_flops;
+    m.output_bytes = shuffle_bytes;
+    mappers.push_back(graph.add_task(std::move(m)));
+  }
+  for (std::size_t r = 0; r < reducers; ++r) {
+    TaskNode red;
+    red.name = "reduce" + std::to_string(r);
+    red.flops = reduce_flops;
+    red.output_bytes = shuffle_bytes / 8;
+    red.deps = mappers;
+    graph.add_task(std::move(red));
+  }
+  return graph;
+}
+
+TaskGraph TaskGraph::pipeline(std::size_t stages, std::size_t width,
+                              double stage_flops, double stage_bytes) {
+  TaskGraph graph;
+  std::vector<std::size_t> previous(width, 0);
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<std::size_t> current;
+    for (std::size_t w = 0; w < width; ++w) {
+      TaskNode node;
+      node.name = "s" + std::to_string(s) + "_l" + std::to_string(w);
+      node.flops = stage_flops;
+      node.output_bytes = stage_bytes;
+      if (s > 0) node.deps = {previous[w]};
+      current.push_back(graph.add_task(std::move(node)));
+    }
+    previous = std::move(current);
+  }
+  return graph;
+}
+
+}  // namespace everest::workflow

@@ -1,0 +1,82 @@
+// Task graphs for the HyperLoom-style workflow engine (paper §III-A:
+// "end-to-end data processing workflows composed of a large number of
+// interconnected computational tasks of various granularity").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/graph.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "ir/module.hpp"
+
+namespace everest::workflow {
+
+/// One computational task.
+struct TaskNode {
+  std::string name;
+  /// Work per execution (FLOPs).
+  double flops = 1e6;
+  /// Size of the produced data object (bytes), transferred to consumers.
+  double output_bytes = 0.0;
+  /// Kernel symbol (for variant lookup by the runtime), may be empty.
+  std::string kernel;
+  /// Predecessor task ids.
+  std::vector<std::size_t> deps;
+};
+
+/// An immutable-after-build DAG of tasks.
+class TaskGraph {
+ public:
+  /// Adds a task; `deps` must reference earlier tasks.
+  std::size_t add_task(TaskNode node);
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] const TaskNode& task(std::size_t i) const { return tasks_[i]; }
+  [[nodiscard]] const std::vector<TaskNode>& tasks() const { return tasks_; }
+
+  /// Consumers of each task (derived).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> successors() const;
+
+  /// Structural check: deps in range and acyclic (guaranteed by builder,
+  /// checked for graphs loaded from IR).
+  [[nodiscard]] Status validate() const;
+
+  /// Total work (FLOPs) and the critical-path work (FLOPs along the
+  /// heaviest dependency chain) — bounds on speedup.
+  [[nodiscard]] double total_flops() const;
+  [[nodiscard]] double critical_path_flops() const;
+
+  /// Builds from a workflow-dialect IR function: every workflow.task op
+  /// becomes a task (est_flops attr or 1 MFLOP default); sources/sinks are
+  /// zero-work endpoints.
+  static Result<TaskGraph> from_ir(ir::Function& fn);
+
+  // ---- Synthetic generators for scaling studies (E8) ----
+
+  /// Layered random DAG: `layers` × `width` tasks, each task depends on
+  /// 1..max_deps random tasks of the previous layer.
+  static TaskGraph random_layered(std::size_t layers, std::size_t width,
+                                  int max_deps, Rng& rng,
+                                  double mean_flops = 5e7,
+                                  double mean_bytes = 1e6);
+
+  /// Classic map-shuffle-reduce: `width` mappers, `reducers` reducers, each
+  /// reducer reads every mapper (all-to-all shuffle).
+  static TaskGraph map_reduce(std::size_t width, std::size_t reducers,
+                              double map_flops = 5e7,
+                              double reduce_flops = 2e7,
+                              double shuffle_bytes = 4e6);
+
+  /// Linear pipeline of `stages` stages, `width` independent lanes.
+  static TaskGraph pipeline(std::size_t stages, std::size_t width,
+                            double stage_flops = 5e7,
+                            double stage_bytes = 1e6);
+
+ private:
+  std::vector<TaskNode> tasks_;
+};
+
+}  // namespace everest::workflow

@@ -1,0 +1,145 @@
+// Tests for the backend emitter: SYCL-flavored source structure, offload
+// and sealing decisions, IR annotation, and metadata round-trip.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "compiler/backend.hpp"
+#include "dsl/workflow_dsl.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace everest::compiler {
+namespace {
+
+Variant cpu_variant(const std::string& kernel) {
+  Variant v;
+  v.id = kernel + "-cpu-t8";
+  v.kernel = kernel;
+  v.target = TargetKind::kCpu;
+  v.threads = 8;
+  v.latency_us = 50;
+  return v;
+}
+
+Variant fpga_variant(const std::string& kernel, bool dift = false,
+                     const std::string& device = "P9-VU9P") {
+  Variant v;
+  v.id = kernel + "-fpga-u4";
+  v.kernel = kernel;
+  v.target = TargetKind::kFpga;
+  v.unroll = 4;
+  v.dift = dift;
+  v.device = device;
+  v.latency_us = 10;
+  return v;
+}
+
+ir::Module make_pipeline() {
+  dsl::WorkflowBuilder wf("pipeline");
+  dsl::SourceOptions so;
+  so.rate_hz = 50.0;
+  auto src = wf.source("sensor", so);
+  dsl::DataAnnotations secret;
+  secret.confidential = true;
+  auto clean = wf.task("clean").kernel("clean_k").inputs({src})
+                   .output_shape({1024}).annotate(secret).done();
+  auto infer = wf.task("infer").kernel("infer_k").inputs({clean})
+                   .output_shape({16}).done();
+  EXPECT_TRUE(wf.sink("dashboard", infer).ok());
+  return wf.lower().value();
+}
+
+TEST(Backend, EmitsSyclOrchestration) {
+  ir::Module m = make_pipeline();
+  std::map<std::string, Variant> selection = {
+      {"clean_k", fpga_variant("clean_k", /*dift=*/true)},
+      {"infer_k", cpu_variant("infer_k")},
+  };
+  auto out = emit_backend(m, "pipeline", selection);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out->tasks, 2);
+  EXPECT_EQ(out->offloaded, 1);
+  EXPECT_EQ(out->sealed, 1);  // confidential clean task
+  // Source structure.
+  EXPECT_NE(out->source.find("#include <sycl/sycl.hpp>"), std::string::npos);
+  EXPECT_NE(out->source.find("rt.subscribe(\"sensor\""), std::string::npos);
+  EXPECT_NE(out->source.find("rt.seal("), std::string::npos);
+  EXPECT_NE(out->source.find("everest::offload(rt, \"clean_k\""),
+            std::string::npos);
+  EXPECT_NE(out->source.find(".link = \"opencapi\""), std::string::npos);
+  EXPECT_NE(out->source.find(".dift = true"), std::string::npos);
+  EXPECT_NE(out->source.find("h.parallel_for(sycl::range<1>(8), "
+                             "infer_k_kernel"),
+            std::string::npos);
+  EXPECT_NE(out->source.find("rt.publish(\"dashboard\""), std::string::npos);
+  // Data flows by generated variable, not placeholders.
+  EXPECT_EQ(out->source.find("/*?*/"), std::string::npos);
+}
+
+TEST(Backend, NetworkDeviceUsesNetworkLink) {
+  ir::Module m = make_pipeline();
+  std::map<std::string, Variant> selection = {
+      {"clean_k", fpga_variant("clean_k", false, "cloudFPGA-KU060")},
+  };
+  auto out = emit_backend(m, "pipeline", selection);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->source.find(".link = \"network\""), std::string::npos);
+}
+
+TEST(Backend, AnnotatesIrAndKeepsItValid) {
+  ir::Module m = make_pipeline();
+  std::map<std::string, Variant> selection = {
+      {"infer_k", cpu_variant("infer_k")}};
+  auto out = emit_backend(m, "pipeline", selection);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(ir::verify(m).ok()) << ir::verify(m).to_string();
+  bool annotated = false;
+  m.find("pipeline")->walk([&](ir::Operation& op) {
+    if (op.str_attr("kernel") == "infer_k") {
+      annotated = op.str_attr("ev.selected_variant") == "infer_k-cpu-t8";
+    }
+  });
+  EXPECT_TRUE(annotated);
+  // The annotated IR still round-trips through print/parse.
+  const std::string text = ir::print(m);
+  EXPECT_NE(text.find("ev.selected_variant"), std::string::npos);
+}
+
+TEST(Backend, MetadataParsesAndMatchesSelection) {
+  ir::Module m = make_pipeline();
+  std::map<std::string, Variant> selection = {
+      {"clean_k", fpga_variant("clean_k")},
+      {"infer_k", cpu_variant("infer_k")},
+  };
+  auto out = emit_backend(m, "pipeline", selection);
+  ASSERT_TRUE(out.ok());
+  auto doc = json::parse(out->metadata_json);
+  ASSERT_TRUE(doc.ok());
+  auto restored = variants_from_json(*doc);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+}
+
+TEST(Backend, UnselectedKernelsRunAsHostTasks) {
+  ir::Module m = make_pipeline();
+  auto out = emit_backend(m, "pipeline", {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->offloaded, 0);
+  EXPECT_NE(out->source.find("// host task"), std::string::npos);
+}
+
+TEST(Backend, ErrorsSurfaced) {
+  ir::Module m = make_pipeline();
+  EXPECT_EQ(emit_backend(m, "ghost", {}).status().code(),
+            StatusCode::kNotFound);
+  // A non-workflow function is rejected.
+  dsl::TensorProgram p("plain");
+  auto x = p.input("x", {4});
+  p.output("y", relu(x));
+  ir::Module m2 = p.lower().value();
+  EXPECT_EQ(emit_backend(m2, "plain", {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace everest::compiler

@@ -1,0 +1,364 @@
+// Unit tests for the common substrate: status, rng, stats, graph, json,
+// strings, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/graph.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace everest {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad tile size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad tile size");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad tile size");
+}
+
+TEST(Status, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(PermissionDenied("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Status use_half(int x, int* out) {
+  EVEREST_ASSIGN_OR_RETURN(*out, half(x));
+  return OkStatus();
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(use_half(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(use_half(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  OnlineStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.03);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  OnlineStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.exponential(4.0));
+  EXPECT_NEAR(st.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const std::size_t k = rng.weighted_index(w);
+    ASSERT_LT(k, 3u);
+    counts[k]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+  Rng rng(1);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(w), 2u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(child.next(), a.next());
+}
+
+// ----------------------------------------------------------------- Stats --
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 4.571428571, 1e-6);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombinedStream) {
+  OnlineStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(10, 2);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Ewma, TracksShiftedMean) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(5.0);
+  EXPECT_NEAR(e.mean(), 5.0, 1e-9);
+  for (int i = 0; i < 200; ++i) e.add(9.0);
+  EXPECT_NEAR(e.mean(), 9.0, 0.01);
+}
+
+TEST(Ewma, ZscoreFlagsOutlier) {
+  Ewma e(0.1);
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) e.add(rng.normal(10.0, 1.0));
+  EXPECT_GT(e.zscore(20.0), 5.0);
+  EXPECT_LT(std::abs(e.zscore(10.0)), 1.5);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, RmseAndPearson) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = {4, 3, 2, 1};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rmse(a, c), std::sqrt((9.0 + 1 + 1 + 9) / 4));
+}
+
+// ----------------------------------------------------------------- Graph --
+
+TEST(Digraph, TopologicalOrderOnDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.critical_path_length(), 2u);
+}
+
+TEST(Digraph, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.has_cycle());
+  EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(Digraph, DegreesTracked) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(WeightedDigraph, DijkstraFindsShortestPath) {
+  WeightedDigraph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 1.0);
+  auto sp = g.dijkstra(0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 3.0);
+  EXPECT_TRUE(std::isinf(sp.dist[4]));
+  auto path = WeightedDigraph::extract_path(sp, 0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[3], 3u);
+  EXPECT_TRUE(WeightedDigraph::extract_path(sp, 0, 4).empty());
+}
+
+// ------------------------------------------------------------------ JSON --
+
+TEST(Json, RoundTripObject) {
+  json::Object obj;
+  obj["name"] = "variant-3";
+  obj["latency_us"] = 12.5;
+  obj["threads"] = 8;
+  obj["hw"] = true;
+  obj["tags"] = json::Array{"fpga", "tiled"};
+  const std::string text = json::Value(obj).dump();
+  auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->at("name").as_string(), "variant-3");
+  EXPECT_DOUBLE_EQ(parsed->at("latency_us").as_number(), 12.5);
+  EXPECT_EQ(parsed->at("threads").as_int(), 8);
+  EXPECT_TRUE(parsed->at("hw").as_bool());
+  EXPECT_EQ(parsed->at("tags").as_array().size(), 2u);
+}
+
+TEST(Json, ParsesNestedAndEscapes) {
+  auto v = json::parse(R"({"a": [1, 2.5, null, "x\"y\n"], "b": {"c": false}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->at("a").as_array().size(), 4u);
+  EXPECT_TRUE(v->at("a").as_array()[2].is_null());
+  EXPECT_EQ(v->at("a").as_array()[3].as_string(), "x\"y\n");
+  EXPECT_FALSE(v->at("b").at("c").as_bool());
+  EXPECT_TRUE(v->at("missing").is_null());
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(json::parse("{").ok());
+  EXPECT_FALSE(json::parse("[1,]").ok());
+  EXPECT_FALSE(json::parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(json::parse("12 34").ok());
+  EXPECT_FALSE(json::parse("\"unterminated").ok());
+}
+
+TEST(Json, PrettyPrintStable) {
+  json::Object obj;
+  obj["k"] = json::Array{1, 2};
+  const std::string pretty = json::Value(obj).dump(2);
+  EXPECT_NE(pretty.find("\n"), std::string::npos);
+  auto round = json::parse(pretty);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->at("k").as_array().size(), 2u);
+}
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  auto v = json::parse(R"("é")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xc3\xa9");
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(Strings, SplitJoinTrim) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "-"), "a-b--c");
+  EXPECT_EQ(trim("  x y \n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("tensor.add", "tensor."));
+  EXPECT_FALSE(starts_with("tensor", "tensor."));
+  EXPECT_TRUE(ends_with("kernel.for", ".for"));
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(strprintf("%.2f", 1.239), "1.24");
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string text = t.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, FormatsDoubles) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace everest

@@ -1,0 +1,292 @@
+// Tests for the DSL layer: einsum parsing/inference, annotations, the
+// tensor-expression eDSL, and the workflow eDSL.
+#include <gtest/gtest.h>
+
+#include "dsl/einsum.hpp"
+#include "dsl/tensor_expr.hpp"
+#include "dsl/workflow_dsl.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace everest::dsl {
+namespace {
+
+// ---------------------------------------------------------------- Einsum --
+
+TEST(Einsum, ParsesMatmulSpec) {
+  auto spec = parse_einsum("ij,jk->ik");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->inputs.size(), 2u);
+  EXPECT_EQ(spec->output, "ik");
+  EXPECT_EQ(spec->all_indices(), "ijk");
+  EXPECT_EQ(spec->contracted_indices(), "j");
+  EXPECT_EQ(spec->to_string(), "ij,jk->ik");
+}
+
+TEST(Einsum, ParsesReductionAndOuterProduct) {
+  auto red = parse_einsum("ij->i");
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(red->contracted_indices(), "j");
+  auto outer = parse_einsum("i,j->ij");
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(outer->contracted_indices(), "");
+}
+
+TEST(Einsum, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse_einsum("ij,jk").ok());        // no arrow
+  EXPECT_FALSE(parse_einsum("iJ->i").ok());        // uppercase
+  EXPECT_FALSE(parse_einsum("ii->i").ok());        // trace shorthand
+  EXPECT_FALSE(parse_einsum("ij,->ij").ok());      // empty operand
+  EXPECT_FALSE(parse_einsum("ij->ik").ok());       // unknown output index
+}
+
+TEST(Einsum, InfersShapes) {
+  auto spec = parse_einsum("ij,jk->ik").value();
+  auto shape = infer_output_shape(spec, {{4, 5}, {5, 7}});
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(*shape, (std::vector<std::int64_t>{4, 7}));
+  auto flops = contraction_flops(spec, {{4, 5}, {5, 7}});
+  ASSERT_TRUE(flops.ok());
+  EXPECT_EQ(*flops, 4 * 5 * 7);
+}
+
+TEST(Einsum, DetectsInconsistentExtents) {
+  auto spec = parse_einsum("ij,jk->ik").value();
+  auto bad = infer_output_shape(spec, {{4, 5}, {6, 7}});
+  EXPECT_FALSE(bad.ok());
+  auto rank = infer_output_shape(spec, {{4, 5, 9}, {5, 7}});
+  EXPECT_FALSE(rank.ok());
+  auto count = infer_output_shape(spec, {{4, 5}});
+  EXPECT_FALSE(count.ok());
+}
+
+TEST(Einsum, BatchedContraction) {
+  auto spec = parse_einsum("bij,bjk->bik");
+  ASSERT_TRUE(spec.ok());
+  auto shape = infer_output_shape(*spec, {{8, 4, 5}, {8, 5, 6}});
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(*shape, (std::vector<std::int64_t>{8, 4, 6}));
+}
+
+// ----------------------------------------------------------- Annotations --
+
+TEST(Annotations, RoundTripThroughAttrs) {
+  DataAnnotations a;
+  a.volume_mb = 120.5;
+  a.locality = Locality::kStreaming;
+  a.confidential = true;
+  a.integrity = true;
+  a.provenance = "wind-sensor";
+  ir::AttrMap attrs;
+  a.attach_to(attrs);
+  DataAnnotations b = DataAnnotations::from_attrs(attrs);
+  EXPECT_DOUBLE_EQ(b.volume_mb, 120.5);
+  EXPECT_EQ(b.locality, Locality::kStreaming);
+  EXPECT_TRUE(b.confidential);
+  EXPECT_TRUE(b.integrity);
+  EXPECT_EQ(b.provenance, "wind-sensor");
+}
+
+TEST(Annotations, DefaultsWhenAbsent) {
+  DataAnnotations d = DataAnnotations::from_attrs({});
+  EXPECT_DOUBLE_EQ(d.volume_mb, 0.0);
+  EXPECT_EQ(d.locality, Locality::kResident);
+  EXPECT_FALSE(d.confidential);
+}
+
+// ------------------------------------------------------------ Tensor DSL --
+
+TEST(TensorDsl, ShapeInferenceThroughExpressions) {
+  TensorProgram p("k");
+  auto x = p.input("x", {4, 8});
+  auto w = p.input("w", {8, 3});
+  auto y = matmul(x, w);
+  EXPECT_TRUE(y.ok());
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{4, 3}));
+  auto z = relu(y + y);
+  EXPECT_TRUE(z.ok());
+  EXPECT_EQ(z.shape(), (std::vector<std::int64_t>{4, 3}));
+  auto t = transpose(z, {1, 0});
+  EXPECT_EQ(t.shape(), (std::vector<std::int64_t>{3, 4}));
+  auto r = reduce("sum", t);
+  EXPECT_TRUE(r.shape().empty());
+}
+
+TEST(TensorDsl, ErrorsPropagateStickily) {
+  TensorProgram p("k");
+  auto x = p.input("x", {4, 8});
+  auto w = p.input("w", {9, 3});     // wrong inner dim
+  auto bad = matmul(x, w);
+  EXPECT_FALSE(bad.ok());
+  auto worse = relu(bad + bad);
+  EXPECT_FALSE(worse.ok());
+  EXPECT_NE(worse.error().find("inner dimensions"), std::string::npos);
+  p.output("y", worse);
+  EXPECT_FALSE(p.lower().ok());
+}
+
+TEST(TensorDsl, LowersMlpToVerifiedIr) {
+  TensorProgram p("mlp");
+  DataAnnotations secret;
+  secret.confidential = true;
+  auto x = p.input("x", {16, 32}, secret);
+  auto w1 = p.input("w1", {32, 64});
+  auto w2 = p.input("w2", {64, 8});
+  p.output("y", matmul(relu(matmul(x, w1)), w2));
+  auto m = p.lower();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  EXPECT_TRUE(ir::verify(*m).ok()) << ir::verify(*m).to_string();
+  const ir::Function* fn = m->find("mlp");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->input_types().size(), 3u);
+  EXPECT_EQ(fn->result_types().size(), 1u);
+  EXPECT_EQ(fn->result_types()[0].to_string(), "tensor<16x8xf64>");
+  // Security annotation propagated to function level.
+  const ir::Attribute* prot = fn->attr("ev.requires_protection");
+  ASSERT_NE(prot, nullptr);
+  EXPECT_TRUE(prot->as_bool());
+}
+
+TEST(TensorDsl, MemoizesSharedSubexpressions) {
+  TensorProgram p("shared");
+  auto x = p.input("x", {8, 8});
+  auto h = relu(matmul(x, x));
+  p.output("a", h + h);
+  auto m = p.lower();
+  ASSERT_TRUE(m.ok());
+  int matmuls = 0;
+  m->find("shared")->walk([&](ir::Operation& op) {
+    matmuls += op.name() == "tensor.matmul";
+  });
+  EXPECT_EQ(matmuls, 1);  // h lowered once, reused
+}
+
+TEST(TensorDsl, ConstantsAndScale) {
+  TensorProgram p("c");
+  auto x = p.input("x", {2, 2});
+  auto k = p.constant({2, 2}, {1, 2, 3, 4});
+  p.output("y", scale(x * k, 0.5));
+  auto m = p.lower();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  EXPECT_TRUE(ir::verify(*m).ok()) << ir::verify(*m).to_string();
+}
+
+TEST(TensorDsl, RejectsBadConstant) {
+  TensorProgram p("c");
+  auto k = p.constant({2, 2}, {1, 2, 3});  // 3 values for 4 slots
+  EXPECT_FALSE(k.ok());
+  p.output("y", k);
+  EXPECT_FALSE(p.lower().ok());
+}
+
+TEST(TensorDsl, ContractLowering) {
+  TensorProgram p("batched");
+  auto a = p.input("a", {8, 4, 5});
+  auto b = p.input("b", {8, 5, 6});
+  p.output("y", contract("bij,bjk->bik", {a, b}));
+  auto m = p.lower();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  bool found = false;
+  m->find("batched")->walk([&](ir::Operation& op) {
+    if (op.name() == "tensor.contract") {
+      found = true;
+      EXPECT_EQ(op.str_attr("spec"), "bij,bjk->bik");
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(TensorDsl, NoOutputsFailsPrecondition) {
+  TensorProgram p("empty");
+  (void)p.input("x", {4});
+  EXPECT_EQ(p.lower().status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------- Workflow DSL --
+
+TEST(WorkflowDsl, LowersPipelineToWorkflowDialect) {
+  WorkflowBuilder wf("energy");
+  SourceOptions so;
+  so.rate_hz = 24.0;
+  so.annotations.provenance = "ecmwf";
+  auto feed = wf.source("ensemble_feed", so);
+  DataAnnotations big;
+  big.volume_mb = 120;
+  auto grid = wf.task("downscale")
+                  .kernel("downscale_k")
+                  .inputs({feed})
+                  .output_shape({512, 512})
+                  .flops(2.0e9)
+                  .annotate(big)
+                  .done();
+  auto power = wf.task("predict")
+                   .kernel("mlp_k")
+                   .inputs({grid})
+                   .output_shape({24})
+                   .done();
+  ASSERT_TRUE(wf.sink("market", power).ok());
+  auto m = wf.lower();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  EXPECT_TRUE(ir::verify(*m).ok()) << ir::verify(*m).to_string();
+  ir::Function* fn = m->find("energy");
+  ASSERT_NE(fn, nullptr);
+  int sources = 0, tasks = 0, sinks = 0;
+  fn->walk([&](ir::Operation& op) {
+    sources += op.name() == "workflow.source";
+    tasks += op.name() == "workflow.task";
+    sinks += op.name() == "workflow.sink";
+  });
+  EXPECT_EQ(sources, 1);
+  EXPECT_EQ(tasks, 2);
+  EXPECT_EQ(sinks, 1);
+}
+
+TEST(WorkflowDsl, TaskWithoutKernelFails) {
+  WorkflowBuilder wf("w");
+  auto s = wf.source("s");
+  (void)wf.task("t").inputs({s}).done();
+  EXPECT_FALSE(wf.lower().ok());
+}
+
+TEST(WorkflowDsl, InvalidSinkHandleRejected) {
+  WorkflowBuilder wf("w");
+  EXPECT_FALSE(wf.sink("out", WorkflowValue{}).ok());
+}
+
+TEST(WorkflowDsl, AttachedTensorProgramIsLowered) {
+  auto prog = std::make_shared<TensorProgram>("postproc");
+  auto x = prog->input("x", {16, 16});
+  prog->output("y", relu(x + x));
+
+  WorkflowBuilder wf("pipeline");
+  auto s = wf.source("feed");
+  auto t = wf.task("post").implemented_by(prog).inputs({s})
+               .output_shape({16, 16}).done();
+  ASSERT_TRUE(wf.sink("db", t).ok());
+  auto m = wf.lower();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  EXPECT_NE(m->find("postproc"), nullptr);  // kernel function present
+  // Task references the program by symbol.
+  bool ok_symbol = false;
+  m->find("pipeline")->walk([&](ir::Operation& op) {
+    if (op.name() == "workflow.task") {
+      ok_symbol = op.str_attr("kernel") == "postproc";
+    }
+  });
+  EXPECT_TRUE(ok_symbol);
+}
+
+TEST(WorkflowDsl, DiamondDependency) {
+  WorkflowBuilder wf("diamond");
+  auto s = wf.source("s");
+  auto a = wf.task("a").kernel("ka").inputs({s}).output_shape({4}).done();
+  auto b = wf.task("b").kernel("kb").inputs({s}).output_shape({4}).done();
+  auto c = wf.task("c").kernel("kc").inputs({a, b}).output_shape({4}).done();
+  ASSERT_TRUE(wf.sink("out", c).ok());
+  auto m = wf.lower();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  EXPECT_TRUE(ir::verify(*m).ok());
+}
+
+}  // namespace
+}  // namespace everest::dsl

@@ -1,0 +1,493 @@
+// Tests for the HLS engine: CDFG extraction, affine access analysis,
+// scheduling, memory partitioning, binding, and full synthesis with
+// security extensions.
+#include <gtest/gtest.h>
+
+#include "hls/binding.hpp"
+#include "hls/cdfg.hpp"
+#include "hls/crypto_cores.hpp"
+#include "hls/hls.hpp"
+#include "hls/memory.hpp"
+#include "hls/scheduling.hpp"
+#include "ir/builder.hpp"
+#include "ir/dialect.hpp"
+#include "ir/verifier.hpp"
+
+namespace everest::hls {
+namespace {
+
+using ir::Attribute;
+using ir::MemorySpace;
+using ir::OpBuilder;
+using ir::ScalarKind;
+using ir::Type;
+
+/// Builds: for i in [0,n): c[i] = a[i] + b[i]  (all on-chip f64 arrays).
+ir::Module make_vecadd(std::int64_t n) {
+  ir::register_everest_dialects();
+  ir::Module m("vecadd_mod");
+  Type mem = Type::memref({n}, ScalarKind::kF64, MemorySpace::kOnChip);
+  ir::Function* fn =
+      m.add_function("vecadd", Type::function({mem, mem, mem}, {})).value();
+  OpBuilder b(&fn->entry());
+  ir::Operation& loop = b.create("kernel.for", {}, {},
+                                 {{"lb", Attribute::integer(0)},
+                                  {"ub", Attribute::integer(n)},
+                                  {"step", Attribute::integer(1)}});
+  ir::Block& body = loop.emplace_region().emplace_block({Type::index()});
+  OpBuilder ib(&body);
+  ir::Value i = body.arg(0);
+  ir::Value a = ib.create_value("kernel.load", {fn->arg(0), i}, Type::f64());
+  ir::Value bb = ib.create_value("kernel.load", {fn->arg(1), i}, Type::f64());
+  ir::Value c = ib.create_value("kernel.binop", {a, bb}, Type::f64(),
+                                {{"op", Attribute::string("add")}});
+  ib.create("kernel.store", {c, fn->arg(2), i}, {});
+  ib.create("kernel.yield", {}, {});
+  b.ret();
+  EXPECT_TRUE(ir::verify(m).ok()) << ir::verify(m).to_string();
+  return m;
+}
+
+/// Builds a matmul nest: for i, j, k: C[i,j] += A[i,k] * B[k,j].
+ir::Module make_matmul(std::int64_t n) {
+  ir::register_everest_dialects();
+  ir::Module m("matmul_mod");
+  Type mem = Type::memref({n, n}, ScalarKind::kF64, MemorySpace::kOnChip);
+  ir::Function* fn =
+      m.add_function("matmul", Type::function({mem, mem, mem}, {})).value();
+  OpBuilder b(&fn->entry());
+  auto make_loop = [&](OpBuilder& builder) -> ir::Block& {
+    ir::Operation& loop = builder.create("kernel.for", {}, {},
+                                         {{"lb", Attribute::integer(0)},
+                                          {"ub", Attribute::integer(n)},
+                                          {"step", Attribute::integer(1)}});
+    return loop.emplace_region().emplace_block({Type::index()});
+  };
+  ir::Block& bi = make_loop(b);
+  OpBuilder obi(&bi);
+  ir::Block& bj = make_loop(obi);
+  OpBuilder obj(&bj);
+  ir::Block& bk = make_loop(obj);
+  OpBuilder obk(&bk);
+  ir::Value i = bi.arg(0), j = bj.arg(0), k = bk.arg(0);
+  ir::Value a = obk.create_value("kernel.load", {fn->arg(0), i, k}, Type::f64());
+  ir::Value bv = obk.create_value("kernel.load", {fn->arg(1), k, j}, Type::f64());
+  ir::Value cv = obk.create_value("kernel.load", {fn->arg(2), i, j}, Type::f64());
+  ir::Value prod = obk.create_value("kernel.binop", {a, bv}, Type::f64(),
+                                    {{"op", Attribute::string("mul")}});
+  ir::Value acc = obk.create_value("kernel.binop", {cv, prod}, Type::f64(),
+                                   {{"op", Attribute::string("add")}});
+  obk.create("kernel.store", {acc, fn->arg(2), i, j}, {});
+  obk.create("kernel.yield", {}, {});
+  obj.create("kernel.yield", {}, {});
+  obi.create("kernel.yield", {}, {});
+  b.ret();
+  EXPECT_TRUE(ir::verify(m).ok()) << ir::verify(m).to_string();
+  return m;
+}
+
+// ------------------------------------------------------------------ CDFG --
+
+TEST(Cdfg, ExtractsVecaddNest) {
+  ir::Module m = make_vecadd(128);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  ASSERT_TRUE(nests.ok()) << nests.status().to_string();
+  ASSERT_EQ(nests->size(), 1u);
+  const KernelLoopNest& nest = (*nests)[0];
+  ASSERT_EQ(nest.loops.size(), 1u);
+  EXPECT_EQ(nest.loops[0].trip_count(), 128);
+  EXPECT_EQ(nest.innermost_trip(), 128);
+  EXPECT_EQ(nest.outer_iterations(), 1);
+  EXPECT_EQ(nest.nodes.size(), 4u);  // 2 loads, 1 add, 1 store
+  ASSERT_EQ(nest.accesses.size(), 3u);
+  // Unit-stride accesses.
+  for (const MemAccess& acc : nest.accesses) {
+    EXPECT_TRUE(acc.index.analyzable);
+    EXPECT_EQ(acc.index.coeff, 1);
+    EXPECT_EQ(acc.index.constant, 0);
+  }
+  auto hist = nest.op_histogram();
+  EXPECT_EQ(hist[OpClass::kLoad], 2);
+  EXPECT_EQ(hist[OpClass::kStore], 1);
+  EXPECT_EQ(hist[OpClass::kAdd], 1);
+}
+
+TEST(Cdfg, ExtractsMatmulNestWithStrides) {
+  ir::Module m = make_matmul(16);
+  auto nests = extract_loop_nests(*m.find("matmul"));
+  ASSERT_TRUE(nests.ok()) << nests.status().to_string();
+  const KernelLoopNest& nest = (*nests)[0];
+  ASSERT_EQ(nest.loops.size(), 3u);
+  EXPECT_EQ(nest.outer_iterations(), 16 * 16);
+  EXPECT_EQ(nest.innermost_trip(), 16);
+  // A[i,k]: coeff 1; B[k,j]: coeff 16 (row stride); C[i,j]: coeff 0.
+  std::map<std::string, std::int64_t> coeff;
+  for (const MemAccess& acc : nest.accesses) {
+    if (!acc.is_store) coeff[acc.array] = acc.index.coeff;
+    EXPECT_TRUE(acc.index.analyzable);
+  }
+  EXPECT_EQ(coeff["arg0"], 1);
+  EXPECT_EQ(coeff["arg1"], 16);
+  EXPECT_EQ(coeff["arg2"], 0);
+}
+
+TEST(Cdfg, DataDependenciesAreEdges) {
+  ir::Module m = make_vecadd(8);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  // add depends on both loads; store depends on add.
+  EXPECT_GE(nest.deps.num_edges(), 3u);
+  EXPECT_FALSE(nest.deps.has_cycle());
+}
+
+TEST(Cdfg, FunctionWithoutLoopsYieldsNoNests) {
+  ir::register_everest_dialects();
+  ir::Module m("empty");
+  ir::Function* fn = m.add_function("f", Type::function({}, {})).value();
+  OpBuilder b(&fn->entry());
+  b.ret();
+  auto nests = extract_loop_nests(*fn);
+  ASSERT_TRUE(nests.ok());
+  EXPECT_TRUE(nests->empty());
+}
+
+// ------------------------------------------------------------ Scheduling --
+
+TEST(Scheduling, AsapRespectsLatencies) {
+  ir::Module m = make_vecadd(8);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  Schedule s = schedule_asap(nest);
+  // Loads at 0 (latency 2), add at 2 (latency 3), store at 5.
+  EXPECT_EQ(s.length, 6);
+  // Two loads issue in cycle 0 → 2 load units.
+  EXPECT_EQ(s.units[OpClass::kLoad], 2);
+}
+
+TEST(Scheduling, AlapPushesLate) {
+  ir::Module m = make_vecadd(8);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  Schedule asap = schedule_asap(nest);
+  Schedule alap = schedule_alap(nest, asap.length + 10);
+  for (std::size_t i = 0; i < nest.nodes.size(); ++i) {
+    EXPECT_GE(alap.start[i], asap.start[i]);
+  }
+  auto sl = slack(nest);
+  // The critical path (load→add→store) has zero slack.
+  int zero_slack = 0;
+  for (int v : sl) zero_slack += (v == 0);
+  EXPECT_GE(zero_slack, 3);
+}
+
+TEST(Scheduling, ListScheduleHonorsUnitLimits) {
+  ir::Module m = make_vecadd(8);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  ResourceConstraints constraints;
+  constraints.max_units[OpClass::kLoad] = 1;  // single load unit
+  auto s = list_schedule(nest, constraints);
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  EXPECT_LE(s->units[OpClass::kLoad], 1);
+  // Serializing the loads lengthens the schedule by one cycle.
+  EXPECT_EQ(s->length, 7);
+}
+
+TEST(Scheduling, ListScheduleHonorsMemoryPorts) {
+  // 4 loads from the same array with 2 ports → 2 cycles of loads.
+  ir::register_everest_dialects();
+  ir::Module m("multi");
+  Type mem = Type::memref({64}, ScalarKind::kF64, MemorySpace::kOnChip);
+  ir::Function* fn = m.add_function("k", Type::function({mem}, {})).value();
+  OpBuilder b(&fn->entry());
+  ir::Operation& loop = b.create("kernel.for", {}, {},
+                                 {{"lb", Attribute::integer(0)},
+                                  {"ub", Attribute::integer(16)},
+                                  {"step", Attribute::integer(1)}});
+  ir::Block& body = loop.emplace_region().emplace_block({Type::index()});
+  OpBuilder ib(&body);
+  std::vector<ir::Value> loaded;
+  for (int k = 0; k < 4; ++k) {
+    loaded.push_back(
+        ib.create_value("kernel.load", {fn->arg(0), body.arg(0)}, Type::f64()));
+  }
+  ir::Value acc = loaded[0];
+  for (int k = 1; k < 4; ++k) {
+    acc = ib.create_value("kernel.binop", {acc, loaded[k]}, Type::f64(),
+                          {{"op", Attribute::string("add")}});
+  }
+  ib.create("kernel.store", {acc, fn->arg(0), body.arg(0)}, {});
+  ib.create("kernel.yield", {}, {});
+  b.ret();
+  auto nests = extract_loop_nests(*fn);
+  ASSERT_TRUE(nests.ok());
+  ResourceConstraints constraints;
+  constraints.mem_ports_per_array = 2;
+  auto s = list_schedule((*nests)[0], constraints);
+  ASSERT_TRUE(s.ok());
+  // Loads must span >= 2 cycles; with unlimited ports they'd fit in 1.
+  std::map<int, int> loads_at;
+  for (std::size_t i = 0; i < (*nests)[0].nodes.size(); ++i) {
+    if ((*nests)[0].nodes[i].cls == OpClass::kLoad) ++loads_at[s->start[i]];
+  }
+  for (const auto& [cycle, n] : loads_at) EXPECT_LE(n, 2);
+}
+
+TEST(Scheduling, IiAnalysisFindsRecurrence) {
+  ir::Module m = make_matmul(16);
+  auto nests = extract_loop_nests(*m.find("matmul"));
+  const KernelLoopNest& nest = (*nests)[0];
+  ResourceConstraints constraints;
+  BankingPlan banking = plan_partitioning(nest, /*unroll=*/1);
+  IiAnalysis ii = analyze_ii(nest, constraints, banking);
+  // C[i,j] accumulation: load(2) + add(3) + store(1) ≈ recurrence of ~6.
+  EXPECT_GE(ii.recurrence_mii, 5);
+  EXPECT_EQ(ii.ii(), ii.recurrence_mii);
+}
+
+TEST(Scheduling, VecaddHasNoRecurrence) {
+  ir::Module m = make_vecadd(64);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  ResourceConstraints constraints;
+  BankingPlan banking = plan_partitioning((*nests)[0], 1);
+  IiAnalysis ii = analyze_ii((*nests)[0], constraints, banking);
+  EXPECT_EQ(ii.recurrence_mii, 1);
+  EXPECT_EQ(ii.ii(), 1);
+}
+
+// ---------------------------------------------------------------- Memory --
+
+TEST(Memory, UnpartitionedConflictsGrowWithUnroll) {
+  ir::Module m = make_vecadd(64);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  ArrayBanking none;  // 1 bank, 2 ports
+  EXPECT_EQ(analyze_conflicts(nest, "arg0", none, 1).required_ii, 1);
+  EXPECT_EQ(analyze_conflicts(nest, "arg0", none, 4).required_ii, 2);
+  EXPECT_EQ(analyze_conflicts(nest, "arg0", none, 8).required_ii, 4);
+}
+
+TEST(Memory, CyclicPartitioningRemovesUnitStrideConflicts) {
+  ir::Module m = make_vecadd(64);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  ArrayBanking cyclic{PartitionType::kCyclic, 4, 2};
+  // Unroll 8, 4 banks, 2 ports: 8 accesses spread over 4 banks → 2 per bank
+  // → II 1.
+  EXPECT_EQ(analyze_conflicts(nest, "arg0", cyclic, 8).required_ii, 1);
+  // Block partitioning keeps consecutive elements together → no help.
+  ArrayBanking block{PartitionType::kBlock, 4, 2};
+  EXPECT_GT(analyze_conflicts(nest, "arg0", block, 8).required_ii, 1);
+}
+
+TEST(Memory, PlannerPicksSmallestSufficientBanking) {
+  ir::Module m = make_vecadd(64);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  BankingPlan plan = plan_partitioning((*nests)[0], /*unroll=*/4);
+  const ArrayBanking& banking = plan.of("arg0");
+  EXPECT_EQ(banking.type, PartitionType::kCyclic);
+  EXPECT_EQ(banking.banks, 2);  // 4 accesses / (2 banks × 2 ports) = 1
+  // With no unroll, no partitioning needed.
+  BankingPlan plan1 = plan_partitioning((*nests)[0], 1);
+  EXPECT_EQ(plan1.of("arg0").banks, 1);
+}
+
+TEST(Memory, BramBlockAccounting) {
+  ArrayBanking one{PartitionType::kNone, 1, 2};
+  // 1024 f64 = 8 KiB → 2 blocks.
+  EXPECT_EQ(bram_blocks_for(1024, 8, one), 2);
+  ArrayBanking four{PartitionType::kCyclic, 4, 2};
+  // Split across 4 banks of 2 KiB → 1 block each.
+  EXPECT_EQ(bram_blocks_for(1024, 8, four), 4);
+  // 4-port banks replicate.
+  ArrayBanking wide{PartitionType::kCyclic, 4, 4};
+  EXPECT_EQ(bram_blocks_for(1024, 8, wide), 8);
+}
+
+// --------------------------------------------------------------- Binding --
+
+TEST(Binding, SharesUnitsAcrossCycles) {
+  ir::Module m = make_vecadd(8);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  ResourceConstraints constraints;
+  constraints.max_units[OpClass::kLoad] = 1;
+  Schedule s = list_schedule(nest, constraints).value();
+  Binding binding = bind(nest, s);
+  // Two loads in different cycles share instance 0.
+  EXPECT_EQ(binding.instances[OpClass::kLoad], 1);
+  EXPECT_EQ(binding.instances[OpClass::kAdd], 1);
+  EXPECT_GE(binding.registers, 1);
+}
+
+TEST(Binding, ParallelIssuesGetDistinctInstances) {
+  ir::Module m = make_vecadd(8);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  Schedule s = schedule_asap((*nests)[0]);
+  Binding binding = bind((*nests)[0], s);
+  EXPECT_EQ(binding.instances[OpClass::kLoad], 2);
+}
+
+// ------------------------------------------------------------- Synthesis --
+
+TEST(Synthesis, VecaddEstimatesScaleWithN) {
+  for (std::int64_t n : {64, 256}) {
+    ir::Module m = make_vecadd(n);
+    HlsConfig config;
+    auto design = synthesize(*m.find("vecadd"), config,
+                             FpgaDevice::cloudfpga_ku060());
+    ASSERT_TRUE(design.ok()) << design.status().to_string();
+    // II=1 pipeline: cycles ≈ depth + (n-1).
+    EXPECT_NEAR(double(design->estimate.total_cycles), double(n) + 5.0, 3.0);
+    EXPECT_GT(design->estimate.fmax_mhz, 200.0);
+    EXPECT_GT(design->estimate.latency_us, 0.0);
+    EXPECT_GT(design->estimate.energy_uj(), 0.0);
+    EXPECT_TRUE(design->estimate.resources.fits(design->device));
+  }
+}
+
+TEST(Synthesis, UnrollReducesCyclesCostsArea) {
+  ir::Module m = make_vecadd(1024);
+  HlsConfig base;
+  auto d1 = synthesize(*m.find("vecadd"), base, FpgaDevice::p9_vu9p());
+  HlsConfig unrolled;
+  unrolled.unroll = 8;
+  auto d8 = synthesize(*m.find("vecadd"), unrolled, FpgaDevice::p9_vu9p());
+  ASSERT_TRUE(d1.ok() && d8.ok());
+  EXPECT_LT(d8->estimate.total_cycles, d1->estimate.total_cycles / 4);
+  EXPECT_GT(d8->estimate.resources.luts, d1->estimate.resources.luts);
+  EXPECT_GT(d8->estimate.resources.brams, d1->estimate.resources.brams);
+}
+
+TEST(Synthesis, MatmulRecurrenceLimitsThroughput) {
+  ir::Module m = make_matmul(16);
+  HlsConfig config;
+  auto design = synthesize(*m.find("matmul"), config, FpgaDevice::p9_vu9p());
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  ASSERT_EQ(design->nests.size(), 1u);
+  EXPECT_GE(design->nests[0].ii.recurrence_mii, 5);
+  // 16x16 outer iterations, 16 inner each at II≈6 → > 16*16*16 cycles.
+  EXPECT_GT(design->estimate.total_cycles, 16 * 16 * 16);
+}
+
+TEST(Synthesis, DiftAddsBoundedOverhead) {
+  ir::Module m = make_vecadd(512);
+  HlsConfig plain;
+  HlsConfig dift;
+  dift.enable_dift = true;
+  auto d0 = synthesize(*m.find("vecadd"), plain, FpgaDevice::p9_vu9p());
+  auto d1 = synthesize(*m.find("vecadd"), dift, FpgaDevice::p9_vu9p());
+  ASSERT_TRUE(d0.ok() && d1.ok());
+  EXPECT_GT(d1->estimate.resources.luts, d0->estimate.resources.luts);
+  // TaintHLS-like: single-digit-% area overhead, tiny latency overhead.
+  const double area_ratio = double(d1->estimate.resources.luts) /
+                            double(d0->estimate.resources.luts);
+  EXPECT_LT(area_ratio, 1.12);
+  EXPECT_NEAR(d1->security.dift_area_fraction, 0.08, 0.01);
+  EXPECT_EQ(d1->estimate.total_cycles - d0->estimate.total_cycles, 2);
+}
+
+TEST(Synthesis, EncryptionAddsCryptoCoreAndLatency) {
+  ir::Module m = make_vecadd(4096);
+  HlsConfig enc;
+  enc.encrypt_offchip = "aes128-gcm";
+  auto plain = synthesize(*m.find("vecadd"), HlsConfig{},
+                          FpgaDevice::p9_vu9p(), 3 * 4096 * 8);
+  auto secured = synthesize(*m.find("vecadd"), enc, FpgaDevice::p9_vu9p(),
+                            3 * 4096 * 8);
+  ASSERT_TRUE(plain.ok() && secured.ok()) << secured.status().to_string();
+  EXPECT_FALSE(secured->security.crypto_core.empty());
+  EXPECT_GT(secured->estimate.latency_us, plain->estimate.latency_us);
+  EXPECT_GT(secured->estimate.resources.luts, plain->estimate.resources.luts);
+}
+
+TEST(Synthesis, RejectsOversizedDesign) {
+  ir::Module m = make_vecadd(1 << 20);  // 8 MiB per array on-chip
+  FpgaDevice tiny = FpgaDevice::edge_zu7ev();
+  auto design = synthesize(*m.find("vecadd"), HlsConfig{}, tiny);
+  EXPECT_EQ(design.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Synthesis, RejectsFunctionWithoutLoops) {
+  ir::register_everest_dialects();
+  ir::Module m("none");
+  ir::Function* fn = m.add_function("f", Type::function({}, {})).value();
+  OpBuilder b(&fn->entry());
+  b.ret();
+  auto design = synthesize(*fn, HlsConfig{}, FpgaDevice::p9_vu9p());
+  EXPECT_EQ(design.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Synthesis, BadUnrollRejected) {
+  ir::Module m = make_vecadd(16);
+  HlsConfig config;
+  config.unroll = 0;
+  auto design = synthesize(*m.find("vecadd"), config, FpgaDevice::p9_vu9p());
+  EXPECT_EQ(design.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------- Crypto cores --
+
+TEST(CryptoCores, SelectsSmallestSufficientCore) {
+  auto small = select_crypto_core("aes128-gcm", 100.0, 250.0);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->name, "aes128-gcm-x1");
+  auto big = select_crypto_core("aes128-gcm", 1200.0, 250.0);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->name, "aes128-gcm-x4");
+  auto none = select_crypto_core("aes128-gcm", 1e9, 250.0);
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+  auto sha = select_crypto_core("sha256", 100.0, 250.0);
+  ASSERT_TRUE(sha.ok());
+  EXPECT_EQ(sha->algo, "sha256");
+}
+
+TEST(CryptoCores, ThroughputScalesWithClock) {
+  const CryptoCore& core = crypto_core_catalog()[0];
+  EXPECT_DOUBLE_EQ(core.throughput_mbps(200.0) * 2, core.throughput_mbps(400.0));
+}
+
+// ------------------------------------------------- Parameterized sweeps ---
+
+/// Property: for unit-stride kernels, the partitioner always achieves II=1
+/// with banks*ports >= accesses-per-group, and planned banks never exceed
+/// the unroll factor (rounded to a power of two).
+class PartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSweep, PlannerAchievesIiOne) {
+  const int unroll = GetParam();
+  ir::Module m = make_vecadd(256);
+  auto nests = extract_loop_nests(*m.find("vecadd"));
+  const KernelLoopNest& nest = (*nests)[0];
+  BankingPlan plan = plan_partitioning(nest, unroll, /*max_banks=*/64);
+  for (const auto& [array, banking] : plan.arrays) {
+    const ConflictReport report =
+        analyze_conflicts(nest, array, banking, unroll);
+    EXPECT_EQ(report.required_ii, 1)
+        << "array " << array << " unroll " << unroll << " banks "
+        << banking.banks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Unrolls, PartitionSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+/// Property: increasing unroll never increases total cycle count.
+class UnrollMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnrollMonotonic, CyclesNonIncreasing) {
+  ir::Module m = make_vecadd(2048);
+  HlsConfig lo, hi;
+  lo.unroll = GetParam();
+  hi.unroll = GetParam() * 2;
+  auto dlo = synthesize(*m.find("vecadd"), lo, FpgaDevice::p9_vu9p());
+  auto dhi = synthesize(*m.find("vecadd"), hi, FpgaDevice::p9_vu9p());
+  ASSERT_TRUE(dlo.ok() && dhi.ok());
+  EXPECT_LE(dhi->estimate.total_cycles, dlo->estimate.total_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnrollMonotonic,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace everest::hls

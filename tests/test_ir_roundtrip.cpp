@@ -1,0 +1,216 @@
+// Printer/parser round-trip tests: print(parse(print(m))) == print(m),
+// plus targeted grammar cases and property-style sweeps over random modules.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ir/builder.hpp"
+#include "ir/dialect.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace everest::ir {
+namespace {
+
+void expect_roundtrip(const Module& m) {
+  const std::string text = print(m);
+  auto parsed = parse_module(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string() << "\n" << text;
+  EXPECT_TRUE(verify(**parsed).ok()) << verify(**parsed).to_string();
+  const std::string text2 = print(**parsed);
+  EXPECT_EQ(text, text2);
+}
+
+TEST(RoundTrip, SimpleFunction) {
+  register_everest_dialects();
+  Module m("app");
+  Type t = Type::tensor({4}, ScalarKind::kF64);
+  Function* fn = m.add_function("f", Type::function({t}, {t})).value();
+  OpBuilder b(&fn->entry());
+  Value v = b.create_value("tensor.add", {fn->arg(0), fn->arg(0)}, t);
+  b.ret({v});
+  expect_roundtrip(m);
+}
+
+TEST(RoundTrip, AttributesOfAllKinds) {
+  register_everest_dialects();
+  Module m("app");
+  Function* fn = m.add_function("f", Type::function({}, {})).value();
+  OpBuilder b(&fn->entry());
+  b.create("builtin.call", {}, {},
+           {{"callee", Attribute::string("target")},
+            {"flag", Attribute::unit()},
+            {"enabled", Attribute::boolean(true)},
+            {"count", Attribute::integer(-12)},
+            {"scale", Attribute::real(2.5)},
+            {"shape", Attribute::int_array({1, 2, 3})},
+            {"weights", Attribute::dense_f64({0.5, -1.25, 3.0})},
+            {"ty", Attribute::type(Type::tensor({2, 2}, ScalarKind::kF32))}});
+  b.ret();
+  expect_roundtrip(m);
+}
+
+TEST(RoundTrip, NestedLoops) {
+  register_everest_dialects();
+  Module m("app");
+  Type mem = Type::memref({8, 8}, ScalarKind::kF64, MemorySpace::kOnChip);
+  Function* fn = m.add_function("k", Type::function({mem}, {})).value();
+  OpBuilder b(&fn->entry());
+  Operation& outer = b.create("kernel.for", {}, {},
+                              {{"lb", Attribute::integer(0)},
+                               {"ub", Attribute::integer(8)},
+                               {"step", Attribute::integer(1)}});
+  Block& obody = outer.emplace_region().emplace_block({Type::index()});
+  OpBuilder ob(&obody);
+  Operation& inner = ob.create("kernel.for", {}, {},
+                               {{"lb", Attribute::integer(0)},
+                                {"ub", Attribute::integer(8)},
+                                {"step", Attribute::integer(2)}});
+  Block& ibody = inner.emplace_region().emplace_block({Type::index()});
+  OpBuilder ib(&ibody);
+  Value x = ib.create_value("kernel.load",
+                            {fn->arg(0), obody.arg(0), ibody.arg(0)},
+                            Type::f64());
+  Value y = ib.create_value("kernel.binop", {x, x}, Type::f64(),
+                            {{"op", Attribute::string("mul")}});
+  ib.create("kernel.store", {y, fn->arg(0), obody.arg(0), ibody.arg(0)}, {});
+  ib.create("kernel.yield", {}, {});
+  ob.create("kernel.yield", {}, {});
+  b.ret();
+  ASSERT_TRUE(verify(m).ok()) << verify(m).to_string();
+  expect_roundtrip(m);
+}
+
+TEST(RoundTrip, ModuleAndFunctionAttributes) {
+  register_everest_dialects();
+  Module m("weather_app");
+  m.attributes()["version"] = Attribute::integer(2);
+  Function* fn = m.add_function("f", Type::function({}, {})).value();
+  fn->set_attr("target", Attribute::string("fpga"));
+  fn->set_attr("confidential", Attribute::boolean(true));
+  OpBuilder b(&fn->entry());
+  b.ret();
+  expect_roundtrip(m);
+}
+
+TEST(RoundTrip, MultipleFunctionsAndCalls) {
+  register_everest_dialects();
+  Module m("app");
+  Type t = Type::tensor({16}, ScalarKind::kF32);
+  Function* g = m.add_function("g", Type::function({t}, {t})).value();
+  {
+    OpBuilder b(&g->entry());
+    Value v = b.create_value("tensor.map", {g->arg(0)}, t,
+                             {{"fn", Attribute::string("relu")}});
+    b.ret({v});
+  }
+  Function* f = m.add_function("f", Type::function({t}, {t})).value();
+  {
+    OpBuilder b(&f->entry());
+    Operation& call = b.call("g", {f->arg(0)}, {t});
+    b.ret({call.result(0)});
+  }
+  expect_roundtrip(m);
+}
+
+TEST(RoundTrip, StreamTypesAndWorkflowOps) {
+  register_everest_dialects();
+  Module m("pipeline");
+  Type s = Type::stream(ScalarKind::kF32);
+  Type t = Type::tensor({128}, ScalarKind::kF32);
+  Function* fn = m.add_function("wf", Type::function({}, {})).value();
+  OpBuilder b(&fn->entry());
+  Value src = b.create_value("workflow.source", {}, s,
+                             {{"name", Attribute::string("sensor")},
+                              {"rate_hz", Attribute::real(100.0)}});
+  Value win = b.create_value("hw.stream_read", {src}, t);
+  Value out = b.create_value(
+      "workflow.task", {win}, t,
+      {{"kernel", Attribute::string("denoise")},
+       {"volume_mb", Attribute::real(0.5)},
+       {"confidential", Attribute::boolean(true)}});
+  b.create("workflow.sink", {out}, {}, {{"name", Attribute::string("db")}});
+  b.ret();
+  ASSERT_TRUE(verify(m).ok()) << verify(m).to_string();
+  expect_roundtrip(m);
+}
+
+TEST(Parser, RejectsUnknownValue) {
+  auto r = parse_module(
+      "module @m {\n"
+      "  func @f() -> () {\n"
+      "    builtin.return(%9) : (f64) -> ()\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown value"), std::string::npos);
+}
+
+TEST(Parser, RejectsTypeCountMismatch) {
+  auto r = parse_module(
+      "module @m {\n"
+      "  func @f(%arg0: f64) -> () {\n"
+      "    builtin.return(%arg0) : () -> ()\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, ParsesStandaloneTypes) {
+  auto t1 = parse_type("tensor<4x8xf64>");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t1->to_string(), "tensor<4x8xf64>");
+  auto t2 = parse_type("memref<16xf32, device>");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->memory_space(), MemorySpace::kDevice);
+  auto t3 = parse_type("stream<i32>");
+  ASSERT_TRUE(t3.ok());
+  EXPECT_TRUE(t3->is_stream());
+  EXPECT_FALSE(parse_type("tensor<4x").ok());
+  EXPECT_FALSE(parse_type("blob<4>").ok());
+}
+
+TEST(Parser, ToleratesComments) {
+  auto r = parse_module(
+      "// EVEREST IR dump\n"
+      "module @m {\n"
+      "  func @f() -> () {\n"
+      "    // no-op body\n"
+      "    builtin.return() : () -> ()\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+}
+
+// Property-style sweep: random DAGs of elementwise tensor ops round-trip.
+class RandomDagRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagRoundTrip, PrintParsePrintIsStable) {
+  register_everest_dialects();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Module m("rand");
+  Type t = Type::tensor({8}, ScalarKind::kF64);
+  Function* fn = m.add_function("f", Type::function({t, t}, {t})).value();
+  OpBuilder b(&fn->entry());
+  std::vector<Value> pool = {fn->arg(0), fn->arg(1)};
+  const int n_ops = 3 + static_cast<int>(rng.uniform_int(12));
+  static const char* kOps[] = {"tensor.add", "tensor.sub", "tensor.mul"};
+  for (int i = 0; i < n_ops; ++i) {
+    Value a = pool[rng.uniform_int(pool.size())];
+    Value c = pool[rng.uniform_int(pool.size())];
+    pool.push_back(
+        b.create_value(kOps[rng.uniform_int(3)], {a, c}, t,
+                       {{"id", Attribute::integer(i)}}));
+  }
+  b.ret({pool.back()});
+  ASSERT_TRUE(verify(m).ok()) << verify(m).to_string();
+  const std::string text = print(m);
+  auto parsed = parse_module(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(print(**parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagRoundTrip, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace everest::ir

@@ -1,0 +1,180 @@
+// Tests for the particle eDSL: lowering in both layouts, semantic
+// equivalence between AoS and SoA (via the kernel interpreter), HLS
+// synthesizability, and the measured cache-locality difference the layout
+// knob exists for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "compiler/cache_model.hpp"
+#include "compiler/interpreter.hpp"
+#include "dsl/particles.hpp"
+#include "hls/hls.hpp"
+#include "ir/verifier.hpp"
+
+namespace everest::dsl {
+namespace {
+
+/// Runs one step of the lowered kernel by hand through the kernel
+/// interpreter (the particle function has no lowering metadata, so we bind
+/// buffers directly via a tiny wrapper module attribute fix-up).
+std::vector<double> run_particle_step(ir::Module& module,
+                                      const std::string& fn_name,
+                                      const std::vector<double>& state_in) {
+  ir::Function* fn = module.find(fn_name);
+  EXPECT_NE(fn, nullptr);
+  // Reuse the kernel interpreter by faking the lowering metadata: one
+  // "input" (state_in) and one "output" (state_out).
+  fn->set_attr("ev.num_inputs", ir::Attribute::integer(1));
+  fn->set_attr("ev.promoted_constants", ir::Attribute::integer(0));
+  fn->set_attr("ev.num_outputs", ir::Attribute::integer(1));
+  compiler::TensorValue in = compiler::TensorValue::from(
+      {static_cast<std::int64_t>(state_in.size())}, state_in);
+  auto out = compiler::run_kernel_function(module, fn_name, {in});
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  return out.ok() ? (*out)[0].data : std::vector<double>{};
+}
+
+/// Builds the canonical advection kernel: x += v*dt; v *= drag.
+ParticleKernel advect_kernel(std::int64_t n) {
+  ParticleKernel k("advect", n);
+  auto x = k.field("x");
+  auto v = k.field("v");
+  auto m = k.field("m");  // untouched field (copied through)
+  (void)m;
+  EXPECT_TRUE(k.update("x", x + v * k.constant(0.1)).ok());
+  EXPECT_TRUE(k.update("v", v * k.constant(0.99)).ok());
+  return k;
+}
+
+TEST(Particles, LowersAndVerifiesBothLayouts) {
+  ParticleKernel k = advect_kernel(16);
+  for (ParticleLayout layout : {ParticleLayout::kAoS, ParticleLayout::kSoA}) {
+    auto module = k.lower(layout);
+    ASSERT_TRUE(module.ok()) << module.status().to_string();
+    EXPECT_TRUE(ir::verify(*module).ok()) << ir::verify(*module).to_string();
+    const std::string fn =
+        std::string("advect_") + std::string(to_string(layout));
+    ASSERT_NE(module->find(fn), nullptr);
+    EXPECT_EQ(module->find(fn)->attr("ev.layout")->as_string(),
+              std::string(to_string(layout)));
+  }
+}
+
+TEST(Particles, AosAndSoaComputeTheSamePhysics) {
+  constexpr std::int64_t kN = 12;
+  ParticleKernel k = advect_kernel(kN);
+  Rng rng(7);
+  // Initial per-particle state (x, v, m).
+  std::vector<double> xs(kN), vs(kN), ms(kN);
+  for (std::int64_t p = 0; p < kN; ++p) {
+    xs[p] = rng.uniform(-5, 5);
+    vs[p] = rng.uniform(-1, 1);
+    ms[p] = rng.uniform(0.5, 2);
+  }
+  // Pack into each layout.
+  std::vector<double> aos(3 * kN), soa(3 * kN);
+  for (std::int64_t p = 0; p < kN; ++p) {
+    aos[p * 3 + 0] = xs[p];
+    aos[p * 3 + 1] = vs[p];
+    aos[p * 3 + 2] = ms[p];
+    soa[0 * kN + p] = xs[p];
+    soa[1 * kN + p] = vs[p];
+    soa[2 * kN + p] = ms[p];
+  }
+  auto aos_module = k.lower(ParticleLayout::kAoS);
+  auto soa_module = k.lower(ParticleLayout::kSoA);
+  ASSERT_TRUE(aos_module.ok() && soa_module.ok());
+  const auto aos_out = run_particle_step(*aos_module, "advect_aos", aos);
+  const auto soa_out = run_particle_step(*soa_module, "advect_soa", soa);
+  ASSERT_EQ(aos_out.size(), 3u * kN);
+  ASSERT_EQ(soa_out.size(), 3u * kN);
+  for (std::int64_t p = 0; p < kN; ++p) {
+    const double expected_x = xs[p] + vs[p] * 0.1;
+    const double expected_v = vs[p] * 0.99;
+    EXPECT_NEAR(aos_out[static_cast<std::size_t>(p * 3 + 0)], expected_x, 1e-12);
+    EXPECT_NEAR(aos_out[static_cast<std::size_t>(p * 3 + 1)], expected_v, 1e-12);
+    EXPECT_NEAR(aos_out[static_cast<std::size_t>(p * 3 + 2)], ms[p], 1e-12);
+    EXPECT_NEAR(soa_out[static_cast<std::size_t>(0 * kN + p)], expected_x, 1e-12);
+    EXPECT_NEAR(soa_out[static_cast<std::size_t>(1 * kN + p)], expected_v, 1e-12);
+    EXPECT_NEAR(soa_out[static_cast<std::size_t>(2 * kN + p)], ms[p], 1e-12);
+  }
+}
+
+TEST(Particles, BothLayoutsAreHlsSynthesizable) {
+  ParticleKernel k = advect_kernel(1024);
+  for (ParticleLayout layout : {ParticleLayout::kAoS, ParticleLayout::kSoA}) {
+    auto module = k.lower(layout);
+    ASSERT_TRUE(module.ok());
+    const std::string fn =
+        std::string("advect_") + std::string(to_string(layout));
+    auto design = hls::synthesize(*module->find(fn), hls::HlsConfig{},
+                                  hls::FpgaDevice::p9_vu9p());
+    ASSERT_TRUE(design.ok()) << design.status().to_string();
+    EXPECT_GT(design->estimate.total_cycles, 1024);
+  }
+}
+
+TEST(Particles, LayoutChangesMeasuredCacheTraffic) {
+  // A wide particle (8 fields) with an update touching only 2: SoA streams
+  // just the hot fields; AoS drags all 8 through the cache. The cache
+  // simulator must SEE this from the lowered IR alone.
+  constexpr std::int64_t kN = 8192;
+  ParticleKernel k("wide", kN);
+  auto x = k.field("x");
+  auto v = k.field("v");
+  for (const char* cold : {"f2", "f3", "f4", "f5", "f6", "f7"}) {
+    (void)k.field(cold);
+  }
+  ASSERT_TRUE(k.update("x", x + v * k.constant(0.1)).ok());
+
+  // Partial-update mode: cold fields are never touched — the regime the
+  // paper's AoS-vs-SoA discussion is about.
+  double partial[2] = {0, 0};
+  double full[2] = {0, 0};
+  int idx = 0;
+  for (ParticleLayout layout : {ParticleLayout::kAoS, ParticleLayout::kSoA}) {
+    const std::string fn =
+        std::string("wide_") + std::string(to_string(layout));
+    auto hot = k.lower(layout, /*store_only_updated=*/true);
+    ASSERT_TRUE(hot.ok());
+    auto hot_stats = compiler::simulate_kernel_cache(
+        *hot->find(fn), 0, compiler::CacheConfig{32, 64, 8}, 1u << 26);
+    ASSERT_TRUE(hot_stats.ok()) << hot_stats.status().to_string();
+    partial[idx] = hot_stats->dram_bytes;
+    auto all = k.lower(layout, /*store_only_updated=*/false);
+    ASSERT_TRUE(all.ok());
+    auto all_stats = compiler::simulate_kernel_cache(
+        *all->find(fn), 0, compiler::CacheConfig{32, 64, 8}, 1u << 26);
+    ASSERT_TRUE(all_stats.ok());
+    full[idx] = all_stats->dram_bytes;
+    ++idx;
+  }
+  // Touching 2 of 8 fields: SoA moves only the hot columns, AoS drags every
+  // interleaved line — the textbook SoA win (>2x here).
+  EXPECT_GT(partial[0], partial[1] * 2.0);
+  // Full rewrite flips it: every byte moves anyway and SoA's power-of-two
+  // column stride (64 KiB) piles 16 streams into one cache set — a real
+  // associativity pathology the trace model exposes and the fits-in-L2
+  // heuristic cannot see.
+  EXPECT_LT(full[0], full[1]);
+}
+
+TEST(Particles, Validation) {
+  ParticleKernel empty("none", 8);
+  EXPECT_EQ(empty.lower(ParticleLayout::kAoS).status().code(),
+            StatusCode::kFailedPrecondition);
+  ParticleKernel k("k", 8);
+  auto x = k.field("x");
+  EXPECT_EQ(k.update("ghost", x).code(), StatusCode::kNotFound);
+  ParticleExpr invalid;
+  EXPECT_EQ(k.update("x", invalid).code(), StatusCode::kInvalidArgument);
+  // Re-declaring a field returns the same slot.
+  auto x2 = k.field("x");
+  (void)x2;
+  EXPECT_EQ(k.num_fields(), 1u);
+}
+
+}  // namespace
+}  // namespace everest::dsl

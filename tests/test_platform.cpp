@@ -1,0 +1,286 @@
+// Tests for the platform layer: link models, the discrete-event core,
+// node/platform specs, and the variant executor.
+#include <gtest/gtest.h>
+
+#include "platform/desim.hpp"
+#include "platform/executor.hpp"
+#include "platform/links.hpp"
+#include "platform/node.hpp"
+
+namespace everest::platform {
+namespace {
+
+// ----------------------------------------------------------------- Links --
+
+TEST(Links, TransferTimeHasLatencyAndBandwidthTerms) {
+  LinkModel l = LinkModel::pcie3();
+  EXPECT_DOUBLE_EQ(l.transfer_us(0), 0.0);
+  const double small = l.transfer_us(1);
+  EXPECT_NEAR(small, l.latency_us, 0.01);
+  // 12 GB/s → 12000 B/us: 12 MB ≈ 1000 us + latency.
+  EXPECT_NEAR(l.transfer_us(12e6), 1000.0 + l.latency_us, 1.0);
+}
+
+TEST(Links, CoherentLinkCheaperForSmallTransfers) {
+  LinkModel capi = LinkModel::opencapi();
+  LinkModel pcie = LinkModel::pcie3();
+  EXPECT_LT(capi.transfer_us(256), pcie.transfer_us(256));
+  // Effective throughput approaches nominal for large transfers.
+  EXPECT_GT(capi.effective_gbps(256e6), 0.95 * capi.bandwidth_gbps);
+  EXPECT_LT(capi.effective_gbps(1024), 0.5 * capi.bandwidth_gbps);
+}
+
+TEST(Links, PacketOverheadHurtsNetworkLinks) {
+  LinkModel tcp = LinkModel::tcp_datacenter();
+  LinkModel udp = LinkModel::udp_datacenter();
+  // Same bytes: TCP pays more per packet.
+  EXPECT_GT(tcp.transfer_us(1e6), udp.transfer_us(1e6));
+  // Effective bandwidth strictly below nominal due to packetization.
+  EXPECT_LT(tcp.effective_gbps(1e8), tcp.bandwidth_gbps * 0.85);
+}
+
+TEST(Links, CrossoverBusVsNetwork) {
+  // Small transfers favor the coherent bus by a wide margin; large
+  // transfers narrow the gap (both bandwidth-dominated).
+  LinkModel capi = LinkModel::opencapi();
+  LinkModel udp = LinkModel::udp_datacenter();
+  const double ratio_small = udp.transfer_us(1024) / capi.transfer_us(1024);
+  const double ratio_large = udp.transfer_us(1e9) / capi.transfer_us(1e9);
+  EXPECT_GT(ratio_small, 10.0);
+  EXPECT_LT(ratio_large, 4.0);
+}
+
+// ----------------------------------------------------------------- Desim --
+
+TEST(Desim, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] { order.push_back(2); });
+  sim.schedule(5, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+TEST(Desim, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(5, [&] { order.push_back(1); });
+  sim.schedule(5, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Desim, CallbacksCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired;
+    if (depth > 0) sim.schedule(1, [&, depth] { chain(depth - 1); });
+  };
+  sim.schedule(0, [&] { chain(4); });
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Desim, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(5, [&] { ++fired; });
+  sim.schedule(50, [&] { ++fired; });
+  sim.run(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Desim, ResourceQueuesWhenSaturated) {
+  Simulator sim;
+  SimResource res(sim, 2);
+  std::vector<double> start_times;
+  auto job = [&](double service) {
+    res.acquire([&, service] {
+      start_times.push_back(sim.now());
+      sim.schedule(service, [&] { res.release(); });
+    });
+  };
+  sim.schedule(0, [&] { job(10); });
+  sim.schedule(0, [&] { job(10); });
+  sim.schedule(0, [&] { job(10); });  // must wait for a release at t=10
+  sim.run();
+  ASSERT_EQ(start_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(start_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(start_times[1], 0.0);
+  EXPECT_DOUBLE_EQ(start_times[2], 10.0);
+}
+
+TEST(Desim, ResourceUtilizationAccounting) {
+  Simulator sim;
+  SimResource res(sim, 2);
+  res.add_busy_time(30);
+  res.add_busy_time(10);
+  EXPECT_DOUBLE_EQ(res.utilization(40), 0.5);
+  EXPECT_DOUBLE_EQ(res.utilization(0), 0.0);
+}
+
+// ------------------------------------------------------------------ Node --
+
+TEST(Node, ReferencePlatformShape) {
+  PlatformSpec spec = PlatformSpec::everest_reference(2, 4, 2);
+  ASSERT_EQ(spec.nodes.size(), 4u);  // 2 cloud + 2 edge
+  const NodeSpec* p9 = spec.find("p9-0");
+  ASSERT_NE(p9, nullptr);
+  EXPECT_EQ(p9->tier, Tier::kCloud);
+  // 1 bus-attached + 4 disaggregated on the first cloud node.
+  EXPECT_EQ(p9->fpgas.size(), 5u);
+  int network = 0;
+  for (const FpgaSlot& slot : p9->fpgas) network += slot.network_attached;
+  EXPECT_EQ(network, 4);
+  const NodeSpec* edge = spec.find("edge-0");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->tier, Tier::kInnerEdge);
+  EXPECT_EQ(edge->cpu.name, "Edge-ARM");
+  EXPECT_EQ(spec.find("nope"), nullptr);
+}
+
+TEST(Node, LinkSelectionByTier) {
+  PlatformSpec spec = PlatformSpec::everest_reference(2, 0, 1);
+  const NodeSpec& c0 = *spec.find("p9-0");
+  const NodeSpec& c1 = *spec.find("p9-1");
+  const NodeSpec& e0 = *spec.find("edge-0");
+  EXPECT_EQ(spec.link_between(c0, c0).name, "dram");
+  EXPECT_EQ(spec.link_between(c0, c1).name, "udp");
+  EXPECT_EQ(spec.link_between(c0, e0).name, "wan");
+  EXPECT_EQ(spec.link_between(e0, c0).name, "wan");
+}
+
+TEST(Node, ReconfigCostOnlyWhenRoleChanges) {
+  FpgaSlot slot;
+  slot.reconfig_ms_per_mib = 5.0;
+  slot.role_bitstream_mib = 10.0;
+  EXPECT_DOUBLE_EQ(slot.reconfig_us("k1"), 50000.0);
+  slot.current_role = "k1";
+  EXPECT_DOUBLE_EQ(slot.reconfig_us("k1"), 0.0);
+  EXPECT_GT(slot.reconfig_us("k2"), 0.0);
+}
+
+// -------------------------------------------------------------- Executor --
+
+compiler::Variant cpu_variant() {
+  compiler::Variant v;
+  v.id = "cpu-t8";
+  v.kernel = "k";
+  v.target = compiler::TargetKind::kCpu;
+  v.latency_us = 100.0;
+  v.energy_uj = 5000.0;
+  v.bytes_in = 1e6;
+  v.bytes_out = 1e5;
+  return v;
+}
+
+compiler::Variant fpga_variant(const std::string& device) {
+  compiler::Variant v;
+  v.id = "fpga-u4";
+  v.kernel = "k";
+  v.target = compiler::TargetKind::kFpga;
+  v.device = device;
+  v.latency_us = 20.0;
+  v.energy_uj = 800.0;
+  v.bytes_in = 1e6;
+  v.bytes_out = 1e5;
+  return v;
+}
+
+TEST(Executor, CpuExecutionScalesWithNodeStrength) {
+  PlatformSpec spec = PlatformSpec::everest_reference(1, 0, 1);
+  auto on_cloud =
+      execute_on_cpu(spec, *spec.find("p9-0"), cpu_variant());
+  auto on_edge = execute_on_cpu(spec, *spec.find("edge-0"), cpu_variant());
+  ASSERT_TRUE(on_cloud.ok() && on_edge.ok());
+  EXPECT_DOUBLE_EQ(on_cloud->compute_us, 100.0);  // generated on POWER9 model
+  EXPECT_GT(on_edge->compute_us, on_cloud->compute_us * 5);  // weak CPU
+  EXPECT_DOUBLE_EQ(on_cloud->transfer_in_us, 0.0);
+}
+
+TEST(Executor, RemoteDataPaysInterNodeLink) {
+  PlatformSpec spec = PlatformSpec::everest_reference(2, 0, 0);
+  ExecutionContext ctx;
+  ctx.data_home = "p9-1";
+  auto local = execute_on_cpu(spec, *spec.find("p9-0"), cpu_variant());
+  auto remote = execute_on_cpu(spec, *spec.find("p9-0"), cpu_variant(), ctx);
+  ASSERT_TRUE(local.ok() && remote.ok());
+  EXPECT_GT(remote->transfer_in_us, 50.0);  // ~1 MB over UDP DC link
+  EXPECT_GT(remote->total_us(), local->total_us());
+}
+
+TEST(Executor, FpgaOffloadPaysLinkAndReconfig) {
+  PlatformSpec spec = PlatformSpec::everest_reference(1, 1, 0);
+  NodeSpec& node = *spec.find("p9-0");
+  compiler::Variant v = fpga_variant("P9-VU9P");
+  FpgaSlot* slot = find_slot(node, v);
+  ASSERT_NE(slot, nullptr);
+  auto first = execute_on_fpga(spec, node, *slot, v);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_GT(first->reconfig_us, 1e5);  // cold role load
+  EXPECT_GT(first->transfer_in_us, 0.0);
+  auto second = execute_on_fpga(spec, node, *slot, v);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->reconfig_us, 0.0);  // role cached
+  EXPECT_LT(second->total_us(), first->total_us());
+}
+
+TEST(Executor, NetworkAttachedSlotUsesUdpLink) {
+  PlatformSpec spec = PlatformSpec::everest_reference(1, 1, 0);
+  NodeSpec& node = *spec.find("p9-0");
+  compiler::Variant bus = fpga_variant("P9-VU9P");
+  compiler::Variant net = fpga_variant("cloudFPGA-KU060");
+  FpgaSlot* bus_slot = find_slot(node, bus);
+  FpgaSlot* net_slot = find_slot(node, net);
+  ASSERT_NE(bus_slot, nullptr);
+  ASSERT_NE(net_slot, nullptr);
+  EXPECT_TRUE(net_slot->network_attached);
+  auto bus_run = execute_on_fpga(spec, node, *bus_slot, bus);
+  auto net_run = execute_on_fpga(spec, node, *net_slot, net);
+  ASSERT_TRUE(bus_run.ok() && net_run.ok());
+  // Same payload: the network slot pays more for data movement.
+  EXPECT_GT(net_run->transfer_in_us, bus_run->transfer_in_us * 2);
+}
+
+TEST(Executor, MismatchesRejected) {
+  PlatformSpec spec = PlatformSpec::everest_reference(1, 0, 0);
+  NodeSpec& node = *spec.find("p9-0");
+  auto bad1 = execute_on_cpu(spec, node, fpga_variant("P9-VU9P"));
+  EXPECT_EQ(bad1.status().code(), StatusCode::kInvalidArgument);
+  compiler::Variant wrong_dev = fpga_variant("Edge-ZU7EV");
+  FpgaSlot& slot = node.fpgas[0];
+  auto bad2 = execute_on_fpga(spec, node, slot, wrong_dev);
+  EXPECT_EQ(bad2.status().code(), StatusCode::kFailedPrecondition);
+  auto bad3 = execute_on_cpu(spec, node, cpu_variant());
+  ASSERT_TRUE(bad3.ok());
+}
+
+TEST(Executor, ReconfigDisabledFailsOnColdSlot) {
+  PlatformSpec spec = PlatformSpec::everest_reference(1, 0, 0);
+  NodeSpec& node = *spec.find("p9-0");
+  compiler::Variant v = fpga_variant("P9-VU9P");
+  ExecutionContext ctx;
+  ctx.allow_reconfig = false;
+  auto run = execute_on_fpga(spec, node, node.fpgas[0], v, ctx);
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Executor, FindSlotPrefersWarmRole) {
+  PlatformSpec spec = PlatformSpec::everest_reference(1, 2, 0);
+  NodeSpec& node = *spec.find("p9-0");
+  compiler::Variant v = fpga_variant("cloudFPGA-KU060");
+  node.fpgas[2].current_role = "k";  // second cloudFPGA already holds role k
+  FpgaSlot* slot = find_slot(node, v);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->id, node.fpgas[2].id);
+}
+
+}  // namespace
+}  // namespace everest::platform

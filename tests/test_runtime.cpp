@@ -1,0 +1,363 @@
+// Tests for the virtualized runtime: knowledge base, autotuner selection
+// under goals/states/protection levels, hypervisor VM + vFPGA multiplexing,
+// and the closed adaptation loop (including auto-protection reactions).
+#include <gtest/gtest.h>
+
+#include "runtime/adaptation.hpp"
+#include "runtime/autotuner.hpp"
+#include "runtime/knowledge.hpp"
+#include "runtime/vm.hpp"
+
+namespace everest::runtime {
+namespace {
+
+using compiler::TargetKind;
+using compiler::Variant;
+
+Variant make_variant(const std::string& id, TargetKind target, double latency,
+                     double energy, bool dift = false,
+                     const std::string& enc = "") {
+  Variant v;
+  v.id = id;
+  v.kernel = "k";
+  v.target = target;
+  v.latency_us = latency;
+  v.energy_uj = energy;
+  v.bytes_in = 1e6;
+  v.bytes_out = 1e5;
+  v.dift = dift;
+  v.encrypted = enc;
+  v.device = target == TargetKind::kFpga ? "P9-VU9P" : "";
+  return v;
+}
+
+std::vector<Variant> standard_variants() {
+  return {
+      make_variant("cpu-fast", TargetKind::kCpu, 100.0, 9000.0),
+      make_variant("cpu-eco", TargetKind::kCpu, 300.0, 4000.0),
+      make_variant("fpga-fast", TargetKind::kFpga, 40.0, 1500.0),
+      make_variant("fpga-dift", TargetKind::kFpga, 48.0, 1800.0, true),
+      make_variant("fpga-enc", TargetKind::kFpga, 55.0, 2000.0, false,
+                   "aes128-gcm"),
+  };
+}
+
+// --------------------------------------------------------- KnowledgeBase --
+
+TEST(KnowledgeBase, LoadAndQuery) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  EXPECT_EQ(kb.kernels(), (std::vector<std::string>{"k"}));
+  EXPECT_EQ(kb.variants_for("k").size(), 5u);
+  EXPECT_NE(kb.find("k", "cpu-fast"), nullptr);
+  EXPECT_EQ(kb.find("k", "nope"), nullptr);
+  EXPECT_TRUE(kb.variants_for("other").empty());
+  // Duplicate id rejected.
+  EXPECT_EQ(kb.load({make_variant("cpu-fast", TargetKind::kCpu, 1, 1)}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(KnowledgeBase, LoadFromJsonMetadata) {
+  const auto doc = compiler::variants_to_json(standard_variants());
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load_json(doc.dump()).ok());
+  EXPECT_EQ(kb.variants_for("k").size(), 5u);
+  EXPECT_FALSE(kb.load_json("{bad json").ok());
+}
+
+TEST(KnowledgeBase, ObservationsOverrideEstimates) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  const Variant& v = *kb.find("k", "cpu-fast");
+  EXPECT_DOUBLE_EQ(kb.expected_latency("k", v), 100.0);  // static estimate
+  // Reality is 4x slower than estimated.
+  for (int i = 0; i < 5; ++i) kb.observe("k", "cpu-fast", 400.0, 9000.0);
+  EXPECT_NEAR(kb.expected_latency("k", v), 400.0, 1.0);
+  EXPECT_EQ(kb.observation_count("k", "cpu-fast"), 5);
+  EXPECT_EQ(kb.observation_count("k", "cpu-eco"), 0);
+}
+
+TEST(KnowledgeBase, BlendIsGradual) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  const Variant& v = *kb.find("k", "cpu-fast");
+  kb.observe("k", "cpu-fast", 400.0, 9000.0);
+  const double after_one = kb.expected_latency("k", v);
+  EXPECT_GT(after_one, 100.0);
+  EXPECT_LT(after_one, 400.0);
+}
+
+// ------------------------------------------------------------- Autotuner --
+
+TEST(Autotuner, PicksFastestForLatencyGoal) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  auto sel = tuner.select("k", Goal{}, SystemState{});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->variant.id, "fpga-fast");
+  EXPECT_TRUE(sel->constraints_met);
+}
+
+TEST(Autotuner, PicksEcoForEnergyGoal) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  Goal goal;
+  goal.objective = Goal::Objective::kMinEnergy;
+  auto sel = tuner.select("k", goal, SystemState{});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->variant.id, "fpga-fast");  // lowest energy too
+  // Remove FPGA: eco CPU wins on energy.
+  SystemState no_fpga;
+  no_fpga.fpgas_available = 0;
+  auto sel2 = tuner.select("k", goal, no_fpga);
+  ASSERT_TRUE(sel2.ok());
+  EXPECT_EQ(sel2->variant.id, "cpu-eco");
+}
+
+TEST(Autotuner, FpgaUnavailableFallsBackToCpu) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  SystemState state;
+  state.fpgas_available = 0;
+  auto sel = tuner.select("k", Goal{}, state);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->variant.id, "cpu-fast");
+}
+
+TEST(Autotuner, QueueDepthShiftsChoiceToCpu) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  SystemState congested;
+  congested.fpga_queue_depth = 3.0;  // 40us * 4 = 160us > 100us CPU
+  auto sel = tuner.select("k", Goal{}, congested);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->variant.id, "cpu-fast");
+}
+
+TEST(Autotuner, CpuLoadShiftsChoiceToFpga) {
+  KnowledgeBase kb;
+  // Only CPU is nominally faster here.
+  std::vector<Variant> variants = {
+      make_variant("cpu", TargetKind::kCpu, 30.0, 100.0),
+      make_variant("fpga", TargetKind::kFpga, 40.0, 100.0),
+  };
+  ASSERT_TRUE(kb.load(variants).ok());
+  Autotuner tuner(&kb);
+  auto idle = tuner.select("k", Goal{}, SystemState{});
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle->variant.id, "cpu");
+  SystemState loaded;
+  loaded.cpu_load = 0.8;  // 30/0.2 = 150us
+  auto busy = tuner.select("k", Goal{}, loaded);
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy->variant.id, "fpga");
+}
+
+TEST(Autotuner, ProtectLevelRequiresSecuredVariant) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  SystemState state;
+  state.protection = security::ProtectionLevel::kProtect;
+  auto sel = tuner.select("k", Goal{}, state);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->variant.id, "fpga-dift");  // fastest protected variant
+}
+
+TEST(Autotuner, QuarantineBlocksExecution) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  SystemState state;
+  state.protection = security::ProtectionLevel::kQuarantine;
+  EXPECT_EQ(tuner.select("k", Goal{}, state).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Autotuner, DeadlineConstraintFiltersThenFallsBack) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  Goal goal;
+  goal.objective = Goal::Objective::kMinEnergy;
+  goal.latency_deadline_us = 60.0;  // only FPGA variants qualify
+  auto sel = tuner.select("k", goal, SystemState{});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->constraints_met);
+  EXPECT_EQ(sel->variant.target, TargetKind::kFpga);
+  // Impossible deadline: least-violating variant returned, flagged.
+  goal.latency_deadline_us = 1.0;
+  auto fallback = tuner.select("k", goal, SystemState{});
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_FALSE(fallback->constraints_met);
+  EXPECT_EQ(fallback->variant.id, "fpga-fast");
+}
+
+TEST(Autotuner, LearnsFromMispredictedEstimates) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+  // fpga-fast turns out to be 10x slower than estimated.
+  for (int i = 0; i < 5; ++i) tuner.observe("k", "fpga-fast", 400.0, 1500.0);
+  auto sel = tuner.select("k", Goal{}, SystemState{});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->variant.id, "fpga-dift");  // next best
+}
+
+TEST(Autotuner, MissingKernelReported) {
+  KnowledgeBase kb;
+  Autotuner tuner(&kb);
+  EXPECT_EQ(tuner.select("ghost", Goal{}, SystemState{}).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ Hypervisor --
+
+Hypervisor make_hypervisor() {
+  auto spec = platform::PlatformSpec::everest_reference(1, 0, 0);
+  return Hypervisor(*spec.find("p9-0"), spec);
+}
+
+TEST(Hypervisor, VmCreationAndOvercommitLimit) {
+  Hypervisor hv = make_hypervisor();
+  VmConfig config;
+  config.name = "vm0";
+  config.vcpus = 16;
+  ASSERT_TRUE(hv.create_vm(config).ok());
+  EXPECT_DOUBLE_EQ(hv.cpu_pressure(), 1.0);
+  config.name = "vm1";
+  ASSERT_TRUE(hv.create_vm(config).ok());  // 2x overcommit allowed
+  config.name = "vm2";
+  EXPECT_EQ(hv.create_vm(config).status().code(),
+            StatusCode::kResourceExhausted);
+  config.vcpus = 0;
+  EXPECT_EQ(hv.create_vm(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Hypervisor, CpuExecutionStretchedByOvercommit) {
+  Hypervisor hv = make_hypervisor();
+  VmConfig config;
+  config.vcpus = 16;
+  VmHandle vm = hv.create_vm(config).value();
+  Variant v = make_variant("cpu", TargetKind::kCpu, 100.0, 1000.0);
+  auto single = hv.execute(vm, v, 0.0);
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(single->breakdown.compute_us, 100.0, 1.0);
+  // Add a second VM: pressure 2.0 stretches compute.
+  config.name = "vm1";
+  ASSERT_TRUE(hv.create_vm(config).ok());
+  auto contended = hv.execute(vm, v, 0.0);
+  ASSERT_TRUE(contended.ok());
+  EXPECT_NEAR(contended->breakdown.compute_us, 200.0, 1.0);
+}
+
+TEST(Hypervisor, VfpgaAccessControlAndQueueing) {
+  Hypervisor hv = make_hypervisor();
+  VmConfig no_fpga;
+  no_fpga.name = "plain";
+  VmHandle plain = hv.create_vm(no_fpga).value();
+  Variant v = make_variant("fpga", TargetKind::kFpga, 50.0, 500.0);
+  EXPECT_EQ(hv.execute(plain, v, 0.0).status().code(),
+            StatusCode::kPermissionDenied);
+
+  VmConfig with_fpga;
+  with_fpga.name = "accel";
+  with_fpga.vfpga_access = true;
+  VmHandle accel = hv.create_vm(with_fpga).value();
+  auto first = hv.execute(accel, v, 0.0);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_GT(first->remoting_us, 0.0);
+  EXPECT_DOUBLE_EQ(first->breakdown.queue_us, 0.0);
+  // Second call at t=0 queues behind the first.
+  auto second = hv.execute(accel, v, 0.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->breakdown.queue_us, 0.0);
+  EXPECT_GT(hv.queue_wait_us("P9-VU9P", 0.0), 0.0);
+  // Far in the future the slot is free again.
+  EXPECT_DOUBLE_EQ(hv.queue_wait_us("P9-VU9P", 1e9), 0.0);
+}
+
+TEST(Hypervisor, InvalidHandleRejected) {
+  Hypervisor hv = make_hypervisor();
+  Variant v = make_variant("cpu", TargetKind::kCpu, 10.0, 10.0);
+  EXPECT_EQ(hv.execute(VmHandle{}, v, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------- AdaptationLoop --
+
+AdaptationLoop make_loop(KnowledgeBase* kb) {
+  auto spec = platform::PlatformSpec::everest_reference(1, 0, 0);
+  Hypervisor hv(*spec.find("p9-0"), spec);
+  VmConfig config;
+  config.name = "app";
+  config.vcpus = 8;
+  config.vfpga_access = true;
+  VmHandle vm = hv.create_vm(config).value();
+  return AdaptationLoop(kb, std::move(hv), vm);
+}
+
+TEST(AdaptationLoop, RunsInvocationsAndAdvancesTime) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  AdaptationLoop loop = make_loop(&kb);
+  auto r1 = loop.invoke("k", Goal{});
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  EXPECT_GT(r1->latency_us, 0.0);
+  EXPECT_GT(loop.now_us(), 0.0);
+  EXPECT_GT(kb.observation_count("k", r1->variant_id), 0);
+}
+
+TEST(AdaptationLoop, AutoProtectionEscalatesUnderAttack) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  AdaptationLoop loop = make_loop(&kb);
+  // Warm up the detector with normal traffic.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(loop.invoke("k", Goal{}).ok());
+  }
+  EXPECT_EQ(loop.protection("k"), security::ProtectionLevel::kNormal);
+  // Inject a sustained timing anomaly (e.g. a co-located side channel).
+  InvocationContext attack;
+  attack.injected_latency_us = 1e6;
+  int escalations = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto r = loop.invoke("k", Goal{}, attack);
+    if (!r.ok()) break;  // quarantined
+    escalations += r->anomaly_flagged;
+  }
+  EXPECT_GT(escalations, 3);
+  EXPECT_GE(static_cast<int>(loop.protection("k")),
+            static_cast<int>(security::ProtectionLevel::kMonitor));
+}
+
+TEST(AdaptationLoop, ProtectModeSwitchesToSecuredVariant) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  AdaptationLoop loop = make_loop(&kb);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(loop.invoke("k", Goal{}).ok());
+  InvocationContext attack;
+  attack.injected_latency_us = 1e6;
+  std::string last_variant;
+  for (int i = 0; i < 8; ++i) {
+    auto r = loop.invoke("k", Goal{}, attack);
+    if (!r.ok()) break;
+    last_variant = r->variant_id;
+    if (loop.protection("k") == security::ProtectionLevel::kProtect) break;
+  }
+  if (loop.protection("k") == security::ProtectionLevel::kProtect) {
+    auto r = loop.invoke("k", Goal{}, attack);
+    if (r.ok()) {
+      EXPECT_TRUE(r->variant_id == "fpga-dift" || r->variant_id == "fpga-enc")
+          << r->variant_id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace everest::runtime

@@ -1,0 +1,234 @@
+// Tests for the workflow engine: task graphs (builders, IR import,
+// synthetic generators) and the three schedulers with fault injection.
+#include <gtest/gtest.h>
+
+#include "dsl/workflow_dsl.hpp"
+#include "workflow/scheduler.hpp"
+#include "workflow/task_graph.hpp"
+
+namespace everest::workflow {
+namespace {
+
+std::vector<WorkerSpec> homogeneous_workers(std::size_t n,
+                                            double gflops = 10.0) {
+  std::vector<WorkerSpec> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerSpec w;
+    w.name = "w" + std::to_string(i);
+    w.gflops = gflops;
+    w.link_gbps = 1.0;
+    w.link_latency_us = 10.0;
+    workers.push_back(std::move(w));
+  }
+  return workers;
+}
+
+// ------------------------------------------------------------- TaskGraph --
+
+TEST(TaskGraph, BuildAndValidate) {
+  TaskGraph g;
+  const auto a = g.add_task({"a", 1e9, 1e6, "", {}});
+  const auto b = g.add_task({"b", 2e9, 1e6, "", {a}});
+  g.add_task({"c", 3e9, 0.0, "", {a, b}});
+  EXPECT_TRUE(g.validate().ok());
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.total_flops(), 6e9);
+  EXPECT_DOUBLE_EQ(g.critical_path_flops(), 6e9);  // a→b→c chain
+  const auto succ = g.successors();
+  EXPECT_EQ(succ[a].size(), 2u);
+}
+
+TEST(TaskGraph, ForwardDependencyRejected) {
+  TaskGraph g;
+  g.add_task({"a", 1e9, 0, "", {1}});  // depends on a later task
+  g.add_task({"b", 1e9, 0, "", {}});
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(TaskGraph, FromWorkflowIr) {
+  dsl::WorkflowBuilder wf("app");
+  auto s = wf.source("feed");
+  auto t1 = wf.task("stage1").kernel("k1").inputs({s})
+                .output_shape({1024}).flops(5e8).done();
+  auto t2 = wf.task("stage2").kernel("k2").inputs({t1})
+                .output_shape({64}).flops(1e8).done();
+  ASSERT_TRUE(wf.sink("out", t2).ok());
+  auto module = wf.lower();
+  ASSERT_TRUE(module.ok());
+  auto graph = TaskGraph::from_ir(*module->find("app"));
+  ASSERT_TRUE(graph.ok()) << graph.status().to_string();
+  ASSERT_EQ(graph->size(), 4u);  // source + 2 tasks + sink
+  EXPECT_DOUBLE_EQ(graph->task(1).flops, 5e8);
+  EXPECT_EQ(graph->task(1).kernel, "k1");
+  EXPECT_DOUBLE_EQ(graph->task(1).output_bytes, 1024 * 8.0);
+  EXPECT_EQ(graph->task(3).deps, (std::vector<std::size_t>{2}));
+}
+
+TEST(TaskGraph, SyntheticGenerators) {
+  Rng rng(5);
+  TaskGraph layered = TaskGraph::random_layered(4, 8, 3, rng);
+  EXPECT_EQ(layered.size(), 32u);
+  EXPECT_TRUE(layered.validate().ok());
+
+  TaskGraph mr = TaskGraph::map_reduce(10, 3);
+  EXPECT_EQ(mr.size(), 13u);
+  EXPECT_TRUE(mr.validate().ok());
+  EXPECT_EQ(mr.task(12).deps.size(), 10u);  // all-to-all shuffle
+
+  TaskGraph pipe = TaskGraph::pipeline(5, 4);
+  EXPECT_EQ(pipe.size(), 20u);
+  EXPECT_TRUE(pipe.validate().ok());
+}
+
+// ------------------------------------------------------------- Scheduler --
+
+TEST(Scheduler, SingleWorkerMakespanEqualsTotalWork) {
+  TaskGraph g = TaskGraph::pipeline(4, 1, /*stage_flops=*/1e9,
+                                    /*stage_bytes=*/0.0);
+  SimulationOptions opts;
+  opts.scheduler = SchedulerKind::kFifo;
+  auto outcome = simulate_schedule(g, homogeneous_workers(1), opts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  // 4 GFLOP at 10 GFLOP/s = 0.4 s = 4e5 us, no transfers on one worker.
+  EXPECT_NEAR(outcome->makespan_us, 4e5, 1.0);
+  EXPECT_NEAR(outcome->mean_utilization, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(outcome->bytes_transferred, 0.0);
+}
+
+TEST(Scheduler, IndependentTasksScaleWithWorkers) {
+  TaskGraph g = TaskGraph::pipeline(1, 16, 1e9, 0.0);  // 16 independent
+  for (SchedulerKind kind : {SchedulerKind::kFifo, SchedulerKind::kHeft,
+                             SchedulerKind::kWorkStealing}) {
+    SimulationOptions opts;
+    opts.scheduler = kind;
+    auto w1 = simulate_schedule(g, homogeneous_workers(1), opts);
+    auto w4 = simulate_schedule(g, homogeneous_workers(4), opts);
+    ASSERT_TRUE(w1.ok() && w4.ok());
+    EXPECT_NEAR(w1->makespan_us / w4->makespan_us, 4.0, 0.2)
+        << to_string(kind);
+  }
+}
+
+TEST(Scheduler, ChainCannotBeParallelized) {
+  TaskGraph g = TaskGraph::pipeline(8, 1, 1e9, 1e3);
+  SimulationOptions opts;
+  opts.scheduler = SchedulerKind::kHeft;
+  auto w1 = simulate_schedule(g, homogeneous_workers(1), opts);
+  auto w8 = simulate_schedule(g, homogeneous_workers(8), opts);
+  ASSERT_TRUE(w1.ok() && w8.ok());
+  EXPECT_GT(w8->makespan_us, 0.95 * w1->makespan_us);  // no speedup on chain
+}
+
+TEST(Scheduler, HeftBeatsFifoOnHeterogeneousWorkers) {
+  // Heterogeneous pool: HEFT should place the critical chain on the fast
+  // worker; FIFO dispatches blindly.
+  Rng rng(11);
+  TaskGraph g = TaskGraph::random_layered(6, 6, 2, rng, 2e9, 5e6);
+  std::vector<WorkerSpec> workers = homogeneous_workers(4, 5.0);
+  workers[0].gflops = 50.0;  // one fast node
+  SimulationOptions fifo{SchedulerKind::kFifo};
+  SimulationOptions heft{SchedulerKind::kHeft};
+  auto fifo_out = simulate_schedule(g, workers, fifo);
+  auto heft_out = simulate_schedule(g, workers, heft);
+  ASSERT_TRUE(fifo_out.ok() && heft_out.ok());
+  EXPECT_LT(heft_out->makespan_us, fifo_out->makespan_us);
+}
+
+TEST(Scheduler, WorkStealingReducesTransfersVsFifo) {
+  // Locality-aware placement keeps children near their biggest input;
+  // FIFO's central queue scatters them. On communication-heavy random
+  // DAGs work stealing moves far fewer bytes.
+  Rng rng(1);
+  TaskGraph g = TaskGraph::random_layered(6, 8, 2, rng, 5e8, 2e7);
+  auto workers = homogeneous_workers(4);
+  SimulationOptions fifo{SchedulerKind::kFifo};
+  SimulationOptions ws{SchedulerKind::kWorkStealing};
+  auto fifo_out = simulate_schedule(g, workers, fifo);
+  auto ws_out = simulate_schedule(g, workers, ws);
+  ASSERT_TRUE(fifo_out.ok() && ws_out.ok());
+  EXPECT_LT(ws_out->bytes_transferred, fifo_out->bytes_transferred);
+}
+
+TEST(Scheduler, FaultInjectionRetriesAndExtendsMakespan) {
+  TaskGraph g = TaskGraph::pipeline(1, 32, 1e9, 0.0);
+  auto workers = homogeneous_workers(4);
+  SimulationOptions clean{SchedulerKind::kFifo};
+  SimulationOptions faulty{SchedulerKind::kFifo};
+  faulty.failure_probability = 0.3;
+  faulty.max_retries = 50;
+  faulty.seed = 3;
+  auto ok_out = simulate_schedule(g, workers, clean);
+  auto faulty_out = simulate_schedule(g, workers, faulty);
+  ASSERT_TRUE(ok_out.ok() && faulty_out.ok());
+  EXPECT_GT(faulty_out->executions, ok_out->executions);
+  EXPECT_GT(faulty_out->makespan_us, ok_out->makespan_us);
+}
+
+TEST(Scheduler, RetryBudgetExhaustionFails) {
+  TaskGraph g = TaskGraph::pipeline(1, 4, 1e9, 0.0);
+  SimulationOptions opts{SchedulerKind::kFifo};
+  opts.failure_probability = 1.0;  // always fails
+  opts.max_retries = 2;
+  auto outcome = simulate_schedule(g, homogeneous_workers(2), opts);
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Scheduler, EmptyGraphAndNoWorkers) {
+  TaskGraph g;
+  auto outcome = simulate_schedule(g, homogeneous_workers(2));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome->makespan_us, 0.0);
+  EXPECT_FALSE(simulate_schedule(g, {}).ok());
+}
+
+TEST(Scheduler, WorkersFromPlatformMapNodes) {
+  auto spec = platform::PlatformSpec::everest_reference(2, 0, 1);
+  auto workers = workers_from_platform(spec);
+  ASSERT_EQ(workers.size(), 3u);
+  EXPECT_GT(workers[0].gflops, workers[2].gflops);  // P9 vs edge ARM
+  EXPECT_LT(workers[2].link_gbps, workers[0].link_gbps);  // WAN uplink
+}
+
+TEST(Scheduler, DeterministicForFixedSeed) {
+  Rng rng(9);
+  TaskGraph g = TaskGraph::random_layered(5, 10, 3, rng);
+  SimulationOptions opts{SchedulerKind::kWorkStealing};
+  opts.failure_probability = 0.1;
+  opts.max_retries = 20;
+  opts.seed = 42;
+  auto a = simulate_schedule(g, homogeneous_workers(3), opts);
+  auto b = simulate_schedule(g, homogeneous_workers(3), opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->makespan_us, b->makespan_us);
+  EXPECT_EQ(a->executions, b->executions);
+}
+
+/// Property: makespan is never below both lower bounds (critical path and
+/// total-work/aggregate-throughput), for every scheduler.
+class SchedulerBounds
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulerBounds, MakespanRespectsLowerBounds) {
+  const int seed = std::get<0>(GetParam());
+  const int scheduler = std::get<1>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(seed));
+  TaskGraph g = TaskGraph::random_layered(4, 6, 2, rng);
+  auto workers = homogeneous_workers(3, 8.0);
+  SimulationOptions opts;
+  opts.scheduler = static_cast<SchedulerKind>(scheduler);
+  auto outcome = simulate_schedule(g, workers, opts);
+  ASSERT_TRUE(outcome.ok());
+  const double cp_us = g.critical_path_flops() / (8.0 * 1e3);
+  const double work_us = g.total_flops() / (3 * 8.0 * 1e3);
+  EXPECT_GE(outcome->makespan_us, cp_us * 0.999);
+  EXPECT_GE(outcome->makespan_us, work_us * 0.999);
+  EXPECT_GT(outcome->mean_utilization, 0.0);
+  EXPECT_LE(outcome->mean_utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedulerBounds,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace everest::workflow
