@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_energy_forecast.dir/bench_e10_energy_forecast.cpp.o"
+  "CMakeFiles/bench_e10_energy_forecast.dir/bench_e10_energy_forecast.cpp.o.d"
+  "bench_e10_energy_forecast"
+  "bench_e10_energy_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_energy_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

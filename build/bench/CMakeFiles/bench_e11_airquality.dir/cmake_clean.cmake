@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_airquality.dir/bench_e11_airquality.cpp.o"
+  "CMakeFiles/bench_e11_airquality.dir/bench_e11_airquality.cpp.o.d"
+  "bench_e11_airquality"
+  "bench_e11_airquality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_airquality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

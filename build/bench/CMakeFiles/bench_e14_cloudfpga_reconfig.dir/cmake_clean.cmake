@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_cloudfpga_reconfig.dir/bench_e14_cloudfpga_reconfig.cpp.o"
+  "CMakeFiles/bench_e14_cloudfpga_reconfig.dir/bench_e14_cloudfpga_reconfig.cpp.o.d"
+  "bench_e14_cloudfpga_reconfig"
+  "bench_e14_cloudfpga_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_cloudfpga_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

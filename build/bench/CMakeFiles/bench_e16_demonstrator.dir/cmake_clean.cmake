@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_demonstrator.dir/bench_e16_demonstrator.cpp.o"
+  "CMakeFiles/bench_e16_demonstrator.dir/bench_e16_demonstrator.cpp.o.d"
+  "bench_e16_demonstrator"
+  "bench_e16_demonstrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_demonstrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_compilation_flow.dir/bench_e1_compilation_flow.cpp.o"
+  "CMakeFiles/bench_e1_compilation_flow.dir/bench_e1_compilation_flow.cpp.o.d"
+  "bench_e1_compilation_flow"
+  "bench_e1_compilation_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_compilation_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_runtime_adaptation.dir/bench_e2_runtime_adaptation.cpp.o"
+  "CMakeFiles/bench_e2_runtime_adaptation.dir/bench_e2_runtime_adaptation.cpp.o.d"
+  "bench_e2_runtime_adaptation"
+  "bench_e2_runtime_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_runtime_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

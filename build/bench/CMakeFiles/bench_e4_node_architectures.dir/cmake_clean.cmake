@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_node_architectures.dir/bench_e4_node_architectures.cpp.o"
+  "CMakeFiles/bench_e4_node_architectures.dir/bench_e4_node_architectures.cpp.o.d"
+  "bench_e4_node_architectures"
+  "bench_e4_node_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_node_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

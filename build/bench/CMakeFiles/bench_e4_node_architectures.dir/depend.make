@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_node_architectures.
+# This may be replaced when dependencies are built.

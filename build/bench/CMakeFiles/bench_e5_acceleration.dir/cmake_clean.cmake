@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_acceleration.dir/bench_e5_acceleration.cpp.o"
+  "CMakeFiles/bench_e5_acceleration.dir/bench_e5_acceleration.cpp.o.d"
+  "bench_e5_acceleration"
+  "bench_e5_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_memory_partitioning.dir/bench_e6_memory_partitioning.cpp.o"
+  "CMakeFiles/bench_e6_memory_partitioning.dir/bench_e6_memory_partitioning.cpp.o.d"
+  "bench_e6_memory_partitioning"
+  "bench_e6_memory_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_memory_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e9_autotuner_quality.cpp" "bench/CMakeFiles/bench_e9_autotuner_quality.dir/bench_e9_autotuner_quality.cpp.o" "gcc" "bench/CMakeFiles/bench_e9_autotuner_quality.dir/bench_e9_autotuner_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/everest_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/everest_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/everest_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/everest_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/everest_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/everest_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/everest_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

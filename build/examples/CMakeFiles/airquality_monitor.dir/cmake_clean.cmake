@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airquality_monitor.dir/airquality_monitor.cpp.o"
+  "CMakeFiles/airquality_monitor.dir/airquality_monitor.cpp.o.d"
+  "airquality_monitor"
+  "airquality_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airquality_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

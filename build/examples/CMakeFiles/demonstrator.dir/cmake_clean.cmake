@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demonstrator.dir/demonstrator.cpp.o"
+  "CMakeFiles/demonstrator.dir/demonstrator.cpp.o.d"
+  "demonstrator"
+  "demonstrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demonstrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

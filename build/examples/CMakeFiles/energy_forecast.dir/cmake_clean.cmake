@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_forecast.dir/energy_forecast.cpp.o"
+  "CMakeFiles/energy_forecast.dir/energy_forecast.cpp.o.d"
+  "energy_forecast"
+  "energy_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

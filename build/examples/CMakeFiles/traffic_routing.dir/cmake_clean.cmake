@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_routing.dir/traffic_routing.cpp.o"
+  "CMakeFiles/traffic_routing.dir/traffic_routing.cpp.o.d"
+  "traffic_routing"
+  "traffic_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/airquality.cpp" "src/apps/CMakeFiles/everest_apps.dir/airquality.cpp.o" "gcc" "src/apps/CMakeFiles/everest_apps.dir/airquality.cpp.o.d"
+  "/root/repo/src/apps/energy.cpp" "src/apps/CMakeFiles/everest_apps.dir/energy.cpp.o" "gcc" "src/apps/CMakeFiles/everest_apps.dir/energy.cpp.o.d"
+  "/root/repo/src/apps/mlp.cpp" "src/apps/CMakeFiles/everest_apps.dir/mlp.cpp.o" "gcc" "src/apps/CMakeFiles/everest_apps.dir/mlp.cpp.o.d"
+  "/root/repo/src/apps/traffic.cpp" "src/apps/CMakeFiles/everest_apps.dir/traffic.cpp.o" "gcc" "src/apps/CMakeFiles/everest_apps.dir/traffic.cpp.o.d"
+  "/root/repo/src/apps/weather.cpp" "src/apps/CMakeFiles/everest_apps.dir/weather.cpp.o" "gcc" "src/apps/CMakeFiles/everest_apps.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/everest_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_apps.dir/airquality.cpp.o"
+  "CMakeFiles/everest_apps.dir/airquality.cpp.o.d"
+  "CMakeFiles/everest_apps.dir/energy.cpp.o"
+  "CMakeFiles/everest_apps.dir/energy.cpp.o.d"
+  "CMakeFiles/everest_apps.dir/mlp.cpp.o"
+  "CMakeFiles/everest_apps.dir/mlp.cpp.o.d"
+  "CMakeFiles/everest_apps.dir/traffic.cpp.o"
+  "CMakeFiles/everest_apps.dir/traffic.cpp.o.d"
+  "CMakeFiles/everest_apps.dir/weather.cpp.o"
+  "CMakeFiles/everest_apps.dir/weather.cpp.o.d"
+  "libeverest_apps.a"
+  "libeverest_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_common.dir/graph.cpp.o"
+  "CMakeFiles/everest_common.dir/graph.cpp.o.d"
+  "CMakeFiles/everest_common.dir/json.cpp.o"
+  "CMakeFiles/everest_common.dir/json.cpp.o.d"
+  "CMakeFiles/everest_common.dir/logging.cpp.o"
+  "CMakeFiles/everest_common.dir/logging.cpp.o.d"
+  "CMakeFiles/everest_common.dir/stats.cpp.o"
+  "CMakeFiles/everest_common.dir/stats.cpp.o.d"
+  "CMakeFiles/everest_common.dir/status.cpp.o"
+  "CMakeFiles/everest_common.dir/status.cpp.o.d"
+  "CMakeFiles/everest_common.dir/strings.cpp.o"
+  "CMakeFiles/everest_common.dir/strings.cpp.o.d"
+  "CMakeFiles/everest_common.dir/table.cpp.o"
+  "CMakeFiles/everest_common.dir/table.cpp.o.d"
+  "libeverest_common.a"
+  "libeverest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/analysis.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/analysis.cpp.o.d"
+  "/root/repo/src/compiler/backend.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/backend.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/backend.cpp.o.d"
+  "/root/repo/src/compiler/cache_model.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/cache_model.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/cache_model.cpp.o.d"
+  "/root/repo/src/compiler/dependence.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/dependence.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/dependence.cpp.o.d"
+  "/root/repo/src/compiler/dse.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/dse.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/dse.cpp.o.d"
+  "/root/repo/src/compiler/interpreter.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/interpreter.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/interpreter.cpp.o.d"
+  "/root/repo/src/compiler/lowering.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/lowering.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/lowering.cpp.o.d"
+  "/root/repo/src/compiler/transforms.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/transforms.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/transforms.cpp.o.d"
+  "/root/repo/src/compiler/variants.cpp" "src/compiler/CMakeFiles/everest_compiler.dir/variants.cpp.o" "gcc" "src/compiler/CMakeFiles/everest_compiler.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/everest_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/everest_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_compiler.dir/analysis.cpp.o"
+  "CMakeFiles/everest_compiler.dir/analysis.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/backend.cpp.o"
+  "CMakeFiles/everest_compiler.dir/backend.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/cache_model.cpp.o"
+  "CMakeFiles/everest_compiler.dir/cache_model.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/dependence.cpp.o"
+  "CMakeFiles/everest_compiler.dir/dependence.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/dse.cpp.o"
+  "CMakeFiles/everest_compiler.dir/dse.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/interpreter.cpp.o"
+  "CMakeFiles/everest_compiler.dir/interpreter.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/lowering.cpp.o"
+  "CMakeFiles/everest_compiler.dir/lowering.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/transforms.cpp.o"
+  "CMakeFiles/everest_compiler.dir/transforms.cpp.o.d"
+  "CMakeFiles/everest_compiler.dir/variants.cpp.o"
+  "CMakeFiles/everest_compiler.dir/variants.cpp.o.d"
+  "libeverest_compiler.a"
+  "libeverest_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/annotations.cpp" "src/dsl/CMakeFiles/everest_dsl.dir/annotations.cpp.o" "gcc" "src/dsl/CMakeFiles/everest_dsl.dir/annotations.cpp.o.d"
+  "/root/repo/src/dsl/einsum.cpp" "src/dsl/CMakeFiles/everest_dsl.dir/einsum.cpp.o" "gcc" "src/dsl/CMakeFiles/everest_dsl.dir/einsum.cpp.o.d"
+  "/root/repo/src/dsl/nn_exchange.cpp" "src/dsl/CMakeFiles/everest_dsl.dir/nn_exchange.cpp.o" "gcc" "src/dsl/CMakeFiles/everest_dsl.dir/nn_exchange.cpp.o.d"
+  "/root/repo/src/dsl/particles.cpp" "src/dsl/CMakeFiles/everest_dsl.dir/particles.cpp.o" "gcc" "src/dsl/CMakeFiles/everest_dsl.dir/particles.cpp.o.d"
+  "/root/repo/src/dsl/tensor_expr.cpp" "src/dsl/CMakeFiles/everest_dsl.dir/tensor_expr.cpp.o" "gcc" "src/dsl/CMakeFiles/everest_dsl.dir/tensor_expr.cpp.o.d"
+  "/root/repo/src/dsl/workflow_dsl.cpp" "src/dsl/CMakeFiles/everest_dsl.dir/workflow_dsl.cpp.o" "gcc" "src/dsl/CMakeFiles/everest_dsl.dir/workflow_dsl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

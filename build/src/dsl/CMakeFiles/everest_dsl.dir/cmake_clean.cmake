@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_dsl.dir/annotations.cpp.o"
+  "CMakeFiles/everest_dsl.dir/annotations.cpp.o.d"
+  "CMakeFiles/everest_dsl.dir/einsum.cpp.o"
+  "CMakeFiles/everest_dsl.dir/einsum.cpp.o.d"
+  "CMakeFiles/everest_dsl.dir/nn_exchange.cpp.o"
+  "CMakeFiles/everest_dsl.dir/nn_exchange.cpp.o.d"
+  "CMakeFiles/everest_dsl.dir/particles.cpp.o"
+  "CMakeFiles/everest_dsl.dir/particles.cpp.o.d"
+  "CMakeFiles/everest_dsl.dir/tensor_expr.cpp.o"
+  "CMakeFiles/everest_dsl.dir/tensor_expr.cpp.o.d"
+  "CMakeFiles/everest_dsl.dir/workflow_dsl.cpp.o"
+  "CMakeFiles/everest_dsl.dir/workflow_dsl.cpp.o.d"
+  "libeverest_dsl.a"
+  "libeverest_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/binding.cpp" "src/hls/CMakeFiles/everest_hls.dir/binding.cpp.o" "gcc" "src/hls/CMakeFiles/everest_hls.dir/binding.cpp.o.d"
+  "/root/repo/src/hls/cdfg.cpp" "src/hls/CMakeFiles/everest_hls.dir/cdfg.cpp.o" "gcc" "src/hls/CMakeFiles/everest_hls.dir/cdfg.cpp.o.d"
+  "/root/repo/src/hls/crypto_cores.cpp" "src/hls/CMakeFiles/everest_hls.dir/crypto_cores.cpp.o" "gcc" "src/hls/CMakeFiles/everest_hls.dir/crypto_cores.cpp.o.d"
+  "/root/repo/src/hls/hls.cpp" "src/hls/CMakeFiles/everest_hls.dir/hls.cpp.o" "gcc" "src/hls/CMakeFiles/everest_hls.dir/hls.cpp.o.d"
+  "/root/repo/src/hls/memory.cpp" "src/hls/CMakeFiles/everest_hls.dir/memory.cpp.o" "gcc" "src/hls/CMakeFiles/everest_hls.dir/memory.cpp.o.d"
+  "/root/repo/src/hls/resource_library.cpp" "src/hls/CMakeFiles/everest_hls.dir/resource_library.cpp.o" "gcc" "src/hls/CMakeFiles/everest_hls.dir/resource_library.cpp.o.d"
+  "/root/repo/src/hls/scheduling.cpp" "src/hls/CMakeFiles/everest_hls.dir/scheduling.cpp.o" "gcc" "src/hls/CMakeFiles/everest_hls.dir/scheduling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_hls.dir/binding.cpp.o"
+  "CMakeFiles/everest_hls.dir/binding.cpp.o.d"
+  "CMakeFiles/everest_hls.dir/cdfg.cpp.o"
+  "CMakeFiles/everest_hls.dir/cdfg.cpp.o.d"
+  "CMakeFiles/everest_hls.dir/crypto_cores.cpp.o"
+  "CMakeFiles/everest_hls.dir/crypto_cores.cpp.o.d"
+  "CMakeFiles/everest_hls.dir/hls.cpp.o"
+  "CMakeFiles/everest_hls.dir/hls.cpp.o.d"
+  "CMakeFiles/everest_hls.dir/memory.cpp.o"
+  "CMakeFiles/everest_hls.dir/memory.cpp.o.d"
+  "CMakeFiles/everest_hls.dir/resource_library.cpp.o"
+  "CMakeFiles/everest_hls.dir/resource_library.cpp.o.d"
+  "CMakeFiles/everest_hls.dir/scheduling.cpp.o"
+  "CMakeFiles/everest_hls.dir/scheduling.cpp.o.d"
+  "libeverest_hls.a"
+  "libeverest_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/attribute.cpp" "src/ir/CMakeFiles/everest_ir.dir/attribute.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/attribute.cpp.o.d"
+  "/root/repo/src/ir/dialect.cpp" "src/ir/CMakeFiles/everest_ir.dir/dialect.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/dialect.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/ir/CMakeFiles/everest_ir.dir/module.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/module.cpp.o.d"
+  "/root/repo/src/ir/operation.cpp" "src/ir/CMakeFiles/everest_ir.dir/operation.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/operation.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/everest_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/pass.cpp" "src/ir/CMakeFiles/everest_ir.dir/pass.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/pass.cpp.o.d"
+  "/root/repo/src/ir/pattern.cpp" "src/ir/CMakeFiles/everest_ir.dir/pattern.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/pattern.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/everest_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/ir/CMakeFiles/everest_ir.dir/type.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/everest_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

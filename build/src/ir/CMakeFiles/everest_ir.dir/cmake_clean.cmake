@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_ir.dir/attribute.cpp.o"
+  "CMakeFiles/everest_ir.dir/attribute.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/dialect.cpp.o"
+  "CMakeFiles/everest_ir.dir/dialect.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/module.cpp.o"
+  "CMakeFiles/everest_ir.dir/module.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/operation.cpp.o"
+  "CMakeFiles/everest_ir.dir/operation.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/parser.cpp.o"
+  "CMakeFiles/everest_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/pass.cpp.o"
+  "CMakeFiles/everest_ir.dir/pass.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/pattern.cpp.o"
+  "CMakeFiles/everest_ir.dir/pattern.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/printer.cpp.o"
+  "CMakeFiles/everest_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/type.cpp.o"
+  "CMakeFiles/everest_ir.dir/type.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/verifier.cpp.o"
+  "CMakeFiles/everest_ir.dir/verifier.cpp.o.d"
+  "libeverest_ir.a"
+  "libeverest_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/executor.cpp" "src/platform/CMakeFiles/everest_platform.dir/executor.cpp.o" "gcc" "src/platform/CMakeFiles/everest_platform.dir/executor.cpp.o.d"
+  "/root/repo/src/platform/links.cpp" "src/platform/CMakeFiles/everest_platform.dir/links.cpp.o" "gcc" "src/platform/CMakeFiles/everest_platform.dir/links.cpp.o.d"
+  "/root/repo/src/platform/node.cpp" "src/platform/CMakeFiles/everest_platform.dir/node.cpp.o" "gcc" "src/platform/CMakeFiles/everest_platform.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/everest_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/everest_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/everest_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

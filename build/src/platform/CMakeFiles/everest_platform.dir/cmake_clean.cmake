@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_platform.dir/executor.cpp.o"
+  "CMakeFiles/everest_platform.dir/executor.cpp.o.d"
+  "CMakeFiles/everest_platform.dir/links.cpp.o"
+  "CMakeFiles/everest_platform.dir/links.cpp.o.d"
+  "CMakeFiles/everest_platform.dir/node.cpp.o"
+  "CMakeFiles/everest_platform.dir/node.cpp.o.d"
+  "libeverest_platform.a"
+  "libeverest_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

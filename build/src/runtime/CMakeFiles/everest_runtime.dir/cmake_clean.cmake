@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_runtime.dir/adaptation.cpp.o"
+  "CMakeFiles/everest_runtime.dir/adaptation.cpp.o.d"
+  "CMakeFiles/everest_runtime.dir/autotuner.cpp.o"
+  "CMakeFiles/everest_runtime.dir/autotuner.cpp.o.d"
+  "CMakeFiles/everest_runtime.dir/demonstrator.cpp.o"
+  "CMakeFiles/everest_runtime.dir/demonstrator.cpp.o.d"
+  "CMakeFiles/everest_runtime.dir/knowledge.cpp.o"
+  "CMakeFiles/everest_runtime.dir/knowledge.cpp.o.d"
+  "CMakeFiles/everest_runtime.dir/vm.cpp.o"
+  "CMakeFiles/everest_runtime.dir/vm.cpp.o.d"
+  "libeverest_runtime.a"
+  "libeverest_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/aes.cpp" "src/security/CMakeFiles/everest_security.dir/aes.cpp.o" "gcc" "src/security/CMakeFiles/everest_security.dir/aes.cpp.o.d"
+  "/root/repo/src/security/anomaly.cpp" "src/security/CMakeFiles/everest_security.dir/anomaly.cpp.o" "gcc" "src/security/CMakeFiles/everest_security.dir/anomaly.cpp.o.d"
+  "/root/repo/src/security/protected_store.cpp" "src/security/CMakeFiles/everest_security.dir/protected_store.cpp.o" "gcc" "src/security/CMakeFiles/everest_security.dir/protected_store.cpp.o.d"
+  "/root/repo/src/security/sha256.cpp" "src/security/CMakeFiles/everest_security.dir/sha256.cpp.o" "gcc" "src/security/CMakeFiles/everest_security.dir/sha256.cpp.o.d"
+  "/root/repo/src/security/taint.cpp" "src/security/CMakeFiles/everest_security.dir/taint.cpp.o" "gcc" "src/security/CMakeFiles/everest_security.dir/taint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/everest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_security.dir/aes.cpp.o"
+  "CMakeFiles/everest_security.dir/aes.cpp.o.d"
+  "CMakeFiles/everest_security.dir/anomaly.cpp.o"
+  "CMakeFiles/everest_security.dir/anomaly.cpp.o.d"
+  "CMakeFiles/everest_security.dir/protected_store.cpp.o"
+  "CMakeFiles/everest_security.dir/protected_store.cpp.o.d"
+  "CMakeFiles/everest_security.dir/sha256.cpp.o"
+  "CMakeFiles/everest_security.dir/sha256.cpp.o.d"
+  "CMakeFiles/everest_security.dir/taint.cpp.o"
+  "CMakeFiles/everest_security.dir/taint.cpp.o.d"
+  "libeverest_security.a"
+  "libeverest_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_workflow.dir/scheduler.cpp.o"
+  "CMakeFiles/everest_workflow.dir/scheduler.cpp.o.d"
+  "CMakeFiles/everest_workflow.dir/task_graph.cpp.o"
+  "CMakeFiles/everest_workflow.dir/task_graph.cpp.o.d"
+  "libeverest_workflow.a"
+  "libeverest_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_demonstrator.dir/test_demonstrator.cpp.o"
+  "CMakeFiles/test_demonstrator.dir/test_demonstrator.cpp.o.d"
+  "test_demonstrator"
+  "test_demonstrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_demonstrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

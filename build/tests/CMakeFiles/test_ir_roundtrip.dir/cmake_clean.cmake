@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_roundtrip.dir/test_ir_roundtrip.cpp.o"
+  "CMakeFiles/test_ir_roundtrip.dir/test_ir_roundtrip.cpp.o.d"
+  "test_ir_roundtrip"
+  "test_ir_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
