@@ -1,0 +1,193 @@
+// E17 — the serving layer quantified: the demonstrator as a multi-tenant
+// service. Four series: (1) sustained throughput vs offered load with
+// batching on/off — coalescing amortizes per-batch setup, so the saturation
+// point moves right; (2) the latency price of each batching policy point
+// (max batch × max wait) at moderate load; (3) overload behaviour vs queue
+// capacity — a bounded admission queue rejects early and keeps p99 flat
+// where a near-unbounded queue lets latency collapse into queueing delay;
+// (4) SLA isolation in a mixed workload: latency-critical traffic keeps a
+// small-batch priority path while throughput traffic is batched hard.
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+using namespace everest;
+using namespace everest::serve;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+
+/// Builds a fresh server (and knowledge base) for one sweep point.
+struct Service {
+  runtime::KnowledgeBase kb;
+  Server server;
+  Service(ServerOptions options, const std::vector<Endpoint>& endpoints)
+      : server(options, &kb) {
+    for (const Endpoint& ep : endpoints) {
+      Status st = server.register_endpoint(ep);
+      if (!st.ok()) std::printf("register failed: %s\n", st.to_string().c_str());
+    }
+    (void)server.start();
+  }
+};
+
+std::string pct(double x) { return fmt_double(100.0 * x, 1) + "%"; }
+
+}  // namespace
+
+int main() {
+  std::printf("=== E17: concurrent request serving on the EVEREST runtime ===\n\n");
+  const std::vector<Endpoint> endpoints = standard_endpoints();
+
+  // --- Series 1: throughput vs offered load, batch-1 vs batch-8 ---------
+  std::printf("--- throughput vs offered load (open loop, energy_forecast, "
+              "2 workers) ---\n");
+  Table s1({"offered rps", "policy", "achieved rps", "p50 ms", "p99 ms",
+            "rejected", "mean batch"});
+  for (double offered : {100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {
+    for (std::size_t max_batch : {std::size_t{1}, std::size_t{8}}) {
+      ServerOptions options;
+      options.worker_threads = 2;
+      options.queue_capacity = 64;
+      options.batch.max_batch = max_batch;
+      options.batch.max_wait = std::chrono::microseconds(2000);
+      Service service(options, endpoints);
+      WorkloadSpec spec;
+      spec.kernels = {"energy_forecast"};
+      spec.offered_rps = offered;
+      spec.duration = std::chrono::milliseconds(400);
+      spec.lc_fraction = 0.0;
+      spec.lc_deadline_ms = 0.0;
+      spec.tp_deadline_ms = 0.0;  // isolate admission from expiry
+      spec.seed = kSeed;
+      const LoadReport report = run_open_loop(service.server, spec);
+      const MetricsSnapshot snap = service.server.metrics().snapshot();
+      service.server.stop();
+      s1.add_row({fmt_double(offered, 0),
+                  max_batch == 1 ? "batch-1" : "batch-8",
+                  fmt_double(report.achieved_rps(), 0),
+                  fmt_double(report.p50_us() / 1e3, 2),
+                  fmt_double(report.p99_us() / 1e3, 2),
+                  pct(snap.rejection_rate()),
+                  fmt_double(snap.mean_batch_size, 2)});
+    }
+  }
+  std::printf("%s\n", s1.render().c_str());
+  std::printf("batching amortizes the shared ensemble setup: batch-8 keeps\n"
+              "achieved ~= offered well past the batch-1 saturation point.\n\n");
+
+  // --- Series 2: latency vs batch policy at moderate load ---------------
+  std::printf("--- latency vs batch policy (open loop, 600 rps mixed "
+              "kernels) ---\n");
+  Table s2({"max batch", "max wait us", "achieved rps", "p50 ms", "p99 ms",
+            "mean batch"});
+  for (std::size_t max_batch :
+       {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (long wait_us : {200L, 2000L, 10000L}) {
+      ServerOptions options;
+      options.worker_threads = 2;
+      options.queue_capacity = 256;
+      options.batch.max_batch = max_batch;
+      options.batch.max_wait = std::chrono::microseconds(wait_us);
+      Service service(options, endpoints);
+      WorkloadSpec spec;
+      spec.kernels = {"energy_forecast", "aq_dispersion", "ptdr_route"};
+      spec.offered_rps = 600.0;
+      spec.duration = std::chrono::milliseconds(400);
+      spec.lc_fraction = 0.0;
+      spec.lc_deadline_ms = 0.0;
+      spec.tp_deadline_ms = 0.0;
+      spec.seed = kSeed;
+      const LoadReport report = run_open_loop(service.server, spec);
+      const MetricsSnapshot snap = service.server.metrics().snapshot();
+      service.server.stop();
+      s2.add_row({std::to_string(max_batch), std::to_string(wait_us),
+                  fmt_double(report.achieved_rps(), 0),
+                  fmt_double(report.p50_us() / 1e3, 2),
+                  fmt_double(report.p99_us() / 1e3, 2),
+                  fmt_double(snap.mean_batch_size, 2)});
+    }
+  }
+  std::printf("%s\n", s2.render().c_str());
+  std::printf("the policy trade: bigger batches + longer waits buy\n"
+              "throughput headroom and cost median latency.\n\n");
+
+  // --- Series 3: overload — admission control vs an unbounded queue -----
+  std::printf("--- overload behaviour vs queue capacity (1 worker, batch-1, "
+              "~2.3x overload) ---\n");
+  Table s3({"queue cap", "achieved rps", "p50 ms", "p99 ms", "rejected",
+            "max depth"});
+  for (std::size_t capacity : {std::size_t{8}, std::size_t{32},
+                               std::size_t{128}, std::size_t{100000}}) {
+    ServerOptions options;
+    options.worker_threads = 1;
+    options.queue_capacity = capacity;
+    // batch-1 pins the service rate below the offered rate, so the queue
+    // bound is the only thing standing between overload and the tail.
+    options.batch.max_batch = 1;
+    options.batch.max_wait = std::chrono::microseconds(2000);
+    Service service(options, endpoints);
+    WorkloadSpec spec;
+    spec.kernels = {"energy_forecast"};
+    spec.offered_rps = 3000.0;
+    spec.duration = std::chrono::milliseconds(400);
+    spec.lc_fraction = 0.0;
+    spec.lc_deadline_ms = 0.0;
+    spec.tp_deadline_ms = 0.0;
+    spec.seed = kSeed;
+    const LoadReport report = run_open_loop(service.server, spec);
+    const MetricsSnapshot snap = service.server.metrics().snapshot();
+    service.server.stop();
+    s3.add_row({capacity == 100000 ? "~inf" : std::to_string(capacity),
+                fmt_double(report.achieved_rps(), 0),
+                fmt_double(report.p50_us() / 1e3, 2),
+                fmt_double(report.p99_us() / 1e3, 2),
+                pct(snap.rejection_rate()),
+                std::to_string(snap.max_queue_depth)});
+  }
+  std::printf("%s\n", s3.render().c_str());
+  std::printf("admission control is the p99 governor: a bounded queue sheds\n"
+              "excess load early and keeps tail latency flat; the unbounded\n"
+              "queue converts overload into seconds of queueing delay.\n\n");
+
+  // --- Series 4: SLA isolation in a mixed workload ----------------------
+  std::printf("--- SLA classes under mixed load (30%% latency-critical, "
+              "closed+open) ---\n");
+  Table s4({"offered rps", "LC p99 ms", "TP p99 ms", "expired", "completed",
+            "rejected"});
+  for (double offered : {300.0, 800.0, 1600.0}) {
+    ServerOptions options;
+    options.worker_threads = 2;
+    options.queue_capacity = 128;
+    options.batch.max_batch = 8;
+    options.batch.lc_max_batch = 2;
+    options.batch.max_wait = std::chrono::microseconds(2000);
+    Service service(options, endpoints);
+    WorkloadSpec spec;
+    spec.kernels = {"energy_forecast", "aq_dispersion", "ptdr_route"};
+    spec.offered_rps = offered;
+    spec.duration = std::chrono::milliseconds(400);
+    spec.lc_fraction = 0.3;
+    spec.lc_deadline_ms = 50.0;
+    spec.tp_deadline_ms = 500.0;
+    spec.seed = kSeed;
+    const LoadReport report = run_open_loop(service.server, spec);
+    const MetricsSnapshot snap = service.server.metrics().snapshot();
+    service.server.stop();
+    s4.add_row({fmt_double(offered, 0),
+                fmt_double(snap.lc_p99_us / 1e3, 2),
+                fmt_double(snap.tp_p99_us / 1e3, 2),
+                std::to_string(snap.expired),
+                std::to_string(snap.completed),
+                std::to_string(snap.rejected)});
+  }
+  std::printf("%s\n", s4.render().c_str());
+  std::printf("the latency-critical lane (priority pop + small batches +\n"
+              "deadline drop) holds its p99 while throughput traffic absorbs\n"
+              "the batching delay.\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
-// Minimal leveled logger. Thread-safe sink, printf-free (streams), and a
-// global level so benches can silence library chatter.
+// Minimal leveled logger. Thread-safe sink and level (worker threads in
+// src/serve log concurrently), printf-free (streams), and a global level so
+// benches can silence library chatter.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -16,16 +18,21 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel lvl) const { return lvl >= level(); }
 
-  /// Writes one formatted line to stderr (thread-safe).
+  /// Writes one formatted line to stderr (thread-safe: one mutex-guarded
+  /// sink write per line, so lines from different threads never interleave).
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mu_;
 };
 

@@ -15,6 +15,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
     case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -37,5 +38,6 @@ Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
 Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
 Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
 Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
 
 }  // namespace everest

@@ -24,6 +24,7 @@ enum class StatusCode {
   kResourceExhausted,
   kPermissionDenied,
   kDataLoss,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +75,7 @@ Status Internal(std::string message);
 Status ResourceExhausted(std::string message);
 Status PermissionDenied(std::string message);
 Status DataLoss(std::string message);
+Status DeadlineExceeded(std::string message);
 
 /// Value-or-Status. Access to value() on an error Result asserts in debug
 /// builds; call ok() first.

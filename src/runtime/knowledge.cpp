@@ -4,7 +4,22 @@
 
 namespace everest::runtime {
 
+KnowledgeBase::KnowledgeBase(const KnowledgeBase& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  variants_ = other.variants_;
+  observations_ = other.observations_;
+}
+
+KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  variants_ = other.variants_;
+  observations_ = other.observations_;
+  return *this;
+}
+
 Status KnowledgeBase::load(const std::vector<compiler::Variant>& variants) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const compiler::Variant& v : variants) {
     auto& list = variants_[v.kernel];
     for (const compiler::Variant& existing : list) {
@@ -26,6 +41,7 @@ Status KnowledgeBase::load_json(const std::string& json_text) {
 }
 
 std::vector<std::string> KnowledgeBase::kernels() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [kernel, list] : variants_) out.push_back(kernel);
   return out;
@@ -49,6 +65,7 @@ const compiler::Variant* KnowledgeBase::find(
 void KnowledgeBase::observe(const std::string& kernel,
                             const std::string& variant_id, double latency_us,
                             double energy_uj) {
+  std::lock_guard<std::mutex> lock(mu_);
   Observation& obs = observations_[kernel][variant_id];
   obs.latency_us.add(latency_us);
   obs.energy_uj.add(energy_uj);
@@ -74,6 +91,7 @@ double blend(int samples) {
 
 double KnowledgeBase::expected_latency(const std::string& kernel,
                                        const compiler::Variant& variant) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Observation* obs = observation(kernel, variant.id);
   if (obs == nullptr || obs->samples == 0) return variant.latency_us;
   const double w = blend(obs->samples);
@@ -82,6 +100,7 @@ double KnowledgeBase::expected_latency(const std::string& kernel,
 
 double KnowledgeBase::expected_energy(const std::string& kernel,
                                       const compiler::Variant& variant) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Observation* obs = observation(kernel, variant.id);
   if (obs == nullptr || obs->samples == 0) return variant.energy_uj;
   const double w = blend(obs->samples);
@@ -90,6 +109,7 @@ double KnowledgeBase::expected_energy(const std::string& kernel,
 
 int KnowledgeBase::observation_count(const std::string& kernel,
                                      const std::string& variant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Observation* obs = observation(kernel, variant_id);
   return obs == nullptr ? 0 : obs->samples;
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,21 @@ struct Observation {
 };
 
 /// Per-application store of variants and their observed behavior.
+///
+/// Thread safety: observations (observe / expected_* / observation_count)
+/// are guarded by an internal mutex, so any number of serving workers may
+/// record measurements while others select variants. Variant *loading* is
+/// a setup-phase operation: `load`/`load_json` must complete before
+/// concurrent readers start, because `variants_for` hands out references
+/// into the store.
 class KnowledgeBase {
  public:
+  KnowledgeBase() = default;
+  /// Copies take a consistent snapshot of the source (its mutex is held
+  /// during the copy); the copy starts with its own unlocked mutex.
+  KnowledgeBase(const KnowledgeBase& other);
+  KnowledgeBase& operator=(const KnowledgeBase& other);
+
   /// Loads compiler metadata (appends; ids must be unique per kernel).
   Status load(const std::vector<compiler::Variant>& variants);
   /// Convenience: load from serialized metadata.
@@ -49,9 +63,12 @@ class KnowledgeBase {
                                       const std::string& variant_id) const;
 
  private:
+  /// Looks up an observation; caller must hold mu_.
   [[nodiscard]] const Observation* observation(
       const std::string& kernel, const std::string& variant_id) const;
 
+  /// Guards observations_ (and load-time mutation of variants_).
+  mutable std::mutex mu_;
   std::map<std::string, std::vector<compiler::Variant>> variants_;
   std::map<std::string, std::map<std::string, Observation>> observations_;
 };

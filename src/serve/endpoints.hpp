@@ -1,0 +1,57 @@
+// Servable endpoints: the three paper use cases (§VI) wrapped as batch
+// handlers behind stable kernel names. Each handler does real work and is
+// written batch-first — the expensive shared setup (weather ensemble,
+// dispersion ensemble, road network) is computed once per batch and only
+// the cheap per-request part runs per element. That shape is what makes
+// batching a genuine throughput lever in bench E17 rather than a
+// simulation constant.
+//
+// Handlers are pure w.r.t. shared state (all shared state is immutable
+// after construction) and deterministic given the requests' seeds, so any
+// worker thread may execute any batch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "compiler/variants.hpp"
+#include "serve/batcher.hpp"
+
+namespace everest::serve {
+
+/// Executes one formed batch; must write exactly batch.size() values.
+/// Runs on a worker thread; must be thread-safe and deterministic in the
+/// request seeds.
+using BatchHandler =
+    std::function<Status(const Batch& batch, std::vector<double>* values)>;
+
+/// A servable kernel: its handler plus the compiler-style variant
+/// metadata the autotuner selects from (loaded into the knowledge base at
+/// registration).
+struct Endpoint {
+  std::string kernel;
+  std::vector<compiler::Variant> variants;
+  BatchHandler handler;
+};
+
+/// §VI-A wind-power forecast: per batch one downscaled ensemble wind
+/// field; per request a wind-farm power-curve evaluation on it.
+/// Kernel name: "energy_forecast".
+Endpoint make_energy_endpoint(std::uint64_t base_seed = 11);
+
+/// §VI-B air quality: per batch an ensemble of Gaussian-plume dispersion
+/// fields; per request the exceedance probability at a receptor.
+/// Kernel name: "aq_dispersion".
+Endpoint make_airquality_endpoint(std::uint64_t base_seed = 13);
+
+/// §VI-C traffic PTDR: shared road network (built once); per request a
+/// Monte-Carlo route-time distribution for a sampled origin/destination.
+/// Kernel name: "ptdr_route".
+Endpoint make_traffic_endpoint(std::uint64_t base_seed = 17);
+
+/// All three, for convenience in benches/tests.
+std::vector<Endpoint> standard_endpoints();
+
+}  // namespace everest::serve

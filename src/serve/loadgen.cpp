@@ -1,0 +1,168 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace everest::serve {
+
+namespace {
+
+/// Client-side completion sink shared by all submissions of one run.
+struct Collector {
+  std::mutex mu;
+  LoadReport report;
+
+  void on_response(SlaClass sla, const Response& response) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (response.status.ok()) {
+      ++report.completed;
+      report.latencies_us[static_cast<int>(sla)].push_back(
+          response.latency_us);
+    } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++report.expired;
+    } else {
+      ++report.failed;
+    }
+  }
+};
+
+/// Draws the next request deterministically from the workload spec.
+Request draw_request(const WorkloadSpec& spec, Rng& rng) {
+  Request request;
+  request.kernel = spec.kernels[rng.uniform_int(spec.kernels.size())];
+  request.sla = rng.bernoulli(spec.lc_fraction) ? SlaClass::kLatencyCritical
+                                                : SlaClass::kThroughput;
+  request.payload_scale = rng.uniform(0.5, 1.5);
+  request.seed = rng.next();
+  const double deadline_ms = request.sla == SlaClass::kLatencyCritical
+                                 ? spec.lc_deadline_ms
+                                 : spec.tp_deadline_ms;
+  if (deadline_ms > 0.0) {
+    request.deadline =
+        Clock::now() + std::chrono::microseconds(
+                           static_cast<std::int64_t>(deadline_ms * 1e3));
+  }
+  return request;
+}
+
+}  // namespace
+
+std::vector<double> LoadReport::all_latencies() const {
+  std::vector<double> all;
+  all.reserve(latencies_us[0].size() + latencies_us[1].size());
+  all.insert(all.end(), latencies_us[0].begin(), latencies_us[0].end());
+  all.insert(all.end(), latencies_us[1].begin(), latencies_us[1].end());
+  return all;
+}
+
+double LoadReport::p50_us() const {
+  auto all = all_latencies();
+  return all.empty() ? 0.0 : percentile(all, 50.0);
+}
+
+double LoadReport::p99_us() const {
+  auto all = all_latencies();
+  return all.empty() ? 0.0 : percentile(all, 99.0);
+}
+
+LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
+  Collector collector;
+  Rng rng(spec.seed);
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point horizon = start + spec.duration;
+  Clock::time_point next_arrival = start;
+
+  while (next_arrival < horizon) {
+    std::this_thread::sleep_until(next_arrival);
+    Request request = draw_request(spec, rng);
+    const SlaClass sla = request.sla;
+    {
+      std::lock_guard<std::mutex> lock(collector.mu);
+      ++collector.report.offered;
+    }
+    const Status status = server.submit(
+        std::move(request), [&collector, sla](const Response& response) {
+          collector.on_response(sla, response);
+        });
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(collector.mu);
+      ++collector.report.rejected;
+    }
+    // Exponential inter-arrival gap: a Poisson arrival process.
+    next_arrival += std::chrono::microseconds(static_cast<std::int64_t>(
+        rng.exponential(spec.offered_rps) * 1e6));
+  }
+  server.drain();
+  collector.report.wall_s =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count() /
+      1e9;
+  return collector.report;
+}
+
+LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
+                           int clients, double think_ms) {
+  Collector collector;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point horizon = start + spec.duration;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Per-client deterministic stream, decorrelated across clients.
+      Rng rng(spec.seed + 0x9E3779B97F4A7C15ULL * (c + 1));
+      std::mutex mu;
+      std::condition_variable cv;
+      while (Clock::now() < horizon) {
+        Request request = draw_request(spec, rng);
+        const SlaClass sla = request.sla;
+        {
+          std::lock_guard<std::mutex> lock(collector.mu);
+          ++collector.report.offered;
+        }
+        bool done = false;
+        const Status status = server.submit(
+            std::move(request), [&](const Response& response) {
+              collector.on_response(sla, response);
+              {
+                std::lock_guard<std::mutex> lock(mu);
+                done = true;
+              }
+              cv.notify_one();
+            });
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(collector.mu);
+          ++collector.report.rejected;
+          // Closed loop backs off instead of hammering a full queue.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done; });
+        if (think_ms > 0.0) {
+          // Exponential think time with mean think_ms.
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(static_cast<std::int64_t>(
+                  rng.exponential(1.0 / think_ms) * 1e3)));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.drain();
+  collector.report.wall_s =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count() /
+      1e9;
+  return collector.report;
+}
+
+}  // namespace everest::serve

@@ -1,0 +1,68 @@
+// Deterministic load generation for the serving layer. Two disciplines:
+//   * open loop — Poisson arrivals at a configured offered rate,
+//     independent of completions (models internet-facing traffic; the
+//     discipline that exposes overload behaviour), and
+//   * closed loop — N clients, each submit → wait → think → repeat
+//     (models a fixed user population; self-throttling).
+// The workload (arrival gaps, kernel mix, SLA mix, payloads, seeds) is a
+// pure function of WorkloadSpec::seed, so sweeps are reproducible; only
+// wall-clock measurements vary between runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace everest::serve {
+
+/// What traffic to offer.
+struct WorkloadSpec {
+  /// Kernels to draw from, uniformly (must all be registered).
+  std::vector<std::string> kernels;
+  /// Offered request rate (open loop only).
+  double offered_rps = 500.0;
+  /// Generation horizon.
+  std::chrono::milliseconds duration{500};
+  /// Fraction of requests in the latency-critical class.
+  double lc_fraction = 0.2;
+  /// Relative deadline per class (from submit time). <= 0 disables.
+  double lc_deadline_ms = 20.0;
+  double tp_deadline_ms = 200.0;
+  /// Payload scale distribution: uniform in [0.5, 1.5).
+  std::uint64_t seed = 42;
+};
+
+/// Aggregate outcome of one generation run, as seen by the clients
+/// (complements Server metrics, which count from the server side).
+struct LoadReport {
+  std::uint64_t offered = 0;    ///< submit() attempts
+  std::uint64_t rejected = 0;   ///< admission bounced
+  std::uint64_t expired = 0;    ///< completed with DEADLINE_EXCEEDED
+  std::uint64_t failed = 0;     ///< completed with another error
+  std::uint64_t completed = 0;  ///< OK responses
+  double wall_s = 0.0;          ///< generation + drain wall time
+  /// End-to-end latency (µs) of OK responses per SLA class
+  /// (0 = latency-critical, 1 = throughput).
+  std::vector<double> latencies_us[2];
+
+  [[nodiscard]] double achieved_rps() const {
+    return wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+  }
+  [[nodiscard]] std::vector<double> all_latencies() const;
+  [[nodiscard]] double p50_us() const;
+  [[nodiscard]] double p99_us() const;
+};
+
+/// Open loop: arrivals at spec.offered_rps with exponential gaps from one
+/// generator thread; drains the server before returning.
+LoadReport run_open_loop(Server& server, const WorkloadSpec& spec);
+
+/// Closed loop: `clients` threads each run submit → wait-for-completion →
+/// think (exponential, mean think_ms) until the horizon elapses.
+LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
+                           int clients, double think_ms = 0.0);
+
+}  // namespace everest::serve

@@ -1,0 +1,81 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+namespace everest::serve {
+
+void ServingMetrics::record_submitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.submitted;
+}
+
+void ServingMetrics::record_admitted(std::size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.admitted;
+  counters_.max_queue_depth =
+      std::max(counters_.max_queue_depth, queue_depth_after);
+}
+
+void ServingMetrics::record_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.rejected;
+}
+
+void ServingMetrics::record_expired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.expired;
+}
+
+void ServingMetrics::record_failed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.failed;
+}
+
+void ServingMetrics::record_batch(std::size_t batch_size, double service_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.batches;
+  ++counters_.batch_histogram[batch_size];
+  batch_size_.add(static_cast<double>(batch_size));
+  service_us_.add(service_us);
+}
+
+void ServingMetrics::record_completion(SlaClass sla, double latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.completed;
+  latencies_us_[static_cast<int>(sla)].push_back(latency_us);
+}
+
+MetricsSnapshot ServingMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap = counters_;
+  std::vector<double> all;
+  all.reserve(latencies_us_[0].size() + latencies_us_[1].size());
+  all.insert(all.end(), latencies_us_[0].begin(), latencies_us_[0].end());
+  all.insert(all.end(), latencies_us_[1].begin(), latencies_us_[1].end());
+  if (!all.empty()) {
+    snap.p50_us = percentile(all, 50.0);
+    snap.p99_us = percentile(all, 99.0);
+    snap.mean_us = mean_of(all);
+    snap.max_us = *std::max_element(all.begin(), all.end());
+  }
+  if (!latencies_us_[0].empty()) {
+    snap.lc_p99_us = percentile(latencies_us_[0], 99.0);
+  }
+  if (!latencies_us_[1].empty()) {
+    snap.tp_p99_us = percentile(latencies_us_[1], 99.0);
+  }
+  snap.service_mean_us = service_us_.mean();
+  snap.mean_batch_size = batch_size_.mean();
+  return snap;
+}
+
+void ServingMetrics::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = MetricsSnapshot{};
+  latencies_us_[0].clear();
+  latencies_us_[1].clear();
+  service_us_ = OnlineStats{};
+  batch_size_ = OnlineStats{};
+}
+
+}  // namespace everest::serve

@@ -1,0 +1,73 @@
+// Serving observability: counters, latency reservoirs, queue-depth gauge,
+// and a batch-size histogram, all behind one mutex. Percentiles reuse
+// common/stats. A Snapshot is a consistent copy — cheap enough at bench
+// scale (tens of thousands of requests) and immune to torn reads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/request.hpp"
+
+namespace everest::serve {
+
+/// Consistent point-in-time view of the serving counters.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;  ///< submit() calls (offered load)
+  std::uint64_t admitted = 0;   ///< passed admission control
+  std::uint64_t rejected = 0;   ///< bounced at admission (queue full)
+  std::uint64_t expired = 0;    ///< dropped at dispatch (deadline passed)
+  std::uint64_t failed = 0;     ///< handler/selection errors
+  std::uint64_t completed = 0;  ///< OK responses delivered
+
+  /// End-to-end latency stats (µs) per SLA class index
+  /// (0 = latency-critical, 1 = throughput) and combined.
+  double p50_us = 0.0, p99_us = 0.0, mean_us = 0.0, max_us = 0.0;
+  double lc_p99_us = 0.0, tp_p99_us = 0.0;
+  /// Handler execution time per batch (µs).
+  double service_mean_us = 0.0;
+
+  /// Batch-size → number of batches dispatched at that size.
+  std::map<std::size_t, std::uint64_t> batch_histogram;
+  double mean_batch_size = 0.0;
+  std::uint64_t batches = 0;
+
+  std::size_t max_queue_depth = 0;
+
+  /// Fraction of offered requests bounced at admission.
+  [[nodiscard]] double rejection_rate() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(rejected) /
+                                static_cast<double>(submitted);
+  }
+};
+
+/// Thread-safe metrics sink shared by admission, dispatcher, and workers.
+class ServingMetrics {
+ public:
+  void record_submitted();
+  void record_admitted(std::size_t queue_depth_after);
+  void record_rejected();
+  void record_expired();
+  void record_failed();
+  void record_batch(std::size_t batch_size, double service_us);
+  void record_completion(SlaClass sla, double latency_us);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Drops all samples and counters (between bench sweep points).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot counters_;  // percentile fields unused until snapshot()
+  std::vector<double> latencies_us_[2];
+  OnlineStats service_us_;
+  OnlineStats batch_size_;
+};
+
+}  // namespace everest::serve

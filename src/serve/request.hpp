@@ -1,0 +1,69 @@
+// Request/response model of the serving layer (ROADMAP north star: turn
+// the demonstrator into a service that sustains heavy concurrent traffic).
+// A Request names a servable kernel, carries an SLA class and an absolute
+// deadline; a Response reports the outcome plus the measured latency split
+// and the variant the autotuner picked for the batch it rode in.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace everest::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Service classes with different latency objectives (paper §IV: the
+/// runtime honours "dynamic requirements" per request, not per process).
+enum class SlaClass : std::uint8_t {
+  /// Interactive traffic: small batches, tight deadline, dispatched first.
+  kLatencyCritical = 0,
+  /// Bulk/analytics traffic: batched aggressively for throughput.
+  kThroughput = 1,
+};
+
+std::string_view to_string(SlaClass sla);
+
+/// One unit of client work addressed to a servable kernel.
+struct Request {
+  /// Assigned by the server at admission; unique per server instance.
+  std::uint64_t id = 0;
+  /// Endpoint/kernel name registered with the server.
+  std::string kernel;
+  SlaClass sla = SlaClass::kThroughput;
+  /// Data-volume scale relative to the profiled size (autotuner feature).
+  double payload_scale = 1.0;
+  /// Per-request randomness root so replays are deterministic.
+  std::uint64_t seed = 0;
+  /// Absolute deadline; expired requests are dropped at dispatch time.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Stamped at admission.
+  Clock::time_point enqueue_time{};
+};
+
+/// Outcome delivered to the completion callback.
+struct Response {
+  std::uint64_t id = 0;
+  /// OK, or why the request never executed (RESOURCE_EXHAUSTED at
+  /// admission, DEADLINE_EXCEEDED at dispatch, INTERNAL on handler error).
+  Status status;
+  /// Scalar endpoint result (forecast MW, µg/m³, route seconds, ...).
+  double value = 0.0;
+  /// enqueue → completion, including queueing and batching delay (µs).
+  double latency_us = 0.0;
+  /// Handler execution time of the batch this request rode in (µs).
+  double service_us = 0.0;
+  /// Size of that batch.
+  std::size_t batch_size = 0;
+  /// Variant the autotuner selected for the batch ("" when dropped).
+  std::string variant_id;
+};
+
+/// Completion callback; invoked exactly once per submitted request, from a
+/// worker thread (or inline from submit() on admission rejection).
+using ResponseCallback = std::function<void(const Response&)>;
+
+}  // namespace everest::serve

@@ -1,0 +1,80 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace everest::serve {
+
+std::string_view to_string(SlaClass sla) {
+  switch (sla) {
+    case SlaClass::kLatencyCritical: return "latency-critical";
+    case SlaClass::kThroughput: return "throughput";
+  }
+  return "?";
+}
+
+Status RequestQueue::push(PendingRequest pending) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return FailedPrecondition("request queue is closed");
+    }
+    if (total_locked() >= capacity_) {
+      return ResourceExhausted("queue full (" + std::to_string(capacity_) +
+                               " pending), request '" +
+                               pending.request.kernel + "' rejected");
+    }
+    lanes_[static_cast<int>(pending.request.sla)].push_back(
+        std::move(pending));
+  }
+  cv_.notify_one();
+  return OkStatus();
+}
+
+std::optional<PendingRequest> RequestQueue::pop(
+    std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [this] { return closed_ || total_locked() > 0; });
+  for (auto& lane : lanes_) {
+    if (!lane.empty()) {
+      PendingRequest out = std::move(lane.front());
+      lane.pop_front();
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PendingRequest> RequestQueue::pop_compatible(
+    const std::string& kernel, SlaClass sla) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& lane = lanes_[static_cast<int>(sla)];
+  const auto it = std::find_if(lane.begin(), lane.end(),
+                               [&](const PendingRequest& p) {
+                                 return p.request.kernel == kernel;
+                               });
+  if (it == lane.end()) return std::nullopt;
+  PendingRequest out = std::move(*it);
+  lane.erase(it);
+  return out;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_locked();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace everest::serve

@@ -1,0 +1,67 @@
+// Bounded admission queue: the service's front door. Two lanes (one per
+// SLA class) behind one mutex; push is admission control — when the queue
+// is at capacity the request is rejected immediately with
+// RESOURCE_EXHAUSTED instead of building an unbounded backlog. That
+// reject-don't-buffer policy is what keeps p99 latency bounded under
+// overload (bench E17 measures exactly this).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/status.hpp"
+#include "serve/request.hpp"
+
+namespace everest::serve {
+
+/// A request plus its completion callback, as held inside the server.
+struct PendingRequest {
+  Request request;
+  ResponseCallback on_done;
+};
+
+/// Thread-safe bounded MPMC queue with SLA-class priority.
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admission: enqueues or rejects with RESOURCE_EXHAUSTED when full,
+  /// FAILED_PRECONDITION when closed. Never blocks the producer.
+  Status push(PendingRequest pending);
+
+  /// Pops the oldest request, latency-critical lane first. Blocks up to
+  /// `timeout`; returns nullopt on timeout or when closed and drained.
+  std::optional<PendingRequest> pop(std::chrono::microseconds timeout);
+
+  /// Pops the oldest queued request for `kernel` in `sla` class, if any.
+  /// Non-blocking; used by the batcher to coalesce compatible requests.
+  std::optional<PendingRequest> pop_compatible(const std::string& kernel,
+                                               SlaClass sla);
+
+  /// Requests currently queued (both lanes).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Stops admission; consumers drain what is left, then pop() returns
+  /// nullopt immediately.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+ private:
+  [[nodiscard]] std::size_t total_locked() const {
+    return lanes_[0].size() + lanes_[1].size();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// lanes_[0] = latency-critical, lanes_[1] = throughput.
+  std::deque<PendingRequest> lanes_[2];
+  bool closed_ = false;
+};
+
+}  // namespace everest::serve

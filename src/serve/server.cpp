@@ -1,0 +1,229 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace everest::serve {
+
+namespace {
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count() /
+         1e3;
+}
+}  // namespace
+
+Server::Server(ServerOptions options, runtime::KnowledgeBase* kb)
+    : options_(options), kb_(kb), tuner_(kb) {
+  queue_ = std::make_unique<RequestQueue>(options_.queue_capacity);
+  batcher_ = std::make_unique<Batcher>(queue_.get(), options_.batch);
+}
+
+Server::~Server() { stop(); }
+
+Status Server::register_endpoint(Endpoint endpoint) {
+  if (running_.load()) {
+    return FailedPrecondition("cannot register endpoints while serving");
+  }
+  if (endpoint.kernel.empty() || !endpoint.handler) {
+    return InvalidArgument("endpoint needs a kernel name and a handler");
+  }
+  if (endpoints_.count(endpoint.kernel) != 0) {
+    return AlreadyExists("endpoint '" + endpoint.kernel +
+                         "' already registered");
+  }
+  EVEREST_RETURN_IF_ERROR(kb_->load(endpoint.variants));
+  endpoints_.emplace(endpoint.kernel, std::move(endpoint));
+  return OkStatus();
+}
+
+Status Server::start() {
+  if (running_.exchange(true)) {
+    return FailedPrecondition("server already started");
+  }
+  if (endpoints_.empty()) {
+    running_.store(false);
+    return FailedPrecondition("no endpoints registered");
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  EVEREST_LOG(kInfo, "serve") << "server started: " << endpoints_.size()
+                              << " endpoints, " << options_.worker_threads
+                              << " workers, queue capacity "
+                              << options_.queue_capacity;
+  return OkStatus();
+}
+
+Status Server::submit(Request request, ResponseCallback on_done) {
+  if (!running_.load()) {
+    return FailedPrecondition("server is not running");
+  }
+  metrics_.record_submitted();
+  if (endpoints_.count(request.kernel) == 0) {
+    return NotFound("no endpoint '" + request.kernel + "'");
+  }
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.enqueue_time = Clock::now();
+  PendingRequest pending{std::move(request), std::move(on_done)};
+  const Status admitted = queue_->push(std::move(pending));
+  if (!admitted.ok()) {
+    metrics_.record_rejected();
+    return admitted;
+  }
+  metrics_.record_admitted(queue_->size());
+  admitted_requests_.fetch_add(1, std::memory_order_acq_rel);
+  return OkStatus();
+}
+
+void Server::dispatch_loop() {
+  // At most 2 batches per worker may be in flight (executing or handed to
+  // the pool). Without this cap the dispatcher would drain the bounded
+  // admission queue into the pool's unbounded task queue, hiding the
+  // backlog from admission control and unbounding p99 under overload.
+  const std::size_t max_inflight = 2 * options_.worker_threads;
+  Batch batch;
+  for (;;) {
+    // Backpressure first, batch formation second: while the pool is busy,
+    // requests wait in the admission queue, where capacity rejection,
+    // SLA-priority popping, and deadline aging all still apply.
+    while (inflight_batches_.load(std::memory_order_acquire) >=
+           max_inflight) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    if (!batcher_->next_batch(&batch)) break;
+    inflight_batches_.fetch_add(1, std::memory_order_acq_rel);
+    pool_->submit([this, moved = std::move(batch)]() mutable {
+      execute_batch(std::move(moved));
+      inflight_batches_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    batch = Batch{};
+  }
+}
+
+void Server::execute_batch(Batch batch) {
+  const Clock::time_point dispatch_time = Clock::now();
+
+  // SLA enforcement: answers after the deadline are worthless, so expired
+  // requests are dropped here instead of burning handler time.
+  std::vector<PendingRequest> live;
+  live.reserve(batch.requests.size());
+  for (PendingRequest& pending : batch.requests) {
+    if (options_.drop_expired && dispatch_time > pending.request.deadline) {
+      metrics_.record_expired();
+      Response response;
+      response.id = pending.request.id;
+      response.status =
+          DeadlineExceeded("request expired before dispatch (queued " +
+                           std::to_string(static_cast<long>(us_between(
+                               pending.request.enqueue_time, dispatch_time))) +
+                           " us)");
+      response.latency_us =
+          us_between(pending.request.enqueue_time, dispatch_time);
+      if (pending.on_done) pending.on_done(response);
+      finished_requests_.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+    live.push_back(std::move(pending));
+  }
+  batch.requests = std::move(live);
+  if (batch.requests.empty()) return;
+
+  // Variant selection for the whole batch under the live system state
+  // (shared knowledge base; its internal mutex makes this reentrant).
+  runtime::SystemState state;
+  state.fpgas_available = options_.fpgas_available;
+  state.fpga_queue_depth =
+      static_cast<double>(inflight_batches_.load(std::memory_order_acquire));
+  state.cpu_load =
+      std::min(0.95, static_cast<double>(pool_->pending()) /
+                         static_cast<double>(pool_->thread_count() + 1));
+  double scale = 0.0;
+  for (const PendingRequest& pending : batch.requests) {
+    scale += pending.request.payload_scale;
+  }
+  state.data_scale = scale / static_cast<double>(batch.size());
+
+  runtime::Goal goal = options_.goal;
+  if (batch.sla == SlaClass::kLatencyCritical) {
+    goal.objective = runtime::Goal::Objective::kMinLatency;
+    // Tightest remaining deadline in the batch becomes the constraint.
+    double tightest_us = goal.latency_deadline_us;
+    for (const PendingRequest& pending : batch.requests) {
+      if (pending.request.deadline != Clock::time_point::max()) {
+        tightest_us = std::min(
+            tightest_us, us_between(dispatch_time, pending.request.deadline));
+      }
+    }
+    goal.latency_deadline_us = std::max(1.0, tightest_us);
+  }
+  std::string variant_id;
+  auto selection = tuner_.select(batch.kernel, goal, state);
+  if (selection.ok()) variant_id = selection->variant.id;
+
+  // Execute the endpoint handler (the real work) and time it.
+  const Endpoint& endpoint = endpoints_.at(batch.kernel);
+  std::vector<double> values;
+  const Clock::time_point exec_start = Clock::now();
+  Status handler_status = endpoint.handler(batch, &values);
+  const Clock::time_point exec_end = Clock::now();
+  const double service_us = us_between(exec_start, exec_end);
+  if (handler_status.ok() && values.size() != batch.size()) {
+    handler_status = Internal("endpoint '" + batch.kernel + "' returned " +
+                              std::to_string(values.size()) + " values for " +
+                              std::to_string(batch.size()) + " requests");
+  }
+  metrics_.record_batch(batch.size(), service_us);
+
+  // Close the Fig. 2 loop: feed the measured per-request cost back so the
+  // next selection sees calibrated expectations.
+  if (!variant_id.empty() && handler_status.ok()) {
+    const double per_request_us =
+        service_us / static_cast<double>(batch.size());
+    tuner_.observe(batch.kernel, variant_id, per_request_us,
+                   selection->predicted_energy_uj);
+  }
+
+  const Clock::time_point done = Clock::now();
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const PendingRequest& pending = batch.requests[i];
+    Response response;
+    response.id = pending.request.id;
+    response.status = handler_status;
+    response.value = handler_status.ok() ? values[i] : 0.0;
+    response.latency_us = us_between(pending.request.enqueue_time, done);
+    response.service_us = service_us;
+    response.batch_size = batch.size();
+    response.variant_id = variant_id;
+    if (handler_status.ok()) {
+      metrics_.record_completion(pending.request.sla, response.latency_us);
+    } else {
+      metrics_.record_failed();
+    }
+    if (pending.on_done) pending.on_done(response);
+    finished_requests_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void Server::drain() {
+  if (!running_.load()) return;
+  while (finished_requests_.load(std::memory_order_acquire) <
+         admitted_requests_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  // Let admitted work finish, then unblock the dispatcher.
+  while (finished_requests_.load(std::memory_order_acquire) <
+         admitted_requests_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  queue_->close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_->wait_idle();
+  pool_->shutdown();
+  EVEREST_LOG(kInfo, "serve") << "server stopped";
+}
+
+}  // namespace everest::serve

@@ -1,0 +1,107 @@
+// The serving front door over the EVEREST runtime (the Fig. 2 loop under
+// concurrent traffic): submit() applies admission control and enqueues; a
+// dispatcher thread forms batches per the coalescing policy; a worker
+// pool executes batches — each batch runs the mARGOt-style autotuner to
+// pick a variant for the batch's kernel under the *live* system state
+// (queue depth, worker occupancy), executes the endpoint handler for
+// real, and feeds the measured service time back into the shared
+// knowledge base. SLA classes steer both batching (latency-critical
+// batches stay small and jump the queue) and deadline handling (expired
+// requests are dropped at dispatch, not executed late).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "runtime/autotuner.hpp"
+#include "runtime/knowledge.hpp"
+#include "serve/batcher.hpp"
+#include "serve/endpoints.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace everest::serve {
+
+struct ServerOptions {
+  /// Admission bound: requests beyond this are rejected, not buffered.
+  std::size_t queue_capacity = 256;
+  /// Worker threads executing batches.
+  std::size_t worker_threads = 2;
+  BatchPolicy batch;
+  /// Autotuner objective for throughput-class batches. Latency-critical
+  /// batches always run with a min-latency goal plus the per-request
+  /// deadline as the constraint.
+  runtime::Goal goal;
+  /// FPGA slots visible to variant selection (0 = software only).
+  int fpgas_available = 1;
+  /// Drop requests whose deadline already passed when their batch is
+  /// dispatched (they would deliver a useless late answer).
+  bool drop_expired = true;
+};
+
+/// Multi-tenant request server. Thread-safe: submit() may be called from
+/// any number of client threads once start() returned.
+class Server {
+ public:
+  /// `kb` is the shared application knowledge base (owned by the caller,
+  /// e.g. the same instance other runtime components use). It must
+  /// outlive the server.
+  Server(ServerOptions options, runtime::KnowledgeBase* kb);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a servable kernel and loads its variants into the
+  /// knowledge base. Must be called before start().
+  Status register_endpoint(Endpoint endpoint);
+
+  /// Spins up the dispatcher and the worker pool.
+  Status start();
+
+  /// Admission: stamps id/enqueue time and enqueues. Returns
+  /// RESOURCE_EXHAUSTED when the queue is full (the callback is NOT
+  /// invoked then — the caller owns retry policy), NOT_FOUND for an
+  /// unregistered kernel, FAILED_PRECONDITION before start()/after
+  /// stop(). On OK the callback fires exactly once, from a worker thread.
+  Status submit(Request request, ResponseCallback on_done);
+
+  /// Waits until the queue is empty and all in-flight batches finished.
+  void drain();
+
+  /// drain() + stop dispatcher + join workers (idempotent).
+  void stop();
+
+  [[nodiscard]] const ServingMetrics& metrics() const { return metrics_; }
+  ServingMetrics& mutable_metrics() { return metrics_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_->size(); }
+
+ private:
+  void dispatch_loop();
+  void execute_batch(Batch batch);
+
+  ServerOptions options_;
+  runtime::KnowledgeBase* kb_;
+  runtime::Autotuner tuner_;
+  std::map<std::string, Endpoint> endpoints_;
+
+  std::unique_ptr<RequestQueue> queue_;
+  std::unique_ptr<Batcher> batcher_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread dispatcher_;
+
+  ServingMetrics metrics_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> inflight_batches_{0};
+  /// Requests past admission vs. requests with a delivered response;
+  /// equality is the drain condition (a queue/pool emptiness check would
+  /// miss requests held inside a forming batch).
+  std::atomic<std::uint64_t> admitted_requests_{0};
+  std::atomic<std::uint64_t> finished_requests_{0};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace everest::serve

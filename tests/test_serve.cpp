@@ -1,0 +1,514 @@
+// Tests for the serving layer: queue admission/backpressure, SLA-priority
+// ordering, batch-formation boundaries (size-1 timeout flush, full-batch
+// flush), deadline expiry, thread-pool basics, metrics, a TEST_P sweep
+// over SLA mixes, and a multi-producer smoke test asserting no request is
+// lost or duplicated. Timing assertions are deliberately loose: CI may
+// run on one core, so tests check ordering and accounting, not speed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace everest::serve {
+namespace {
+
+PendingRequest make_pending(const std::string& kernel, SlaClass sla,
+                            std::uint64_t id = 0) {
+  PendingRequest pending;
+  pending.request.id = id;
+  pending.request.kernel = kernel;
+  pending.request.sla = sla;
+  pending.request.enqueue_time = Clock::now();
+  return pending;
+}
+
+/// A cheap deterministic endpoint for server tests: value = seed % 1000,
+/// so responses are verifiable without running the heavy app kernels.
+Endpoint test_endpoint(const std::string& kernel = "test_kernel") {
+  Endpoint ep;
+  ep.kernel = kernel;
+  compiler::Variant v;
+  v.id = kernel + "-cpu";
+  v.kernel = kernel;
+  v.target = compiler::TargetKind::kCpu;
+  v.latency_us = 50.0;
+  v.energy_uj = 100.0;
+  ep.variants = {v};
+  ep.handler = [](const Batch& batch, std::vector<double>* values) {
+    values->clear();
+    for (const PendingRequest& pending : batch.requests) {
+      values->push_back(static_cast<double>(pending.request.seed % 1000));
+    }
+    return OkStatus();
+  };
+  return ep;
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(RequestQueue, AdmitsUpToCapacityThenRejects) {
+  RequestQueue queue(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.push(make_pending("k", SlaClass::kThroughput)).ok());
+  }
+  // Admission control: 5th and 6th bounce with RESOURCE_EXHAUSTED.
+  for (int i = 0; i < 2; ++i) {
+    Status st = queue.push(make_pending("k", SlaClass::kThroughput));
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(queue.size(), 4u);
+  // Popping one frees one admission slot.
+  EXPECT_TRUE(queue.pop(std::chrono::microseconds(1000)).has_value());
+  EXPECT_TRUE(queue.push(make_pending("k", SlaClass::kThroughput)).ok());
+}
+
+TEST(RequestQueue, LatencyCriticalPopsFirst) {
+  RequestQueue queue(8);
+  ASSERT_TRUE(queue.push(make_pending("k", SlaClass::kThroughput, 1)).ok());
+  ASSERT_TRUE(queue.push(make_pending("k", SlaClass::kThroughput, 2)).ok());
+  ASSERT_TRUE(
+      queue.push(make_pending("k", SlaClass::kLatencyCritical, 3)).ok());
+  auto first = queue.pop(std::chrono::microseconds(1000));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->request.id, 3u);  // LC lane jumps the TP backlog
+  auto second = queue.pop(std::chrono::microseconds(1000));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->request.id, 1u);  // then FIFO within the TP lane
+}
+
+TEST(RequestQueue, PopCompatibleMatchesKernelAndClass) {
+  RequestQueue queue(8);
+  ASSERT_TRUE(queue.push(make_pending("a", SlaClass::kThroughput, 1)).ok());
+  ASSERT_TRUE(queue.push(make_pending("b", SlaClass::kThroughput, 2)).ok());
+  ASSERT_TRUE(
+      queue.push(make_pending("b", SlaClass::kLatencyCritical, 3)).ok());
+  EXPECT_FALSE(queue.pop_compatible("c", SlaClass::kThroughput).has_value());
+  auto hit = queue.pop_compatible("b", SlaClass::kThroughput);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->request.id, 2u);  // not the LC "b" request
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueue, CloseRejectsProducersAndUnblocksConsumers) {
+  RequestQueue queue(4);
+  queue.close();
+  EXPECT_EQ(queue.push(make_pending("k", SlaClass::kThroughput)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(queue.pop(std::chrono::microseconds(100)).has_value());
+}
+
+// -------------------------------------------------------------- batcher
+
+TEST(Batcher, FullBatchFlushesAtMaxSize) {
+  RequestQueue queue(32);
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_wait = std::chrono::microseconds(200000);  // generous
+  Batcher batcher(&queue, policy);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.push(make_pending("k", SlaClass::kThroughput,
+                                        static_cast<std::uint64_t>(i)))
+                    .ok());
+  }
+  Batch batch;
+  ASSERT_TRUE(batcher.next_batch(&batch));
+  // Enough compatible requests queued: flushes at max_batch immediately,
+  // long before max_wait.
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch.kernel, "k");
+  ASSERT_TRUE(batcher.next_batch(&batch));
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(Batcher, LoneRequestFlushesAtSizeOneOnTimeout) {
+  RequestQueue queue(32);
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait = std::chrono::microseconds(2000);
+  Batcher batcher(&queue, policy);
+  ASSERT_TRUE(queue.push(make_pending("k", SlaClass::kThroughput)).ok());
+  Batch batch;
+  const auto start = Clock::now();
+  ASSERT_TRUE(batcher.next_batch(&batch));
+  const auto waited = Clock::now() - start;
+  EXPECT_EQ(batch.size(), 1u);
+  // It must have waited out the policy (>= max_wait, with slack for a
+  // loaded machine on the upper side which we don't bound).
+  EXPECT_GE(waited, std::chrono::microseconds(1500));
+}
+
+TEST(Batcher, DoesNotMixKernelsOrClasses) {
+  RequestQueue queue(32);
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.lc_max_batch = 2;
+  policy.max_wait = std::chrono::microseconds(1000);
+  Batcher batcher(&queue, policy);
+  ASSERT_TRUE(queue.push(make_pending("a", SlaClass::kThroughput, 1)).ok());
+  ASSERT_TRUE(queue.push(make_pending("b", SlaClass::kThroughput, 2)).ok());
+  ASSERT_TRUE(queue.push(make_pending("a", SlaClass::kThroughput, 3)).ok());
+  Batch batch;
+  ASSERT_TRUE(batcher.next_batch(&batch));
+  EXPECT_EQ(batch.kernel, "a");
+  EXPECT_EQ(batch.size(), 2u);  // ids 1 and 3; "b" stays queued
+  for (const PendingRequest& pending : batch.requests) {
+    EXPECT_EQ(pending.request.kernel, "a");
+  }
+  ASSERT_TRUE(batcher.next_batch(&batch));
+  EXPECT_EQ(batch.kernel, "b");
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(Batcher, LatencyCriticalCapIsSmaller) {
+  RequestQueue queue(32);
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.lc_max_batch = 2;
+  policy.max_wait = std::chrono::microseconds(200000);
+  Batcher batcher(&queue, policy);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        queue.push(make_pending("k", SlaClass::kLatencyCritical)).ok());
+  }
+  Batch batch;
+  ASSERT_TRUE(batcher.next_batch(&batch));
+  EXPECT_EQ(batch.sla, SlaClass::kLatencyCritical);
+  EXPECT_EQ(batch.size(), 2u);  // capped at lc_max_batch, not max_batch
+}
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(pool.pending(), 0u);
+  // Pool is reusable after wait_idle.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 201);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor = shutdown: must have drained, not dropped
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(ServingMetrics, SnapshotAggregates) {
+  ServingMetrics metrics;
+  metrics.record_submitted();
+  metrics.record_submitted();
+  metrics.record_admitted(3);
+  metrics.record_rejected();
+  metrics.record_batch(4, 1000.0);
+  metrics.record_batch(2, 500.0);
+  for (int i = 1; i <= 100; ++i) {
+    metrics.record_completion(SlaClass::kThroughput, i * 10.0);
+  }
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(snap.completed, 100u);
+  EXPECT_DOUBLE_EQ(snap.rejection_rate(), 0.5);
+  EXPECT_NEAR(snap.p50_us, 505.0, 10.0);
+  EXPECT_NEAR(snap.p99_us, 991.0, 10.0);
+  EXPECT_EQ(snap.batches, 2u);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size, 3.0);
+  EXPECT_EQ(snap.batch_histogram.at(4), 1u);
+  EXPECT_EQ(snap.max_queue_depth, 3u);
+  metrics.reset();
+  EXPECT_EQ(metrics.snapshot().submitted, 0u);
+}
+
+// --------------------------------------------------------------- server
+
+TEST(Server, RejectsBadConfigurations) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  Server server(options, &kb);
+  EXPECT_EQ(server.start().code(), StatusCode::kFailedPrecondition);  // empty
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  EXPECT_EQ(server.register_endpoint(test_endpoint()).code(),
+            StatusCode::kAlreadyExists);
+  Request before;
+  before.kernel = "test_kernel";
+  EXPECT_EQ(server.submit(before, nullptr).code(),
+            StatusCode::kFailedPrecondition);  // not started
+  ASSERT_TRUE(server.start().ok());
+  Request unknown;
+  unknown.kernel = "nope";
+  EXPECT_EQ(server.submit(unknown, nullptr).code(), StatusCode::kNotFound);
+  server.stop();
+}
+
+TEST(Server, ServesRequestsEndToEnd) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.batch.max_batch = 4;
+  options.batch.max_wait = std::chrono::microseconds(500);
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  std::mutex mu;
+  std::vector<Response> responses;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Request request;
+    request.kernel = "test_kernel";
+    request.seed = 100 + i;
+    ASSERT_TRUE(server
+                    .submit(request,
+                            [&](const Response& response) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              responses.push_back(response);
+                            })
+                    .ok());
+  }
+  server.drain();
+  server.stop();
+
+  ASSERT_EQ(responses.size(), 20u);
+  for (const Response& response : responses) {
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+    EXPECT_GE(response.value, 100.0);  // seed % 1000 for seeds 100..119
+    EXPECT_LE(response.value, 119.0);
+    EXPECT_GE(response.batch_size, 1u);
+    EXPECT_GT(response.latency_us, 0.0);
+    EXPECT_EQ(response.variant_id, "test_kernel-cpu");
+  }
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.completed, 20u);
+  EXPECT_EQ(snap.rejected, 0u);
+  // The measured service times must have reached the knowledge base
+  // (Fig. 2 feedback loop) — one observation per dispatched batch.
+  EXPECT_EQ(kb.observation_count("test_kernel", "test_kernel-cpu"),
+            static_cast<int>(snap.batches));
+}
+
+TEST(Server, ExpiredRequestsAreDroppedNotExecuted) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 1;
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  std::mutex mu;
+  std::vector<Status> statuses;
+  Request request;
+  request.kernel = "test_kernel";
+  request.deadline = Clock::now() - std::chrono::milliseconds(1);  // past
+  ASSERT_TRUE(server
+                  .submit(request,
+                          [&](const Response& response) {
+                            std::lock_guard<std::mutex> lock(mu);
+                            statuses.push_back(response.status);
+                          })
+                  .ok());
+  server.drain();
+  server.stop();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.metrics().snapshot().expired, 1u);
+  EXPECT_EQ(server.metrics().snapshot().completed, 0u);
+}
+
+TEST(Server, AdmissionControlBouncesOverload) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.queue_capacity = 2;
+  options.worker_threads = 1;
+  // Slow handler so the queue genuinely fills.
+  Server server(options, &kb);
+  Endpoint slow = test_endpoint();
+  slow.handler = [](const Batch& batch, std::vector<double>* values) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    values->assign(batch.size(), 1.0);
+    return OkStatus();
+  };
+  ASSERT_TRUE(server.register_endpoint(std::move(slow)).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  int rejected = 0;
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < 40; ++i) {
+    Request request;
+    request.kernel = "test_kernel";
+    const Status status =
+        server.submit(request, [&](const Response&) { delivered++; });
+    if (status.code() == StatusCode::kResourceExhausted) ++rejected;
+  }
+  server.drain();
+  server.stop();
+  EXPECT_GT(rejected, 0);  // bounded queue pushed back
+  // Every admitted request got exactly one response.
+  EXPECT_EQ(delivered.load(), 40 - rejected);
+}
+
+// ------------------------------------------------ SLA-mix TEST_P sweep
+
+class SlaMixTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SlaMixTest, AllRequestsAccountedAtEveryMix) {
+  const double lc_fraction = GetParam();
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.queue_capacity = 512;
+  options.batch.max_batch = 8;
+  options.batch.max_wait = std::chrono::microseconds(300);
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  WorkloadSpec spec;
+  spec.kernels = {"test_kernel"};
+  spec.offered_rps = 2000.0;
+  spec.duration = std::chrono::milliseconds(100);
+  spec.lc_fraction = lc_fraction;
+  spec.lc_deadline_ms = 0.0;  // no expiry: accounting must be exact
+  spec.tp_deadline_ms = 0.0;
+  spec.seed = 7;
+  const LoadReport report = run_open_loop(server, spec);
+  server.stop();
+
+  EXPECT_GT(report.offered, 0u);
+  // Conservation: every offered request is exactly one of
+  // completed / rejected / failed.
+  EXPECT_EQ(report.completed + report.rejected + report.failed,
+            report.offered);
+  EXPECT_EQ(report.expired, 0u);
+  if (lc_fraction == 0.0) {
+    EXPECT_TRUE(report.latencies_us[0].empty());
+  }
+  if (lc_fraction == 1.0) {
+    EXPECT_TRUE(report.latencies_us[1].empty());
+  }
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.completed, report.completed);
+  EXPECT_EQ(snap.rejected, report.rejected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, SlaMixTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+// ------------------------------------------- multi-producer smoke test
+
+TEST(Server, EightProducersNoLostOrDuplicatedRequests) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 4;
+  options.queue_capacity = 4096;
+  options.batch.max_batch = 16;
+  options.batch.max_wait = std::chrono::microseconds(200);
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 100;
+  std::mutex mu;
+  std::multiset<std::uint64_t> seen_seeds;
+  std::atomic<int> admitted{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Request request;
+        request.kernel = "test_kernel";
+        // Unique seed encodes (producer, index) so duplicates are visible.
+        request.seed = static_cast<std::uint64_t>(p) * 1000000 +
+                       static_cast<std::uint64_t>(i);
+        Status status = server.submit(request, [&](const Response& response) {
+          std::lock_guard<std::mutex> lock(mu);
+          seen_seeds.insert(response.id);
+        });
+        if (status.ok()) admitted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  server.drain();
+  server.stop();
+
+  // No losses: every admitted request completed. Capacity 4096 > 800, so
+  // nothing should have been rejected either.
+  EXPECT_EQ(admitted.load(), kProducers * kPerProducer);
+  ASSERT_EQ(seen_seeds.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  // No duplicates: server-assigned ids are unique.
+  std::set<std::uint64_t> unique_ids(seen_seeds.begin(), seen_seeds.end());
+  EXPECT_EQ(unique_ids.size(), seen_seeds.size());
+}
+
+// ----------------------------------------- real use-case endpoint smoke
+
+TEST(Endpoints, StandardEndpointsServeRealWork) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.batch.max_batch = 4;
+  Server server(options, &kb);
+  for (Endpoint& ep : standard_endpoints()) {
+    ASSERT_TRUE(server.register_endpoint(std::move(ep)).ok());
+  }
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(kb.kernels().size(), 3u);
+
+  std::mutex mu;
+  std::map<std::string, std::vector<double>> values_by_kernel;
+  const std::vector<std::string> kernels = {"energy_forecast",
+                                            "aq_dispersion", "ptdr_route"};
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    Request request;
+    request.kernel = kernels[i % kernels.size()];
+    request.seed = 1000 + i;
+    const std::string kernel = request.kernel;
+    ASSERT_TRUE(server
+                    .submit(request,
+                            [&, kernel](const Response& response) {
+                              ASSERT_TRUE(response.status.ok())
+                                  << response.status.to_string();
+                              std::lock_guard<std::mutex> lock(mu);
+                              values_by_kernel[kernel].push_back(
+                                  response.value);
+                            })
+                    .ok());
+  }
+  server.drain();
+  server.stop();
+
+  ASSERT_EQ(values_by_kernel.size(), 3u);
+  for (double mw : values_by_kernel["energy_forecast"]) {
+    EXPECT_GT(mw, 0.0);  // some wind somewhere
+  }
+  for (double p : values_by_kernel["aq_dispersion"]) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);  // exceedance probability
+  }
+  for (double s : values_by_kernel["ptdr_route"]) {
+    EXPECT_GT(s, 0.0);  // median route time in seconds
+  }
+}
+
+}  // namespace
+}  // namespace everest::serve
