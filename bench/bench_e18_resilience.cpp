@@ -1,0 +1,261 @@
+// E18 — resilience under injected faults (paper §IV: the runtime must
+// "react to changing workload conditions"; on disaggregated cloudFPGA
+// infrastructure crashes, link trouble, and failed reconfigurations are
+// normal events).
+//
+// Series 1: goodput/makespan vs transient fault rate — naive same-worker
+//           retry vs reroute-to-healthy retry in the workflow simulator.
+// Series 2: crash recovery-time distribution (phi-accrual detection +
+//           lineage recomputation) across random seed-reproducible plans.
+// Series 3: speculative re-execution vs stragglers.
+// Series 4: serving goodput under FPGA faults, breaker off vs on — the
+//           degraded-mode curve (FPGA → CPU fallback instead of failing).
+//
+// `--smoke` shrinks every series for CI.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "resilience/fault_plan.hpp"
+#include "serve/server.hpp"
+#include "workflow/scheduler.hpp"
+#include "workflow/task_graph.hpp"
+
+using namespace everest;
+using namespace everest::workflow;
+
+namespace {
+
+std::vector<WorkerSpec> pool(std::size_t n, double gflops = 10.0) {
+  std::vector<WorkerSpec> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.push_back({"w" + std::to_string(i), gflops, 1.0, 10.0});
+  }
+  return workers;
+}
+
+double pct(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  std::printf("=== E18: fault injection, detection, and degradation ===\n\n");
+
+  // --- Series 1: transient faults — retry strategy ------------------------
+  Rng graph_rng(5);
+  TaskGraph graph =
+      TaskGraph::random_layered(smoke ? 4 : 8, smoke ? 8 : 24, 3, graph_rng,
+                                2e8, 1e6);
+  const auto workers = pool(8);
+  std::printf("transient faults, %zu-task DAG, 8 workers, retry budget 3:\n",
+              graph.size());
+  Table retry_table({"fault p", "pin goodput", "reroute goodput",
+                     "pin makespan (ms)", "reroute makespan (ms)",
+                     "reroute retries"});
+  for (double p : {0.0, 0.1, 0.3, 0.5, 0.7}) {
+    resilience::FaultPlan plan;
+    // Half the pool is flaky: pinned retries burn the budget there while a
+    // reroute lands on a clean worker.
+    for (int w = 0; w < 4; ++w) plan.transient_errors(w, 0.0, 1e12, p);
+    SimulationOptions options;
+    options.scheduler = SchedulerKind::kWorkStealing;
+    options.fault_plan = p > 0.0 ? &plan : nullptr;
+    options.abort_on_retry_exhaustion = false;
+    options.seed = 11;
+    options.retry_strategy = RetryStrategy::kSameWorker;
+    auto pinned = simulate_schedule(graph, workers, options);
+    options.retry_strategy = RetryStrategy::kAnyHealthy;
+    auto rerouted = simulate_schedule(graph, workers, options);
+    if (!pinned.ok() || !rerouted.ok()) continue;
+    retry_table.add_row(
+        {fmt_double(p, 1), fmt_double(pinned->availability() * 100, 1) + "%",
+         fmt_double(rerouted->availability() * 100, 1) + "%",
+         fmt_double(pinned->makespan_us / 1e3, 1),
+         fmt_double(rerouted->makespan_us / 1e3, 1),
+         std::to_string(rerouted->retries)});
+  }
+  std::printf("%s\n", retry_table.render().c_str());
+
+  // --- Series 2: crash recovery distribution ------------------------------
+  SimulationOptions clean_options;
+  clean_options.scheduler = SchedulerKind::kWorkStealing;
+  auto clean = simulate_schedule(graph, workers, clean_options);
+  const double clean_ms = clean.ok() ? clean->makespan_us / 1e3 : 0.0;
+  const int seeds = smoke ? 5 : 30;
+  std::printf(
+      "crash chaos (random plans, %d seeds, fault-free makespan %.1f ms):\n",
+      seeds, clean_ms);
+  Table crash_table({"crash rate/s", "avail", "makespan x", "detect p50 (ms)",
+                     "detect p95 (ms)", "recover p50 (ms)",
+                     "recover p95 (ms)", "recomputed"});
+  for (double rate : {2.0, 5.0, 10.0}) {
+    std::vector<double> detect, recover, avail, makespans, recomputed;
+    for (int seed = 0; seed < seeds; ++seed) {
+      resilience::ChaosSpec spec;
+      spec.horizon_us = clean.ok() ? clean->makespan_us * 1.5 : 1e6;
+      spec.crash_rate_per_s = rate;
+      spec.mean_downtime_us = 5e4;
+      const resilience::FaultPlan plan = resilience::FaultPlan::random(
+          spec, static_cast<std::uint64_t>(seed) + 1, 8);
+      SimulationOptions options;
+      options.scheduler = SchedulerKind::kWorkStealing;
+      options.fault_plan = &plan;
+      options.abort_on_retry_exhaustion = false;
+      options.seed = static_cast<std::uint64_t>(seed) + 100;
+      auto outcome = simulate_schedule(graph, workers, options);
+      if (!outcome.ok()) continue;
+      for (double d : outcome->detection_latency_us) detect.push_back(d / 1e3);
+      for (double r : outcome->recovery_us) recover.push_back(r / 1e3);
+      avail.push_back(outcome->availability());
+      makespans.push_back(outcome->makespan_us);
+      recomputed.push_back(static_cast<double>(outcome->recomputed_tasks));
+    }
+    crash_table.add_row(
+        {fmt_double(rate, 0), fmt_double(mean(avail) * 100, 1) + "%",
+         fmt_double(clean_ms > 0 ? mean(makespans) / 1e3 / clean_ms : 0, 2),
+         fmt_double(pct(detect, 50), 1), fmt_double(pct(detect, 95), 1),
+         fmt_double(pct(recover, 50), 1), fmt_double(pct(recover, 95), 1),
+         fmt_double(mean(recomputed), 1)});
+  }
+  std::printf("%s\n", crash_table.render().c_str());
+
+  // --- Series 3: speculation vs stragglers --------------------------------
+  std::printf("stragglers (2 workers 8x slow for the whole run):\n");
+  Table spec_table({"speculation", "makespan (ms)", "backups", "wins"});
+  for (double factor : {0.0, 1.5}) {
+    resilience::FaultPlan plan;
+    plan.straggler(0, 0.0, 1e12, 8.0).straggler(1, 0.0, 1e12, 8.0);
+    SimulationOptions options;
+    options.scheduler = SchedulerKind::kWorkStealing;
+    options.fault_plan = &plan;
+    options.speculation_factor = factor;
+    options.seed = 3;
+    auto outcome = simulate_schedule(graph, workers, options);
+    if (!outcome.ok()) continue;
+    spec_table.add_row({factor == 0.0 ? "off" : fmt_double(factor, 1),
+                        fmt_double(outcome->makespan_us / 1e3, 1),
+                        std::to_string(outcome->speculative_launches),
+                        std::to_string(outcome->speculative_wins)});
+  }
+  std::printf("%s\n", spec_table.render().c_str());
+
+  // --- Series 4: serving degraded-mode curve ------------------------------
+  const int requests = smoke ? 150 : 600;
+  std::printf("serving under FPGA faults (%d requests per point, FPGA + CPU "
+              "variants):\n",
+              requests);
+  Table serve_table({"fault p", "goodput off", "goodput on", "degraded on",
+                     "trips"});
+  double goodput_off_at_worst = 1.0;
+  double goodput_on_at_worst = 0.0;
+  double fault_free_goodput = 1.0;
+  for (double p : {0.0, 0.3, 0.6, 0.9}) {
+    double goodputs[2] = {0.0, 0.0};
+    double degraded_fraction = 0.0;
+    int trips = 0;
+    for (int enable = 0; enable <= 1; ++enable) {
+      runtime::KnowledgeBase kb;
+      serve::ServerOptions options;
+      options.worker_threads = 2;
+      options.queue_capacity = 4096;
+      options.enable_breaker = enable == 1;
+      options.breaker.failure_threshold = 3;
+      auto rng = std::make_shared<Rng>(17);
+      auto mu = std::make_shared<std::mutex>();
+      options.fault_injector = [p, rng, mu](const serve::Batch&,
+                                            const compiler::Variant& v) {
+        if (v.target != compiler::TargetKind::kFpga || p == 0.0) {
+          return OkStatus();
+        }
+        std::lock_guard<std::mutex> lock(*mu);
+        return rng->bernoulli(p) ? Unavailable("injected FPGA fault")
+                                 : OkStatus();
+      };
+      serve::Server server(options, &kb);
+      serve::Endpoint ep;
+      ep.kernel = "sim";
+      compiler::Variant cpu;
+      cpu.id = "sim-cpu";
+      cpu.kernel = "sim";
+      cpu.target = compiler::TargetKind::kCpu;
+      cpu.latency_us = 50.0;
+      cpu.energy_uj = 100.0;
+      compiler::Variant fpga = cpu;
+      fpga.id = "sim-fpga";
+      fpga.target = compiler::TargetKind::kFpga;
+      fpga.latency_us = 10.0;
+      fpga.energy_uj = 20.0;
+      ep.variants = {cpu, fpga};
+      ep.handler = [](const serve::Batch& batch, std::vector<double>* values) {
+        values->assign(batch.size(), 1.0);
+        return OkStatus();
+      };
+      if (!server.register_endpoint(std::move(ep)).ok()) return 1;
+      if (!server.start().ok()) return 1;
+      std::atomic<int> completed{0};
+      std::atomic<int> degraded{0};
+      int admitted = 0;
+      for (int i = 0; i < requests; ++i) {
+        serve::Request request;
+        request.kernel = "sim";
+        const Status st =
+            server.submit(request, [&](const serve::Response& response) {
+              if (response.status.ok()) {
+                completed.fetch_add(1);
+                if (response.degraded) degraded.fetch_add(1);
+              }
+            });
+        if (st.ok()) ++admitted;
+      }
+      server.drain();
+      server.stop();
+      goodputs[enable] =
+          static_cast<double>(completed.load()) / static_cast<double>(requests);
+      if (enable == 1) {
+        degraded_fraction = static_cast<double>(degraded.load()) /
+                            static_cast<double>(requests);
+        trips = server.breakers().total_trips();
+      }
+    }
+    if (p == 0.0) fault_free_goodput = std::max(goodputs[1], 1e-9);
+    if (p == 0.9) {
+      goodput_off_at_worst = goodputs[0];
+      goodput_on_at_worst = goodputs[1];
+    }
+    serve_table.add_row({fmt_double(p, 1),
+                         fmt_double(goodputs[0] * 100, 1) + "%",
+                         fmt_double(goodputs[1] * 100, 1) + "%",
+                         fmt_double(degraded_fraction * 100, 1) + "%",
+                         std::to_string(trips)});
+  }
+  std::printf("%s\n", serve_table.render().c_str());
+
+  const double rel_off = goodput_off_at_worst / fault_free_goodput;
+  const double rel_on = goodput_on_at_worst / fault_free_goodput;
+  std::printf("acceptance @ fault p=0.9: breaker-off sustains %.1f%% of "
+              "fault-free goodput, breaker-on sustains %.1f%% — %s\n",
+              rel_off * 100, rel_on * 100,
+              (rel_on > 0.5 && rel_off < 0.5) ? "breaker wins"
+                                              : "CHECK FAILED");
+  return (rel_on > 0.5 && rel_off < 0.5) ? 0 : 1;
+}

@@ -16,8 +16,22 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kAborted: return "ABORTED";
   }
   return "UNKNOWN";
+}
+
+bool is_retryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kAborted:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::to_string() const {
@@ -39,5 +53,7 @@ Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted
 Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
 Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
 Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
 
 }  // namespace everest

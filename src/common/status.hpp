@@ -25,10 +25,22 @@ enum class StatusCode {
   kPermissionDenied,
   kDataLoss,
   kDeadlineExceeded,
+  /// The target (node, link, variant, endpoint) is temporarily unable to
+  /// serve; the operation may succeed elsewhere or later. Retryable.
+  kUnavailable,
+  /// The operation was cancelled mid-flight (e.g. a speculative copy lost
+  /// the race, or a worker died while executing). Retryable.
+  kAborted,
 };
 
 /// Returns a stable human-readable name for a status code.
 std::string_view to_string(StatusCode code);
+
+/// True for codes that describe transient conditions a caller may retry
+/// (on another worker / after backoff): UNAVAILABLE, ABORTED,
+/// RESOURCE_EXHAUSTED, DEADLINE_EXCEEDED. Permanent errors (invalid
+/// input, not found, internal bugs, permission) are not retryable.
+[[nodiscard]] bool is_retryable(StatusCode code);
 
 /// Error-or-success result of an operation that produces no value.
 class Status {
@@ -76,6 +88,8 @@ Status ResourceExhausted(std::string message);
 Status PermissionDenied(std::string message);
 Status DataLoss(std::string message);
 Status DeadlineExceeded(std::string message);
+Status Unavailable(std::string message);
+Status Aborted(std::string message);
 
 /// Value-or-Status. Access to value() on an error Result asserts in debug
 /// builds; call ok() first.

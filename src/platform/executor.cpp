@@ -53,6 +53,9 @@ Result<ExecutionBreakdown> execute_on_fpga(const PlatformSpec& platform,
                               variant.device + ", slot has " +
                               slot.device.name);
   }
+  if (slot.failed) {
+    return Unavailable("slot '" + slot.id + "' is marked failed");
+  }
   ExecutionBreakdown out;
   out.transfer_in_us = remote_pull_us(platform, node, variant, ctx);
   out.transfer_in_us +=
@@ -78,7 +81,7 @@ Result<ExecutionBreakdown> execute_on_fpga(const PlatformSpec& platform,
 FpgaSlot* find_slot(NodeSpec& node, const compiler::Variant& variant) {
   FpgaSlot* best = nullptr;
   for (FpgaSlot& slot : node.fpgas) {
-    if (slot.device.name != variant.device) continue;
+    if (slot.device.name != variant.device || slot.failed) continue;
     if (best == nullptr ||
         slot.reconfig_us(variant.kernel) < best->reconfig_us(variant.kernel)) {
       best = &slot;

@@ -24,6 +24,16 @@ double LinkModel::effective_gbps(double bytes) const {
   return t > 0 ? bytes / (t * 1e3) : 0.0;
 }
 
+LinkModel LinkModel::degraded(double severity) const {
+  LinkModel out = *this;
+  if (severity > 1.0) {
+    out.latency_us *= severity;
+    out.bandwidth_gbps /= severity;
+    out.name += "-degraded";
+  }
+  return out;
+}
+
 LinkModel LinkModel::opencapi() {
   LinkModel l;
   l.name = "opencapi";

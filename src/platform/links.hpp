@@ -29,6 +29,10 @@ struct LinkModel {
   /// Effective throughput moving `bytes` (GB/s), including overheads.
   [[nodiscard]] double effective_gbps(double bytes) const;
 
+  /// A degraded copy of this link: latency stretched and bandwidth cut by
+  /// `severity` (>= 1; 1 = unchanged). Used by fault injection.
+  [[nodiscard]] LinkModel degraded(double severity) const;
+
   // Presets (calibrated to published figures for each technology).
   static LinkModel opencapi();        // coherent bus-attached FPGA
   static LinkModel pcie3();           // classic bus-attached FPGA

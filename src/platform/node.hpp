@@ -30,6 +30,10 @@ struct FpgaSlot {
   double role_bitstream_mib = 18.0;
   /// Currently loaded role ("" = blank).
   std::string current_role;
+  /// Marked by fault injection / a failed partial reconfiguration: the
+  /// slot refuses work until repaired (execute_on_fpga → kUnavailable,
+  /// find_slot skips it).
+  bool failed = false;
 
   /// Time (us) to swap in a role; 0 when already loaded.
   [[nodiscard]] double reconfig_us(const std::string& role) const {

@@ -1,0 +1,39 @@
+#include "resilience/lineage.hpp"
+
+namespace everest::resilience {
+
+std::vector<std::size_t> recompute_closure(
+    const std::vector<std::vector<std::size_t>>& deps,
+    const std::vector<char>& completed,
+    const std::vector<char>& output_lost) {
+  const std::size_t n = deps.size();
+  std::vector<char> has_consumer(n, 0);
+  // needed[t]: some consumer of t is incomplete or marked for recompute.
+  std::vector<char> needed(n, 0);
+  std::vector<char> recompute(n, 0);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t d : deps[t]) has_consumer[d] = 1;
+  }
+
+  // Ids are topological, so one descending sweep settles the fixed point:
+  // by the time t is visited, every consumer (id > t) already knows
+  // whether it is incomplete or recomputing.
+  for (std::size_t i = n; i-- > 0;) {
+    const bool lost = completed[i] != 0 && output_lost[i] != 0;
+    const bool sink = has_consumer[i] == 0;
+    if (lost && (needed[i] != 0 || sink)) recompute[i] = 1;
+    const bool demands_inputs = completed[i] == 0 || recompute[i] != 0;
+    if (demands_inputs) {
+      for (std::size_t d : deps[i]) needed[d] = 1;
+    }
+  }
+
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (recompute[i] != 0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace everest::resilience

@@ -1,0 +1,27 @@
+// Lineage-based recomputation (the RDD/Spark recovery idea applied to the
+// workflow engine): when a node crash loses stored data objects, the
+// tasks that produced them are re-executed — but only those whose output
+// is still needed, closing transitively over producers whose own inputs
+// were also lost. Operates on plain adjacency lists so any DAG engine can
+// use it without depending on the workflow library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace everest::resilience {
+
+/// Returns the ascending list of tasks that must be re-executed.
+///
+/// `deps[t]` lists the producers task t consumes (ids must be < t, i.e.
+/// ids are a topological order). `completed[t]` says t finished;
+/// `output_lost[t]` says t's stored output is gone (only meaningful for
+/// completed tasks). A lost output needs recomputation when some consumer
+/// still needs it — the consumer is incomplete, or is itself being
+/// recomputed — or when the task is a sink (its output is a workflow
+/// deliverable).
+std::vector<std::size_t> recompute_closure(
+    const std::vector<std::vector<std::size_t>>& deps,
+    const std::vector<char>& completed, const std::vector<char>& output_lost);
+
+}  // namespace everest::resilience

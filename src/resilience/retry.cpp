@@ -1,0 +1,19 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace everest::resilience {
+
+double RetryPolicy::delay_us(int attempt, Rng& rng) const {
+  if (attempt < 1 || base_delay_us <= 0.0) return 0.0;
+  double delay =
+      base_delay_us * std::pow(multiplier, static_cast<double>(attempt - 1));
+  delay = std::min(delay, max_delay_us);
+  if (jitter > 0.0) {
+    delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max(0.0, delay);
+}
+
+}  // namespace everest::resilience

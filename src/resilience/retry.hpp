@@ -1,0 +1,36 @@
+// Retry with exponential backoff + decorrelated jitter and a bounded
+// budget. Backoff spaces retries out so a struggling resource is not
+// hammered; jitter breaks retry synchronization across tasks (the
+// thundering-herd failure mode of fixed backoff).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace everest::resilience {
+
+struct RetryPolicy {
+  /// Total attempts allowed (first try included). <= 0 disables retry.
+  int max_attempts = 4;
+  /// Delay before retry k (k = 1 is the first retry) is
+  /// base * multiplier^(k-1), capped at max_delay, then jittered by
+  /// +/- jitter (fraction, uniform).
+  double base_delay_us = 200.0;
+  double multiplier = 2.0;
+  double max_delay_us = 1e6;
+  double jitter = 0.25;
+
+  /// Backoff delay before retry `attempt` (1-based). Deterministic given
+  /// the Rng state.
+  [[nodiscard]] double delay_us(int attempt, Rng& rng) const;
+
+  /// Whether another attempt is allowed after `attempts` tries, given the
+  /// failure's status code (permanent errors never retry).
+  [[nodiscard]] bool should_retry(int attempts, StatusCode code) const {
+    return attempts < max_attempts && is_retryable(code);
+  }
+};
+
+}  // namespace everest::resilience

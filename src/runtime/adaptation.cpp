@@ -15,23 +15,60 @@ security::ProtectionLevel AdaptationLoop::protection(
 Result<InvocationRecord> AdaptationLoop::invoke(const std::string& kernel,
                                                 const Goal& goal,
                                                 const InvocationContext& ctx) {
-  // 1. Assemble the system state from live signals.
-  SystemState state;
-  state.cpu_load = ctx.cpu_load;
-  state.data_scale = ctx.data_scale;
-  state.protection = protection(kernel);
-  // Queue signal: normalize waiting time by a typical accelerator latency.
-  const double wait = hypervisor_.queue_wait_us("", now_us_);
-  state.fpga_queue_depth = wait / 1000.0;
+  Selection selection;
+  VmExecution execution;
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    // 1. Assemble the system state from live signals.
+    SystemState state;
+    state.cpu_load = ctx.cpu_load;
+    state.data_scale = ctx.data_scale;
+    state.protection = protection(kernel);
+    // Queue signal: normalize waiting time by a typical accelerator
+    // latency.
+    const double wait = hypervisor_.queue_wait_us("", now_us_);
+    state.fpga_queue_depth = wait / 1000.0;
+    if (breakers_ != nullptr) {
+      state.variant_gate = [this, &kernel](const compiler::Variant& v) {
+        return breakers_->allow(kernel, v.id, now_us_);
+      };
+    }
 
-  // 2. Select.
-  EVEREST_ASSIGN_OR_RETURN(Selection selection,
-                           tuner_.select(kernel, goal, state));
+    // 2. Select (breakers steer away from tripped variants).
+    EVEREST_ASSIGN_OR_RETURN(selection, tuner_.select(kernel, goal, state));
 
-  // 3. Execute through the hypervisor.
-  EVEREST_ASSIGN_OR_RETURN(
-      VmExecution execution,
-      hypervisor_.execute(vm_, selection.variant, now_us_));
+    // 3. Execute through the hypervisor, with fault injection: an FPGA
+    // offload may fail (reconfiguration error, dead slot); the failure
+    // feeds the variant's breaker and the attempt is retried with
+    // backoff — re-selection then falls back to a healthy variant.
+    const bool injected_fault =
+        ctx.fault_probability > 0.0 &&
+        selection.variant.target == compiler::TargetKind::kFpga &&
+        rng_.bernoulli(ctx.fault_probability);
+    if (injected_fault) {
+      if (breakers_ != nullptr) {
+        breakers_->record(kernel, selection.variant.id, /*success=*/false,
+                          now_us_);
+      }
+      const Status failure =
+          Unavailable("injected fault on variant '" + selection.variant.id +
+                      "' of kernel '" + kernel + "'");
+      if (breakers_ == nullptr ||
+          !retry_policy_.should_retry(attempt, failure.code())) {
+        return failure;
+      }
+      now_us_ += retry_policy_.delay_us(attempt, rng_);
+      continue;
+    }
+    EVEREST_ASSIGN_OR_RETURN(
+        execution, hypervisor_.execute(vm_, selection.variant, now_us_));
+    if (breakers_ != nullptr) {
+      breakers_->record(kernel, selection.variant.id, /*success=*/true,
+                        now_us_);
+    }
+    break;
+  }
   double latency = (execution.end_us - execution.start_us) * ctx.data_scale;
   if (noise_fraction_ > 0.0) {
     latency *= std::max(0.1, rng_.normal(1.0, noise_fraction_));
@@ -62,6 +99,9 @@ Result<InvocationRecord> AdaptationLoop::invoke(const std::string& kernel,
   record.energy_uj = energy;
   record.anomaly_flagged = verdict.anomalous;
   record.protection_after = level;
+  record.attempts = attempt;
+  record.degraded =
+      breakers_ != nullptr && breakers_->open_count(kernel) > 0;
   return record;
 }
 

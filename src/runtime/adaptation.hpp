@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/retry.hpp"
 #include "runtime/autotuner.hpp"
 #include "runtime/knowledge.hpp"
 #include "runtime/vm.hpp"
@@ -26,6 +28,11 @@ struct InvocationRecord {
   bool anomaly_flagged = false;
   security::ProtectionLevel protection_after =
       security::ProtectionLevel::kNormal;
+  /// Executions it took (1 = first try succeeded).
+  int attempts = 1;
+  /// The invocation ran, but on a fallback variant because breakers
+  /// withheld the preferred implementation (degraded mode).
+  bool degraded = false;
 };
 
 /// Per-invocation environment the caller supplies (workload knobs).
@@ -37,6 +44,10 @@ struct InvocationContext {
   /// Behavioral overrides for attack injection (0 = derive from run).
   double injected_latency_us = 0.0;
   double injected_bytes = 0.0;
+  /// Fault injection: probability that one FPGA-target execution fails
+  /// (reconfiguration or offload error). Failures feed the circuit
+  /// breakers and are retried per the retry policy.
+  double fault_probability = 0.0;
 };
 
 class AdaptationLoop {
@@ -60,6 +71,18 @@ class AdaptationLoop {
     rng_.reseed(seed);
   }
 
+  /// Arms fault tolerance: failed executions trip per-(kernel, variant)
+  /// breakers on the (borrowed) board, retries follow `policy`, and
+  /// selection skips variants whose breaker is open.
+  void set_resilience(resilience::CircuitBreakerBoard* board,
+                      resilience::RetryPolicy policy = {}) {
+    breakers_ = board;
+    retry_policy_ = policy;
+  }
+  [[nodiscard]] const resilience::CircuitBreakerBoard* breakers() const {
+    return breakers_;
+  }
+
  private:
   KnowledgeBase* kb_;
   Autotuner tuner_;
@@ -68,6 +91,8 @@ class AdaptationLoop {
   double now_us_ = 0.0;
   double noise_fraction_ = 0.0;
   Rng rng_{123};
+  resilience::CircuitBreakerBoard* breakers_ = nullptr;
+  resilience::RetryPolicy retry_policy_;
   std::map<std::string, security::AnomalyDetector> detectors_;
   std::map<std::string, security::AutoProtectionPolicy> policies_;
 };

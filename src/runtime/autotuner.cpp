@@ -66,8 +66,13 @@ Result<Selection> Autotuner::select(const std::string& kernel,
   double best_feasible_score = std::numeric_limits<double>::infinity();
   double best_violation = std::numeric_limits<double>::infinity();
 
+  int gated = 0;
   for (const compiler::Variant& v : variants) {
     if (!eligible(v, state)) continue;
+    if (state.variant_gate && !state.variant_gate(v)) {
+      ++gated;
+      continue;
+    }
     Selection s;
     s.variant = v;
     s.predicted_latency_us = adjusted_latency(kernel, v, state);
@@ -105,6 +110,11 @@ Result<Selection> Autotuner::select(const std::string& kernel,
   if (chosen != nullptr) return best_feasible;
   if (best_violation < std::numeric_limits<double>::infinity()) {
     return best_infeasible;  // least-violating fallback
+  }
+  if (gated > 0) {
+    return Unavailable("all " + std::to_string(gated) +
+                       " eligible variants of kernel '" + kernel +
+                       "' are withheld (circuit breakers open)");
   }
   return FailedPrecondition("no eligible variant for kernel '" + kernel +
                             "' under the current protection level");

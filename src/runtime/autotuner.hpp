@@ -6,6 +6,7 @@
 // data features), and (4) resource availability.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/status.hpp"
@@ -35,6 +36,11 @@ struct SystemState {
   security::ProtectionLevel protection = security::ProtectionLevel::kNormal;
   /// Data-volume scale vs the profiled size (data feature input).
   double data_scale = 1.0;
+  /// Resource-availability gate: variants it rejects are withheld from
+  /// selection (e.g. a tripped circuit breaker steering FPGA → CPU).
+  /// Null = every variant allowed. If the gate withholds every otherwise
+  /// eligible variant, select() returns UNAVAILABLE.
+  std::function<bool(const compiler::Variant&)> variant_gate;
 };
 
 /// One selection decision with its adjusted expectations.

@@ -90,6 +90,12 @@ Result<DemonstratorRun> run_demonstrator(
       const auto& variants = knowledge.variants_for(task.kernel);
       if (!variants.empty()) {
         for (const compiler::Variant& v : variants) {
+          // Graceful degradation: a tripped breaker withholds this
+          // variant on this node; selection falls back to what remains.
+          if (options.breakers != nullptr &&
+              !options.breakers->allow(node.name, v.id, node_free[n])) {
+            continue;
+          }
           if (v.target == compiler::TargetKind::kCpu) {
             auto exec = platform::execute_on_cpu(platform, node, v);
             if (!exec.ok()) continue;

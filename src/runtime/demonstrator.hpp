@@ -17,6 +17,7 @@
 
 #include "common/status.hpp"
 #include "platform/node.hpp"
+#include "resilience/circuit_breaker.hpp"
 #include "runtime/autotuner.hpp"
 #include "runtime/knowledge.hpp"
 #include "workflow/task_graph.hpp"
@@ -54,6 +55,11 @@ struct DemonstratorOptions {
   /// Tasks whose kernel has no variants fall back to a generic CPU cost
   /// (flops / node-throughput) instead of failing.
   bool allow_generic_tasks = true;
+  /// Optional (borrowed) breaker board keyed (node name, variant id):
+  /// variants whose breaker is open on a node are not considered there,
+  /// so placement degrades around unhealthy accelerators. Failed FPGA
+  /// slots (FpgaSlot::failed) are always skipped.
+  resilience::CircuitBreakerBoard* breakers = nullptr;
 };
 
 /// Executes the task graph on the platform. Tasks whose `kernel` matches a

@@ -31,6 +31,16 @@ void ServingMetrics::record_failed() {
   ++counters_.failed;
 }
 
+void ServingMetrics::record_unavailable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.unavailable;
+}
+
+void ServingMetrics::record_degraded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.degraded;
+}
+
 void ServingMetrics::record_batch(std::size_t batch_size, double service_us) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.batches;

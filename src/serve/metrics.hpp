@@ -23,6 +23,12 @@ struct MetricsSnapshot {
   std::uint64_t expired = 0;    ///< dropped at dispatch (deadline passed)
   std::uint64_t failed = 0;     ///< handler/selection errors
   std::uint64_t completed = 0;  ///< OK responses delivered
+  /// UNAVAILABLE outcomes: every variant withheld by breakers, or load
+  /// shed at admission while in degraded mode.
+  std::uint64_t unavailable = 0;
+  /// OK responses served while the kernel had open breakers (fallback
+  /// variant answered — degraded but successful).
+  std::uint64_t degraded = 0;
 
   /// End-to-end latency stats (µs) per SLA class index
   /// (0 = latency-critical, 1 = throughput) and combined.
@@ -54,6 +60,8 @@ class ServingMetrics {
   void record_rejected();
   void record_expired();
   void record_failed();
+  void record_unavailable();
+  void record_degraded();
   void record_batch(std::size_t batch_size, double service_us);
   void record_completion(SlaClass sla, double latency_us);
 

@@ -60,6 +60,9 @@ struct Response {
   std::size_t batch_size = 0;
   /// Variant the autotuner selected for the batch ("" when dropped).
   std::string variant_id;
+  /// True when the answer was produced in degraded mode: circuit breakers
+  /// withheld the preferred variant and a fallback served the request.
+  bool degraded = false;
 };
 
 /// Completion callback; invoked exactly once per submitted request, from a

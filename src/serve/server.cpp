@@ -14,9 +14,17 @@ double us_between(Clock::time_point a, Clock::time_point b) {
 }  // namespace
 
 Server::Server(ServerOptions options, runtime::KnowledgeBase* kb)
-    : options_(options), kb_(kb), tuner_(kb) {
+    : options_(options),
+      kb_(kb),
+      tuner_(kb),
+      breakers_(options.breaker),
+      breaker_epoch_(Clock::now()) {
   queue_ = std::make_unique<RequestQueue>(options_.queue_capacity);
   batcher_ = std::make_unique<Batcher>(queue_.get(), options_.batch);
+}
+
+double Server::breaker_now_us() const {
+  return us_between(breaker_epoch_, Clock::now());
 }
 
 Server::~Server() { stop(); }
@@ -61,6 +69,17 @@ Status Server::submit(Request request, ResponseCallback on_done) {
   metrics_.record_submitted();
   if (endpoints_.count(request.kernel) == 0) {
     return NotFound("no endpoint '" + request.kernel + "'");
+  }
+  // Degraded mode sheds bulk traffic early: with breakers open the
+  // fallback variants are slower, so the queue is reserved for
+  // latency-critical work once it passes the shed threshold.
+  if (degraded_.load(std::memory_order_acquire) &&
+      request.sla == SlaClass::kThroughput &&
+      static_cast<double>(queue_->size()) >=
+          options_.degraded_shed_fill *
+              static_cast<double>(options_.queue_capacity)) {
+    metrics_.record_unavailable();
+    return Unavailable("degraded mode: shedding throughput-class load");
   }
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.enqueue_time = Clock::now();
@@ -156,15 +175,46 @@ void Server::execute_batch(Batch batch) {
     }
     goal.latency_deadline_us = std::max(1.0, tightest_us);
   }
+  if (options_.enable_breaker) {
+    state.variant_gate = [this, &batch](const compiler::Variant& v) {
+      return breakers_.allow(batch.kernel, v.id, breaker_now_us());
+    };
+  }
   std::string variant_id;
   auto selection = tuner_.select(batch.kernel, goal, state);
   if (selection.ok()) variant_id = selection->variant.id;
 
-  // Execute the endpoint handler (the real work) and time it.
+  if (!selection.ok() && selection.status().code() == StatusCode::kUnavailable) {
+    // Every variant of the kernel is withheld by an open breaker: answer
+    // UNAVAILABLE without burning handler time (the caller may retry
+    // after the cooldown lets a probe through).
+    const Clock::time_point now = Clock::now();
+    for (const PendingRequest& pending : batch.requests) {
+      metrics_.record_unavailable();
+      Response response;
+      response.id = pending.request.id;
+      response.status = selection.status();
+      response.latency_us = us_between(pending.request.enqueue_time, now);
+      response.batch_size = batch.size();
+      if (pending.on_done) pending.on_done(response);
+      finished_requests_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return;
+  }
+
+  // Execute the endpoint handler (the real work) and time it. The fault
+  // injector may veto the execution first, simulating a variant failure
+  // (dead FPGA slot, failed reconfiguration) that feeds the breaker.
   const Endpoint& endpoint = endpoints_.at(batch.kernel);
   std::vector<double> values;
+  Status handler_status = OkStatus();
+  if (selection.ok() && options_.fault_injector) {
+    handler_status = options_.fault_injector(batch, selection->variant);
+  }
   const Clock::time_point exec_start = Clock::now();
-  Status handler_status = endpoint.handler(batch, &values);
+  if (handler_status.ok()) {
+    handler_status = endpoint.handler(batch, &values);
+  }
   const Clock::time_point exec_end = Clock::now();
   const double service_us = us_between(exec_start, exec_end);
   if (handler_status.ok() && values.size() != batch.size()) {
@@ -173,6 +223,15 @@ void Server::execute_batch(Batch batch) {
                               std::to_string(batch.size()) + " requests");
   }
   metrics_.record_batch(batch.size(), service_us);
+
+  bool batch_degraded = false;
+  if (options_.enable_breaker && selection.ok()) {
+    breakers_.record(batch.kernel, selection->variant.id,
+                     handler_status.ok(), breaker_now_us());
+    batch_degraded =
+        handler_status.ok() && breakers_.open_count(batch.kernel) > 0;
+    degraded_.store(breakers_.open_count() > 0, std::memory_order_release);
+  }
 
   // Close the Fig. 2 loop: feed the measured per-request cost back so the
   // next selection sees calibrated expectations.
@@ -194,8 +253,10 @@ void Server::execute_batch(Batch batch) {
     response.service_us = service_us;
     response.batch_size = batch.size();
     response.variant_id = variant_id;
+    response.degraded = batch_degraded;
     if (handler_status.ok()) {
       metrics_.record_completion(pending.request.sla, response.latency_us);
+      if (batch_degraded) metrics_.record_degraded();
     } else {
       metrics_.record_failed();
     }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <thread>
 
+#include "resilience/circuit_breaker.hpp"
 #include "runtime/autotuner.hpp"
 #include "runtime/knowledge.hpp"
 #include "serve/batcher.hpp"
@@ -40,6 +41,24 @@ struct ServerOptions {
   /// Drop requests whose deadline already passed when their batch is
   /// dispatched (they would deliver a useless late answer).
   bool drop_expired = true;
+
+  // ---- graceful degradation ----
+  /// Per-(kernel, variant) circuit breakers: batch failures trip the
+  /// variant's breaker; selection then falls back to the next variant
+  /// (e.g. FPGA → CPU). UNAVAILABLE is returned only when every variant
+  /// of a kernel is withheld.
+  bool enable_breaker = true;
+  resilience::BreakerPolicy breaker;
+  /// Fault injection hook for tests/benches: called after variant
+  /// selection, before the handler. A non-OK status simulates that the
+  /// batch's execution failed on that variant (the handler is skipped and
+  /// the failure feeds the breaker).
+  std::function<Status(const Batch&, const compiler::Variant&)>
+      fault_injector;
+  /// While in degraded mode (any breaker open), throughput-class traffic
+  /// is shed at admission once the queue passes this fill fraction,
+  /// keeping headroom for latency-critical requests.
+  double degraded_shed_fill = 0.5;
 };
 
 /// Multi-tenant request server. Thread-safe: submit() may be called from
@@ -78,10 +97,19 @@ class Server {
   [[nodiscard]] const ServingMetrics& metrics() const { return metrics_; }
   ServingMetrics& mutable_metrics() { return metrics_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_->size(); }
+  [[nodiscard]] const resilience::CircuitBreakerBoard& breakers() const {
+    return breakers_;
+  }
+  /// Any breaker open right now (degraded mode)?
+  [[nodiscard]] bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
 
  private:
   void dispatch_loop();
   void execute_batch(Batch batch);
+  /// Breaker clock: microseconds since server construction.
+  [[nodiscard]] double breaker_now_us() const;
 
   ServerOptions options_;
   runtime::KnowledgeBase* kb_;
@@ -92,6 +120,10 @@ class Server {
   std::unique_ptr<Batcher> batcher_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread dispatcher_;
+
+  resilience::CircuitBreakerBoard breakers_;
+  std::atomic<bool> degraded_{false};
+  Clock::time_point breaker_epoch_;
 
   ServingMetrics metrics_;
   std::atomic<std::uint64_t> next_id_{1};

@@ -1,9 +1,15 @@
 #include "workflow/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <deque>
 #include <limits>
 #include <queue>
+#include <set>
+
+#include "platform/desim.hpp"
+#include "resilience/lineage.hpp"
 
 namespace everest::workflow {
 
@@ -39,25 +45,6 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
 double compute_us(const TaskNode& task, const WorkerSpec& worker) {
   return task.flops / (worker.gflops * 1e3);  // GFLOP/s → FLOP/us
-}
-
-/// Transfer time for pulling all dep outputs produced on other workers.
-/// Fetches overlap, so the cost is the slowest single fetch.
-double transfer_us(const TaskGraph& graph, const TaskNode& task,
-                   std::size_t target_worker,
-                   const std::vector<std::size_t>& assignment,
-                   const std::vector<WorkerSpec>& workers,
-                   double* bytes_moved) {
-  double worst = 0.0;
-  for (std::size_t dep : task.deps) {
-    if (assignment[dep] == target_worker || assignment[dep] == kNone) continue;
-    const WorkerSpec& w = workers[target_worker];
-    const double bytes = graph.task(dep).output_bytes;
-    worst = std::max(worst,
-                     w.link_latency_us + bytes / (w.link_gbps * 1e3));
-    if (bytes_moved != nullptr) *bytes_moved += bytes;
-  }
-  return worst;
 }
 
 /// HEFT: upward ranks, then min-EFT worker per task in rank order.
@@ -129,203 +116,708 @@ void heft_plan(const TaskGraph& graph, const std::vector<WorkerSpec>& workers,
   }
 }
 
+/// The whole simulation as one object so the event callbacks share state.
+class ChaosSim {
+ public:
+  ChaosSim(const TaskGraph& graph, const std::vector<WorkerSpec>& workers,
+           const SimulationOptions& options)
+      : graph_(graph),
+        workers_(workers),
+        opt_(options),
+        plan_(options.fault_plan != nullptr ? *options.fault_plan
+                                            : kEmptyPlan),
+        rng_(options.seed),
+        registry_(workers.size(), options.heartbeat_interval_us,
+                  options.suspect_phi, options.dead_phi) {}
+
+  Result<ScheduleOutcome> run();
+
+ private:
+  using FaultKind = resilience::FaultKind;
+
+  struct RunningTask {
+    std::size_t task = kNone;
+    int task_epoch = 0;
+    double start_us = 0.0;
+    double est_us = 0.0;
+    bool speculative = false;
+  };
+
+  struct Outage {
+    std::size_t worker = kNone;
+    double crash_us = 0.0;
+    bool initiated = false;
+    /// Tasks whose (re-)completion ends this outage's recovery window.
+    std::set<std::size_t> pending;
+    bool recovery_recorded = false;
+  };
+
+  [[nodiscard]] bool terminal() const {
+    return aborted_ || done_count_ + failed_count_ >= graph_.size();
+  }
+  [[nodiscard]] bool chaos_enabled() const {
+    return !plan_.empty() || opt_.speculation_factor > 0.0;
+  }
+  /// Healthy enough to receive new work.
+  [[nodiscard]] bool dispatchable(std::size_t w) const {
+    if (alive_[w] == 0) return false;
+    return !chaos_enabled() || registry_.dispatchable(w);
+  }
+  /// Valid to pull from a ready queue right now (stale entries are
+  /// dropped at pop time instead of being hunted down inside deques).
+  [[nodiscard]] bool runnable(std::size_t t) const {
+    return done_[t] == 0 && failed_[t] == 0 && missing_[t] == 0 &&
+           in_flight_[t] == 0 && backoff_pending_[t] == 0;
+  }
+  /// Retried tasks steer away from the worker that failed them — but only
+  /// while some other idle healthy worker could take them instead.
+  [[nodiscard]] bool blocked_by_avoid(std::size_t t, std::size_t w) const {
+    if (avoid_worker_[t] != static_cast<int>(w)) return false;
+    for (std::size_t v = 0; v < workers_.size(); ++v) {
+      if (v != w && busy_[v] == 0 && dispatchable(v)) return true;
+    }
+    return false;
+  }
+
+  void trace(const char* event, std::size_t task, std::size_t worker,
+             const char* detail = "");
+  void enqueue_ready(std::size_t t);
+  void maybe_enqueue(std::size_t t);
+  std::size_t pick_task(std::size_t w);
+  bool try_dispatch(std::size_t w);
+  void dispatch_all();
+  void dispatch_task(std::size_t t, std::size_t w, bool speculative);
+  void on_complete(std::size_t w, std::size_t t, int task_epoch,
+                   int worker_epoch);
+  void on_failure(std::size_t t, std::size_t w);
+  void release_retry(std::size_t t, std::size_t failed_worker);
+  void mark_failed_closure(std::size_t t);
+  void crash(std::size_t w, double downtime_us);
+  void restart(std::size_t w);
+  void initiate_recovery(Outage& outage);
+  void heartbeat_tick();
+  void check_stragglers();
+  void note_progress(std::size_t t);
+  /// Least-loaded healthy worker, avoiding `avoid` when possible.
+  std::size_t healthiest_worker(std::size_t avoid);
+  double transfer_cost(std::size_t t, std::size_t w, double* bytes_moved,
+                       double* blocked_us);
+
+  const TaskGraph& graph_;
+  const std::vector<WorkerSpec>& workers_;
+  const SimulationOptions& opt_;
+  static const resilience::FaultPlan kEmptyPlan;
+  const resilience::FaultPlan& plan_;
+
+  platform::Simulator sim_;
+  Rng rng_;
+  resilience::HealthRegistry registry_;
+
+  // Graph state.
+  std::vector<std::vector<std::size_t>> succ_;
+  std::vector<std::vector<std::size_t>> deps_;
+  std::vector<std::size_t> missing_;
+  std::vector<char> done_, failed_, output_lost_, backoff_pending_;
+  std::vector<char> spec_launched_;
+  std::vector<std::size_t> output_worker_;
+  std::vector<int> avoid_worker_;
+  std::vector<int> attempts_;
+  std::vector<int> epoch_;
+  std::vector<int> in_flight_;
+
+  // Worker state.
+  std::vector<char> alive_, busy_;
+  std::vector<int> worker_epoch_;
+  std::vector<double> worker_now_;
+  std::vector<RunningTask> running_on_;
+
+  // Ready containers (per scheduler kind).
+  std::deque<std::size_t> central_;
+  std::vector<std::deque<std::size_t>> local_;
+  std::vector<std::size_t> heft_assignment_, heft_order_, heft_position_;
+  std::vector<std::vector<std::size_t>> heft_ready_;  // kept rank-sorted
+
+  std::vector<Outage> outages_;
+
+  ScheduleOutcome out_;
+  std::size_t done_count_ = 0;
+  std::size_t failed_count_ = 0;
+  bool aborted_ = false;
+  Status fatal_;
+};
+
+const resilience::FaultPlan ChaosSim::kEmptyPlan;
+
+void ChaosSim::trace(const char* event, std::size_t task, std::size_t worker,
+                     const char* detail) {
+  if (!opt_.record_trace) return;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "@%.3f %s task=%ld worker=%ld%s%s",
+                sim_.now(), event,
+                task == kNone ? -1L : static_cast<long>(task),
+                worker == kNone ? -1L : static_cast<long>(worker),
+                detail[0] != '\0' ? " " : "", detail);
+  out_.trace.emplace_back(buf);
+}
+
+std::size_t ChaosSim::healthiest_worker(std::size_t avoid) {
+  std::size_t best = kNone;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!dispatchable(w)) continue;
+    // Load proxy: queued work plus busy state, normalized by speed.
+    double load = (static_cast<double>(busy_[w]) +
+                   static_cast<double>(opt_.scheduler == SchedulerKind::kHeft
+                                           ? heft_ready_[w].size()
+                                           : local_[w].size())) /
+                  workers_[w].gflops;
+    if (w == avoid) load += 1e6;  // only if nothing else is healthy
+    if (load < best_load) {
+      best_load = load;
+      best = w;
+    }
+  }
+  return best == kNone ? avoid : best;
+}
+
+void ChaosSim::enqueue_ready(std::size_t t) {
+  switch (opt_.scheduler) {
+    case SchedulerKind::kFifo:
+      central_.push_back(t);
+      break;
+    case SchedulerKind::kWorkStealing: {
+      // Place where the biggest input lives; round-robin for roots.
+      double best_bytes = -1.0;
+      std::size_t target = t % workers_.size();
+      for (std::size_t dep : graph_.task(t).deps) {
+        if (output_worker_[dep] == kNone) continue;
+        if (graph_.task(dep).output_bytes > best_bytes) {
+          best_bytes = graph_.task(dep).output_bytes;
+          target = output_worker_[dep];
+        }
+      }
+      if (!dispatchable(target)) target = healthiest_worker(target);
+      local_[target].push_back(t);
+      break;
+    }
+    case SchedulerKind::kHeft: {
+      std::size_t target = heft_assignment_[t];
+      if (!dispatchable(target)) {
+        target = healthiest_worker(target);
+        heft_assignment_[t] = target;
+      }
+      // Insert keeping the vector sorted by descending rank position
+      // (back = highest priority).
+      auto& q = heft_ready_[target];
+      auto it = std::lower_bound(
+          q.begin(), q.end(), t, [&](std::size_t a, std::size_t b) {
+            return heft_position_[a] > heft_position_[b];
+          });
+      q.insert(it, t);
+      break;
+    }
+  }
+}
+
+void ChaosSim::maybe_enqueue(std::size_t t) {
+  if (runnable(t)) enqueue_ready(t);
+}
+
+std::size_t ChaosSim::pick_task(std::size_t w) {
+  // Pops until a dispatchable task is found. Stale entries (completed
+  // elsewhere, re-blocked, backing off) are dropped; entries only held
+  // back by retry avoidance are kept in place for another worker.
+  auto pop_deque = [&](std::deque<std::size_t>& q,
+                       bool front) -> std::size_t {
+    std::vector<std::size_t> held;
+    std::size_t got = kNone;
+    while (!q.empty()) {
+      const std::size_t t = front ? q.front() : q.back();
+      if (front) {
+        q.pop_front();
+      } else {
+        q.pop_back();
+      }
+      if (!runnable(t)) continue;
+      if (blocked_by_avoid(t, w)) {
+        held.push_back(t);
+        continue;
+      }
+      got = t;
+      break;
+    }
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
+      if (front) {
+        q.push_front(*it);
+      } else {
+        q.push_back(*it);
+      }
+    }
+    return got;
+  };
+
+  switch (opt_.scheduler) {
+    case SchedulerKind::kFifo:
+      return pop_deque(central_, /*front=*/true);
+    case SchedulerKind::kWorkStealing: {
+      std::size_t t = pop_deque(local_[w], /*front=*/true);
+      if (t != kNone) return t;
+      // Steal from the longest queue (a dead worker's queue is a valid —
+      // and important — victim: stealing is how its backlog gets rescued).
+      std::size_t victim = kNone, longest = 0;
+      for (std::size_t v = 0; v < workers_.size(); ++v) {
+        if (v == w) continue;
+        if (local_[v].size() > longest) {
+          longest = local_[v].size();
+          victim = v;
+        }
+      }
+      if (victim == kNone) return kNone;
+      return pop_deque(local_[victim], /*front=*/false);
+    }
+    case SchedulerKind::kHeft: {
+      // Back of the sorted vector = highest-rank ready task.
+      std::vector<std::size_t> held;
+      std::size_t got = kNone;
+      while (!heft_ready_[w].empty()) {
+        const std::size_t t = heft_ready_[w].back();
+        heft_ready_[w].pop_back();
+        if (!runnable(t)) continue;
+        if (blocked_by_avoid(t, w)) {
+          held.push_back(t);
+          continue;
+        }
+        got = t;
+        break;
+      }
+      for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        heft_ready_[w].push_back(*it);
+      }
+      return got;
+    }
+  }
+  return kNone;
+}
+
+double ChaosSim::transfer_cost(std::size_t t, std::size_t w,
+                               double* bytes_moved, double* blocked_us) {
+  const double now = sim_.now();
+  double worst = 0.0;
+  for (std::size_t dep : graph_.task(t).deps) {
+    const std::size_t src = output_worker_[dep];
+    if (src == w || src == kNone) continue;
+    const WorkerSpec& ws = workers_[w];
+    const double bytes = graph_.task(dep).output_bytes;
+    double move = ws.link_latency_us + bytes / (ws.link_gbps * 1e3);
+    // Degradation windows on either endpoint stretch the transfer.
+    move *= plan_.severity(FaultKind::kLinkDegrade, static_cast<int>(w), now);
+    move *=
+        plan_.severity(FaultKind::kLinkDegrade, static_cast<int>(src), now);
+    worst = std::max(worst, move);
+    if (bytes_moved != nullptr) *bytes_moved += bytes;
+    // A partition covering either endpoint blocks the transfer until the
+    // partition heals.
+    if (blocked_us != nullptr) {
+      const double heal = std::max(
+          plan_.window_end(FaultKind::kLinkPartition, static_cast<int>(w),
+                           now),
+          plan_.window_end(FaultKind::kLinkPartition, static_cast<int>(src),
+                           now));
+      *blocked_us = std::max(*blocked_us, heal - now);
+    }
+  }
+  return worst;
+}
+
+void ChaosSim::dispatch_task(std::size_t t, std::size_t w, bool speculative) {
+  const double now = sim_.now();
+  double moved = 0.0, blocked = 0.0;
+  const double xfer = transfer_cost(t, w, &moved, &blocked);
+  out_.bytes_transferred += moved;
+  const double nominal = compute_us(graph_.task(t), workers_[w]);
+  const double exec =
+      nominal *
+      plan_.severity(FaultKind::kStraggler, static_cast<int>(w), now);
+  const double start = std::max(now, worker_now_[w]) + blocked;
+  const double end = start + xfer + exec;
+  out_.busy_us[w] += exec;
+  worker_now_[w] = end;
+  busy_[w] = 1;
+  ++in_flight_[t];
+  ++out_.executions;
+  avoid_worker_[t] = -1;
+  // The speculation estimate is the *nominal* duration: a straggling
+  // execution must look late relative to a healthy one.
+  running_on_[w] =
+      RunningTask{t, epoch_[t], now, xfer + nominal, speculative};
+  trace(speculative ? "speculate" : "dispatch", t, w);
+  sim_.schedule(end - now, [this, w, t, te = epoch_[t],
+                            we = worker_epoch_[w]] {
+    on_complete(w, t, te, we);
+  });
+}
+
+bool ChaosSim::try_dispatch(std::size_t w) {
+  if (busy_[w] != 0 || !dispatchable(w)) return false;
+  const std::size_t t = pick_task(w);
+  if (t == kNone) return false;
+  dispatch_task(t, w, /*speculative=*/false);
+  return true;
+}
+
+void ChaosSim::dispatch_all() {
+  if (aborted_) return;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      progress |= try_dispatch(w);
+    }
+  }
+}
+
+void ChaosSim::note_progress(std::size_t t) {
+  for (Outage& o : outages_) {
+    if (!o.initiated || o.recovery_recorded) continue;
+    o.pending.erase(t);
+    if (o.pending.empty()) {
+      o.recovery_recorded = true;
+      out_.recovery_us.push_back(sim_.now() - o.crash_us);
+      trace("recovered", kNone, o.worker);
+    }
+  }
+}
+
+void ChaosSim::on_complete(std::size_t w, std::size_t t, int task_epoch,
+                           int worker_epoch) {
+  if (aborted_) return;
+  // The worker crashed after launching this: the execution never reports.
+  if (worker_epoch_[w] != worker_epoch) return;
+  const bool speculative = running_on_[w].speculative;
+  busy_[w] = 0;
+  running_on_[w] = RunningTask{};
+  worker_now_[w] = sim_.now();
+
+  if (done_[t] != 0 || failed_[t] != 0 || epoch_[t] != task_epoch) {
+    // A duplicate copy that lost the race, or a cancelled execution.
+    trace("cancelled", t, w);
+    dispatch_all();
+    return;
+  }
+  --in_flight_[t];
+
+  // Transient-error injection: blanket probability composed with any
+  // fault-plan window covering this worker right now.
+  const double window_p = plan_.max_magnitude(
+      FaultKind::kTransientError, static_cast<int>(w), sim_.now());
+  const double p =
+      1.0 - (1.0 - opt_.failure_probability) * (1.0 - window_p);
+  if (p > 0.0 && rng_.bernoulli(p)) {
+    trace("fail", t, w);
+    on_failure(t, w);
+    dispatch_all();
+    return;
+  }
+
+  done_[t] = 1;
+  ++done_count_;
+  ++out_.tasks_completed;
+  ++epoch_[t];  // cancels any other in-flight copy
+  output_worker_[t] = w;
+  output_lost_[t] = 0;
+  out_.assignment[t] = w;
+  out_.makespan_us = std::max(out_.makespan_us, sim_.now());
+  if (speculative && spec_launched_[t] != 0) ++out_.speculative_wins;
+  trace("complete", t, w);
+  note_progress(t);
+  for (std::size_t s : succ_[t]) {
+    if (missing_[s] > 0 && --missing_[s] == 0) maybe_enqueue(s);
+  }
+  dispatch_all();
+}
+
+void ChaosSim::on_failure(std::size_t t, std::size_t w) {
+  ++attempts_[t];
+  if (attempts_[t] > opt_.max_retries) {
+    if (opt_.abort_on_retry_exhaustion) {
+      aborted_ = true;
+      fatal_ = ResourceExhausted("task '" + graph_.task(t).name +
+                                 "' exceeded retry budget");
+      return;
+    }
+    trace("exhausted", t, w);
+    mark_failed_closure(t);
+    return;
+  }
+  ++out_.retries;
+  backoff_pending_[t] = 1;
+  if (opt_.retry_strategy == RetryStrategy::kAnyHealthy) {
+    avoid_worker_[t] = static_cast<int>(w);
+  }
+  const double delay = opt_.retry.delay_us(attempts_[t], rng_);
+  sim_.schedule(delay, [this, t, w] { release_retry(t, w); });
+}
+
+void ChaosSim::release_retry(std::size_t t, std::size_t failed_worker) {
+  if (aborted_) return;
+  backoff_pending_[t] = 0;
+  if (done_[t] != 0 || failed_[t] != 0 || missing_[t] > 0 ||
+      in_flight_[t] > 0) {
+    return;  // state moved on (e.g. recomputation re-blocked it)
+  }
+  trace("retry", t, failed_worker);
+  if (opt_.retry_strategy == RetryStrategy::kSameWorker) {
+    // Naive pinning: back onto the failing worker's own queue.
+    switch (opt_.scheduler) {
+      case SchedulerKind::kFifo:
+        central_.push_front(t);
+        break;
+      case SchedulerKind::kWorkStealing:
+        local_[failed_worker].push_front(t);
+        break;
+      case SchedulerKind::kHeft:
+        heft_assignment_[t] = failed_worker;
+        heft_ready_[failed_worker].push_back(t);
+        break;
+    }
+  } else {
+    // Eligible on any healthy worker, steered away from the one that
+    // just failed it.
+    switch (opt_.scheduler) {
+      case SchedulerKind::kFifo:
+        central_.push_back(t);
+        break;
+      case SchedulerKind::kWorkStealing:
+        local_[healthiest_worker(failed_worker)].push_back(t);
+        break;
+      case SchedulerKind::kHeft: {
+        heft_assignment_[t] = healthiest_worker(failed_worker);
+        enqueue_ready(t);
+        break;
+      }
+    }
+  }
+  dispatch_all();
+}
+
+void ChaosSim::mark_failed_closure(std::size_t t) {
+  // The task and every transitive successor can never complete.
+  std::deque<std::size_t> frontier{t};
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop_front();
+    if (failed_[u] != 0 || done_[u] != 0) continue;
+    failed_[u] = 1;
+    ++failed_count_;
+    ++out_.tasks_failed;
+    ++epoch_[u];
+    for (std::size_t s : succ_[u]) frontier.push_back(s);
+  }
+}
+
+void ChaosSim::crash(std::size_t w, double downtime_us) {
+  if (aborted_ || alive_[w] == 0) return;
+  alive_[w] = 0;
+  busy_[w] = 0;
+  ++worker_epoch_[w];
+  trace("crash", kNone, w);
+
+  Outage outage;
+  outage.worker = w;
+  outage.crash_us = sim_.now();
+  const RunningTask lost = running_on_[w];
+  running_on_[w] = RunningTask{};
+  if (lost.task != kNone && done_[lost.task] == 0 &&
+      epoch_[lost.task] == lost.task_epoch) {
+    --in_flight_[lost.task];
+    ++out_.lost_executions;
+    outage.pending.insert(lost.task);
+    trace("lost", lost.task, w);
+  }
+  // Stored outputs on this worker are gone; the lineage pass at recovery
+  // decides which of them must be recomputed.
+  for (std::size_t t = 0; t < graph_.size(); ++t) {
+    if (done_[t] != 0 && output_worker_[t] == w) output_lost_[t] = 1;
+  }
+  outages_.push_back(std::move(outage));
+  sim_.schedule(downtime_us, [this, w] { restart(w); });
+}
+
+void ChaosSim::restart(std::size_t w) {
+  if (aborted_) return;
+  alive_[w] = 1;
+  busy_[w] = 0;
+  worker_now_[w] = sim_.now();
+  registry_.heartbeat(w, sim_.now());  // announces itself: healthy again
+  trace("restart", kNone, w);
+  // If the phi detector has not noticed the outage yet, the returning
+  // worker's own report triggers recovery (it lost its state either way).
+  for (Outage& o : outages_) {
+    if (o.worker == w && !o.initiated) initiate_recovery(o);
+  }
+  dispatch_all();
+}
+
+void ChaosSim::initiate_recovery(Outage& outage) {
+  outage.initiated = true;
+  out_.detection_latency_us.push_back(sim_.now() - outage.crash_us);
+  trace("detect", kNone, outage.worker);
+
+  // Lineage: which lost data objects must be rebuilt?
+  const auto rec = resilience::recompute_closure(deps_, done_, output_lost_);
+  for (std::size_t t : rec) {
+    done_[t] = 0;
+    --done_count_;
+    --out_.tasks_completed;
+    ++out_.recomputed_tasks;
+    ++epoch_[t];
+    output_lost_[t] = 0;
+    output_worker_[t] = kNone;
+    outage.pending.insert(t);
+    trace("recompute", t, outage.worker);
+  }
+  // Rebuild dependency counts for everything not finished (recomputation
+  // may have re-blocked arbitrary tasks).
+  for (std::size_t t = 0; t < graph_.size(); ++t) {
+    if (done_[t] != 0) continue;
+    std::size_t miss = 0;
+    for (std::size_t d : deps_[t]) miss += done_[d] == 0 ? 1 : 0;
+    missing_[t] = miss;
+  }
+  // A dead HEFT worker's private ready queue must move to the living.
+  if (opt_.scheduler == SchedulerKind::kHeft) {
+    auto pending = std::move(heft_ready_[outage.worker]);
+    heft_ready_[outage.worker].clear();
+    for (std::size_t t : pending) {
+      if (!runnable(t)) continue;
+      heft_assignment_[t] = healthiest_worker(outage.worker);
+      enqueue_ready(t);
+    }
+  }
+  for (std::size_t t = 0; t < graph_.size(); ++t) maybe_enqueue(t);
+
+  if (outage.pending.empty() && !outage.recovery_recorded) {
+    outage.recovery_recorded = true;
+    out_.recovery_us.push_back(sim_.now() - outage.crash_us);
+  }
+  dispatch_all();
+}
+
+void ChaosSim::check_stragglers() {
+  if (opt_.speculation_factor <= 0.0) return;
+  const double now = sim_.now();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (alive_[w] == 0 || busy_[w] == 0) continue;
+    const RunningTask& r = running_on_[w];
+    if (r.task == kNone || done_[r.task] != 0 || in_flight_[r.task] != 1) {
+      continue;
+    }
+    if (now - r.start_us <= opt_.speculation_factor * r.est_us) continue;
+    // Back it up on an idle healthy worker; first completion wins.
+    for (std::size_t v = 0; v < workers_.size(); ++v) {
+      if (v == w || busy_[v] != 0 || !dispatchable(v)) continue;
+      spec_launched_[r.task] = 1;
+      ++out_.speculative_launches;
+      dispatch_task(r.task, v, /*speculative=*/true);
+      break;
+    }
+  }
+}
+
+void ChaosSim::heartbeat_tick() {
+  if (aborted_ || terminal()) return;
+  const double now = sim_.now();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (alive_[w] != 0) registry_.heartbeat(w, now);
+  }
+  for (std::size_t w : registry_.update(now)) {
+    for (Outage& o : outages_) {
+      if (o.worker == w && !o.initiated) initiate_recovery(o);
+    }
+  }
+  check_stragglers();
+  dispatch_all();
+  sim_.schedule(opt_.heartbeat_interval_us, [this] { heartbeat_tick(); });
+}
+
+Result<ScheduleOutcome> ChaosSim::run() {
+  EVEREST_RETURN_IF_ERROR(graph_.validate());
+  if (workers_.empty()) return InvalidArgument("no workers");
+  const std::size_t n = graph_.size();
+  const std::size_t m = workers_.size();
+  out_.busy_us.assign(m, 0.0);
+  out_.assignment.assign(n, kNone);
+  if (n == 0) return out_;
+
+  succ_ = graph_.successors();
+  deps_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) deps_[i] = graph_.task(i).deps;
+  missing_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) missing_[i] = deps_[i].size();
+  done_.assign(n, 0);
+  failed_.assign(n, 0);
+  output_lost_.assign(n, 0);
+  backoff_pending_.assign(n, 0);
+  spec_launched_.assign(n, 0);
+  output_worker_.assign(n, kNone);
+  avoid_worker_.assign(n, -1);
+  attempts_.assign(n, 0);
+  epoch_.assign(n, 0);
+  in_flight_.assign(n, 0);
+
+  alive_.assign(m, 1);
+  busy_.assign(m, 0);
+  worker_epoch_.assign(m, 0);
+  worker_now_.assign(m, 0.0);
+  running_on_.assign(m, RunningTask{});
+  local_.resize(m);
+  heft_ready_.resize(m);
+
+  heft_position_.assign(n, 0);
+  if (opt_.scheduler == SchedulerKind::kHeft) {
+    heft_plan(graph_, workers_, &heft_assignment_, &heft_order_);
+    for (std::size_t i = 0; i < n; ++i) heft_position_[heft_order_[i]] = i;
+  }
+
+  // Arm the fault plan: crashes are events; window faults (degrade,
+  // partition, straggler, transient) are queried on demand.
+  for (const resilience::FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::kNodeCrash) continue;
+    if (e.target < 0 || static_cast<std::size_t>(e.target) >= m) continue;
+    sim_.schedule(e.at_us, [this, w = static_cast<std::size_t>(e.target),
+                            d = e.duration_us] { crash(w, d); });
+  }
+  if (chaos_enabled()) {
+    for (std::size_t w = 0; w < m; ++w) registry_.heartbeat(w, 0.0);
+    sim_.schedule(opt_.heartbeat_interval_us, [this] { heartbeat_tick(); });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) maybe_enqueue(i);
+  sim_.schedule(0, [this] { dispatch_all(); });
+  sim_.run();
+
+  if (aborted_) return fatal_;
+  if (done_count_ + failed_count_ < n) {
+    return Internal("scheduler deadlock: " +
+                    std::to_string(n - done_count_ - failed_count_) +
+                    " tasks unresolved");
+  }
+
+  double mean = 0.0;
+  for (double b : out_.busy_us) {
+    mean += out_.makespan_us > 0 ? b / out_.makespan_us : 0.0;
+  }
+  out_.mean_utilization = mean / static_cast<double>(m);
+  return std::move(out_);
+}
+
 }  // namespace
 
 Result<ScheduleOutcome> simulate_schedule(
     const TaskGraph& graph, const std::vector<WorkerSpec>& workers,
     const SimulationOptions& options) {
-  EVEREST_RETURN_IF_ERROR(graph.validate());
-  if (workers.empty()) return InvalidArgument("no workers");
-  const std::size_t n = graph.size();
-  ScheduleOutcome outcome;
-  outcome.busy_us.assign(workers.size(), 0.0);
-  outcome.assignment.assign(n, kNone);
-  if (n == 0) return outcome;
-
-  Rng rng(options.seed);
-  const auto succ = graph.successors();
-
-  // HEFT precomputes a static plan; FIFO/WS decide online.
-  std::vector<std::size_t> heft_assignment, heft_order;
-  std::vector<std::size_t> heft_position(n, 0);
-  if (options.scheduler == SchedulerKind::kHeft) {
-    heft_plan(graph, workers, &heft_assignment, &heft_order);
-    for (std::size_t i = 0; i < n; ++i) heft_position[heft_order[i]] = i;
-  }
-
-  std::vector<std::size_t> missing_deps(n);
-  for (std::size_t i = 0; i < n; ++i) missing_deps[i] = graph.task(i).deps.size();
-  std::vector<double> finish(n, 0.0);
-  std::vector<int> attempts(n, 0);
-
-  // Ready containers.
-  // FIFO: one central deque. WS: per-worker deques (locality placement).
-  // HEFT: per-worker sets ordered by rank position.
-  std::deque<std::size_t> central;
-  std::vector<std::deque<std::size_t>> local(workers.size());
-  auto heft_cmp = [&](std::size_t a, std::size_t b) {
-    return heft_position[a] > heft_position[b];
-  };
-  std::vector<std::priority_queue<std::size_t, std::vector<std::size_t>,
-                                  decltype(heft_cmp)>>
-      heft_ready(workers.size(),
-                 std::priority_queue<std::size_t, std::vector<std::size_t>,
-                                     decltype(heft_cmp)>(heft_cmp));
-
-  auto locality_worker = [&](std::size_t task) -> std::size_t {
-    // Place where the biggest input lives; round-robin for roots.
-    double best_bytes = -1.0;
-    std::size_t best = task % workers.size();
-    for (std::size_t dep : graph.task(task).deps) {
-      if (outcome.assignment[dep] == kNone) continue;
-      if (graph.task(dep).output_bytes > best_bytes) {
-        best_bytes = graph.task(dep).output_bytes;
-        best = outcome.assignment[dep];
-      }
-    }
-    return best;
-  };
-
-  auto enqueue_ready = [&](std::size_t task) {
-    switch (options.scheduler) {
-      case SchedulerKind::kFifo:
-        central.push_back(task);
-        break;
-      case SchedulerKind::kWorkStealing:
-        local[locality_worker(task)].push_back(task);
-        break;
-      case SchedulerKind::kHeft:
-        heft_ready[heft_assignment[task]].push(task);
-        break;
-    }
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    if (missing_deps[i] == 0) enqueue_ready(i);
-  }
-
-  // Event loop over worker completions.
-  struct Completion {
-    double time;
-    std::size_t worker;
-    std::size_t task;
-    bool operator>(const Completion& other) const {
-      if (time != other.time) return time > other.time;
-      return task > other.task;
-    }
-  };
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
-      running;
-  std::vector<bool> busy(workers.size(), false);
-  std::vector<double> worker_now(workers.size(), 0.0);
-  double now = 0.0;
-  std::size_t completed = 0;
-
-  auto try_dispatch = [&](std::size_t w) -> bool {
-    if (busy[w]) return false;
-    std::size_t task = kNone;
-    switch (options.scheduler) {
-      case SchedulerKind::kFifo:
-        if (!central.empty()) {
-          task = central.front();
-          central.pop_front();
-        }
-        break;
-      case SchedulerKind::kWorkStealing: {
-        if (!local[w].empty()) {
-          task = local[w].front();
-          local[w].pop_front();
-        } else {
-          // Steal from the longest queue.
-          std::size_t victim = kNone, longest = 0;
-          for (std::size_t v = 0; v < workers.size(); ++v) {
-            if (local[v].size() > longest) {
-              longest = local[v].size();
-              victim = v;
-            }
-          }
-          if (victim != kNone) {
-            task = local[victim].back();
-            local[victim].pop_back();
-          }
-        }
-        break;
-      }
-      case SchedulerKind::kHeft:
-        if (!heft_ready[w].empty()) {
-          task = heft_ready[w].top();
-          heft_ready[w].pop();
-        }
-        break;
-    }
-    if (task == kNone) return false;
-    outcome.assignment[task] = w;
-    double moved = 0.0;
-    const double xfer = transfer_us(graph, graph.task(task), w,
-                                    outcome.assignment, workers, &moved);
-    outcome.bytes_transferred += moved;
-    const double exec = compute_us(graph.task(task), workers[w]);
-    const double start = std::max(now, worker_now[w]);
-    const double end = start + xfer + exec;
-    outcome.busy_us[w] += exec;
-    worker_now[w] = end;
-    busy[w] = true;
-    ++outcome.executions;
-    running.push({end, w, task});
-    return true;
-  };
-
-  auto dispatch_all = [&] {
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (std::size_t w = 0; w < workers.size(); ++w) {
-        progress |= try_dispatch(w);
-      }
-    }
-  };
-
-  dispatch_all();
-  while (completed < n) {
-    if (running.empty()) {
-      return Internal("scheduler deadlock: no running task but " +
-                      std::to_string(n - completed) + " remain");
-    }
-    const Completion done = running.top();
-    running.pop();
-    now = done.time;
-    busy[done.worker] = false;
-    const bool failed = options.failure_probability > 0 &&
-                        rng.bernoulli(options.failure_probability);
-    if (failed) {
-      if (++attempts[done.task] > options.max_retries) {
-        return ResourceExhausted("task '" + graph.task(done.task).name +
-                                 "' exceeded retry budget");
-      }
-      // Retry on the same worker.
-      switch (options.scheduler) {
-        case SchedulerKind::kFifo: central.push_front(done.task); break;
-        case SchedulerKind::kWorkStealing:
-          local[done.worker].push_front(done.task);
-          break;
-        case SchedulerKind::kHeft: heft_ready[done.worker].push(done.task); break;
-      }
-    } else {
-      finish[done.task] = now;
-      ++completed;
-      outcome.makespan_us = std::max(outcome.makespan_us, now);
-      for (std::size_t s : succ[done.task]) {
-        if (--missing_deps[s] == 0) enqueue_ready(s);
-      }
-    }
-    dispatch_all();
-  }
-
-  double mean = 0.0;
-  for (double b : outcome.busy_us) {
-    mean += outcome.makespan_us > 0 ? b / outcome.makespan_us : 0.0;
-  }
-  outcome.mean_utilization = mean / static_cast<double>(workers.size());
-  return outcome;
+  ChaosSim sim(graph, workers, options);
+  return sim.run();
 }
 
 }  // namespace everest::workflow

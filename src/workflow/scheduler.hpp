@@ -2,8 +2,16 @@
 // platform "aims to improve resource utilization and reduces the overall
 // workflow processing time"). Three schedulers over a simulated worker
 // pool: FIFO (central ready queue), HEFT (communication-aware list
-// scheduling), and locality-aware work stealing. Includes fault injection
-// with retry.
+// scheduling), and locality-aware work stealing.
+//
+// Fault tolerance (paper §IV: the runtime must "react to changing
+// workload conditions"): a seed-reproducible FaultPlan injects node
+// crashes/restarts, link degradation and partitions, stragglers, and
+// transient task errors into the simulation. A phi-accrual heartbeat
+// detector notices dead workers; recovery reschedules lost work onto
+// healthy workers with exponential backoff + jitter, recomputes lost
+// data objects through their lineage, and optionally re-executes
+// stragglers speculatively.
 #pragma once
 
 #include <string>
@@ -12,6 +20,9 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "platform/node.hpp"
+#include "resilience/detector.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/retry.hpp"
 #include "workflow/task_graph.hpp"
 
 namespace everest::workflow {
@@ -36,13 +47,47 @@ enum class SchedulerKind { kFifo, kHeft, kWorkStealing };
 
 std::string_view to_string(SchedulerKind kind);
 
+/// Where a failed task may be retried.
+enum class RetryStrategy {
+  /// Naive/legacy: back onto the queue of the worker that failed — a bad
+  /// worker retries its own failures forever. Kept as the baseline the
+  /// resilience bench compares against.
+  kSameWorker,
+  /// Retried work becomes eligible on any healthy worker (default).
+  kAnyHealthy,
+};
+
 struct SimulationOptions {
   SchedulerKind scheduler = SchedulerKind::kHeft;
-  /// Probability that one task execution fails and is retried.
+  /// Probability that one task execution fails and is retried (a blanket
+  /// transient-error injection; FaultPlan windows compose with it).
   double failure_probability = 0.0;
-  /// Max retries per task before the run aborts.
+  /// Max failed executions per task before it is given up on.
   int max_retries = 3;
   std::uint64_t seed = 7;
+
+  // ---- resilience ----
+  /// Chaos schedule to inject (borrowed; may be null).
+  const resilience::FaultPlan* fault_plan = nullptr;
+  /// Where retries may run.
+  RetryStrategy retry_strategy = RetryStrategy::kAnyHealthy;
+  /// Backoff applied before each retry (base_delay_us = 0 disables).
+  resilience::RetryPolicy retry;
+  /// On retry-budget exhaustion: abort the whole run (legacy behavior)
+  /// or mark the task (and its descendants) failed and keep going so
+  /// availability can be measured.
+  bool abort_on_retry_exhaustion = true;
+  /// Heartbeat cadence of the simulated workers and the monitor sweep.
+  double heartbeat_interval_us = 1000.0;
+  /// Phi thresholds for the health registry.
+  double suspect_phi = 3.0;
+  double dead_phi = 8.0;
+  /// Speculative re-execution: launch a backup copy on an idle healthy
+  /// worker once a task has run `speculation_factor` times its estimate
+  /// (0 disables). First completion wins.
+  double speculation_factor = 0.0;
+  /// Record a deterministic event trace in the outcome.
+  bool record_trace = false;
 };
 
 /// Result of simulating one workflow execution.
@@ -54,13 +99,45 @@ struct ScheduleOutcome {
   double mean_utilization = 0.0;
   /// Total bytes moved between distinct workers.
   double bytes_transferred = 0.0;
-  /// Task → worker assignment.
+  /// Task → worker assignment (last successful execution).
   std::vector<std::size_t> assignment;
-  /// Executions including retries.
+  /// Executions including retries, recomputations, and speculation.
   std::size_t executions = 0;
+
+  // ---- resilience accounting ----
+  std::size_t tasks_completed = 0;
+  /// Tasks that exhausted their retry budget plus descendants that could
+  /// therefore never run (only non-zero with abort_on_retry_exhaustion
+  /// off).
+  std::size_t tasks_failed = 0;
+  std::size_t retries = 0;
+  /// Task executions lost to node crashes.
+  std::size_t lost_executions = 0;
+  /// Completed tasks re-executed because a crash lost their outputs.
+  std::size_t recomputed_tasks = 0;
+  std::size_t speculative_launches = 0;
+  std::size_t speculative_wins = 0;
+  /// Per detected crash: time from the crash to the moment recovery was
+  /// initiated (detection latency of the phi-accrual detector).
+  std::vector<double> detection_latency_us;
+  /// Per detected crash: time from the crash until all work it lost
+  /// (running + recomputed tasks) completed again.
+  std::vector<double> recovery_us;
+  /// Deterministic event log (record_trace only). Same seed + same plan
+  /// => byte-identical.
+  std::vector<std::string> trace;
+
+  /// Completed fraction of all tasks (1.0 on a clean run).
+  [[nodiscard]] double availability() const {
+    const std::size_t n = tasks_completed + tasks_failed;
+    return n == 0 ? 1.0
+                  : static_cast<double>(tasks_completed) /
+                        static_cast<double>(n);
+  }
 };
 
-/// Simulates the task graph on the workers under the chosen scheduler.
+/// Simulates the task graph on the workers under the chosen scheduler and
+/// fault plan.
 Result<ScheduleOutcome> simulate_schedule(const TaskGraph& graph,
                                           const std::vector<WorkerSpec>& workers,
                                           const SimulationOptions& options = {});

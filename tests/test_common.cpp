@@ -43,6 +43,28 @@ TEST(Status, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(PermissionDenied("x").code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(Status, ResilienceCodesStringify) {
+  EXPECT_EQ(Unavailable("no variant left").to_string(),
+            "UNAVAILABLE: no variant left");
+  EXPECT_EQ(Aborted("lost the race").to_string(), "ABORTED: lost the race");
+}
+
+TEST(Status, IsRetryableClassifiesTransientCodes) {
+  // Transient conditions: a later attempt may succeed.
+  EXPECT_TRUE(is_retryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(StatusCode::kAborted));
+  EXPECT_TRUE(is_retryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(is_retryable(StatusCode::kDeadlineExceeded));
+  // Deterministic failures: retrying cannot help.
+  EXPECT_FALSE(is_retryable(StatusCode::kOk));
+  EXPECT_FALSE(is_retryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(is_retryable(StatusCode::kNotFound));
+  EXPECT_FALSE(is_retryable(StatusCode::kInternal));
+  EXPECT_FALSE(is_retryable(StatusCode::kDataLoss));
 }
 
 TEST(Result, HoldsValue) {

@@ -186,6 +186,33 @@ TEST(Demonstrator, TransfersAccountedBetweenNodes) {
   }
 }
 
+TEST(Demonstrator, OpenBreakerSteersPlacementOffFpga) {
+  auto platform = platform::PlatformSpec::everest_reference(1, 0, 0);
+  for (auto& node : platform.nodes) {
+    for (auto& slot : node.fpgas) slot.current_role = "k1";  // warm role
+  }
+  KnowledgeBase kb = standard_kb();
+  TaskGraph g = chain_graph(4, "k1");
+  auto baseline = run_demonstrator(platform, kb, g);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_GT(baseline->variant_mix["k1-fpga"], 0);  // FPGA wins when warm
+
+  // The FPGA variant's breaker on p9-0 is open (e.g. repeated
+  // reconfiguration failures): placement must fall back to the CPU.
+  resilience::BreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_cooldown_us = 1e12;
+  resilience::CircuitBreakerBoard board(policy);
+  board.record("p9-0", "k1-fpga", /*success=*/false, 0.0);
+  DemonstratorOptions options;
+  options.breakers = &board;
+  auto degraded = run_demonstrator(platform, kb, g, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().to_string();
+  EXPECT_EQ(degraded->variant_mix.count("k1-fpga"), 0u);
+  EXPECT_EQ(degraded->variant_mix["k1-cpu"], 4);
+  EXPECT_GT(degraded->makespan_us, baseline->makespan_us);
+}
+
 TEST(Demonstrator, EmptyPlatformRejected) {
   platform::PlatformSpec empty;
   KnowledgeBase kb;

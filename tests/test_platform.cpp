@@ -272,6 +272,33 @@ TEST(Executor, ReconfigDisabledFailsOnColdSlot) {
   EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(Links, DegradedScalesLatencyAndBandwidth) {
+  LinkModel pcie = LinkModel::pcie3();
+  LinkModel bad = pcie.degraded(4.0);
+  EXPECT_DOUBLE_EQ(bad.latency_us, pcie.latency_us * 4.0);
+  EXPECT_DOUBLE_EQ(bad.bandwidth_gbps, pcie.bandwidth_gbps / 4.0);
+  EXPECT_NE(bad.name.find("degraded"), std::string::npos);
+  EXPECT_GT(bad.transfer_us(1e6), pcie.transfer_us(1e6) * 3.9);
+  // Severity 1 is the identity: same numbers, same name.
+  LinkModel same = pcie.degraded(1.0);
+  EXPECT_DOUBLE_EQ(same.latency_us, pcie.latency_us);
+  EXPECT_EQ(same.name, pcie.name);
+}
+
+TEST(Executor, FailedSlotIsUnavailable) {
+  PlatformSpec spec = PlatformSpec::everest_reference(1, 1, 0);
+  NodeSpec& node = *spec.find("p9-0");
+  compiler::Variant v = fpga_variant("P9-VU9P");
+  FpgaSlot* slot = find_slot(node, v);
+  ASSERT_NE(slot, nullptr);
+  slot->failed = true;
+  auto run = execute_on_fpga(spec, node, *slot, v);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+  // Placement skips failed slots entirely.
+  EXPECT_EQ(find_slot(node, v), nullptr);
+}
+
 TEST(Executor, FindSlotPrefersWarmRole) {
   PlatformSpec spec = PlatformSpec::everest_reference(1, 2, 0);
   NodeSpec& node = *spec.find("p9-0");

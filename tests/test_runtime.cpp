@@ -336,6 +336,64 @@ TEST(AdaptationLoop, AutoProtectionEscalatesUnderAttack) {
             static_cast<int>(security::ProtectionLevel::kMonitor));
 }
 
+TEST(AdaptationLoop, FpgaFaultsTripBreakerAndFallBackToCpu) {
+  KnowledgeBase kb;
+  // One FPGA variant (preferred on latency) and one CPU fallback.
+  ASSERT_TRUE(kb.load({make_variant("cpu-fast", TargetKind::kCpu, 100.0, 9000.0),
+                       make_variant("fpga-fast", TargetKind::kFpga, 40.0,
+                                    1500.0)})
+                  .ok());
+  AdaptationLoop loop = make_loop(&kb);
+  resilience::BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_cooldown_us = 1e12;  // stays open for the whole test
+  resilience::CircuitBreakerBoard board(policy);
+  resilience::RetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.base_delay_us = 10.0;
+  loop.set_resilience(&board, retry);
+
+  Goal goal;
+  goal.objective = Goal::Objective::kMinLatency;
+  InvocationContext chaos;
+  chaos.fault_probability = 1.0;  // every FPGA offload fails
+  auto r = loop.invoke("k", goal, chaos);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  // Three failures open the FPGA breaker; the fourth attempt re-selects
+  // and lands on the CPU, which succeeds.
+  EXPECT_EQ(r->attempts, 4);
+  EXPECT_EQ(r->variant_id, "cpu-fast");
+  EXPECT_TRUE(r->degraded);
+  EXPECT_EQ(board.state("k", "fpga-fast"),
+            resilience::BreakerState::kOpen);
+  EXPECT_EQ(board.total_trips(), 1);
+
+  // While the breaker stays open, later invocations skip the FPGA
+  // outright: one attempt, still flagged degraded.
+  auto r2 = loop.invoke("k", goal, chaos);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->attempts, 1);
+  EXPECT_EQ(r2->variant_id, "cpu-fast");
+  EXPECT_TRUE(r2->degraded);
+}
+
+TEST(AdaptationLoop, NoRetryBudgetSurfacesUnavailable) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(
+      kb.load({make_variant("fpga-fast", TargetKind::kFpga, 40.0, 1500.0)})
+          .ok());
+  AdaptationLoop loop = make_loop(&kb);
+  resilience::CircuitBreakerBoard board;
+  resilience::RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  loop.set_resilience(&board, no_retry);
+  InvocationContext chaos;
+  chaos.fault_probability = 1.0;
+  auto r = loop.invoke("k", Goal{}, chaos);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
 TEST(AdaptationLoop, ProtectModeSwitchesToSecuredVariant) {
   KnowledgeBase kb;
   ASSERT_TRUE(kb.load(standard_variants()).ok());

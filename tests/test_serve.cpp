@@ -460,6 +460,162 @@ TEST(Server, EightProducersNoLostOrDuplicatedRequests) {
   EXPECT_EQ(unique_ids.size(), seen_seeds.size());
 }
 
+// ------------------------------------- graceful degradation (breakers)
+
+/// test_endpoint() plus a faster FPGA variant, so selection prefers the
+/// FPGA until its breaker trips.
+Endpoint dual_variant_endpoint(const std::string& kernel = "dual_kernel") {
+  Endpoint ep = test_endpoint(kernel);
+  compiler::Variant fpga;
+  fpga.id = kernel + "-fpga";
+  fpga.kernel = kernel;
+  fpga.target = compiler::TargetKind::kFpga;
+  fpga.latency_us = 10.0;
+  fpga.energy_uj = 20.0;
+  ep.variants.push_back(std::move(fpga));
+  return ep;
+}
+
+TEST(Server, TrippedBreakerDegradesToCpuButKeepsServing) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_cooldown_us = 1e12;  // no half-open probe in-test
+  // Every batch routed to the FPGA variant fails (dead slot model); the
+  // CPU variant keeps working.
+  options.fault_injector = [](const Batch&, const compiler::Variant& v) {
+    if (v.target == compiler::TargetKind::kFpga) {
+      return Unavailable("injected: FPGA slot failed");
+    }
+    return OkStatus();
+  };
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(dual_variant_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  std::mutex mu;
+  std::vector<Response> responses;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Request request;
+    request.kernel = "dual_kernel";
+    request.seed = i;
+    ASSERT_TRUE(server
+                    .submit(request,
+                            [&](const Response& response) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              responses.push_back(response);
+                            })
+                    .ok());
+    server.drain();  // one request per batch: deterministic breaker path
+  }
+  const bool degraded_mode = server.degraded();
+  const int open = server.breakers().open_count("dual_kernel");
+  server.stop();
+
+  ASSERT_EQ(responses.size(), 10u);
+  std::size_t failed = 0;
+  std::size_t degraded_ok = 0;
+  for (const Response& response : responses) {
+    if (!response.status.ok()) {
+      ++failed;
+      EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+    } else if (response.degraded) {
+      ++degraded_ok;
+      EXPECT_EQ(response.variant_id, "dual_kernel-cpu");  // FPGA withheld
+    }
+  }
+  // Three failures trip the FPGA breaker; everything after is served
+  // successfully on the CPU fallback, flagged degraded.
+  EXPECT_EQ(failed, 3u);
+  EXPECT_EQ(degraded_ok, 7u);
+  EXPECT_TRUE(degraded_mode);
+  EXPECT_EQ(open, 1);
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.completed, 7u);
+  EXPECT_EQ(snap.failed, 3u);
+  EXPECT_EQ(snap.degraded, 7u);
+}
+
+TEST(Server, AllVariantsTrippedReturnsUnavailable) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_cooldown_us = 1e12;
+  options.fault_injector = [](const Batch&, const compiler::Variant&) {
+    return Unavailable("injected: everything is on fire");
+  };
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  std::mutex mu;
+  std::vector<Status> statuses;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Request request;
+    request.kernel = "test_kernel";
+    request.sla = SlaClass::kLatencyCritical;  // not shed at admission
+    ASSERT_TRUE(server
+                    .submit(request,
+                            [&](const Response& response) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              statuses.push_back(response.status);
+                            })
+                    .ok());
+    server.drain();
+  }
+  server.stop();
+
+  ASSERT_EQ(statuses.size(), 6u);
+  // First two fail on the variant itself; once its breaker opens, the only
+  // variant is withheld and requests answer UNAVAILABLE without running.
+  for (const Status& status : statuses) {
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  }
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.failed, 2u);
+  EXPECT_EQ(snap.unavailable, 4u);
+  EXPECT_EQ(snap.completed, 0u);
+}
+
+TEST(Server, DegradedModeShedsThroughputClassAtAdmission) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_cooldown_us = 1e12;
+  options.degraded_shed_fill = 0.0;  // shed all TP traffic while degraded
+  options.fault_injector = [](const Batch&, const compiler::Variant&) {
+    return Unavailable("injected");
+  };
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  // One failing request trips the single variant's breaker.
+  Request tripper;
+  tripper.kernel = "test_kernel";
+  tripper.sla = SlaClass::kLatencyCritical;
+  ASSERT_TRUE(server.submit(tripper, nullptr).ok());
+  server.drain();
+  ASSERT_TRUE(server.degraded());
+
+  // Throughput-class traffic now bounces at the front door...
+  Request bulk;
+  bulk.kernel = "test_kernel";
+  bulk.sla = SlaClass::kThroughput;
+  EXPECT_EQ(server.submit(bulk, nullptr).code(), StatusCode::kUnavailable);
+  // ...while latency-critical traffic is still admitted.
+  Request urgent;
+  urgent.kernel = "test_kernel";
+  urgent.sla = SlaClass::kLatencyCritical;
+  EXPECT_TRUE(server.submit(urgent, nullptr).ok());
+  server.drain();
+  server.stop();
+  EXPECT_GE(server.metrics().snapshot().unavailable, 2u);
+}
+
 // ----------------------------------------- real use-case endpoint smoke
 
 TEST(Endpoints, StandardEndpointsServeRealWork) {
