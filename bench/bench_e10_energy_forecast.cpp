@@ -10,10 +10,14 @@
 #include "apps/energy.hpp"
 #include "common/table.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E10: renewable-energy forecast (use case A) ===\n\n");
 
   WeatherOptions weather;
@@ -49,7 +53,7 @@ int main() {
     options.downscale_factor = c.factor;
     options.ensemble_members = c.members;
     double rmse = 0.0, cost = 0.0, flops = 0.0;
-    const int days = 10;
+    const int days = smoke ? 3 : 10;
     for (int d = 0; d < days; ++d) {
       const ForecastResult r = forecaster.forecast_day(options);
       rmse += r.rmse_mw;

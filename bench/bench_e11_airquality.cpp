@@ -11,6 +11,8 @@
 #include "apps/airquality.hpp"
 #include "common/table.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::apps;
 
@@ -37,7 +39,9 @@ DecisionQuality compare_decisions(const std::vector<int>& test,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E11: air-quality monitoring (use case B) ===\n\n");
   std::vector<StackSource> sources = {
       {5.0, 4.0, 60.0, 420.0},
@@ -77,6 +81,7 @@ int main() {
   };
   for (const Config c : {Config{10, 1.0, 2}, {20, 0.5, 4}, {40, 0.25, 8},
                          {80, 0.125, 12}, {80, 0.125, 24}}) {
+    if (smoke && c.grid > 40) continue;
     AirQualityOptions options = reference;
     options.grid_ny = c.grid;
     options.grid_nx = c.grid;

@@ -13,10 +13,14 @@
 #include "common/table.hpp"
 #include "platform/links.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E12: traffic modeling (use case C) ===\n\n");
   RoadNetwork city = RoadNetwork::make_grid(16, 16, 99);
   std::printf("city: %zu intersections, %zu segments\n\n", city.num_nodes(),
@@ -28,14 +32,14 @@ int main() {
   const auto path = city.shortest_path(from, to, 8);
   Rng rng(5);
   const TravelTimeDistribution ref =
-      ptdr_route_time(city, path, 8, 100000, rng);
+      ptdr_route_time(city, path, 8, smoke ? 20000 : 100000, rng);
   std::printf("PTDR convergence (reference mean %.0f s from 100k samples):\n",
               ref.mean_s);
   Table conv({"samples", "mean err", "p95 err", "per-query cost (MFLOP)"});
   for (std::size_t n : {10, 50, 100, 500, 1000, 5000, 20000}) {
     // Average error over independent repetitions.
     double mean_err = 0.0, p95_err = 0.0;
-    const int reps = 20;
+    const int reps = smoke ? 5 : 20;
     for (int r = 0; r < reps; ++r) {
       Rng rrng(1000 + static_cast<std::uint64_t>(r) * 77 + n);
       const auto d = ptdr_route_time(city, path, 8, n, rrng);

@@ -14,6 +14,8 @@
 #include "dsl/particles.hpp"
 #include "compiler/variants.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::compiler;
 
@@ -48,7 +50,11 @@ std::vector<ProfileCase> cases() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E13: layout x tiling x threading ablation ===\n\n");
   const CpuModel cpu = CpuModel::power9();
 

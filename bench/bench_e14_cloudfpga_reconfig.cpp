@@ -11,10 +11,16 @@
 #include "platform/node.hpp"
 #include "security/taint.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::platform;
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E14: cloudFPGA shell-role reconfiguration (paper §V) "
               "===\n\n");
 

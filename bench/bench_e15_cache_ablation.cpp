@@ -15,6 +15,8 @@
 #include "compiler/transforms.hpp"
 #include "dsl/tensor_expr.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::compiler;
 
@@ -32,7 +34,11 @@ ir::Module make_matmul(std::int64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E15: cache-simulation-backed tiling ablation ===\n\n");
   constexpr std::int64_t kN = 96;  // 3 × 72 KiB arrays
   const CacheConfig l2{64, 64, 8}; // deliberately smaller than the data

@@ -11,6 +11,8 @@
 #include "hls/hls.hpp"
 #include "runtime/demonstrator.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 
 namespace {
@@ -74,7 +76,9 @@ platform::PlatformSpec warmed(platform::PlatformSpec spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E16: multi-node demonstrator (paper SV) ===\n\n");
   runtime::KnowledgeBase kb = build_kb();
   const workflow::TaskGraph graph = build_graph(16);
@@ -84,6 +88,7 @@ int main() {
   Table scale({"cloud nodes", "FPGAs", "makespan cold (ms)",
                "makespan warm (ms)", "warm speedup", "fpga tasks"});
   for (int nodes : {1, 2, 4}) {
+    if (smoke && nodes > 2) continue;
     auto spec = platform::PlatformSpec::everest_reference(nodes, 2, 0);
     runtime::DemonstratorOptions options;
     options.background_cpu_load = 0.85;

@@ -14,6 +14,8 @@
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::serve;
 
@@ -39,8 +41,11 @@ std::string pct(double x) { return fmt_double(100.0 * x, 1) + "%"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E17: concurrent request serving on the EVEREST runtime ===\n\n");
+  const auto horizon = std::chrono::milliseconds(smoke ? 120 : 400);
   const std::vector<Endpoint> endpoints = standard_endpoints();
 
   // --- Series 1: throughput vs offered load, batch-1 vs batch-8 ---------
@@ -59,7 +64,7 @@ int main() {
       WorkloadSpec spec;
       spec.kernels = {"energy_forecast"};
       spec.offered_rps = offered;
-      spec.duration = std::chrono::milliseconds(400);
+      spec.duration = horizon;
       spec.lc_fraction = 0.0;
       spec.lc_deadline_ms = 0.0;
       spec.tp_deadline_ms = 0.0;  // isolate admission from expiry
@@ -97,7 +102,7 @@ int main() {
       WorkloadSpec spec;
       spec.kernels = {"energy_forecast", "aq_dispersion", "ptdr_route"};
       spec.offered_rps = 600.0;
-      spec.duration = std::chrono::milliseconds(400);
+      spec.duration = horizon;
       spec.lc_fraction = 0.0;
       spec.lc_deadline_ms = 0.0;
       spec.tp_deadline_ms = 0.0;
@@ -134,7 +139,7 @@ int main() {
     WorkloadSpec spec;
     spec.kernels = {"energy_forecast"};
     spec.offered_rps = 3000.0;
-    spec.duration = std::chrono::milliseconds(400);
+    spec.duration = horizon;
     spec.lc_fraction = 0.0;
     spec.lc_deadline_ms = 0.0;
     spec.tp_deadline_ms = 0.0;
@@ -170,7 +175,7 @@ int main() {
     WorkloadSpec spec;
     spec.kernels = {"energy_forecast", "aq_dispersion", "ptdr_route"};
     spec.offered_rps = offered;
-    spec.duration = std::chrono::milliseconds(400);
+    spec.duration = horizon;
     spec.lc_fraction = 0.3;
     spec.lc_deadline_ms = 50.0;
     spec.tp_deadline_ms = 500.0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "smoke.hpp"
 #include "common/table.hpp"
 #include "resilience/fault_plan.hpp"
 #include "serve/server.hpp"
@@ -58,7 +59,7 @@ double mean(const std::vector<double>& v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
   std::printf("=== E18: fault injection, detection, and degradation ===\n\n");
 
   // --- Series 1: transient faults — retry strategy ------------------------

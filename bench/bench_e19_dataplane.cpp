@@ -1,0 +1,266 @@
+// E19 — the virtualized data plane quantified (paper Fig. 2: the runtime
+// "manages the data movement between the nodes"; §III-A aims to "improve
+// resource utilization and reduce the overall workflow processing time").
+//
+// Series 1: locality-aware vs locality-blind scheduling on transfer-bound
+//           graphs — data gravity strictly reduces simulated fetch bytes
+//           and, when transfers dominate compute, makespan.
+// Series 2: serve-side input cache — warm replicas for a Zipf-skewed
+//           object mix raise goodput over the cold path at bounded p99.
+// Series 3: eviction-policy ablation — LRU vs LFU vs cost-aware hit rate
+//           on the same skewed trace; the policy choice is measurable.
+//
+// `--smoke` shrinks the series for CI and self-checks the acceptance
+// criteria via the exit code.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "data/cache.hpp"
+#include "data/plane.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "workflow/scheduler.hpp"
+#include "workflow/task_graph.hpp"
+
+#include "smoke.hpp"
+
+using namespace everest;
+using namespace everest::serve;
+using namespace everest::workflow;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+
+std::vector<WorkerSpec> pool(std::size_t n) {
+  std::vector<WorkerSpec> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.push_back({"w" + std::to_string(i), 10.0, 1.0, 10.0});
+  }
+  return workers;
+}
+
+struct PlaneRun {
+  double makespan_ms = 0.0;
+  double fetched_mb = 0.0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+PlaneRun run_plane(const TaskGraph& graph, std::size_t workers,
+                   const data::PlaneConfig& plane, bool locality_aware) {
+  SimulationOptions options;
+  options.scheduler = SchedulerKind::kWorkStealing;
+  options.seed = kSeed;
+  options.data_plane = &plane;
+  options.locality_aware = locality_aware;
+  const auto outcome = simulate_schedule(graph, pool(workers), options);
+  PlaneRun run;
+  if (!outcome.ok()) {
+    std::printf("simulate failed: %s\n", outcome.status().to_string().c_str());
+    return run;
+  }
+  run.makespan_ms = outcome.value().makespan_us / 1e3;
+  run.fetched_mb = outcome.value().plane.bytes_fetched / 1e6;
+  run.local_hits = outcome.value().plane.local_hits;
+  run.cache_hits = outcome.value().plane.cache_hits;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+  int failures = 0;
+
+  std::printf("=== E19: virtualized data plane ===\n\n");
+
+  // --- Series 1: locality-aware vs blind on transfer-bound graphs --------
+  std::printf("--- data gravity vs round-robin (work stealing, 6 workers, "
+              "UDP fabric) ---\n");
+  data::PlaneConfig plane;
+  plane.cache_bytes = 64.0 * 1024 * 1024;
+  plane.shard_limit_bytes = 4.0 * 1024 * 1024;
+
+  struct GraphCase {
+    const char* name;
+    TaskGraph graph;
+  };
+  std::vector<GraphCase> cases;
+  {
+    // Lane counts are kept coprime with the 6-worker pool so round-robin
+    // has no accidental lane affinity.
+    const std::size_t lanes = smoke ? 7 : 13;
+    const std::size_t stages = smoke ? 5 : 8;
+    // Chains of cheap tasks handing off fat outputs: every off-node hop
+    // is pure waste a gravity scheduler avoids.
+    cases.push_back({"pipeline",
+                     TaskGraph::pipeline(stages, lanes, 1e7, 8e6)});
+    // Partial shuffle: each reducer reads a window of 3 mappers with
+    // skewed output sizes, so "where the biggest input lives" differs
+    // per reducer — the signal gravity exploits.
+    {
+      TaskGraph shuffle;
+      const std::size_t mappers = smoke ? 8 : 16;
+      const std::size_t reducers = smoke ? 7 : 13;
+      for (std::size_t m = 0; m < mappers; ++m) {
+        TaskNode node;
+        node.name = "map" + std::to_string(m);
+        node.flops = 1e7;
+        node.output_bytes = (4.0 + double((m * 5) % 9)) * 2e6;
+        shuffle.add_task(node);
+      }
+      for (std::size_t r = 0; r < reducers; ++r) {
+        TaskNode node;
+        node.name = "reduce" + std::to_string(r);
+        node.flops = 1e7;
+        node.output_bytes = 1e6;
+        for (std::size_t k = 0; k < 3; ++k) {
+          node.deps.push_back((r + k) % mappers);
+        }
+        shuffle.add_task(node);
+      }
+      cases.push_back({"shuffle", std::move(shuffle)});
+    }
+    Rng rng(kSeed);
+    cases.push_back({"layered",
+                     TaskGraph::random_layered(smoke ? 4 : 6, smoke ? 7 : 13,
+                                               3, rng, 1e7, 8e6)});
+  }
+  Table s1({"graph", "placement", "fetched MB", "local hits", "cache hits",
+            "makespan ms"});
+  for (const GraphCase& c : cases) {
+    const PlaneRun blind = run_plane(c.graph, 6, plane, false);
+    const PlaneRun aware = run_plane(c.graph, 6, plane, true);
+    s1.add_row({c.name, "round-robin", fmt_double(blind.fetched_mb, 1),
+                std::to_string(blind.local_hits),
+                std::to_string(blind.cache_hits),
+                fmt_double(blind.makespan_ms, 1)});
+    s1.add_row({c.name, "data gravity", fmt_double(aware.fetched_mb, 1),
+                std::to_string(aware.local_hits),
+                std::to_string(aware.cache_hits),
+                fmt_double(aware.makespan_ms, 1)});
+    if (smoke && !(aware.fetched_mb < blind.fetched_mb)) {
+      std::printf("SMOKE FAIL: %s: gravity fetched %.2f MB, blind %.2f MB "
+                  "(expected strictly less)\n",
+                  c.name, aware.fetched_mb, blind.fetched_mb);
+      ++failures;
+    }
+  }
+  std::printf("%s\n", s1.render().c_str());
+  std::printf("placing tasks where their largest input lives turns remote\n"
+              "fetches into local reads; on transfer-bound graphs that is\n"
+              "most of the traffic.\n\n");
+
+  // --- Series 2: serve input cache under a Zipf-skewed object mix --------
+  std::printf("--- serve goodput, cold vs warm input path (open loop, "
+              "Zipf %.1f over %d objects, WAN input link) ---\n",
+              1.1, 64);
+  Table s2({"input cache", "achieved rps", "p99 ms", "input hit rate",
+            "stall ms total"});
+  double cold_rps = 0.0, warm_rps = 0.0;
+  for (const bool warm : {false, true}) {
+    ServerOptions options;
+    options.worker_threads = 2;
+    options.queue_capacity = 256;
+    options.batch.max_batch = 4;
+    options.batch.max_wait = std::chrono::microseconds(500);
+    options.input_link = platform::LinkModel::edge_wan();
+    if (warm) {
+      options.input_cache.capacity_bytes = 32.0 * 1024 * 1024;
+      options.input_cache.policy = data::EvictionPolicy::kLru;
+    }
+    runtime::KnowledgeBase kb;
+    Server server(options, &kb);
+    for (const Endpoint& ep : standard_endpoints()) {
+      (void)server.register_endpoint(ep);
+    }
+    (void)server.start();
+    WorkloadSpec spec;
+    spec.kernels = {"energy_forecast"};
+    spec.offered_rps = smoke ? 300.0 : 600.0;
+    spec.duration = std::chrono::milliseconds(smoke ? 150 : 400);
+    spec.lc_fraction = 0.0;
+    spec.lc_deadline_ms = 0.0;
+    spec.tp_deadline_ms = 0.0;
+    spec.seed = kSeed;
+    spec.num_data_objects = 64;
+    spec.zipf_skew = 1.1;
+    spec.input_bytes = 256.0 * 1024;
+    const LoadReport report = run_open_loop(server, spec);
+    const MetricsSnapshot snap = server.metrics().snapshot();
+    server.stop();
+    (warm ? warm_rps : cold_rps) = report.achieved_rps();
+    s2.add_row({warm ? "32 MiB LRU" : "off (cold)",
+                fmt_double(report.achieved_rps(), 0),
+                fmt_double(report.p99_us() / 1e3, 2),
+                fmt_double(100.0 * snap.input_hit_rate(), 1) + "%",
+                fmt_double(snap.input_stall_us / 1e3, 1)});
+  }
+  std::printf("%s\n", s2.render().c_str());
+  if (smoke && !(warm_rps > cold_rps)) {
+    std::printf("SMOKE FAIL: warm goodput %.1f rps <= cold %.1f rps\n",
+                warm_rps, cold_rps);
+    ++failures;
+  }
+  std::printf("the hot keys of the skewed mix stay resident, so most\n"
+              "requests skip the WAN stall entirely; the cold path pays it\n"
+              "on every batch.\n\n");
+
+  // --- Series 3: eviction-policy ablation --------------------------------
+  std::printf("--- eviction policy vs hit rate (Zipf 0.9 trace over mixed "
+              "object sizes, 1 MiB cache) ---\n");
+  const std::size_t num_objects = 200;
+  const std::size_t draws = smoke ? 20000 : 100000;
+  Table s3({"policy", "hit rate", "evictions", "MB evicted"});
+  double min_rate = 1.0, max_rate = 0.0;
+  for (const auto& [label, policy] :
+       {std::pair<const char*, data::EvictionPolicy>
+            {"LRU", data::EvictionPolicy::kLru},
+        {"LFU", data::EvictionPolicy::kLfu},
+        {"cost-aware", data::EvictionPolicy::kCostAware}}) {
+    data::CacheConfig config;
+    config.capacity_bytes = 1.0 * 1024 * 1024;
+    config.policy = policy;
+    data::Cache cache(config);
+    ZipfSampler zipf(num_objects, 0.9);
+    Rng rng(kSeed);
+    for (std::size_t i = 0; i < draws; ++i) {
+      const std::size_t obj = zipf.sample(rng);
+      const data::ShardKey key{obj, 0, 0};
+      // Sizes and refetch costs vary per object, decorrelated from
+      // popularity — the axis the policies disagree on.
+      const double bytes = (1.0 + double((obj * 7) % 13)) * 16.0 * 1024;
+      const double cost_us = (1.0 + double((obj * 3) % 7)) * 250.0;
+      if (!cache.lookup(key)) {
+        (void)cache.insert(key, bytes, cost_us);
+      }
+    }
+    const data::CacheStats stats = cache.stats();
+    min_rate = std::min(min_rate, stats.hit_rate());
+    max_rate = std::max(max_rate, stats.hit_rate());
+    s3.add_row({label, fmt_double(100.0 * stats.hit_rate(), 2) + "%",
+                std::to_string(stats.evictions),
+                fmt_double(stats.bytes_evicted / 1e6, 1)});
+  }
+  std::printf("%s\n", s3.render().c_str());
+  if (smoke && !(max_rate - min_rate >= 0.005)) {
+    std::printf("SMOKE FAIL: hit-rate spread %.4f < 0.005 — policies "
+                "indistinguishable\n", max_rate - min_rate);
+    ++failures;
+  }
+  std::printf("with sizes and refetch costs decorrelated from popularity,\n"
+              "what a policy keeps under pressure changes the hit rate —\n"
+              "the ablation the plane's per-node cache knob exposes.\n\n");
+
+  if (smoke) {
+    std::printf(failures == 0 ? "E19 smoke: all self-checks passed.\n"
+                              : "E19 smoke: %d self-check(s) FAILED.\n",
+                failures);
+  }
+  std::printf("E19 done.\n");
+  return failures;
+}

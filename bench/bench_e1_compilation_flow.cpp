@@ -18,6 +18,8 @@
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 
 namespace {
@@ -99,7 +101,11 @@ void run_kernel_through_flow(const char* label, dsl::TensorProgram& program) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E1: data-driven compilation flow (paper Fig. 1) ===\n\n");
 
   {

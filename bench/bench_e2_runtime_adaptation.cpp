@@ -13,6 +13,8 @@
 #include "runtime/autotuner.hpp"
 #include "runtime/knowledge.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using compiler::TargetKind;
 using compiler::Variant;
@@ -42,7 +44,9 @@ struct Phase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E2: virtualized runtime adaptation (paper Fig. 2) ===\n\n");
 
   runtime::KnowledgeBase kb;
@@ -66,13 +70,14 @@ int main() {
   both.cpu_load = 0.85;
   both.fpga_queue_depth = 4.0;
 
+  const int invocations = smoke ? 40 : 200;
   const Phase phases[] = {
-      {"idle", idle, 200},
-      {"cpu-contention", contended, 200},
-      {"fpga-congestion", congested, 200},
+      {"idle", idle, invocations},
+      {"cpu-contention", contended, invocations},
+      {"fpga-congestion", congested, invocations},
       {"security-incident", incident, 150},
-      {"mixed-pressure", both, 200},
-      {"calm-again", idle, 200},
+      {"mixed-pressure", both, invocations},
+      {"calm-again", idle, invocations},
   };
 
   // Ground truth latency of a variant in a state (what execution would

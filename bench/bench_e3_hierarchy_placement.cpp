@@ -12,6 +12,8 @@
 #include "platform/executor.hpp"
 #include "platform/node.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::platform;
 
@@ -54,7 +56,11 @@ double window_energy_uj(const NodeSpec& node, double latency_us) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E3: hierarchy placement (paper Fig. 3) ===\n\n");
   PlatformSpec spec = PlatformSpec::everest_reference(1, 0, 1);
   // Add an endpoint-class node (weak CPU, co-located with the sensor).

@@ -12,6 +12,8 @@
 #include "platform/links.hpp"
 #include "platform/node.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::platform;
 
@@ -33,7 +35,11 @@ compiler::Variant offload_variant(const std::string& device, double bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E4: bus-attached vs network-attached FPGA (Fig. 4) ===\n\n");
 
   // --- Series 1: transfer-size sweep -------------------------------------

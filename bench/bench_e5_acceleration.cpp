@@ -13,6 +13,8 @@
 #include "dsl/tensor_expr.hpp"
 #include "hls/hls.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 
 namespace {
@@ -64,7 +66,11 @@ std::vector<KernelCase> make_cases() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E5: hardware acceleration of use-case kernels ===\n\n");
   Table table({"kernel", "P9 CPU us", "edge CPU us", "FPGA us",
                "vs edge", "P9 uJ", "FPGA uJ", "energy", "hw wins on"});

@@ -13,6 +13,8 @@
 #include "ir/builder.hpp"
 #include "ir/dialect.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::hls;
 
@@ -49,7 +51,11 @@ ir::Module make_stream_kernel(std::int64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E6: memory partitioning and multi-port memories ===\n\n");
   constexpr std::int64_t kN = 4096;
   ir::Module m = make_stream_kernel(kN);

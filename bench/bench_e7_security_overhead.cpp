@@ -16,9 +16,15 @@
 #include "security/aes.hpp"
 #include "security/anomaly.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepted for uniformity; this experiment's fixed series are
+  // already CI-scale, so smoke mode changes nothing.
+  (void)everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E7: security features — overhead and detection ===\n\n");
 
   // --- Series 1: DIFT overhead on the use-case kernels -------------------

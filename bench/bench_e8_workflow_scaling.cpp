@@ -13,6 +13,8 @@
 #include "workflow/scheduler.hpp"
 #include "workflow/task_graph.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using namespace everest::workflow;
 
@@ -28,7 +30,9 @@ std::vector<WorkerSpec> pool(std::size_t n, double gflops = 10.0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E8: workflow engine scaling (HyperLoom role) ===\n\n");
 
   // --- Series 1: strong scaling ------------------------------------------
@@ -85,6 +89,7 @@ int main() {
   Table size_table({"tasks", "makespan (s)", "sim wall time (ms)",
                     "tasks/sim-ms"});
   for (std::size_t width : {1000, 10000, 50000, 100000}) {
+    if (smoke && width > 10000) continue;
     TaskGraph big = TaskGraph::map_reduce(width, 32, 5e7, 2e8, 1e5);
     SimulationOptions options;
     options.scheduler = SchedulerKind::kFifo;  // HEFT rank is O(V+E), fine too

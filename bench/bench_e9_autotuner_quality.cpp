@@ -16,6 +16,8 @@
 #include "runtime/autotuner.hpp"
 #include "runtime/knowledge.hpp"
 
+#include "smoke.hpp"
+
 using namespace everest;
 using compiler::TargetKind;
 using compiler::Variant;
@@ -44,7 +46,9 @@ std::vector<Variant> variant_set() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+
   std::printf("=== E9: autotuner decision quality (mARGOt role) ===\n\n");
 
   // --- Series 1: regret under drifting load -------------------------------
@@ -54,7 +58,7 @@ int main() {
     runtime::Autotuner tuner(&kb);
     Rng rng(11);
     double tuned = 0.0, oracle = 0.0, fixed_cpu = 0.0, fixed_fpga = 0.0;
-    const int steps = 2000;
+    const int steps = smoke ? 300 : 2000;
     for (int t = 0; t < steps; ++t) {
       runtime::SystemState state;
       // Slow sinusoidal drift of CPU load plus FPGA queue bursts.

@@ -1,0 +1,19 @@
+// Uniform `--smoke` handling for the bench_e* report binaries: one shared
+// parser so every experiment accepts the same flag the same way. In smoke
+// mode a bench shrinks its series to CI scale and — where the experiment
+// defines an acceptance criterion — self-checks it via the exit code
+// (ctest runs the *_smoke tests this way).
+#pragma once
+
+#include <cstring>
+
+namespace everest::bench {
+
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace everest::bench

@@ -2,6 +2,7 @@
 // the HLS CDFG, and the traffic road network.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -63,6 +64,47 @@ class Digraph {
   }
 
   [[nodiscard]] bool has_cycle() const { return !topological_order().has_value(); }
+
+  /// Execution frontier: nodes not yet done whose predecessors are all
+  /// done — exactly the set a DAG executor may dispatch next. `done`
+  /// must have num_nodes() entries. Ascending node order.
+  [[nodiscard]] std::vector<std::size_t> frontier(
+      const std::vector<char>& done) const {
+    std::vector<std::size_t> out;
+    for (std::size_t n = 0; n < num_nodes(); ++n) {
+      if (done[n] != 0) continue;
+      bool ready = true;
+      for (std::size_t p : pred_[n]) {
+        if (done[p] == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) out.push_back(n);
+    }
+    return out;
+  }
+
+  /// Nodes within `depth` frontier waves of becoming ready: wave 1 is
+  /// frontier(done); wave k+1 is the frontier once waves 1..k are
+  /// (hypothetically) complete. The prefetcher stages inputs for these
+  /// ahead of dispatch. depth <= 0 yields {}. Ascending node order.
+  [[nodiscard]] std::vector<std::size_t> frontier_within(
+      const std::vector<char>& done, int depth) const {
+    std::vector<std::size_t> out;
+    if (depth <= 0) return out;
+    std::vector<char> visited = done;
+    for (int wave = 0; wave < depth; ++wave) {
+      const std::vector<std::size_t> next = frontier(visited);
+      if (next.empty()) break;
+      for (std::size_t n : next) {
+        visited[n] = 1;
+        out.push_back(n);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
   /// Longest path length in edges from any source (DAG only; 0 on cycle).
   [[nodiscard]] std::size_t critical_path_length() const {

@@ -3,6 +3,7 @@
 // explicit Rng so experiments are reproducible bit-for-bit.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cmath>
 #include <vector>
@@ -147,6 +148,36 @@ class Rng {
   std::uint64_t state_[4] = {};
   double cached_ = 0.0;
   bool has_cached_ = false;
+};
+
+/// Zipf-distributed rank sampler: P(k) ∝ 1/(k+1)^skew over ranks
+/// [0, n). The CDF is precomputed once; each draw is one uniform plus a
+/// binary search. skew 0 degenerates to uniform; skew ≈ 1 matches
+/// typical hot-key skew in serving workloads. Immutable after
+/// construction, so one instance may be shared across threads (each
+/// caller brings its own Rng).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+      cdf_[k] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
 };
 
 }  // namespace everest

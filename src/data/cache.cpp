@@ -1,0 +1,125 @@
+#include "data/cache.hpp"
+
+#include <limits>
+
+namespace everest::data {
+
+std::string_view to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kLfu: return "lfu";
+    case EvictionPolicy::kCostAware: return "cost-aware";
+  }
+  return "?";
+}
+
+bool Cache::lookup(const ShardKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  it->second.last_use = ++seq_;
+  ++it->second.uses;
+  return true;
+}
+
+std::map<ShardKey, Cache::Entry>::iterator Cache::pick_victim() {
+  auto victim = entries_.end();
+  double victim_score = std::numeric_limits<double>::infinity();
+  std::uint64_t victim_recency = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const Entry& e = it->second;
+    double s = 0.0;
+    switch (config_.policy) {
+      case EvictionPolicy::kLru:
+        s = static_cast<double>(e.last_use);
+        break;
+      case EvictionPolicy::kLfu:
+        s = static_cast<double>(e.uses);
+        break;
+      case EvictionPolicy::kCostAware:
+        // Cheapest refetch value retained per byte goes first.
+        s = e.refetch_cost_us * static_cast<double>(e.uses) /
+            (e.bytes > 0.0 ? e.bytes : 1.0);
+        break;
+    }
+    // Strictly-lower score wins; ties break on older recency, which the
+    // map's deterministic iteration order already fixes for equal ages.
+    if (victim == entries_.end() || s < victim_score ||
+        (s == victim_score && e.last_use < victim_recency)) {
+      victim = it;
+      victim_score = s;
+      victim_recency = e.last_use;
+    }
+  }
+  return victim;
+}
+
+void Cache::evict_until_fits(double incoming_bytes) {
+  while (!entries_.empty() &&
+         resident_bytes_ + incoming_bytes > config_.capacity_bytes) {
+    auto victim = pick_victim();
+    resident_bytes_ -= victim->second.bytes;
+    stats_.bytes_evicted += victim->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+Status Cache::insert(const ShardKey& key, double bytes,
+                     double refetch_cost_us) {
+  if (config_.capacity_bytes <= 0.0 || bytes > config_.capacity_bytes) {
+    ++stats_.uncacheable;
+    return ResourceExhausted("shard " + key.to_string() + " (" +
+                             std::to_string(bytes) +
+                             " bytes) exceeds cache capacity");
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh in place (a racing fetch completed twice).
+    it->second.last_use = ++seq_;
+    it->second.refetch_cost_us = refetch_cost_us;
+    return OkStatus();
+  }
+  evict_until_fits(bytes);
+  Entry e;
+  e.bytes = bytes;
+  e.refetch_cost_us = refetch_cost_us;
+  e.last_use = ++seq_;
+  e.uses = 1;
+  entries_.emplace(key, e);
+  resident_bytes_ += bytes;
+  ++stats_.inserts;
+  return OkStatus();
+}
+
+bool Cache::erase(const ShardKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  resident_bytes_ -= it->second.bytes;
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t Cache::invalidate_object(ObjectId object, std::uint64_t version) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.object == object && it->first.version < version) {
+      resident_bytes_ -= it->second.bytes;
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void Cache::clear() {
+  entries_.clear();
+  resident_bytes_ = 0.0;
+}
+
+}  // namespace everest::data

@@ -1,0 +1,108 @@
+// Per-node shard cache: byte-capacity bounded, with pluggable eviction
+// (LRU / LFU / cost-aware) and full hit/miss/eviction accounting. The
+// cache holds *transient* copies staged by the transfer scheduler or the
+// prefetcher — durable replicas live with the PlacementPolicy. Recency
+// and insertion are tracked with logical sequence numbers, not wall
+// time, so the same access trace always produces the same victims (the
+// determinism the TEST_P suite asserts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "data/object.hpp"
+
+namespace everest::data {
+
+enum class EvictionPolicy : std::uint8_t {
+  /// Evict the least-recently-used entry.
+  kLru = 0,
+  /// Evict the least-frequently-used entry (ties: least recent).
+  kLfu,
+  /// Evict the entry that is cheapest to refetch per byte retained
+  /// (score = refetch_cost_us * uses / bytes; lowest goes first) — keeps
+  /// expensive-to-restage shards even when they are cold.
+  kCostAware,
+};
+
+std::string_view to_string(EvictionPolicy policy);
+
+struct CacheConfig {
+  double capacity_bytes = 0.0;  ///< 0 disables the cache entirely
+  EvictionPolicy policy = EvictionPolicy::kLru;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  /// Insert attempts rejected because one shard exceeds the capacity.
+  std::uint64_t uncacheable = 0;
+  double bytes_evicted = 0.0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Single-owner cache (the data plane serializes access; the serve layer
+/// wraps one in a mutex).
+class Cache {
+ public:
+  explicit Cache(CacheConfig config) : config_(config) {}
+
+  /// Lookup with accounting: a hit refreshes recency/frequency and
+  /// returns true; a miss only counts. Version mismatches are misses (a
+  /// stale key can never hit — the version is part of the key).
+  bool lookup(const ShardKey& key);
+
+  /// Peek without touching counters or recency (internal bookkeeping).
+  [[nodiscard]] bool contains(const ShardKey& key) const {
+    return entries_.count(key) != 0;
+  }
+
+  /// Inserts (or refreshes) a shard copy, evicting by policy until it
+  /// fits. `refetch_cost_us` is what a future miss would pay (feeds the
+  /// cost-aware policy). Returns RESOURCE_EXHAUSTED — and caches nothing
+  /// — when the shard alone exceeds the capacity.
+  Status insert(const ShardKey& key, double bytes, double refetch_cost_us);
+
+  /// Drops one entry; false if absent. Not counted as an eviction.
+  bool erase(const ShardKey& key);
+
+  /// Drops every entry of `object` with version < `version` (invalidation
+  /// after recomputation). Returns entries dropped.
+  std::size_t invalidate_object(ObjectId object, std::uint64_t version);
+
+  /// Drops everything (node crash).
+  void clear();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] double resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    double bytes = 0.0;
+    double refetch_cost_us = 0.0;
+    std::uint64_t last_use = 0;  ///< logical sequence of the last touch
+    std::uint64_t uses = 0;
+  };
+
+  /// Policy victim among current entries; entries_.end() when empty.
+  std::map<ShardKey, Entry>::iterator pick_victim();
+  void evict_until_fits(double incoming_bytes);
+
+  CacheConfig config_;
+  std::map<ShardKey, Entry> entries_;
+  double resident_bytes_ = 0.0;
+  std::uint64_t seq_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace everest::data

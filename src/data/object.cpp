@@ -1,0 +1,63 @@
+#include "data/object.hpp"
+
+#include <cmath>
+
+namespace everest::data {
+
+std::string ShardKey::to_string() const {
+  return std::to_string(object) + "/" + std::to_string(shard) + "@v" +
+         std::to_string(version);
+}
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t hash_key(const ShardKey& key, std::uint64_t salt) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, key.object);
+  h = fnv_mix(h, key.shard);
+  h = fnv_mix(h, key.version);
+  h = fnv_mix(h, salt);
+  return h;
+}
+
+ObjectId object_id_from_name(const std::string& name) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+double DataObject::shard_bytes(std::uint32_t i) const {
+  if (num_shards == 0 || i >= num_shards) return 0.0;
+  const double even = total_bytes / num_shards;
+  if (i + 1 < num_shards) return even;
+  return total_bytes - even * (num_shards - 1);
+}
+
+std::vector<ShardKey> DataObject::keys() const {
+  std::vector<ShardKey> out;
+  out.reserve(num_shards);
+  for (std::uint32_t i = 0; i < num_shards; ++i) out.push_back(key(i));
+  return out;
+}
+
+std::uint32_t shard_count(double total_bytes, double shard_limit_bytes) {
+  if (total_bytes <= 0.0 || shard_limit_bytes <= 0.0) return 1;
+  return static_cast<std::uint32_t>(
+      std::ceil(total_bytes / shard_limit_bytes));
+}
+
+}  // namespace everest::data

@@ -1,0 +1,71 @@
+// Virtualized data objects (paper Fig. 2: the runtime "manages the data
+// movement between the nodes"). A DataObject is the unit the workflow and
+// serving layers name; it is split into Shards — the unit of placement,
+// replication, caching, and transfer. Objects carry a content version:
+// recomputing an object after loss bumps the version, so every replica or
+// cache entry of the dead version is invalidated exactly, never a byte
+// more (resilience::lineage decides *what* to recompute; versions decide
+// *which copies* may still be served).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace everest::data {
+
+/// Stable object identity. The workflow layer uses the producing task's
+/// index; the serving layer hashes tenant data keys.
+using ObjectId = std::uint64_t;
+
+/// One shard of one object at one content version. This triple is the
+/// cache/transfer key: a version bump makes every key of the old content
+/// unreachable.
+struct ShardKey {
+  ObjectId object = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t version = 0;
+
+  friend bool operator==(const ShardKey& a, const ShardKey& b) {
+    return a.object == b.object && a.shard == b.shard &&
+           a.version == b.version;
+  }
+  friend bool operator<(const ShardKey& a, const ShardKey& b) {
+    if (a.object != b.object) return a.object < b.object;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.version < b.version;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// FNV-1a over the key triple — used for rendezvous placement and for
+/// hashing tenant data keys into ObjectIds. Deterministic across runs.
+[[nodiscard]] std::uint64_t hash_key(const ShardKey& key,
+                                     std::uint64_t salt = 0);
+[[nodiscard]] ObjectId object_id_from_name(const std::string& name);
+
+/// Descriptor of one logical data object (no payload — the SDK simulates
+/// movement, not contents).
+struct DataObject {
+  ObjectId id = 0;
+  double total_bytes = 0.0;
+  std::uint32_t num_shards = 1;
+  /// Content version; bumped when the object is invalidated/recomputed.
+  std::uint64_t version = 0;
+  /// Producing task/endpoint (debug, lineage display).
+  std::string producer;
+
+  /// Bytes of shard `i` (last shard takes the remainder).
+  [[nodiscard]] double shard_bytes(std::uint32_t i) const;
+  [[nodiscard]] ShardKey key(std::uint32_t shard) const {
+    return ShardKey{id, shard, version};
+  }
+  [[nodiscard]] std::vector<ShardKey> keys() const;
+};
+
+/// Splits `total_bytes` into ceil(total/shard_limit) shards of at most
+/// `shard_limit_bytes` each (at least one shard, even for empty objects).
+[[nodiscard]] std::uint32_t shard_count(double total_bytes,
+                                        double shard_limit_bytes);
+
+}  // namespace everest::data

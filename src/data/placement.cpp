@@ -1,0 +1,80 @@
+#include "data/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace everest::data {
+
+PlacementPolicy::PlacementPolicy(std::vector<StorageNode> nodes,
+                                 PlacementConfig config)
+    : nodes_(std::move(nodes)), config_(std::move(config)) {
+  if (config_.replication < 1) config_.replication = 1;
+}
+
+double PlacementPolicy::score(const ShardKey& key, std::size_t node) const {
+  // Weighted rendezvous (Thaler/Ravishankar with capacity weights):
+  // score = -weight / ln(u), u uniform in (0,1) from the pair hash.
+  // Larger capacity → stochastically higher scores → more shards.
+  const std::uint64_t h =
+      hash_key(key, config_.salt ^ (0x9E3779B97F4A7C15ULL * (node + 1)));
+  const double u =
+      (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+  const double weight = std::max(1.0, nodes_[node].capacity_bytes);
+  return -weight / std::log(u);
+}
+
+Result<std::vector<std::size_t>> PlacementPolicy::place(
+    const ShardKey& key, double bytes, std::size_t born_on) {
+  std::vector<std::size_t> chosen;
+  auto take = [&](std::size_t n) {
+    if (std::find(chosen.begin(), chosen.end(), n) != chosen.end()) {
+      return false;
+    }
+    if (!nodes_[n].fits(bytes)) return false;
+    nodes_[n].used_bytes += bytes;
+    chosen.push_back(n);
+    return true;
+  };
+
+  // 1. Birthplace first: a task output starts on the node that made it.
+  if (born_on != kNowhere && born_on < nodes_.size()) take(born_on);
+
+  // 2. Affinity pin, if the object has one.
+  const auto aff = config_.affinity.find(key.object);
+  if (aff != config_.affinity.end() && aff->second < nodes_.size() &&
+      chosen.size() < static_cast<std::size_t>(config_.replication)) {
+    take(aff->second);
+  }
+
+  // 3. Rendezvous winners for the remaining replicas.
+  std::vector<std::size_t> order(nodes_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return score(key, a) > score(key, b);
+                   });
+  for (std::size_t n : order) {
+    if (chosen.size() >= static_cast<std::size_t>(config_.replication)) break;
+    take(n);
+  }
+
+  if (chosen.empty()) {
+    return ResourceExhausted("no living node can hold shard " +
+                             key.to_string() + " (" +
+                             std::to_string(bytes) + " bytes)");
+  }
+  return chosen;
+}
+
+void PlacementPolicy::release(std::size_t node, double bytes) {
+  if (node >= nodes_.size()) return;
+  nodes_[node].used_bytes = std::max(0.0, nodes_[node].used_bytes - bytes);
+}
+
+void PlacementPolicy::set_failed(std::size_t node, bool failed) {
+  if (node >= nodes_.size()) return;
+  nodes_[node].failed = failed;
+  if (failed) nodes_[node].used_bytes = 0.0;
+}
+
+}  // namespace everest::data

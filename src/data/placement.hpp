@@ -1,0 +1,79 @@
+// Shard placement over node memories (paper §IV: the virtualized runtime
+// decides "where data reside" across the Fig. 3 hierarchy). Placement is
+// capacity-aware weighted rendezvous hashing: every (shard, node) pair
+// gets a deterministic score from the shard key and the node's weight;
+// the top `replication` living nodes that still have room win. Rendezvous
+// keeps placement stable — adding or failing one node only moves the
+// shards that scored it highest — and needs no coordination state beyond
+// the node table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/object.hpp"
+
+namespace everest::data {
+
+/// One placement target: a node memory with finite capacity.
+struct StorageNode {
+  std::string name;
+  double capacity_bytes = 1e18;
+  double used_bytes = 0.0;
+  /// Failed nodes receive no new shards and hold no replicas.
+  bool failed = false;
+
+  [[nodiscard]] bool fits(double bytes) const {
+    return !failed && used_bytes + bytes <= capacity_bytes;
+  }
+};
+
+struct PlacementConfig {
+  /// Copies per shard (>= 1). The first replica of a task output is
+  /// always the producing node (data is born there); extras go to the
+  /// rendezvous winners.
+  int replication = 1;
+  /// Per-object pinning: object → node index that must hold a replica
+  /// (tenant locality, licensed data). Ignored if the node is full/dead.
+  std::map<ObjectId, std::size_t> affinity;
+  /// Salt decorrelating this deployment's rendezvous scores.
+  std::uint64_t salt = 0x5eedULL;
+};
+
+/// Deterministic, capacity-aware replica chooser. Not thread-safe (one
+/// instance per simulation / behind the owner's lock).
+class PlacementPolicy {
+ public:
+  PlacementPolicy(std::vector<StorageNode> nodes, PlacementConfig config);
+
+  /// Chooses the replica set for one shard. `born_on` (node index, or
+  /// kNowhere) is preferred as the first replica. Returns the chosen node
+  /// indices (deduplicated, at most `replication`, possibly fewer when
+  /// capacity/liveness constrain) and charges their capacity. Fails with
+  /// RESOURCE_EXHAUSTED when no living node can hold the shard.
+  Result<std::vector<std::size_t>> place(const ShardKey& key, double bytes,
+                                         std::size_t born_on = kNowhere);
+
+  /// Returns a shard's bytes to a node (eviction, invalidation).
+  void release(std::size_t node, double bytes);
+
+  void set_failed(std::size_t node, bool failed);
+  [[nodiscard]] const StorageNode& node(std::size_t i) const {
+    return nodes_[i];
+  }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Rendezvous score of `key` on `node` (higher wins); exposed for tests.
+  [[nodiscard]] double score(const ShardKey& key, std::size_t node) const;
+
+  static constexpr std::size_t kNowhere = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<StorageNode> nodes_;
+  PlacementConfig config_;
+};
+
+}  // namespace everest::data

@@ -1,0 +1,270 @@
+#include "data/plane.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace everest::data {
+
+std::string PlaneStats::to_string() const {
+  std::ostringstream os;
+  os << "local=" << local_hits << " hit=" << cache_hits
+     << " miss=" << cache_misses << " evict=" << evictions
+     << " xfer=" << transfers_issued << " dedup=" << transfers_deduped
+     << " pf=" << prefetch_issued << "/" << prefetch_useful
+     << " lost=" << objects_lost << " repoint=" << reads_repointed
+     << " fetchMB=" << bytes_fetched / (1024.0 * 1024.0)
+     << " replMB=" << bytes_replicated / (1024.0 * 1024.0);
+  return os.str();
+}
+
+namespace {
+
+std::vector<StorageNode> make_nodes(const PlaneConfig& config) {
+  std::vector<StorageNode> nodes(config.num_nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].name = "node" + std::to_string(i);
+    nodes[i].capacity_bytes = config.node_capacity_bytes;
+  }
+  return nodes;
+}
+
+PlacementConfig make_placement_config(const PlaneConfig& config) {
+  PlacementConfig pc = config.placement;
+  pc.replication = config.replication;  // PlaneConfig is authoritative
+  return pc;
+}
+
+}  // namespace
+
+DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
+    : sim_(&sim),
+      config_(config),
+      placement_(make_nodes(config), make_placement_config(config)),
+      xfer_(sim, [link = config.link](std::size_t, std::size_t) {
+        return link;
+      }) {
+  caches_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    caches_.push_back(std::make_unique<Cache>(
+        CacheConfig{config_.cache_bytes, config_.eviction}));
+  }
+}
+
+void DataPlane::put(ObjectId id, double bytes, std::size_t node,
+                    std::string producer) {
+  DataObject* obj;
+  auto it = objects_.find(id);
+  if (it != objects_.end()) {
+    // Fresh content supersedes whatever copies remain: release them and
+    // stale their version so no cached shard of the old content can hit.
+    obj = &it->second;
+    drop_object_replicas(*obj);
+    ++obj->version;
+    for (auto& cache : caches_) cache->invalidate_object(id, obj->version);
+    obj->total_bytes = bytes;
+    obj->producer = std::move(producer);
+  } else {
+    DataObject fresh;
+    fresh.id = id;
+    fresh.total_bytes = bytes;
+    fresh.producer = std::move(producer);
+    obj = &objects_.emplace(id, std::move(fresh)).first->second;
+  }
+  obj->num_shards = shard_count(bytes, config_.shard_limit_bytes);
+
+  for (std::uint32_t s = 0; s < obj->num_shards; ++s) {
+    const ShardKey key = obj->key(s);
+    const double sb = obj->shard_bytes(s);
+    auto placed = placement_.place(key, sb, node);
+    if (!placed.ok()) continue;  // no room anywhere: object stays lost
+    for (std::size_t holder : placed.value()) {
+      if (holder != node) counters_.bytes_replicated += sb;
+    }
+    replicas_[key] = std::move(placed).value();
+  }
+}
+
+bool DataPlane::available(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return false;
+  const DataObject& obj = it->second;
+  for (std::uint32_t s = 0; s < obj.num_shards; ++s) {
+    auto rit = replicas_.find(obj.key(s));
+    if (rit == replicas_.end() || rit->second.empty()) return false;
+  }
+  return true;
+}
+
+const DataObject* DataPlane::find(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Result<std::size_t> DataPlane::primary_node(ObjectId id) const {
+  if (!available(id)) {
+    return NotFound("object " + std::to_string(id) +
+                    " has no live replica; recompute it");
+  }
+  const DataObject& obj = objects_.at(id);
+  // Lowest-index node holding every shard, if one exists…
+  for (std::size_t n = 0; n < caches_.size(); ++n) {
+    bool holds_all = true;
+    for (std::uint32_t s = 0; s < obj.num_shards && holds_all; ++s) {
+      const auto& holders = replicas_.at(obj.key(s));
+      holds_all = std::find(holders.begin(), holders.end(), n) !=
+                  holders.end();
+    }
+    if (holds_all) return n;
+  }
+  // …else the shards are scattered (post-crash re-placement): point at
+  // shard 0's preferred source; stage() moves the rest.
+  return replicas_.at(obj.key(0)).front();
+}
+
+Status DataPlane::stage(ObjectId id, std::size_t dst,
+                        platform::Simulator::Callback on_staged) {
+  return stage_impl(id, dst, /*is_prefetch=*/false, std::move(on_staged));
+}
+
+Status DataPlane::prefetch(ObjectId id, std::size_t dst) {
+  return stage_impl(id, dst, /*is_prefetch=*/true, nullptr);
+}
+
+Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
+                             platform::Simulator::Callback on_staged) {
+  if (!available(id)) {
+    return NotFound("object " + std::to_string(id) +
+                    " is not in the data plane");
+  }
+  const DataObject& obj = objects_.at(id);
+
+  struct StageState {
+    std::size_t pending = 0;
+    platform::Simulator::Callback on_staged;
+  };
+  auto state = std::make_shared<StageState>();
+  state->on_staged = std::move(on_staged);
+
+  for (std::uint32_t s = 0; s < obj.num_shards; ++s) {
+    const ShardKey key = obj.key(s);
+    const double sb = obj.shard_bytes(s);
+    const auto& holders = replicas_.at(key);
+    if (std::find(holders.begin(), holders.end(), dst) != holders.end()) {
+      if (!is_prefetch) ++counters_.local_hits;
+      continue;
+    }
+    Cache& cache = *caches_[dst];
+    if (is_prefetch) {
+      // Quiet path: no hit/miss accounting, skip anything already here
+      // or already on the wire.
+      if (cache.contains(key) || xfer_.in_flight(key, dst)) continue;
+      ++counters_.prefetch_issued;
+    } else if (cache.lookup(key)) {
+      const auto tag = std::make_pair(key, dst);
+      auto pit = prefetched_.find(tag);
+      if (pit != prefetched_.end()) {
+        ++counters_.prefetch_useful;
+        prefetched_.erase(pit);
+      }
+      continue;
+    }
+    // Fetch from the preferred (birth-first) holder; dedup rides any
+    // in-flight copy of the same shard to the same destination.
+    const std::size_t src = holders.front();
+    const double refetch_cost = xfer_.estimate_us(sb, src, dst);
+    if (!is_prefetch) ++state->pending;
+    xfer_.fetch(key, sb, src, dst,
+                [this, key, sb, refetch_cost, dst, is_prefetch, state] {
+                  (void)caches_[dst]->insert(key, sb, refetch_cost);
+                  if (is_prefetch) {
+                    prefetched_.insert({key, dst});
+                    return;
+                  }
+                  if (--state->pending == 0 && state->on_staged) {
+                    state->on_staged();
+                  }
+                });
+  }
+  if (!is_prefetch && state->pending == 0 && state->on_staged) {
+    sim_->schedule(0.0, std::move(state->on_staged));
+  }
+  return OkStatus();
+}
+
+std::vector<ObjectId> DataPlane::invalidate_node(std::size_t node) {
+  caches_[node]->clear();
+  for (auto it = prefetched_.begin(); it != prefetched_.end();) {
+    it = it->second == node ? prefetched_.erase(it) : std::next(it);
+  }
+  placement_.set_failed(node, true);  // also zeroes its usage
+  xfer_.abandon_destination(node);
+
+  std::set<ObjectId> touched;
+  std::set<ObjectId> lost;
+  for (auto& [key, holders] : replicas_) {
+    auto pos = std::find(holders.begin(), holders.end(), node);
+    if (pos == holders.end()) continue;
+    holders.erase(pos);
+    (holders.empty() ? lost : touched).insert(key.object);
+  }
+  for (ObjectId id : touched) {
+    if (lost.count(id) == 0) ++counters_.reads_repointed;
+  }
+
+  std::vector<ObjectId> out;
+  out.reserve(lost.size());
+  for (ObjectId id : lost) {  // std::set → ascending, as promised
+    DataObject& obj = objects_.at(id);
+    // A partial object is useless: drop its surviving shards too, then
+    // stale the version so cached copies anywhere can never hit again.
+    drop_object_replicas(obj);
+    ++obj.version;
+    ++counters_.objects_lost;
+    for (auto& cache : caches_) cache->invalidate_object(id, obj.version);
+    out.push_back(id);
+  }
+  return out;
+}
+
+void DataPlane::restore_node(std::size_t node) {
+  placement_.set_failed(node, false);
+}
+
+std::vector<std::size_t> DataPlane::replicas(const ShardKey& key) const {
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) return {};
+  std::vector<std::size_t> out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PlaneStats DataPlane::stats() const {
+  PlaneStats out = counters_;
+  for (const auto& cache : caches_) {
+    const CacheStats& cs = cache->stats();
+    out.cache_hits += cs.hits;
+    out.cache_misses += cs.misses;
+    out.evictions += cs.evictions;
+    out.bytes_evicted += cs.bytes_evicted;
+  }
+  const TransferStats& ts = xfer_.stats();
+  out.transfers_issued = ts.issued;
+  out.transfers_deduped = ts.deduped;
+  out.bytes_fetched = ts.bytes_moved;
+  return out;
+}
+
+void DataPlane::drop_object_replicas(const DataObject& object) {
+  for (std::uint32_t s = 0; s < object.num_shards; ++s) {
+    const ShardKey key = object.key(s);
+    auto it = replicas_.find(key);
+    if (it == replicas_.end()) continue;
+    for (std::size_t holder : it->second) {
+      placement_.release(holder, object.shard_bytes(s));
+    }
+    replicas_.erase(it);
+  }
+}
+
+}  // namespace everest::data

@@ -1,0 +1,157 @@
+// The virtualized data plane (paper Fig. 2: the runtime "manages the
+// data movement between the nodes" of the Fig. 3 hierarchy). One
+// DataPlane instance tracks, for a set of simulated nodes:
+//   * the catalog of versioned DataObjects and where their shard
+//     replicas durably live (PlacementPolicy over node memories),
+//   * a per-node transient Cache of remotely fetched shards,
+//   * a TransferScheduler turning remote reads into fair-share link
+//     transfers with in-flight dedup, and
+//   * prefetch accounting (staged-ahead shards that later save a fetch).
+//
+// A node crash invalidates exactly the shards that died: replicas on
+// other nodes keep their objects alive (reads are repointed), and only
+// objects whose last replica vanished get a version bump — which is what
+// resilience::lineage keys recomputation on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/cache.hpp"
+#include "data/object.hpp"
+#include "data/placement.hpp"
+#include "data/prefetcher.hpp"
+#include "data/transfer.hpp"
+#include "platform/desim.hpp"
+#include "platform/links.hpp"
+
+namespace everest::data {
+
+struct PlaneConfig {
+  std::size_t num_nodes = 0;
+  /// Durable replica store per node.
+  double node_capacity_bytes = 8.0 * 1024 * 1024 * 1024;
+  /// Transient fetch cache per node (0 disables caching: every remote
+  /// read pays a transfer).
+  double cache_bytes = 64.0 * 1024 * 1024;
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+  /// Durable copies per shard (>= 1; extras cost replication transfers).
+  int replication = 1;
+  /// Objects split into shards of at most this many bytes.
+  double shard_limit_bytes = 4.0 * 1024 * 1024;
+  /// Inter-node fabric (every pair; same node never transfers).
+  platform::LinkModel link = platform::LinkModel::udp_datacenter();
+  PlacementConfig placement;
+};
+
+/// Aggregated data-plane counters (sums per-node cache stats with
+/// transfer and lifecycle accounting).
+struct PlaneStats {
+  std::uint64_t local_hits = 0;   ///< reads served by a resident replica
+  std::uint64_t cache_hits = 0;   ///< reads served by the fetch cache
+  std::uint64_t cache_misses = 0; ///< reads that paid (or joined) a fetch
+  std::uint64_t evictions = 0;
+  std::uint64_t transfers_issued = 0;
+  std::uint64_t transfers_deduped = 0;
+  std::uint64_t prefetch_issued = 0;  ///< fetches started ahead of demand
+  std::uint64_t prefetch_useful = 0;  ///< demand hits on prefetched shards
+  std::uint64_t objects_lost = 0;     ///< last replica died (version bumped)
+  std::uint64_t reads_repointed = 0;  ///< crash survived via another replica
+  double bytes_fetched = 0.0;         ///< demand + prefetch fetch traffic
+  double bytes_replicated = 0.0;      ///< extra-replica write traffic
+  double bytes_evicted = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Single-owner (one simulation drives it; the serve layer uses Cache
+/// directly instead).
+class DataPlane {
+ public:
+  DataPlane(platform::Simulator& sim, PlaneConfig config);
+
+  // ---- object lifecycle ----
+
+  /// Registers (or re-registers, after invalidation) `id` with fresh
+  /// content produced on `node`. Shards it, places replicas, charges
+  /// replication traffic for copies beyond the birth node.
+  void put(ObjectId id, double bytes, std::size_t node,
+           std::string producer = "");
+
+  /// Object has a live, complete replica set at its current version.
+  [[nodiscard]] bool available(ObjectId id) const;
+
+  [[nodiscard]] const DataObject* find(ObjectId id) const;
+
+  /// A node currently holding every shard of `id` — the birth node while
+  /// it lives, else the lowest-index full-copy holder; NOT_FOUND when the
+  /// object is unknown or lost (a cache/object-store miss is not
+  /// retryable — the object must be recomputed, not re-asked-for).
+  [[nodiscard]] Result<std::size_t> primary_node(ObjectId id) const;
+
+  // ---- read path ----
+
+  /// Ensures every shard of `id` is readable at `dst` (replica, cached
+  /// copy, or fetched now); `on_staged` fires as a simulator event once
+  /// all shards arrived. Counts hits/misses per shard. NOT_FOUND when the
+  /// object is unknown or lost (on_staged is then never invoked).
+  Status stage(ObjectId id, std::size_t dst,
+               platform::Simulator::Callback on_staged);
+
+  /// Same movement as stage() but initiated ahead of demand: cache
+  /// inserts are tagged so a later demand hit counts as prefetch_useful.
+  /// Already-resident shards are skipped silently (no hit/miss counting).
+  Status prefetch(ObjectId id, std::size_t dst);
+
+  // ---- failure handling ----
+
+  /// Node crash: its cache and replicas vanish, in-flight fetches into it
+  /// are abandoned. Objects with surviving replicas elsewhere stay
+  /// available (reads repoint); objects whose last replica died get a
+  /// version bump (staling every cached copy) and are returned, ascending
+  /// — exactly the set lineage must recompute.
+  std::vector<ObjectId> invalidate_node(std::size_t node);
+
+  /// The node rejoins, empty, and may receive placements again.
+  void restore_node(std::size_t node);
+
+  // ---- introspection ----
+
+  [[nodiscard]] Cache& cache(std::size_t node) { return *caches_[node]; }
+  [[nodiscard]] const Cache& cache(std::size_t node) const {
+    return *caches_[node];
+  }
+  [[nodiscard]] TransferScheduler& transfers() { return xfer_; }
+  [[nodiscard]] const PlacementPolicy& placement() const {
+    return placement_;
+  }
+  [[nodiscard]] std::size_t num_nodes() const { return caches_.size(); }
+  /// Replica nodes of one shard (empty when unknown), ascending.
+  [[nodiscard]] std::vector<std::size_t> replicas(const ShardKey& key) const;
+  [[nodiscard]] PlaneStats stats() const;
+
+ private:
+  Status stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
+                    platform::Simulator::Callback on_staged);
+  void drop_object_replicas(const DataObject& object);
+
+  platform::Simulator* sim_;
+  PlaneConfig config_;
+  PlacementPolicy placement_;
+  TransferScheduler xfer_;
+  std::vector<std::unique_ptr<Cache>> caches_;
+  std::map<ObjectId, DataObject> objects_;
+  /// Current-version shard → replica holders, placement order (birth
+  /// node first — the preferred fetch source).
+  std::map<ShardKey, std::vector<std::size_t>> replicas_;
+  /// (shard, node) pairs staged by prefetch and not yet claimed by demand.
+  std::set<std::pair<ShardKey, std::size_t>> prefetched_;
+  PlaneStats counters_;  ///< lifecycle counters (cache stats live in caches_)
+};
+
+}  // namespace everest::data

@@ -1,0 +1,69 @@
+#include "data/prefetcher.hpp"
+
+#include <algorithm>
+
+namespace everest::data {
+
+Prefetcher::Prefetcher(const std::vector<std::vector<std::size_t>>& deps,
+                       PrefetchConfig config)
+    : graph_(deps.size()), config_(config) {
+  for (std::size_t t = 0; t < deps.size(); ++t) {
+    for (std::size_t d : deps[t]) graph_.add_edge(d, t);
+  }
+}
+
+std::vector<std::size_t> Prefetcher::lookahead(
+    const std::vector<char>& done) const {
+  return graph_.frontier_within(done, config_.depth);
+}
+
+std::vector<PrefetchCandidate> Prefetcher::plan(
+    std::size_t completed_task, const std::vector<char>& done,
+    const std::vector<int>& in_flight,
+    const std::vector<std::size_t>& producer_node,
+    const std::vector<double>& output_bytes) const {
+  std::vector<PrefetchCandidate> out;
+  if (config_.depth <= 0) return out;
+
+  // Only tasks downstream of the completion can have changed state; the
+  // wave walk stays global (frontier semantics) but candidates are
+  // filtered to descendants-or-self of the completed task's successors.
+  std::vector<char> reachable(graph_.num_nodes(), 0);
+  {
+    std::vector<std::size_t> stack{completed_task};
+    while (!stack.empty()) {
+      const std::size_t n = stack.back();
+      stack.pop_back();
+      for (std::size_t s : graph_.successors(n)) {
+        if (reachable[s] != 0) continue;
+        reachable[s] = 1;
+        stack.push_back(s);
+      }
+    }
+  }
+
+  for (std::size_t t : lookahead(done)) {
+    if (out.size() >= config_.max_candidates_per_event) break;
+    if (reachable[t] == 0 || in_flight[t] != 0) continue;
+    // Data gravity: predict the node holding the most already-produced
+    // input bytes as the task's future home.
+    std::size_t target = kUnplaced;
+    double target_bytes = -1.0;
+    for (std::size_t d : graph_.predecessors(t)) {
+      if (done[d] == 0 || producer_node[d] == kUnplaced) continue;
+      if (output_bytes[d] > target_bytes) {
+        target_bytes = output_bytes[d];
+        target = producer_node[d];
+      }
+    }
+    if (target == kUnplaced) continue;
+    for (std::size_t d : graph_.predecessors(t)) {
+      if (done[d] == 0 || producer_node[d] == kUnplaced) continue;
+      if (producer_node[d] == target || output_bytes[d] <= 0.0) continue;
+      out.push_back(PrefetchCandidate{t, d, target});
+    }
+  }
+  return out;
+}
+
+}  // namespace everest::data

@@ -1,0 +1,69 @@
+// Frontier prefetching: walk the task DAG a few waves ahead of the
+// dispatch frontier and stage the inputs those tasks will read onto the
+// node predicted to run them, so the data is already warm when the
+// scheduler dispatches (the ExaWorks-style explicit data-object layer
+// put to work hiding transfer latency behind compute). Operates on plain
+// adjacency lists (like resilience::lineage) so it depends on no
+// workflow types — any DAG engine can drive it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/graph.hpp"
+
+namespace everest::data {
+
+struct PrefetchConfig {
+  /// Frontier waves to look ahead (0 disables prefetching).
+  int depth = 1;
+  /// Cap on candidate tasks returned per completion event, to bound the
+  /// staging burst a single completion can trigger.
+  std::size_t max_candidates_per_event = 32;
+};
+
+/// One prefetch suggestion: stage `producer`'s output for upcoming task
+/// `consumer` onto node `target`.
+struct PrefetchCandidate {
+  std::size_t consumer = 0;
+  std::size_t producer = 0;
+  std::size_t target = 0;
+};
+
+/// Stateless planner over a fixed DAG. The caller supplies current
+/// execution state per query; the prefetcher only does graph walking and
+/// target prediction. Single-owner.
+class Prefetcher {
+ public:
+  /// `deps[t]` lists the producers task t consumes (dense ids, acyclic).
+  Prefetcher(const std::vector<std::vector<std::size_t>>& deps,
+             PrefetchConfig config);
+
+  /// Tasks within config.depth waves of becoming ready, given `done`.
+  [[nodiscard]] std::vector<std::size_t> lookahead(
+      const std::vector<char>& done) const;
+
+  /// Plans prefetches after `completed_task` finished. For each
+  /// lookahead task reachable from the completion, predicts its target
+  /// node by data gravity — the node holding the most input bytes
+  /// (`producer_node[d]`, kUnplaced when not yet produced;
+  /// `output_bytes[d]` sizes the pull) — and emits one candidate per
+  /// (consumer, done producer) whose data lives elsewhere. in_flight
+  /// tasks (already dispatched) are skipped.
+  [[nodiscard]] std::vector<PrefetchCandidate> plan(
+      std::size_t completed_task, const std::vector<char>& done,
+      const std::vector<int>& in_flight,
+      const std::vector<std::size_t>& producer_node,
+      const std::vector<double>& output_bytes) const;
+
+  [[nodiscard]] const PrefetchConfig& config() const { return config_; }
+
+  static constexpr std::size_t kUnplaced = static_cast<std::size_t>(-1);
+
+ private:
+  Digraph graph_;
+  PrefetchConfig config_;
+};
+
+}  // namespace everest::data

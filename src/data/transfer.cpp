@@ -1,0 +1,60 @@
+#include "data/transfer.hpp"
+
+namespace everest::data {
+
+platform::LinkChannel& TransferScheduler::channel(std::size_t src,
+                                                  std::size_t dst) {
+  const auto pair = std::make_pair(src, dst);
+  auto it = channels_.find(pair);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(pair, std::make_unique<platform::LinkChannel>(
+                                *sim_, link_for_(src, dst)))
+             .first;
+  }
+  return *it->second;
+}
+
+double TransferScheduler::estimate_us(double bytes, std::size_t src,
+                                      std::size_t dst) {
+  return channel(src, dst).model().transfer_us(bytes);
+}
+
+void TransferScheduler::fetch(const ShardKey& key, double bytes,
+                              std::size_t src, std::size_t dst,
+                              platform::Simulator::Callback on_done) {
+  const FlightKey fkey{key, dst};
+  auto it = inflight_.find(fkey);
+  if (it != inflight_.end() && !it->second.abandoned) {
+    ++stats_.deduped;
+    it->second.waiters.push_back(std::move(on_done));
+    return;
+  }
+  Flight flight;
+  flight.waiters.push_back(std::move(on_done));
+  inflight_[fkey] = std::move(flight);
+  ++stats_.issued;
+  stats_.bytes_moved += bytes;
+  channel(src, dst).transfer(bytes, [this, fkey] {
+    ++stats_.completed;
+    auto flight_it = inflight_.find(fkey);
+    if (flight_it == inflight_.end()) return;
+    // Move out first: a waiter may issue a new fetch for the same key.
+    auto waiters = std::move(flight_it->second.waiters);
+    const bool abandoned = flight_it->second.abandoned;
+    inflight_.erase(flight_it);
+    if (abandoned) return;  // destination died while the bytes were in flight
+    for (auto& waiter : waiters) waiter();
+  });
+}
+
+void TransferScheduler::abandon_destination(std::size_t dst) {
+  for (auto& [fkey, flight] : inflight_) {
+    if (fkey.second == dst) {
+      flight.abandoned = true;
+      flight.waiters.clear();
+    }
+  }
+}
+
+}  // namespace everest::data

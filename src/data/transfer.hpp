@@ -1,0 +1,85 @@
+// Locality-aware transfer scheduling: turns remote shard reads into
+// simulated link transfers. Each directed (src, dst) node pair owns a
+// fair-share LinkChannel (platform::LinkChannel), so concurrent fetches
+// crossing the same link congest each other exactly as the
+// discrete-event clock dictates. Identical in-flight fetches — the same
+// (shard key, destination) — are deduplicated: the second consumer rides
+// the first transfer instead of doubling the traffic (the FpgaHub
+// observation that data movement, not compute, dominates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/object.hpp"
+#include "platform/desim.hpp"
+#include "platform/links.hpp"
+
+namespace everest::data {
+
+struct TransferStats {
+  std::uint64_t issued = 0;     ///< transfers actually put on a link
+  std::uint64_t deduped = 0;    ///< requests that rode an in-flight fetch
+  std::uint64_t completed = 0;  ///< link transfers finished
+  double bytes_moved = 0.0;     ///< payload bytes that crossed links
+};
+
+/// Event-driven shard mover over a node fabric. Single-owner (driven by
+/// one simulation).
+class TransferScheduler {
+ public:
+  /// `link_for(src, dst)` names the link model for that directed pair;
+  /// called once per pair, lazily.
+  using LinkPicker =
+      std::function<platform::LinkModel(std::size_t src, std::size_t dst)>;
+
+  TransferScheduler(platform::Simulator& sim, LinkPicker link_for)
+      : sim_(&sim), link_for_(std::move(link_for)) {}
+
+  /// Fetches `bytes` of `key` from node `src` to node `dst`; `on_done`
+  /// fires (simulator event) when the copy has fully arrived. When an
+  /// identical fetch is already in flight the callback is appended to it
+  /// and no new transfer starts.
+  void fetch(const ShardKey& key, double bytes, std::size_t src,
+             std::size_t dst, platform::Simulator::Callback on_done);
+
+  /// True if (key → dst) is currently in flight (prefetch dedup check).
+  [[nodiscard]] bool in_flight(const ShardKey& key, std::size_t dst) const {
+    return inflight_.count({key, dst}) != 0;
+  }
+
+  /// Drops the in-flight book-keeping for a destination node (crash):
+  /// pending callbacks for that node are dropped — the data never
+  /// arrives. Link occupancy is NOT rewound (the bytes were sent).
+  void abandon_destination(std::size_t dst);
+
+  /// Idle-link estimate of one fetch (used to cost cache refetches).
+  [[nodiscard]] double estimate_us(double bytes, std::size_t src,
+                                   std::size_t dst);
+
+  [[nodiscard]] const TransferStats& stats() const { return stats_; }
+  [[nodiscard]] platform::LinkChannel& channel(std::size_t src,
+                                               std::size_t dst);
+
+ private:
+  using FlightKey = std::pair<ShardKey, std::size_t>;
+
+  struct Flight {
+    std::vector<platform::Simulator::Callback> waiters;
+    bool abandoned = false;
+  };
+
+  platform::Simulator* sim_;
+  LinkPicker link_for_;
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::unique_ptr<platform::LinkChannel>>
+      channels_;
+  std::map<FlightKey, Flight> inflight_;
+  TransferStats stats_;
+};
+
+}  // namespace everest::data

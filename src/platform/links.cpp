@@ -1,6 +1,8 @@
 #include "platform/links.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace everest::platform {
 
@@ -17,6 +19,11 @@ double LinkModel::transfer_us(double bytes) const {
     time -= 0.5 * latency_us;
   }
   return time;
+}
+
+double LinkModel::overhead_us(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  return transfer_us(bytes) - bytes / (bandwidth_gbps * 1e3);
 }
 
 double LinkModel::effective_gbps(double bytes) const {
@@ -87,6 +94,92 @@ LinkModel LinkModel::local_dram() {
   l.bandwidth_gbps = 100.0;
   l.coherent = true;
   return l;
+}
+
+// ---- LinkChannel ----------------------------------------------------------
+
+namespace {
+// Residues left by floating-point boundary arithmetic; values below these
+// are clamped to zero so every boundary event makes progress.
+constexpr double kSetupEpsUs = 1e-9;
+constexpr double kBytesEps = 1e-6;
+}  // namespace
+
+double LinkChannel::payload_rate() const {
+  std::size_t payloads = 0;
+  for (const Flow& f : flows_) {
+    if (f.setup_left_us <= 0.0 && f.bytes_left > 0.0) ++payloads;
+  }
+  const double full = model_.bandwidth_gbps * 1e3;  // GB/s → bytes/us
+  return payloads > 0 ? full / static_cast<double>(payloads) : full;
+}
+
+void LinkChannel::transfer(double bytes, Simulator::Callback on_done) {
+  if (bytes <= 0.0) {
+    sim_->schedule(0, std::move(on_done));
+    return;
+  }
+  advance_and_reschedule();  // settle existing flows before membership changes
+  Flow flow;
+  flow.setup_left_us = std::max(0.0, model_.overhead_us(bytes));
+  flow.bytes_left = bytes;
+  flow.bytes_total = bytes;
+  flow.on_done = std::move(on_done);
+  flows_.push_back(std::move(flow));
+  advance_and_reschedule();
+}
+
+void LinkChannel::advance_and_reschedule() {
+  const double now = sim_->now();
+  const double dt = now - last_update_us_;
+  // Stage membership has been constant since last_update_us_ (boundary
+  // events are scheduled at every stage change), so linear progress over
+  // dt is exact.
+  if (dt > 0.0) {
+    const double rate = payload_rate();
+    std::size_t payloads = 0;
+    for (Flow& f : flows_) {
+      if (f.setup_left_us > 0.0) {
+        f.setup_left_us -= dt;
+        if (f.setup_left_us < kSetupEpsUs) f.setup_left_us = 0.0;
+      } else if (f.bytes_left > 0.0) {
+        ++payloads;
+        f.bytes_left -= dt * rate;
+        if (f.bytes_left < kBytesEps) f.bytes_left = 0.0;
+      }
+    }
+    busy_flow_us_ += dt * static_cast<double>(payloads);
+  }
+  last_update_us_ = now;
+
+  // Complete drained payloads in issue order.
+  for (std::size_t i = 0; i < flows_.size();) {
+    Flow& f = flows_[i];
+    if (f.setup_left_us <= 0.0 && f.bytes_left <= 0.0) {
+      bytes_moved_ += f.bytes_total;
+      ++completed_;
+      sim_->schedule(0, std::move(f.on_done));
+      flows_.erase(flows_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // Next stage boundary: earliest setup completion or payload drain.
+  ++generation_;
+  if (flows_.empty()) return;
+  const double rate = payload_rate();
+  double next = 1e300;
+  for (const Flow& f : flows_) {
+    if (f.setup_left_us > 0.0) {
+      next = std::min(next, f.setup_left_us);
+    } else {
+      next = std::min(next, f.bytes_left / rate);
+    }
+  }
+  sim_->schedule(next, [this, gen = generation_] {
+    if (gen == generation_) advance_and_reschedule();
+  });
 }
 
 }  // namespace everest::platform

@@ -2,10 +2,18 @@
 // "OpenCAPI cache coherent and TCP/UDP protocols"). Each link is an
 // analytical latency/bandwidth/packet-overhead model calibrated to
 // published measurements of the corresponding technology.
+//
+// LinkModel answers "how long would `bytes` take on an otherwise idle
+// link"; LinkChannel puts a model under discrete-event simulation and
+// makes concurrent transfers share the link fairly (processor sharing)
+// instead of each seeing the full bandwidth.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "platform/desim.hpp"
 
 namespace everest::platform {
 
@@ -23,8 +31,12 @@ struct LinkModel {
   /// Cache-coherent links skip explicit copies/pinning for small transfers.
   bool coherent = false;
 
-  /// Time to move `bytes` across the link (us).
+  /// Time to move `bytes` across the link (us), link otherwise idle.
   [[nodiscard]] double transfer_us(double bytes) const;
+
+  /// The non-bandwidth part of transfer_us (setup latency, packetization,
+  /// coherence discounts). transfer_us == overhead_us + payload/bandwidth.
+  [[nodiscard]] double overhead_us(double bytes) const;
 
   /// Effective throughput moving `bytes` (GB/s), including overheads.
   [[nodiscard]] double effective_gbps(double bytes) const;
@@ -40,6 +52,60 @@ struct LinkModel {
   static LinkModel udp_datacenter();  // network-attached FPGA over UDP
   static LinkModel edge_wan();        // edge→cloud WAN hop
   static LinkModel local_dram();      // on-node memory "link"
+};
+
+/// One simulated link carrying concurrent transfers under processor
+/// sharing: with n payloads in flight each progresses at bandwidth/n, so
+/// two equal concurrent transfers take ~2x the solo payload time instead
+/// of each (incorrectly) seeing the full link. Per-transfer fixed costs
+/// (setup latency, packet overhead) are paid up front by each transfer
+/// and are not shared. A solo transfer completes in exactly
+/// model.transfer_us(bytes).
+///
+/// Deterministic: completion order is a pure function of the issue order
+/// and sizes (ties break by issue order via the simulator's event seq).
+class LinkChannel {
+ public:
+  LinkChannel(Simulator& sim, LinkModel model)
+      : sim_(&sim), model_(std::move(model)) {}
+
+  /// Starts moving `bytes`; `on_done` fires (as a simulator event) when
+  /// the transfer completes under the sharing discipline.
+  void transfer(double bytes, Simulator::Callback on_done);
+
+  [[nodiscard]] const LinkModel& model() const { return model_; }
+  /// Transfers currently in flight (setup or payload stage).
+  [[nodiscard]] std::size_t active() const { return flows_.size(); }
+  /// Completed-transfer accounting.
+  [[nodiscard]] double bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t transfers_completed() const {
+    return completed_;
+  }
+  /// Time-integral of (payloads in flight) — a congestion measure.
+  [[nodiscard]] double busy_flow_us() const { return busy_flow_us_; }
+
+ private:
+  struct Flow {
+    double setup_left_us = 0.0;  ///< unshared fixed overhead still to pay
+    double bytes_left = 0.0;     ///< payload remaining (shared bandwidth)
+    double bytes_total = 0.0;
+    Simulator::Callback on_done;
+  };
+
+  /// Advances every flow to sim_->now() (exact: stage membership is
+  /// constant between scheduled boundary events), completes finished
+  /// payloads, and schedules the next boundary event.
+  void advance_and_reschedule();
+  [[nodiscard]] double payload_rate() const;  // bytes/us per payload flow
+
+  Simulator* sim_;
+  LinkModel model_;
+  std::vector<Flow> flows_;
+  double last_update_us_ = 0.0;
+  std::uint64_t generation_ = 0;  ///< invalidates stale boundary events
+  double bytes_moved_ = 0.0;
+  std::uint64_t completed_ = 0;
+  double busy_flow_us_ = 0.0;
 };
 
 }  // namespace everest::platform

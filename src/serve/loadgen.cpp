@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -32,13 +33,19 @@ struct Collector {
 };
 
 /// Draws the next request deterministically from the workload spec.
-Request draw_request(const WorkloadSpec& spec, Rng& rng) {
+/// `zipf` is the shared object-popularity sampler (null = no data keys).
+Request draw_request(const WorkloadSpec& spec, Rng& rng,
+                     const ZipfSampler* zipf) {
   Request request;
   request.kernel = spec.kernels[rng.uniform_int(spec.kernels.size())];
   request.sla = rng.bernoulli(spec.lc_fraction) ? SlaClass::kLatencyCritical
                                                 : SlaClass::kThroughput;
   request.payload_scale = rng.uniform(0.5, 1.5);
   request.seed = rng.next();
+  if (zipf != nullptr) {
+    request.data_key = "obj" + std::to_string(zipf->sample(rng));
+    request.input_bytes = spec.input_bytes;
+  }
   const double deadline_ms = request.sla == SlaClass::kLatencyCritical
                                  ? spec.lc_deadline_ms
                                  : spec.tp_deadline_ms;
@@ -73,13 +80,18 @@ double LoadReport::p99_us() const {
 LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
   Collector collector;
   Rng rng(spec.seed);
+  std::unique_ptr<ZipfSampler> zipf;
+  if (spec.num_data_objects > 0) {
+    zipf = std::make_unique<ZipfSampler>(spec.num_data_objects,
+                                         spec.zipf_skew);
+  }
   const Clock::time_point start = Clock::now();
   const Clock::time_point horizon = start + spec.duration;
   Clock::time_point next_arrival = start;
 
   while (next_arrival < horizon) {
     std::this_thread::sleep_until(next_arrival);
-    Request request = draw_request(spec, rng);
+    Request request = draw_request(spec, rng, zipf.get());
     const SlaClass sla = request.sla;
     {
       std::lock_guard<std::mutex> lock(collector.mu);
@@ -109,6 +121,11 @@ LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
 LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
                            int clients, double think_ms) {
   Collector collector;
+  std::unique_ptr<ZipfSampler> zipf;
+  if (spec.num_data_objects > 0) {
+    zipf = std::make_unique<ZipfSampler>(spec.num_data_objects,
+                                         spec.zipf_skew);
+  }
   const Clock::time_point start = Clock::now();
   const Clock::time_point horizon = start + spec.duration;
 
@@ -121,7 +138,7 @@ LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
       std::mutex mu;
       std::condition_variable cv;
       while (Clock::now() < horizon) {
-        Request request = draw_request(spec, rng);
+        Request request = draw_request(spec, rng, zipf.get());
         const SlaClass sla = request.sla;
         {
           std::lock_guard<std::mutex> lock(collector.mu);

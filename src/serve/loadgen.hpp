@@ -33,6 +33,15 @@ struct WorkloadSpec {
   double tp_deadline_ms = 200.0;
   /// Payload scale distribution: uniform in [0.5, 1.5).
   std::uint64_t seed = 42;
+
+  // ---- input-object mix (0 disables data_key stamping) ----
+  /// Distinct input objects requests read; keys are "obj<rank>".
+  std::size_t num_data_objects = 0;
+  /// Zipf skew of the object popularity (1.0 ≈ typical hot-key skew,
+  /// 0 = uniform).
+  double zipf_skew = 1.0;
+  /// Bytes per input object (misses pay this over the input link).
+  double input_bytes = 256.0 * 1024;
 };
 
 /// Aggregate outcome of one generation run, as seen by the clients

@@ -49,6 +49,15 @@ void ServingMetrics::record_batch(std::size_t batch_size, double service_us) {
   service_us_.add(service_us);
 }
 
+void ServingMetrics::record_input_stage(std::uint64_t hits,
+                                        std::uint64_t misses,
+                                        double stall_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.input_hits += hits;
+  counters_.input_misses += misses;
+  counters_.input_stall_us += stall_us;
+}
+
 void ServingMetrics::record_completion(SlaClass sla, double latency_us) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.completed;

@@ -29,6 +29,18 @@ struct MetricsSnapshot {
   /// OK responses served while the kernel had open breakers (fallback
   /// variant answered — degraded but successful).
   std::uint64_t degraded = 0;
+  /// Input staging (Request::data_key through the server's input cache):
+  /// distinct keys staged per batch that were warm vs. cold, and the
+  /// total modelled stall the cold ones cost.
+  std::uint64_t input_hits = 0;
+  std::uint64_t input_misses = 0;
+  double input_stall_us = 0.0;
+
+  [[nodiscard]] double input_hit_rate() const {
+    const std::uint64_t n = input_hits + input_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(input_hits) / static_cast<double>(n);
+  }
 
   /// End-to-end latency stats (µs) per SLA class index
   /// (0 = latency-critical, 1 = throughput) and combined.
@@ -64,6 +76,8 @@ class ServingMetrics {
   void record_degraded();
   void record_batch(std::size_t batch_size, double service_us);
   void record_completion(SlaClass sla, double latency_us);
+  void record_input_stage(std::uint64_t hits, std::uint64_t misses,
+                          double stall_us);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 

@@ -36,6 +36,12 @@ struct Request {
   SlaClass sla = SlaClass::kThroughput;
   /// Data-volume scale relative to the profiled size (autotuner feature).
   double payload_scale = 1.0;
+  /// Named input data object this request reads ("" = no input staging).
+  /// Repeated keys hit the server's input cache — warm replicas for
+  /// repeated same-tenant requests.
+  std::string data_key;
+  /// Size of that input (bytes); a cache miss pays its transfer time.
+  double input_bytes = 0.0;
   /// Per-request randomness root so replays are deterministic.
   std::uint64_t seed = 0;
   /// Absolute deadline; expired requests are dropped at dispatch time.

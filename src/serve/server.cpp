@@ -18,13 +18,49 @@ Server::Server(ServerOptions options, runtime::KnowledgeBase* kb)
       kb_(kb),
       tuner_(kb),
       breakers_(options.breaker),
-      breaker_epoch_(Clock::now()) {
+      breaker_epoch_(Clock::now()),
+      input_cache_(options.input_cache) {
   queue_ = std::make_unique<RequestQueue>(options_.queue_capacity);
   batcher_ = std::make_unique<Batcher>(queue_.get(), options_.batch);
 }
 
 double Server::breaker_now_us() const {
   return us_between(breaker_epoch_, Clock::now());
+}
+
+data::CacheStats Server::input_cache_stats() const {
+  std::lock_guard<std::mutex> lock(input_mu_);
+  return input_cache_.stats();
+}
+
+double Server::stage_batch_inputs(const Batch& batch) {
+  // Distinct keys only: requests in one batch reading the same object
+  // share one staging (the in-batch form of transfer dedup).
+  std::map<std::string, double> keyed;
+  for (const PendingRequest& pending : batch.requests) {
+    if (!pending.request.data_key.empty()) {
+      keyed.emplace(pending.request.data_key, pending.request.input_bytes);
+    }
+  }
+  if (keyed.empty()) return 0.0;
+  double stall_us = 0.0;
+  std::uint64_t hits = 0, misses = 0;
+  {
+    std::lock_guard<std::mutex> lock(input_mu_);
+    for (const auto& [name, bytes] : keyed) {
+      const data::ShardKey key{data::object_id_from_name(name), 0, 0};
+      if (input_cache_.lookup(key)) {
+        ++hits;
+        continue;
+      }
+      ++misses;
+      const double cost = options_.input_link.transfer_us(bytes);
+      stall_us += cost;
+      (void)input_cache_.insert(key, bytes, cost);
+    }
+  }
+  metrics_.record_input_stage(hits, misses, stall_us);
+  return stall_us;
 }
 
 Server::~Server() { stop(); }
@@ -146,6 +182,15 @@ void Server::execute_batch(Batch batch) {
   }
   batch.requests = std::move(live);
   if (batch.requests.empty()) return;
+
+  // Stage request inputs through the input cache before compute: warm
+  // keys are free, cold keys stall the batch for their transfer time.
+  const double stage_stall_us = stage_batch_inputs(batch);
+  if (stage_stall_us > 0.0 && options_.input_stage_scale > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            stage_stall_us * options_.input_stage_scale)));
+  }
 
   // Variant selection for the whole batch under the live system state
   // (shared knowledge base; its internal mutex makes this reentrant).

@@ -13,8 +13,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 
+#include "data/cache.hpp"
+#include "platform/links.hpp"
 #include "resilience/circuit_breaker.hpp"
 #include "runtime/autotuner.hpp"
 #include "runtime/knowledge.hpp"
@@ -59,6 +62,17 @@ struct ServerOptions {
   /// is shed at admission once the queue passes this fill fraction,
   /// keeping headroom for latency-critical requests.
   double degraded_shed_fill = 0.5;
+
+  // ---- input staging ----
+  /// Cache for request input objects (Request::data_key). capacity 0 =
+  /// cold path: every keyed request pays its input's transfer time.
+  data::CacheConfig input_cache;
+  /// Link the input store is reached over; a miss on `data_key` stalls
+  /// the batch for input_link.transfer_us(input_bytes) (scaled).
+  platform::LinkModel input_link = platform::LinkModel::tcp_datacenter();
+  /// Scales simulated staging stalls onto the wall clock (1.0 = one
+  /// modelled µs is one slept µs; smaller keeps benches fast).
+  double input_stage_scale = 1.0;
 };
 
 /// Multi-tenant request server. Thread-safe: submit() may be called from
@@ -105,9 +119,15 @@ class Server {
     return degraded_.load(std::memory_order_acquire);
   }
 
+  /// Input-cache counters (hits/misses of data_key staging).
+  [[nodiscard]] data::CacheStats input_cache_stats() const;
+
  private:
   void dispatch_loop();
   void execute_batch(Batch batch);
+  /// Stages the batch's distinct data_keys through the input cache;
+  /// returns the modelled stall (µs) the misses cost.
+  double stage_batch_inputs(const Batch& batch);
   /// Breaker clock: microseconds since server construction.
   [[nodiscard]] double breaker_now_us() const;
 
@@ -124,6 +144,11 @@ class Server {
   resilience::CircuitBreakerBoard breakers_;
   std::atomic<bool> degraded_{false};
   Clock::time_point breaker_epoch_;
+
+  /// Input staging cache; single-owner type, shared across workers under
+  /// its own mutex.
+  mutable std::mutex input_mu_;
+  data::Cache input_cache_;
 
   ServingMetrics metrics_;
   std::atomic<std::uint64_t> next_id_{1};

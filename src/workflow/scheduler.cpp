@@ -5,9 +5,12 @@
 #include <cstdio>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <set>
 
+#include "data/plane.hpp"
+#include "data/prefetcher.hpp"
 #include "platform/desim.hpp"
 #include "resilience/lineage.hpp"
 
@@ -179,8 +182,11 @@ class ChaosSim {
     return false;
   }
 
+  [[nodiscard]] bool plane_mode() const { return plane_ != nullptr; }
+
   void trace(const char* event, std::size_t task, std::size_t worker,
              const char* detail = "");
+  [[nodiscard]] std::size_t gravity_target(std::size_t t) const;
   void enqueue_ready(std::size_t t);
   void maybe_enqueue(std::size_t t);
   std::size_t pick_task(std::size_t w);
@@ -202,6 +208,15 @@ class ChaosSim {
   std::size_t healthiest_worker(std::size_t avoid);
   double transfer_cost(std::size_t t, std::size_t w, double* bytes_moved,
                        double* blocked_us);
+
+  // Plane-mode execution: dispatch stages inputs through the data plane
+  // (event-driven cached/deduped transfers), then compute begins.
+  void stage_inputs(std::size_t t, std::size_t w,
+                    platform::Simulator::Callback on_staged);
+  void begin_compute(std::size_t w, std::size_t t, int task_epoch,
+                     int worker_epoch);
+  [[nodiscard]] double est_stage_us(std::size_t t, std::size_t w);
+  void run_prefetch(std::size_t completed);
 
   const TaskGraph& graph_;
   const std::vector<WorkerSpec>& workers_;
@@ -238,6 +253,11 @@ class ChaosSim {
   std::vector<std::vector<std::size_t>> heft_ready_;  // kept rank-sorted
 
   std::vector<Outage> outages_;
+
+  // Data plane (plane mode only).
+  std::unique_ptr<data::DataPlane> plane_;
+  std::unique_ptr<data::Prefetcher> prefetcher_;
+  std::vector<double> output_bytes_;
 
   ScheduleOutcome out_;
   std::size_t done_count_ = 0;
@@ -280,22 +300,30 @@ std::size_t ChaosSim::healthiest_worker(std::size_t avoid) {
   return best == kNone ? avoid : best;
 }
 
+std::size_t ChaosSim::gravity_target(std::size_t t) const {
+  // Data gravity: place where the biggest input lives (round-robin for
+  // roots, and for everything when locality awareness is off).
+  std::size_t target = t % workers_.size();
+  if (opt_.locality_aware) {
+    double best_bytes = -1.0;
+    for (std::size_t dep : graph_.task(t).deps) {
+      if (output_worker_[dep] == kNone) continue;
+      if (graph_.task(dep).output_bytes > best_bytes) {
+        best_bytes = graph_.task(dep).output_bytes;
+        target = output_worker_[dep];
+      }
+    }
+  }
+  return target;
+}
+
 void ChaosSim::enqueue_ready(std::size_t t) {
   switch (opt_.scheduler) {
     case SchedulerKind::kFifo:
       central_.push_back(t);
       break;
     case SchedulerKind::kWorkStealing: {
-      // Place where the biggest input lives; round-robin for roots.
-      double best_bytes = -1.0;
-      std::size_t target = t % workers_.size();
-      for (std::size_t dep : graph_.task(t).deps) {
-        if (output_worker_[dep] == kNone) continue;
-        if (graph_.task(dep).output_bytes > best_bytes) {
-          best_bytes = graph_.task(dep).output_bytes;
-          target = output_worker_[dep];
-        }
-      }
+      std::size_t target = gravity_target(t);
       if (!dispatchable(target)) target = healthiest_worker(target);
       local_[target].push_back(t);
       break;
@@ -373,6 +401,38 @@ std::size_t ChaosSim::pick_task(std::size_t w) {
         }
       }
       if (victim == kNone) return kNone;
+      // Locality-aware stealing (two passes over a live victim's backlog;
+      // a dead victim is always robbed blind — stealing is how its
+      // backlog gets rescued):
+      //   1. a task whose biggest input already lives on the thief moves
+      //      no data — take it;
+      //   2. otherwise only compute-bound tasks migrate: stealing is
+      //      worthwhile when moving the inputs costs no more than the
+      //      compute itself. Transfer-bound tasks stay queued at their
+      //      data; the worker holding it drains them locally.
+      if (opt_.locality_aware && dispatchable(victim)) {
+        auto& q = local_[victim];
+        for (auto it = q.rbegin(); it != q.rend(); ++it) {
+          const std::size_t cand = *it;
+          if (!runnable(cand) || blocked_by_avoid(cand, w)) continue;
+          if (gravity_target(cand) == w) {
+            q.erase(std::next(it).base());
+            return cand;
+          }
+        }
+        for (auto it = q.rbegin(); it != q.rend(); ++it) {
+          const std::size_t cand = *it;
+          if (!runnable(cand) || blocked_by_avoid(cand, w)) continue;
+          const double move = plane_mode()
+                                  ? est_stage_us(cand, w)
+                                  : transfer_cost(cand, w, nullptr, nullptr);
+          if (move <= compute_us(graph_.task(cand), workers_[w])) {
+            q.erase(std::next(it).base());
+            return cand;
+          }
+        }
+        return kNone;
+      }
       return pop_deque(local_[victim], /*front=*/false);
     }
     case SchedulerKind::kHeft: {
@@ -429,8 +489,96 @@ double ChaosSim::transfer_cost(std::size_t t, std::size_t w,
   return worst;
 }
 
+double ChaosSim::est_stage_us(std::size_t t, std::size_t w) {
+  // Idle-link estimate of the staging span (for straggler detection
+  // only — actual staging is event-driven and may congest).
+  double est = 0.0;
+  for (std::size_t dep : deps_[t]) {
+    const std::size_t src = output_worker_[dep];
+    if (src == w || src == kNone || output_bytes_[dep] <= 0.0) continue;
+    est = std::max(
+        est, plane_->transfers().estimate_us(output_bytes_[dep], src, w));
+  }
+  return est;
+}
+
+void ChaosSim::stage_inputs(std::size_t t, std::size_t w,
+                            platform::Simulator::Callback on_staged) {
+  struct StageState {
+    std::size_t pending = 1;  // guard held until all stages are issued
+    platform::Simulator::Callback on_staged;
+  };
+  auto state = std::make_shared<StageState>();
+  state->on_staged = std::move(on_staged);
+  const auto arrived = [state] {
+    if (--state->pending == 0) state->on_staged();
+  };
+  for (std::size_t dep : deps_[t]) {
+    if (output_bytes_[dep] <= 0.0) continue;
+    ++state->pending;
+    const Status staged =
+        plane_->stage(static_cast<data::ObjectId>(dep), w, arrived);
+    if (!staged.ok()) --state->pending;  // lost object: lineage will re-run
+  }
+  if (--state->pending == 0) {
+    sim_.schedule(0.0, [state] { state->on_staged(); });
+  }
+}
+
+void ChaosSim::begin_compute(std::size_t w, std::size_t t, int task_epoch,
+                             int worker_epoch) {
+  if (aborted_) return;
+  if (worker_epoch_[w] != worker_epoch) return;  // crashed while staging
+  const double now = sim_.now();
+  if (done_[t] != 0 || failed_[t] != 0 || epoch_[t] != task_epoch) {
+    // Cancelled while staging (duplicate won, or recomputation reset it).
+    busy_[w] = 0;
+    running_on_[w] = RunningTask{};
+    worker_now_[w] = now;
+    trace("cancelled", t, w);
+    dispatch_all();
+    return;
+  }
+  const double exec =
+      compute_us(graph_.task(t), workers_[w]) *
+      plan_.severity(FaultKind::kStraggler, static_cast<int>(w), now);
+  out_.busy_us[w] += exec;
+  worker_now_[w] = now + exec;
+  trace("compute", t, w);
+  sim_.schedule(exec, [this, w, t, task_epoch, worker_epoch] {
+    on_complete(w, t, task_epoch, worker_epoch);
+  });
+}
+
+void ChaosSim::run_prefetch(std::size_t completed) {
+  const std::vector<data::PrefetchCandidate> plan = prefetcher_->plan(
+      completed, done_, in_flight_, output_worker_, output_bytes_);
+  for (const data::PrefetchCandidate& c : plan) {
+    (void)plane_->prefetch(static_cast<data::ObjectId>(c.producer),
+                           c.target);
+  }
+}
+
 void ChaosSim::dispatch_task(std::size_t t, std::size_t w, bool speculative) {
   const double now = sim_.now();
+  if (plane_mode()) {
+    // Two-phase: stage the inputs through the plane (cache hits are
+    // free, misses ride fair-share links, identical fetches dedup),
+    // then compute. The worker is occupied for the whole span.
+    busy_[w] = 1;
+    ++in_flight_[t];
+    ++out_.executions;
+    avoid_worker_[t] = -1;
+    const double nominal = compute_us(graph_.task(t), workers_[w]);
+    running_on_[w] = RunningTask{t, epoch_[t], now,
+                                 est_stage_us(t, w) + nominal, speculative};
+    trace(speculative ? "speculate" : "dispatch", t, w);
+    stage_inputs(t, w, [this, w, t, te = epoch_[t],
+                        we = worker_epoch_[w]] {
+      begin_compute(w, t, te, we);
+    });
+    return;
+  }
   double moved = 0.0, blocked = 0.0;
   const double xfer = transfer_cost(t, w, &moved, &blocked);
   out_.bytes_transferred += moved;
@@ -529,6 +677,12 @@ void ChaosSim::on_complete(std::size_t w, std::size_t t, int task_epoch,
   out_.makespan_us = std::max(out_.makespan_us, sim_.now());
   if (speculative && spec_launched_[t] != 0) ++out_.speculative_wins;
   trace("complete", t, w);
+  if (plane_mode()) {
+    // The output is born on w; the plane shards and replicates it.
+    plane_->put(static_cast<data::ObjectId>(t), output_bytes_[t], w,
+                graph_.task(t).name);
+    if (prefetcher_ != nullptr) run_prefetch(t);
+  }
   note_progress(t);
   for (std::size_t s : succ_[t]) {
     if (missing_[s] > 0 && --missing_[s] == 0) maybe_enqueue(s);
@@ -636,8 +790,24 @@ void ChaosSim::crash(std::size_t w, double downtime_us) {
   }
   // Stored outputs on this worker are gone; the lineage pass at recovery
   // decides which of them must be recomputed.
-  for (std::size_t t = 0; t < graph_.size(); ++t) {
-    if (done_[t] != 0 && output_worker_[t] == w) output_lost_[t] = 1;
+  if (plane_mode()) {
+    // The plane knows exactly which shards died. Objects with a
+    // surviving replica repoint their reads; only objects whose last
+    // replica vanished (version bumped) feed the lineage recompute.
+    plane_->invalidate_node(w);
+    for (std::size_t t = 0; t < graph_.size(); ++t) {
+      if (done_[t] == 0 || output_worker_[t] != w) continue;
+      auto holder = plane_->primary_node(static_cast<data::ObjectId>(t));
+      if (holder.ok()) {
+        output_worker_[t] = holder.value();
+      } else {
+        output_lost_[t] = 1;
+      }
+    }
+  } else {
+    for (std::size_t t = 0; t < graph_.size(); ++t) {
+      if (done_[t] != 0 && output_worker_[t] == w) output_lost_[t] = 1;
+    }
   }
   outages_.push_back(std::move(outage));
   sim_.schedule(downtime_us, [this, w] { restart(w); });
@@ -645,6 +815,7 @@ void ChaosSim::crash(std::size_t w, double downtime_us) {
 
 void ChaosSim::restart(std::size_t w) {
   if (aborted_) return;
+  if (plane_mode()) plane_->restore_node(w);  // rejoins empty
   alive_[w] = 1;
   busy_[w] = 0;
   worker_now_[w] = sim_.now();
@@ -773,6 +944,21 @@ Result<ScheduleOutcome> ChaosSim::run() {
   local_.resize(m);
   heft_ready_.resize(m);
 
+  output_bytes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    output_bytes_[i] = graph_.task(i).output_bytes;
+  }
+  if (opt_.data_plane != nullptr) {
+    data::PlaneConfig cfg = *opt_.data_plane;
+    cfg.num_nodes = m;
+    plane_ = std::make_unique<data::DataPlane>(sim_, cfg);
+    if (opt_.prefetch_depth > 0) {
+      data::PrefetchConfig pf;
+      pf.depth = opt_.prefetch_depth;
+      prefetcher_ = std::make_unique<data::Prefetcher>(deps_, pf);
+    }
+  }
+
   heft_position_.assign(n, 0);
   if (opt_.scheduler == SchedulerKind::kHeft) {
     heft_plan(graph_, workers_, &heft_assignment_, &heft_order_);
@@ -808,6 +994,11 @@ Result<ScheduleOutcome> ChaosSim::run() {
     mean += out_.makespan_us > 0 ? b / out_.makespan_us : 0.0;
   }
   out_.mean_utilization = mean / static_cast<double>(m);
+  if (plane_mode()) {
+    out_.plane = plane_->stats();
+    out_.bytes_transferred =
+        out_.plane.bytes_fetched + out_.plane.bytes_replicated;
+  }
   return std::move(out_);
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "data/plane.hpp"
 #include "platform/node.hpp"
 #include "resilience/detector.hpp"
 #include "resilience/fault_plan.hpp"
@@ -88,6 +89,26 @@ struct SimulationOptions {
   double speculation_factor = 0.0;
   /// Record a deterministic event trace in the outcome.
   bool record_trace = false;
+
+  // ---- data plane ----
+  /// When set, task outputs become versioned DataObjects in a simulated
+  /// data plane (one storage node + cache per worker): inputs are staged
+  /// through caches and fair-share links event-by-event instead of the
+  /// closed-form transfer estimate, a crash invalidates exactly the
+  /// shards that died (a surviving replica absorbs the crash with no
+  /// recomputation), and the prefetcher warms upcoming tasks' inputs.
+  /// Borrowed; may be null (legacy closed-form path). num_nodes is
+  /// overridden with the worker count. Fault-plan link windows
+  /// (degrade/partition) apply to the legacy path only — in plane mode
+  /// congestion comes from the shared links themselves.
+  const data::PlaneConfig* data_plane = nullptr;
+  /// Work stealing only: enqueue ready tasks where their largest input
+  /// lives (data gravity). Off = round-robin placement — the
+  /// locality-blind baseline E19a compares against.
+  bool locality_aware = true;
+  /// Frontier waves the prefetcher looks ahead (plane mode only; 0
+  /// disables prefetching).
+  int prefetch_depth = 0;
 };
 
 /// Result of simulating one workflow execution.
@@ -126,6 +147,9 @@ struct ScheduleOutcome {
   /// Deterministic event log (record_trace only). Same seed + same plan
   /// => byte-identical.
   std::vector<std::string> trace;
+
+  /// Data-plane counters (all zero unless options.data_plane was set).
+  data::PlaneStats plane;
 
   /// Completed fraction of all tasks (1.0 on a clean run).
   [[nodiscard]] double availability() const {

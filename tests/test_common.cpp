@@ -275,6 +275,57 @@ TEST(Digraph, DegreesTracked) {
   EXPECT_EQ(g.num_edges(), 2u);
 }
 
+// The prefetcher's lookahead is built on these two helpers — the shapes
+// below (diamond, disconnected components, single node) are the cases a
+// frontier walk gets wrong first.
+
+TEST(Digraph, FrontierOnDiamond) {
+  Digraph g(4);  // 0 → {1, 2} → 3
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.frontier({0, 0, 0, 0}), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(g.frontier({1, 0, 0, 0}), (std::vector<std::size_t>{1, 2}));
+  // The join is not ready until BOTH branches are done.
+  EXPECT_EQ(g.frontier({1, 1, 0, 0}), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(g.frontier({1, 1, 1, 0}), (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(g.frontier({1, 1, 1, 1}).empty());
+}
+
+TEST(Digraph, FrontierOnDisconnectedComponents) {
+  Digraph g(4);  // 0 → 1 and 2 → 3, unrelated
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.frontier({0, 0, 0, 0}), (std::vector<std::size_t>{0, 2}));
+  // Progress in one component never unblocks the other.
+  EXPECT_EQ(g.frontier({1, 0, 0, 0}), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(g.frontier({1, 1, 0, 0}), (std::vector<std::size_t>{2}));
+}
+
+TEST(Digraph, FrontierOnSingleNode) {
+  Digraph g(1);
+  EXPECT_EQ(g.frontier({0}), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(g.frontier({1}).empty());
+}
+
+TEST(Digraph, FrontierWithinWalksWaves) {
+  Digraph g(4);  // diamond again
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const std::vector<char> none = {0, 0, 0, 0};
+  EXPECT_TRUE(g.frontier_within(none, 0).empty());  // depth 0 disables
+  EXPECT_EQ(g.frontier_within(none, 1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(g.frontier_within(none, 2), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(g.frontier_within(none, 3),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  // Depth beyond the graph saturates rather than looping.
+  EXPECT_EQ(g.frontier_within(none, 100),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
 TEST(WeightedDigraph, DijkstraFindsShortestPath) {
   WeightedDigraph g(5);
   g.add_edge(0, 1, 1.0);

@@ -1,0 +1,700 @@
+// Unit tests for the virtualized data plane: objects/shards, placement,
+// caching, transfer scheduling, prefetching, the DataPlane facade, and
+// its integration with the workflow scheduler. Everything here must be
+// deterministic — the TEST_P suite at the bottom asserts byte-identical
+// cache counters across repeated runs for every eviction policy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/cache.hpp"
+#include "data/object.hpp"
+#include "data/placement.hpp"
+#include "data/plane.hpp"
+#include "data/prefetcher.hpp"
+#include "data/transfer.hpp"
+#include "platform/desim.hpp"
+#include "platform/links.hpp"
+#include "resilience/fault_plan.hpp"
+#include "workflow/scheduler.hpp"
+#include "workflow/task_graph.hpp"
+
+namespace everest::data {
+namespace {
+
+// ---------------------------------------------------------------- object --
+
+TEST(DataObject, ShardKeyOrderingAndEquality) {
+  const ShardKey a{1, 0, 0};
+  const ShardKey b{1, 1, 0};
+  const ShardKey c{1, 1, 2};
+  EXPECT_EQ(a, (ShardKey{1, 0, 0}));
+  EXPECT_FALSE(a == b);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, (ShardKey{2, 0, 0}));
+}
+
+TEST(DataObject, HashIsDeterministicAndSaltSensitive) {
+  const ShardKey key{7, 3, 1};
+  EXPECT_EQ(hash_key(key), hash_key(key));
+  EXPECT_NE(hash_key(key), hash_key(key, /*salt=*/1));
+  EXPECT_NE(hash_key(key), hash_key(ShardKey{7, 4, 1}));
+  EXPECT_EQ(object_id_from_name("tenant-a/obj1"),
+            object_id_from_name("tenant-a/obj1"));
+  EXPECT_NE(object_id_from_name("tenant-a/obj1"),
+            object_id_from_name("tenant-a/obj2"));
+}
+
+TEST(DataObject, ShardCountAndBytes) {
+  EXPECT_EQ(shard_count(0.0, 4.0), 1u);  // empty objects still have a shard
+  EXPECT_EQ(shard_count(4.0, 4.0), 1u);
+  EXPECT_EQ(shard_count(9.0, 4.0), 3u);
+
+  DataObject object;
+  object.id = 5;
+  object.total_bytes = 9.0;
+  object.num_shards = 3;
+  object.version = 2;
+  EXPECT_DOUBLE_EQ(object.shard_bytes(0), 3.0);
+  EXPECT_DOUBLE_EQ(object.shard_bytes(2), 3.0);
+  const std::vector<ShardKey> keys = object.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[1], (ShardKey{5, 1, 2}));
+}
+
+TEST(DataObject, ShardBytesLastShardTakesRemainder) {
+  DataObject object;
+  object.total_bytes = 10.0;
+  object.num_shards = shard_count(10.0, 4.0);
+  ASSERT_EQ(object.num_shards, 3u);
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < object.num_shards; ++i) {
+    sum += object.shard_bytes(i);
+  }
+  EXPECT_DOUBLE_EQ(sum, 10.0);
+}
+
+// ------------------------------------------------------------- placement --
+
+std::vector<StorageNode> nodes(std::size_t n, double capacity = 1e9) {
+  std::vector<StorageNode> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({"n" + std::to_string(i), capacity, 0.0, false});
+  }
+  return out;
+}
+
+TEST(Placement, BirthNodeIsFirstReplica) {
+  PlacementConfig config;
+  config.replication = 2;
+  PlacementPolicy policy(nodes(4), config);
+  const auto placed = policy.place(ShardKey{1, 0, 0}, 100.0, /*born_on=*/2);
+  ASSERT_TRUE(placed.ok());
+  ASSERT_GE(placed.value().size(), 1u);
+  EXPECT_EQ(placed.value().front(), 2u);
+}
+
+TEST(Placement, ReplicationPicksDistinctNodes) {
+  PlacementConfig config;
+  config.replication = 3;
+  PlacementPolicy policy(nodes(5), config);
+  const auto placed = policy.place(ShardKey{9, 0, 0}, 100.0);
+  ASSERT_TRUE(placed.ok());
+  ASSERT_EQ(placed.value().size(), 3u);
+  std::vector<std::size_t> holders = placed.value();
+  std::sort(holders.begin(), holders.end());
+  EXPECT_EQ(std::unique(holders.begin(), holders.end()), holders.end());
+}
+
+TEST(Placement, DeterministicAcrossInstances) {
+  PlacementConfig config;
+  config.replication = 2;
+  PlacementPolicy a(nodes(6), config);
+  PlacementPolicy b(nodes(6), config);
+  for (ObjectId id = 0; id < 20; ++id) {
+    const ShardKey key{id, 0, 0};
+    EXPECT_EQ(a.place(key, 10.0).value(), b.place(key, 10.0).value());
+  }
+}
+
+TEST(Placement, ScoreIsDeterministicAndPerNode) {
+  PlacementPolicy policy(nodes(3), PlacementConfig{});
+  const ShardKey key{42, 1, 0};
+  EXPECT_DOUBLE_EQ(policy.score(key, 0), policy.score(key, 0));
+  EXPECT_NE(policy.score(key, 0), policy.score(key, 1));
+}
+
+TEST(Placement, CapacityRespected) {
+  PlacementPolicy policy(nodes(2, /*capacity=*/100.0), PlacementConfig{});
+  EXPECT_TRUE(policy.place(ShardKey{1, 0, 0}, 100.0).ok());
+  EXPECT_TRUE(policy.place(ShardKey{2, 0, 0}, 100.0).ok());
+  // Both nodes are now full: nowhere to put a third shard.
+  const auto placed = policy.place(ShardKey{3, 0, 0}, 1.0);
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Placement, ReleaseReturnsCapacity) {
+  PlacementPolicy policy(nodes(1, /*capacity=*/100.0), PlacementConfig{});
+  const auto first = policy.place(ShardKey{1, 0, 0}, 100.0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(policy.place(ShardKey{2, 0, 0}, 50.0).ok());
+  policy.release(first.value().front(), 100.0);
+  EXPECT_TRUE(policy.place(ShardKey{2, 0, 0}, 50.0).ok());
+}
+
+TEST(Placement, FailedNodeExcluded) {
+  PlacementConfig config;
+  config.replication = 3;
+  PlacementPolicy policy(nodes(3), config);
+  policy.set_failed(1, true);
+  const auto placed = policy.place(ShardKey{4, 0, 0}, 10.0);
+  ASSERT_TRUE(placed.ok());
+  for (std::size_t node : placed.value()) EXPECT_NE(node, 1u);
+  // Only two living nodes: replication degrades instead of failing.
+  EXPECT_EQ(placed.value().size(), 2u);
+}
+
+TEST(Placement, AffinityPinsReplica) {
+  PlacementConfig config;
+  config.replication = 1;
+  config.affinity[ObjectId{11}] = 2;
+  PlacementPolicy policy(nodes(4), config);
+  const auto placed = policy.place(ShardKey{11, 0, 0}, 10.0);
+  ASSERT_TRUE(placed.ok());
+  EXPECT_NE(std::find(placed.value().begin(), placed.value().end(), 2u),
+            placed.value().end());
+}
+
+// ----------------------------------------------------------------- cache --
+
+TEST(CacheTest, ZeroCapacityCachesNothing) {
+  Cache cache(CacheConfig{});  // capacity 0
+  const ShardKey key{1, 0, 0};
+  EXPECT_EQ(cache.insert(key, 10.0, 5.0).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_FALSE(cache.lookup(key));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().uncacheable, 1u);
+}
+
+TEST(CacheTest, HitRefreshesAndCounts) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kLru});
+  const ShardKey key{1, 0, 0};
+  EXPECT_FALSE(cache.lookup(key));  // miss first
+  ASSERT_TRUE(cache.insert(key, 10.0, 5.0).ok());
+  EXPECT_TRUE(cache.lookup(key));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(cache.resident_bytes(), 10.0);
+}
+
+TEST(CacheTest, OversizedShardRejectedWithoutEvicting) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kLru});
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 60.0, 1.0).ok());
+  EXPECT_EQ(cache.insert(ShardKey{2, 0, 0}, 150.0, 1.0).code(),
+            StatusCode::kResourceExhausted);
+  // The resident entry survived — rejecting an uncacheable shard must
+  // not sacrifice what is already cached.
+  EXPECT_TRUE(cache.contains(ShardKey{1, 0, 0}));
+  EXPECT_EQ(cache.stats().uncacheable, 1u);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kLru});
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 40.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{2, 0, 0}, 40.0, 1.0).ok());
+  EXPECT_TRUE(cache.lookup(ShardKey{1, 0, 0}));  // 2 is now least recent
+  ASSERT_TRUE(cache.insert(ShardKey{3, 0, 0}, 40.0, 1.0).ok());
+  EXPECT_TRUE(cache.contains(ShardKey{1, 0, 0}));
+  EXPECT_FALSE(cache.contains(ShardKey{2, 0, 0}));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().bytes_evicted, 40.0);
+}
+
+TEST(CacheTest, LfuEvictsLeastFrequentlyUsed) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kLfu});
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 40.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{2, 0, 0}, 40.0, 1.0).ok());
+  EXPECT_TRUE(cache.lookup(ShardKey{1, 0, 0}));
+  EXPECT_TRUE(cache.lookup(ShardKey{1, 0, 0}));
+  EXPECT_TRUE(cache.lookup(ShardKey{2, 0, 0}));
+  // 2 has fewer uses than 1 — it goes, even though 1 is less recent.
+  ASSERT_TRUE(cache.insert(ShardKey{3, 0, 0}, 40.0, 1.0).ok());
+  EXPECT_TRUE(cache.contains(ShardKey{1, 0, 0}));
+  EXPECT_FALSE(cache.contains(ShardKey{2, 0, 0}));
+}
+
+TEST(CacheTest, CostAwareKeepsExpensiveEntries) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kCostAware});
+  // Same size and use count; only the refetch cost differs.
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 40.0, /*cost=*/1000.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{2, 0, 0}, 40.0, /*cost=*/1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{3, 0, 0}, 40.0, /*cost=*/500.0).ok());
+  EXPECT_TRUE(cache.contains(ShardKey{1, 0, 0}));
+  EXPECT_FALSE(cache.contains(ShardKey{2, 0, 0}));  // cheapest to refetch
+}
+
+TEST(CacheTest, EraseIsNotAnEviction) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kLru});
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 10.0, 1.0).ok());
+  EXPECT_TRUE(cache.erase(ShardKey{1, 0, 0}));
+  EXPECT_FALSE(cache.erase(ShardKey{1, 0, 0}));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_DOUBLE_EQ(cache.resident_bytes(), 0.0);
+}
+
+TEST(CacheTest, StaleVersionNeverHits) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kLru});
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, /*version=*/0}, 10.0, 1.0).ok());
+  EXPECT_FALSE(cache.lookup(ShardKey{1, 0, /*version=*/1}));
+  EXPECT_TRUE(cache.lookup(ShardKey{1, 0, /*version=*/0}));
+}
+
+TEST(CacheTest, InvalidateObjectDropsOnlyOldVersions) {
+  Cache cache(CacheConfig{1000.0, EvictionPolicy::kLru});
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 10.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{1, 1, 0}, 10.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 2}, 10.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{2, 0, 0}, 10.0, 1.0).ok());
+  EXPECT_EQ(cache.invalidate_object(ObjectId{1}, /*version=*/2), 2u);
+  EXPECT_TRUE(cache.contains(ShardKey{1, 0, 2}));   // current version kept
+  EXPECT_TRUE(cache.contains(ShardKey{2, 0, 0}));   // other object kept
+  EXPECT_FALSE(cache.contains(ShardKey{1, 0, 0}));
+}
+
+TEST(CacheTest, ClearDropsEverything) {
+  Cache cache(CacheConfig{100.0, EvictionPolicy::kLru});
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 10.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{2, 0, 0}, 10.0, 1.0).ok());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_DOUBLE_EQ(cache.resident_bytes(), 0.0);
+}
+
+// -------------------------------------------------------------- transfer --
+
+TransferScheduler::LinkPicker uniform_link(const platform::LinkModel& m) {
+  return [m](std::size_t, std::size_t) { return m; };
+}
+
+TEST(Transfer, SoloFetchTakesExactModelTime) {
+  platform::Simulator sim;
+  const platform::LinkModel link = platform::LinkModel::udp_datacenter();
+  TransferScheduler xfer(sim, uniform_link(link));
+  double done_at = -1.0;
+  xfer.fetch(ShardKey{1, 0, 0}, 1e6, /*src=*/0, /*dst=*/1,
+             [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, link.transfer_us(1e6));
+  EXPECT_EQ(xfer.stats().issued, 1u);
+  EXPECT_EQ(xfer.stats().completed, 1u);
+  EXPECT_DOUBLE_EQ(xfer.stats().bytes_moved, 1e6);
+}
+
+TEST(Transfer, IdenticalInFlightFetchesDedup) {
+  platform::Simulator sim;
+  TransferScheduler xfer(
+      sim, uniform_link(platform::LinkModel::udp_datacenter()));
+  int arrivals = 0;
+  const ShardKey key{1, 0, 0};
+  xfer.fetch(key, 1e6, 0, 1, [&] { ++arrivals; });
+  EXPECT_TRUE(xfer.in_flight(key, 1));
+  xfer.fetch(key, 1e6, 0, 1, [&] { ++arrivals; });  // rides the first
+  sim.run();
+  EXPECT_EQ(arrivals, 2);
+  EXPECT_EQ(xfer.stats().issued, 1u);
+  EXPECT_EQ(xfer.stats().deduped, 1u);
+  EXPECT_DOUBLE_EQ(xfer.stats().bytes_moved, 1e6);  // moved once
+  EXPECT_FALSE(xfer.in_flight(key, 1));
+}
+
+TEST(Transfer, DistinctDestinationsDoNotDedup) {
+  platform::Simulator sim;
+  TransferScheduler xfer(
+      sim, uniform_link(platform::LinkModel::udp_datacenter()));
+  const ShardKey key{1, 0, 0};
+  xfer.fetch(key, 1e6, 0, 1, [] {});
+  xfer.fetch(key, 1e6, 0, 2, [] {});
+  sim.run();
+  EXPECT_EQ(xfer.stats().issued, 2u);
+  EXPECT_EQ(xfer.stats().deduped, 0u);
+}
+
+TEST(Transfer, ConcurrentTransfersShareTheLink) {
+  platform::Simulator sim;
+  const platform::LinkModel link = platform::LinkModel::udp_datacenter();
+  TransferScheduler xfer(sim, uniform_link(link));
+  double first = -1.0, second = -1.0;
+  // Different shards, same (src, dst) pair: same channel, fair-shared.
+  xfer.fetch(ShardKey{1, 0, 0}, 1e6, 0, 1, [&] { first = sim.now(); });
+  xfer.fetch(ShardKey{2, 0, 0}, 1e6, 0, 1, [&] { second = sim.now(); });
+  sim.run();
+  const double solo = link.transfer_us(1e6);
+  EXPECT_GT(first, solo);   // congested: strictly slower than alone
+  EXPECT_GT(second, solo);
+  // ...but no worse than fully serialized payloads.
+  EXPECT_LE(second, 2.0 * solo + 1e-6);
+}
+
+TEST(Transfer, AbandonedDestinationNeverDelivers) {
+  platform::Simulator sim;
+  TransferScheduler xfer(
+      sim, uniform_link(platform::LinkModel::udp_datacenter()));
+  int arrivals = 0;
+  xfer.fetch(ShardKey{1, 0, 0}, 1e6, 0, 1, [&] { ++arrivals; });
+  xfer.fetch(ShardKey{2, 0, 0}, 1e6, 0, 2, [&] { ++arrivals; });
+  xfer.abandon_destination(1);
+  sim.run();
+  EXPECT_EQ(arrivals, 1);  // only the dst=2 fetch delivered
+}
+
+TEST(Transfer, EstimateMatchesIdleLink) {
+  platform::Simulator sim;
+  const platform::LinkModel link = platform::LinkModel::tcp_datacenter();
+  TransferScheduler xfer(sim, uniform_link(link));
+  EXPECT_DOUBLE_EQ(xfer.estimate_us(5e5, 0, 1), link.transfer_us(5e5));
+}
+
+// ------------------------------------------------------------ prefetcher --
+
+TEST(PrefetcherTest, LookaheadWalksFrontierWaves) {
+  // Diamond: 0 → {1, 2} → 3.
+  const std::vector<std::vector<std::size_t>> deps = {{}, {0}, {0}, {1, 2}};
+  PrefetchConfig config;
+  config.depth = 1;
+  Prefetcher one(deps, config);
+  std::vector<char> done = {1, 0, 0, 0};
+  EXPECT_EQ(one.lookahead(done), (std::vector<std::size_t>{1, 2}));
+  config.depth = 2;
+  Prefetcher two(deps, config);
+  EXPECT_EQ(two.lookahead(done), (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(PrefetcherTest, PlanPullsRemoteInputsToGravityTarget) {
+  // 0 and 1 feed 2; 0's output is bigger, so 2 is predicted on 0's node
+  // and 1's output should be prefetched there.
+  const std::vector<std::vector<std::size_t>> deps = {{}, {}, {0, 1}};
+  Prefetcher prefetcher(deps, PrefetchConfig{});
+  const std::vector<char> done = {1, 1, 0};
+  const std::vector<int> in_flight = {0, 0, 0};
+  const std::vector<std::size_t> producer_node = {4, 7, Prefetcher::kUnplaced};
+  const std::vector<double> output_bytes = {100.0, 10.0, 0.0};
+  const auto plan = prefetcher.plan(0, done, in_flight, producer_node,
+                                    output_bytes);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].consumer, 2u);
+  EXPECT_EQ(plan[0].producer, 1u);
+  EXPECT_EQ(plan[0].target, 4u);
+}
+
+TEST(PrefetcherTest, PlanSkipsInFlightConsumers) {
+  const std::vector<std::vector<std::size_t>> deps = {{}, {}, {0, 1}};
+  Prefetcher prefetcher(deps, PrefetchConfig{});
+  const std::vector<char> done = {1, 1, 0};
+  const std::vector<int> in_flight = {0, 0, 1};  // 2 already dispatched
+  const std::vector<std::size_t> producer_node = {4, 7, Prefetcher::kUnplaced};
+  const std::vector<double> output_bytes = {100.0, 10.0, 0.0};
+  EXPECT_TRUE(prefetcher.plan(0, done, in_flight, producer_node, output_bytes)
+                  .empty());
+}
+
+TEST(PrefetcherTest, PlanCapsCandidatesPerEvent) {
+  // One completed root feeding many ready consumers, each with a second
+  // remote input.
+  std::vector<std::vector<std::size_t>> deps = {{}, {}};
+  for (int i = 0; i < 8; ++i) deps.push_back({0, 1});
+  PrefetchConfig config;
+  config.max_candidates_per_event = 3;
+  Prefetcher prefetcher(deps, config);
+  std::vector<char> done(deps.size(), 0);
+  done[0] = done[1] = 1;
+  const std::vector<int> in_flight(deps.size(), 0);
+  std::vector<std::size_t> producer_node(deps.size(), Prefetcher::kUnplaced);
+  producer_node[0] = 0;
+  producer_node[1] = 1;
+  std::vector<double> output_bytes(deps.size(), 0.0);
+  output_bytes[0] = 100.0;
+  output_bytes[1] = 10.0;
+  EXPECT_LE(prefetcher.plan(0, done, in_flight, producer_node, output_bytes)
+                .size(),
+            3u);
+}
+
+// ----------------------------------------------------------------- plane --
+
+PlaneConfig small_plane(std::size_t n, int replication = 1) {
+  PlaneConfig config;
+  config.num_nodes = n;
+  config.replication = replication;
+  config.cache_bytes = 64.0 * 1024 * 1024;
+  config.shard_limit_bytes = 4.0 * 1024 * 1024;
+  return config;
+}
+
+TEST(Plane, PutMakesObjectAvailableAtBirthNode) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(3));
+  plane.put(1, 1e6, /*node=*/2, "t1");
+  EXPECT_TRUE(plane.available(1));
+  ASSERT_NE(plane.find(1), nullptr);
+  EXPECT_EQ(plane.find(1)->version, 0u);
+  const auto primary = plane.primary_node(1);
+  ASSERT_TRUE(primary.ok());
+  EXPECT_EQ(primary.value(), 2u);
+  EXPECT_FALSE(plane.available(99));
+}
+
+TEST(Plane, StageAtHolderIsALocalHit) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(3));
+  plane.put(1, 1e6, 2);
+  bool staged = false;
+  ASSERT_TRUE(plane.stage(1, /*dst=*/2, [&] { staged = true; }).ok());
+  sim.run();
+  EXPECT_TRUE(staged);
+  EXPECT_EQ(plane.stats().local_hits, 1u);
+  EXPECT_EQ(plane.stats().transfers_issued, 0u);
+  EXPECT_DOUBLE_EQ(plane.stats().bytes_fetched, 0.0);
+}
+
+TEST(Plane, RemoteStageFetchesOnceThenHitsCache) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(3));
+  plane.put(1, 1e6, 0);
+  int staged = 0;
+  ASSERT_TRUE(plane.stage(1, 2, [&] { ++staged; }).ok());
+  sim.run();
+  ASSERT_TRUE(plane.stage(1, 2, [&] { ++staged; }).ok());
+  sim.run();
+  EXPECT_EQ(staged, 2);
+  EXPECT_EQ(plane.stats().cache_misses, 1u);
+  EXPECT_EQ(plane.stats().cache_hits, 1u);
+  EXPECT_DOUBLE_EQ(plane.stats().bytes_fetched, 1e6);  // fetched once
+}
+
+TEST(Plane, LostObjectIsNotFound) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(3, /*replication=*/1));
+  plane.put(1, 1e6, 0);
+  const std::vector<ObjectId> lost = plane.invalidate_node(0);
+  EXPECT_EQ(lost, (std::vector<ObjectId>{1}));
+  EXPECT_FALSE(plane.available(1));
+  // A data-plane miss is NOT_FOUND — not retryable, the object must be
+  // recomputed (kNotFound satellite semantics).
+  EXPECT_EQ(plane.primary_node(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(plane.stage(1, 2, [] {}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(plane.prefetch(1, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(plane.stats().objects_lost, 1u);
+}
+
+TEST(Plane, ReplicaAbsorbsCrash) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(4, /*replication=*/2));
+  plane.put(1, 1e6, 0);
+  EXPECT_GT(plane.stats().bytes_replicated, 0.0);
+  const std::vector<ObjectId> lost = plane.invalidate_node(0);
+  EXPECT_TRUE(lost.empty());  // the second replica kept it alive
+  EXPECT_TRUE(plane.available(1));
+  EXPECT_TRUE(plane.primary_node(1).ok());
+  EXPECT_NE(plane.primary_node(1).value(), 0u);
+  EXPECT_EQ(plane.stats().objects_lost, 0u);
+  EXPECT_GE(plane.stats().reads_repointed, 1u);
+}
+
+TEST(Plane, RecomputationBumpsVersionAndInvalidatesCaches) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(3, /*replication=*/1));
+  plane.put(1, 1e6, 0);
+  ASSERT_TRUE(plane.stage(1, 2, [] {}).ok());  // node 2 caches v0
+  sim.run();
+  ASSERT_EQ(plane.cache(2).size(), 1u);
+  (void)plane.invalidate_node(0);
+  plane.restore_node(0);
+  plane.put(1, 1e6, 1);  // recomputed on node 1 at a fresh version
+  ASSERT_NE(plane.find(1), nullptr);
+  // Loss bumped the version once, recomputation again — strictly newer
+  // than every pre-crash copy is all that matters.
+  EXPECT_GT(plane.find(1)->version, 0u);
+  EXPECT_EQ(plane.cache(2).size(), 0u);  // stale v0 copy dropped
+  // Restaging fetches the new version; the stale copy can never hit.
+  int staged = 0;
+  ASSERT_TRUE(plane.stage(1, 2, [&] { ++staged; }).ok());
+  sim.run();
+  EXPECT_EQ(staged, 1);
+  EXPECT_EQ(plane.stats().cache_hits, 0u);
+  EXPECT_EQ(plane.stats().cache_misses, 2u);  // v0 fetch + fresh fetch
+}
+
+TEST(Plane, PrefetchedShardCountsAsUsefulOnDemand) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(3));
+  plane.put(1, 1e6, 0);
+  ASSERT_TRUE(plane.prefetch(1, 2).ok());
+  sim.run();
+  EXPECT_EQ(plane.stats().prefetch_issued, 1u);
+  bool staged = false;
+  ASSERT_TRUE(plane.stage(1, 2, [&] { staged = true; }).ok());
+  sim.run();
+  EXPECT_TRUE(staged);
+  EXPECT_EQ(plane.stats().prefetch_useful, 1u);
+  EXPECT_EQ(plane.stats().transfers_issued, 1u);  // moved once, ahead
+}
+
+TEST(Plane, InvalidateReturnsLostObjectsAscending) {
+  platform::Simulator sim;
+  DataPlane plane(sim, small_plane(1));  // one node holds everything
+  plane.put(7, 1e6, 0);
+  plane.put(3, 1e6, 0);
+  plane.put(5, 1e6, 0);
+  EXPECT_EQ(plane.invalidate_node(0),
+            (std::vector<ObjectId>{3, 5, 7}));
+}
+
+// ------------------------------------------- scheduler integration (E19) --
+
+workflow::TaskGraph transfer_bound_graph() {
+  // 7 lanes × 4 stages of cheap tasks with fat outputs on 4 workers:
+  // locality is the dominant term.
+  return workflow::TaskGraph::pipeline(4, 7, 1e7, 8e6);
+}
+
+std::vector<workflow::WorkerSpec> worker_pool(std::size_t n) {
+  std::vector<workflow::WorkerSpec> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.push_back({"w" + std::to_string(i), 10.0, 1.0, 10.0});
+  }
+  return workers;
+}
+
+TEST(PlaneScheduler, PlaneModeCompletesAndPopulatesCounters) {
+  const workflow::TaskGraph graph = transfer_bound_graph();
+  PlaneConfig plane = small_plane(4);
+  workflow::SimulationOptions options;
+  options.scheduler = workflow::SchedulerKind::kWorkStealing;
+  options.data_plane = &plane;
+  const auto outcome = simulate_schedule(graph, worker_pool(4), options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().tasks_completed, graph.size());
+  EXPECT_GT(outcome.value().makespan_us, 0.0);
+  const PlaneStats& stats = outcome.value().plane;
+  EXPECT_GT(stats.local_hits + stats.cache_hits + stats.cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(outcome.value().bytes_transferred,
+                   stats.bytes_fetched + stats.bytes_replicated);
+}
+
+TEST(PlaneScheduler, LocalityAwareFetchesStrictlyFewerBytes) {
+  const workflow::TaskGraph graph = transfer_bound_graph();
+  PlaneConfig plane = small_plane(4);
+  workflow::SimulationOptions options;
+  options.scheduler = workflow::SchedulerKind::kWorkStealing;
+  options.data_plane = &plane;
+  options.locality_aware = false;
+  const auto blind = simulate_schedule(graph, worker_pool(4), options);
+  options.locality_aware = true;
+  const auto aware = simulate_schedule(graph, worker_pool(4), options);
+  ASSERT_TRUE(blind.ok());
+  ASSERT_TRUE(aware.ok());
+  EXPECT_LT(aware.value().plane.bytes_fetched,
+            blind.value().plane.bytes_fetched);
+}
+
+TEST(PlaneScheduler, PrefetchDepthActivatesPrefetching) {
+  // Multi-input consumers: a reducer's inputs are scattered over the
+  // mappers' nodes, so some always live away from its gravity target —
+  // the shape prefetching exists for (single-input chains never
+  // prefetch: the input is already at the target).
+  const workflow::TaskGraph graph =
+      workflow::TaskGraph::map_reduce(6, 3, 1e7, 1e7, 4e6);
+  PlaneConfig plane = small_plane(4);
+  workflow::SimulationOptions options;
+  options.scheduler = workflow::SchedulerKind::kWorkStealing;
+  options.data_plane = &plane;
+  options.prefetch_depth = 1;
+  const auto outcome = simulate_schedule(graph, worker_pool(4), options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().tasks_completed, graph.size());
+  EXPECT_GT(outcome.value().plane.prefetch_issued, 0u);
+}
+
+TEST(PlaneScheduler, ReplicationAbsorbsCrashWithoutRecomputation) {
+  Rng rng(3);
+  const workflow::TaskGraph graph =
+      workflow::TaskGraph::random_layered(5, 6, 2, rng, 2e8, 4e6);
+  resilience::FaultPlan plan;
+  plan.crash(/*node=*/1, /*at_us=*/3000.0, /*downtime_us=*/1e5);
+  PlaneConfig single = small_plane(4, /*replication=*/1);
+  PlaneConfig dual = small_plane(4, /*replication=*/2);
+  workflow::SimulationOptions options;
+  options.scheduler = workflow::SchedulerKind::kWorkStealing;
+  options.fault_plan = &plan;
+  options.data_plane = &single;
+  const auto lone = simulate_schedule(graph, worker_pool(4), options);
+  options.data_plane = &dual;
+  const auto mirrored = simulate_schedule(graph, worker_pool(4), options);
+  ASSERT_TRUE(lone.ok());
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(lone.value().tasks_completed, graph.size());
+  EXPECT_EQ(mirrored.value().tasks_completed, graph.size());
+  // A second replica keeps crashed outputs readable: recomputation (and
+  // with it the crash penalty) shrinks.
+  EXPECT_LE(mirrored.value().recomputed_tasks,
+            lone.value().recomputed_tasks);
+  EXPECT_GT(mirrored.value().plane.bytes_replicated, 0.0);
+}
+
+// Determinism: the same seeded run must produce byte-identical data-plane
+// counters on every repetition, whatever the eviction policy — the cache
+// uses logical sequence numbers, the simulator breaks ties by event seq,
+// and placement is rendezvous-hashed.
+class PlaneDeterminism : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(PlaneDeterminism, RepeatedRunsProduceIdenticalCounters) {
+  Rng rng(11);
+  const workflow::TaskGraph graph =
+      workflow::TaskGraph::random_layered(4, 6, 3, rng, 5e7, 6e6);
+  PlaneConfig plane = small_plane(4);
+  plane.eviction = GetParam();
+  plane.cache_bytes = 16.0 * 1024 * 1024;  // small enough to evict
+  workflow::SimulationOptions options;
+  options.scheduler = workflow::SchedulerKind::kWorkStealing;
+  options.data_plane = &plane;
+  options.prefetch_depth = 1;
+  options.seed = 23;
+
+  const auto first = simulate_schedule(graph, worker_pool(4), options);
+  const auto second = simulate_schedule(graph, worker_pool(4), options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const PlaneStats& a = first.value().plane;
+  const PlaneStats& b = second.value().plane;
+  EXPECT_EQ(a.local_hits, b.local_hits);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.transfers_issued, b.transfers_issued);
+  EXPECT_EQ(a.transfers_deduped, b.transfers_deduped);
+  EXPECT_EQ(a.prefetch_issued, b.prefetch_issued);
+  EXPECT_EQ(a.prefetch_useful, b.prefetch_useful);
+  EXPECT_DOUBLE_EQ(a.bytes_fetched, b.bytes_fetched);
+  EXPECT_DOUBLE_EQ(a.bytes_evicted, b.bytes_evicted);
+  EXPECT_DOUBLE_EQ(first.value().makespan_us, second.value().makespan_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PlaneDeterminism,
+    ::testing::Values(EvictionPolicy::kLru, EvictionPolicy::kLfu,
+                      EvictionPolicy::kCostAware),
+    [](const ::testing::TestParamInfo<EvictionPolicy>& info) {
+      switch (info.param) {
+        case EvictionPolicy::kLru: return std::string("Lru");
+        case EvictionPolicy::kLfu: return std::string("Lfu");
+        case EvictionPolicy::kCostAware: return std::string("CostAware");
+      }
+      return std::string("Unknown");
+    });
+
+}  // namespace
+}  // namespace everest::data

@@ -618,6 +618,82 @@ TEST(Server, DegradedModeShedsThroughputClassAtAdmission) {
 
 // ----------------------------------------- real use-case endpoint smoke
 
+// ---------------------------------------------------------- input cache
+
+TEST(Server, InputCacheWarmsRepeatedDataKeys) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.batch.max_batch = 1;  // one request per batch: per-request keys
+  options.input_cache.capacity_bytes = 8.0 * 1024 * 1024;
+  options.input_stage_scale = 0.0;  // account the stall, don't sleep it
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  for (int i = 0; i < 10; ++i) {
+    Request request;
+    request.kernel = "test_kernel";
+    request.data_key = "tenant-a/hot";  // the same object every time
+    request.input_bytes = 64.0 * 1024;
+    ASSERT_TRUE(server.submit(request, [](const Response&) {}).ok());
+    server.drain();  // serialize batches so the first insert is visible
+  }
+  server.stop();
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.input_misses, 1u);  // only the first read paid the link
+  EXPECT_EQ(snap.input_hits, 9u);
+  EXPECT_GT(snap.input_hit_rate(), 0.85);
+  EXPECT_GT(snap.input_stall_us, 0.0);
+}
+
+TEST(Server, ColdInputPathMissesEveryTime) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.batch.max_batch = 1;
+  // Default input_cache capacity is 0: the cold path, every keyed
+  // request pays its input transfer.
+  options.input_stage_scale = 0.0;
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+
+  for (int i = 0; i < 5; ++i) {
+    Request request;
+    request.kernel = "test_kernel";
+    request.data_key = "tenant-a/hot";
+    request.input_bytes = 64.0 * 1024;
+    ASSERT_TRUE(server.submit(request, [](const Response&) {}).ok());
+  }
+  server.drain();
+  server.stop();
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.input_hits, 0u);
+  EXPECT_GE(snap.input_misses, 1u);
+  EXPECT_DOUBLE_EQ(snap.input_hit_rate(), 0.0);
+}
+
+TEST(Server, UnkeyedRequestsSkipInputStaging) {
+  runtime::KnowledgeBase kb;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.input_cache.capacity_bytes = 8.0 * 1024 * 1024;
+  Server server(options, &kb);
+  ASSERT_TRUE(server.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(server.start().ok());
+  for (int i = 0; i < 5; ++i) {
+    Request request;
+    request.kernel = "test_kernel";  // no data_key
+    ASSERT_TRUE(server.submit(request, [](const Response&) {}).ok());
+  }
+  server.drain();
+  server.stop();
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.input_hits + snap.input_misses, 0u);
+  EXPECT_DOUBLE_EQ(snap.input_stall_us, 0.0);
+}
+
 TEST(Endpoints, StandardEndpointsServeRealWork) {
   runtime::KnowledgeBase kb;
   ServerOptions options;
