@@ -258,5 +258,8 @@ int main(int argc, char** argv) {
               rel_off * 100, rel_on * 100,
               (rel_on > 0.5 && rel_off < 0.5) ? "breaker wins"
                                               : "CHECK FAILED");
-  return (rel_on > 0.5 && rel_off < 0.5) ? 0 : 1;
+  everest::bench::SmokeChecker checker;
+  checker.check(rel_on > 0.5, "breaker-on sustains >50% of fault-free goodput");
+  checker.check(rel_off < 0.5, "breaker-off drops below 50% at p=0.9");
+  return checker.report("E18");
 }

@@ -74,7 +74,7 @@ PlaneRun run_plane(const TaskGraph& graph, std::size_t workers,
 
 int main(int argc, char** argv) {
   const bool smoke = everest::bench::smoke_mode(argc, argv);
-  int failures = 0;
+  everest::bench::SmokeChecker checker;
 
   std::printf("=== E19: virtualized data plane ===\n\n");
 
@@ -143,11 +143,11 @@ int main(int argc, char** argv) {
                 std::to_string(aware.local_hits),
                 std::to_string(aware.cache_hits),
                 fmt_double(aware.makespan_ms, 1)});
-    if (smoke && !(aware.fetched_mb < blind.fetched_mb)) {
-      std::printf("SMOKE FAIL: %s: gravity fetched %.2f MB, blind %.2f MB "
-                  "(expected strictly less)\n",
-                  c.name, aware.fetched_mb, blind.fetched_mb);
-      ++failures;
+    if (smoke &&
+        !checker.check(aware.fetched_mb < blind.fetched_mb,
+                       "data gravity fetches strictly less than round-robin")) {
+      std::printf("  %s: gravity fetched %.2f MB, blind %.2f MB\n", c.name,
+                  aware.fetched_mb, blind.fetched_mb);
     }
   }
   std::printf("%s\n", s1.render().c_str());
@@ -201,10 +201,10 @@ int main(int argc, char** argv) {
                 fmt_double(snap.input_stall_us / 1e3, 1)});
   }
   std::printf("%s\n", s2.render().c_str());
-  if (smoke && !(warm_rps > cold_rps)) {
-    std::printf("SMOKE FAIL: warm goodput %.1f rps <= cold %.1f rps\n",
-                warm_rps, cold_rps);
-    ++failures;
+  if (smoke &&
+      !checker.check(warm_rps > cold_rps,
+                     "warm input cache beats cold path on goodput")) {
+    std::printf("  warm %.1f rps vs cold %.1f rps\n", warm_rps, cold_rps);
   }
   std::printf("the hot keys of the skewed mix stay resident, so most\n"
               "requests skip the WAN stall entirely; the cold path pays it\n"
@@ -247,20 +247,16 @@ int main(int argc, char** argv) {
                 fmt_double(stats.bytes_evicted / 1e6, 1)});
   }
   std::printf("%s\n", s3.render().c_str());
-  if (smoke && !(max_rate - min_rate >= 0.005)) {
-    std::printf("SMOKE FAIL: hit-rate spread %.4f < 0.005 — policies "
-                "indistinguishable\n", max_rate - min_rate);
-    ++failures;
+  if (smoke &&
+      !checker.check(max_rate - min_rate >= 0.005,
+                     "eviction policy choice moves the hit rate")) {
+    std::printf("  hit-rate spread %.4f < 0.005\n", max_rate - min_rate);
   }
   std::printf("with sizes and refetch costs decorrelated from popularity,\n"
               "what a policy keeps under pressure changes the hit rate —\n"
               "the ablation the plane's per-node cache knob exposes.\n\n");
 
-  if (smoke) {
-    std::printf(failures == 0 ? "E19 smoke: all self-checks passed.\n"
-                              : "E19 smoke: %d self-check(s) FAILED.\n",
-                failures);
-  }
   std::printf("E19 done.\n");
-  return failures;
+  if (smoke) return checker.report("E19");
+  return everest::bench::kExitOk;
 }

@@ -16,6 +16,7 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "obs/obs.hpp"
 #include "security/aes.hpp"
 #include "security/sha256.hpp"
 #include "workflow/scheduler.hpp"
@@ -161,6 +162,52 @@ void BM_PtdrSampling(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_PtdrSampling)->Arg(100)->Arg(1000);
+
+// The observability contract: a disabled tracer costs one relaxed load +
+// branch per call site (<10 ns; bench_e20 enforces the budget), an
+// enabled span pays string materialisation + one ring push, and the
+// instruments stay O(ns) so hot paths can record unconditionally.
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer;  // disabled
+  for (auto _ : state) {
+    obs::Tracer::ScopedSpan s = tracer.scoped("noop", "bench");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::TracerConfig config;
+  config.enabled = true;
+  config.ring_capacity = 1 << 10;
+  obs::Tracer tracer(config);
+  for (auto _ : state) {
+    obs::Tracer::ScopedSpan s = tracer.scoped("op", "bench");
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["dropped"] = double(tracer.dropped());
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram hist;
+  Rng rng(9);
+  std::vector<double> values(1024);
+  for (double& v : values) v = rng.uniform() * 1e5;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hist.record(values[i++ & 1023]);
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 

@@ -3,17 +3,76 @@
 // mode a bench shrinks its series to CI scale and — where the experiment
 // defines an acceptance criterion — self-checks it via the exit code
 // (ctest runs the *_smoke tests this way).
+//
+// Exit-code contract, distinguishable from scripts (tools/check.sh):
+//   kExitOk              (0) — ran to completion, all criteria held
+//   kExitCriterionFailed (1) — ran to completion, >=1 criterion failed
+//   kExitBadUsage        (2) — unknown flag; nothing was run
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace everest::bench {
 
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitCriterionFailed = 1;
+inline constexpr int kExitBadUsage = 2;
+
+/// Parses the bench command line. The only flag is `--smoke`; anything else
+/// prints usage and exits with kExitBadUsage so a typo in a CI recipe fails
+/// loudly instead of silently running the full-length series.
 inline bool smoke_mode(int argc, char** argv) {
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\nusage: %s [--smoke]\n",
+                   argv[i], argv[0]);
+      std::exit(kExitBadUsage);
+    }
   }
-  return false;
+  return smoke;
 }
+
+/// Accumulates named acceptance criteria. Each failed check prints
+/// `SMOKE FAIL [<name>] ...` immediately; exit_code() collapses any number
+/// of failures to kExitCriterionFailed so the code never collides with
+/// kExitBadUsage.
+class SmokeChecker {
+ public:
+  /// Records one criterion; when it fails, names it on stdout (the name is
+  /// what a CI log grep finds first).
+  bool check(bool ok, const char* criterion) {
+    if (!ok) {
+      ++failures_;
+      std::printf("SMOKE FAIL [%s]\n", criterion);
+    }
+    return ok;
+  }
+
+  [[nodiscard]] int failures() const { return failures_; }
+
+  [[nodiscard]] int exit_code() const {
+    return failures_ == 0 ? kExitOk : kExitCriterionFailed;
+  }
+
+  /// Prints the one-line verdict and returns exit_code() — the tail call
+  /// for every bench main: `return checker.report("E19");`.
+  int report(const char* experiment) const {
+    if (failures_ == 0) {
+      std::printf("%s smoke: all self-checks passed.\n", experiment);
+    } else {
+      std::printf("%s smoke: %d self-check(s) FAILED.\n", experiment,
+                  failures_);
+    }
+    return exit_code();
+  }
+
+ private:
+  int failures_ = 0;
+};
 
 }  // namespace everest::bench

@@ -1,6 +1,8 @@
 #include "common/logging.hpp"
 
+#include <chrono>
 #include <iostream>
+#include <utility>
 
 namespace everest {
 
@@ -23,11 +25,38 @@ std::string_view level_name(LogLevel level) {
 }
 }  // namespace
 
+std::int64_t Logger::monotonic_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+std::uint32_t Logger::thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Logger::set_sink(std::function<void(std::string_view)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view msg) {
+  // Format outside the lock; only the final single-call emit is serialized.
+  std::ostringstream line;
+  line << "[" << monotonic_us() << "us][t" << thread_id() << "]["
+       << level_name(level) << "][" << component << "] " << msg << "\n";
+  const std::string text = line.str();
   std::lock_guard<std::mutex> lock(mu_);
-  std::cerr << "[" << level_name(level) << "][" << component << "] " << msg
-            << "\n";
+  if (sink_) {
+    sink_(text);
+  } else {
+    std::cerr << text;
+  }
 }
 
 }  // namespace everest

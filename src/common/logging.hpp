@@ -4,6 +4,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -26,14 +28,29 @@ class Logger {
   }
   [[nodiscard]] bool enabled(LogLevel lvl) const { return lvl >= level(); }
 
-  /// Writes one formatted line to stderr (thread-safe: one mutex-guarded
-  /// sink write per line, so lines from different threads never interleave).
+  /// Writes one formatted line, prefixed with a monotonic microsecond
+  /// timestamp (since process start) and a small stable per-thread id
+  /// (thread-safe: the line is fully formatted first, then handed to the
+  /// sink in one mutex-guarded call, so lines from different threads never
+  /// interleave).
   void write(LogLevel level, std::string_view component, std::string_view msg);
+
+  /// Redirects whole lines (including the trailing newline) to `sink`
+  /// instead of stderr; pass nullptr to restore stderr. Test hook — the
+  /// sink is invoked under the same mutex as stderr writes.
+  void set_sink(std::function<void(std::string_view)> sink);
+
+  /// Microseconds since process start on the monotonic clock.
+  [[nodiscard]] static std::int64_t monotonic_us();
+
+  /// Small dense id of the calling thread (0, 1, 2, ... in first-log order).
+  [[nodiscard]] static std::uint32_t thread_id();
 
  private:
   Logger() = default;
   std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mu_;
+  std::function<void(std::string_view)> sink_;
 };
 
 namespace detail {

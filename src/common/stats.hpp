@@ -75,12 +75,23 @@ class Ewma {
   [[nodiscard]] double variance() const { return var_; }
   [[nodiscard]] double stddev() const { return std::sqrt(var_); }
 
+  /// Largest magnitude zscore() reports. A degenerate stream (zero
+  /// variance) makes the true z-score unbounded; callers compare scores
+  /// against single-digit thresholds, so any value past the cap carries no
+  /// extra information and a finite cap keeps downstream arithmetic
+  /// (averaging scores, subtracting thresholds) out of overflow territory.
+  static constexpr double kZscoreCap = 1e6;
+
   /// Standardized deviation of x from the tracked mean; 0 until warm.
+  /// Results are clamped to [-kZscoreCap, kZscoreCap]; a deviation from a
+  /// zero-variance stream saturates at the cap.
   [[nodiscard]] double zscore(double x) const {
     if (!initialized_) return 0.0;
     const double s = stddev();
-    if (s < 1e-12) return x == mean_ ? 0.0 : (x > mean_ ? 1e9 : -1e9);
-    return (x - mean_) / s;
+    if (s < 1e-12) {
+      return x == mean_ ? 0.0 : (x > mean_ ? kZscoreCap : -kZscoreCap);
+    }
+    return std::clamp((x - mean_) / s, -kZscoreCap, kZscoreCap);
   }
 
  private:

@@ -49,6 +49,15 @@ DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
     caches_.push_back(std::make_unique<Cache>(
         CacheConfig{config_.cache_bytes, config_.eviction}));
   }
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    ctr_local_hits_ = reg.counter("data.local_hits");
+    ctr_cache_hits_ = reg.counter("data.cache_hits");
+    ctr_cache_misses_ = reg.counter("data.cache_misses");
+    ctr_evictions_ = reg.counter("data.evictions");
+    ctr_prefetch_issued_ = reg.counter("data.prefetch_issued");
+    ctr_prefetch_useful_ = reg.counter("data.prefetch_useful");
+  }
 }
 
 void DataPlane::put(ObjectId id, double bytes, std::size_t node,
@@ -151,7 +160,10 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
     const double sb = obj.shard_bytes(s);
     const auto& holders = replicas_.at(key);
     if (std::find(holders.begin(), holders.end(), dst) != holders.end()) {
-      if (!is_prefetch) ++counters_.local_hits;
+      if (!is_prefetch) {
+        ++counters_.local_hits;
+        if (ctr_local_hits_ != nullptr) ctr_local_hits_->inc();
+      }
       continue;
     }
     Cache& cache = *caches_[dst];
@@ -160,23 +172,48 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
       // or already on the wire.
       if (cache.contains(key) || xfer_.in_flight(key, dst)) continue;
       ++counters_.prefetch_issued;
+      if (ctr_prefetch_issued_ != nullptr) ctr_prefetch_issued_->inc();
     } else if (cache.lookup(key)) {
+      if (ctr_cache_hits_ != nullptr) ctr_cache_hits_->inc();
       const auto tag = std::make_pair(key, dst);
       auto pit = prefetched_.find(tag);
       if (pit != prefetched_.end()) {
         ++counters_.prefetch_useful;
+        if (ctr_prefetch_useful_ != nullptr) ctr_prefetch_useful_->inc();
         prefetched_.erase(pit);
       }
       continue;
+    } else if (ctr_cache_misses_ != nullptr) {
+      ctr_cache_misses_->inc();
     }
     // Fetch from the preferred (birth-first) holder; dedup rides any
     // in-flight copy of the same shard to the same destination.
     const std::size_t src = holders.front();
     const double refetch_cost = xfer_.estimate_us(sb, src, dst);
     if (!is_prefetch) ++state->pending;
+    const double issue_us = sim_->now();
     xfer_.fetch(key, sb, src, dst,
-                [this, key, sb, refetch_cost, dst, is_prefetch, state] {
+                [this, key, sb, refetch_cost, src, dst, is_prefetch, state,
+                 issue_us] {
+                  if (tracing()) {
+                    // Sim-time transfer span on the destination's track,
+                    // in the owning object/task's trace.
+                    config_.tracer->span(
+                        obs::TimeDomain::kSim, key.object + 1,
+                        config_.tracer->next_id(), 0, issue_us, sim_->now(),
+                        static_cast<std::uint32_t>(dst), "xfer", "data",
+                        {{"object", std::to_string(key.object)},
+                         {"shard", std::to_string(key.shard)},
+                         {"src", std::to_string(src)},
+                         {"dst", std::to_string(dst)},
+                         {"bytes", std::to_string(sb)},
+                         {"prefetch", is_prefetch ? "1" : "0"}});
+                  }
+                  const std::uint64_t ev0 = caches_[dst]->stats().evictions;
                   (void)caches_[dst]->insert(key, sb, refetch_cost);
+                  if (ctr_evictions_ != nullptr) {
+                    ctr_evictions_->inc(caches_[dst]->stats().evictions - ev0);
+                  }
                   if (is_prefetch) {
                     prefetched_.insert({key, dst});
                     return;

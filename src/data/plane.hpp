@@ -23,6 +23,8 @@
 
 #include "common/status.hpp"
 #include "data/cache.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "data/object.hpp"
 #include "data/placement.hpp"
 #include "data/prefetcher.hpp"
@@ -47,6 +49,15 @@ struct PlaneConfig {
   /// Inter-node fabric (every pair; same node never transfers).
   platform::LinkModel link = platform::LinkModel::udp_datacenter();
   PlacementConfig placement;
+
+  // ---- observability (both borrowed; may be null) ----
+  /// Sink for per-transfer sim-time spans ("xfer", component "data",
+  /// track = destination node, trace_id = object id + 1 so they land in
+  /// the owning task's trace).
+  obs::Tracer* tracer = nullptr;
+  /// Registry mirror of the hit/miss/eviction/prefetch counters (the
+  /// same numbers PlaneStats aggregates, live instead of post-run).
+  obs::Registry* registry = nullptr;
 };
 
 /// Aggregated data-plane counters (sums per-node cache stats with
@@ -139,6 +150,9 @@ class DataPlane {
   Status stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
                     platform::Simulator::Callback on_staged);
   void drop_object_replicas(const DataObject& object);
+  [[nodiscard]] bool tracing() const {
+    return config_.tracer != nullptr && config_.tracer->enabled();
+  }
 
   platform::Simulator* sim_;
   PlaneConfig config_;
@@ -152,6 +166,14 @@ class DataPlane {
   /// (shard, node) pairs staged by prefetch and not yet claimed by demand.
   std::set<std::pair<ShardKey, std::size_t>> prefetched_;
   PlaneStats counters_;  ///< lifecycle counters (cache stats live in caches_)
+
+  /// Registry mirrors (null when config_.registry is null).
+  obs::Counter* ctr_local_hits_ = nullptr;
+  obs::Counter* ctr_cache_hits_ = nullptr;
+  obs::Counter* ctr_cache_misses_ = nullptr;
+  obs::Counter* ctr_evictions_ = nullptr;
+  obs::Counter* ctr_prefetch_issued_ = nullptr;
+  obs::Counter* ctr_prefetch_useful_ = nullptr;
 };
 
 }  // namespace everest::data

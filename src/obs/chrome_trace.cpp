@@ -1,0 +1,117 @@
+#include "obs/chrome_trace.hpp"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace everest::obs {
+
+json::Value chrome_trace_json(const std::vector<TraceEvent>& events) {
+  // Stable component -> pid mapping in first-seen order.
+  std::map<std::string, int> pids;
+  for (const auto& ev : events) {
+    pids.emplace(ev.component, 0);
+  }
+  int next_pid = 1;
+  for (auto& [component, pid] : pids) pid = next_pid++;
+
+  json::Array trace_events;
+  trace_events.reserve(events.size() + pids.size());
+  for (const auto& [component, pid] : pids) {
+    json::Object args;
+    args["name"] = json::Value(component);
+    json::Object meta;
+    meta["ph"] = json::Value("M");
+    meta["name"] = json::Value("process_name");
+    meta["pid"] = json::Value(pid);
+    meta["tid"] = json::Value(0);
+    meta["args"] = json::Value(std::move(args));
+    trace_events.push_back(json::Value(std::move(meta)));
+  }
+
+  for (const auto& ev : events) {
+    json::Object args;
+    args["trace_id"] = json::Value(static_cast<std::size_t>(ev.trace_id));
+    if (ev.kind == TraceEvent::Kind::kSpan) {
+      args["span_id"] = json::Value(static_cast<std::size_t>(ev.span_id));
+      args["parent_id"] = json::Value(static_cast<std::size_t>(ev.parent_id));
+    }
+    args["clock"] =
+        json::Value(ev.domain == TimeDomain::kSim ? "sim" : "wall");
+    for (const auto& [key, value] : ev.annotations) {
+      args[key] = json::Value(value);
+    }
+
+    json::Object entry;
+    entry["name"] = json::Value(ev.name);
+    entry["cat"] = json::Value(ev.component);
+    entry["pid"] = json::Value(pids[ev.component]);
+    entry["tid"] = json::Value(static_cast<std::size_t>(ev.track));
+    entry["ts"] = json::Value(ev.start_us);
+    if (ev.kind == TraceEvent::Kind::kSpan) {
+      entry["ph"] = json::Value("X");
+      entry["dur"] = json::Value(ev.duration_us() < 0.0 ? 0.0 : ev.duration_us());
+    } else {
+      entry["ph"] = json::Value("i");
+      entry["s"] = json::Value("t");  // thread-scoped instant
+    }
+    entry["args"] = json::Value(std::move(args));
+    trace_events.push_back(json::Value(std::move(entry)));
+  }
+
+  json::Object root;
+  root["traceEvents"] = json::Value(std::move(trace_events));
+  root["displayTimeUnit"] = json::Value("ms");
+  return json::Value(std::move(root));
+}
+
+std::string chrome_trace(const std::vector<TraceEvent>& events, int indent) {
+  return chrome_trace_json(events).dump(indent);
+}
+
+bool spans_acyclic(const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+  parent_of.reserve(events.size());
+  for (const auto& ev : events) {
+    if (ev.kind != TraceEvent::Kind::kSpan) continue;
+    if (ev.span_id == 0) return false;  // spans must carry real ids
+    if (!parent_of.emplace(ev.span_id, ev.parent_id).second) {
+      return false;  // duplicate span id
+    }
+  }
+  for (const auto& [id, parent] : parent_of) {
+    std::unordered_set<std::uint64_t> seen;
+    std::uint64_t cur = id;
+    while (cur != 0) {
+      if (!seen.insert(cur).second) return false;  // cycle
+      auto it = parent_of.find(cur);
+      if (it == parent_of.end()) {
+        // A non-zero parent that is not in the event set: dangling link.
+        if (cur != id) return false;
+        break;
+      }
+      cur = it->second;
+    }
+  }
+  return true;
+}
+
+bool span_chains_complete(const std::vector<TraceEvent>& events) {
+  if (!spans_acyclic(events)) return false;
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  for (const auto& ev : events) {
+    if (ev.kind == TraceEvent::Kind::kSpan) by_id.emplace(ev.span_id, &ev);
+  }
+  for (const auto& [id, ev] : by_id) {
+    const TraceEvent* cur = ev;
+    while (cur->parent_id != 0) {
+      auto it = by_id.find(cur->parent_id);
+      if (it == by_id.end()) return false;             // broken chain
+      if (it->second->trace_id != ev->trace_id) return false;  // crossed trace
+      cur = it->second;
+    }
+  }
+  return true;
+}
+
+}  // namespace everest::obs

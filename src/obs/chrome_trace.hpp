@@ -1,0 +1,36 @@
+#pragma once
+
+// Chrome trace-event exporter (the JSON format chrome://tracing and
+// Perfetto load) plus structural span checks used by tests and smoke
+// benches.
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/trace.hpp"
+
+namespace everest::obs {
+
+/// Builds a `{"traceEvents":[...], "displayTimeUnit":"ms"}` document.
+/// Spans become complete ("ph":"X") events and instants become
+/// ("ph":"i") events; each component maps to one pid (named via
+/// process_name metadata) and each track to one tid, so workflow runs
+/// render as a per-worker Gantt chart.
+[[nodiscard]] json::Value chrome_trace_json(
+    const std::vector<TraceEvent>& events);
+
+/// chrome_trace_json serialized (indent < 0 = compact).
+[[nodiscard]] std::string chrome_trace(const std::vector<TraceEvent>& events,
+                                       int indent = -1);
+
+/// True when span parent links form a forest: no span is its own
+/// ancestor and every non-zero parent_id resolves to a span in
+/// `events`. Instants are ignored.
+[[nodiscard]] bool spans_acyclic(const std::vector<TraceEvent>& events);
+
+/// True when every span either is a root (parent_id == 0) or its parent
+/// chain reaches a root within the same trace_id.
+[[nodiscard]] bool span_chains_complete(const std::vector<TraceEvent>& events);
+
+}  // namespace everest::obs

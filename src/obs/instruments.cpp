@@ -1,0 +1,152 @@
+#include "obs/instruments.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace everest::obs {
+
+void Gauge::add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::set_max(double v) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double HistogramSnapshot::upper_bound(std::size_t i) const {
+  if (i >= options.buckets) return std::numeric_limits<double>::infinity();
+  return options.min * std::pow(options.growth, static_cast<double>(i));
+}
+
+double HistogramSnapshot::lower_bound(std::size_t i) const {
+  return i == 0 ? 0.0 : upper_bound(i - 1);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min_seen;
+  // Rank of the target order statistic, 1-based; p=100 -> last sample.
+  const double rank =
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts[i];
+    if (rank > static_cast<double>(cum)) continue;
+    double lo = std::max(lower_bound(i), min_seen);
+    double hi = i + 1 == counts.size() ? max_seen : upper_bound(i);
+    hi = std::min(hi, max_seen);
+    if (hi < lo) hi = lo;
+    const double frac = (rank - before) / static_cast<double>(counts[i]);
+    return lo + frac * (hi - lo);
+  }
+  return max_seen;
+}
+
+double HistogramSnapshot::bucket_width_at(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    const double hi =
+        i + 1 == counts.size() ? std::max(max_seen, lower_bound(i)) : upper_bound(i);
+    return hi - lower_bound(i);
+  }
+  return 0.0;
+}
+
+bool HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (!(options == other.options) || counts.size() != other.counts.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+  if (other.count > 0) {
+    min_seen = count == other.count ? other.min_seen
+                                    : std::min(min_seen, other.min_seen);
+    max_seen = std::max(max_seen, other.max_seen);
+  }
+  return true;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : opt_(options), counts_(options.buckets + 1) {
+  if (opt_.min <= 0.0) opt_.min = 1.0;
+  if (opt_.growth <= 1.0) opt_.growth = 1.5;
+  if (opt_.buckets == 0) {
+    opt_.buckets = 1;
+    counts_ = std::vector<std::atomic<std::uint64_t>>(2);
+  }
+  inv_log_growth_ = 1.0 / std::log(opt_.growth);
+  min_seen_.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_of(double v) const {
+  if (!(v > opt_.min)) return 0;  // also catches NaN and negatives
+  const std::size_t idx = 1 + static_cast<std::size_t>(
+                                  std::floor(std::log(v / opt_.min) *
+                                             inv_log_growth_ * (1.0 - 1e-12)));
+  return std::min(idx, opt_.buckets);
+}
+
+void Histogram::record(double v) {
+  counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  cur = min_seen_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_seen_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_seen_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_seen_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.options = opt_;
+  s.counts.resize(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const double mn = min_seen_.load(std::memory_order_relaxed);
+  s.min_seen = std::isinf(mn) ? 0.0 : mn;
+  s.max_seen = max_seen_.load(std::memory_order_relaxed);
+  // A snapshot taken mid-record can see count_ ahead of the bucket sums
+  // (or behind); pin the headline count to the bucket contents so
+  // percentile walks are internally consistent.
+  std::uint64_t bucket_total = 0;
+  for (auto c : s.counts) bucket_total += c;
+  s.count = bucket_total;
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_seen_.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+  max_seen_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace everest::obs

@@ -1,0 +1,118 @@
+#pragma once
+
+// Typed metric instruments: lock-free counters, gauges, and a
+// fixed-boundary log-bucketed histogram with mergeable snapshots.
+// All hot-path operations are wait-free relaxed atomics (counters,
+// histogram recording) or short CAS loops (gauges, histogram sum);
+// snapshots are approximate under concurrent writes but never tear
+// individual fields.
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace everest::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument with atomic add / running-max support.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  /// Raises the gauge to `v` if `v` exceeds the current value.
+  void set_max(double v);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Geometric bucket layout shared by a histogram and its snapshots.
+/// Bucket 0 covers [0, min]; bucket i covers (min*growth^{i-1}, min*growth^i];
+/// one extra overflow bucket catches everything above the last boundary.
+struct HistogramOptions {
+  double min = 1.0;      ///< upper bound of the first bucket (e.g. 1 µs)
+  double growth = 1.5;   ///< geometric growth factor between boundaries
+  std::size_t buckets = 64;  ///< finite buckets (an overflow bucket is added)
+
+  [[nodiscard]] bool operator==(const HistogramOptions& o) const {
+    return min == o.min && growth == o.growth && buckets == o.buckets;
+  }
+};
+
+/// Point-in-time copy of a histogram. Snapshots with identical bucket
+/// layouts merge by element-wise addition, which makes aggregation
+/// associative and commutative.
+struct HistogramSnapshot {
+  HistogramOptions options;
+  std::vector<std::uint64_t> counts;  ///< options.buckets + 1 (overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min_seen = 0.0;  ///< smallest recorded value (0 when empty)
+  double max_seen = 0.0;  ///< largest recorded value (0 when empty)
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Inclusive upper bound of bucket `i` (+inf for the overflow bucket).
+  [[nodiscard]] double upper_bound(std::size_t i) const;
+  /// Exclusive lower bound of bucket `i` (0 for the first bucket).
+  [[nodiscard]] double lower_bound(std::size_t i) const;
+  /// Percentile in [0,100] by linear interpolation inside the owning
+  /// bucket; the overflow bucket is clamped to `max_seen`. Returns 0
+  /// when empty.
+  [[nodiscard]] double percentile(double p) const;
+  /// Width of the bucket that holds percentile `p` — the resolution
+  /// bound on `percentile(p)` vs the exact order statistic.
+  [[nodiscard]] double bucket_width_at(double p) const;
+  /// Element-wise accumulate `other` into this snapshot. Layouts must
+  /// match; mismatch leaves *this untouched and returns false.
+  bool merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-boundary log-bucketed histogram. `record` is lock-free: one
+/// relaxed fetch_add on the owning bucket plus CAS accumulation of the
+/// sum and min/max watermarks.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void record(double v);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const HistogramOptions& options() const { return opt_; }
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double v) const;
+
+  HistogramOptions opt_;
+  double inv_log_growth_ = 0.0;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_seen_{0.0};
+  std::atomic<double> max_seen_{0.0};
+};
+
+}  // namespace everest::obs

@@ -1,0 +1,10 @@
+#pragma once
+
+// Umbrella header for the observability substrate: metric instruments +
+// registry (counters, gauges, log-bucketed histograms), the span tracer
+// with per-thread ring buffers, and the Chrome-trace / JSON exporters.
+
+#include "obs/chrome_trace.hpp"   // IWYU pragma: export
+#include "obs/instruments.hpp"    // IWYU pragma: export
+#include "obs/registry.hpp"       // IWYU pragma: export
+#include "obs/trace.hpp"          // IWYU pragma: export

@@ -1,0 +1,59 @@
+#pragma once
+
+// Process-wide registry of named instruments. Lookup (name + label set)
+// is mutex-protected and intended for setup paths; the returned
+// instrument pointers are stable for the registry's lifetime, so hot
+// paths cache them once and then touch only the lock-free instruments.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/instruments.hpp"
+
+namespace everest::obs {
+
+/// Label set attached to an instrument name, e.g. {{"class","lc"}}.
+/// Labels are sorted by key when forming the registry key, so insertion
+/// order does not matter.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Repeated calls with the same name + labels return
+  /// the same instrument. For histograms the first registration's
+  /// options win.
+  Counter* counter(const std::string& name, const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const Labels& labels = {});
+  Histogram* histogram(const std::string& name, HistogramOptions options = {},
+                       const Labels& labels = {});
+
+  /// Zero every registered instrument (pointers stay valid).
+  void reset();
+
+  /// Structured dump: {"counters":{key:n}, "gauges":{key:x},
+  /// "histograms":{key:{count,sum,mean,p50,p99,p999,max}}}.
+  [[nodiscard]] json::Value to_json() const;
+  /// Flat one-instrument-per-line dump: `key value`.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Canonical instrument key: `name{k1=v1,k2=v2}` with sorted labels,
+  /// or plain `name` when the label set is empty.
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace everest::obs

@@ -1,0 +1,166 @@
+#include "obs/trace.hpp"
+
+namespace everest::obs {
+namespace {
+
+std::uint64_t next_tracer_uid() {
+  static std::atomic<std::uint64_t> uid{1};
+  return uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread map from tracer uid to that tracer's buffer for this
+// thread. Uids are never reused, so an entry for a destroyed tracer can
+// never be looked up again — it is just dead weight, bounded by the
+// number of tracers this thread has ever recorded into.
+struct TlsCache {
+  std::vector<std::pair<std::uint64_t, void*>> entries;
+};
+
+TlsCache& tls_cache() {
+  thread_local TlsCache cache;
+  return cache;
+}
+
+}  // namespace
+
+Tracer::Tracer(TracerConfig config)
+    : tracer_uid_(next_tracer_uid()),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  enabled_.store(config_.enabled, std::memory_order_release);
+}
+
+Tracer::~Tracer() = default;
+
+double Tracer::wall_now_us() const {
+  return wall_us(std::chrono::steady_clock::now());
+}
+
+double Tracer::wall_us(std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+}
+
+Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
+  TlsCache& cache = tls_cache();
+  for (const auto& [uid, buf] : cache.entries) {
+    if (uid == tracer_uid_) return static_cast<ThreadBuffer*>(buf);
+  }
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* buf = owned.get();
+  buf->events.reserve(std::min<std::size_t>(config_.ring_capacity, 1024));
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buf->lane = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  cache.entries.emplace_back(tracer_uid_, buf);
+  return buf;
+}
+
+void Tracer::push(TraceEvent&& ev) {
+  ThreadBuffer* buf = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (ev.track == kAutoTrack) ev.track = buf->lane;
+  if (buf->events.size() >= config_.ring_capacity) {
+    ++buf->dropped;
+    return;
+  }
+  buf->events.push_back(std::move(ev));
+}
+
+void Tracer::span(TimeDomain domain, std::uint64_t trace_id,
+                  std::uint64_t span_id, std::uint64_t parent_id,
+                  double start_us, double end_us, std::uint32_t track,
+                  std::string name, std::string component,
+                  Annotations annotations) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kSpan;
+  ev.domain = domain;
+  ev.trace_id = trace_id;
+  ev.span_id = span_id == 0 ? next_id() : span_id;
+  ev.parent_id = parent_id;
+  ev.start_us = start_us;
+  ev.end_us = end_us;
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.component = std::move(component);
+  ev.annotations = std::move(annotations);
+  push(std::move(ev));
+}
+
+void Tracer::instant(TimeDomain domain, std::uint64_t trace_id, double at_us,
+                     std::uint32_t track, std::string name,
+                     std::string component, Annotations annotations) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kInstant;
+  ev.domain = domain;
+  ev.trace_id = trace_id;
+  ev.start_us = at_us;
+  ev.end_us = at_us;
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.component = std::move(component);
+  ev.annotations = std::move(annotations);
+  push(std::move(ev));
+}
+
+void Tracer::ScopedSpan::finish() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  event_.end_us = t->wall_now_us();
+  if (t->enabled()) t->push(std::move(event_));
+}
+
+Tracer::ScopedSpan Tracer::scoped(const char* name, const char* component,
+                                  std::uint64_t trace_id,
+                                  std::uint64_t parent_id,
+                                  std::uint32_t track) {
+  ScopedSpan s;
+  if (!enabled()) return s;
+  s.tracer_ = this;
+  s.event_.kind = TraceEvent::Kind::kSpan;
+  s.event_.domain = TimeDomain::kWall;
+  s.event_.trace_id = trace_id == 0 ? next_id() : trace_id;
+  s.event_.span_id = next_id();
+  s.event_.parent_id = parent_id;
+  s.event_.start_us = wall_now_us();
+  s.event_.track = track;
+  s.event_.name = name;
+  s.event_.component = component;
+  return s;
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace everest::obs

@@ -177,6 +177,14 @@ void LinkChannel::advance_and_reschedule() {
       next = std::min(next, f.bytes_left / rate);
     }
   }
+  // A residue just above the byte/setup epsilons can put the boundary
+  // below the clock's resolution at `now` (now + next == now in double).
+  // The boundary event would then observe dt == 0, clamp nothing, and
+  // re-arm itself forever at a frozen sim time. Lifting it to the next
+  // representable instant guarantees dt > 0, and dt * rate >= the
+  // residue, so the clamps above retire the flow on the next event.
+  const double min_tick = std::nextafter(now, 1e300) - now;
+  next = std::max(next, min_tick);
   sim_->schedule(next, [this, gen = generation_] {
     if (gen == generation_) advance_and_reschedule();
   });

@@ -18,6 +18,7 @@ Result<InvocationRecord> AdaptationLoop::invoke(const std::string& kernel,
   Selection selection;
   VmExecution execution;
   int attempt = 0;
+  const double invoke_start_us = now_us_;
   for (;;) {
     ++attempt;
     // 1. Assemble the system state from live signals.
@@ -102,6 +103,19 @@ Result<InvocationRecord> AdaptationLoop::invoke(const std::string& kernel,
   record.attempts = attempt;
   record.degraded =
       breakers_ != nullptr && breakers_->open_count(kernel) > 0;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // One span per invocation on the loop's virtual clock, carrying the
+    // variant decision the autotuner made for it.
+    tracer_->span(obs::TimeDomain::kSim, tracer_->next_id(),
+                  tracer_->next_id(), 0, invoke_start_us, now_us_, track_,
+                  kernel, "runtime",
+                  {{"variant", record.variant_id},
+                   {"predicted_latency_us",
+                    std::to_string(selection.predicted_latency_us)},
+                   {"attempts", std::to_string(record.attempts)},
+                   {"degraded", record.degraded ? "1" : "0"},
+                   {"anomaly", record.anomaly_flagged ? "1" : "0"}});
+  }
   return record;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "resilience/circuit_breaker.hpp"
 #include "resilience/retry.hpp"
 #include "runtime/autotuner.hpp"
@@ -83,6 +84,15 @@ class AdaptationLoop {
     return breakers_;
   }
 
+  /// Span sink (borrowed; may be null). Each invoke() emits one span on
+  /// the loop's virtual clock (sim domain), annotated with the
+  /// autotuner's variant decision, attempt count, and the monitors'
+  /// verdict. `track` is the render lane (e.g. the node index).
+  void set_tracer(obs::Tracer* tracer, std::uint32_t track = 0) {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
  private:
   KnowledgeBase* kb_;
   Autotuner tuner_;
@@ -93,6 +103,8 @@ class AdaptationLoop {
   Rng rng_{123};
   resilience::CircuitBreakerBoard* breakers_ = nullptr;
   resilience::RetryPolicy retry_policy_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
   std::map<std::string, security::AnomalyDetector> detectors_;
   std::map<std::string, security::AutoProtectionPolicy> policies_;
 };

@@ -3,48 +3,48 @@
 #include <algorithm>
 
 namespace everest::serve {
+namespace {
 
-void ServingMetrics::record_submitted() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.submitted;
+// Latency buckets: 1 µs lower resolution, ×1.5 growth, 64 buckets
+// (~1.2e11 µs ceiling) — covers sub-ms service times through pathological
+// overload tails.
+obs::HistogramOptions latency_buckets() {
+  obs::HistogramOptions opt;
+  opt.min = 1.0;
+  opt.growth = 1.5;
+  opt.buckets = 64;
+  return opt;
+}
+
+}  // namespace
+
+ServingMetrics::ServingMetrics()
+    : submitted_(registry_.counter("serve.submitted")),
+      admitted_(registry_.counter("serve.admitted")),
+      rejected_(registry_.counter("serve.rejected")),
+      expired_(registry_.counter("serve.expired")),
+      failed_(registry_.counter("serve.failed")),
+      completed_(registry_.counter("serve.completed")),
+      unavailable_(registry_.counter("serve.unavailable")),
+      degraded_(registry_.counter("serve.degraded")),
+      input_hits_(registry_.counter("serve.input_hits")),
+      input_misses_(registry_.counter("serve.input_misses")),
+      input_stall_us_(registry_.gauge("serve.input_stall_us")),
+      max_queue_depth_(registry_.gauge("serve.max_queue_depth")) {
+  latency_hist_[0] = registry_.histogram("serve.latency_us", latency_buckets(),
+                                         {{"class", "lc"}});
+  latency_hist_[1] = registry_.histogram("serve.latency_us", latency_buckets(),
+                                         {{"class", "tp"}});
 }
 
 void ServingMetrics::record_admitted(std::size_t queue_depth_after) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.admitted;
-  counters_.max_queue_depth =
-      std::max(counters_.max_queue_depth, queue_depth_after);
-}
-
-void ServingMetrics::record_rejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.rejected;
-}
-
-void ServingMetrics::record_expired() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.expired;
-}
-
-void ServingMetrics::record_failed() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.failed;
-}
-
-void ServingMetrics::record_unavailable() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.unavailable;
-}
-
-void ServingMetrics::record_degraded() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.degraded;
+  admitted_->inc();
+  max_queue_depth_->set_max(static_cast<double>(queue_depth_after));
 }
 
 void ServingMetrics::record_batch(std::size_t batch_size, double service_us) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.batches;
-  ++counters_.batch_histogram[batch_size];
+  ++batch_sizes_[batch_size];
   batch_size_.add(static_cast<double>(batch_size));
   service_us_.add(service_us);
 }
@@ -52,21 +52,37 @@ void ServingMetrics::record_batch(std::size_t batch_size, double service_us) {
 void ServingMetrics::record_input_stage(std::uint64_t hits,
                                         std::uint64_t misses,
                                         double stall_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_.input_hits += hits;
-  counters_.input_misses += misses;
-  counters_.input_stall_us += stall_us;
+  input_hits_->inc(hits);
+  input_misses_->inc(misses);
+  input_stall_us_->add(stall_us);
 }
 
 void ServingMetrics::record_completion(SlaClass sla, double latency_us) {
+  completed_->inc();
+  latency_hist_[static_cast<int>(sla)]->record(latency_us);
   std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.completed;
   latencies_us_[static_cast<int>(sla)].push_back(latency_us);
 }
 
 MetricsSnapshot ServingMetrics::snapshot() const {
+  MetricsSnapshot snap;
+  snap.submitted = submitted_->value();
+  snap.admitted = admitted_->value();
+  snap.rejected = rejected_->value();
+  snap.expired = expired_->value();
+  snap.failed = failed_->value();
+  snap.completed = completed_->value();
+  snap.unavailable = unavailable_->value();
+  snap.degraded = degraded_->value();
+  snap.input_hits = input_hits_->value();
+  snap.input_misses = input_misses_->value();
+  snap.input_stall_us = input_stall_us_->value();
+  snap.max_queue_depth = static_cast<std::size_t>(max_queue_depth_->value());
+
   std::lock_guard<std::mutex> lock(mu_);
-  MetricsSnapshot snap = counters_;
+  snap.batch_histogram = batch_sizes_;
+  snap.batches = 0;
+  for (const auto& [size, n] : batch_sizes_) snap.batches += n;
   std::vector<double> all;
   all.reserve(latencies_us_[0].size() + latencies_us_[1].size());
   all.insert(all.end(), latencies_us_[0].begin(), latencies_us_[0].end());
@@ -88,11 +104,18 @@ MetricsSnapshot ServingMetrics::snapshot() const {
   return snap;
 }
 
+obs::HistogramSnapshot ServingMetrics::latency_histogram() const {
+  obs::HistogramSnapshot merged = latency_hist_[0]->snapshot();
+  merged.merge(latency_hist_[1]->snapshot());
+  return merged;
+}
+
 void ServingMetrics::reset() {
+  registry_.reset();
   std::lock_guard<std::mutex> lock(mu_);
-  counters_ = MetricsSnapshot{};
   latencies_us_[0].clear();
   latencies_us_[1].clear();
+  batch_sizes_.clear();
   service_us_ = OnlineStats{};
   batch_size_ = OnlineStats{};
 }

@@ -1,7 +1,10 @@
-// Serving observability: counters, latency reservoirs, queue-depth gauge,
-// and a batch-size histogram, all behind one mutex. Percentiles reuse
-// common/stats. A Snapshot is a consistent copy — cheap enough at bench
-// scale (tens of thousands of requests) and immune to torn reads.
+// Serving observability, re-backed by obs registry instruments: event
+// counters and the queue-depth watermark are lock-free (relaxed-atomic
+// Counter/Gauge), end-to-end latency feeds both an exact reservoir
+// (for true percentiles) and per-class log-bucketed histograms (for
+// mergeable, export-friendly tails). Only the reservoirs and the
+// batch-size map still sit behind the mutex. A Snapshot is a consistent
+// copy — cheap enough at bench scale and immune to torn reads.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
 #include "serve/request.hpp"
 
 namespace everest::serve {
@@ -67,13 +71,15 @@ struct MetricsSnapshot {
 /// Thread-safe metrics sink shared by admission, dispatcher, and workers.
 class ServingMetrics {
  public:
-  void record_submitted();
+  ServingMetrics();
+
+  void record_submitted() { submitted_->inc(); }
   void record_admitted(std::size_t queue_depth_after);
-  void record_rejected();
-  void record_expired();
-  void record_failed();
-  void record_unavailable();
-  void record_degraded();
+  void record_rejected() { rejected_->inc(); }
+  void record_expired() { expired_->inc(); }
+  void record_failed() { failed_->inc(); }
+  void record_unavailable() { unavailable_->inc(); }
+  void record_degraded() { degraded_->inc(); }
   void record_batch(std::size_t batch_size, double service_us);
   void record_completion(SlaClass sla, double latency_us);
   void record_input_stage(std::uint64_t hits, std::uint64_t misses,
@@ -81,13 +87,38 @@ class ServingMetrics {
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// The backing instrument registry (for JSON/text export alongside
+  /// the snapshot API).
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
+  /// Merged (LC + TP) end-to-end latency histogram. Bucket-derived
+  /// percentiles agree with the exact reservoir within one bucket width
+  /// (bench_e20 checks this).
+  [[nodiscard]] obs::HistogramSnapshot latency_histogram() const;
+
   /// Drops all samples and counters (between bench sweep points).
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  MetricsSnapshot counters_;  // percentile fields unused until snapshot()
+  obs::Registry registry_;
+  // Cached instrument pointers — stable for the registry's lifetime.
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Counter* expired_;
+  obs::Counter* failed_;
+  obs::Counter* completed_;
+  obs::Counter* unavailable_;
+  obs::Counter* degraded_;
+  obs::Counter* input_hits_;
+  obs::Counter* input_misses_;
+  obs::Gauge* input_stall_us_;
+  obs::Gauge* max_queue_depth_;
+  obs::Histogram* latency_hist_[2];  ///< per SLA class, µs
+
+  mutable std::mutex mu_;  // guards the exact reservoirs + batch map
   std::vector<double> latencies_us_[2];
+  std::map<std::size_t, std::uint64_t> batch_sizes_;
   OnlineStats service_us_;
   OnlineStats batch_size_;
 };

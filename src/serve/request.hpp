@@ -48,6 +48,9 @@ struct Request {
   Clock::time_point deadline = Clock::time_point::max();
   /// Stamped at admission.
   Clock::time_point enqueue_time{};
+  /// Root span id for this request's trace (0 = tracing off). Assigned
+  /// at admission; the span itself is emitted when the outcome is known.
+  std::uint64_t span_id = 0;
 };
 
 /// Outcome delivered to the completion callback.

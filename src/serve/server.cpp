@@ -119,6 +119,9 @@ Status Server::submit(Request request, ResponseCallback on_done) {
   }
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.enqueue_time = Clock::now();
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    request.span_id = options_.tracer->next_id();
+  }
   PendingRequest pending{std::move(request), std::move(on_done)};
   const Status admitted = queue_->push(std::move(pending));
   if (!admitted.ok()) {
@@ -157,6 +160,8 @@ void Server::dispatch_loop() {
 
 void Server::execute_batch(Batch batch) {
   const Clock::time_point dispatch_time = Clock::now();
+  obs::Tracer* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
 
   // SLA enforcement: answers after the deadline are worthless, so expired
   // requests are dropped here instead of burning handler time.
@@ -174,6 +179,19 @@ void Server::execute_batch(Batch batch) {
                            " us)");
       response.latency_us =
           us_between(pending.request.enqueue_time, dispatch_time);
+      if (tracing && pending.request.span_id != 0) {
+        const double t_enq = tracer->wall_us(pending.request.enqueue_time);
+        const double t_disp = tracer->wall_us(dispatch_time);
+        tracer->span(obs::TimeDomain::kWall, pending.request.id,
+                     tracer->next_id(), pending.request.span_id, t_enq, t_disp,
+                     obs::kAutoTrack, "queue", "serve");
+        tracer->instant(obs::TimeDomain::kWall, pending.request.id, t_disp,
+                        obs::kAutoTrack, "expired", "serve");
+        tracer->span(obs::TimeDomain::kWall, pending.request.id,
+                     pending.request.span_id, 0, t_enq, t_disp,
+                     obs::kAutoTrack, "request", "serve",
+                     {{"outcome", "expired"}});
+      }
       if (pending.on_done) pending.on_done(response);
       finished_requests_.fetch_add(1, std::memory_order_acq_rel);
       continue;
@@ -241,6 +259,19 @@ void Server::execute_batch(Batch batch) {
       response.status = selection.status();
       response.latency_us = us_between(pending.request.enqueue_time, now);
       response.batch_size = batch.size();
+      if (tracing && pending.request.span_id != 0) {
+        const double t_enq = tracer->wall_us(pending.request.enqueue_time);
+        const double t_now = tracer->wall_us(now);
+        tracer->span(obs::TimeDomain::kWall, pending.request.id,
+                     tracer->next_id(), pending.request.span_id, t_enq,
+                     tracer->wall_us(dispatch_time), obs::kAutoTrack, "queue",
+                     "serve");
+        tracer->instant(obs::TimeDomain::kWall, pending.request.id, t_now,
+                        obs::kAutoTrack, "unavailable", "serve");
+        tracer->span(obs::TimeDomain::kWall, pending.request.id,
+                     pending.request.span_id, 0, t_enq, t_now, obs::kAutoTrack,
+                     "request", "serve", {{"outcome", "unavailable"}});
+      }
       if (pending.on_done) pending.on_done(response);
       finished_requests_.fetch_add(1, std::memory_order_acq_rel);
     }
@@ -253,8 +284,10 @@ void Server::execute_batch(Batch batch) {
   const Endpoint& endpoint = endpoints_.at(batch.kernel);
   std::vector<double> values;
   Status handler_status = OkStatus();
+  bool fault_injected = false;
   if (selection.ok() && options_.fault_injector) {
     handler_status = options_.fault_injector(batch, selection->variant);
+    fault_injected = !handler_status.ok();
   }
   const Clock::time_point exec_start = Clock::now();
   if (handler_status.ok()) {
@@ -268,6 +301,15 @@ void Server::execute_batch(Batch batch) {
                               std::to_string(batch.size()) + " requests");
   }
   metrics_.record_batch(batch.size(), service_us);
+  if (tracing && fault_injected) {
+    // Injected variant failure: surface it on the timeline next to the
+    // batch it poisoned.
+    tracer->instant(obs::TimeDomain::kWall, batch.requests.front().request.id,
+                    tracer->wall_us(exec_start), obs::kAutoTrack,
+                    "fault-injected", "resilience",
+                    {{"kernel", batch.kernel},
+                     {"variant", variant_id}});
+  }
 
   bool batch_degraded = false;
   if (options_.enable_breaker && selection.ok()) {
@@ -304,6 +346,46 @@ void Server::execute_batch(Batch batch) {
       if (batch_degraded) metrics_.record_degraded();
     } else {
       metrics_.record_failed();
+    }
+    if (tracing && pending.request.span_id != 0) {
+      const std::uint64_t trace_id = pending.request.id;
+      const std::uint64_t root = pending.request.span_id;
+      const double t_enq = tracer->wall_us(pending.request.enqueue_time);
+      const double t_disp = tracer->wall_us(dispatch_time);
+      const double t_exec0 = tracer->wall_us(exec_start);
+      const double t_exec1 = tracer->wall_us(exec_end);
+      const double t_done = tracer->wall_us(done);
+      tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(), root,
+                   t_enq, t_disp, obs::kAutoTrack, "queue", "serve");
+      // Batch formation + input staging + variant selection window.
+      tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(), root,
+                   t_disp, t_exec0, obs::kAutoTrack, "batch", "serve",
+                   {{"batch_size", std::to_string(batch.size())}});
+      obs::Annotations exec_ann = {
+          {"variant", variant_id},
+          {"batch_size", std::to_string(batch.size())}};
+      if (selection.ok()) {
+        // The autotuner's decision, attached where it took effect.
+        exec_ann.emplace_back(
+            "predicted_latency_us",
+            std::to_string(selection->predicted_latency_us));
+        exec_ann.emplace_back("constraints_met",
+                              selection->constraints_met ? "1" : "0");
+      }
+      tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(), root,
+                   t_exec0, t_exec1, obs::kAutoTrack, "execute", "serve",
+                   std::move(exec_ann));
+      tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(), root,
+                   t_exec1, t_done, obs::kAutoTrack, "reply", "serve");
+      tracer->span(
+          obs::TimeDomain::kWall, trace_id, root, 0, t_enq, t_done,
+          obs::kAutoTrack, "request", "serve",
+          {{"outcome", handler_status.ok()
+                           ? (batch_degraded ? "degraded" : "ok")
+                           : "failed"},
+           {"sla", pending.request.sla == SlaClass::kLatencyCritical
+                       ? "lc"
+                       : "tp"}});
     }
     if (pending.on_done) pending.on_done(response);
     finished_requests_.fetch_add(1, std::memory_order_acq_rel);

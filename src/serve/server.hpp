@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "data/cache.hpp"
+#include "obs/trace.hpp"
 #include "platform/links.hpp"
 #include "resilience/circuit_breaker.hpp"
 #include "runtime/autotuner.hpp"
@@ -73,6 +74,14 @@ struct ServerOptions {
   /// Scales simulated staging stalls onto the wall clock (1.0 = one
   /// modelled µs is one slept µs; smaller keeps benches fast).
   double input_stage_scale = 1.0;
+
+  // ---- observability ----
+  /// Span sink (borrowed; may be null). When enabled, every admitted
+  /// request gets a wall-clock span chain — root "request" with "queue",
+  /// "batch", "execute" (annotated with the autotuner's variant
+  /// decision), and "reply" children — plus instant events for expiry,
+  /// unavailability, and injected faults. trace_id is the request id.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Multi-tenant request server. Thread-safe: submit() may be called from

@@ -144,6 +144,10 @@ class ChaosSim {
     double start_us = 0.0;
     double est_us = 0.0;
     bool speculative = false;
+    /// Root span for this execution (0 = tracing off).
+    std::uint64_t span_id = 0;
+    /// Sim time compute began (staging/transfer before it).
+    double compute_start_us = 0.0;
   };
 
   struct Outage {
@@ -186,6 +190,16 @@ class ChaosSim {
 
   void trace(const char* event, std::size_t task, std::size_t worker,
              const char* detail = "");
+  [[nodiscard]] bool tracing() const {
+    return opt_.tracer != nullptr && opt_.tracer->enabled();
+  }
+  /// Sim-time instant on worker `w`'s track. trace_id groups by task.
+  void emit_instant(const char* name, const char* component, std::size_t task,
+                    std::size_t worker, obs::Annotations annotations = {});
+  /// Root span for one finished execution (+ stage/compute children when
+  /// the compute start is known).
+  void emit_task_span(const RunningTask& exec, std::size_t t, std::size_t w,
+                      const char* outcome);
   [[nodiscard]] std::size_t gravity_target(std::size_t t) const;
   void enqueue_ready(std::size_t t);
   void maybe_enqueue(std::size_t t);
@@ -278,6 +292,40 @@ void ChaosSim::trace(const char* event, std::size_t task, std::size_t worker,
                 worker == kNone ? -1L : static_cast<long>(worker),
                 detail[0] != '\0' ? " " : "", detail);
   out_.trace.emplace_back(buf);
+}
+
+void ChaosSim::emit_instant(const char* name, const char* component,
+                            std::size_t task, std::size_t worker,
+                            obs::Annotations annotations) {
+  if (!tracing()) return;
+  if (task != kNone) {
+    annotations.emplace_back("task", graph_.task(task).name);
+  }
+  opt_.tracer->instant(
+      obs::TimeDomain::kSim, task == kNone ? 0 : task + 1, sim_.now(),
+      worker == kNone ? 0 : static_cast<std::uint32_t>(worker), name,
+      component, std::move(annotations));
+}
+
+void ChaosSim::emit_task_span(const RunningTask& exec, std::size_t t,
+                              std::size_t w, const char* outcome) {
+  if (!tracing() || exec.span_id == 0) return;
+  obs::Tracer* tr = opt_.tracer;
+  const double now = sim_.now();
+  const std::uint64_t trace_id = t + 1;
+  const auto track = static_cast<std::uint32_t>(w);
+  if (exec.compute_start_us > exec.start_us) {
+    tr->span(obs::TimeDomain::kSim, trace_id, tr->next_id(), exec.span_id,
+             exec.start_us, exec.compute_start_us, track, "stage", "data");
+    tr->span(obs::TimeDomain::kSim, trace_id, tr->next_id(), exec.span_id,
+             exec.compute_start_us, now, track, "compute", "workflow");
+  }
+  tr->span(obs::TimeDomain::kSim, trace_id, exec.span_id, 0, exec.start_us,
+           now, track, graph_.task(t).name, "workflow",
+           {{"worker", workers_[w].name},
+            {"outcome", outcome},
+            {"attempt", std::to_string(attempts_[t])},
+            {"speculative", exec.speculative ? "1" : "0"}});
 }
 
 std::size_t ChaosSim::healthiest_worker(std::size_t avoid) {
@@ -417,6 +465,9 @@ std::size_t ChaosSim::pick_task(std::size_t w) {
           if (!runnable(cand) || blocked_by_avoid(cand, w)) continue;
           if (gravity_target(cand) == w) {
             q.erase(std::next(it).base());
+            emit_instant("steal", "workflow", cand, w,
+                         {{"victim", workers_[victim].name},
+                          {"kind", "local-input"}});
             return cand;
           }
         }
@@ -428,12 +479,20 @@ std::size_t ChaosSim::pick_task(std::size_t w) {
                                   : transfer_cost(cand, w, nullptr, nullptr);
           if (move <= compute_us(graph_.task(cand), workers_[w])) {
             q.erase(std::next(it).base());
+            emit_instant("steal", "workflow", cand, w,
+                         {{"victim", workers_[victim].name},
+                          {"kind", "compute-bound"}});
             return cand;
           }
         }
         return kNone;
       }
-      return pop_deque(local_[victim], /*front=*/false);
+      t = pop_deque(local_[victim], /*front=*/false);
+      if (t != kNone) {
+        emit_instant("steal", "workflow", t, w,
+                     {{"victim", workers_[victim].name}, {"kind", "blind"}});
+      }
+      return t;
     }
     case SchedulerKind::kHeft: {
       // Back of the sorted vector = highest-rank ready task.
@@ -532,10 +591,14 @@ void ChaosSim::begin_compute(std::size_t w, std::size_t t, int task_epoch,
   const double now = sim_.now();
   if (done_[t] != 0 || failed_[t] != 0 || epoch_[t] != task_epoch) {
     // Cancelled while staging (duplicate won, or recomputation reset it).
+    // This copy's dispatch incremented in_flight_ and this is its last
+    // report: release it, or a recomputed task stays unrunnable forever.
+    if (in_flight_[t] > 0) --in_flight_[t];
     busy_[w] = 0;
     running_on_[w] = RunningTask{};
     worker_now_[w] = now;
     trace("cancelled", t, w);
+    maybe_enqueue(t);
     dispatch_all();
     return;
   }
@@ -544,6 +607,7 @@ void ChaosSim::begin_compute(std::size_t w, std::size_t t, int task_epoch,
       plan_.severity(FaultKind::kStraggler, static_cast<int>(w), now);
   out_.busy_us[w] += exec;
   worker_now_[w] = now + exec;
+  running_on_[w].compute_start_us = now;  // staging just finished
   trace("compute", t, w);
   sim_.schedule(exec, [this, w, t, task_epoch, worker_epoch] {
     on_complete(w, t, task_epoch, worker_epoch);
@@ -554,6 +618,7 @@ void ChaosSim::run_prefetch(std::size_t completed) {
   const std::vector<data::PrefetchCandidate> plan = prefetcher_->plan(
       completed, done_, in_flight_, output_worker_, output_bytes_);
   for (const data::PrefetchCandidate& c : plan) {
+    emit_instant("prefetch", "data", c.producer, c.target);
     (void)plane_->prefetch(static_cast<data::ObjectId>(c.producer),
                            c.target);
   }
@@ -570,8 +635,15 @@ void ChaosSim::dispatch_task(std::size_t t, std::size_t w, bool speculative) {
     ++out_.executions;
     avoid_worker_[t] = -1;
     const double nominal = compute_us(graph_.task(t), workers_[w]);
-    running_on_[w] = RunningTask{t, epoch_[t], now,
-                                 est_stage_us(t, w) + nominal, speculative};
+    RunningTask exec{t, epoch_[t], now, est_stage_us(t, w) + nominal,
+                     speculative};
+    if (tracing()) {
+      exec.span_id = opt_.tracer->next_id();
+      // begin_compute stamps the real boundary once staging finishes.
+      exec.compute_start_us = now;
+      if (speculative) emit_instant("speculate", "workflow", t, w);
+    }
+    running_on_[w] = exec;
     trace(speculative ? "speculate" : "dispatch", t, w);
     stage_inputs(t, w, [this, w, t, te = epoch_[t],
                         we = worker_epoch_[w]] {
@@ -596,8 +668,13 @@ void ChaosSim::dispatch_task(std::size_t t, std::size_t w, bool speculative) {
   avoid_worker_[t] = -1;
   // The speculation estimate is the *nominal* duration: a straggling
   // execution must look late relative to a healthy one.
-  running_on_[w] =
-      RunningTask{t, epoch_[t], now, xfer + nominal, speculative};
+  RunningTask run{t, epoch_[t], now, xfer + nominal, speculative};
+  if (tracing()) {
+    run.span_id = opt_.tracer->next_id();
+    run.compute_start_us = start + xfer;
+    if (speculative) emit_instant("speculate", "workflow", t, w);
+  }
+  running_on_[w] = run;
   trace(speculative ? "speculate" : "dispatch", t, w);
   sim_.schedule(end - now, [this, w, t, te = epoch_[t],
                             we = worker_epoch_[w]] {
@@ -632,6 +709,9 @@ void ChaosSim::note_progress(std::size_t t) {
       o.recovery_recorded = true;
       out_.recovery_us.push_back(sim_.now() - o.crash_us);
       trace("recovered", kNone, o.worker);
+      emit_instant("recovered", "resilience", kNone, o.worker,
+                   {{"recovery_us",
+                     std::to_string(sim_.now() - o.crash_us)}});
     }
   }
 }
@@ -641,14 +721,19 @@ void ChaosSim::on_complete(std::size_t w, std::size_t t, int task_epoch,
   if (aborted_) return;
   // The worker crashed after launching this: the execution never reports.
   if (worker_epoch_[w] != worker_epoch) return;
-  const bool speculative = running_on_[w].speculative;
+  const RunningTask exec = running_on_[w];
+  const bool speculative = exec.speculative;
   busy_[w] = 0;
   running_on_[w] = RunningTask{};
   worker_now_[w] = sim_.now();
 
   if (done_[t] != 0 || failed_[t] != 0 || epoch_[t] != task_epoch) {
     // A duplicate copy that lost the race, or a cancelled execution.
+    // Same in_flight_ release as the staging-cancel path above.
+    if (in_flight_[t] > 0) --in_flight_[t];
     trace("cancelled", t, w);
+    emit_task_span(exec, t, w, "cancelled");
+    maybe_enqueue(t);
     dispatch_all();
     return;
   }
@@ -662,6 +747,8 @@ void ChaosSim::on_complete(std::size_t w, std::size_t t, int task_epoch,
       1.0 - (1.0 - opt_.failure_probability) * (1.0 - window_p);
   if (p > 0.0 && rng_.bernoulli(p)) {
     trace("fail", t, w);
+    emit_task_span(exec, t, w, "transient-fail");
+    emit_instant("fail", "resilience", t, w);
     on_failure(t, w);
     dispatch_all();
     return;
@@ -677,6 +764,7 @@ void ChaosSim::on_complete(std::size_t w, std::size_t t, int task_epoch,
   out_.makespan_us = std::max(out_.makespan_us, sim_.now());
   if (speculative && spec_launched_[t] != 0) ++out_.speculative_wins;
   trace("complete", t, w);
+  emit_task_span(exec, t, w, "ok");
   if (plane_mode()) {
     // The output is born on w; the plane shards and replicates it.
     plane_->put(static_cast<data::ObjectId>(t), output_bytes_[t], w,
@@ -700,6 +788,7 @@ void ChaosSim::on_failure(std::size_t t, std::size_t w) {
       return;
     }
     trace("exhausted", t, w);
+    emit_instant("exhausted", "resilience", t, w);
     mark_failed_closure(t);
     return;
   }
@@ -720,6 +809,8 @@ void ChaosSim::release_retry(std::size_t t, std::size_t failed_worker) {
     return;  // state moved on (e.g. recomputation re-blocked it)
   }
   trace("retry", t, failed_worker);
+  emit_instant("retry", "resilience", t, failed_worker,
+               {{"attempt", std::to_string(attempts_[t])}});
   if (opt_.retry_strategy == RetryStrategy::kSameWorker) {
     // Naive pinning: back onto the failing worker's own queue.
     switch (opt_.scheduler) {
@@ -775,6 +866,8 @@ void ChaosSim::crash(std::size_t w, double downtime_us) {
   busy_[w] = 0;
   ++worker_epoch_[w];
   trace("crash", kNone, w);
+  emit_instant("crash", "resilience", kNone, w,
+               {{"worker", workers_[w].name}});
 
   Outage outage;
   outage.worker = w;
@@ -787,6 +880,7 @@ void ChaosSim::crash(std::size_t w, double downtime_us) {
     ++out_.lost_executions;
     outage.pending.insert(lost.task);
     trace("lost", lost.task, w);
+    emit_instant("lost", "resilience", lost.task, w);
   }
   // Stored outputs on this worker are gone; the lineage pass at recovery
   // decides which of them must be recomputed.
@@ -821,6 +915,8 @@ void ChaosSim::restart(std::size_t w) {
   worker_now_[w] = sim_.now();
   registry_.heartbeat(w, sim_.now());  // announces itself: healthy again
   trace("restart", kNone, w);
+  emit_instant("restart", "resilience", kNone, w,
+               {{"worker", workers_[w].name}});
   // If the phi detector has not noticed the outage yet, the returning
   // worker's own report triggers recovery (it lost its state either way).
   for (Outage& o : outages_) {
@@ -833,6 +929,9 @@ void ChaosSim::initiate_recovery(Outage& outage) {
   outage.initiated = true;
   out_.detection_latency_us.push_back(sim_.now() - outage.crash_us);
   trace("detect", kNone, outage.worker);
+  emit_instant("detect", "resilience", kNone, outage.worker,
+               {{"latency_us",
+                 std::to_string(sim_.now() - outage.crash_us)}});
 
   // Lineage: which lost data objects must be rebuilt?
   const auto rec = resilience::recompute_closure(deps_, done_, output_lost_);
@@ -846,6 +945,7 @@ void ChaosSim::initiate_recovery(Outage& outage) {
     output_worker_[t] = kNone;
     outage.pending.insert(t);
     trace("recompute", t, outage.worker);
+    emit_instant("recompute", "resilience", t, outage.worker);
   }
   // Rebuild dependency counts for everything not finished (recomputation
   // may have re-blocked arbitrary tasks).
@@ -951,6 +1051,8 @@ Result<ScheduleOutcome> ChaosSim::run() {
   if (opt_.data_plane != nullptr) {
     data::PlaneConfig cfg = *opt_.data_plane;
     cfg.num_nodes = m;
+    // Transfer spans land in the same trace as the task spans.
+    if (opt_.tracer != nullptr) cfg.tracer = opt_.tracer;
     plane_ = std::make_unique<data::DataPlane>(sim_, cfg);
     if (opt_.prefetch_depth > 0) {
       data::PrefetchConfig pf;

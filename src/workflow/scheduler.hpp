@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "data/plane.hpp"
+#include "obs/trace.hpp"
 #include "platform/node.hpp"
 #include "resilience/detector.hpp"
 #include "resilience/fault_plan.hpp"
@@ -109,6 +110,15 @@ struct SimulationOptions {
   /// Frontier waves the prefetcher looks ahead (plane mode only; 0
   /// disables prefetching).
   int prefetch_depth = 0;
+
+  // ---- observability ----
+  /// Span/event sink (borrowed; may be null). Spans carry *sim time*:
+  /// one span per task execution on its worker's track ("stage" /
+  /// "compute" children in plane mode), instant events for steals,
+  /// retries, speculation, prefetch issues, and every fault-plan
+  /// consequence (crash, detect, recompute, restart). In plane mode the
+  /// data plane also emits per-transfer spans into the same tracer.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Result of simulating one workflow execution.

@@ -1,12 +1,18 @@
 // Unit tests for the common substrate: status, rng, stats, graph, json,
-// strings, table.
+// strings, table, logging.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/graph.hpp"
 #include "common/json.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
@@ -216,6 +222,45 @@ TEST(Ewma, ZscoreFlagsOutlier) {
   EXPECT_LT(std::abs(e.zscore(10.0)), 1.5);
 }
 
+TEST(OnlineStats, MergeWithEmptySideIsIdentity) {
+  OnlineStats filled;
+  for (double v : {2.0, 4.0, 9.0}) filled.add(v);
+
+  // Empty right-hand side: the accumulator is unchanged.
+  OnlineStats a = filled;
+  a.merge(OnlineStats{});
+  EXPECT_EQ(a.count(), filled.count());
+  EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(a.min(), filled.min());
+  EXPECT_DOUBLE_EQ(a.max(), filled.max());
+
+  // Empty left-hand side: adopts the other side wholesale, including
+  // min/max (an empty accumulator's min_=0 must not leak in).
+  OnlineStats b;
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 9.0);
+
+  // Empty-with-empty stays empty.
+  OnlineStats c;
+  c.merge(OnlineStats{});
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(Ewma, ZscoreDegenerateStreamSaturatesAtCap) {
+  Ewma e(0.1);
+  EXPECT_DOUBLE_EQ(e.zscore(123.0), 0.0);  // not warm yet
+  for (int i = 0; i < 100; ++i) e.add(5.0);  // zero-variance stream
+  EXPECT_DOUBLE_EQ(e.zscore(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.zscore(6.0), Ewma::kZscoreCap);
+  EXPECT_DOUBLE_EQ(e.zscore(4.0), -Ewma::kZscoreCap);
+  // The cap is finite, so score arithmetic stays well-defined.
+  EXPECT_TRUE(std::isfinite(e.zscore(1e300) * 2.0 - 1.0));
+}
+
 TEST(Percentile, InterpolatesLinearly) {
   std::vector<double> v = {1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
@@ -223,6 +268,21 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
   EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, EdgeCases) {
+  // Empty input: every percentile is 0, including the boundaries.
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+  // Single element: every percentile is that element.
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 99.9), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 100), 7.5);
+  // Out-of-range p clamps to the extremes instead of indexing wild.
+  std::vector<double> v = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 250), 3.0);
 }
 
 TEST(Stats, RmseAndPearson) {
@@ -431,6 +491,83 @@ TEST(Table, AlignsColumns) {
 TEST(Table, FormatsDoubles) {
   EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
   EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+// --------------------------------------------------------------- Logging --
+
+TEST(Logger, LinePrefixCarriesTimestampAndThreadId) {
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](std::string_view line) { lines.emplace_back(line); });
+  Logger::instance().set_level(LogLevel::kInfo);
+  EVEREST_LOG(kInfo, "unit") << "hello " << 42;
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  // [<monotonic us>us][t<id>][INFO][unit] hello 42\n
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_NE(line.find("us][t"), std::string::npos);
+  EXPECT_NE(line.find("[INFO][unit] hello 42\n"), std::string::npos);
+  // Timestamps are monotonic across consecutive calls.
+  const std::int64_t t0 = Logger::monotonic_us();
+  const std::int64_t t1 = Logger::monotonic_us();
+  EXPECT_GE(t1, t0);
+  EXPECT_GE(t0, 0);
+}
+
+TEST(Logger, NoInterleavingUnderConcurrentWriters) {
+  constexpr int kWriters = 8;
+  constexpr int kLinesPerWriter = 200;
+
+  std::mutex mu;
+  std::vector<std::string> lines;
+  Logger::instance().set_sink([&](std::string_view line) {
+    // The sink itself is called under the logger mutex, but collect under
+    // our own lock so the test does not rely on that detail.
+    std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(line);
+  });
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w] {
+      for (int i = 0; i < kLinesPerWriter; ++i) {
+        EVEREST_LOG(kInfo, "interleave")
+            << "writer=" << w << " seq=" << i << " end";
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kWriters) * kLinesPerWriter);
+  // Every emitted line must be intact: exactly one complete message per
+  // sink call, never a torn or concatenated fragment.
+  std::vector<std::set<int>> seen(kWriters);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+    EXPECT_EQ(line.back(), '\n');
+    const auto wpos = line.find("writer=");
+    const auto spos = line.find(" seq=");
+    const auto epos = line.find(" end\n");
+    ASSERT_NE(wpos, std::string::npos) << line;
+    ASSERT_NE(spos, std::string::npos) << line;
+    ASSERT_NE(epos, std::string::npos) << line;
+    const int w = std::stoi(line.substr(wpos + 7, spos - (wpos + 7)));
+    const int s = std::stoi(line.substr(spos + 5, epos - (spos + 5)));
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kWriters);
+    EXPECT_TRUE(seen[w].insert(s).second) << "duplicate line: " << line;
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(seen[w].size(), static_cast<std::size_t>(kLinesPerWriter));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,505 @@
+// Unit tests for src/obs: instruments (concurrent exactness, snapshot
+// merging), the registry, the tracer's ring buffers, and the Chrome
+// trace exporter with its structural span checks. The concurrent cases
+// are the ones tools/check.sh re-runs under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "obs/obs.hpp"
+
+namespace everest::obs {
+namespace {
+
+// ----------------------------------------------------------- Instruments --
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.inc(5);
+  EXPECT_EQ(c.value(), kThreads * kPerThread + 5);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, ConcurrentAddIsExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), double(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetMaxKeepsRunningMaximum) {
+  Gauge g;
+  g.set_max(3.0);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  // Concurrent racers: the final value is the global max.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 10000; ++i) g.set_max(double(t * 10000 + i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 79999.0);
+}
+
+TEST(Histogram, ConcurrentRecordingKeepsExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(rng.uniform() * 1000.0 + 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.snapshot();
+  const std::uint64_t expected = std::uint64_t(kThreads) * kPerThread;
+  EXPECT_EQ(snap.count, expected);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t n : snap.counts) bucket_total += n;
+  EXPECT_EQ(bucket_total, expected);
+  EXPECT_GE(snap.min_seen, 1.0);
+  EXPECT_LE(snap.max_seen, 1001.0);
+  EXPECT_NEAR(snap.mean(), 501.0, 5.0);
+}
+
+TEST(Histogram, PercentileTracksExactOrderStatisticWithinBucketWidth) {
+  Histogram h;
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.exponential(1.0 / 200.0) + 1.0;  // mean ~201 µs
+    values.push_back(v);
+    h.record(v);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = percentile(values, p);
+    const double approx = snap.percentile(p);
+    EXPECT_NEAR(approx, exact, snap.bucket_width_at(p))
+        << "p" << p << ": approx " << approx << " exact " << exact;
+  }
+  // Extremes clamp to the watermarks, never past them.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), snap.min_seen);
+  EXPECT_DOUBLE_EQ(snap.percentile(100.0), snap.max_seen);
+}
+
+TEST(Histogram, EmptyAndSingletonSnapshots) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean(), 0.0);
+  h.record(17.0);
+  const HistogramSnapshot one = h.snapshot();
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.percentile(0), 17.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 17.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 17.0);
+  EXPECT_DOUBLE_EQ(one.min_seen, 17.0);
+  EXPECT_DOUBLE_EQ(one.max_seen, 17.0);
+}
+
+TEST(Histogram, OverflowBucketClampsToMaxSeen) {
+  HistogramOptions opt;
+  opt.min = 1.0;
+  opt.growth = 2.0;
+  opt.buckets = 4;  // boundaries 1, 2, 4, 8 + overflow
+  Histogram h(opt);
+  h.record(100.0);
+  h.record(200.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.counts.back(), 2u);
+  EXPECT_LE(snap.percentile(99), 200.0);
+  EXPECT_GE(snap.percentile(99), 100.0);
+}
+
+HistogramSnapshot merged(HistogramSnapshot a, const HistogramSnapshot& b) {
+  EXPECT_TRUE(a.merge(b));
+  return a;
+}
+
+TEST(HistogramSnapshot, MergeIsAssociativeAndMatchesCombinedStream) {
+  Histogram ha, hb, hc, hall;
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.uniform() * 500.0 + 0.5;
+    (i % 3 == 0 ? ha : i % 3 == 1 ? hb : hc).record(v);
+    hall.record(v);
+  }
+  const HistogramSnapshot a = ha.snapshot();
+  const HistogramSnapshot b = hb.snapshot();
+  const HistogramSnapshot c = hc.snapshot();
+
+  const HistogramSnapshot left = merged(merged(a, b), c);    // (a+b)+c
+  const HistogramSnapshot right = merged(a, merged(b, c));   // a+(b+c)
+  const HistogramSnapshot all = hall.snapshot();
+
+  for (const HistogramSnapshot* m : {&left, &right}) {
+    EXPECT_EQ(m->count, all.count);
+    EXPECT_NEAR(m->sum, all.sum, 1e-6);
+    EXPECT_DOUBLE_EQ(m->min_seen, all.min_seen);
+    EXPECT_DOUBLE_EQ(m->max_seen, all.max_seen);
+    ASSERT_EQ(m->counts.size(), all.counts.size());
+    for (std::size_t i = 0; i < all.counts.size(); ++i) {
+      EXPECT_EQ(m->counts[i], all.counts[i]) << "bucket " << i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(left.percentile(99), right.percentile(99));
+}
+
+TEST(HistogramSnapshot, MergeWithEmptySideKeepsWatermarks) {
+  Histogram h;
+  h.record(5.0);
+  h.record(50.0);
+  HistogramSnapshot filled = h.snapshot();
+  const HistogramSnapshot empty = Histogram{}.snapshot();
+
+  HistogramSnapshot a = filled;
+  EXPECT_TRUE(a.merge(empty));
+  EXPECT_DOUBLE_EQ(a.min_seen, 5.0);
+  EXPECT_DOUBLE_EQ(a.max_seen, 50.0);
+
+  HistogramSnapshot b = empty;
+  EXPECT_TRUE(b.merge(filled));
+  EXPECT_EQ(b.count, 2u);
+  // The empty side's min_seen=0 must not poison the merged minimum.
+  EXPECT_DOUBLE_EQ(b.min_seen, 5.0);
+  EXPECT_DOUBLE_EQ(b.max_seen, 50.0);
+}
+
+TEST(HistogramSnapshot, MergeRejectsLayoutMismatch) {
+  HistogramOptions narrow;
+  narrow.buckets = 8;
+  Histogram ha, hb(narrow);
+  ha.record(3.0);
+  hb.record(3.0);
+  HistogramSnapshot a = ha.snapshot();
+  const std::uint64_t count_before = a.count;
+  EXPECT_FALSE(a.merge(hb.snapshot()));
+  EXPECT_EQ(a.count, count_before);  // untouched on failure
+}
+
+// --------------------------------------------------------------- Registry --
+
+TEST(Registry, FindOrCreateReturnsStablePointers) {
+  Registry reg;
+  Counter* c1 = reg.counter("serve.admitted");
+  Counter* c2 = reg.counter("serve.admitted");
+  EXPECT_EQ(c1, c2);
+  // Label order must not matter.
+  Counter* l1 = reg.counter("hits", {{"node", "0"}, {"tier", "hot"}});
+  Counter* l2 = reg.counter("hits", {{"tier", "hot"}, {"node", "0"}});
+  EXPECT_EQ(l1, l2);
+  // Distinct label values are distinct instruments.
+  Counter* other = reg.counter("hits", {{"node", "1"}, {"tier", "hot"}});
+  EXPECT_NE(l1, other);
+  // Same name in a different instrument family is a separate namespace.
+  EXPECT_NE(static_cast<void*>(reg.gauge("serve.admitted")),
+            static_cast<void*>(c1));
+}
+
+TEST(Registry, KeyOfSortsLabels) {
+  EXPECT_EQ(Registry::key_of("lat", {}), "lat");
+  EXPECT_EQ(Registry::key_of("lat", {{"b", "2"}, {"a", "1"}}),
+            "lat{a=1,b=2}");
+}
+
+TEST(Registry, HistogramFirstRegistrationOptionsWin) {
+  Registry reg;
+  HistogramOptions coarse;
+  coarse.buckets = 8;
+  Histogram* h1 = reg.histogram("lat", coarse);
+  HistogramOptions fine;
+  fine.buckets = 128;
+  Histogram* h2 = reg.histogram("lat", fine);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->options().buckets, 8u);
+}
+
+TEST(Registry, JsonDumpIsParseableAndComplete) {
+  Registry reg;
+  reg.counter("requests", {{"class", "lc"}})->inc(3);
+  reg.gauge("queue_depth")->set(7.0);
+  Histogram* h = reg.histogram("latency_us");
+  for (int i = 1; i <= 100; ++i) h->record(double(i));
+
+  const std::string text = reg.to_json().dump(2);
+  auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(
+      parsed->at("counters").at("requests{class=lc}").as_int(), 3);
+  EXPECT_DOUBLE_EQ(parsed->at("gauges").at("queue_depth").as_number(), 7.0);
+  const json::Value& lat = parsed->at("histograms").at("latency_us");
+  EXPECT_EQ(lat.at("count").as_int(), 100);
+  EXPECT_GT(lat.at("p99").as_number(), lat.at("p50").as_number());
+  EXPECT_DOUBLE_EQ(lat.at("max").as_number(), 100.0);
+
+  // The flat text dump carries the same keys.
+  const std::string flat = reg.to_text();
+  EXPECT_NE(flat.find("requests{class=lc} 3"), std::string::npos);
+  EXPECT_NE(flat.find("latency_us_count 100"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesInstrumentsInPlace) {
+  Registry reg;
+  Counter* c = reg.counter("n");
+  Histogram* h = reg.histogram("lat");
+  c->inc(9);
+  h->record(4.0);
+  reg.reset();
+  EXPECT_EQ(c->value(), 0u);       // same pointer, zeroed
+  EXPECT_EQ(h->snapshot().count, 0u);
+}
+
+// ----------------------------------------------------------------- Tracer --
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;  // default config: disabled
+  EXPECT_FALSE(tracer.enabled());
+  {
+    Tracer::ScopedSpan s = tracer.scoped("noop", "test");
+    EXPECT_FALSE(s.active());
+    s.annotate("k", "v");  // harmless on an inert span
+  }
+  tracer.instant(TimeDomain::kWall, 1, 0.0, 0, "nope", "test");
+  tracer.span(TimeDomain::kWall, 1, 2, 0, 0.0, 1.0, 0, "nope", "test");
+  EXPECT_TRUE(tracer.collect().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ScopedSpanRecordsWallSpanWithAnnotations) {
+  TracerConfig config;
+  config.enabled = true;
+  Tracer tracer(config);
+  const std::uint64_t trace = tracer.next_id();
+  std::uint64_t parent_id = 0;
+  {
+    Tracer::ScopedSpan root = tracer.scoped("request", "serve", trace);
+    parent_id = root.span_id();
+    Tracer::ScopedSpan child =
+        tracer.scoped("execute", "serve", trace, root.span_id());
+    child.annotate("variant", "fpga-v2");
+  }
+  const std::vector<TraceEvent> events = tracer.collect();
+  ASSERT_EQ(events.size(), 2u);  // child finishes first
+  EXPECT_EQ(events[0].name, "execute");
+  EXPECT_EQ(events[0].parent_id, parent_id);
+  EXPECT_EQ(events[0].trace_id, trace);
+  ASSERT_EQ(events[0].annotations.size(), 1u);
+  EXPECT_EQ(events[0].annotations[0].second, "fpga-v2");
+  EXPECT_EQ(events[1].name, "request");
+  EXPECT_EQ(events[1].parent_id, 0u);
+  EXPECT_GE(events[1].end_us, events[1].start_us);
+  EXPECT_GE(events[1].end_us, events[0].end_us);
+}
+
+TEST(Tracer, SimDomainSpanKeepsExplicitTimestamps) {
+  TracerConfig config;
+  config.enabled = true;
+  Tracer tracer(config);
+  tracer.span(TimeDomain::kSim, 9, 10, 0, 1500.0, 2500.0, 3, "task", "workflow");
+  const std::vector<TraceEvent> events = tracer.collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].domain, TimeDomain::kSim);
+  EXPECT_DOUBLE_EQ(events[0].start_us, 1500.0);
+  EXPECT_DOUBLE_EQ(events[0].duration_us(), 1000.0);
+  EXPECT_EQ(events[0].track, 3u);
+}
+
+TEST(Tracer, RingOverflowDropsAndCounts) {
+  TracerConfig config;
+  config.enabled = true;
+  config.ring_capacity = 8;
+  Tracer tracer(config);
+  for (int i = 0; i < 20; ++i) {
+    tracer.instant(TimeDomain::kWall, 1, double(i), 0, "tick", "test");
+  }
+  EXPECT_EQ(tracer.collect().size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.collect().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Post-clear recording reuses the same ring.
+  tracer.instant(TimeDomain::kWall, 1, 0.0, 0, "tick", "test");
+  EXPECT_EQ(tracer.collect().size(), 1u);
+}
+
+TEST(Tracer, ConcurrentThreadsGetDistinctLanes) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 500;
+  TracerConfig config;
+  config.enabled = true;
+  Tracer tracer(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Tracer::ScopedSpan s = tracer.scoped("op", "test");
+        (void)s;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::vector<TraceEvent> events = tracer.collect();
+  EXPECT_EQ(events.size(), std::size_t(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::set<std::uint32_t> lanes;
+  std::set<std::uint64_t> span_ids;
+  for (const TraceEvent& ev : events) {
+    lanes.insert(ev.track);
+    EXPECT_TRUE(span_ids.insert(ev.span_id).second) << "duplicate span id";
+  }
+  EXPECT_EQ(lanes.size(), std::size_t(kThreads));  // kAutoTrack -> own lane
+}
+
+TEST(Tracer, NextIdNeverReturnsZero) {
+  Tracer tracer;
+  for (int i = 0; i < 100; ++i) EXPECT_NE(tracer.next_id(), 0u);
+}
+
+// ----------------------------------------------------- Chrome trace export --
+
+std::vector<TraceEvent> sample_events() {
+  std::vector<TraceEvent> events;
+  TraceEvent root;
+  root.trace_id = 1;
+  root.span_id = 10;
+  root.start_us = 0.0;
+  root.end_us = 100.0;
+  root.track = 0;
+  root.name = "request";
+  root.component = "serve";
+  root.annotations = {{"sla", "lc"}};
+  events.push_back(root);
+  TraceEvent child = root;
+  child.span_id = 11;
+  child.parent_id = 10;
+  child.start_us = 10.0;
+  child.end_us = 60.0;
+  child.name = "execute";
+  events.push_back(child);
+  TraceEvent fault;
+  fault.kind = TraceEvent::Kind::kInstant;
+  fault.trace_id = 1;
+  fault.span_id = 0;
+  fault.start_us = 30.0;
+  fault.track = 1;
+  fault.name = "fault-injected";
+  fault.component = "resilience";
+  events.push_back(fault);
+  return events;
+}
+
+TEST(ChromeTrace, ExportsParseableDocument) {
+  const std::string text = chrome_trace(sample_events(), 2);
+  auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->at("displayTimeUnit").as_string(), "ms");
+  const json::Array& tev = parsed->at("traceEvents").as_array();
+  // 2 spans + 1 instant + process_name metadata for serve + resilience.
+  std::size_t complete = 0, instant = 0, metadata = 0;
+  for (const json::Value& e : tev) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    } else if (ph == "i") {
+      ++instant;
+      EXPECT_EQ(e.at("s").as_string(), "t");
+    } else if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(e.at("name").as_string(), "process_name");
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(instant, 1u);
+  EXPECT_EQ(metadata, 2u);
+}
+
+TEST(ChromeTrace, SpanArgsCarryIdsAndAnnotations) {
+  auto doc = chrome_trace_json(sample_events());
+  bool found_root = false;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "X" &&
+        e.at("name").as_string() == "request") {
+      found_root = true;
+      EXPECT_EQ(e.at("args").at("sla").as_string(), "lc");
+      EXPECT_EQ(e.at("args").at("span_id").as_int(), 10);
+    }
+  }
+  EXPECT_TRUE(found_root);
+}
+
+TEST(SpanChecks, AcceptWellFormedForest) {
+  const std::vector<TraceEvent> events = sample_events();
+  EXPECT_TRUE(spans_acyclic(events));
+  EXPECT_TRUE(span_chains_complete(events));
+}
+
+TEST(SpanChecks, RejectCycleDanglingParentAndDuplicateId) {
+  // Two spans pointing at each other: a cycle.
+  std::vector<TraceEvent> cycle = sample_events();
+  cycle[0].parent_id = 11;  // root now claims its child as parent
+  EXPECT_FALSE(spans_acyclic(cycle));
+
+  // A parent id that resolves to no span in the batch.
+  std::vector<TraceEvent> dangling = sample_events();
+  dangling[1].parent_id = 999;
+  EXPECT_FALSE(spans_acyclic(dangling));
+  EXPECT_FALSE(span_chains_complete(dangling));
+
+  // Two spans sharing one id make parentage ambiguous.
+  std::vector<TraceEvent> dup = sample_events();
+  dup[1].span_id = 10;
+  EXPECT_FALSE(spans_acyclic(dup));
+
+  // A span with id 0 is malformed.
+  std::vector<TraceEvent> zero = sample_events();
+  zero[1].span_id = 0;
+  EXPECT_FALSE(spans_acyclic(zero));
+}
+
+TEST(SpanChecks, ChainCompletenessIsPerTrace) {
+  // The child lives in a different trace than its parent: the chain
+  // never reaches a root within its own trace.
+  std::vector<TraceEvent> cross = sample_events();
+  cross[1].trace_id = 2;
+  EXPECT_TRUE(spans_acyclic(cross));  // structurally still a forest
+  EXPECT_FALSE(span_chains_complete(cross));
+}
+
+}  // namespace
+}  // namespace everest::obs

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Full pre-merge gate:
+#   1. tier-1 contract: configure + build + ctest (all tests and
+#      registered bench smokes);
+#   2. every bench_e* binary in --smoke mode, distinguishing a failed
+#      self-check criterion (exit 1) from a usage error (exit 2);
+#   3. a ThreadSanitizer build (EVEREST_SANITIZE=thread) of the
+#      concurrency-heavy test binaries (serve, obs, data) run under ctest.
+# Any failure aborts the script with a non-zero exit.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== [1/3] tier-1: configure + build + ctest ==="
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS"
+(cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "=== [2/3] bench smokes (exit 1 = criterion failed, 2 = bad usage) ==="
+smoke_failures=0
+for bench in "$ROOT"/build/bench/bench_e*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  set +e
+  "$bench" --smoke >/dev/null 2>&1
+  code=$?
+  set -e
+  case "$code" in
+    0) echo "  PASS $name" ;;
+    1) echo "  FAIL $name (self-check criterion failed)"; smoke_failures=$((smoke_failures + 1)) ;;
+    2) echo "  FAIL $name (rejected --smoke as bad usage)"; smoke_failures=$((smoke_failures + 1)) ;;
+    *) echo "  FAIL $name (exit $code)"; smoke_failures=$((smoke_failures + 1)) ;;
+  esac
+done
+if [ "$smoke_failures" -ne 0 ]; then
+  echo "bench smoke: $smoke_failures failure(s)"
+  exit 1
+fi
+
+echo
+echo "=== [3/3] TSan: serve + obs + data tests ==="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DEVEREST_SANITIZE=thread >/dev/null
+cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+  --target test_serve test_obs test_data
+(cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" \
+  -R 'test_serve|test_obs|test_data')
+
+echo
+echo "check.sh: all gates passed."
