@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/traffic.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/router.hpp"
+#include "cluster/shard_map.hpp"
 #include "common/rng.hpp"
 #include "compiler/lowering.hpp"
 #include "compiler/variants.hpp"
@@ -208,6 +211,45 @@ void BM_HistogramRecord(benchmark::State& state) {
   benchmark::DoNotOptimize(hist.count());
 }
 BENCHMARK(BM_HistogramRecord);
+
+/// Shared 8-node routing rig for the cluster router benchmarks.
+struct RouterRig {
+  cluster::Membership membership;
+  cluster::ShardMap shard_map;
+  cluster::ClusterRouter router;
+
+  RouterRig()
+      : membership({"n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"}),
+        shard_map(8, cluster::ShardMapConfig{64, 2, 0x5eedULL}),
+        router(&membership, &shard_map,
+               [](std::size_t node) { return (node * 7 + 3) % 5; }, 42) {}
+};
+
+// Keyless routing is the federation's per-request hot path (two snapshot
+// loads + one stateless p2c hash); E21's smoke enforces <200 ns on it.
+void BM_RouterKeylessRoute(benchmark::State& state) {
+  RouterRig rig;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    auto decision = rig.router.route("");
+    if (decision.ok()) sink += decision->node;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RouterKeylessRoute);
+
+void BM_RouterKeyedRoute(benchmark::State& state) {
+  RouterRig rig;
+  const std::string keys[4] = {"obj3", "obj17", "obj29", "obj41"};
+  std::uint64_t sink = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto decision = rig.router.route(keys[i++ & 3]);
+    if (decision.ok()) sink += decision->node;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RouterKeyedRoute);
 
 }  // namespace
 

@@ -1,0 +1,66 @@
+// Inter-node interconnect model for the federation: one fair-share
+// platform::LinkChannel per directed node pair, each inside its own
+// discrete-event Simulator whose clock is anchored to the wall. A hop is
+// issued at the wall instant it happens; if earlier hops on the same
+// link pushed that link's simulation clock ahead of the wall, the new
+// hop inherits the difference as queueing delay before its own transfer
+// time — an M/G/1-style FIFO link under load, exact LinkModel cost when
+// idle. The LinkChannels keep the real cost books (bytes moved,
+// transfers, flow-time integral) that the federation exports.
+//
+// Per-link locking: hops on distinct node pairs never contend.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "platform/desim.hpp"
+#include "platform/links.hpp"
+
+namespace everest::cluster {
+
+struct FabricStats {
+  double bytes_moved = 0.0;
+  std::uint64_t transfers = 0;
+  /// Sum over links of the time-integral of in-flight payloads (µs) — a
+  /// fabric-wide congestion measure.
+  double busy_flow_us = 0.0;
+};
+
+class ForwardFabric {
+ public:
+  ForwardFabric(std::size_t num_nodes, platform::LinkModel model);
+
+  /// Models moving `bytes` from `src` to `dst` right now; returns the
+  /// hop's total cost (µs) = queueing behind transfers already booked on
+  /// that link + the transfer itself. Does not sleep — callers charge
+  /// the cost where it belongs (the forwarded request's latency).
+  double hop_us(std::size_t src, std::size_t dst, double bytes);
+
+  [[nodiscard]] FabricStats stats() const;
+  [[nodiscard]] const platform::LinkModel& model() const { return model_; }
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
+
+ private:
+  /// One directed link: its own simulator so backlog on (a, b) never
+  /// couples to (c, d).
+  struct Link {
+    std::mutex mu;
+    platform::Simulator sim;
+    std::unique_ptr<platform::LinkChannel> channel;
+  };
+
+  Link& link(std::size_t src, std::size_t dst) {
+    return *links_[src * n_ + dst];
+  }
+
+  std::size_t n_;
+  platform::LinkModel model_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace everest::cluster

@@ -1,0 +1,65 @@
+#include "cluster/membership.hpp"
+
+#include <algorithm>
+
+namespace everest::cluster {
+
+Membership::Membership(std::vector<std::string> node_names,
+                       MembershipConfig config)
+    : names_(std::move(node_names)),
+      config_(config),
+      registry_(names_.size(), config.heartbeat_interval_us,
+                config.suspect_phi, config.dead_phi),
+      last_(names_.size(), resilience::Health::kHealthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  publish_view_locked();
+}
+
+void Membership::heartbeat(std::size_t node, double now_us) {
+  if (node >= names_.size()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry_.health(node) == resilience::Health::kDead) {
+    registry_.reset(node, config_.heartbeat_interval_us);
+  }
+  registry_.heartbeat(node, now_us);
+}
+
+std::vector<Transition> Membership::update(double now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)registry_.update(now_us);
+  std::vector<Transition> transitions;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const resilience::Health current = registry_.health(i);
+    if (current != last_[i]) {
+      transitions.push_back(Transition{i, last_[i], current, now_us});
+      last_[i] = current;
+    }
+  }
+  if (!transitions.empty()) {
+    ++epoch_;
+    publish_view_locked();
+  }
+  return transitions;
+}
+
+std::shared_ptr<const MembershipView> Membership::view() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_;
+}
+
+double Membership::detection_interval_us() const {
+  constexpr double kLog10E = 0.4342944819032518;
+  return config_.dead_phi * config_.heartbeat_interval_us / kLog10E;
+}
+
+void Membership::publish_view_locked() {
+  auto next = std::make_shared<MembershipView>();
+  next->epoch = epoch_;
+  next->health = last_;
+  for (std::size_t i = 0; i < last_.size(); ++i) {
+    if (last_[i] == resilience::Health::kHealthy) next->routable.push_back(i);
+  }
+  view_ = std::move(next);
+}
+
+}  // namespace everest::cluster

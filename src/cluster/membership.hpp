@@ -1,0 +1,104 @@
+// Cluster membership: the federation's shared view of which serving
+// nodes are alive. Built on the resilience phi-accrual detector — a
+// heartbeat pump feeds each node's detector, update() re-scores them
+// against the suspect/dead thresholds, and every health transition bumps
+// a monotonically increasing epoch so routers and shard maps can detect
+// staleness with one integer compare. The view itself is published as an
+// immutable snapshot behind a shared_ptr: readers (one per routed
+// request) never block the pump, and a reader holding an old view sees a
+// consistent — merely slightly stale — membership, exactly like a real
+// gossip/failure-detector readout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "resilience/detector.hpp"
+
+namespace everest::cluster {
+
+struct MembershipConfig {
+  /// Expected heartbeat cadence (µs); seeds the detectors' inter-arrival
+  /// model and defines detection_interval_us().
+  double heartbeat_interval_us = 10'000.0;
+  /// Phi past which a node stops receiving new work.
+  double suspect_phi = 3.0;
+  /// Phi past which a node is declared dead and its shards fail over.
+  double dead_phi = 8.0;
+};
+
+/// One health transition observed by update(); ordered by node index
+/// within a pass, so a transition log is deterministic.
+struct Transition {
+  std::size_t node = 0;
+  resilience::Health from = resilience::Health::kHealthy;
+  resilience::Health to = resilience::Health::kHealthy;
+  double at_us = 0.0;
+};
+
+/// Immutable membership snapshot. `routable` lists kHealthy nodes in
+/// ascending index order (suspected nodes stop receiving new work before
+/// they are declared dead — the phi detector's two-threshold contract).
+struct MembershipView {
+  std::uint64_t epoch = 0;
+  std::vector<resilience::Health> health;
+  std::vector<std::size_t> routable;
+
+  [[nodiscard]] bool is_routable(std::size_t node) const {
+    return node < health.size() &&
+           health[node] == resilience::Health::kHealthy;
+  }
+  [[nodiscard]] std::size_t alive_count() const { return routable.size(); }
+};
+
+/// Thread-safe membership registry. One writer (the heartbeat pump)
+/// drives heartbeat()/update(); any number of readers call view().
+class Membership {
+ public:
+  Membership(std::vector<std::string> node_names,
+             MembershipConfig config = {});
+
+  /// Records a heartbeat from `node` at `now_us` (µs on the caller's
+  /// monotonic clock). A heartbeat from a kDead node first resets its
+  /// detector's inter-arrival model: the outage gap is silence, not a
+  /// sample, and must not poison the EWMA (a poisoned mean would make the
+  /// *next* failure of the same node take minutes to detect).
+  void heartbeat(std::size_t node, double now_us);
+
+  /// Re-scores every node at `now_us` and returns the transitions of this
+  /// pass (including revivals recorded by heartbeat() since the last
+  /// pass). Any transition bumps the epoch and publishes a fresh view.
+  std::vector<Transition> update(double now_us);
+
+  [[nodiscard]] std::shared_ptr<const MembershipView> view() const;
+
+  [[nodiscard]] const std::string& name(std::size_t node) const {
+    return names_[node];
+  }
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const MembershipConfig& config() const { return config_; }
+
+  /// Upper bound on silence → kDead for a node with a calibrated
+  /// inter-arrival model: phi = silence/mean * log10(e) reaches dead_phi
+  /// at silence = dead_phi * mean / log10(e). Callers add their own pump
+  /// granularity on top.
+  [[nodiscard]] double detection_interval_us() const;
+
+ private:
+  void publish_view_locked();
+
+  std::vector<std::string> names_;
+  MembershipConfig config_;
+
+  mutable std::mutex mu_;
+  resilience::HealthRegistry registry_;
+  /// Health as of the last published view; diffed to emit transitions.
+  std::vector<resilience::Health> last_;
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<const MembershipView> view_;
+};
+
+}  // namespace everest::cluster

@@ -1,0 +1,108 @@
+#include "cluster/router.hpp"
+
+#include "common/rng.hpp"
+
+namespace everest::cluster {
+
+std::string_view to_string(RouteKind kind) {
+  switch (kind) {
+    case RouteKind::kPrimary: return "primary";
+    case RouteKind::kFailover: return "failover";
+    case RouteKind::kNoOwner: return "no_owner";
+    case RouteKind::kPowerOfTwo: return "p2c";
+  }
+  return "?";
+}
+
+std::string RouteDecision::to_string() const {
+  std::string out = "s=";
+  out += shard == kNoShard ? "-" : std::to_string(shard);
+  out += " n=" + std::to_string(node);
+  out += " k=";
+  out += cluster::to_string(kind);
+  out += " v=" + std::to_string(map_version);
+  out += " e=" + std::to_string(membership_epoch);
+  return out;
+}
+
+ClusterRouter::ClusterRouter(const Membership* membership,
+                             const ShardMap* shard_map, DepthProbe depth,
+                             std::uint64_t seed)
+    : membership_(membership),
+      shard_map_(shard_map),
+      depth_(std::move(depth)),
+      seed_(seed) {}
+
+Result<std::size_t> ClusterRouter::pick_balanced(const MembershipView& view,
+                                                 std::size_t exclude) {
+  // Candidate set: routable minus the excluded node. The common case has
+  // no exclusion and uses the view's list in place.
+  const std::size_t* live = view.routable.data();
+  std::size_t n = view.routable.size();
+  std::vector<std::size_t> filtered;
+  if (exclude != kNone) {
+    filtered.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (view.routable[i] != exclude) filtered.push_back(view.routable[i]);
+    }
+    live = filtered.data();
+    n = filtered.size();
+  }
+  if (n == 0) return Unavailable("no routable node in the cluster");
+  if (n == 1) return live[0];
+
+  // Two distinct candidates from a stateless per-ticket hash: the ticket
+  // order is the only shared state, so concurrent routes never contend on
+  // RNG state and a single-threaded replay is byte-identical.
+  const std::uint64_t ticket =
+      ticket_.fetch_add(1, std::memory_order_relaxed);
+  SplitMix64 sm(seed_ ^ (0x9E3779B97F4A7C15ULL * (ticket + 1)));
+  const std::uint64_t h = sm.next();
+  const std::size_t a = static_cast<std::size_t>(h % n);
+  std::size_t b = static_cast<std::size_t>((h >> 32) % (n - 1));
+  if (b >= a) ++b;
+
+  const std::size_t node_a = live[a];
+  const std::size_t node_b = live[b];
+  const std::size_t depth_a = depth_ ? depth_(node_a) : 0;
+  const std::size_t depth_b = depth_ ? depth_(node_b) : 0;
+  if (depth_a != depth_b) return depth_a < depth_b ? node_a : node_b;
+  return node_a < node_b ? node_a : node_b;  // deterministic tie-break
+}
+
+Result<RouteDecision> ClusterRouter::route(std::string_view data_key,
+                                           std::size_t exclude) {
+  const std::shared_ptr<const MembershipView> view = membership_->view();
+  const std::shared_ptr<const ShardTable> table = shard_map_->table();
+
+  RouteDecision decision;
+  decision.map_version = table->version;
+  decision.membership_epoch = view->epoch;
+
+  if (!data_key.empty()) {
+    decision.shard = shard_map_->shard_of(data_key);
+    const auto& replicas = table->replicas[decision.shard];
+    for (std::size_t slot = 0; slot < replicas.size(); ++slot) {
+      const std::size_t node = replicas[slot];
+      if (node == exclude || !view->is_routable(node)) continue;
+      decision.node = node;
+      decision.kind =
+          slot == 0 ? RouteKind::kPrimary : RouteKind::kFailover;
+      return decision;
+    }
+    // No healthy replica: serve anywhere, pay the cold data staging.
+    auto picked = pick_balanced(*view, exclude);
+    EVEREST_RETURN_IF_ERROR(picked.status());
+    decision.node = *picked;
+    decision.kind = RouteKind::kNoOwner;
+    return decision;
+  }
+
+  auto picked = pick_balanced(*view, exclude);
+  EVEREST_RETURN_IF_ERROR(picked.status());
+  decision.node = *picked;
+  decision.kind = RouteKind::kPowerOfTwo;
+  return decision;
+}
+
+}  // namespace everest::cluster

@@ -1,0 +1,103 @@
+// Locality-first routing for the serving federation. A keyed request
+// (Request::data_key non-empty) is routed to the first *healthy* replica
+// of its shard — the node whose input cache is warm for that key; if the
+// rendezvous primary is suspected/dead the decision degrades to the next
+// replica (failover) without waiting for a map rebuild. Keyless traffic
+// is balanced by power-of-two-choices over live queue depths: two
+// deterministic candidates per decision, the shallower queue wins —
+// the classic O(1) balancer whose max load is exponentially better than
+// random placement.
+//
+// Decisions are deterministic given (seed, decision ordinal, membership
+// view, shard table, probed depths): the keyless candidate pair comes
+// from a SplitMix64 hash of seed ^ ticket, not from shared RNG state, so
+// the router is lock-free on the hot path and replays byte-identically
+// (test_cluster pins this with serialized decision logs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "cluster/membership.hpp"
+#include "cluster/shard_map.hpp"
+#include "common/status.hpp"
+
+namespace everest::cluster {
+
+/// Why a decision landed where it did.
+enum class RouteKind : std::uint8_t {
+  /// Keyed; routed to the shard's rendezvous primary (data-local).
+  kPrimary = 0,
+  /// Keyed; primary unhealthy/excluded, a lower-preference replica won
+  /// (still data-local).
+  kFailover,
+  /// Keyed but no healthy replica holds the shard; fell back to
+  /// power-of-two-choices (the serving node will stage the data cold).
+  kNoOwner,
+  /// Keyless; power-of-two-choices on live queue depth.
+  kPowerOfTwo,
+};
+
+std::string_view to_string(RouteKind kind);
+
+struct RouteDecision {
+  std::size_t node = 0;
+  /// Shard of the key (kNoShard for keyless decisions).
+  std::uint32_t shard = kNoShard;
+  RouteKind kind = RouteKind::kPowerOfTwo;
+  /// Map/membership versions the decision was made under.
+  std::uint64_t map_version = 0;
+  std::uint64_t membership_epoch = 0;
+
+  /// The chosen node holds a replica of the key's shard.
+  [[nodiscard]] bool data_local() const {
+    return kind == RouteKind::kPrimary || kind == RouteKind::kFailover;
+  }
+  /// Stable fingerprint ("s=12 n=3 k=primary v=4 e=2") — what the
+  /// determinism tests compare byte-for-byte.
+  [[nodiscard]] std::string to_string() const;
+
+  static constexpr std::uint32_t kNoShard = 0xffffffffu;
+};
+
+class ClusterRouter {
+ public:
+  /// Live queue depth of a node (shallower wins power-of-two-choices).
+  using DepthProbe = std::function<std::size_t(std::size_t node)>;
+
+  /// `membership` and `shard_map` are borrowed and must outlive the
+  /// router. `depth` may be empty (depth 0 everywhere → ties break to the
+  /// lower node index).
+  ClusterRouter(const Membership* membership, const ShardMap* shard_map,
+                DepthProbe depth, std::uint64_t seed);
+
+  /// Routes one request. `data_key` empty = keyless. `exclude` removes
+  /// one node from consideration (a connection-refused retry re-routes
+  /// around the node that just refused, ahead of failure detection).
+  /// Fails with UNAVAILABLE only when no routable node remains.
+  Result<RouteDecision> route(std::string_view data_key,
+                              std::size_t exclude = kNone);
+
+  /// Decisions made so far (the keyless determinism ticket).
+  [[nodiscard]] std::uint64_t tickets() const {
+    return ticket_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+ private:
+  /// Power-of-two-choices over `view`'s routable nodes minus `exclude`.
+  Result<std::size_t> pick_balanced(const MembershipView& view,
+                                    std::size_t exclude);
+
+  const Membership* membership_;
+  const ShardMap* shard_map_;
+  DepthProbe depth_;
+  std::uint64_t seed_;
+  std::atomic<std::uint64_t> ticket_{0};
+};
+
+}  // namespace everest::cluster

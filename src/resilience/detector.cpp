@@ -46,6 +46,10 @@ void HealthRegistry::heartbeat(std::size_t worker, double now_us) {
   e.health = Health::kHealthy;
 }
 
+void HealthRegistry::reset(std::size_t worker, double expected_interval_us) {
+  entries_[worker].detector = PhiAccrualDetector(expected_interval_us);
+}
+
 std::vector<std::size_t> HealthRegistry::update(double now_us) {
   std::vector<std::size_t> newly_dead;
   for (std::size_t w = 0; w < entries_.size(); ++w) {

@@ -57,6 +57,13 @@ class HealthRegistry {
   /// Records a heartbeat; revives kSuspected/kDead workers.
   void heartbeat(std::size_t worker, double now_us);
 
+  /// Reinitializes `worker`'s inter-arrival model (health is untouched).
+  /// Call before the first heartbeat of a rejoin: the outage gap is
+  /// silence, not an inter-arrival sample, and folding it into the EWMA
+  /// would inflate the mean so much that the node's *next* failure takes
+  /// orders of magnitude longer to detect.
+  void reset(std::size_t worker, double expected_interval_us);
+
   /// Re-scores every worker; returns the indices that transitioned to
   /// kDead in this pass (each worker is reported dead once per outage).
   std::vector<std::size_t> update(double now_us);

@@ -33,9 +33,11 @@ struct Collector {
 };
 
 /// Draws the next request deterministically from the workload spec.
-/// `zipf` is the shared object-popularity sampler (null = no data keys).
+/// `zipf` is the shared object-popularity sampler (null = no data keys);
+/// `client` rotates the rank → object mapping so each client can have
+/// its own hot set.
 Request draw_request(const WorkloadSpec& spec, Rng& rng,
-                     const ZipfSampler* zipf) {
+                     const ZipfSampler* zipf, int client) {
   Request request;
   request.kernel = spec.kernels[rng.uniform_int(spec.kernels.size())];
   request.sla = rng.bernoulli(spec.lc_fraction) ? SlaClass::kLatencyCritical
@@ -43,7 +45,13 @@ Request draw_request(const WorkloadSpec& spec, Rng& rng,
   request.payload_scale = rng.uniform(0.5, 1.5);
   request.seed = rng.next();
   if (zipf != nullptr) {
-    request.data_key = "obj" + std::to_string(zipf->sample(rng));
+    const std::size_t rank = zipf->sample(rng);
+    const std::size_t index =
+        (rank + static_cast<std::size_t>(client) *
+                    spec.per_client_key_stride) %
+        zipf->size();
+    request.data_key = spec.key_namer ? spec.key_namer(client, index)
+                                      : "obj" + std::to_string(index);
     request.input_bytes = spec.input_bytes;
   }
   const double deadline_ms = request.sla == SlaClass::kLatencyCritical
@@ -77,7 +85,8 @@ double LoadReport::p99_us() const {
   return all.empty() ? 0.0 : percentile(all, 99.0);
 }
 
-LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
+LoadReport run_open_loop(const SubmitFn& submit, const DrainFn& drain,
+                         const WorkloadSpec& spec) {
   Collector collector;
   Rng rng(spec.seed);
   std::unique_ptr<ZipfSampler> zipf;
@@ -91,13 +100,13 @@ LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
 
   while (next_arrival < horizon) {
     std::this_thread::sleep_until(next_arrival);
-    Request request = draw_request(spec, rng, zipf.get());
+    Request request = draw_request(spec, rng, zipf.get(), /*client=*/0);
     const SlaClass sla = request.sla;
     {
       std::lock_guard<std::mutex> lock(collector.mu);
       ++collector.report.offered;
     }
-    const Status status = server.submit(
+    const Status status = submit(
         std::move(request), [&collector, sla](const Response& response) {
           collector.on_response(sla, response);
         });
@@ -109,7 +118,7 @@ LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
     next_arrival += std::chrono::microseconds(static_cast<std::int64_t>(
         rng.exponential(spec.offered_rps) * 1e6));
   }
-  server.drain();
+  if (drain) drain();
   collector.report.wall_s =
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
@@ -118,8 +127,17 @@ LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
   return collector.report;
 }
 
-LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
-                           int clients, double think_ms) {
+LoadReport run_open_loop(Server& server, const WorkloadSpec& spec) {
+  return run_open_loop(
+      [&server](Request request, ResponseCallback on_done) {
+        return server.submit(std::move(request), std::move(on_done));
+      },
+      [&server] { server.drain(); }, spec);
+}
+
+LoadReport run_closed_loop(const SubmitFn& submit, const DrainFn& drain,
+                           const WorkloadSpec& spec, int clients,
+                           double think_ms) {
   Collector collector;
   std::unique_ptr<ZipfSampler> zipf;
   if (spec.num_data_objects > 0) {
@@ -138,14 +156,14 @@ LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
       std::mutex mu;
       std::condition_variable cv;
       while (Clock::now() < horizon) {
-        Request request = draw_request(spec, rng, zipf.get());
+        Request request = draw_request(spec, rng, zipf.get(), c);
         const SlaClass sla = request.sla;
         {
           std::lock_guard<std::mutex> lock(collector.mu);
           ++collector.report.offered;
         }
         bool done = false;
-        const Status status = server.submit(
+        const Status status = submit(
             std::move(request), [&](const Response& response) {
               collector.on_response(sla, response);
               {
@@ -173,13 +191,22 @@ LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
     });
   }
   for (std::thread& t : threads) t.join();
-  server.drain();
+  if (drain) drain();
   collector.report.wall_s =
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count() /
       1e9;
   return collector.report;
+}
+
+LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
+                           int clients, double think_ms) {
+  return run_closed_loop(
+      [&server](Request request, ResponseCallback on_done) {
+        return server.submit(std::move(request), std::move(on_done));
+      },
+      [&server] { server.drain(); }, spec, clients, think_ms);
 }
 
 }  // namespace everest::serve

@@ -11,12 +11,22 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "serve/server.hpp"
 
 namespace everest::serve {
+
+/// Submission target the generator drives: a serve::Server, a
+/// cluster::Federation, or a test double. Same contract as
+/// Server::submit — on OK the callback fires exactly once (from any
+/// thread); on error it never fires.
+using SubmitFn = std::function<Status(Request, ResponseCallback)>;
+/// Quiesce hook run once after the generation horizon (waits until every
+/// admitted request has its response delivered).
+using DrainFn = std::function<void()>;
 
 /// What traffic to offer.
 struct WorkloadSpec {
@@ -42,6 +52,16 @@ struct WorkloadSpec {
   double zipf_skew = 1.0;
   /// Bytes per input object (misses pay this over the input link).
   double input_bytes = 256.0 * 1024;
+  /// Per-client key-space rotation: client c's Zipf rank r maps to object
+  /// index (r + c * stride) % num_data_objects, giving every client its
+  /// own hot set (tenant locality). 0 = all clients share one ranking.
+  /// Open-loop generation is client 0.
+  std::size_t per_client_key_stride = 0;
+  /// Maps (client, object index) → data key; default "obj<index>". Lets
+  /// the cluster bench align generated keys with its shard map without
+  /// forking the generator. Must be thread-safe (called from every
+  /// client thread).
+  std::function<std::string(int client, std::size_t object_index)> key_namer;
 };
 
 /// Aggregate outcome of one generation run, as seen by the clients
@@ -66,11 +86,16 @@ struct LoadReport {
 };
 
 /// Open loop: arrivals at spec.offered_rps with exponential gaps from one
-/// generator thread; drains the server before returning.
+/// generator thread; runs `drain` (if set) before returning.
+LoadReport run_open_loop(const SubmitFn& submit, const DrainFn& drain,
+                         const WorkloadSpec& spec);
 LoadReport run_open_loop(Server& server, const WorkloadSpec& spec);
 
 /// Closed loop: `clients` threads each run submit → wait-for-completion →
 /// think (exponential, mean think_ms) until the horizon elapses.
+LoadReport run_closed_loop(const SubmitFn& submit, const DrainFn& drain,
+                           const WorkloadSpec& spec, int clients,
+                           double think_ms = 0.0);
 LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
                            int clients, double think_ms = 0.0);
 

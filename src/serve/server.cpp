@@ -103,6 +103,12 @@ Status Server::submit(Request request, ResponseCallback on_done) {
     return FailedPrecondition("server is not running");
   }
   metrics_.record_submitted();
+  if (draining_.load(std::memory_order_acquire)) {
+    // Sealed by drain_gracefully(): refuse instead of buffering so the
+    // drain condition (finished catches up to admitted) can be reached.
+    metrics_.record_unavailable();
+    return Unavailable("server is draining");
+  }
   if (endpoints_.count(request.kernel) == 0) {
     return NotFound("no endpoint '" + request.kernel + "'");
   }
@@ -398,6 +404,28 @@ void Server::drain() {
          admitted_requests_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+}
+
+std::uint64_t Server::drain_gracefully() {
+  if (!running_.load()) return 0;
+  draining_.store(true, std::memory_order_release);
+  const std::uint64_t finished_at_seal =
+      finished_requests_.load(std::memory_order_acquire);
+  // Re-read admitted each pass: a submit that passed the draining check
+  // before the seal may still be incrementing it.
+  while (finished_requests_.load(std::memory_order_acquire) <
+         admitted_requests_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const std::uint64_t drained =
+      finished_requests_.load(std::memory_order_acquire) - finished_at_seal;
+  EVEREST_LOG(kInfo, "serve")
+      << "drained " << drained << " in-flight request(s)";
+  return drained;
+}
+
+void Server::resume_admission() {
+  draining_.store(false, std::memory_order_release);
 }
 
 void Server::stop() {

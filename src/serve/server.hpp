@@ -114,6 +114,23 @@ class Server {
   /// Waits until the queue is empty and all in-flight batches finished.
   void drain();
 
+  /// Graceful drain for failover/rebalance: atomically seals admission
+  /// (submit returns UNAVAILABLE while draining), waits until every
+  /// already-admitted request has had its response delivered, and
+  /// returns how many responses were delivered during the drain. The
+  /// server keeps running; resume_admission() re-opens the front door
+  /// (the rejoin path). Safe to call concurrently with submit() from any
+  /// number of client threads.
+  std::uint64_t drain_gracefully();
+
+  /// Re-admits traffic after drain_gracefully().
+  void resume_admission();
+
+  /// Admission currently sealed by drain_gracefully()?
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   /// drain() + stop dispatcher + join workers (idempotent).
   void stop();
 
@@ -168,6 +185,7 @@ class Server {
   std::atomic<std::uint64_t> admitted_requests_{0};
   std::atomic<std::uint64_t> finished_requests_{0};
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace everest::serve
