@@ -3,6 +3,9 @@
 // throughput, and PTDR sampling. These guard against performance
 // regressions in the toolchain itself.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "apps/traffic.hpp"
 #include "cluster/membership.hpp"
@@ -22,6 +25,7 @@
 #include "obs/obs.hpp"
 #include "security/aes.hpp"
 #include "security/sha256.hpp"
+#include "storage/storage.hpp"
 #include "workflow/scheduler.hpp"
 
 namespace {
@@ -250,6 +254,51 @@ void BM_RouterKeyedRoute(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_RouterKeyedRoute);
+
+// Catalog-log append is on the data plane's mutation path (every put/
+// place/demote) and, via on_input_staged, on the serve workers' cold
+// staging path: encode + CRC + buffered fwrite under one mutex. Arg is
+// sync_every — 1 pays an fsync per append, 64 amortizes (group commit).
+void BM_CatalogLogAppend(benchmark::State& state) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("everest_bm_wal_" + std::to_string(getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  storage::LogConfig config;
+  config.sync_every = static_cast<std::size_t>(state.range(0));
+  storage::CatalogLog log(dir, config);
+  storage::LogRecord record{storage::LogRecordType::kPlace, 0, 7, 0, 0, 1,
+                            1e6};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    record.object = sink & 1023;
+    sink += log.append(record);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CatalogLogAppend)->Arg(1)->Arg(64);
+
+// Segment-store lookup backs every tier residency probe the data plane
+// makes on a cache miss (one map walk; no I/O).
+void BM_SegmentLocate(benchmark::State& state) {
+  storage::SegmentStore store("");  // in-memory: index cost only
+  const std::uint64_t keys = 4096;
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    (void)store.append(data::ShardKey{i, 0, 0}, 1e6);
+  }
+  double sink = 0.0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto located = store.locate(data::ShardKey{i++ & (keys - 1), 0, 0});
+    if (located.ok()) sink += located.value();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentLocate);
 
 }  // namespace
 

@@ -29,8 +29,24 @@ Federation::Federation(FederationOptions options)
   crashed_.reserve(options_.num_nodes);
   for (std::size_t i = 0; i < options_.num_nodes; ++i) {
     knowledge_.push_back(std::make_unique<runtime::KnowledgeBase>());
+    serve::ServerOptions node_opts = options_.node;
+    if (!options_.storage_dir.empty()) {
+      // One WAL per node: every cold input staging is appended (as a
+      // kPlace record — "this key's bytes now live in node i's RAM"), so
+      // a restart can replay the node back to a warm cache instead of
+      // re-paying every input transfer.
+      wals_.push_back(std::make_unique<storage::CatalogLog>(
+          options_.storage_dir + "/node" + std::to_string(i),
+          storage::LogConfig{}, &registry_));
+      storage::CatalogLog* wal = wals_.back().get();
+      node_opts.on_input_staged = [wal, i](const data::ShardKey& key,
+                                           double bytes, double) {
+        wal->append({storage::LogRecordType::kPlace, 0, key.object, key.shard,
+                     key.version, i, bytes});
+      };
+    }
     servers_.push_back(
-        std::make_unique<serve::Server>(options_.node, knowledge_[i].get()));
+        std::make_unique<serve::Server>(node_opts, knowledge_[i].get()));
     crashed_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
 
@@ -53,6 +69,8 @@ Federation::Federation(FederationOptions options)
   failovers_ = registry_.counter("cluster.failovers");
   rejoins_ = registry_.counter("cluster.rejoins");
   rebuilds_ = registry_.counter("cluster.rebuilds");
+  warm_restored_ = registry_.counter("cluster.warm_restored_entries");
+  warm_restore_us_ = registry_.histogram("cluster.warm_restore_us");
   shards_moved_ = registry_.gauge("cluster.shards_moved_last");
   imbalance_ = registry_.gauge("cluster.shard_imbalance");
   last_detection_ = registry_.gauge("cluster.last_detection_us");
@@ -243,6 +261,11 @@ void Federation::stop() {
 void Federation::crash(std::size_t node) {
   if (node >= options_.num_nodes) return;
   crashed_[node]->store(true, std::memory_order_release);
+  // Process death loses RAM: the staged-input cache dies with it. The
+  // node's WAL (when configured) survives on disk — that is what
+  // restart() replays. Without cold_restart_cache the crash stays a
+  // NIC-level fail-stop and RAM survives (the pre-storage model).
+  if (options_.cold_restart_cache) servers_[node]->clear_input_cache();
   if (options_.tracer != nullptr && options_.tracer->enabled()) {
     options_.tracer->instant(obs::TimeDomain::kWall, 0,
                              options_.tracer->wall_now_us(), obs::kAutoTrack,
@@ -255,6 +278,30 @@ void Federation::crash(std::size_t node) {
 
 void Federation::restart(std::size_t node) {
   if (node >= options_.num_nodes) return;
+  if (options_.cold_restart_cache && node < wals_.size()) {
+    // Warm restart: replay the node's staging log in append order — the
+    // cache's own capacity bound keeps the most recently staged keys, so
+    // the node rejoins roughly as warm as it died.
+    const auto t0 = std::chrono::steady_clock::now();
+    wals_[node]->sync();
+    std::uint64_t restored = 0;
+    storage::CatalogLog::replay_records(
+        wals_[node]->dir(), [&](const storage::LogRecord& rec) {
+          if (rec.type != storage::LogRecordType::kPlace) return;
+          servers_[node]->warm_input(rec.key(), rec.bytes);
+          ++restored;
+        });
+    const double wall_us =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        1e3;
+    warm_restored_->inc(restored);
+    warm_restore_us_->record(wall_us);
+    EVEREST_LOG(kInfo, "cluster")
+        << membership_->name(node) << " warm restart: " << restored
+        << " cache entries replayed in " << wall_us << " us";
+  }
   crashed_[node]->store(false, std::memory_order_release);
   servers_[node]->resume_admission();
   EVEREST_LOG(kInfo, "cluster") << membership_->name(node) << " restarting";
@@ -326,6 +373,7 @@ FederationStats Federation::stats() const {
   out.failovers = failovers_->value();
   out.rejoins = rejoins_->value();
   out.rebuilds = rebuilds_->value();
+  out.warm_restored_entries = warm_restored_->value();
   out.shards_moved_last = shards_moved_->value();
   out.shard_imbalance = imbalance_->value();
   out.last_detection_us = last_detection_->value();

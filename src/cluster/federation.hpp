@@ -43,6 +43,7 @@
 #include "runtime/knowledge.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
+#include "storage/log.hpp"
 
 namespace everest::cluster {
 
@@ -68,6 +69,17 @@ struct FederationOptions {
   double pump_period_us = 2'000.0;
   /// Root of ingress choice and keyless candidate draws.
   std::uint64_t seed = 42;
+  /// Durable root for per-node input-staging catalogs ("<dir>/node<i>"
+  /// each holds a storage::CatalogLog). Empty = no logging: a restarted
+  /// node comes back cold and re-pays every input transfer.
+  std::string storage_dir;
+  /// Model process death on crash(): the node's input cache is cleared
+  /// (RAM dies with the process). With a storage_dir, restart() then
+  /// replays the node's log to warm the cache back — the E22
+  /// restart-to-warm path; without one, the node truly restarts cold.
+  /// false keeps the pre-storage fail-stop-at-the-NIC semantics (RAM
+  /// survives, nothing to restore).
+  bool cold_restart_cache = false;
   /// Optional federation-level tracer (per-hop spans, failover/rebalance
   /// instants). The per-node template's tracer traces inside each node.
   obs::Tracer* tracer = nullptr;
@@ -88,6 +100,7 @@ struct FederationStats {
   std::uint64_t unroutable = 0;       ///< no reachable node at all
   std::uint64_t failovers = 0;        ///< dead transitions handled
   std::uint64_t rejoins = 0;
+  std::uint64_t warm_restored_entries = 0;  ///< cache entries replayed back
   std::uint64_t rebuilds = 0;         ///< shard-map rebuilds
   double shards_moved_last = 0.0;     ///< assignment churn of last rebuild
   double shard_imbalance = 0.0;       ///< primary max/mean of live table
@@ -182,6 +195,10 @@ class Federation {
   /// Per-node stacks: each node owns its knowledge base + server.
   std::vector<std::unique_ptr<runtime::KnowledgeBase>> knowledge_;
   std::vector<std::unique_ptr<serve::Server>> servers_;
+  /// Per-node input-staging WALs (empty unless storage_dir is set).
+  /// Appended from worker threads via ServerOptions::on_input_staged
+  /// (CatalogLog::append is thread-safe).
+  std::vector<std::unique_ptr<storage::CatalogLog>> wals_;
   /// Heap-allocated so the vector never relocates a live atomic.
   std::vector<std::unique_ptr<std::atomic<bool>>> crashed_;
 
@@ -202,6 +219,8 @@ class Federation {
   obs::Counter* failovers_;
   obs::Counter* rejoins_;
   obs::Counter* rebuilds_;
+  obs::Counter* warm_restored_;
+  obs::Histogram* warm_restore_us_;
   obs::Gauge* shards_moved_;
   obs::Gauge* imbalance_;
   obs::Gauge* last_detection_;

@@ -61,10 +61,16 @@ void Cache::evict_until_fits(double incoming_bytes) {
   while (!entries_.empty() &&
          resident_bytes_ + incoming_bytes > config_.capacity_bytes) {
     auto victim = pick_victim();
-    resident_bytes_ -= victim->second.bytes;
-    stats_.bytes_evicted += victim->second.bytes;
+    const ShardKey key = victim->first;
+    const double bytes = victim->second.bytes;
+    const double refetch_cost_us = victim->second.refetch_cost_us;
+    resident_bytes_ -= bytes;
+    stats_.bytes_evicted += bytes;
     ++stats_.evictions;
     entries_.erase(victim);
+    // Notify after the entry is gone: a subscriber that re-enters the
+    // cache (it should not, but defensively) sees consistent state.
+    if (on_evict_) on_evict_(key, bytes, refetch_cost_us);
   }
 }
 

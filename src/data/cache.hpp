@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -53,7 +54,22 @@ struct CacheStats {
 /// wraps one in a mutex).
 class Cache {
  public:
+  /// Observer of policy evictions: (victim, bytes, refetch_cost_us).
+  /// Fires once per evicted entry, after it left the cache — the storage
+  /// tier subscribes here to demote cold shards to disk, without the
+  /// cache knowing a disk exists. Victim choice is unaffected: the
+  /// callback sees decisions, it does not make them.
+  using EvictCallback =
+      std::function<void(const ShardKey&, double, double)>;
+
   explicit Cache(CacheConfig config) : config_(config) {}
+
+  /// Installs (or clears, with nullptr) the eviction observer. Not
+  /// invoked for erase()/invalidate_object()/clear() — those are
+  /// lifecycle drops, not capacity evictions.
+  void set_on_evict(EvictCallback on_evict) {
+    on_evict_ = std::move(on_evict);
+  }
 
   /// Lookup with accounting: a hit refreshes recency/frequency and
   /// returns true; a miss only counts. Version mismatches are misses (a
@@ -103,6 +119,7 @@ class Cache {
   double resident_bytes_ = 0.0;
   std::uint64_t seq_ = 0;
   CacheStats stats_;
+  EvictCallback on_evict_;
 };
 
 }  // namespace everest::data

@@ -71,6 +71,11 @@ void PlacementPolicy::release(std::size_t node, double bytes) {
   nodes_[node].used_bytes = std::max(0.0, nodes_[node].used_bytes - bytes);
 }
 
+void PlacementPolicy::adopt(std::size_t node, double bytes) {
+  if (node >= nodes_.size() || nodes_[node].failed) return;
+  nodes_[node].used_bytes += bytes;
+}
+
 void PlacementPolicy::set_failed(std::size_t node, bool failed) {
   if (node >= nodes_.size()) return;
   nodes_[node].failed = failed;

@@ -60,6 +60,12 @@ class PlacementPolicy {
   /// Returns a shard's bytes to a node (eviction, invalidation).
   void release(std::size_t node, double bytes);
 
+  /// Recovery re-seed: charges `bytes` against `node` without choosing a
+  /// placement — the replica set was decided in a previous life and is
+  /// being replayed from the catalog log, so capacity is recorded, not
+  /// negotiated.
+  void adopt(std::size_t node, double bytes);
+
   void set_failed(std::size_t node, bool failed);
   [[nodiscard]] const StorageNode& node(std::size_t i) const {
     return nodes_[i];

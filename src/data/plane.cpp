@@ -13,8 +13,12 @@ std::string PlaneStats::to_string() const {
      << " xfer=" << transfers_issued << " dedup=" << transfers_deduped
      << " pf=" << prefetch_issued << "/" << prefetch_useful
      << " lost=" << objects_lost << " repoint=" << reads_repointed
+     << " tier=" << tier_hits << " demote=" << demotions << "/-"
+     << demote_rejected << " rescue=" << disk_rescues
      << " fetchMB=" << bytes_fetched / (1024.0 * 1024.0)
-     << " replMB=" << bytes_replicated / (1024.0 * 1024.0);
+     << " replMB=" << bytes_replicated / (1024.0 * 1024.0)
+     << " demoteMB=" << bytes_demoted / (1024.0 * 1024.0)
+     << " promoteMB=" << bytes_promoted / (1024.0 * 1024.0);
   return os.str();
 }
 
@@ -49,6 +53,28 @@ DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
     caches_.push_back(std::make_unique<Cache>(
         CacheConfig{config_.cache_bytes, config_.eviction}));
   }
+  if (config_.storage.enabled()) {
+    tiers_.reserve(config_.num_nodes);
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+      storage::TierConfig tc;
+      tc.capacity_bytes = config_.storage.disk_capacity_bytes;
+      tc.io = config_.storage.io;
+      tc.segment = config_.storage.segment;
+      if (!config_.storage.dir.empty()) {
+        tc.dir = config_.storage.dir + "/tier" + std::to_string(i);
+      }
+      tiers_.push_back(std::make_unique<storage::DiskTier>(
+          sim, i, std::move(tc), config_.registry));
+      caches_[i]->set_on_evict(
+          [this, i](const ShardKey& key, double bytes, double cost) {
+            on_cache_evict(i, key, bytes, cost);
+          });
+    }
+    if (config_.storage.durable()) {
+      log_ = std::make_unique<storage::CatalogLog>(
+          config_.storage.dir, config_.storage.log, config_.registry);
+    }
+  }
   if (config_.registry != nullptr) {
     obs::Registry& reg = *config_.registry;
     ctr_local_hits_ = reg.counter("data.local_hits");
@@ -57,6 +83,70 @@ DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
     ctr_evictions_ = reg.counter("data.evictions");
     ctr_prefetch_issued_ = reg.counter("data.prefetch_issued");
     ctr_prefetch_useful_ = reg.counter("data.prefetch_useful");
+    if (config_.storage.enabled()) {
+      ctr_tier_hits_ = reg.counter("data.tier_hits");
+      ctr_demotions_ = reg.counter("data.demotions");
+      ctr_demote_rejected_ = reg.counter("data.demote_rejected");
+      ctr_disk_rescues_ = reg.counter("data.disk_rescues");
+    }
+  }
+}
+
+void DataPlane::log_apply(storage::LogRecord record) {
+  if (!config_.storage.enabled()) return;
+  record.seq = log_ != nullptr ? log_->append(record) : ++mem_seq_;
+  catalog_.apply(record);
+}
+
+void DataPlane::on_cache_evict(std::size_t node, const ShardKey& key,
+                               double bytes, double refetch_cost_us) {
+  // Cheap-to-refetch shards are not worth disk space or write bandwidth.
+  if (refetch_cost_us < config_.storage.demote_min_refetch_us) {
+    ++counters_.demote_rejected;
+    if (ctr_demote_rejected_ != nullptr) ctr_demote_rejected_->inc();
+    return;
+  }
+  // A stale version can never be read again (the version is part of
+  // every future key): drop it instead of preserving garbage.
+  auto it = objects_.find(key.object);
+  if (it == objects_.end() || it->second.version != key.version) return;
+  storage::DiskTier& tier = *tiers_[node];
+  if (tier.resident(key)) return;  // already safe on this disk
+  const std::uint64_t seals_before = tier.store().stats().seals;
+  const Status st = tier.demote(key, bytes);
+  if (!st.ok()) {
+    ++counters_.demote_rejected;
+    if (ctr_demote_rejected_ != nullptr) ctr_demote_rejected_->inc();
+    return;
+  }
+  ++counters_.demotions;
+  if (ctr_demotions_ != nullptr) ctr_demotions_->inc();
+  counters_.bytes_demoted += bytes;
+  log_apply({storage::LogRecordType::kDemote, 0, key.object, key.shard,
+             key.version, node, bytes});
+  // Advisory: record segment seals so replay analysis can line compaction
+  // pressure up against the mutation stream.
+  for (std::uint64_t s = seals_before; s < tier.store().stats().seals; ++s) {
+    log_apply({storage::LogRecordType::kSeal, 0, 0, 0, 0, node, 0.0});
+  }
+}
+
+std::size_t DataPlane::disk_holder(const ShardKey& key) const {
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (tiers_[t]->resident(key)) return t;
+  }
+  return kNoNode;
+}
+
+bool DataPlane::shard_alive(const ShardKey& key) const {
+  auto it = replicas_.find(key);
+  if (it != replicas_.end() && !it->second.empty()) return true;
+  return disk_holder(key) != kNoNode;
+}
+
+void DataPlane::mirror_evictions(std::uint64_t before, const Cache& cache) {
+  if (ctr_evictions_ != nullptr) {
+    ctr_evictions_->inc(cache.stats().evictions - before);
   }
 }
 
@@ -71,6 +161,9 @@ void DataPlane::put(ObjectId id, double bytes, std::size_t node,
     drop_object_replicas(*obj);
     ++obj->version;
     for (auto& cache : caches_) cache->invalidate_object(id, obj->version);
+    for (auto& tier : tiers_) {
+      if (!tier->offline()) tier->invalidate_object(id, obj->version);
+    }
     obj->total_bytes = bytes;
     obj->producer = std::move(producer);
   } else {
@@ -81,6 +174,8 @@ void DataPlane::put(ObjectId id, double bytes, std::size_t node,
     obj = &objects_.emplace(id, std::move(fresh)).first->second;
   }
   obj->num_shards = shard_count(bytes, config_.shard_limit_bytes);
+  log_apply({storage::LogRecordType::kPut, 0, id, obj->num_shards,
+             obj->version, node, bytes});
 
   for (std::uint32_t s = 0; s < obj->num_shards; ++s) {
     const ShardKey key = obj->key(s);
@@ -89,6 +184,8 @@ void DataPlane::put(ObjectId id, double bytes, std::size_t node,
     if (!placed.ok()) continue;  // no room anywhere: object stays lost
     for (std::size_t holder : placed.value()) {
       if (holder != node) counters_.bytes_replicated += sb;
+      log_apply({storage::LogRecordType::kPlace, 0, key.object, key.shard,
+                 key.version, holder, sb});
     }
     replicas_[key] = std::move(placed).value();
   }
@@ -99,8 +196,7 @@ bool DataPlane::available(ObjectId id) const {
   if (it == objects_.end()) return false;
   const DataObject& obj = it->second;
   for (std::uint32_t s = 0; s < obj.num_shards; ++s) {
-    auto rit = replicas_.find(obj.key(s));
-    if (rit == replicas_.end() || rit->second.empty()) return false;
+    if (!shard_alive(obj.key(s))) return false;
   }
   return true;
 }
@@ -116,19 +212,32 @@ Result<std::size_t> DataPlane::primary_node(ObjectId id) const {
                     " has no live replica; recompute it");
   }
   const DataObject& obj = objects_.at(id);
-  // Lowest-index node holding every shard, if one exists…
+  // Lowest-index node holding every shard — in RAM or on its own online
+  // disk tier (a tier copy is locally promotable, no fabric involved).
   for (std::size_t n = 0; n < caches_.size(); ++n) {
     bool holds_all = true;
     for (std::uint32_t s = 0; s < obj.num_shards && holds_all; ++s) {
-      const auto& holders = replicas_.at(obj.key(s));
-      holds_all = std::find(holders.begin(), holders.end(), n) !=
-                  holders.end();
+      const ShardKey key = obj.key(s);
+      auto hit = replicas_.find(key);
+      holds_all = (hit != replicas_.end() &&
+                   std::find(hit->second.begin(), hit->second.end(), n) !=
+                       hit->second.end()) ||
+                  (n < tiers_.size() && tiers_[n]->resident(key));
     }
     if (holds_all) return n;
   }
   // …else the shards are scattered (post-crash re-placement): point at
   // shard 0's preferred source; stage() moves the rest.
-  return replicas_.at(obj.key(0)).front();
+  auto rit = replicas_.find(obj.key(0));
+  if (rit != replicas_.end() && !rit->second.empty()) {
+    return rit->second.front();
+  }
+  // No RAM replica at all — but the object is available, so an online
+  // disk tier holds it: promote from there instead of recomputing.
+  const std::size_t t = disk_holder(obj.key(0));
+  if (t != kNoNode) return t;
+  return NotFound("object " + std::to_string(id) +
+                  " has no live replica; recompute it");
 }
 
 Status DataPlane::stage(ObjectId id, std::size_t dst,
@@ -155,10 +264,12 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
   auto state = std::make_shared<StageState>();
   state->on_staged = std::move(on_staged);
 
+  static const std::vector<std::size_t> kNoHolders;
   for (std::uint32_t s = 0; s < obj.num_shards; ++s) {
     const ShardKey key = obj.key(s);
     const double sb = obj.shard_bytes(s);
-    const auto& holders = replicas_.at(key);
+    auto rit = replicas_.find(key);
+    const auto& holders = rit == replicas_.end() ? kNoHolders : rit->second;
     if (std::find(holders.begin(), holders.end(), dst) != holders.end()) {
       if (!is_prefetch) {
         ++counters_.local_hits;
@@ -186,42 +297,115 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
     } else if (ctr_cache_misses_ != nullptr) {
       ctr_cache_misses_->inc();
     }
-    // Fetch from the preferred (birth-first) holder; dedup rides any
-    // in-flight copy of the same shard to the same destination.
-    const std::size_t src = holders.front();
-    const double refetch_cost = xfer_.estimate_us(sb, src, dst);
+
+    // Miss. Cheapest source first: this node's own disk tier — a local
+    // NVMe read instead of any fabric traffic.
+    if (dst < tiers_.size() && tiers_[dst]->resident(key)) {
+      const double cost = tiers_[dst]->read_estimate_us(sb);
+      if (!is_prefetch) ++state->pending;
+      (void)tiers_[dst]->promote(
+          key, [this, key, sb, cost, dst, is_prefetch, state] {
+            ++counters_.tier_hits;
+            if (ctr_tier_hits_ != nullptr) ctr_tier_hits_->inc();
+            counters_.bytes_promoted += sb;
+            log_apply({storage::LogRecordType::kPromote, 0, key.object,
+                       key.shard, key.version, dst, sb});
+            const std::uint64_t ev0 = caches_[dst]->stats().evictions;
+            (void)caches_[dst]->insert(key, sb, cost);
+            mirror_evictions(ev0, *caches_[dst]);
+            if (is_prefetch) {
+              prefetched_.insert({key, dst});
+              return;
+            }
+            if (--state->pending == 0 && state->on_staged) {
+              state->on_staged();
+            }
+          });
+      continue;
+    }
+
+    if (!holders.empty()) {
+      // Fetch from the preferred (birth-first) holder; dedup rides any
+      // in-flight copy of the same shard to the same destination.
+      const std::size_t src = holders.front();
+      const double refetch_cost = xfer_.estimate_us(sb, src, dst);
+      if (!is_prefetch) ++state->pending;
+      const double issue_us = sim_->now();
+      xfer_.fetch(key, sb, src, dst,
+                  [this, key, sb, refetch_cost, src, dst, is_prefetch, state,
+                   issue_us] {
+                    if (tracing()) {
+                      // Sim-time transfer span on the destination's track,
+                      // in the owning object/task's trace.
+                      config_.tracer->span(
+                          obs::TimeDomain::kSim, key.object + 1,
+                          config_.tracer->next_id(), 0, issue_us, sim_->now(),
+                          static_cast<std::uint32_t>(dst), "xfer", "data",
+                          {{"object", std::to_string(key.object)},
+                           {"shard", std::to_string(key.shard)},
+                           {"src", std::to_string(src)},
+                           {"dst", std::to_string(dst)},
+                           {"bytes", std::to_string(sb)},
+                           {"prefetch", is_prefetch ? "1" : "0"}});
+                    }
+                    const std::uint64_t ev0 = caches_[dst]->stats().evictions;
+                    (void)caches_[dst]->insert(key, sb, refetch_cost);
+                    mirror_evictions(ev0, *caches_[dst]);
+                    if (is_prefetch) {
+                      prefetched_.insert({key, dst});
+                      return;
+                    }
+                    if (--state->pending == 0 && state->on_staged) {
+                      state->on_staged();
+                    }
+                  });
+      continue;
+    }
+
+    // No RAM copy anywhere — a remote disk tier is the last live source
+    // (the availability check above guarantees one exists): promote at
+    // the source node, then move the bytes over the fabric.
+    const std::size_t src = disk_holder(key);
+    if (src == kNoNode) continue;  // raced away; defensively skip
+    const double cost =
+        tiers_[src]->read_estimate_us(sb) + xfer_.estimate_us(sb, src, dst);
     if (!is_prefetch) ++state->pending;
     const double issue_us = sim_->now();
-    xfer_.fetch(key, sb, src, dst,
-                [this, key, sb, refetch_cost, src, dst, is_prefetch, state,
-                 issue_us] {
-                  if (tracing()) {
-                    // Sim-time transfer span on the destination's track,
-                    // in the owning object/task's trace.
-                    config_.tracer->span(
-                        obs::TimeDomain::kSim, key.object + 1,
-                        config_.tracer->next_id(), 0, issue_us, sim_->now(),
-                        static_cast<std::uint32_t>(dst), "xfer", "data",
-                        {{"object", std::to_string(key.object)},
-                         {"shard", std::to_string(key.shard)},
-                         {"src", std::to_string(src)},
-                         {"dst", std::to_string(dst)},
-                         {"bytes", std::to_string(sb)},
-                         {"prefetch", is_prefetch ? "1" : "0"}});
-                  }
-                  const std::uint64_t ev0 = caches_[dst]->stats().evictions;
-                  (void)caches_[dst]->insert(key, sb, refetch_cost);
-                  if (ctr_evictions_ != nullptr) {
-                    ctr_evictions_->inc(caches_[dst]->stats().evictions - ev0);
-                  }
-                  if (is_prefetch) {
-                    prefetched_.insert({key, dst});
-                    return;
-                  }
-                  if (--state->pending == 0 && state->on_staged) {
-                    state->on_staged();
-                  }
-                });
+    (void)tiers_[src]->promote(
+        key, [this, key, sb, cost, src, dst, is_prefetch, state, issue_us] {
+          ++counters_.tier_hits;
+          if (ctr_tier_hits_ != nullptr) ctr_tier_hits_->inc();
+          counters_.bytes_promoted += sb;
+          log_apply({storage::LogRecordType::kPromote, 0, key.object,
+                     key.shard, key.version, src, sb});
+          xfer_.fetch(
+              key, sb, src, dst,
+              [this, key, sb, cost, src, dst, is_prefetch, state, issue_us] {
+                if (tracing()) {
+                  config_.tracer->span(
+                      obs::TimeDomain::kSim, key.object + 1,
+                      config_.tracer->next_id(), 0, issue_us, sim_->now(),
+                      static_cast<std::uint32_t>(dst), "xfer", "data",
+                      {{"object", std::to_string(key.object)},
+                       {"shard", std::to_string(key.shard)},
+                       {"src", std::to_string(src)},
+                       {"dst", std::to_string(dst)},
+                       {"bytes", std::to_string(sb)},
+                       {"tier", "1"},
+                       {"prefetch", is_prefetch ? "1" : "0"}});
+                }
+                const std::uint64_t ev0 = caches_[dst]->stats().evictions;
+                (void)caches_[dst]->insert(key, sb, cost);
+                mirror_evictions(ev0, *caches_[dst]);
+                if (is_prefetch) {
+                  prefetched_.insert({key, dst});
+                  return;
+                }
+                if (--state->pending == 0 && state->on_staged) {
+                  state->on_staged();
+                }
+              });
+        });
   }
   if (!is_prefetch && state->pending == 0 && state->on_staged) {
     sim_->schedule(0.0, std::move(state->on_staged));
@@ -236,17 +420,39 @@ std::vector<ObjectId> DataPlane::invalidate_node(std::size_t node) {
   }
   placement_.set_failed(node, true);  // also zeroes its usage
   xfer_.abandon_destination(node);
+  // Fail-stop: the node's disk tier stops serving but keeps its bytes
+  // (disks survive process death); restore_node brings it back as-is.
+  if (node < tiers_.size()) tiers_[node]->set_offline(true);
 
   std::set<ObjectId> touched;
+  std::set<ObjectId> rescued;
   std::set<ObjectId> lost;
   for (auto& [key, holders] : replicas_) {
     auto pos = std::find(holders.begin(), holders.end(), node);
     if (pos == holders.end()) continue;
     holders.erase(pos);
-    (holders.empty() ? lost : touched).insert(key.object);
+    log_apply({storage::LogRecordType::kRelease, 0, key.object, key.shard,
+               key.version, node, 0.0});
+    if (!holders.empty()) {
+      touched.insert(key.object);
+    } else if (disk_holder(key) != kNoNode) {
+      // The last RAM replica died, but an online disk tier still holds
+      // the shard: rescued, not lost — reads will promote it.
+      rescued.insert(key.object);
+    } else {
+      lost.insert(key.object);
+    }
   }
   for (ObjectId id : touched) {
-    if (lost.count(id) == 0) ++counters_.reads_repointed;
+    if (lost.count(id) == 0 && rescued.count(id) == 0) {
+      ++counters_.reads_repointed;
+    }
+  }
+  for (ObjectId id : rescued) {
+    if (lost.count(id) == 0) {
+      ++counters_.disk_rescues;
+      if (ctr_disk_rescues_ != nullptr) ctr_disk_rescues_->inc();
+    }
   }
 
   std::vector<ObjectId> out;
@@ -259,6 +465,11 @@ std::vector<ObjectId> DataPlane::invalidate_node(std::size_t node) {
     ++obj.version;
     ++counters_.objects_lost;
     for (auto& cache : caches_) cache->invalidate_object(id, obj.version);
+    for (auto& tier : tiers_) {
+      if (!tier->offline()) tier->invalidate_object(id, obj.version);
+    }
+    log_apply({storage::LogRecordType::kInvalidate, 0, id, 0, obj.version,
+               node, 0.0});
     out.push_back(id);
   }
   return out;
@@ -266,6 +477,74 @@ std::vector<ObjectId> DataPlane::invalidate_node(std::size_t node) {
 
 void DataPlane::restore_node(std::size_t node) {
   placement_.set_failed(node, false);
+  if (node < tiers_.size()) tiers_[node]->set_offline(false);
+}
+
+Status DataPlane::checkpoint() {
+  if (log_ == nullptr) return OkStatus();  // nothing durable to compact
+  return log_->checkpoint(catalog_);
+}
+
+Result<storage::RecoveryReport> DataPlane::recover() {
+  if (!config_.storage.durable()) {
+    return FailedPrecondition(
+        "recover() needs a durable storage dir in PlaneConfig::storage");
+  }
+  storage::RecoveryReport report = storage::recover_catalog(
+      config_.storage.dir, config_.registry, config_.tracer);
+  catalog_ = report.replay.catalog;
+  mem_seq_ = catalog_.last_seq();
+
+  // Re-seed the in-RAM maps from the replayed catalog. Transient state
+  // (caches, prefetch tags, in-flight transfers) died with the process
+  // and starts empty; the durable maps come back exactly.
+  objects_.clear();
+  replicas_.clear();
+  prefetched_.clear();
+  for (const auto& [id, meta] : catalog_.objects()) {
+    DataObject obj;
+    obj.id = id;
+    obj.total_bytes = meta.bytes;
+    obj.num_shards = meta.num_shards;
+    obj.version = meta.version;
+    objects_.emplace(id, std::move(obj));
+  }
+  for (const auto& [key, holders] : catalog_.ram_replicas()) {
+    auto it = objects_.find(key.object);
+    if (it == objects_.end() || it->second.version != key.version) continue;
+    const double sb = it->second.shard_bytes(key.shard);
+    std::vector<std::size_t>& dst = replicas_[key];
+    for (std::uint64_t n : holders) {
+      if (n >= caches_.size()) continue;  // shrunk deployment: drop
+      dst.push_back(static_cast<std::size_t>(n));
+      placement_.adopt(static_cast<std::size_t>(n), sb);
+    }
+    if (dst.empty()) replicas_.erase(key);
+  }
+
+  // Reconcile every tier's segment index with the catalog: the catalog
+  // is authoritative (it is the WAL), segment files are the payload
+  // ledger. Adopt what the catalog knows and the store lost; drop what
+  // the store kept but the catalog disowned (stale versions, torn tails).
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    std::vector<ShardKey> stale;
+    tiers_[t]->store().for_each([&](const ShardKey& key, double) {
+      auto it = catalog_.disk().find(key);
+      if (it == catalog_.disk().end() || it->second.nodes.count(t) == 0) {
+        stale.push_back(key);
+      }
+    });
+    for (const ShardKey& key : stale) tiers_[t]->erase(key);
+  }
+  for (const auto& [key, res] : catalog_.disk()) {
+    for (std::uint64_t n : res.nodes) {
+      if (n >= tiers_.size()) continue;
+      if (!tiers_[n]->store().contains(key)) {
+        tiers_[n]->adopt(key, res.bytes);
+      }
+    }
+  }
+  return report;
 }
 
 std::vector<std::size_t> DataPlane::replicas(const ShardKey& key) const {

@@ -5,13 +5,23 @@
 //     replicas durably live (PlacementPolicy over node memories),
 //   * a per-node transient Cache of remotely fetched shards,
 //   * a TransferScheduler turning remote reads into fair-share link
-//     transfers with in-flight dedup, and
-//   * prefetch accounting (staged-ahead shards that later save a fetch).
+//     transfers with in-flight dedup,
+//   * prefetch accounting (staged-ahead shards that later save a fetch),
+//     and
+//   * an optional per-node disk tier (storage::DiskTier) under each
+//     cache: capacity evictions demote cold shards to disk (cost-gated),
+//     misses promote from disk before paying a remote fetch, and — when
+//     a durable directory is configured — every catalog mutation is
+//     write-ahead logged so recover() rebuilds this entire state after a
+//     process death.
 //
 // A node crash invalidates exactly the shards that died: replicas on
-// other nodes keep their objects alive (reads are repointed), and only
-// objects whose last replica vanished get a version bump — which is what
-// resilience::lineage keys recomputation on.
+// other nodes keep their objects alive (reads are repointed), shards
+// whose last RAM replica died but that still have an online disk-tier
+// copy are *rescued* (promotable, not lost), and only objects with a
+// shard in neither place get a version bump — which is what
+// resilience::lineage keys recomputation on. A crashed node's own disk
+// tier goes offline but keeps its contents (fail-stop: disks survive).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +41,7 @@
 #include "data/transfer.hpp"
 #include "platform/desim.hpp"
 #include "platform/links.hpp"
+#include "storage/storage.hpp"
 
 namespace everest::data {
 
@@ -49,6 +60,10 @@ struct PlaneConfig {
   /// Inter-node fabric (every pair; same node never transfers).
   platform::LinkModel link = platform::LinkModel::udp_datacenter();
   PlacementConfig placement;
+  /// Disk tier + catalog log under the caches. Disabled by default
+  /// (disk_capacity_bytes == 0): the plane then behaves byte-identically
+  /// to a build without the storage subsystem.
+  storage::StorageConfig storage;
 
   // ---- observability (both borrowed; may be null) ----
   /// Sink for per-transfer sim-time spans ("xfer", component "data",
@@ -71,11 +86,17 @@ struct PlaneStats {
   std::uint64_t transfers_deduped = 0;
   std::uint64_t prefetch_issued = 0;  ///< fetches started ahead of demand
   std::uint64_t prefetch_useful = 0;  ///< demand hits on prefetched shards
-  std::uint64_t objects_lost = 0;     ///< last replica died (version bumped)
+  std::uint64_t objects_lost = 0;     ///< last copy died (version bumped)
   std::uint64_t reads_repointed = 0;  ///< crash survived via another replica
+  std::uint64_t tier_hits = 0;        ///< misses served by a disk tier
+  std::uint64_t demotions = 0;        ///< evicted shards written to disk
+  std::uint64_t demote_rejected = 0;  ///< demotions cost-gated or refused
+  std::uint64_t disk_rescues = 0;     ///< objects only the disk kept alive
   double bytes_fetched = 0.0;         ///< demand + prefetch fetch traffic
   double bytes_replicated = 0.0;      ///< extra-replica write traffic
   double bytes_evicted = 0.0;
+  double bytes_demoted = 0.0;         ///< cache → disk tier traffic
+  double bytes_promoted = 0.0;        ///< disk tier → cache traffic
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -94,15 +115,21 @@ class DataPlane {
   void put(ObjectId id, double bytes, std::size_t node,
            std::string producer = "");
 
-  /// Object has a live, complete replica set at its current version.
+  /// Object has a live copy of every shard at its current version — in
+  /// RAM (a placed replica) or on an *online* disk tier. Disk-resident
+  /// objects are available: a read promotes them instead of recomputing.
   [[nodiscard]] bool available(ObjectId id) const;
 
   [[nodiscard]] const DataObject* find(ObjectId id) const;
 
   /// A node currently holding every shard of `id` — the birth node while
-  /// it lives, else the lowest-index full-copy holder; NOT_FOUND when the
-  /// object is unknown or lost (a cache/object-store miss is not
-  /// retryable — the object must be recomputed, not re-asked-for).
+  /// it lives, else the lowest-index full-copy holder, else the preferred
+  /// source of shard 0. Disk-resident objects are NOT lost: when no RAM
+  /// replica survives but an online disk tier still holds a shard, the
+  /// tier's node is returned and a read there promotes from disk.
+  /// NOT_FOUND only when the object is unknown or truly lost — no copy in
+  /// RAM or on any online disk — which is not retryable: the object must
+  /// be recomputed, not re-asked-for.
   [[nodiscard]] Result<std::size_t> primary_node(ObjectId id) const;
 
   // ---- read path ----
@@ -128,8 +155,22 @@ class DataPlane {
   /// — exactly the set lineage must recompute.
   std::vector<ObjectId> invalidate_node(std::size_t node);
 
-  /// The node rejoins, empty, and may receive placements again.
+  /// The node rejoins — RAM empty, but its disk tier comes back online
+  /// with contents intact — and may receive placements again.
   void restore_node(std::size_t node);
+
+  // ---- durability ----
+
+  /// Snapshots the catalog and truncates the write-ahead log. OK no-op
+  /// when the plane is not durable (no storage dir configured).
+  Status checkpoint();
+
+  /// Rebuilds objects, replica placements, and disk-tier indexes by
+  /// replaying snapshot + log from the configured storage dir. Call on a
+  /// freshly constructed plane (same config, new process) before any
+  /// put/stage traffic. Producer strings are not durable and come back
+  /// empty. FAILED_PRECONDITION when the plane is not durable.
+  Result<storage::RecoveryReport> recover();
 
   // ---- introspection ----
 
@@ -144,12 +185,35 @@ class DataPlane {
   [[nodiscard]] std::size_t num_nodes() const { return caches_.size(); }
   /// Replica nodes of one shard (empty when unknown), ascending.
   [[nodiscard]] std::vector<std::size_t> replicas(const ShardKey& key) const;
+  /// One node's disk tier; null when the storage tier is disabled.
+  [[nodiscard]] storage::DiskTier* tier(std::size_t node) {
+    return node < tiers_.size() ? tiers_[node].get() : nullptr;
+  }
+  /// The in-memory catalog mirror (tracks the WAL when durable).
+  [[nodiscard]] const storage::Catalog& catalog() const { return catalog_; }
+  /// The write-ahead log; null unless the plane is durable.
+  [[nodiscard]] storage::CatalogLog* catalog_log() { return log_.get(); }
   [[nodiscard]] PlaneStats stats() const;
+
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
 
  private:
   Status stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
                     platform::Simulator::Callback on_staged);
   void drop_object_replicas(const DataObject& object);
+  /// Stamps (via the WAL when durable, a memory counter otherwise) and
+  /// folds one mutation into the catalog mirror. No-op with the tier off.
+  void log_apply(storage::LogRecord record);
+  /// Cache-eviction subscriber: cost-gated demotion into `node`'s tier.
+  void on_cache_evict(std::size_t node, const ShardKey& key, double bytes,
+                      double refetch_cost_us);
+  /// Lowest-index node whose *online* tier holds `key`; kNoNode if none.
+  [[nodiscard]] std::size_t disk_holder(const ShardKey& key) const;
+  /// RAM replica or online disk copy exists at this exact version.
+  [[nodiscard]] bool shard_alive(const ShardKey& key) const;
+  /// Mirrors cache evictions that happened during one insert into the
+  /// registry counter (evictions are counted at their cache).
+  void mirror_evictions(std::uint64_t before, const Cache& cache);
   [[nodiscard]] bool tracing() const {
     return config_.tracer != nullptr && config_.tracer->enabled();
   }
@@ -159,6 +223,14 @@ class DataPlane {
   PlacementPolicy placement_;
   TransferScheduler xfer_;
   std::vector<std::unique_ptr<Cache>> caches_;
+  /// Per-node disk tiers (all non-null when config_.storage.enabled()).
+  std::vector<std::unique_ptr<storage::DiskTier>> tiers_;
+  /// Write-ahead log (only when config_.storage.durable()).
+  std::unique_ptr<storage::CatalogLog> log_;
+  /// Materialized view of the logged mutations — always consistent with
+  /// what replay would rebuild (the E22 "zero divergence" check).
+  storage::Catalog catalog_;
+  std::uint64_t mem_seq_ = 0;  ///< seq source when there is no WAL
   std::map<ObjectId, DataObject> objects_;
   /// Current-version shard → replica holders, placement order (birth
   /// node first — the preferred fetch source).
@@ -174,6 +246,10 @@ class DataPlane {
   obs::Counter* ctr_evictions_ = nullptr;
   obs::Counter* ctr_prefetch_issued_ = nullptr;
   obs::Counter* ctr_prefetch_useful_ = nullptr;
+  obs::Counter* ctr_tier_hits_ = nullptr;
+  obs::Counter* ctr_demotions_ = nullptr;
+  obs::Counter* ctr_demote_rejected_ = nullptr;
+  obs::Counter* ctr_disk_rescues_ = nullptr;
 };
 
 }  // namespace everest::data

@@ -8,6 +8,7 @@
 // individual fields.
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -113,6 +114,40 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_seen_{0.0};
   std::atomic<double> max_seen_{0.0};
+};
+
+/// RAII wall-clock stopwatch: at scope exit the elapsed microseconds are
+/// recorded into a Histogram and/or set on a Gauge (either sink may be
+/// null). For spots where a full Tracer span is too heavy — recovery
+/// replay, checkpoint flushes — but the duration should still land in
+/// the registry.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram* histogram, Gauge* gauge = nullptr)
+      : histogram_(histogram),
+        gauge_(gauge),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+  ~ScopedTimerUs() {
+    const double us = elapsed_us();
+    if (histogram_ != nullptr) histogram_->record(us);
+    if (gauge_ != nullptr) gauge_->set(us);
+  }
+
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+               .count() /
+           1e3;
+  }
+
+ private:
+  Histogram* histogram_;
+  Gauge* gauge_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace everest::obs

@@ -96,6 +96,14 @@ LinkModel LinkModel::local_dram() {
   return l;
 }
 
+LinkModel LinkModel::local_nvme() {
+  LinkModel l;
+  l.name = "nvme";
+  l.latency_us = 80.0;     // datacenter NVMe read latency
+  l.bandwidth_gbps = 3.2;  // sustained sequential, PCIe 3.0 x4 class
+  return l;
+}
+
 // ---- LinkChannel ----------------------------------------------------------
 
 namespace {

@@ -52,6 +52,7 @@ struct LinkModel {
   static LinkModel udp_datacenter();  // network-attached FPGA over UDP
   static LinkModel edge_wan();        // edge→cloud WAN hop
   static LinkModel local_dram();      // on-node memory "link"
+  static LinkModel local_nvme();      // on-node NVMe SSD (storage tier)
 };
 
 /// One simulated link carrying concurrent transfers under processor

@@ -33,6 +33,22 @@ data::CacheStats Server::input_cache_stats() const {
   return input_cache_.stats();
 }
 
+void Server::warm_input(const data::ShardKey& key, double bytes) {
+  const double cost = options_.input_link.transfer_us(bytes);
+  std::lock_guard<std::mutex> lock(input_mu_);
+  (void)input_cache_.insert(key, bytes, cost);
+}
+
+void Server::clear_input_cache() {
+  std::lock_guard<std::mutex> lock(input_mu_);
+  input_cache_.clear();
+}
+
+double Server::input_cache_resident_bytes() const {
+  std::lock_guard<std::mutex> lock(input_mu_);
+  return input_cache_.resident_bytes();
+}
+
 double Server::stage_batch_inputs(const Batch& batch) {
   // Distinct keys only: requests in one batch reading the same object
   // share one staging (the in-batch form of transfer dedup).
@@ -45,6 +61,9 @@ double Server::stage_batch_inputs(const Batch& batch) {
   if (keyed.empty()) return 0.0;
   double stall_us = 0.0;
   std::uint64_t hits = 0, misses = 0;
+  /// Cold stagings to report once the lock is dropped (the observer may
+  /// do I/O — a WAL append — and must not serialize other workers).
+  std::vector<std::pair<data::ShardKey, std::pair<double, double>>> staged;
   {
     std::lock_guard<std::mutex> lock(input_mu_);
     for (const auto& [name, bytes] : keyed) {
@@ -56,8 +75,14 @@ double Server::stage_batch_inputs(const Batch& batch) {
       ++misses;
       const double cost = options_.input_link.transfer_us(bytes);
       stall_us += cost;
-      (void)input_cache_.insert(key, bytes, cost);
+      if (input_cache_.insert(key, bytes, cost).ok() &&
+          options_.on_input_staged) {
+        staged.emplace_back(key, std::make_pair(bytes, cost));
+      }
     }
+  }
+  for (const auto& [key, info] : staged) {
+    options_.on_input_staged(key, info.first, info.second);
   }
   metrics_.record_input_stage(hits, misses, stall_us);
   return stall_us;

@@ -1,0 +1,107 @@
+// The materialized catalog: what the write-ahead log folds up to. It
+// mirrors exactly the data plane's durable state — object descriptors,
+// RAM replica placements per shard, and disk-tier residency per shard —
+// so that replaying snapshot + log after a crash rebuilds placement and
+// shard maps without recomputing lineage.
+//
+// Mutations arrive as LogRecords in sequence order. Replay is idempotent
+// by construction: a record whose seq is not beyond last_seq() is
+// skipped, which is what makes the crash-mid-checkpoint window safe (the
+// snapshot was written but the log not yet truncated, so every snapshot
+// record is seen a second time during replay and ignored).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/object.hpp"
+#include "storage/format.hpp"
+
+namespace everest::storage {
+
+/// Catalog view of one data object (no payload, no transient cache
+/// state — only what must survive a restart).
+struct ObjectMeta {
+  double bytes = 0.0;
+  std::uint32_t num_shards = 1;
+  std::uint64_t version = 0;
+
+  friend bool operator==(const ObjectMeta& a, const ObjectMeta& b) {
+    return a.bytes == b.bytes && a.num_shards == b.num_shards &&
+           a.version == b.version;
+  }
+};
+
+/// Disk-tier residency of one shard: which nodes' segment stores hold a
+/// copy, and how large it is.
+struct DiskResidency {
+  std::set<std::uint64_t> nodes;
+  double bytes = 0.0;
+
+  friend bool operator==(const DiskResidency& a, const DiskResidency& b) {
+    return a.nodes == b.nodes && a.bytes == b.bytes;
+  }
+};
+
+class Catalog {
+ public:
+  /// Applies one mutation. Returns false (and changes nothing) when the
+  /// record's seq is not beyond last_seq() — the replay-idempotence
+  /// guard. Records with seq 0 are rejected (append stamps first).
+  bool apply(const LogRecord& record);
+
+  [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
+
+  [[nodiscard]] const std::map<std::uint64_t, ObjectMeta>& objects() const {
+    return objects_;
+  }
+  /// RAM replica holders per shard, placement order (fetch preference).
+  [[nodiscard]] const std::map<data::ShardKey, std::vector<std::uint64_t>>&
+  ram_replicas() const {
+    return ram_;
+  }
+  [[nodiscard]] const std::map<data::ShardKey, DiskResidency>& disk() const {
+    return disk_;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return objects_.empty() && ram_.empty() && disk_.empty();
+  }
+
+  // ---- snapshot -----------------------------------------------------------
+
+  /// Canonical byte encoding (magic, last_seq, sorted maps, trailing
+  /// CRC-32 over everything before it). Two catalogs are byte-identical
+  /// iff their durable state is.
+  [[nodiscard]] std::string encode() const;
+
+  /// Rejects truncated or bit-flipped snapshots via the trailing CRC.
+  static Result<Catalog> decode(std::string_view data);
+
+  /// FNV-1a over encode() minus nothing — a cheap equality token for the
+  /// "zero catalog divergence after replay" checks.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Human-oriented one-line summary (object/replica/disk-entry counts).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Catalog& a, const Catalog& b) {
+    return a.last_seq_ == b.last_seq_ && a.objects_ == b.objects_ &&
+           a.ram_ == b.ram_ && a.disk_ == b.disk_;
+  }
+
+ private:
+  /// Drops every per-shard entry of `object` older than `version`.
+  void drop_stale(std::uint64_t object, std::uint64_t version);
+
+  std::map<std::uint64_t, ObjectMeta> objects_;
+  std::map<data::ShardKey, std::vector<std::uint64_t>> ram_;
+  std::map<data::ShardKey, DiskResidency> disk_;
+  std::uint64_t last_seq_ = 0;
+};
+
+}  // namespace everest::storage

@@ -1,0 +1,185 @@
+#include "storage/format.hpp"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+namespace everest::storage {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ + 1 > data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  if (pos_ + 4 > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (pos_ + 8 > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string_view ByteReader::bytes(std::size_t n) {
+  if (pos_ + n > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return {};
+  }
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string_view to_string(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kPut: return "put";
+    case LogRecordType::kPlace: return "place";
+    case LogRecordType::kRelease: return "release";
+    case LogRecordType::kInvalidate: return "invalidate";
+    case LogRecordType::kDemote: return "demote";
+    case LogRecordType::kDiskErase: return "disk-erase";
+    case LogRecordType::kPromote: return "promote";
+    case LogRecordType::kSeal: return "seal";
+  }
+  return "?";
+}
+
+std::string LogRecord::to_string() const {
+  std::ostringstream os;
+  os << storage::to_string(type) << "#" << seq << " obj=" << object << "/"
+     << shard << "@v" << version << " node=" << node << " bytes=" << bytes;
+  return os.str();
+}
+
+void encode_record(const LogRecord& record, std::string& out) {
+  std::string payload;
+  payload.reserve(kRecordPayloadBytes);
+  put_u8(payload, static_cast<std::uint8_t>(record.type));
+  put_u64(payload, record.seq);
+  put_u64(payload, record.object);
+  put_u32(payload, record.shard);
+  put_u64(payload, record.version);
+  put_u64(payload, record.node);
+  put_f64(payload, record.bytes);
+
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out += payload;
+}
+
+DecodeStatus decode_record(ByteReader& reader, LogRecord* out) {
+  if (reader.remaining() == 0) return DecodeStatus::kEndOfInput;
+  if (reader.remaining() < 8) {
+    (void)reader.bytes(reader.remaining());
+    return DecodeStatus::kTorn;
+  }
+  const std::uint32_t len = reader.u32();
+  const std::uint32_t crc = reader.u32();
+  if (len != kRecordPayloadBytes) {
+    // A garbage length cannot be skipped over safely: stop here.
+    (void)reader.bytes(reader.remaining());
+    return DecodeStatus::kCorrupt;
+  }
+  if (reader.remaining() < len) {
+    (void)reader.bytes(reader.remaining());
+    return DecodeStatus::kTorn;
+  }
+  const std::string_view payload = reader.bytes(len);
+  if (crc32(payload) != crc) {
+    (void)reader.bytes(reader.remaining());
+    return DecodeStatus::kCorrupt;
+  }
+  ByteReader pr(payload);
+  out->type = static_cast<LogRecordType>(pr.u8());
+  out->seq = pr.u64();
+  out->object = pr.u64();
+  out->shard = pr.u32();
+  out->version = pr.u64();
+  out->node = pr.u64();
+  out->bytes = pr.f64();
+  return DecodeStatus::kOk;
+}
+
+}  // namespace everest::storage

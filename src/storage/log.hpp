@@ -1,0 +1,130 @@
+// The crash-recoverable catalog log: a write-ahead log of catalog
+// mutations plus a snapshot file, together reconstructing the data
+// plane's durable state after any fail-stop.
+//
+//   dir/catalog.log   — framed LogRecords, append-only, fsync-batched
+//   dir/catalog.snap  — Catalog::encode() written atomically
+//                       (tmp + fsync + rename)
+//
+// Checkpointing is two-phase — write_snapshot() then truncate_log() —
+// and crashing between the phases is safe by design: the snapshot
+// carries last_seq, every record replays idempotently (seq guard), so
+// snapshot + untruncated log converges to the same catalog as the log
+// alone. Corrupt or torn tail records are skipped and counted
+// (`storage.log.corrupt_records`), never fatal; a corrupt snapshot is
+// ignored and replay falls back to the full log.
+//
+// append() is thread-safe (the serving federation logs input stagings
+// from worker threads); everything else is setup/recovery-path.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/registry.hpp"
+#include "storage/catalog.hpp"
+#include "storage/format.hpp"
+
+namespace everest::storage {
+
+struct LogConfig {
+  /// fsync after this many unsynced appends (group commit). 1 = every
+  /// record (safest, slowest); large values batch the flush cost.
+  std::size_t sync_every = 64;
+};
+
+struct LogStats {
+  std::uint64_t appends = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t checkpoints = 0;
+  double log_bytes = 0.0;  ///< bytes appended since open/truncate
+};
+
+/// Replayed state plus the accounting the recovery metrics report.
+struct ReplayResult {
+  Catalog catalog;
+  bool snapshot_loaded = false;
+  std::uint64_t records_applied = 0;
+  std::uint64_t records_skipped = 0;  ///< seq guard (checkpoint overlap)
+  std::uint64_t corrupt_records = 0;  ///< torn/corrupt frames, snapshot incl.
+};
+
+class CatalogLog {
+ public:
+  /// Opens (creating if needed) the log under `dir`. Scans any existing
+  /// log tail so sequence numbers continue where the previous life
+  /// stopped. `registry` (borrowed, may be null) receives
+  /// storage.log.* counters.
+  explicit CatalogLog(std::string dir, LogConfig config = {},
+                      obs::Registry* registry = nullptr);
+  ~CatalogLog();
+
+  CatalogLog(const CatalogLog&) = delete;
+  CatalogLog& operator=(const CatalogLog&) = delete;
+
+  /// Stamps the record with the next sequence number, appends, and
+  /// group-commits per the sync policy. Returns the stamped seq.
+  /// Thread-safe.
+  std::uint64_t append(LogRecord record);
+
+  /// Forces buffered records to disk now.
+  void sync();
+
+  // ---- checkpointing ------------------------------------------------------
+
+  /// Phase 1: atomically replaces catalog.snap with `catalog`'s
+  /// encoding (tmp file + fsync + rename).
+  Status write_snapshot(const Catalog& catalog);
+
+  /// Phase 2: truncates the log. Only safe after a successful
+  /// write_snapshot of a catalog at least as new as every logged record.
+  Status truncate_log();
+
+  /// write_snapshot + truncate_log. A crash between the phases is the
+  /// torn window replay is built to converge through.
+  Status checkpoint(const Catalog& catalog);
+
+  // ---- recovery -----------------------------------------------------------
+
+  /// Rebuilds the catalog from snapshot + log in `dir`. Static: usable
+  /// before (or without) an open CatalogLog on the same directory.
+  static ReplayResult replay(const std::string& dir,
+                             obs::Registry* registry = nullptr);
+
+  /// Streams every decodable log record (after the snapshot barrier is
+  /// NOT applied — callers see the raw append order). Returns damaged
+  /// frames encountered. Used by warm-restart paths that care about
+  /// ordering, not folding.
+  static std::uint64_t replay_records(
+      const std::string& dir,
+      const std::function<void(const LogRecord&)>& fn);
+
+  [[nodiscard]] LogStats stats() const;
+  [[nodiscard]] std::uint64_t next_seq() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  static std::string log_path(const std::string& dir);
+  static std::string snapshot_path(const std::string& dir);
+
+ private:
+  void open_file();
+
+  std::string dir_;
+  LogConfig config_;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t next_seq_ = 1;
+  std::size_t unsynced_ = 0;
+  LogStats stats_;
+
+  obs::Counter* ctr_appends_ = nullptr;
+  obs::Counter* ctr_syncs_ = nullptr;
+  obs::Counter* ctr_checkpoints_ = nullptr;
+};
+
+}  // namespace everest::storage

@@ -1,0 +1,51 @@
+#include "storage/recovery.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "obs/instruments.hpp"
+
+namespace everest::storage {
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream os;
+  os << "recovered " << replay.catalog.to_string()
+     << (replay.snapshot_loaded ? " (snapshot+log)" : " (log only)")
+     << " applied=" << replay.records_applied
+     << " skipped=" << replay.records_skipped
+     << " corrupt=" << replay.corrupt_records << " in " << wall_us << " us";
+  return os.str();
+}
+
+RecoveryReport recover_catalog(const std::string& dir, obs::Registry* registry,
+                               obs::Tracer* tracer) {
+  RecoveryReport report;
+  {
+    // The timer's gauge sink records last_us at scope exit; the explicit
+    // read feeds the report and the histogram of all runs.
+    obs::ScopedTimerUs timer(
+        registry != nullptr ? registry->histogram("storage.recovery.us")
+                            : nullptr,
+        registry != nullptr ? registry->gauge("storage.recovery.last_us")
+                            : nullptr);
+    report.replay = CatalogLog::replay(dir, registry);
+    report.wall_us = timer.elapsed_us();
+  }
+  if (registry != nullptr) {
+    registry->counter("storage.recovery.runs")->inc();
+  }
+  if (tracer != nullptr && tracer->enabled()) {
+    const double end = tracer->wall_now_us();
+    tracer->span(
+        obs::TimeDomain::kWall, tracer->next_id(), tracer->next_id(), 0,
+        end - report.wall_us, end, obs::kAutoTrack, "recovery", "storage",
+        {{"applied", std::to_string(report.replay.records_applied)},
+         {"skipped", std::to_string(report.replay.records_skipped)},
+         {"corrupt", std::to_string(report.replay.corrupt_records)},
+         {"snapshot", report.replay.snapshot_loaded ? "1" : "0"}});
+  }
+  EVEREST_LOG(kInfo, "storage") << report.to_string();
+  return report;
+}
+
+}  // namespace everest::storage

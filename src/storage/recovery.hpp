@@ -1,0 +1,31 @@
+// Restart-time recovery: replays snapshot + write-ahead log into a
+// Catalog, times it, and reports it through the observability stack (a
+// "recovery" span on the tracer, storage.recovery.* metrics on the
+// registry). The data plane then re-seeds its object, placement, and
+// disk-tier maps from the result — coming back *warm* instead of
+// recomputing lineage from scratch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "storage/log.hpp"
+
+namespace everest::storage {
+
+struct RecoveryReport {
+  ReplayResult replay;
+  double wall_us = 0.0;  ///< real time spent loading snapshot + log
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Replays `dir` and instruments the result. `registry` and `tracer`
+/// are borrowed and may be null.
+RecoveryReport recover_catalog(const std::string& dir,
+                               obs::Registry* registry = nullptr,
+                               obs::Tracer* tracer = nullptr);
+
+}  // namespace everest::storage

@@ -1,0 +1,292 @@
+#include "storage/segment.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace everest::storage {
+
+namespace fs = std::filesystem;
+
+SegmentStore::SegmentStore(std::string dir, SegmentConfig config)
+    : dir_(std::move(dir)), config_(config) {
+  if (!dir_.empty()) {
+    fs::create_directories(dir_);
+    // Rebuild from whatever segments a previous life left behind.
+    std::vector<std::uint64_t> ids;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("seg-", 0) != 0 || entry.path().extension() != ".dat") {
+        continue;
+      }
+      ids.push_back(std::strtoull(name.c_str() + 4, nullptr, 10));
+    }
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) {
+      stats_.corrupt_records += load_segment(id, segment_path(id));
+      next_id_ = std::max(next_id_, id + 1);
+    }
+    // Never append after a possibly-damaged region: everything recovered
+    // is treated as sealed and writes continue in a fresh segment.
+    for (auto& [id, segment] : segments_) segment.sealed = true;
+  }
+  open_new_segment();
+}
+
+SegmentStore::~SegmentStore() {
+  if (active_file_ != nullptr) std::fclose(active_file_);
+}
+
+std::string SegmentStore::segment_path(std::uint64_t id) const {
+  return dir_ + "/seg-" + std::to_string(id) + ".dat";
+}
+
+SegmentStore::Segment& SegmentStore::active() {
+  return segments_.at(active_id_);
+}
+
+void SegmentStore::open_new_segment() {
+  if (active_file_ != nullptr) {
+    std::fclose(active_file_);
+    active_file_ = nullptr;
+  }
+  Segment segment;
+  segment.id = next_id_++;
+  active_id_ = segment.id;
+  segments_.emplace(segment.id, std::move(segment));
+  if (!dir_.empty()) {
+    active_file_ = std::fopen(segment_path(active_id_).c_str(), "ab");
+    if (active_file_ == nullptr) {
+      EVEREST_LOG(kError, "storage")
+          << "cannot open segment file " << segment_path(active_id_);
+    }
+  }
+}
+
+void SegmentStore::write_frame(const LogRecord& record) {
+  if (active_file_ == nullptr) return;
+  std::string frame;
+  frame.reserve(kRecordFrameBytes);
+  encode_record(record, frame);
+  std::fwrite(frame.data(), 1, frame.size(), active_file_);
+}
+
+Status SegmentStore::append(const data::ShardKey& key, double bytes) {
+  if (index_.count(key) != 0) {
+    return AlreadyExists("shard already resident in segment store");
+  }
+  Segment& segment = active();
+  LogRecord record;
+  record.type = LogRecordType::kDemote;
+  record.seq = segment.records + 1;  // per-segment ordinal, not a log seq
+  record.object = key.object;
+  record.shard = key.shard;
+  record.version = key.version;
+  record.bytes = bytes;
+
+  std::string payload;  // chain CRC over the same payload bytes on disk
+  encode_record(record, payload);
+  segment.chain_crc =
+      crc32(payload.data() + 8, payload.size() - 8, segment.chain_crc);
+  write_frame(record);
+
+  segment.live.emplace(key, bytes);
+  segment.live_bytes += bytes;
+  ++segment.records;
+  index_[key] = segment.id;
+  stats_.live_bytes += bytes;
+  ++stats_.appends;
+
+  if (segment.live_bytes + segment.dead_bytes >= config_.segment_bytes) {
+    seal(segment);
+    open_new_segment();
+  }
+  return OkStatus();
+}
+
+void SegmentStore::seal(Segment& segment) {
+  if (segment.sealed) return;
+  segment.sealed = true;
+  ++stats_.seals;
+  LogRecord footer;
+  footer.type = LogRecordType::kSeal;
+  footer.seq = segment.records;
+  footer.node = segment.chain_crc;
+  footer.bytes = segment.live_bytes + segment.dead_bytes;
+  write_frame(footer);
+  if (active_file_ != nullptr) std::fflush(active_file_);
+}
+
+void SegmentStore::seal_active() {
+  seal(active());
+  open_new_segment();
+}
+
+Result<double> SegmentStore::locate(const data::ShardKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return NotFound("shard not in segment store");
+  return segments_.at(it->second).live.at(key);
+}
+
+bool SegmentStore::erase(const data::ShardKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  Segment& segment = segments_.at(it->second);
+  auto lit = segment.live.find(key);
+  const double bytes = lit->second;
+  segment.live.erase(lit);
+  segment.live_bytes -= bytes;
+  segment.dead_bytes += bytes;
+  stats_.live_bytes -= bytes;
+  stats_.dead_bytes += bytes;
+  index_.erase(it);
+
+  // Tombstone in the active segment so a reopen cannot resurrect the
+  // key. It counts toward the footer's record count and chain CRC like
+  // any other record, but carries no logical bytes of its own.
+  Segment& act = active();
+  LogRecord tomb;
+  tomb.type = LogRecordType::kDiskErase;
+  tomb.seq = act.records + 1;
+  tomb.object = key.object;
+  tomb.shard = key.shard;
+  tomb.version = key.version;
+  tomb.bytes = bytes;
+  std::string payload;
+  encode_record(tomb, payload);
+  act.chain_crc = crc32(payload.data() + 8, payload.size() - 8, act.chain_crc);
+  write_frame(tomb);
+  ++act.records;
+  return true;
+}
+
+std::size_t SegmentStore::invalidate_object(data::ObjectId object,
+                                            std::uint64_t version) {
+  std::vector<data::ShardKey> stale;
+  for (auto it = index_.lower_bound(data::ShardKey{object, 0, 0});
+       it != index_.end() && it->first.object == object; ++it) {
+    if (it->first.version < version) stale.push_back(it->first);
+  }
+  for (const data::ShardKey& key : stale) erase(key);
+  return stale.size();
+}
+
+std::size_t SegmentStore::compact() {
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, segment] : segments_) {
+    if (!segment.sealed || id == active_id_) continue;
+    const double total = segment.live_bytes + segment.dead_bytes;
+    if (total <= 0.0 || segment.dead_bytes / total < config_.compact_dead_fraction) {
+      continue;
+    }
+    victims.push_back(id);
+  }
+  if (victims.empty()) return 0;
+  ++stats_.compactions;
+  for (std::uint64_t id : victims) {
+    // Move the survivors, then drop the file: space comes back as soon
+    // as the old segment is unlinked.
+    std::vector<std::pair<data::ShardKey, double>> live(
+        segments_.at(id).live.begin(), segments_.at(id).live.end());
+    for (const auto& [key, bytes] : live) {
+      erase(key);
+      stats_.dead_bytes -= bytes;  // not dead: just moved
+      (void)append(key, bytes);
+    }
+    stats_.dead_bytes -= segments_.at(id).dead_bytes;
+    segments_.erase(id);
+    if (!dir_.empty()) {
+      std::error_code ec;
+      fs::remove(segment_path(id), ec);
+    }
+    ++stats_.segments_removed;
+  }
+  return victims.size();
+}
+
+void SegmentStore::for_each(
+    const std::function<void(const data::ShardKey&, double)>& fn) const {
+  for (const auto& [key, id] : index_) {
+    fn(key, segments_.at(id).live.at(key));
+  }
+}
+
+std::uint64_t SegmentStore::load_segment(std::uint64_t id,
+                                         const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Segment segment;
+  segment.id = id;
+
+  std::uint64_t damaged = 0;
+  bool footer_valid = false;
+  ByteReader reader(blob);
+  while (true) {
+    LogRecord record;
+    const DecodeStatus status = decode_record(reader, &record);
+    if (status == DecodeStatus::kEndOfInput) break;
+    if (status != DecodeStatus::kOk) {
+      // Torn or corrupt tail: keep the valid prefix, count the damage.
+      ++damaged;
+      break;
+    }
+    if (record.type == LogRecordType::kSeal) {
+      // Footer attests the record count and the chained payload CRC.
+      footer_valid = record.seq == segment.records &&
+                     static_cast<std::uint32_t>(record.node) ==
+                         segment.chain_crc;
+      if (!footer_valid) ++damaged;
+      continue;
+    }
+    std::string payload;
+    encode_record(record, payload);
+    segment.chain_crc =
+        crc32(payload.data() + 8, payload.size() - 8, segment.chain_crc);
+    ++segment.records;
+    const data::ShardKey key = record.key();
+    // The owning segment may be the one still being loaded (an erase or
+    // re-append of a key written earlier in this same file).
+    auto existing = index_.find(key);
+    Segment* owner = existing == index_.end()       ? nullptr
+                     : existing->second == id        ? &segment
+                                                     : &segments_.at(existing->second);
+    if (record.type == LogRecordType::kDiskErase) {
+      // Tombstone: drop the key wherever it currently lives.
+      if (owner != nullptr) {
+        const double old_bytes = owner->live.at(key);
+        owner->live.erase(key);
+        owner->live_bytes -= old_bytes;
+        owner->dead_bytes += old_bytes;
+        stats_.live_bytes -= old_bytes;
+        stats_.dead_bytes += old_bytes;
+        index_.erase(existing);
+      }
+      continue;
+    }
+    // Last write wins within the store (re-appends after compaction).
+    if (owner != nullptr) {
+      const double old_bytes = owner->live.at(key);
+      owner->live_bytes -= old_bytes;
+      owner->dead_bytes += old_bytes;
+      owner->live.erase(key);
+      stats_.live_bytes -= old_bytes;
+      stats_.dead_bytes += old_bytes;
+      existing->second = id;
+    } else {
+      index_[key] = id;
+    }
+    segment.live[key] = record.bytes;
+    segment.live_bytes += record.bytes;
+    stats_.live_bytes += record.bytes;
+  }
+  (void)footer_valid;  // informational: unsealed actives have none
+  segments_.emplace(id, std::move(segment));
+  return damaged;
+}
+
+}  // namespace everest::storage

@@ -1,0 +1,134 @@
+// Append-only segment files: the disk tier's persistent layout. Shards
+// demoted from a cache are appended to the active segment as fixed-size
+// metadata records (the payload bytes themselves are modeled — charged
+// through the tier's I/O channel — but every record is real bytes on
+// disk, so a restarted node rediscovers exactly what it holds).
+//
+// Lifecycle of a segment:
+//   * active  — the single open segment; appends go here. When its
+//     logical payload passes `segment_bytes` it is sealed.
+//   * sealed  — immutable; carries a footer record (count + chained CRC
+//     over every payload) that reopen validates.
+//   * removed — compaction rewrites a mostly-dead segment's live records
+//     into the active segment and deletes the file, reclaiming space.
+//
+// Reopening a directory rebuilds the in-memory index by scanning the
+// files: sealed segments must match their footer; a torn or corrupt tail
+// (crash mid-append) is truncated and counted, never fatal. Segments
+// recovered without a footer are treated as sealed ("recovered-sealed")
+// and appends continue in a fresh segment — nothing is ever written
+// after a damaged region.
+//
+// With an empty directory the store runs fully in memory (same logic,
+// no files) — the mode the pure-simulation benches use.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "data/object.hpp"
+#include "storage/format.hpp"
+
+namespace everest::storage {
+
+struct SegmentConfig {
+  /// Logical payload bytes per segment before it seals.
+  double segment_bytes = 64.0 * 1024 * 1024;
+  /// compact() rewrites segments whose dead fraction passes this.
+  double compact_dead_fraction = 0.5;
+};
+
+struct SegmentStats {
+  std::uint64_t appends = 0;
+  std::uint64_t seals = 0;
+  std::uint64_t compactions = 0;       ///< compact() passes that moved data
+  std::uint64_t segments_removed = 0;  ///< files reclaimed by compaction
+  std::uint64_t corrupt_records = 0;   ///< damaged frames skipped on reopen
+  double live_bytes = 0.0;  ///< logical payload of indexed shards
+  double dead_bytes = 0.0;  ///< logical payload of erased shards not yet
+                            ///< reclaimed by compaction
+};
+
+/// Single-owner (the tier serializes access through the data plane).
+class SegmentStore {
+ public:
+  /// Opens (or creates) the store in `dir`; empty `dir` = in-memory.
+  /// Existing segment files are scanned to rebuild the index.
+  explicit SegmentStore(std::string dir, SegmentConfig config = {});
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Appends one shard record; seals and rolls the active segment when
+  /// full. ALREADY_EXISTS if the shard is indexed (erase first to
+  /// re-append a new copy).
+  Status append(const data::ShardKey& key, double bytes);
+
+  [[nodiscard]] bool contains(const data::ShardKey& key) const {
+    return index_.count(key) != 0;
+  }
+  /// Logical bytes of an indexed shard; NOT_FOUND otherwise.
+  [[nodiscard]] Result<double> locate(const data::ShardKey& key) const;
+
+  /// Drops a shard from the index; its bytes become dead weight in the
+  /// owning segment until compaction. False if absent.
+  bool erase(const data::ShardKey& key);
+
+  /// Drops every indexed shard of `object` with version < `version`.
+  std::size_t invalidate_object(data::ObjectId object, std::uint64_t version);
+
+  /// Seals the active segment now (recovery boundary for tests).
+  void seal_active();
+
+  /// Rewrites every sealed segment whose dead fraction exceeds the
+  /// configured threshold, appending its live records to the active
+  /// segment and deleting the file. Returns segments reclaimed.
+  std::size_t compact();
+
+  /// Visits every indexed shard (key order).
+  void for_each(
+      const std::function<void(const data::ShardKey&, double bytes)>& fn) const;
+
+  [[nodiscard]] const SegmentStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_segments() const { return segments_.size(); }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] double live_bytes() const { return stats_.live_bytes; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  struct Segment {
+    std::uint64_t id = 0;
+    /// Live records by key (logical bytes each).
+    std::map<data::ShardKey, double> live;
+    double live_bytes = 0.0;
+    double dead_bytes = 0.0;
+    bool sealed = false;
+    std::uint32_t chain_crc = 0;  ///< CRC chained over appended payloads
+    std::uint64_t records = 0;
+  };
+
+  [[nodiscard]] std::string segment_path(std::uint64_t id) const;
+  Segment& active();
+  void open_new_segment();
+  void seal(Segment& segment);
+  /// Scans one existing file into a Segment; returns damaged frames.
+  std::uint64_t load_segment(std::uint64_t id, const std::string& path);
+  void write_frame(const LogRecord& record);
+
+  std::string dir_;
+  SegmentConfig config_;
+  std::map<std::uint64_t, Segment> segments_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t active_id_ = 0;
+  /// Key → owning segment id.
+  std::map<data::ShardKey, std::uint64_t> index_;
+  std::FILE* active_file_ = nullptr;  ///< null in in-memory mode
+  SegmentStats stats_;
+};
+
+}  // namespace everest::storage

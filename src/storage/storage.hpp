@@ -1,0 +1,38 @@
+// Umbrella header + top-level configuration for the persistent tiered
+// storage subsystem (DESIGN.md row 16): append-only segment stores, a
+// crash-recoverable write-ahead catalog log, per-node disk tiers under
+// the data plane's caches, and restart recovery that replays instead of
+// recomputing.
+#pragma once
+
+#include "storage/catalog.hpp"    // IWYU pragma: export
+#include "storage/format.hpp"     // IWYU pragma: export
+#include "storage/log.hpp"        // IWYU pragma: export
+#include "storage/recovery.hpp"   // IWYU pragma: export
+#include "storage/segment.hpp"    // IWYU pragma: export
+#include "storage/tier.hpp"       // IWYU pragma: export
+
+namespace everest::storage {
+
+/// How the data plane runs its storage tier. Disabled by default — a
+/// plane without disk behaves exactly as before this subsystem existed.
+struct StorageConfig {
+  /// Per-node disk tier capacity; 0 disables the whole tier.
+  double disk_capacity_bytes = 0.0;
+  /// Durable directory for the catalog log + per-node segment files;
+  /// empty = model-only (tier works, nothing survives process death).
+  std::string dir;
+  /// Device model for tier reads/writes.
+  platform::LinkModel io = platform::LinkModel::local_nvme();
+  /// Cost-aware demotion gate: shards whose refetch would cost less than
+  /// this are simply dropped on eviction (cheap to re-stage), everything
+  /// else is worth disk space. 0 = demote everything.
+  double demote_min_refetch_us = 0.0;
+  SegmentConfig segment;
+  LogConfig log;
+
+  [[nodiscard]] bool enabled() const { return disk_capacity_bytes > 0.0; }
+  [[nodiscard]] bool durable() const { return enabled() && !dir.empty(); }
+};
+
+}  // namespace everest::storage

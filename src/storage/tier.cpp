@@ -1,0 +1,72 @@
+#include "storage/tier.hpp"
+
+namespace everest::storage {
+
+DiskTier::DiskTier(platform::Simulator& sim, std::size_t node,
+                   TierConfig config, obs::Registry* registry)
+    : node_(node),
+      config_(config),
+      store_(config.dir, config.segment),
+      channel_(sim, config.io) {
+  if (registry != nullptr) {
+    const obs::Labels labels{{"node", std::to_string(node)}};
+    ctr_demotions_ = registry->counter("storage.tier.demotions", labels);
+    ctr_promotions_ = registry->counter("storage.tier.promotions", labels);
+    ctr_rejected_ = registry->counter("storage.tier.rejected", labels);
+  }
+}
+
+Status DiskTier::demote(const data::ShardKey& key, double bytes) {
+  if (offline_) {
+    ++stats_.rejected;
+    if (ctr_rejected_ != nullptr) ctr_rejected_->inc();
+    return FailedPrecondition("disk tier offline");
+  }
+  if (store_.contains(key)) {
+    return AlreadyExists("shard already on disk");
+  }
+  if (store_.live_bytes() + bytes > config_.capacity_bytes) {
+    // Reclaim dead segment space before giving up.
+    store_.compact();
+    if (store_.live_bytes() + bytes > config_.capacity_bytes) {
+      ++stats_.rejected;
+      if (ctr_rejected_ != nullptr) ctr_rejected_->inc();
+      return ResourceExhausted("disk tier full");
+    }
+  }
+  EVEREST_RETURN_IF_ERROR(store_.append(key, bytes));
+  // The eviction that triggered us does not wait for the write; the
+  // device still pays for it (and congests concurrent promotes).
+  channel_.transfer(bytes, [] {});
+  ++stats_.demotions;
+  stats_.bytes_written += bytes;
+  if (ctr_demotions_ != nullptr) ctr_demotions_->inc();
+  return OkStatus();
+}
+
+Status DiskTier::promote(const data::ShardKey& key,
+                         platform::Simulator::Callback on_read) {
+  if (offline_) return FailedPrecondition("disk tier offline");
+  Result<double> located = store_.locate(key);
+  if (!located.ok()) return located.status();
+  const double bytes = located.value();
+  channel_.transfer(bytes, std::move(on_read));
+  ++stats_.promotions;
+  stats_.bytes_read += bytes;
+  if (ctr_promotions_ != nullptr) ctr_promotions_->inc();
+  return OkStatus();
+}
+
+bool DiskTier::erase(const data::ShardKey& key) { return store_.erase(key); }
+
+std::size_t DiskTier::invalidate_object(data::ObjectId object,
+                                        std::uint64_t version) {
+  return store_.invalidate_object(object, version);
+}
+
+void DiskTier::adopt(const data::ShardKey& key, double bytes) {
+  if (store_.contains(key)) return;
+  if (store_.append(key, bytes).ok()) ++stats_.adopted;
+}
+
+}  // namespace everest::storage

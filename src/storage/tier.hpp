@@ -1,0 +1,112 @@
+// One node's disk tier: a SegmentStore for what is resident plus a
+// LinkChannel-modeled I/O path for how long reads and writes take. The
+// byte-bounded RAM cache above evicts cold shards *into* this tier
+// (demotion) and the data plane re-reads them *out of* it (promotion)
+// before ever declaring a remote miss — turning "working set must fit in
+// cache" into "working set must fit on disk".
+//
+// Demotion writes are charged asynchronously (the evicting read does not
+// wait for them); promotion reads deliver through a simulator callback
+// after the modeled NVMe latency + bandwidth time, sharing the device
+// fairly with concurrent I/O exactly like the network links do.
+//
+// Fail-stop: a node crash takes the tier offline but does NOT erase it —
+// local disks survive process death. restore (or a full recovery replay)
+// brings the same contents back, which is what makes restart-to-warm
+// cheaper than recomputing lineage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "data/object.hpp"
+#include "obs/registry.hpp"
+#include "platform/desim.hpp"
+#include "platform/links.hpp"
+#include "storage/segment.hpp"
+
+namespace everest::storage {
+
+struct TierConfig {
+  /// Logical capacity of the tier; 0 disables it.
+  double capacity_bytes = 0.0;
+  /// Device model the modeled reads/writes are charged through.
+  platform::LinkModel io = platform::LinkModel::local_nvme();
+  /// Segment layout under this tier.
+  SegmentConfig segment;
+  /// Segment-file directory; empty = in-memory (pure simulation).
+  std::string dir;
+};
+
+struct TierStats {
+  std::uint64_t demotions = 0;   ///< shards written on eviction
+  std::uint64_t promotions = 0;  ///< shards read back on demand
+  std::uint64_t rejected = 0;    ///< demotions refused (full/offline/dup)
+  std::uint64_t adopted = 0;     ///< entries re-seeded by recovery
+  double bytes_written = 0.0;
+  double bytes_read = 0.0;
+};
+
+/// Single-owner (driven by the data plane's simulation).
+class DiskTier {
+ public:
+  DiskTier(platform::Simulator& sim, std::size_t node, TierConfig config,
+           obs::Registry* registry = nullptr);
+
+  /// Accepts an evicted shard: indexes it in the segment store and
+  /// charges the modeled write in the background. RESOURCE_EXHAUSTED
+  /// when it cannot fit even after compaction, FAILED_PRECONDITION when
+  /// offline, ALREADY_EXISTS for a duplicate (not an error for callers:
+  /// the copy is already safe).
+  Status demote(const data::ShardKey& key, double bytes);
+
+  [[nodiscard]] bool resident(const data::ShardKey& key) const {
+    return !offline_ && store_.contains(key);
+  }
+
+  /// Modeled read of a resident shard; `on_read` fires as a simulator
+  /// event when the bytes are up. NOT_FOUND / FAILED_PRECONDITION are
+  /// returned synchronously and `on_read` never fires.
+  Status promote(const data::ShardKey& key,
+                 platform::Simulator::Callback on_read);
+
+  /// Idle-device estimate of reading `bytes` (feeds cache refetch costs).
+  [[nodiscard]] double read_estimate_us(double bytes) const {
+    return config_.io.transfer_us(bytes);
+  }
+
+  bool erase(const data::ShardKey& key);
+  std::size_t invalidate_object(data::ObjectId object, std::uint64_t version);
+
+  /// Recovery re-seed: index a shard without charging I/O (the bytes are
+  /// already on disk; only the modeled view is being rebuilt).
+  void adopt(const data::ShardKey& key, double bytes);
+
+  /// Fail-stop boundary: offline tiers refuse demote/promote but keep
+  /// their contents (disks survive crashes).
+  void set_offline(bool offline) { offline_ = offline; }
+  [[nodiscard]] bool offline() const { return offline_; }
+
+  [[nodiscard]] double resident_bytes() const { return store_.live_bytes(); }
+  [[nodiscard]] double capacity_bytes() const { return config_.capacity_bytes; }
+  [[nodiscard]] const TierStats& stats() const { return stats_; }
+  [[nodiscard]] SegmentStore& store() { return store_; }
+  [[nodiscard]] const SegmentStore& store() const { return store_; }
+  [[nodiscard]] std::size_t node() const { return node_; }
+
+ private:
+  std::size_t node_;
+  TierConfig config_;
+  SegmentStore store_;
+  platform::LinkChannel channel_;
+  bool offline_ = false;
+  TierStats stats_;
+
+  obs::Counter* ctr_demotions_ = nullptr;
+  obs::Counter* ctr_promotions_ = nullptr;
+  obs::Counter* ctr_rejected_ = nullptr;
+};
+
+}  // namespace everest::storage

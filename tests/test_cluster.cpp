@@ -7,10 +7,12 @@
 // timeouts: CI may run on one core, so tests assert accounting and
 // transitions, not speed.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <mutex>
 #include <set>
 #include <string>
@@ -611,6 +613,110 @@ TEST(Federation, CrashFailoverThenRejoinKeepsKeyedTrafficAvailable) {
   auto [a3, o3] = pump_traffic(federation, 24, true, 4000);
   EXPECT_EQ(o3, a3);
   EXPECT_EQ(a3, 24);
+  federation.stop();
+}
+
+/// Keyed traffic with real input bytes, so staging actually fills the
+/// per-node input caches (pump_traffic leaves input_bytes at 0).
+void pump_keyed_inputs(Federation& federation, int count,
+                       std::uint64_t seed_base) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending = 0;
+  for (int i = 0; i < count; ++i) {
+    serve::Request request;
+    request.kernel = "test_kernel";
+    request.seed = seed_base + static_cast<std::uint64_t>(i);
+    request.data_key = "obj" + std::to_string(i % 24);
+    request.input_bytes = 64.0 * 1024;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++pending;
+    }
+    Status st = federation.submit(std::move(request),
+                                  [&](const serve::Response&) {
+                                    std::lock_guard<std::mutex> lock(mu);
+                                    --pending;
+                                    cv.notify_one();
+                                  });
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      --pending;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::seconds(20), [&] { return pending == 0; });
+  ASSERT_EQ(pending, 0);
+}
+
+// E22 restart-to-warm: with a per-node staging WAL, a crashed node's
+// input cache is replayed back on restart instead of re-paying every
+// input transfer.
+TEST(Federation, WarmRestartReplaysInputCacheFromWal) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("everest_fed_warm_" + std::to_string(getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  FederationOptions options = small_federation(3);
+  options.node.input_cache.capacity_bytes = 8.0 * 1024 * 1024;
+  options.node.input_stage_scale = 0.0;
+  options.storage_dir = dir;
+  options.cold_restart_cache = true;
+  Federation federation(options);
+  ASSERT_TRUE(federation.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(federation.start().ok());
+
+  pump_keyed_inputs(federation, 48, 100);
+  // Find a node whose input cache the traffic actually warmed.
+  std::size_t victim = federation.num_nodes();
+  for (std::size_t i = 0; i < federation.num_nodes(); ++i) {
+    if (federation.node(i).input_cache_resident_bytes() > 0.0) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, federation.num_nodes());
+
+  federation.crash(victim);
+  // Process death: the staged inputs died with the process…
+  EXPECT_DOUBLE_EQ(federation.node(victim).input_cache_resident_bytes(), 0.0);
+
+  federation.restart(victim);
+  // …and the WAL replay brought them back before admission resumed.
+  EXPECT_GT(federation.node(victim).input_cache_resident_bytes(), 0.0);
+  const FederationStats stats = federation.stats();
+  EXPECT_GT(stats.warm_restored_entries, 0u);
+  federation.stop();
+  fs::remove_all(dir);
+}
+
+TEST(Federation, ColdRestartWithoutWalStaysCold) {
+  FederationOptions options = small_federation(3);
+  options.node.input_cache.capacity_bytes = 8.0 * 1024 * 1024;
+  options.node.input_stage_scale = 0.0;
+  options.cold_restart_cache = true;  // but no storage_dir: nothing logged
+  Federation federation(options);
+  ASSERT_TRUE(federation.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(federation.start().ok());
+
+  pump_keyed_inputs(federation, 48, 100);
+  std::size_t victim = federation.num_nodes();
+  for (std::size_t i = 0; i < federation.num_nodes(); ++i) {
+    if (federation.node(i).input_cache_resident_bytes() > 0.0) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, federation.num_nodes());
+
+  federation.crash(victim);
+  federation.restart(victim);
+  // No log to replay: the node rejoins cold and re-pays its transfers.
+  EXPECT_DOUBLE_EQ(federation.node(victim).input_cache_resident_bytes(), 0.0);
+  EXPECT_EQ(federation.stats().warm_restored_entries, 0u);
   federation.stop();
 }
 

@@ -4,7 +4,11 @@
 // deterministic — the TEST_P suite at the bottom asserts byte-identical
 // cache counters across repeated runs for every eviction policy.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "data/cache.hpp"
@@ -16,6 +20,7 @@
 #include "platform/desim.hpp"
 #include "platform/links.hpp"
 #include "resilience/fault_plan.hpp"
+#include "storage/storage.hpp"
 #include "workflow/scheduler.hpp"
 #include "workflow/task_graph.hpp"
 
@@ -695,6 +700,263 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return std::string("Unknown");
     });
+
+// ----------------------------------------- eviction observer (storage) --
+
+TEST(CacheEvict, CallbackReportsVictimMetadata) {
+  Cache cache({/*capacity=*/10.0, EvictionPolicy::kLru});
+  std::vector<std::pair<ShardKey, std::pair<double, double>>> seen;
+  cache.set_on_evict([&](const ShardKey& key, double bytes, double cost) {
+    seen.push_back({key, {bytes, cost}});
+  });
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 6.0, 100.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{2, 0, 0}, 6.0, 200.0).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, (ShardKey{1, 0, 0}));
+  EXPECT_DOUBLE_EQ(seen[0].second.first, 6.0);
+  EXPECT_DOUBLE_EQ(seen[0].second.second, 100.0);
+}
+
+TEST(CacheEvict, LifecycleDropsDoNotFireCallback) {
+  Cache cache({100.0, EvictionPolicy::kLru});
+  int fired = 0;
+  cache.set_on_evict([&](const ShardKey&, double, double) { ++fired; });
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 0}, 5.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{1, 0, 1}, 5.0, 1.0).ok());
+  ASSERT_TRUE(cache.insert(ShardKey{2, 0, 0}, 5.0, 1.0).ok());
+  EXPECT_TRUE(cache.erase(ShardKey{2, 0, 0}));
+  EXPECT_EQ(cache.invalidate_object(1, /*version=*/1), 1u);
+  cache.clear();
+  EXPECT_EQ(fired, 0);  // erase/invalidate/clear are not evictions
+}
+
+// The observer must not perturb victim selection: an identical trace
+// with and without a callback evicts the same keys in the same order,
+// under every policy.
+class CacheEvictOrder : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(CacheEvictOrder, CallbackDoesNotChangeVictimOrder) {
+  const CacheConfig config{/*capacity=*/20.0, GetParam()};
+  Cache observed(config);
+  Cache baseline(config);
+  std::vector<ShardKey> order;
+  observed.set_on_evict(
+      [&](const ShardKey& key, double, double) { order.push_back(key); });
+
+  const auto drive = [](Cache& cache) {
+    // Mixed insert/touch trace sized to force several evictions; the
+    // costs/uses differ per key so each policy ranks them differently.
+    for (std::uint64_t object = 1; object <= 8; ++object) {
+      ASSERT_TRUE(cache
+                      .insert(ShardKey{object, 0, 0}, 6.0,
+                              static_cast<double>(object) * 50.0)
+                      .ok());
+      for (std::uint64_t back = 1; back <= 2 && back < object; ++back) {
+        (void)cache.lookup(ShardKey{object - back, 0, 0});
+      }
+    }
+  };
+  drive(observed);
+  drive(baseline);
+
+  EXPECT_GE(order.size(), 3u);  // the trace actually evicted
+  EXPECT_EQ(observed.stats().evictions, baseline.stats().evictions);
+  EXPECT_DOUBLE_EQ(observed.stats().bytes_evicted,
+                   baseline.stats().bytes_evicted);
+  EXPECT_EQ(observed.stats().hits, baseline.stats().hits);
+  EXPECT_EQ(observed.size(), baseline.size());
+  // Same survivors: every key the observed cache kept, the baseline
+  // kept, and each evicted key is gone from both.
+  for (std::uint64_t object = 1; object <= 8; ++object) {
+    EXPECT_EQ(observed.contains(ShardKey{object, 0, 0}),
+              baseline.contains(ShardKey{object, 0, 0}));
+  }
+  for (const ShardKey& victim : order) {
+    EXPECT_FALSE(observed.contains(victim));
+    EXPECT_FALSE(baseline.contains(victim));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CacheEvictOrder,
+    ::testing::Values(EvictionPolicy::kLru, EvictionPolicy::kLfu,
+                      EvictionPolicy::kCostAware),
+    [](const ::testing::TestParamInfo<EvictionPolicy>& info) {
+      switch (info.param) {
+        case EvictionPolicy::kLru: return std::string("Lru");
+        case EvictionPolicy::kLfu: return std::string("Lfu");
+        case EvictionPolicy::kCostAware: return std::string("CostAware");
+      }
+      return std::string("Unknown");
+    });
+
+// ------------------------------------------- disk tier under the plane --
+
+/// Tier-enabled plane: RAM cache fits ~1.5 shards so a second distinct
+/// object always demotes the first.
+PlaneConfig tiered_plane(std::size_t n, double disk_bytes = 1e9) {
+  PlaneConfig config = small_plane(n);
+  config.cache_bytes = 1.5e6;
+  config.storage.disk_capacity_bytes = disk_bytes;
+  return config;
+}
+
+TEST(PlaneTier, EvictionDemotesAndNextMissPromotesLocally) {
+  platform::Simulator sim;
+  DataPlane plane(sim, tiered_plane(3));
+  plane.put(1, 1e6, 0);
+  plane.put(2, 1e6, 0);
+  ASSERT_TRUE(plane.stage(1, 2, [] {}).ok());
+  sim.run();
+  ASSERT_TRUE(plane.stage(2, 2, [] {}).ok());  // evicts obj1 → disk
+  sim.run();
+  EXPECT_EQ(plane.stats().demotions, 1u);
+  EXPECT_DOUBLE_EQ(plane.stats().bytes_demoted, 1e6);
+  ASSERT_NE(plane.tier(2), nullptr);
+  EXPECT_TRUE(plane.tier(2)->resident(ShardKey{1, 0, 0}));
+
+  const double fetched_before = plane.stats().bytes_fetched;
+  bool staged = false;
+  ASSERT_TRUE(plane.stage(1, 2, [&] { staged = true; }).ok());
+  sim.run();
+  EXPECT_TRUE(staged);
+  // Served by the local disk tier: no new remote bytes moved.
+  EXPECT_EQ(plane.stats().tier_hits, 1u);
+  EXPECT_DOUBLE_EQ(plane.stats().bytes_promoted, 1e6);
+  EXPECT_DOUBLE_EQ(plane.stats().bytes_fetched, fetched_before);
+}
+
+TEST(PlaneTier, DemoteCostGateDropsCheapShards) {
+  PlaneConfig config = tiered_plane(3);
+  config.storage.demote_min_refetch_us = 1e12;  // nothing is worth disk
+  platform::Simulator sim;
+  DataPlane plane(sim, config);
+  plane.put(1, 1e6, 0);
+  plane.put(2, 1e6, 0);
+  ASSERT_TRUE(plane.stage(1, 2, [] {}).ok());
+  sim.run();
+  ASSERT_TRUE(plane.stage(2, 2, [] {}).ok());
+  sim.run();
+  EXPECT_EQ(plane.stats().demotions, 0u);
+  EXPECT_EQ(plane.stats().demote_rejected, 1u);
+  EXPECT_FALSE(plane.tier(2)->resident(ShardKey{1, 0, 0}));
+}
+
+// Satellite (a) regression: crash the ONLY RAM holder of an object whose
+// shard was demoted to another node's disk — the object is rescued, not
+// lost, and a read recovers it from disk without recomputation.
+TEST(PlaneTier, CrashOfOnlyRamHolderRescuesFromDisk) {
+  platform::Simulator sim;
+  DataPlane plane(sim, tiered_plane(3));
+  plane.put(1, 1e6, 0);  // sole RAM replica on node 0
+  plane.put(2, 1e6, 1);
+  ASSERT_TRUE(plane.stage(1, 2, [] {}).ok());
+  sim.run();
+  ASSERT_TRUE(plane.stage(2, 2, [] {}).ok());  // obj1 demoted to tier 2
+  sim.run();
+  ASSERT_TRUE(plane.tier(2)->resident(ShardKey{1, 0, 0}));
+
+  const std::vector<ObjectId> lost = plane.invalidate_node(0);
+  EXPECT_TRUE(lost.empty());  // rescued by the disk copy, NOT lost
+  EXPECT_EQ(plane.stats().objects_lost, 0u);
+  EXPECT_EQ(plane.stats().disk_rescues, 1u);
+  EXPECT_TRUE(plane.available(1));
+  ASSERT_TRUE(plane.primary_node(1).ok());
+  EXPECT_EQ(plane.primary_node(1).value(), 2u);  // the tier's node
+  ASSERT_NE(plane.find(1), nullptr);
+  EXPECT_EQ(plane.find(1)->version, 0u);  // no bump: nothing to recompute
+
+  // And the object is actually readable — promoted from node 2's disk
+  // and fetched to the reader.
+  bool staged = false;
+  ASSERT_TRUE(plane.stage(1, /*dst=*/1, [&] { staged = true; }).ok());
+  sim.run();
+  EXPECT_TRUE(staged);
+  EXPECT_GE(plane.stats().tier_hits, 1u);
+}
+
+TEST(PlaneTier, CrashedNodesTierIsOfflineUntilRestore) {
+  platform::Simulator sim;
+  DataPlane plane(sim, tiered_plane(3));
+  plane.put(1, 1e6, 0);
+  plane.put(2, 1e6, 1);
+  ASSERT_TRUE(plane.stage(1, 2, [] {}).ok());
+  sim.run();
+  ASSERT_TRUE(plane.stage(2, 2, [] {}).ok());
+  sim.run();
+  ASSERT_TRUE(plane.tier(2)->resident(ShardKey{1, 0, 0}));
+
+  // Crash node 0 (RAM holder) AND node 2 (disk holder): now the object
+  // really is lost — the disk copy exists but is unreachable.
+  (void)plane.invalidate_node(2);
+  const std::vector<ObjectId> lost = plane.invalidate_node(0);
+  EXPECT_EQ(lost, (std::vector<ObjectId>{1}));
+  EXPECT_FALSE(plane.available(1));
+
+  // The disk outlives the crash: after restore the (now stale-versioned)
+  // copy is still indexed, but the bumped version means it can never be
+  // served — correctness over salvage.
+  plane.restore_node(2);
+  EXPECT_TRUE(plane.tier(2)->resident(ShardKey{1, 0, 0}));
+  EXPECT_GT(plane.find(1)->version, 0u);
+}
+
+TEST(PlaneTier, DurableRecoveryRebuildsIdenticalCatalog) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("everest_plane_recover_" + std::to_string(getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  PlaneConfig config = tiered_plane(3);
+  config.storage.dir = dir;
+  std::uint64_t fingerprint = 0;
+  {
+    platform::Simulator sim;
+    DataPlane plane(sim, config);
+    plane.put(1, 1e6, 0);
+    plane.put(2, 1e6, 1);
+    ASSERT_TRUE(plane.stage(1, 2, [] {}).ok());
+    sim.run();
+    ASSERT_TRUE(plane.stage(2, 2, [] {}).ok());  // obj1 → node 2's disk
+    sim.run();
+    ASSERT_TRUE(plane.checkpoint().ok());
+    ASSERT_TRUE(plane.stage(1, 2, [] {}).ok());  // post-checkpoint traffic
+    sim.run();
+    fingerprint = plane.catalog().fingerprint();
+  }  // process death
+
+  platform::Simulator sim;
+  DataPlane plane(sim, config);
+  EXPECT_FALSE(plane.available(1));  // fresh instance knows nothing
+  const auto report = plane.recover();
+  ASSERT_TRUE(report.ok());
+  // The E22 acceptance bar: replayed catalog byte-identical to the one
+  // the dead process maintained online.
+  EXPECT_EQ(plane.catalog().fingerprint(), fingerprint);
+  EXPECT_TRUE(report.value().replay.snapshot_loaded);
+  EXPECT_TRUE(plane.available(1));
+  EXPECT_TRUE(plane.available(2));
+  EXPECT_TRUE(plane.primary_node(1).ok());
+  EXPECT_TRUE(plane.tier(2)->resident(ShardKey{1, 0, 0}));
+
+  // Recovered state is live, not a museum: reads work immediately.
+  bool staged = false;
+  ASSERT_TRUE(plane.stage(1, 2, [&] { staged = true; }).ok());
+  sim.run();
+  EXPECT_TRUE(staged);
+  fs::remove_all(dir);
+}
+
+TEST(PlaneTier, RecoverWithoutDirIsFailedPrecondition) {
+  platform::Simulator sim;
+  DataPlane plane(sim, tiered_plane(3));  // tier on, but not durable
+  EXPECT_EQ(plane.recover().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(plane.checkpoint().ok());  // checkpoint is a benign no-op
+}
 
 }  // namespace
 }  // namespace everest::data

@@ -41,6 +41,22 @@ TEST(Links, PacketOverheadHurtsNetworkLinks) {
   EXPECT_LT(tcp.effective_gbps(1e8), tcp.bandwidth_gbps * 0.85);
 }
 
+TEST(Links, LocalNvmePresetModelsAStorageDevice) {
+  LinkModel nvme = LinkModel::local_nvme();
+  EXPECT_EQ(nvme.name, "nvme");
+  // A small read is dominated by device latency (~80 µs class), far
+  // above the coherent bus but below a WAN round trip.
+  EXPECT_GT(nvme.transfer_us(4096), LinkModel::pcie3().transfer_us(4096));
+  EXPECT_NEAR(nvme.transfer_us(1), nvme.latency_us, 0.01);
+  // Sustained sequential: 3.2 GB/s → 1 GB in ~312 ms + latency.
+  EXPECT_NEAR(nvme.transfer_us(1e9), 1e9 / 3200.0 + nvme.latency_us, 1.0);
+  // Slower than the datacenter network for bulk (why promotion from a
+  // LOCAL tier must still beat a remote RAM fetch on latency, not
+  // bandwidth alone).
+  EXPECT_LT(nvme.bandwidth_gbps,
+            LinkModel::udp_datacenter().bandwidth_gbps);
+}
+
 TEST(Links, CrossoverBusVsNetwork) {
   // Small transfers favor the coherent bus by a wide margin; large
   // transfers narrow the gap (both bandwidth-dominated).

@@ -5,8 +5,8 @@
 #   2. every bench_e* binary in --smoke mode, distinguishing a failed
 #      self-check criterion (exit 1) from a usage error (exit 2);
 #   3. a ThreadSanitizer build (EVEREST_SANITIZE=thread) of the
-#      concurrency-heavy test binaries (serve, obs, data, cluster) run
-#      under ctest.
+#      concurrency-heavy test binaries (serve, obs, data, cluster,
+#      storage) run under ctest.
 # Any failure aborts the script with a non-zero exit.
 set -euo pipefail
 
@@ -41,12 +41,12 @@ if [ "$smoke_failures" -ne 0 ]; then
 fi
 
 echo
-echo "=== [3/3] TSan: serve + obs + data + cluster tests ==="
+echo "=== [3/3] TSan: serve + obs + data + cluster + storage tests ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DEVEREST_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target test_serve test_obs test_data test_cluster
+  --target test_serve test_obs test_data test_cluster test_storage
 (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'test_serve|test_obs|test_data|test_cluster')
+  -R 'test_serve|test_obs|test_data|test_cluster|test_storage')
 
 echo
 echo "check.sh: all gates passed."
