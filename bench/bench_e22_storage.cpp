@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
       storage::LogRecord record{storage::LogRecordType::kPlace, 0,
                                 static_cast<std::uint64_t>(i), 0, 0, 1,
                                 kObjectBytes};
-      record.seq = log.append(record);
+      record.seq = log.append(record).seq;
       mirror.apply(record);
     }
     log.sync();

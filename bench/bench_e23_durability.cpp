@@ -1,0 +1,331 @@
+// E23 — durability under disk faults (DESIGN.md row 17; the robustness
+// counterpart of E22: extreme-scale deployments do not just crash, their
+// disks lie — ENOSPC, EIO, torn writes, silent bit rot).
+//
+// Series 1: fault storm + recover — a replicated durable plane takes a
+//           scripted storm of WAL write errors (short writes included)
+//           and tier ENOSPC while traffic keeps flowing; the degraded
+//           tier sheds demotions, resumes automatically when the medium
+//           clears, and after a process death the replayed catalog is
+//           byte-identical (fingerprint) with zero acknowledged-write
+//           loss.
+// Series 2: bit rot + scrub/repair — sealed segments are silently
+//           corrupted; the budgeted scrubber quarantines them (keys
+//           suspect, never resurrected) and repairs every suspect from
+//           the surviving replicas within a bounded MTTR, losing
+//           nothing.
+// Series 3: read-only goodput — one node's disk goes read-only
+//           (ENOSPC) under an out-of-core sweep; reads keep promoting
+//           from the tier, so goodput stays within 1.5x of fault-free.
+//
+// `--smoke` shrinks the series for CI and self-checks the acceptance
+// criteria via the exit code.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "data/plane.hpp"
+#include "obs/registry.hpp"
+#include "platform/desim.hpp"
+#include "platform/links.hpp"
+#include "resilience/fault_plan.hpp"
+#include "storage/storage.hpp"
+
+#include "smoke.hpp"
+
+using namespace everest;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const char* tag) {
+  return (fs::temp_directory_path() /
+          (std::string("everest_e23_") + tag + "_" + std::to_string(getpid())))
+      .string();
+}
+
+constexpr double kObjectBytes = 1e6;
+
+/// Replicated edge plane over `nodes` nodes: objects are born on node 0,
+/// read on the last node over a WAN hop; every node has an NVMe tier.
+data::PlaneConfig storm_plane(std::size_t nodes, const std::string& dir,
+                              storage::Env* env, obs::Registry* registry) {
+  data::PlaneConfig config;
+  config.num_nodes = nodes;
+  config.replication = 2;
+  config.cache_bytes = 1.5e6;
+  config.shard_limit_bytes = 4e6;  // 1 MB objects stay single-shard
+  config.link = platform::LinkModel::edge_wan();
+  config.storage.disk_capacity_bytes = 1e9;
+  config.storage.dir = dir;
+  config.storage.env = env;
+  config.storage.segment.segment_bytes = 4e6;  // seal every ~4 demotions
+  config.registry = registry;
+  return config;
+}
+
+/// Stages objects [1..count] at `dst`, one after the other. Returns the
+/// simulated microseconds the scan took.
+double scan(platform::Simulator& sim, data::DataPlane& plane, int count,
+            std::size_t dst, int rounds = 1) {
+  const double start = sim.now();
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 1; i <= count; ++i) {
+      (void)plane.stage(static_cast<data::ObjectId>(i), dst, [] {});
+      sim.run();
+    }
+  }
+  return sim.now() - start;
+}
+
+bool journal_has(const std::vector<std::string>& journal,
+                 const std::string& needle) {
+  for (const std::string& line : journal) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+  everest::bench::SmokeChecker checker;
+
+  std::printf("=== E23: durability under disk faults ===\n\n");
+  const int objects = smoke ? 16 : 48;
+
+  // --- Series 1: fault storm, graceful degradation, zero acked loss ------
+  std::printf("--- WAL/tier fault storm + crash + replay ---\n");
+  Table s1({"metric", "value"});
+  {
+    const std::string dir = scratch_dir("storm");
+    fs::remove_all(dir);
+    storage::FaultEnv fenv(storage::Env::posix(), /*seed=*/7);
+    obs::Registry registry;
+    std::uint64_t online_fp = 0;
+    std::uint64_t acked = 0;
+    data::PlaneStats storm_stats;
+    bool degraded_then_resumed = false;
+    {
+      platform::Simulator sim;
+      data::DataPlane plane(sim, storm_plane(3, dir, &fenv, &registry));
+      // Fault-free phase: every put below is an acknowledged write once
+      // the replication traffic settles.
+      for (int i = 1; i <= objects; ++i) {
+        plane.put(static_cast<data::ObjectId>(i), kObjectBytes, 0);
+      }
+      sim.run();
+      scan(sim, plane, objects, 2);  // fetch + demote into node 2's tier
+      // The storm: short-write EIO bursts on the WAL, ENOSPC on node 2's
+      // tier — while traffic keeps flowing.
+      fenv.inject({"catalog.log", storage::IoOp::kWrite,
+                   resilience::FaultKind::kDiskIoError, /*after_calls=*/0,
+                   /*count=*/3, /*magnitude=*/0.5});
+      fenv.inject({"tier2", storage::IoOp::kWrite,
+                   resilience::FaultKind::kDiskIoFull, /*after_calls=*/0,
+                   /*count=*/2, /*magnitude=*/1.0});
+      for (int i = objects + 1; i <= 2 * objects; ++i) {
+        plane.put(static_cast<data::ObjectId>(i), kObjectBytes, 0);
+      }
+      sim.run();
+      scan(sim, plane, 2 * objects, 2);
+      // Medium clears; the next demotion probes bring the tier back and
+      // the WAL self-heals on its next sync.
+      fenv.clear();
+      scan(sim, plane, 2 * objects, 2);
+      (void)plane.checkpoint();  // drains any WAL backlog
+      scan(sim, plane, objects, 2);  // post-checkpoint mutations
+      acked = static_cast<std::uint64_t>(2 * objects);
+      online_fp = plane.catalog().fingerprint();
+      storm_stats = plane.stats();
+      degraded_then_resumed =
+          journal_has(plane.scrub_journal(), "tier-read-only node=2") &&
+          journal_has(plane.scrub_journal(), "tier-resumed node=2");
+    }  // process death (no orderly shutdown)
+    platform::Simulator sim;
+    data::DataPlane plane(sim, storm_plane(3, dir, nullptr, nullptr));
+    const auto report = plane.recover();
+    const bool identical =
+        report.ok() && plane.catalog().fingerprint() == online_fp;
+    std::uint64_t survivors = 0;
+    for (std::uint64_t i = 1; i <= acked; ++i) {
+      if (plane.available(static_cast<data::ObjectId>(i))) ++survivors;
+    }
+    s1.add_row({"acked writes", std::to_string(acked)});
+    s1.add_row({"available after replay", std::to_string(survivors)});
+    s1.add_row({"injected faults",
+                std::to_string(fenv.stats().injected_errors)});
+    s1.add_row({"tier faults / resumes",
+                std::to_string(storm_stats.tier_faults) + " / " +
+                    std::to_string(storm_stats.tier_resumes)});
+    s1.add_row({"demotions shed",
+                std::to_string(storm_stats.demote_rejected)});
+    s1.add_row({"fingerprint identical", identical ? "yes" : "NO"});
+    checker.check(fenv.stats().injected_errors > 0, "e23.storm.faults_fired");
+    checker.check(degraded_then_resumed, "e23.storm.degrade_then_resume");
+    checker.check(survivors == acked, "e23.storm.zero_acked_loss");
+    checker.check(identical, "e23.storm.catalog_fingerprint_identical");
+    fs::remove_all(dir);
+  }
+  std::printf("%s\n", s1.render().c_str());
+
+  // --- Series 2: bit rot -> scrub -> repair from replicas ----------------
+  std::printf("--- silent bit rot + budgeted scrub + replica repair ---\n");
+  Table s2({"metric", "value"});
+  {
+    const std::string dir = scratch_dir("rot");
+    fs::remove_all(dir);
+    obs::Registry registry;
+    platform::Simulator sim;
+    data::DataPlane plane(sim, storm_plane(3, dir, nullptr, &registry));
+    for (int i = 1; i <= objects; ++i) {
+      plane.put(static_cast<data::ObjectId>(i), kObjectBytes, 0);
+    }
+    sim.run();
+    scan(sim, plane, objects, 2);  // demote the working set into tier 2
+
+    // Rot: flip one bit in every other sealed segment file of node 2.
+    std::size_t rotted = 0;
+    const auto sealed = plane.tier(2)->store().sealed_segment_ids();
+    for (std::size_t s = 0; s < sealed.size(); s += 2) {
+      const std::string path =
+          dir + "/tier2/seg-" + std::to_string(sealed[s]) + ".dat";
+      std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+      if (!file) continue;
+      file.seekp(10);
+      const int byte = file.peek();
+      file.seekp(10);
+      file.put(static_cast<char>(byte ^ 0x01));
+      ++rotted;
+    }
+
+    // Budgeted scrub until every sealed segment has been visited; each
+    // quarantine triggers an immediate repair from the replicas.
+    storage::ScrubReport total;
+    for (std::size_t step = 0; step < sealed.size() + 1; ++step) {
+      const storage::ScrubReport report = plane.scrub_node(2);
+      total.segments_verified += report.segments_verified;
+      total.segments_quarantined += report.segments_quarantined;
+      sim.run();  // drain the repair transfers before the next step
+      if (total.segments_verified + total.segments_quarantined >=
+          sealed.size()) {
+        break;
+      }
+    }
+
+    std::uint64_t survivors = 0;
+    for (int i = 1; i <= objects; ++i) {
+      if (plane.available(static_cast<data::ObjectId>(i))) ++survivors;
+    }
+    const data::PlaneStats stats = plane.stats();
+    const auto mttr = registry.histogram("storage.repair.mttr_us")->snapshot();
+    s2.add_row({"sealed segments", std::to_string(sealed.size())});
+    s2.add_row({"segments rotted", std::to_string(rotted)});
+    s2.add_row({"quarantined", std::to_string(total.segments_quarantined)});
+    s2.add_row({"repairs", std::to_string(stats.repairs)});
+    s2.add_row({"repairs lost", std::to_string(stats.repair_lost)});
+    s2.add_row({"MTTR mean ms", fmt_double(mttr.mean() / 1e3, 3)});
+    s2.add_row({"MTTR max ms", fmt_double(mttr.max_seen / 1e3, 3)});
+    s2.add_row({"objects surviving", std::to_string(survivors) + "/" +
+                                         std::to_string(objects)});
+    checker.check(rotted > 0 && total.segments_quarantined == rotted,
+                  "e23.scrub.rot_quarantined");
+    checker.check(stats.repairs > 0 && stats.repair_lost == 0,
+                  "e23.scrub.all_repaired_from_replicas");
+    // MTTR bound: every suspect re-sheltered within one simulated second
+    // of being found (quarantine -> durable again).
+    checker.check(mttr.count == stats.repairs && mttr.max_seen < 1e6,
+                  "e23.scrub.mttr_bounded");
+    checker.check(survivors == static_cast<std::uint64_t>(objects),
+                  "e23.scrub.zero_loss");
+    fs::remove_all(dir);
+  }
+  std::printf("%s\n", s2.render().c_str());
+
+  // --- Series 3: goodput with one node's disk read-only ------------------
+  std::printf("--- out-of-core sweep, one disk read-only (ENOSPC) ---\n");
+  Table s3({"medium", "goodput MB/s", "tier hits", "demotions shed"});
+  {
+    const int sweep_objects = smoke ? 24 : 40;
+    const int rounds = smoke ? 3 : 6;
+    const int fresh_per_round = 4;  // new data arriving mid-sweep
+    const double swept_mb =
+        (sweep_objects + fresh_per_round) * rounds * kObjectBytes / 1e6;
+    double goodput_ok = 0.0;
+    double goodput_ro = 0.0;
+    bool degradation_engaged = false;
+    for (const bool read_only : {false, true}) {
+      const std::string dir =
+          scratch_dir(read_only ? "sweep_ro" : "sweep_ok");
+      fs::remove_all(dir);
+      storage::FaultEnv fenv(storage::Env::posix(), /*seed=*/7);
+      data::PlaneConfig config = storm_plane(2, dir, &fenv, nullptr);
+      config.replication = 1;
+      config.cache_bytes = 4e6;  // working set = 10x RAM
+      platform::Simulator sim;
+      data::DataPlane plane(sim, config);
+      for (int i = 1; i <= sweep_objects; ++i) {
+        plane.put(static_cast<data::ObjectId>(i), kObjectBytes, 0);
+      }
+      sim.run();
+      // Warm the tier, untimed: two rounds, so even the shards resident
+      // in RAM at the end of round one get evicted-and-demoted — the
+      // whole working set is durable before any fault lands.
+      scan(sim, plane, sweep_objects, 1, 2);
+      if (read_only) {
+        // The disk fills: every further segment write (and resume-probe
+        // open) fails with ENOSPC for the rest of the run.
+        fenv.inject({"tier1", storage::IoOp::kWrite,
+                     resilience::FaultKind::kDiskIoFull, 0,
+                     std::uint64_t(-1), 1.0});
+        fenv.inject({"tier1", storage::IoOp::kOpen,
+                     resilience::FaultKind::kDiskIoFull, 0,
+                     std::uint64_t(-1), 1.0});
+      }
+      // Timed sweep: the warm working set plus a trickle of fresh
+      // objects each round — the writes that actually hit the full disk.
+      const double start = sim.now();
+      data::ObjectId fresh_id = 1000;
+      for (int r = 0; r < rounds; ++r) {
+        for (int i = 1; i <= sweep_objects; ++i) {
+          (void)plane.stage(static_cast<data::ObjectId>(i), 1, [] {});
+          sim.run();
+        }
+        for (int k = 0; k < fresh_per_round; ++k, ++fresh_id) {
+          plane.put(fresh_id, kObjectBytes, 0);
+          (void)plane.stage(fresh_id, 1, [] {});
+          sim.run();
+        }
+      }
+      const double us = sim.now() - start;
+      const double goodput = swept_mb / (us / 1e6);
+      (read_only ? goodput_ro : goodput_ok) = goodput;
+      if (read_only) {
+        degradation_engaged =
+            plane.tier_read_only(1) && plane.stats().demote_rejected > 0;
+      }
+      s3.add_row({read_only ? "read-only (ENOSPC)" : "healthy",
+                  fmt_double(goodput, 1),
+                  std::to_string(plane.stats().tier_hits),
+                  std::to_string(plane.stats().demote_rejected)});
+      fs::remove_all(dir);
+    }
+    // Graceful degradation: the full disk really tripped read-only mode
+    // (writes shed), yet it still serves promotions, so the sweep stays
+    // within 1.5x of fault-free goodput.
+    checker.check(degradation_engaged, "e23.goodput.degradation_engaged");
+    checker.check(goodput_ro > 0.0 && goodput_ok <= 1.5 * goodput_ro,
+                  "e23.goodput.read_only_within_1p5x");
+  }
+  std::printf("%s\n", s3.render().c_str());
+
+  return checker.report("E23");
+}

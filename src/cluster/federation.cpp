@@ -23,6 +23,7 @@ Federation::Federation(FederationOptions options)
       std::make_unique<ShardMap>(options_.num_nodes, options_.shard_map);
   fabric_ =
       std::make_unique<ForwardFabric>(options_.num_nodes, options_.interconnect);
+  home_table_ = shard_map_->table();  // version 0: all nodes healthy
 
   knowledge_.reserve(options_.num_nodes);
   servers_.reserve(options_.num_nodes);
@@ -39,10 +40,20 @@ Federation::Federation(FederationOptions options)
           options_.storage_dir + "/node" + std::to_string(i),
           storage::LogConfig{}, &registry_));
       storage::CatalogLog* wal = wals_.back().get();
-      node_opts.on_input_staged = [wal, i](const data::ShardKey& key,
-                                           double bytes, double) {
-        wal->append({storage::LogRecordType::kPlace, 0, key.object, key.shard,
-                     key.version, i, bytes});
+      node_opts.on_input_staged = [this, wal](const data::ShardKey& key,
+                                              double bytes, double) {
+        // Stamp the record with the key's *home* primary under the
+        // all-healthy table, not the node it landed on: while a node is
+        // down its keyed traffic fails over and stages elsewhere, and
+        // on restart() the owner finds those keys in the survivors'
+        // logs by this stamp (hinted handoff).
+        const std::uint32_t shard = ShardMap::shard_of_object(
+            key.object, options_.shard_map.num_shards,
+            options_.shard_map.salt);
+        const auto& owners = home_table_->replicas[shard];
+        const std::uint64_t home = owners.empty() ? 0 : owners.front();
+        (void)wal->append({storage::LogRecordType::kPlace, 0, key.object,
+                           key.shard, key.version, home, bytes});
       };
     }
     servers_.push_back(
@@ -70,6 +81,7 @@ Federation::Federation(FederationOptions options)
   rejoins_ = registry_.counter("cluster.rejoins");
   rebuilds_ = registry_.counter("cluster.rebuilds");
   warm_restored_ = registry_.counter("cluster.warm_restored_entries");
+  hinted_handoff_ = registry_.counter("cluster.hinted_handoff_entries");
   warm_restore_us_ = registry_.histogram("cluster.warm_restore_us");
   shards_moved_ = registry_.gauge("cluster.shards_moved_last");
   imbalance_ = registry_.gauge("cluster.shard_imbalance");
@@ -291,16 +303,34 @@ void Federation::restart(std::size_t node) {
           servers_[node]->warm_input(rec.key(), rec.bytes);
           ++restored;
         });
+    // Hinted handoff: while this node was down, its keyed traffic
+    // failed over and staged inputs on the surviving replicas — each
+    // stamped with this node as home. Pull those entries back so the
+    // node rejoins warm for keys it never saw itself.
+    std::uint64_t handed = 0;
+    for (std::size_t peer = 0; peer < wals_.size(); ++peer) {
+      if (peer == node) continue;
+      wals_[peer]->sync();
+      storage::CatalogLog::replay_records(
+          wals_[peer]->dir(), [&](const storage::LogRecord& rec) {
+            if (rec.type != storage::LogRecordType::kPlace) return;
+            if (rec.node != node) return;
+            servers_[node]->warm_input(rec.key(), rec.bytes);
+            ++handed;
+          });
+    }
     const double wall_us =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count() /
         1e3;
     warm_restored_->inc(restored);
+    hinted_handoff_->inc(handed);
     warm_restore_us_->record(wall_us);
     EVEREST_LOG(kInfo, "cluster")
         << membership_->name(node) << " warm restart: " << restored
-        << " cache entries replayed in " << wall_us << " us";
+        << " cache entries replayed, " << handed
+        << " handed off from peers, in " << wall_us << " us";
   }
   crashed_[node]->store(false, std::memory_order_release);
   servers_[node]->resume_admission();
@@ -374,6 +404,7 @@ FederationStats Federation::stats() const {
   out.rejoins = rejoins_->value();
   out.rebuilds = rebuilds_->value();
   out.warm_restored_entries = warm_restored_->value();
+  out.hinted_handoff_entries = hinted_handoff_->value();
   out.shards_moved_last = shards_moved_->value();
   out.shard_imbalance = imbalance_->value();
   out.last_detection_us = last_detection_->value();

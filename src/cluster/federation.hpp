@@ -101,6 +101,9 @@ struct FederationStats {
   std::uint64_t failovers = 0;        ///< dead transitions handled
   std::uint64_t rejoins = 0;
   std::uint64_t warm_restored_entries = 0;  ///< cache entries replayed back
+  /// Entries warmed from *other* nodes' staging logs on restart: traffic
+  /// homed on this node that was staged elsewhere while it was down.
+  std::uint64_t hinted_handoff_entries = 0;
   std::uint64_t rebuilds = 0;         ///< shard-map rebuilds
   double shards_moved_last = 0.0;     ///< assignment churn of last rebuild
   double shard_imbalance = 0.0;       ///< primary max/mean of live table
@@ -191,6 +194,11 @@ class Federation {
   std::unique_ptr<ShardMap> shard_map_;
   std::unique_ptr<ClusterRouter> router_;
   std::unique_ptr<ForwardFabric> fabric_;
+  /// The all-healthy version-0 table: each staged input's WAL record is
+  /// stamped with its *home* primary under this table (not the node it
+  /// happened to land on), so a restarting node can pull its own keys
+  /// out of the survivors' logs — hinted handoff.
+  std::shared_ptr<const ShardTable> home_table_;
 
   /// Per-node stacks: each node owns its knowledge base + server.
   std::vector<std::unique_ptr<runtime::KnowledgeBase>> knowledge_;
@@ -220,6 +228,7 @@ class Federation {
   obs::Counter* rejoins_;
   obs::Counter* rebuilds_;
   obs::Counter* warm_restored_;
+  obs::Counter* hinted_handoff_;
   obs::Histogram* warm_restore_us_;
   obs::Gauge* shards_moved_;
   obs::Gauge* imbalance_;

@@ -15,6 +15,9 @@ std::string PlaneStats::to_string() const {
      << " lost=" << objects_lost << " repoint=" << reads_repointed
      << " tier=" << tier_hits << " demote=" << demotions << "/-"
      << demote_rejected << " rescue=" << disk_rescues
+     << " scrub=" << scrub_verified << " quar=" << scrub_quarantined
+     << " repair=" << repairs << "+" << repair_redirected << "-"
+     << repair_lost << " ro=" << tier_faults << "/" << tier_resumes
      << " fetchMB=" << bytes_fetched / (1024.0 * 1024.0)
      << " replMB=" << bytes_replicated / (1024.0 * 1024.0)
      << " demoteMB=" << bytes_demoted / (1024.0 * 1024.0)
@@ -39,6 +42,17 @@ PlacementConfig make_placement_config(const PlaneConfig& config) {
   return pc;
 }
 
+/// Canonical shard spelling for the scrub/repair journal.
+std::string key_str(const ShardKey& key) {
+  return "o" + std::to_string(key.object) + "/s" + std::to_string(key.shard) +
+         "@v" + std::to_string(key.version);
+}
+
+/// Evictions between resume probes while a tier sheds writes. Low enough
+/// that a cleared fault is noticed within a handful of evictions, high
+/// enough that a sick disk is not hammered with probe opens.
+constexpr std::uint64_t kResumeProbeEvery = 16;
+
 }  // namespace
 
 DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
@@ -55,16 +69,22 @@ DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
   }
   if (config_.storage.enabled()) {
     tiers_.reserve(config_.num_nodes);
+    scrubbers_.reserve(config_.num_nodes);
+    tier_read_only_.assign(config_.num_nodes, 0);
+    resume_probe_.assign(config_.num_nodes, 0);
     for (std::size_t i = 0; i < config_.num_nodes; ++i) {
       storage::TierConfig tc;
       tc.capacity_bytes = config_.storage.disk_capacity_bytes;
       tc.io = config_.storage.io;
       tc.segment = config_.storage.segment;
+      tc.env = config_.storage.env;
       if (!config_.storage.dir.empty()) {
         tc.dir = config_.storage.dir + "/tier" + std::to_string(i);
       }
       tiers_.push_back(std::make_unique<storage::DiskTier>(
           sim, i, std::move(tc), config_.registry));
+      scrubbers_.push_back(std::make_unique<storage::Scrubber>(
+          tiers_[i]->store(), config_.storage.scrub, config_.registry, i));
       caches_[i]->set_on_evict(
           [this, i](const ShardKey& key, double bytes, double cost) {
             on_cache_evict(i, key, bytes, cost);
@@ -72,7 +92,8 @@ DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
     }
     if (config_.storage.durable()) {
       log_ = std::make_unique<storage::CatalogLog>(
-          config_.storage.dir, config_.storage.log, config_.registry);
+          config_.storage.dir, config_.storage.log, config_.registry,
+          config_.storage.env);
     }
   }
   if (config_.registry != nullptr) {
@@ -88,18 +109,69 @@ DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
       ctr_demotions_ = reg.counter("data.demotions");
       ctr_demote_rejected_ = reg.counter("data.demote_rejected");
       ctr_disk_rescues_ = reg.counter("data.disk_rescues");
+      ctr_repairs_ = reg.counter("storage.repair.shards");
+      ctr_repair_lost_ = reg.counter("storage.repair.lost");
+      hist_repair_us_ = reg.histogram("storage.repair.mttr_us");
+      gauge_tier_ro_.resize(config_.num_nodes);
+      for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+        gauge_tier_ro_[i] = reg.gauge("storage.tier.read_only",
+                                      {{"node", std::to_string(i)}});
+      }
     }
   }
 }
 
 void DataPlane::log_apply(storage::LogRecord record) {
   if (!config_.storage.enabled()) return;
-  record.seq = log_ != nullptr ? log_->append(record) : ++mem_seq_;
+  if (log_ != nullptr) {
+    // The ack's durability status is surfaced by the log itself
+    // (storage.log.degraded gauge, io_errors counter, pending backlog);
+    // the record is stamped either way and lands on disk when the
+    // medium recovers or the next checkpoint subsumes it.
+    record.seq = log_->append(record).seq;
+  } else {
+    record.seq = ++mem_seq_;
+  }
   catalog_.apply(record);
+}
+
+void DataPlane::note_tier_fault(std::size_t node) {
+  if (tier_read_only_[node] != 0) return;
+  tier_read_only_[node] = 1;
+  resume_probe_[node] = 0;
+  ++counters_.tier_faults;
+  if (node < gauge_tier_ro_.size() && gauge_tier_ro_[node] != nullptr) {
+    gauge_tier_ro_[node]->set(1.0);
+  }
+  scrub_journal_.push_back("tier-read-only node=" + std::to_string(node));
+}
+
+void DataPlane::note_tier_resume(std::size_t node) {
+  if (tier_read_only_[node] == 0) return;
+  tier_read_only_[node] = 0;
+  ++counters_.tier_resumes;
+  if (node < gauge_tier_ro_.size() && gauge_tier_ro_[node] != nullptr) {
+    gauge_tier_ro_[node]->set(0.0);
+  }
+  scrub_journal_.push_back("tier-resumed node=" + std::to_string(node));
 }
 
 void DataPlane::on_cache_evict(std::size_t node, const ShardKey& key,
                                double bytes, double refetch_cost_us) {
+  storage::DiskTier& tier = *tiers_[node];
+  // Degraded medium: shed demotions entirely (reads still work), but
+  // probe every few evictions so writes resume the moment the fault
+  // clears — no operator action required.
+  if (tier_read_only_[node] != 0) {
+    if (++resume_probe_[node] % kResumeProbeEvery == 0 &&
+        tier.try_resume().ok()) {
+      note_tier_resume(node);
+    } else {
+      ++counters_.demote_rejected;
+      if (ctr_demote_rejected_ != nullptr) ctr_demote_rejected_->inc();
+      return;
+    }
+  }
   // Cheap-to-refetch shards are not worth disk space or write bandwidth.
   if (refetch_cost_us < config_.storage.demote_min_refetch_us) {
     ++counters_.demote_rejected;
@@ -110,13 +182,16 @@ void DataPlane::on_cache_evict(std::size_t node, const ShardKey& key,
   // every future key): drop it instead of preserving garbage.
   auto it = objects_.find(key.object);
   if (it == objects_.end() || it->second.version != key.version) return;
-  storage::DiskTier& tier = *tiers_[node];
   if (tier.resident(key)) return;  // already safe on this disk
   const std::uint64_t seals_before = tier.store().stats().seals;
   const Status st = tier.demote(key, bytes);
   if (!st.ok()) {
     ++counters_.demote_rejected;
     if (ctr_demote_rejected_ != nullptr) ctr_demote_rejected_->inc();
+    // Distinguish a sick medium (EIO/ENOSPC through the Env — the store
+    // latched read-only) from a merely full tier: only the former
+    // trips the degraded flag and the storage.tier.read_only gauge.
+    if (tier.media_degraded()) note_tier_fault(node);
     return;
   }
   ++counters_.demotions;
@@ -545,6 +620,143 @@ Result<storage::RecoveryReport> DataPlane::recover() {
     }
   }
   return report;
+}
+
+storage::ScrubReport DataPlane::scrub_node(std::size_t node) {
+  storage::ScrubReport report;
+  if (node >= scrubbers_.size()) return report;
+  const double issued_us = sim_->now();
+  report = scrubbers_[node]->step();
+  counters_.scrub_verified += report.segments_verified;
+  counters_.scrub_quarantined += report.segments_quarantined;
+  for (const ShardKey& key : report.suspects) {
+    scrub_journal_.push_back("suspect " + key_str(key) +
+                             " node=" + std::to_string(node));
+    // The quarantined copy is out of service; the catalog must agree
+    // before repair re-shelters the shard (otherwise recover() would
+    // adopt a ghost back into the very store that corrupted it).
+    auto it = objects_.find(key.object);
+    const double sb = it != objects_.end() && it->second.version == key.version
+                          ? it->second.shard_bytes(key.shard)
+                          : 0.0;
+    log_apply({storage::LogRecordType::kDiskErase, 0, key.object, key.shard,
+               key.version, node, sb});
+    repair_shard(key, node, issued_us);
+  }
+  return report;
+}
+
+void DataPlane::repair_shard(const ShardKey& key, std::size_t home,
+                             double issued_us) {
+  auto it = objects_.find(key.object);
+  if (it == objects_.end() || it->second.version != key.version) {
+    // A stale version was rotting on disk: dropping it IS the repair.
+    scrub_journal_.push_back("repair " + key_str(key) + " stale-skip");
+    return;
+  }
+  const double sb = it->second.shard_bytes(key.shard);
+
+  // Destination: the home disk unless its medium is gone — then the
+  // lowest-index other healthy tier (re-replication onto a surviving
+  // node, the hinted-handoff analogue for disk copies).
+  const auto healthy = [this](std::size_t n) {
+    return n < tiers_.size() && !tiers_[n]->offline() &&
+           !tiers_[n]->media_degraded();
+  };
+  std::size_t dst = kNoNode;
+  if (healthy(home)) {
+    dst = home;
+  } else {
+    for (std::size_t n = 0; n < tiers_.size(); ++n) {
+      if (n != home && healthy(n)) {
+        dst = n;
+        break;
+      }
+    }
+  }
+
+  const bool redirected = dst != kNoNode && dst != home;
+  const auto finish = [this, key, sb, dst, redirected, issued_us] {
+    const Status st = tiers_[dst]->demote(key, sb);
+    if (!st.ok()) {
+      scrub_journal_.push_back("repair " + key_str(key) + " dst=" +
+                               std::to_string(dst) +
+                               " failed: " + st.to_string());
+      return;
+    }
+    log_apply({storage::LogRecordType::kDemote, 0, key.object, key.shard,
+               key.version, dst, sb});
+    ++counters_.repairs;
+    if (redirected) ++counters_.repair_redirected;
+    if (ctr_repairs_ != nullptr) ctr_repairs_->inc();
+    if (hist_repair_us_ != nullptr) {
+      hist_repair_us_->record(sim_->now() - issued_us);
+    }
+    scrub_journal_.push_back("repaired " + key_str(key) +
+                             " dst=" + std::to_string(dst) +
+                             (redirected ? " redirected" : ""));
+  };
+
+  if (dst != kNoNode) {
+    if (tiers_[dst]->resident(key)) {
+      // Another disk already shelters it (e.g. a redirected earlier
+      // repair): nothing to move.
+      scrub_journal_.push_back("repair " + key_str(key) +
+                               " already-resident dst=" +
+                               std::to_string(dst));
+      return;
+    }
+    auto rit = replicas_.find(key);
+    if (rit != replicas_.end() && !rit->second.empty()) {
+      // Healthiest source: a RAM replica. Same node = straight demote;
+      // remote = one fabric transfer, then demote on arrival.
+      const std::size_t src = rit->second.front();
+      if (src == dst) {
+        finish();
+      } else {
+        xfer_.fetch(key, sb, src, dst, finish);
+      }
+      return;
+    }
+    const std::size_t src_t = disk_holder(key);
+    if (src_t != kNoNode) {
+      // Last live copy is a remote disk: promote it there, move the
+      // bytes, demote into the destination tier.
+      (void)tiers_[src_t]->promote(key, [this, key, sb, src_t, dst, finish] {
+        counters_.bytes_promoted += sb;
+        log_apply({storage::LogRecordType::kPromote, 0, key.object, key.shard,
+                   key.version, src_t, sb});
+        if (src_t == dst) {
+          finish();
+        } else {
+          xfer_.fetch(key, sb, src_t, dst, finish);
+        }
+      });
+      return;
+    }
+  } else if (shard_alive(key)) {
+    // No healthy tier anywhere, but a RAM replica keeps the shard
+    // alive: nothing to re-shelter onto disk right now.
+    scrub_journal_.push_back("repair " + key_str(key) + " no-healthy-tier");
+    return;
+  }
+
+  // No copy left anywhere: the rot won. Same treatment as losing the
+  // last replica in a crash — version bump, caches staled, lineage
+  // recomputes.
+  DataObject& obj = it->second;
+  drop_object_replicas(obj);
+  ++obj.version;
+  ++counters_.repair_lost;
+  ++counters_.objects_lost;
+  if (ctr_repair_lost_ != nullptr) ctr_repair_lost_->inc();
+  for (auto& cache : caches_) cache->invalidate_object(key.object, obj.version);
+  for (auto& tier : tiers_) {
+    if (!tier->offline()) tier->invalidate_object(key.object, obj.version);
+  }
+  log_apply({storage::LogRecordType::kInvalidate, 0, key.object, 0,
+             obj.version, home, 0.0});
+  scrub_journal_.push_back("lost " + key_str(key));
 }
 
 std::vector<std::size_t> DataPlane::replicas(const ShardKey& key) const {

@@ -92,6 +92,13 @@ struct PlaneStats {
   std::uint64_t demotions = 0;        ///< evicted shards written to disk
   std::uint64_t demote_rejected = 0;  ///< demotions cost-gated or refused
   std::uint64_t disk_rescues = 0;     ///< objects only the disk kept alive
+  std::uint64_t scrub_verified = 0;     ///< sealed segments verified clean
+  std::uint64_t scrub_quarantined = 0;  ///< corrupt segments pulled aside
+  std::uint64_t repairs = 0;            ///< suspects re-sheltered from replicas
+  std::uint64_t repair_redirected = 0;  ///< repairs re-homed to another node
+  std::uint64_t repair_lost = 0;        ///< suspects with no live copy left
+  std::uint64_t tier_faults = 0;        ///< tiers entering read-only (media)
+  std::uint64_t tier_resumes = 0;       ///< read-only tiers writable again
   double bytes_fetched = 0.0;         ///< demand + prefetch fetch traffic
   double bytes_replicated = 0.0;      ///< extra-replica write traffic
   double bytes_evicted = 0.0;
@@ -172,6 +179,36 @@ class DataPlane {
   /// empty. FAILED_PRECONDITION when the plane is not durable.
   Result<storage::RecoveryReport> recover();
 
+  // ---- scrub + repair ----
+
+  /// One budgeted scrub step over `node`'s sealed segments. Corrupt
+  /// segments are quarantined (their keys are suspect — never served,
+  /// never resurrected) and every suspect is repaired immediately from
+  /// the healthiest remaining copy: local RAM replica, remote RAM
+  /// replica, remote disk — written back to the home disk, or
+  /// re-replicated to another node's tier when the home medium is gone.
+  /// Suspects with no copy anywhere get the lost-object treatment
+  /// (version bump; lineage recomputes them). No-op report when the
+  /// storage tier is off.
+  storage::ScrubReport scrub_node(std::size_t node);
+
+  /// True while `node`'s tier refuses writes after a media fault
+  /// (ENOSPC/EIO). Reads keep working; demotions shed; the plane probes
+  /// the medium periodically and clears this automatically.
+  [[nodiscard]] bool tier_read_only(std::size_t node) const {
+    return node < tier_read_only_.size() && tier_read_only_[node] != 0;
+  }
+
+  /// Deterministic scrub/repair event log (same seed + fault plan ⇒
+  /// byte-identical sequence, whatever the cache policy).
+  [[nodiscard]] const std::vector<std::string>& scrub_journal() const {
+    return scrub_journal_;
+  }
+  /// One node's scrubber; null when the storage tier is disabled.
+  [[nodiscard]] storage::Scrubber* scrubber(std::size_t node) {
+    return node < scrubbers_.size() ? scrubbers_[node].get() : nullptr;
+  }
+
   // ---- introspection ----
 
   [[nodiscard]] Cache& cache(std::size_t node) { return *caches_[node]; }
@@ -207,6 +244,13 @@ class DataPlane {
   /// Cache-eviction subscriber: cost-gated demotion into `node`'s tier.
   void on_cache_evict(std::size_t node, const ShardKey& key, double bytes,
                       double refetch_cost_us);
+  /// Re-shelters one quarantined shard from its healthiest live copy;
+  /// `issued_us` is when the scrub step found it (repair-latency clock).
+  void repair_shard(const ShardKey& key, std::size_t home, double issued_us);
+  /// Flags `node`'s tier read-only after a media fault (gauge + stats).
+  void note_tier_fault(std::size_t node);
+  /// Clears the read-only flag after a successful resume probe.
+  void note_tier_resume(std::size_t node);
   /// Lowest-index node whose *online* tier holds `key`; kNoNode if none.
   [[nodiscard]] std::size_t disk_holder(const ShardKey& key) const;
   /// RAM replica or online disk copy exists at this exact version.
@@ -225,6 +269,14 @@ class DataPlane {
   std::vector<std::unique_ptr<Cache>> caches_;
   /// Per-node disk tiers (all non-null when config_.storage.enabled()).
   std::vector<std::unique_ptr<storage::DiskTier>> tiers_;
+  /// Per-node scrubbers over the tiers' segment stores (same indexing).
+  std::vector<std::unique_ptr<storage::Scrubber>> scrubbers_;
+  /// 1 while the node's tier is shedding writes after a media fault.
+  std::vector<char> tier_read_only_;
+  /// Evictions seen per degraded tier (drives the resume-probe cadence).
+  std::vector<std::uint64_t> resume_probe_;
+  /// Deterministic scrub/repair event log (see scrub_journal()).
+  std::vector<std::string> scrub_journal_;
   /// Write-ahead log (only when config_.storage.durable()).
   std::unique_ptr<storage::CatalogLog> log_;
   /// Materialized view of the logged mutations — always consistent with
@@ -250,6 +302,11 @@ class DataPlane {
   obs::Counter* ctr_demotions_ = nullptr;
   obs::Counter* ctr_demote_rejected_ = nullptr;
   obs::Counter* ctr_disk_rescues_ = nullptr;
+  obs::Counter* ctr_repairs_ = nullptr;
+  obs::Counter* ctr_repair_lost_ = nullptr;
+  obs::Histogram* hist_repair_us_ = nullptr;  ///< quarantine → re-sheltered
+  /// Per-node "storage.tier.read_only" gauges (1 = shedding writes).
+  std::vector<obs::Gauge*> gauge_tier_ro_;
 };
 
 }  // namespace everest::data

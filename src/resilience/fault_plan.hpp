@@ -35,6 +35,20 @@ enum class FaultKind : std::uint8_t {
   /// FPGA partial reconfiguration on the target fails with probability
   /// `magnitude` (interpreted by the platform/runtime layers).
   kReconfigFail,
+  /// Disk writes/fsyncs on the target fail with EIO during the window.
+  /// `magnitude` in (0,1) makes failed writes short (that fraction of
+  /// the frame lands on disk before the error — the torn-tail case).
+  kDiskIoError,
+  /// Disk writes on the target fail with ENOSPC during the window (the
+  /// graceful-degradation trigger: seal, go read-only, resume after).
+  kDiskIoFull,
+  /// Silent media corruption: writes and reads on the target have one
+  /// bit flipped per `magnitude` operations (1.0 = every op) — caught
+  /// by frame CRCs at read time and by the background scrubber.
+  kDiskIoCorrupt,
+  /// fsync on the target is stretched by `magnitude` µs during the
+  /// window (a browning-out device, not a failing one).
+  kDiskIoSlow,
 };
 
 std::string_view to_string(FaultKind kind);
@@ -92,6 +106,13 @@ class FaultPlan {
                               double probability);
   FaultPlan& reconfig_failure(int node, double at_us, double duration_us,
                               double probability);
+  FaultPlan& disk_error(int node, double at_us, double duration_us,
+                        double short_write_fraction = 1.0);
+  FaultPlan& disk_full(int node, double at_us, double duration_us);
+  FaultPlan& disk_corrupt(int node, double at_us, double duration_us,
+                          double flip_rate = 1.0);
+  FaultPlan& disk_slow(int node, double at_us, double duration_us,
+                       double extra_sync_us);
   FaultPlan& add(FaultEvent event);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {

@@ -1,0 +1,179 @@
+#include "storage/env.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/statvfs.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace everest::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status errno_status(const std::string& what, int err) {
+  const std::string msg = what + ": " + std::strerror(err);
+  switch (err) {
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return ResourceExhausted(msg);
+    case EIO:
+      return Unavailable(msg);  // retryable: the medium may recover
+    case ENOENT:
+      return NotFound(msg);
+    case EACCES:
+    case EROFS:
+      return PermissionDenied(msg);
+    default:
+      return Internal(msg);
+  }
+}
+
+class PosixFile final : public WritableFile {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override { (void)close(); }
+
+  Status append(std::string_view data) override {
+    if (fd_ < 0) return FailedPrecondition("write to closed file " + path_);
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  Status sync() override {
+    if (fd_ < 0) return FailedPrecondition("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) return errno_status("fsync " + path_, errno);
+    return OkStatus();
+  }
+
+  Status close() override {
+    if (fd_ < 0) return OkStatus();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return errno_status("close " + path_, errno);
+    return OkStatus();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> open_append(
+      const std::string& path) override {
+    return open_with(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::unique_ptr<WritableFile>> open_trunc(
+      const std::string& path) override {
+    return open_with(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  Result<std::string> read_file(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return errno_status("open " + path, errno);
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return errno_status("read " + path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status create_dirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Internal("mkdir " + path + ": " + ec.message());
+    return OkStatus();
+  }
+
+  Status rename_file(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return errno_status("rename " + from + " -> " + to, errno);
+    }
+    return OkStatus();
+  }
+
+  Status remove_file(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return errno_status("unlink " + path, errno);
+    }
+    return OkStatus();
+  }
+
+  Status truncate_file(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return errno_status("truncate " + path, errno);
+    }
+    return OkStatus();
+  }
+
+  Result<std::vector<std::string>> list_dir(const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (fs::directory_iterator it(path, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) return Internal("listdir " + path + ": " + ec.message());
+    return names;
+  }
+
+  Result<std::uint64_t> free_bytes(const std::string& path) override {
+    struct statvfs vfs{};
+    if (::statvfs(path.c_str(), &vfs) != 0) {
+      return errno_status("statvfs " + path, errno);
+    }
+    return static_cast<std::uint64_t>(vfs.f_bavail) *
+           static_cast<std::uint64_t>(vfs.f_frsize);
+  }
+
+  bool file_exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+ private:
+  static Result<std::unique_ptr<WritableFile>> open_with(
+      const std::string& path, int flags) {
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return errno_status("open " + path, errno);
+    return std::unique_ptr<WritableFile>(new PosixFile(fd, path));
+  }
+};
+
+}  // namespace
+
+Env* Env::posix() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace everest::storage

@@ -1,0 +1,87 @@
+// storage::Env — the injectable boundary between the storage subsystem
+// and the operating system's filesystem. Every byte CatalogLog,
+// SegmentStore, and checkpointing move to or from disk goes through one
+// of these virtuals, and every call returns a Status the caller must
+// check: there is no I/O in src/storage that can fail silently.
+//
+// Two implementations ship:
+//   * PosixEnv (Env::posix()) — thin fd-based syscall wrapper with
+//     errno → Status mapping (ENOSPC → RESOURCE_EXHAUSTED, EIO →
+//     UNAVAILABLE, ENOENT → NOT_FOUND, ...). Process-wide singleton.
+//   * FaultEnv (fault_env.hpp) — wraps another Env and injects
+//     seed-deterministic faults per (path, op, nth-call): short writes,
+//     EIO, ENOSPC, slow fsync, silent bit-flips.
+//
+// The split is what makes the durability layer testable: the same
+// production code paths run against scripted media faults, and the
+// recovery machinery (torn-tail truncation, scrub + quarantine,
+// read-only degradation) is exercised deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace everest::storage {
+
+/// One open append-mode file handle. Writes are sequential; sync()
+/// forces everything appended so far to stable storage.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. A short write (fault or
+  /// full disk) may leave a prefix of `data` on disk — callers treat
+  /// any error as "the tail of this file is now untrustworthy".
+  virtual Status append(std::string_view data) = 0;
+
+  /// fsync: the bytes survive power loss after this returns OK.
+  virtual Status sync() = 0;
+
+  /// Closes the descriptor. Idempotent; the destructor closes too
+  /// (ignoring errors — call close() when the result matters).
+  virtual Status close() = 0;
+};
+
+/// Filesystem services the storage layer needs. All paths are plain
+/// strings (the layer never walks directories it did not create).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if needed.
+  virtual Result<std::unique_ptr<WritableFile>> open_append(
+      const std::string& path) = 0;
+
+  /// Opens `path` truncated to empty (atomic-replace staging files).
+  virtual Result<std::unique_ptr<WritableFile>> open_trunc(
+      const std::string& path) = 0;
+
+  /// Whole-file read. NOT_FOUND when the file does not exist.
+  virtual Result<std::string> read_file(const std::string& path) = 0;
+
+  virtual Status create_dirs(const std::string& path) = 0;
+  /// Atomic on POSIX when both paths share a filesystem.
+  virtual Status rename_file(const std::string& from,
+                             const std::string& to) = 0;
+  virtual Status remove_file(const std::string& path) = 0;
+  /// Truncates `path` to exactly `size` bytes (WAL self-healing: cut
+  /// back to the last fully committed frame before re-appending).
+  virtual Status truncate_file(const std::string& path,
+                               std::uint64_t size) = 0;
+  /// Plain filenames (not paths) in `path`, unsorted.
+  virtual Result<std::vector<std::string>> list_dir(
+      const std::string& path) = 0;
+  /// Free bytes on the filesystem holding `path` (ENOSPC forecasting).
+  virtual Result<std::uint64_t> free_bytes(const std::string& path) = 0;
+  virtual bool file_exists(const std::string& path) = 0;
+
+  /// The process-wide real-filesystem Env.
+  static Env* posix();
+};
+
+}  // namespace everest::storage

@@ -1,0 +1,99 @@
+// Background segment scrubber: the disk tier's early-warning system.
+// Latent media corruption (bit rot, torn sectors) is only dangerous
+// while it is *undetected* — a flipped bit found months later, after the
+// other replicas aged out, is data loss; the same bit found within one
+// scrub pass is a cheap re-replication. The scrubber walks every sealed
+// segment at a bounded byte rate, re-reads the file through the Env, and
+// verifies each frame CRC plus the chained payload CRC against the
+// footer and the in-memory index.
+//
+// A segment that fails verification is quarantined immediately: the file
+// is renamed aside, its keys are dropped from the index and tombstoned
+// (a reopen can never resurrect them), and the suspect keys are handed
+// to the caller — the data plane repairs them from healthy replicas
+// (local disk -> remote RAM -> remote disk) and re-replicates.
+//
+// step() is budgeted in *bytes examined*, not segments, so one huge
+// segment cannot starve the rest of the pass; the cursor round-robins
+// across the sealed set and wraps. Every decision is appended to a
+// deterministic journal (segment ids + frame counts only — no pointers,
+// no wall-clock), which the determinism tests compare across cache
+// policies and runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/object.hpp"
+#include "obs/registry.hpp"
+#include "storage/segment.hpp"
+
+namespace everest::storage {
+
+struct ScrubConfig {
+  /// Byte budget per step(); a segment mid-verification is never split,
+  /// so one step scans at least one segment when any are eligible.
+  double bytes_per_step = 4.0 * 1024 * 1024;
+};
+
+/// Cumulative totals across every step()/full_pass().
+struct ScrubStats {
+  std::uint64_t steps = 0;
+  std::uint64_t segments_verified = 0;     ///< clean verifications
+  std::uint64_t segments_quarantined = 0;  ///< failed -> renamed aside
+  std::uint64_t suspects = 0;              ///< keys handed back for repair
+  double bytes_scanned = 0.0;
+};
+
+/// What one step()/full_pass() produced.
+struct ScrubReport {
+  std::uint64_t segments_verified = 0;
+  std::uint64_t segments_quarantined = 0;
+  double bytes_scanned = 0.0;
+  /// Keys whose only local copy was in a quarantined segment; the
+  /// caller must repair them from replicas (they are already
+  /// tombstoned locally and will never be resurrected).
+  std::vector<data::ShardKey> suspects;
+};
+
+/// Single-owner (driven by the data plane alongside the store it scrubs).
+class Scrubber {
+ public:
+  /// Borrows `store` (must outlive the scrubber).
+  explicit Scrubber(SegmentStore& store, ScrubConfig config = {},
+                    obs::Registry* registry = nullptr,
+                    std::size_t node = 0);
+
+  /// Verifies sealed segments round-robin until the byte budget is
+  /// spent (at least one when any are eligible), quarantining failures.
+  ScrubReport step();
+
+  /// Verifies every sealed segment once, budget ignored.
+  ScrubReport full_pass();
+
+  [[nodiscard]] const ScrubStats& stats() const { return stats_; }
+  /// Deterministic event log ("verify seg-3 frames=12 clean", ...).
+  [[nodiscard]] const std::vector<std::string>& journal() const {
+    return journal_;
+  }
+
+ private:
+  /// Verifies one segment, quarantining on failure; appends the
+  /// outcome to `report` and the journal.
+  void scrub_one(std::uint64_t id, ScrubReport& report);
+
+  SegmentStore& store_;
+  ScrubConfig config_;
+  /// Next sealed id to examine (round-robin; ids are ascending).
+  std::uint64_t cursor_ = 0;
+  ScrubStats stats_;
+  std::vector<std::string> journal_;
+
+  obs::Counter* ctr_verified_ = nullptr;
+  obs::Counter* ctr_quarantined_ = nullptr;
+  obs::Counter* ctr_suspects_ = nullptr;
+  obs::Counter* ctr_bytes_ = nullptr;
+};
+
+}  // namespace everest::storage

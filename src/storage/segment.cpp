@@ -1,28 +1,35 @@
 #include "storage/segment.hpp"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
+#include <cstdlib>
 #include <vector>
 
 #include "common/logging.hpp"
 
 namespace everest::storage {
 
-namespace fs = std::filesystem;
-
-SegmentStore::SegmentStore(std::string dir, SegmentConfig config)
-    : dir_(std::move(dir)), config_(config) {
+SegmentStore::SegmentStore(std::string dir, SegmentConfig config, Env* env)
+    : dir_(std::move(dir)), config_(config),
+      env_(env != nullptr ? env : Env::posix()) {
   if (!dir_.empty()) {
-    fs::create_directories(dir_);
+    const Status made = env_->create_dirs(dir_);
+    if (!made.ok()) {
+      EVEREST_LOG(kError, "storage")
+          << "cannot create segment dir " << dir_ << ": " << made.to_string();
+    }
     // Rebuild from whatever segments a previous life left behind.
+    // Quarantined files ("seg-N.dat.quarantined") no longer match the
+    // ".dat" suffix and are never loaded again — by design.
     std::vector<std::uint64_t> ids;
-    for (const auto& entry : fs::directory_iterator(dir_)) {
-      const std::string name = entry.path().filename().string();
-      if (name.rfind("seg-", 0) != 0 || entry.path().extension() != ".dat") {
-        continue;
+    Result<std::vector<std::string>> names = env_->list_dir(dir_);
+    if (names.ok()) {
+      for (const std::string& name : names.value()) {
+        if (name.rfind("seg-", 0) != 0 || name.size() < 8 ||
+            name.compare(name.size() - 4, 4, ".dat") != 0) {
+          continue;
+        }
+        ids.push_back(std::strtoull(name.c_str() + 4, nullptr, 10));
       }
-      ids.push_back(std::strtoull(name.c_str() + 4, nullptr, 10));
     }
     std::sort(ids.begin(), ids.end());
     for (std::uint64_t id : ids) {
@@ -37,7 +44,7 @@ SegmentStore::SegmentStore(std::string dir, SegmentConfig config)
 }
 
 SegmentStore::~SegmentStore() {
-  if (active_file_ != nullptr) std::fclose(active_file_);
+  if (active_file_ != nullptr) (void)active_file_->close();
 }
 
 std::string SegmentStore::segment_path(std::uint64_t id) const {
@@ -50,31 +57,82 @@ SegmentStore::Segment& SegmentStore::active() {
 
 void SegmentStore::open_new_segment() {
   if (active_file_ != nullptr) {
-    std::fclose(active_file_);
-    active_file_ = nullptr;
+    (void)active_file_->close();
+    active_file_.reset();
   }
   Segment segment;
   segment.id = next_id_++;
   active_id_ = segment.id;
   segments_.emplace(segment.id, std::move(segment));
   if (!dir_.empty()) {
-    active_file_ = std::fopen(segment_path(active_id_).c_str(), "ab");
-    if (active_file_ == nullptr) {
+    Result<std::unique_ptr<WritableFile>> opened =
+        env_->open_append(segment_path(active_id_));
+    if (!opened.ok()) {
       EVEREST_LOG(kError, "storage")
-          << "cannot open segment file " << segment_path(active_id_);
+          << "cannot open segment file " << segment_path(active_id_) << ": "
+          << opened.status().to_string();
+      enter_read_only(opened.status());
+      return;
     }
+    active_file_ = std::move(opened).value();
   }
 }
 
-void SegmentStore::write_frame(const LogRecord& record) {
-  if (active_file_ == nullptr) return;
-  std::string frame;
-  frame.reserve(kRecordFrameBytes);
-  encode_record(record, frame);
-  std::fwrite(frame.data(), 1, frame.size(), active_file_);
+Status SegmentStore::write_bytes(const std::string& frame) {
+  if (dir_.empty()) return OkStatus();  // in-memory: nothing to fail
+  if (active_file_ == nullptr) {
+    return last_error_.ok() ? Unavailable("segment file is not open")
+                            : last_error_;
+  }
+  return active_file_->append(frame);
+}
+
+void SegmentStore::enter_read_only(const Status& cause) {
+  ++stats_.io_errors;
+  if (!read_only_) {
+    EVEREST_LOG(kWarn, "storage")
+        << "segment store " << dir_ << " read-only: " << cause.to_string();
+  }
+  read_only_ = true;
+  last_error_ = cause;
+  // The active file's tail may hold a short-write torn frame; seal the
+  // segment in memory so nothing is ever written after the damage (the
+  // same invariant reopen enforces for crash-torn tails).
+  if (!segments_.empty()) active().sealed = true;
+  if (active_file_ != nullptr) {
+    (void)active_file_->close();
+    active_file_.reset();
+  }
+}
+
+Status SegmentStore::retry_io() {
+  if (!read_only_) return OkStatus();
+  if (!dir_.empty()) {
+    read_only_ = false;
+    open_new_segment();  // probe: sets read_only_ again on failure
+    if (read_only_) return last_error_;
+  } else {
+    read_only_ = false;
+  }
+  last_error_ = OkStatus();
+  ++stats_.io_resumes;
+  // Land the erases that happened while the disk was sick.
+  std::vector<std::pair<data::ShardKey, double>> queued;
+  queued.swap(pending_tombstones_);
+  for (std::size_t i = 0; i < queued.size(); ++i) {
+    write_tombstone(queued[i].first, queued[i].second);
+    if (read_only_) {  // relapsed mid-flush; keep the rest queued
+      return last_error_;
+    }
+  }
+  EVEREST_LOG(kInfo, "storage")
+      << "segment store " << dir_ << " writable again (" << queued.size()
+      << " queued tombstone(s) flushed)";
+  return OkStatus();
 }
 
 Status SegmentStore::append(const data::ShardKey& key, double bytes) {
+  if (read_only_) return last_error_;
   if (index_.count(key) != 0) {
     return AlreadyExists("shard already resident in segment store");
   }
@@ -87,12 +145,17 @@ Status SegmentStore::append(const data::ShardKey& key, double bytes) {
   record.version = key.version;
   record.bytes = bytes;
 
-  std::string payload;  // chain CRC over the same payload bytes on disk
-  encode_record(record, payload);
+  std::string frame;  // chain CRC covers the same payload bytes on disk
+  encode_record(record, frame);
+  const Status written = write_bytes(frame);
+  if (!written.ok()) {
+    // Nothing indexed: the caller still holds the shard and can retry
+    // or place it elsewhere; this store degrades to read-only.
+    enter_read_only(written);
+    return written;
+  }
   segment.chain_crc =
-      crc32(payload.data() + 8, payload.size() - 8, segment.chain_crc);
-  write_frame(record);
-
+      crc32(frame.data() + 8, frame.size() - 8, segment.chain_crc);
   segment.live.emplace(key, bytes);
   segment.live_bytes += bytes;
   ++segment.records;
@@ -102,7 +165,7 @@ Status SegmentStore::append(const data::ShardKey& key, double bytes) {
 
   if (segment.live_bytes + segment.dead_bytes >= config_.segment_bytes) {
     seal(segment);
-    open_new_segment();
+    if (!read_only_) open_new_segment();
   }
   return OkStatus();
 }
@@ -116,19 +179,54 @@ void SegmentStore::seal(Segment& segment) {
   footer.seq = segment.records;
   footer.node = segment.chain_crc;
   footer.bytes = segment.live_bytes + segment.dead_bytes;
-  write_frame(footer);
-  if (active_file_ != nullptr) std::fflush(active_file_);
+  std::string frame;
+  encode_record(footer, frame);
+  Status written = write_bytes(frame);
+  if (written.ok() && active_file_ != nullptr) written = active_file_->sync();
+  if (!written.ok()) {
+    // The segment stays sealed in memory; reopen treats the footerless
+    // file as recovered-sealed. The medium is suspect: degrade.
+    enter_read_only(written);
+  }
 }
 
 void SegmentStore::seal_active() {
   seal(active());
-  open_new_segment();
+  if (!read_only_) open_new_segment();
 }
 
 Result<double> SegmentStore::locate(const data::ShardKey& key) const {
   auto it = index_.find(key);
   if (it == index_.end()) return NotFound("shard not in segment store");
   return segments_.at(it->second).live.at(key);
+}
+
+void SegmentStore::write_tombstone(const data::ShardKey& key, double bytes) {
+  if (read_only_) {
+    // The in-memory erase already happened; the frame lands when the
+    // disk heals (retry_io). Until then recovery-side reconciliation
+    // against the catalog covers a crash-before-flush.
+    pending_tombstones_.emplace_back(key, bytes);
+    return;
+  }
+  Segment& act = active();
+  LogRecord tomb;
+  tomb.type = LogRecordType::kDiskErase;
+  tomb.seq = act.records + 1;
+  tomb.object = key.object;
+  tomb.shard = key.shard;
+  tomb.version = key.version;
+  tomb.bytes = bytes;
+  std::string frame;
+  encode_record(tomb, frame);
+  const Status written = write_bytes(frame);
+  if (!written.ok()) {
+    enter_read_only(written);
+    pending_tombstones_.emplace_back(key, bytes);
+    return;
+  }
+  act.chain_crc = crc32(frame.data() + 8, frame.size() - 8, act.chain_crc);
+  ++act.records;
 }
 
 bool SegmentStore::erase(const data::ShardKey& key) {
@@ -147,19 +245,7 @@ bool SegmentStore::erase(const data::ShardKey& key) {
   // Tombstone in the active segment so a reopen cannot resurrect the
   // key. It counts toward the footer's record count and chain CRC like
   // any other record, but carries no logical bytes of its own.
-  Segment& act = active();
-  LogRecord tomb;
-  tomb.type = LogRecordType::kDiskErase;
-  tomb.seq = act.records + 1;
-  tomb.object = key.object;
-  tomb.shard = key.shard;
-  tomb.version = key.version;
-  tomb.bytes = bytes;
-  std::string payload;
-  encode_record(tomb, payload);
-  act.chain_crc = crc32(payload.data() + 8, payload.size() - 8, act.chain_crc);
-  write_frame(tomb);
-  ++act.records;
+  write_tombstone(key, bytes);
   return true;
 }
 
@@ -175,6 +261,7 @@ std::size_t SegmentStore::invalidate_object(data::ObjectId object,
 }
 
 std::size_t SegmentStore::compact() {
+  if (read_only_) return 0;  // cannot rewrite onto a sick disk
   std::vector<std::uint64_t> victims;
   for (const auto& [id, segment] : segments_) {
     if (!segment.sealed || id == active_id_) continue;
@@ -186,25 +273,142 @@ std::size_t SegmentStore::compact() {
   }
   if (victims.empty()) return 0;
   ++stats_.compactions;
+  std::size_t removed = 0;
   for (std::uint64_t id : victims) {
     // Move the survivors, then drop the file: space comes back as soon
     // as the old segment is unlinked.
+    bool aborted = false;
     std::vector<std::pair<data::ShardKey, double>> live(
         segments_.at(id).live.begin(), segments_.at(id).live.end());
     for (const auto& [key, bytes] : live) {
       erase(key);
       stats_.dead_bytes -= bytes;  // not dead: just moved
-      (void)append(key, bytes);
+      const Status moved = append(key, bytes);
+      if (moved.ok()) continue;
+      // Write fault mid-move: resurrect the record in its old segment
+      // (the file is still there) and stop — losing a key to reclaim
+      // space would invert the whole point of compaction.
+      Segment& victim = segments_.at(id);
+      victim.live.emplace(key, bytes);
+      victim.live_bytes += bytes;
+      victim.dead_bytes -= bytes;
+      stats_.live_bytes += bytes;
+      index_[key] = id;
+      aborted = true;
+      break;
     }
+    if (aborted) break;
     stats_.dead_bytes -= segments_.at(id).dead_bytes;
     segments_.erase(id);
     if (!dir_.empty()) {
-      std::error_code ec;
-      fs::remove(segment_path(id), ec);
+      const Status rm = env_->remove_file(segment_path(id));
+      if (!rm.ok()) {
+        // Reopen still converges (tombstones + last-write-wins), but
+        // the space is not reclaimed yet: count and carry on.
+        ++stats_.io_errors;
+        EVEREST_LOG(kWarn, "storage")
+            << "cannot remove compacted segment " << segment_path(id) << ": "
+            << rm.to_string();
+      }
     }
     ++stats_.segments_removed;
+    ++removed;
   }
-  return victims.size();
+  return removed;
+}
+
+std::vector<std::uint64_t> SegmentStore::sealed_segment_ids() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, segment] : segments_) {
+    if (segment.sealed && id != active_id_) ids.push_back(id);
+  }
+  return ids;
+}
+
+double SegmentStore::segment_physical_bytes(std::uint64_t id) const {
+  auto it = segments_.find(id);
+  if (it == segments_.end()) return 0.0;
+  const double frames = static_cast<double>(it->second.records) +
+                        (it->second.sealed ? 1.0 : 0.0);
+  return frames * static_cast<double>(kRecordFrameBytes);
+}
+
+VerifyResult SegmentStore::verify_segment(std::uint64_t id) const {
+  VerifyResult out;
+  auto sit = segments_.find(id);
+  if (sit == segments_.end()) return out;   // unknown: nothing to verify
+  if (dir_.empty()) return out;             // in-memory: no media to rot
+  Result<std::string> blob = env_->read_file(segment_path(id));
+  if (!blob.ok()) {
+    out.clean = false;
+    out.read_failed = true;
+    return out;
+  }
+  out.bytes_scanned = static_cast<double>(blob.value().size());
+  std::uint32_t chain = 0;
+  bool footer_seen = false;
+  bool footer_ok = true;
+  ByteReader reader(blob.value());
+  while (true) {
+    LogRecord record;
+    const DecodeStatus status = decode_record(reader, &record);
+    if (status == DecodeStatus::kEndOfInput) break;
+    if (status != DecodeStatus::kOk) {
+      ++out.corrupt_frames;
+      out.clean = false;
+      break;
+    }
+    if (record.type == LogRecordType::kSeal) {
+      footer_seen = true;
+      footer_ok = record.seq == out.frames &&
+                  static_cast<std::uint32_t>(record.node) == chain;
+      continue;
+    }
+    std::string payload;
+    encode_record(record, payload);
+    chain = crc32(payload.data() + 8, payload.size() - 8, chain);
+    ++out.frames;
+  }
+  // The file must agree with what this process believes it wrote (or
+  // loaded): frame count and chained CRC. A valid-looking file that
+  // drifted from the index is as corrupt as a bad CRC.
+  const Segment& mem = sit->second;
+  if (out.frames != mem.records || chain != mem.chain_crc ||
+      (footer_seen && !footer_ok)) {
+    out.chain_mismatch = true;
+    out.clean = false;
+  }
+  return out;
+}
+
+std::vector<data::ShardKey> SegmentStore::quarantine_segment(
+    std::uint64_t id) {
+  std::vector<data::ShardKey> suspects;
+  auto sit = segments_.find(id);
+  if (sit == segments_.end() || id == active_id_) return suspects;
+  const Segment seg = std::move(sit->second);
+  segments_.erase(sit);
+  for (const auto& [key, bytes] : seg.live) {
+    suspects.push_back(key);
+    index_.erase(key);
+    stats_.live_bytes -= bytes;
+  }
+  stats_.dead_bytes -= seg.dead_bytes;
+  ++stats_.quarantined_segments;
+  if (!dir_.empty()) {
+    const std::string path = segment_path(id);
+    const Status moved = env_->rename_file(path, path + ".quarantined");
+    if (!moved.ok()) {
+      // Renaming aside failed (the medium is sick): deleting works too —
+      // either way the file can never be loaded again.
+      const Status rm = env_->remove_file(path);
+      if (!rm.ok()) ++stats_.io_errors;
+    }
+  }
+  // Never resurrect: even if the file somehow returned, these
+  // tombstones (queued while read-only) outrank its records on reopen.
+  for (const auto& [key, bytes] : seg.live) write_tombstone(key, bytes);
+  return suspects;
 }
 
 void SegmentStore::for_each(
@@ -216,10 +420,9 @@ void SegmentStore::for_each(
 
 std::uint64_t SegmentStore::load_segment(std::uint64_t id,
                                          const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return 0;
-  std::string blob((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+  Result<std::string> read = env_->read_file(path);
+  if (!read.ok()) return 0;
+  const std::string blob = std::move(read).value();
   Segment segment;
   segment.id = id;
 

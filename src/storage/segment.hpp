@@ -11,6 +11,17 @@
 //     over every payload) that reopen validates.
 //   * removed — compaction rewrites a mostly-dead segment's live records
 //     into the active segment and deletes the file, reclaiming space.
+//   * quarantined — the scrubber found the file corrupt: it is renamed
+//     aside (never loaded again), its keys are dropped from the index
+//     and tombstoned so no reopen can resurrect them, and the caller
+//     repairs them from healthy replicas.
+//
+// Every file operation goes through an injectable storage::Env and its
+// Status is checked. A failed write degrades the store to read-only
+// instead of lying: the active segment is sealed in memory, appends are
+// refused (erases still take effect in memory; their tombstones queue),
+// and retry_io() probes the medium — on success writes resume in a
+// fresh segment and the queued tombstones are flushed.
 //
 // Reopening a directory rebuilds the in-memory index by scanning the
 // files: sealed segments must match their footer; a torn or corrupt tail
@@ -24,13 +35,15 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.hpp"
 #include "data/object.hpp"
+#include "storage/env.hpp"
 #include "storage/format.hpp"
 
 namespace everest::storage {
@@ -48,17 +61,32 @@ struct SegmentStats {
   std::uint64_t compactions = 0;       ///< compact() passes that moved data
   std::uint64_t segments_removed = 0;  ///< files reclaimed by compaction
   std::uint64_t corrupt_records = 0;   ///< damaged frames skipped on reopen
+  std::uint64_t io_errors = 0;         ///< failed writes/opens/removes
+  std::uint64_t io_resumes = 0;        ///< read-only → writable transitions
+  std::uint64_t quarantined_segments = 0;  ///< corrupt files renamed aside
   double live_bytes = 0.0;  ///< logical payload of indexed shards
   double dead_bytes = 0.0;  ///< logical payload of erased shards not yet
                             ///< reclaimed by compaction
+};
+
+/// What one scrub of a segment file found.
+struct VerifyResult {
+  bool clean = true;
+  std::uint64_t frames = 0;          ///< good non-footer frames decoded
+  std::uint64_t corrupt_frames = 0;  ///< torn/corrupt frames (stops the scan)
+  bool chain_mismatch = false;  ///< file disagrees with footer/index state
+  bool read_failed = false;     ///< could not read the file at all
+  double bytes_scanned = 0.0;   ///< physical file bytes examined
 };
 
 /// Single-owner (the tier serializes access through the data plane).
 class SegmentStore {
  public:
   /// Opens (or creates) the store in `dir`; empty `dir` = in-memory.
-  /// Existing segment files are scanned to rebuild the index.
-  explicit SegmentStore(std::string dir, SegmentConfig config = {});
+  /// Existing segment files are scanned to rebuild the index. `env`
+  /// (borrowed, null = posix) is the filesystem boundary.
+  explicit SegmentStore(std::string dir, SegmentConfig config = {},
+                        Env* env = nullptr);
   ~SegmentStore();
 
   SegmentStore(const SegmentStore&) = delete;
@@ -66,7 +94,8 @@ class SegmentStore {
 
   /// Appends one shard record; seals and rolls the active segment when
   /// full. ALREADY_EXISTS if the shard is indexed (erase first to
-  /// re-append a new copy).
+  /// re-append a new copy). While read-only (a prior I/O fault) the
+  /// original error is returned and nothing is indexed.
   Status append(const data::ShardKey& key, double bytes);
 
   [[nodiscard]] bool contains(const data::ShardKey& key) const {
@@ -76,7 +105,8 @@ class SegmentStore {
   [[nodiscard]] Result<double> locate(const data::ShardKey& key) const;
 
   /// Drops a shard from the index; its bytes become dead weight in the
-  /// owning segment until compaction. False if absent.
+  /// owning segment until compaction. False if absent. Always takes
+  /// effect in memory; the tombstone frame queues if the disk is sick.
   bool erase(const data::ShardKey& key);
 
   /// Drops every indexed shard of `object` with version < `version`.
@@ -87,8 +117,39 @@ class SegmentStore {
 
   /// Rewrites every sealed segment whose dead fraction exceeds the
   /// configured threshold, appending its live records to the active
-  /// segment and deleting the file. Returns segments reclaimed.
+  /// segment and deleting the file. Returns segments reclaimed. A write
+  /// fault mid-pass rolls the in-flight record back and stops (nothing
+  /// is lost; the remaining victims wait for a healthy disk).
   std::size_t compact();
+
+  // ---- media-fault handling (scrub + degradation) -------------------------
+
+  /// True after a write fault: appends refused, tombstones queued.
+  [[nodiscard]] bool read_only() const { return read_only_; }
+  /// Probes the medium: opens a fresh segment and flushes queued
+  /// tombstones. OK = writable again; otherwise the store stays
+  /// read-only and the probe's error is returned.
+  Status retry_io();
+  /// Tombstones waiting for a healthy disk (monitoring/tests).
+  [[nodiscard]] std::size_t pending_tombstones() const {
+    return pending_tombstones_.size();
+  }
+
+  /// Re-reads one sealed segment's file and checks every frame CRC, the
+  /// chained payload CRC, and the footer. In-memory stores are always
+  /// clean (no media to rot).
+  [[nodiscard]] VerifyResult verify_segment(std::uint64_t id) const;
+
+  /// Removes a corrupt segment from service: the file is renamed aside
+  /// (never loaded again), its live keys are dropped from the index and
+  /// tombstoned (never resurrected), and they are returned as suspects
+  /// for the caller to repair from healthy replicas.
+  std::vector<data::ShardKey> quarantine_segment(std::uint64_t id);
+
+  /// Sealed (scrub-eligible) segment ids, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> sealed_segment_ids() const;
+  /// Physical frame bytes of a segment (scrub byte budgeting).
+  [[nodiscard]] double segment_physical_bytes(std::uint64_t id) const;
 
   /// Visits every indexed shard (key order).
   void for_each(
@@ -118,16 +179,26 @@ class SegmentStore {
   void seal(Segment& segment);
   /// Scans one existing file into a Segment; returns damaged frames.
   std::uint64_t load_segment(std::uint64_t id, const std::string& path);
-  void write_frame(const LogRecord& record);
+  /// Raw frame write to the active file (OK in in-memory mode).
+  Status write_bytes(const std::string& frame);
+  /// Sick-disk entry: seal the active segment in memory, refuse writes.
+  void enter_read_only(const Status& cause);
+  /// Writes (or queues, when read-only) one tombstone frame.
+  void write_tombstone(const data::ShardKey& key, double bytes);
 
   std::string dir_;
   SegmentConfig config_;
+  Env* env_;
   std::map<std::uint64_t, Segment> segments_;
   std::uint64_t next_id_ = 0;
   std::uint64_t active_id_ = 0;
   /// Key → owning segment id.
   std::map<data::ShardKey, std::uint64_t> index_;
-  std::FILE* active_file_ = nullptr;  ///< null in in-memory mode
+  std::unique_ptr<WritableFile> active_file_;  ///< null in in-memory mode
+  bool read_only_ = false;
+  Status last_error_;
+  /// Erases whose tombstone frame awaits a writable disk.
+  std::vector<std::pair<data::ShardKey, double>> pending_tombstones_;
   SegmentStats stats_;
 };
 

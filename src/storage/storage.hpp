@@ -6,9 +6,12 @@
 #pragma once
 
 #include "storage/catalog.hpp"    // IWYU pragma: export
+#include "storage/env.hpp"        // IWYU pragma: export
+#include "storage/fault_env.hpp"  // IWYU pragma: export
 #include "storage/format.hpp"     // IWYU pragma: export
 #include "storage/log.hpp"        // IWYU pragma: export
 #include "storage/recovery.hpp"   // IWYU pragma: export
+#include "storage/scrub.hpp"      // IWYU pragma: export
 #include "storage/segment.hpp"    // IWYU pragma: export
 #include "storage/tier.hpp"       // IWYU pragma: export
 
@@ -30,6 +33,13 @@ struct StorageConfig {
   double demote_min_refetch_us = 0.0;
   SegmentConfig segment;
   LogConfig log;
+  /// Background scrub pacing (byte budget per scrub_node() step).
+  ScrubConfig scrub;
+  /// Filesystem boundary for every file this subsystem touches (catalog
+  /// log, snapshots, segment files). Null = real POSIX I/O; tests and
+  /// the durability bench inject a FaultEnv here to script media
+  /// faults. Borrowed — must outlive the plane.
+  Env* env = nullptr;
 
   [[nodiscard]] bool enabled() const { return disk_capacity_bytes > 0.0; }
   [[nodiscard]] bool durable() const { return enabled() && !dir.empty(); }

@@ -6,7 +6,7 @@ DiskTier::DiskTier(platform::Simulator& sim, std::size_t node,
                    TierConfig config, obs::Registry* registry)
     : node_(node),
       config_(config),
-      store_(config.dir, config.segment),
+      store_(config.dir, config.segment, config.env),
       channel_(sim, config.io) {
   if (registry != nullptr) {
     const obs::Labels labels{{"node", std::to_string(node)}};
@@ -34,7 +34,15 @@ Status DiskTier::demote(const data::ShardKey& key, double bytes) {
       return ResourceExhausted("disk tier full");
     }
   }
-  EVEREST_RETURN_IF_ERROR(store_.append(key, bytes));
+  const Status appended = store_.append(key, bytes);
+  if (!appended.ok()) {
+    // Media fault (EIO/ENOSPC through the Env): the store went
+    // read-only; the caller sees the original error and should shed
+    // demotions until try_resume() succeeds.
+    ++stats_.rejected;
+    if (ctr_rejected_ != nullptr) ctr_rejected_->inc();
+    return appended;
+  }
   // The eviction that triggered us does not wait for the write; the
   // device still pays for it (and congests concurrent promotes).
   channel_.transfer(bytes, [] {});

@@ -38,6 +38,9 @@ struct TierConfig {
   SegmentConfig segment;
   /// Segment-file directory; empty = in-memory (pure simulation).
   std::string dir;
+  /// Filesystem boundary for the segment store (null = posix). Inject a
+  /// FaultEnv to script media faults against this tier.
+  Env* env = nullptr;
 };
 
 struct TierStats {
@@ -88,6 +91,14 @@ class DiskTier {
   /// their contents (disks survive crashes).
   void set_offline(bool offline) { offline_ = offline; }
   [[nodiscard]] bool offline() const { return offline_; }
+
+  /// Media degradation (ENOSPC/EIO on the segment files): the tier
+  /// still serves reads of what it holds, but demotions are refused
+  /// until try_resume() finds the disk healthy again.
+  [[nodiscard]] bool media_degraded() const { return store_.read_only(); }
+  /// Probes the medium (new segment + queued tombstones). OK = writes
+  /// accepted again; no-op OK when the tier was never degraded.
+  Status try_resume() { return store_.retry_io(); }
 
   [[nodiscard]] double resident_bytes() const { return store_.live_bytes(); }
   [[nodiscard]] double capacity_bytes() const { return config_.capacity_bytes; }

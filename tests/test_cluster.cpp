@@ -693,6 +693,44 @@ TEST(Federation, WarmRestartReplaysInputCacheFromWal) {
   fs::remove_all(dir);
 }
 
+// Hinted handoff: traffic homed on a crashed node is staged (and WAL-
+// logged) by the failover owners, stamped with its *home* primary; the
+// node's restart pulls those keys out of the survivors' logs even
+// though its own WAL never saw them.
+TEST(Federation, RestartPullsHomeKeysFromPeersWals) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("everest_fed_handoff_" + std::to_string(getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  FederationOptions options = small_federation(3);
+  options.node.input_cache.capacity_bytes = 8.0 * 1024 * 1024;
+  options.node.input_stage_scale = 0.0;
+  options.storage_dir = dir;
+  options.cold_restart_cache = true;
+  Federation federation(options);
+  ASSERT_TRUE(federation.register_endpoint(test_endpoint()).ok());
+  ASSERT_TRUE(federation.start().ok());
+
+  // The victim is down for the whole traffic window: every key homed on
+  // it is served — and staged — by its failover replicas, so only the
+  // survivors' WALs know about those inputs.
+  const std::size_t victim = 0;
+  federation.crash(victim);
+  pump_keyed_inputs(federation, 48, 100);
+  EXPECT_DOUBLE_EQ(federation.node(victim).input_cache_resident_bytes(), 0.0);
+
+  federation.restart(victim);
+  const FederationStats stats = federation.stats();
+  EXPECT_GT(stats.hinted_handoff_entries, 0u);
+  // The handed-off entries landed in the restarted node's input cache.
+  EXPECT_GT(federation.node(victim).input_cache_resident_bytes(), 0.0);
+  federation.stop();
+  fs::remove_all(dir);
+}
+
 TEST(Federation, ColdRestartWithoutWalStaysCold) {
   FederationOptions options = small_federation(3);
   options.node.input_cache.capacity_bytes = 8.0 * 1024 * 1024;
