@@ -1,0 +1,460 @@
+// E24 — continuous ingestion + incremental analytics as a first-class
+// workload. Five series, one per acceptance criterion:
+//   (1) sustained ingestion — the two-lane admission path folds a
+//       full-throttle event schedule at >= 20k events/s, with and
+//       without the WAL journal, under Poisson and bursty arrivals;
+//   (2) result staleness vs window size — p99 of (frontier − window
+//       start) at delivery grows monotonically over {1s, 4s, 16s}
+//       tumbling windows: the analytics freshness knob is the window;
+//   (3) pub/sub invalidation — publishing a new object version pushes
+//       shard DELTAS to subscriber caches over the shared transfer
+//       fabric, moving strictly fewer bytes than the refetch it
+//       replaces while leaving the cache warm at the new version;
+//   (4) mixed tenancy — a batch serving tenant keeps its p99 within 2x
+//       of its streaming-free baseline while a paced event stream
+//       ingests concurrently (admission isolation, not best-effort);
+//   (5) crash-mid-window failover — a scripted home-node crash, WAL
+//       replay past the acked horizon, and session re-attach yield a
+//       client-visible output sequence byte-identical to an
+//       uninterrupted run (fingerprint equality).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "data/plane.hpp"
+#include "platform/desim.hpp"
+#include "serve/endpoints.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "stream/engine.hpp"
+#include "stream/federated.hpp"
+#include "stream/operators.hpp"
+#include "stream/pubsub.hpp"
+
+#include "smoke.hpp"
+
+using namespace everest;
+using namespace everest::stream;
+
+namespace fs = std::filesystem;
+using WallClock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+
+std::string scratch_dir(const std::string& tag) {
+  return (fs::temp_directory_path() /
+          ("everest_e24_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+Event to_event(const serve::EventArrival& arrival) {
+  Event event;
+  event.topic = arrival.topic;
+  event.key = arrival.key;
+  event.event_time_us = arrival.event_time_us;
+  event.value = arrival.value;
+  event.seed = arrival.seed;
+  event.sla = arrival.latency_critical ? serve::SlaClass::kLatencyCritical
+                                       : serve::SlaClass::kThroughput;
+  return event;
+}
+
+Event punctuation(std::string topic, std::uint64_t t_us) {
+  Event event;
+  event.topic = std::move(topic);
+  event.event_time_us = t_us;
+  event.punctuation = true;
+  return event;
+}
+
+// ---- series 1: sustained ingestion ---------------------------------------
+
+struct IngestRow {
+  serve::EventStreamReport offered;
+  std::uint64_t folded = 0;
+  double fold_eps = 0.0;  ///< events folded per wall second (incl. flush)
+};
+
+IngestRow run_ingest(serve::EventStreamSpec::Arrival arrival, bool wal,
+                     double events_per_s, std::chrono::milliseconds horizon,
+                     const std::string& wal_dir) {
+  EngineConfig config;
+  config.ingest.queue_capacity = 1 << 17;
+  if (wal) {
+    fs::create_directories(wal_dir);
+    config.ingest.wal_dir = wal_dir;
+  }
+  StreamEngine engine(config);
+  WindowSpec spec;
+  spec.size_us = 50'000;
+  engine.add_operator(std::make_unique<WindowedOperator>(
+      "count", "fcd", spec, count_accumulator()));
+  engine.start();
+
+  serve::EventStreamSpec stream_spec;
+  stream_spec.topics = {"fcd"};
+  stream_spec.clients = 4;
+  stream_spec.events_per_s = events_per_s;
+  stream_spec.duration = horizon;
+  stream_spec.arrival = arrival;
+  stream_spec.keys_per_topic = 32;
+  stream_spec.lc_fraction = 0.1;
+  stream_spec.seed = kSeed;
+
+  IngestRow row;
+  const WallClock::time_point start = WallClock::now();
+  row.offered = serve::run_event_stream(
+      [&](const serve::EventArrival& arrival_event) {
+        return engine.ingest(to_event(arrival_event));
+      },
+      stream_spec, /*pace=*/false);
+  engine.flush();
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() -
+                                                           start)
+          .count() /
+      1e9;
+  row.folded = engine.stats().events_processed;
+  row.fold_eps = wall_s > 0.0 ? static_cast<double>(row.folded) / wall_s : 0.0;
+  engine.stop();
+  if (wal) fs::remove_all(wal_dir);
+  return row;
+}
+
+// ---- series 2: staleness vs window size ----------------------------------
+
+double staleness_p99_s(std::uint64_t window_us, double events_per_s) {
+  EngineConfig config;
+  config.ingest.queue_capacity = 1 << 17;
+  StreamEngine engine(config);
+  WindowSpec spec;
+  spec.size_us = window_us;
+  engine.add_operator(std::make_unique<WindowedOperator>(
+      "mean", "aq", spec, mean_accumulator()));
+  SessionConfig session_config;
+  session_config.queue_capacity = 1 << 15;  // never drop: unbiased sample
+  auto session = engine.subscribe("dashboard", "aq", session_config);
+  if (!session.ok()) return 0.0;
+  engine.start();
+
+  // Event-time horizon covers two of the largest windows plus slack, so
+  // even the 16 s windows close more than once.
+  serve::EventStreamSpec stream_spec;
+  stream_spec.topics = {"aq"};
+  stream_spec.clients = 2;
+  stream_spec.events_per_s = events_per_s;
+  stream_spec.duration = std::chrono::milliseconds(33'000);
+  stream_spec.keys_per_topic = 8;
+  stream_spec.seed = kSeed;
+  serve::run_event_stream(
+      [&](const serve::EventArrival& arrival) {
+        return engine.ingest(to_event(arrival));
+      },
+      stream_spec, /*pace=*/false);
+  engine.ingest(punctuation("aq", 34'000'000));
+  engine.flush();
+
+  std::vector<double> staleness_us;
+  for (const Delivery& delivery : session.value()->drain()) {
+    staleness_us.push_back(static_cast<double>(
+        delivery.frontier_us - delivery.output.window_start_us));
+  }
+  engine.stop();
+  if (staleness_us.empty()) return 0.0;
+  return percentile(staleness_us, 99.0) / 1e6;
+}
+
+// ---- series 5: crash-mid-window failover ---------------------------------
+
+struct FailoverRun {
+  std::vector<WindowOutput> delivered;
+  std::uint64_t fp = 0;
+  FabricStats stats;
+  bool ok = true;  ///< every fabric call succeeded
+};
+
+/// One topic through a 2-node fabric: 60 events at 1 ms spacing, client
+/// acks after every delivery. `crash_at` != 0 fail-stops the home node
+/// after that event (mid-window) and re-homes before the rest flows.
+FailoverRun run_failover_scenario(const std::string& wal_root,
+                                  std::size_t crash_at) {
+  FabricConfig config;
+  config.num_nodes = 2;
+  config.wal_root = wal_root;
+  config.engine.ingest.wal.sync_every = 1;  // acked == durable
+  StreamFabric fabric(config);
+  WindowSpec spec;
+  spec.size_us = 10'000;
+  FailoverRun run;
+  run.ok &= fabric
+                .register_topic("aq",
+                                [spec] {
+                                  return std::make_unique<WindowedOperator>(
+                                      "mean", "aq", spec, mean_accumulator());
+                                })
+                .ok();
+  fabric.start();
+  auto session = fabric.subscribe("tenant", "aq");
+  run.ok &= session.ok();
+  if (!run.ok) return run;
+  const std::size_t home_before = fabric.home_of("aq").value();
+
+  auto consume = [&] {
+    for (const Delivery& delivery : session.value()->drain()) {
+      run.delivered.push_back(delivery.output);
+      session.value()->ack(delivery.output.window_end_us);
+    }
+  };
+
+  Rng rng(99);
+  for (std::size_t i = 0; i < 60; ++i) {
+    Event event;
+    event.topic = "aq";
+    event.key = i % 3;
+    event.event_time_us = (i + 1) * 1000;
+    event.value = rng.uniform(0, 50);
+    run.ok &= fabric.ingest(std::move(event)).ok();
+    if ((i + 1) % 10 == 0) {
+      fabric.flush();
+      consume();
+    }
+    if (crash_at != 0 && i + 1 == crash_at) {
+      fabric.flush();
+      consume();
+      fabric.crash(home_before);
+      run.ok &= fabric.handle_failover() == std::vector<std::string>{"aq"};
+    }
+  }
+  run.ok &= fabric.ingest(punctuation("aq", 100'000)).ok();
+  fabric.flush();
+  consume();
+  fabric.stop();
+  run.fp = fingerprint(run.delivered);
+  run.stats = fabric.stats();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+  everest::bench::SmokeChecker checker;
+
+  std::printf("=== E24: continuous ingestion + incremental analytics ===\n\n");
+
+  // --- Series 1: sustained ingestion throughput -------------------------
+  std::printf("--- sustained ingestion (full-throttle schedule, 50 ms count "
+              "windows, 4 producers) ---\n");
+  const auto ingest_horizon = std::chrono::milliseconds(smoke ? 200 : 400);
+  Table s1({"offered eps", "arrival", "wal", "admitted", "rejected",
+            "folded", "fold eps"});
+  double best_fold_eps = 0.0;
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{50'000.0}
+            : std::vector<double>{20'000.0, 50'000.0, 100'000.0};
+  for (double rate : rates) {
+    for (auto arrival : {serve::EventStreamSpec::Arrival::kPoisson,
+                         serve::EventStreamSpec::Arrival::kBurst}) {
+      for (bool wal : {false, true}) {
+        const IngestRow row =
+            run_ingest(arrival, wal, rate, ingest_horizon,
+                       scratch_dir("ingest"));
+        best_fold_eps = std::max(best_fold_eps, row.fold_eps);
+        s1.add_row({fmt_double(rate, 0),
+                    arrival == serve::EventStreamSpec::Arrival::kPoisson
+                        ? "poisson"
+                        : "burst",
+                    wal ? "on" : "off",
+                    std::to_string(row.offered.admitted),
+                    std::to_string(row.offered.rejected),
+                    std::to_string(row.folded), fmt_double(row.fold_eps, 0)});
+      }
+    }
+  }
+  std::printf("%s", s1.render().c_str());
+  checker.check(best_fold_eps >= 20'000.0, "ingest-sustains-20k-events-per-s");
+
+  // --- Series 2: staleness vs window size -------------------------------
+  std::printf("\n--- result staleness vs window size (tumbling, 33 s "
+              "event-time horizon) ---\n");
+  const double staleness_eps = smoke ? 600.0 : 2000.0;
+  Table s2({"window s", "staleness p99 s"});
+  std::vector<double> staleness;
+  for (std::uint64_t window_us :
+       {std::uint64_t{1'000'000}, std::uint64_t{4'000'000},
+        std::uint64_t{16'000'000}}) {
+    staleness.push_back(staleness_p99_s(window_us, staleness_eps));
+    s2.add_row({fmt_double(window_us / 1e6, 0),
+                fmt_double(staleness.back(), 3)});
+  }
+  std::printf("%s", s2.render().c_str());
+  checker.check(staleness[0] > 0.0 && staleness[0] < staleness[1] &&
+                    staleness[1] < staleness[2],
+                "staleness-p99-monotone-in-window-size");
+
+  // --- Series 3: pub/sub delta push vs refetch --------------------------
+  std::printf("\n--- pub/sub invalidation: delta push vs full refetch "
+              "(4 MB object, 10%% deltas, 8 publishes) ---\n");
+  {
+    platform::Simulator sim;
+    data::PlaneConfig plane_config;
+    plane_config.num_nodes = 4;
+    plane_config.cache_bytes = 32.0 * 1024 * 1024;
+    data::DataPlane plane(sim, plane_config);
+    ShardPublisher publisher(plane);
+    const data::ObjectId object = 7;
+    publisher.subscribe(object, 2);
+    publisher.subscribe(object, 3);
+    bool publishes_ok = true;
+    for (int i = 0; i < 8; ++i) {
+      publishes_ok &=
+          publisher.publish(object, 4.0 * 1024 * 1024, /*producer=*/0).ok();
+      sim.run();
+    }
+    const PublishStats& stats = publisher.stats();
+    bool warm = true;
+    const data::DataObject* obj = plane.find(object);
+    if (obj == nullptr) {
+      warm = false;
+    } else {
+      for (const data::ShardKey& key : obj->keys()) {
+        warm &= plane.cache(2).contains(key) && plane.cache(3).contains(key);
+      }
+    }
+    Table s3({"publishes", "deltas pushed", "delta MB", "refetch MB",
+              "subscriber caches warm"});
+    s3.add_row({std::to_string(stats.publishes),
+                std::to_string(stats.deltas_pushed),
+                fmt_double(stats.delta_bytes / (1024.0 * 1024), 2),
+                fmt_double(stats.full_bytes / (1024.0 * 1024), 2),
+                warm ? "yes" : "no"});
+    std::printf("%s", s3.render().c_str());
+    checker.check(publishes_ok && stats.deltas_arrived == stats.deltas_pushed &&
+                      stats.delta_bytes < stats.full_bytes && warm,
+                  "pubsub-delta-cheaper-than-refetch-and-cache-warm");
+  }
+
+  // --- Series 4: mixed batch + streaming tenancy ------------------------
+  std::printf("\n--- mixed tenancy: batch p99 with a concurrent paced event "
+              "stream ---\n");
+  {
+    const auto horizon = std::chrono::milliseconds(smoke ? 250 : 500);
+    const std::vector<serve::Endpoint> endpoints = serve::standard_endpoints();
+    serve::WorkloadSpec batch_spec;
+    batch_spec.kernels = {"energy_forecast"};
+    batch_spec.offered_rps = 200.0;
+    batch_spec.duration = horizon;
+    batch_spec.lc_fraction = 0.2;
+    batch_spec.lc_deadline_ms = 0.0;
+    batch_spec.tp_deadline_ms = 0.0;  // isolate latency from expiry
+    batch_spec.seed = kSeed;
+    auto make_options = [] {
+      serve::ServerOptions options;
+      options.worker_threads = 2;
+      options.queue_capacity = 64;
+      options.batch.max_batch = 8;
+      options.batch.max_wait = std::chrono::microseconds(2000);
+      return options;
+    };
+    auto serve_batch = [&](bool with_stream) {
+      runtime::KnowledgeBase kb;
+      serve::Server server(make_options(), &kb);
+      for (const serve::Endpoint& ep : endpoints) {
+        (void)server.register_endpoint(ep);
+      }
+      (void)server.start();
+      serve::LoadReport report;
+      if (with_stream) {
+        EngineConfig config;
+        config.ingest.queue_capacity = 1 << 16;
+        StreamEngine engine(config);
+        WindowSpec spec;
+        spec.size_us = 100'000;
+        engine.add_operator(std::make_unique<WindowedOperator>(
+            "count", "fcd", spec, count_accumulator()));
+        engine.start();
+        serve::EventStreamSpec stream_spec;
+        stream_spec.topics = {"fcd"};
+        stream_spec.clients = 2;
+        stream_spec.events_per_s = 10'000.0;
+        stream_spec.duration = horizon;
+        stream_spec.seed = kSeed;
+        // Paced: the stream competes for the machine in real time, the
+        // way a co-located ingest pipeline would.
+        std::thread producer([&] {
+          serve::run_event_stream(
+              [&](const serve::EventArrival& arrival) {
+                return engine.ingest(to_event(arrival));
+              },
+              stream_spec, /*pace=*/true);
+        });
+        report = serve::run_open_loop(server, batch_spec);
+        producer.join();
+        engine.stop();
+      } else {
+        report = serve::run_open_loop(server, batch_spec);
+      }
+      server.stop();
+      return report;
+    };
+    const serve::LoadReport baseline = serve_batch(/*with_stream=*/false);
+    const serve::LoadReport mixed = serve_batch(/*with_stream=*/true);
+    Table s4({"tenant mix", "completed", "p50 ms", "p99 ms"});
+    s4.add_row({"batch alone", std::to_string(baseline.completed),
+                fmt_double(baseline.p50_us() / 1e3, 2),
+                fmt_double(baseline.p99_us() / 1e3, 2)});
+    s4.add_row({"batch + 10k eps stream", std::to_string(mixed.completed),
+                fmt_double(mixed.p50_us() / 1e3, 2),
+                fmt_double(mixed.p99_us() / 1e3, 2)});
+    std::printf("%s", s4.render().c_str());
+    checker.check(baseline.p99_us() > 0.0 &&
+                      mixed.p99_us() <= 2.0 * baseline.p99_us(),
+                  "batch-p99-within-2x-of-streaming-free-baseline");
+  }
+
+  // --- Series 5: crash-mid-window failover replay -----------------------
+  std::printf("\n--- crash-mid-window failover: client-visible byte "
+              "identity ---\n");
+  {
+    const std::string base = scratch_dir("failover");
+    const std::string baseline_root = base + "/baseline";
+    const std::string crashed_root = base + "/crashed";
+    fs::create_directories(baseline_root);
+    fs::create_directories(crashed_root);
+    const FailoverRun baseline = run_failover_scenario(baseline_root, 0);
+    // Crash at event 35: window [30000, 40000) is mid-flight.
+    const FailoverRun crashed = run_failover_scenario(crashed_root, 35);
+    fs::remove_all(base);
+    Table s5({"run", "outputs", "fingerprint", "failovers", "replayed"});
+    s5.add_row({"uninterrupted", std::to_string(baseline.delivered.size()),
+                std::to_string(baseline.fp),
+                std::to_string(baseline.stats.failovers),
+                std::to_string(baseline.stats.replayed_events)});
+    s5.add_row({"crash @ event 35", std::to_string(crashed.delivered.size()),
+                std::to_string(crashed.fp),
+                std::to_string(crashed.stats.failovers),
+                std::to_string(crashed.stats.replayed_events)});
+    std::printf("%s", s5.render().c_str());
+    checker.check(baseline.ok && crashed.ok && !baseline.delivered.empty() &&
+                      crashed.stats.failovers == 1 &&
+                      crashed.stats.replayed_events > 0 &&
+                      baseline.delivered.size() == crashed.delivered.size() &&
+                      baseline.fp == crashed.fp,
+                  "failover-replay-byte-identical");
+  }
+
+  std::printf("\n");
+  return checker.report("E24");
+}

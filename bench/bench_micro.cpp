@@ -26,6 +26,8 @@
 #include "security/aes.hpp"
 #include "security/sha256.hpp"
 #include "storage/storage.hpp"
+#include "stream/operators.hpp"
+#include "stream/pubsub.hpp"
 #include "workflow/scheduler.hpp"
 
 namespace {
@@ -356,6 +358,56 @@ void BM_ScrubFullPass(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_ScrubFullPass);
+
+// Window advance is the stream pump's per-event trigger check plus the
+// occasional close cascade: fold one event, move the watermark one slide.
+// Arg is the keys per topic — cell-map size is the dominant cost.
+void BM_StreamWindowAdvance(benchmark::State& state) {
+  const std::uint64_t keys = static_cast<std::uint64_t>(state.range(0));
+  stream::WindowSpec spec;
+  spec.kind = stream::WindowKind::kSliding;
+  spec.size_us = 4000;
+  spec.slide_us = 1000;
+  stream::WindowedOperator op("mean", "aq", spec, stream::mean_accumulator());
+  stream::Event event;
+  event.topic = "aq";
+  std::vector<stream::WindowOutput> out;
+  std::uint64_t t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    t += 250;
+    event.key = t % keys;
+    event.event_time_us = t;
+    event.value = 1.0;
+    op.offer(event);
+    out.clear();
+    op.advance_watermark(t > 4000 ? t - 4000 : 0, &out);
+    sink += out.size();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamWindowAdvance)->Arg(4)->Arg(64);
+
+// Publish fan-out is the pub/sub invalidation hot path: one put() and a
+// delta transfer scheduled per (subscriber, shard). Arg is subscribers.
+void BM_StreamPublishFanout(benchmark::State& state) {
+  platform::Simulator sim;
+  data::PlaneConfig config;
+  config.num_nodes = static_cast<std::size_t>(state.range(0)) + 1;
+  config.cache_bytes = 64.0 * 1024 * 1024;
+  data::DataPlane plane(sim, config);
+  stream::ShardPublisher publisher(plane);
+  for (std::int64_t node = 1; node <= state.range(0); ++node) {
+    publisher.subscribe(1, static_cast<std::size_t>(node));
+  }
+  for (auto _ : state) {
+    (void)publisher.publish(1, 1024.0 * 1024, /*producer=*/0);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamPublishFanout)->Arg(1)->Arg(8);
 
 }  // namespace
 

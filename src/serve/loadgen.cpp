@@ -209,4 +209,93 @@ LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
       [&server] { server.drain(); }, spec, clients, think_ms);
 }
 
+std::vector<EventArrival> generate_event_arrivals(const EventStreamSpec& spec) {
+  std::vector<EventArrival> schedule;
+  if (spec.topics.empty() || spec.clients <= 0 || spec.events_per_s <= 0.0) {
+    return schedule;
+  }
+  const double horizon_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(spec.duration)
+          .count();
+  const double client_rate = spec.events_per_s / spec.clients;
+  // Mean gap between bursts such that the long-run rate still matches:
+  // a burst of n events spans (n-1) base gaps, then idles factor× that.
+  const double base_gap_us = 1e6 / client_rate;
+
+  for (int c = 0; c < spec.clients; ++c) {
+    // Per-client deterministic substream, decorrelated across clients
+    // (same splitmix stride the closed-loop clients use).
+    Rng rng(spec.seed + 0x9E3779B97F4A7C15ULL * (c + 1));
+    double t_us = 0.0;
+    std::size_t in_burst = 0;
+    while (t_us < horizon_us) {
+      EventArrival arrival;
+      arrival.topic = spec.topics[rng.uniform_int(spec.topics.size())];
+      arrival.key = rng.uniform_int(
+          spec.keys_per_topic == 0 ? 1 : spec.keys_per_topic);
+      arrival.event_time_us = static_cast<std::uint64_t>(t_us);
+      arrival.value = rng.uniform(spec.value_min, spec.value_max);
+      arrival.seed = rng.next();
+      arrival.latency_critical = rng.bernoulli(spec.lc_fraction);
+      arrival.client = c;
+      schedule.push_back(std::move(arrival));
+
+      if (spec.arrival == EventStreamSpec::Arrival::kPoisson) {
+        t_us += rng.exponential(client_rate) * 1e6;
+      } else {
+        ++in_burst;
+        if (in_burst >= spec.burst_len) {
+          in_burst = 0;
+          // Idle gap with seeded jitter in [0.5, 1.5)× the nominal gap,
+          // sized so the long-run rate matches events_per_s.
+          const double burst_span_us = spec.burst_len * base_gap_us;
+          t_us += spec.burst_idle_factor * burst_span_us *
+                  rng.uniform(0.5, 1.5);
+        } else {
+          // Back-to-back within the burst: the burst drains at
+          // (1 + idle_factor)× the base rate so the average holds.
+          t_us += base_gap_us / (1.0 + spec.burst_idle_factor);
+        }
+      }
+    }
+  }
+  // Merge the substreams into one event-time-ordered schedule. Ties
+  // break by (client, key, seed) so the order is total — identical
+  // seeds give byte-identical schedules.
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const EventArrival& a, const EventArrival& b) {
+                     if (a.event_time_us != b.event_time_us) {
+                       return a.event_time_us < b.event_time_us;
+                     }
+                     if (a.client != b.client) return a.client < b.client;
+                     return a.seed < b.seed;
+                   });
+  return schedule;
+}
+
+EventStreamReport run_event_stream(const EventSubmitFn& submit,
+                                   const EventStreamSpec& spec, bool pace) {
+  EventStreamReport report;
+  const std::vector<EventArrival> schedule = generate_event_arrivals(spec);
+  const Clock::time_point start = Clock::now();
+  for (const EventArrival& arrival : schedule) {
+    if (pace) {
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(arrival.event_time_us));
+    }
+    ++report.offered;
+    const Status status = submit(arrival);
+    if (status.ok()) {
+      ++report.admitted;
+    } else {
+      ++report.rejected;
+    }
+  }
+  report.wall_s = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - start)
+                      .count() /
+                  1e9;
+  return report;
+}
+
 }  // namespace everest::serve

@@ -99,4 +99,77 @@ LoadReport run_closed_loop(const SubmitFn& submit, const DrainFn& drain,
 LoadReport run_closed_loop(Server& server, const WorkloadSpec& spec,
                            int clients, double think_ms = 0.0);
 
+// ---- event-stream arrival mode -------------------------------------------
+// Continuous-ingestion traffic: per-client arrival processes on an
+// event-time axis. Kept stream-agnostic (plain structs, no stream::
+// types) so the serve layer stays below the stream layer; the stream
+// benches/tests map EventArrival onto their own Event type.
+
+/// One generated arrival. `event_time_us` is on the synthetic stream
+/// timeline (starts at 0), not the wall clock.
+struct EventArrival {
+  std::string topic;
+  std::uint64_t key = 0;
+  std::uint64_t event_time_us = 0;
+  double value = 0.0;
+  std::uint64_t seed = 0;          ///< per-event randomness root
+  bool latency_critical = false;
+  int client = 0;                  ///< producing client
+};
+
+struct EventStreamSpec {
+  /// Topics drawn uniformly per event (>= 1 required).
+  std::vector<std::string> topics;
+  /// Independent producers, each with its own deterministic substream.
+  int clients = 4;
+  /// Aggregate offered event rate across all clients.
+  double events_per_s = 10'000.0;
+  /// Event-time horizon of the schedule.
+  std::chrono::milliseconds duration{500};
+  enum class Arrival {
+    kPoisson,  ///< per-client exponential gaps (smooth sensor traffic)
+    kBurst,    ///< back-to-back bursts separated by idle gaps (batched
+               ///< uplinks, e.g. an FCD gateway flushing)
+  };
+  Arrival arrival = Arrival::kPoisson;
+  /// Burst mode: events per burst and idle gap as a multiple of the
+  /// burst's own span.
+  std::size_t burst_len = 32;
+  double burst_idle_factor = 4.0;
+  /// Keys drawn uniformly in [0, keys_per_topic) per event.
+  std::size_t keys_per_topic = 16;
+  /// Fraction of events in the latency-critical admission lane.
+  double lc_fraction = 0.0;
+  /// Values are uniform in [value_min, value_max) with seeded jitter.
+  double value_min = 0.0;
+  double value_max = 100.0;
+  std::uint64_t seed = 42;
+};
+
+/// The full arrival schedule: per-client substreams (each a pure
+/// function of spec.seed and the client index) merged and sorted by
+/// (event time, client, sequence). Deterministic; no clocks involved.
+std::vector<EventArrival> generate_event_arrivals(const EventStreamSpec& spec);
+
+/// Ingestion target: OK = admitted, RESOURCE_EXHAUSTED = load-shed.
+using EventSubmitFn = std::function<Status(const EventArrival&)>;
+
+struct EventStreamReport {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double achieved_eps() const {
+    return wall_s > 0.0 ? static_cast<double>(admitted) / wall_s : 0.0;
+  }
+};
+
+/// Replays the schedule into `submit`. `pace` true sleeps so wall time
+/// tracks event time (latency-realistic); false submits full-throttle
+/// (throughput benches).
+EventStreamReport run_event_stream(const EventSubmitFn& submit,
+                                   const EventStreamSpec& spec,
+                                   bool pace = false);
+
 }  // namespace everest::serve

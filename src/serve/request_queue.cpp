@@ -13,36 +13,9 @@ std::string_view to_string(SlaClass sla) {
 }
 
 Status RequestQueue::push(PendingRequest pending) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) {
-      return FailedPrecondition("request queue is closed");
-    }
-    if (total_locked() >= capacity_) {
-      return ResourceExhausted("queue full (" + std::to_string(capacity_) +
-                               " pending), request '" +
-                               pending.request.kernel + "' rejected");
-    }
-    lanes_[static_cast<int>(pending.request.sla)].push_back(
-        std::move(pending));
-  }
-  cv_.notify_one();
-  return OkStatus();
-}
-
-std::optional<PendingRequest> RequestQueue::pop(
-    std::chrono::microseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_for(lock, timeout,
-               [this] { return closed_ || total_locked() > 0; });
-  for (auto& lane : lanes_) {
-    if (!lane.empty()) {
-      PendingRequest out = std::move(lane.front());
-      lane.pop_front();
-      return out;
-    }
-  }
-  return std::nullopt;
+  const int lane = static_cast<int>(pending.request.sla);
+  const std::string label = "request '" + pending.request.kernel + "'";
+  return TwoLaneQueue<PendingRequest>::push(std::move(pending), lane, label);
 }
 
 std::optional<PendingRequest> RequestQueue::pop_compatible(
@@ -57,24 +30,6 @@ std::optional<PendingRequest> RequestQueue::pop_compatible(
   PendingRequest out = std::move(*it);
   lane.erase(it);
   return out;
-}
-
-std::size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_locked();
-}
-
-void RequestQueue::close() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
-  }
-  cv_.notify_all();
-}
-
-bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return closed_;
 }
 
 }  // namespace everest::serve

@@ -1,0 +1,87 @@
+#include "stream/window.hpp"
+
+namespace everest::stream {
+
+std::string_view to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kTumbling: return "tumbling";
+    case WindowKind::kSliding: return "sliding";
+  }
+  return "?";
+}
+
+void WindowSpec::windows_of(std::uint64_t t,
+                            std::vector<std::uint64_t>* starts) const {
+  starts->clear();
+  const std::uint64_t slide = effective_slide_us();
+  if (slide == 0 || size_us == 0) return;
+  // Latest window starting at or before t, then every earlier start
+  // whose window still covers t (start + size > t).
+  std::uint64_t start = (t / slide) * slide;
+  for (;;) {
+    starts->push_back(start);
+    if (start < slide) break;
+    const std::uint64_t prev = start - slide;
+    if (prev + size_us <= t) break;
+    start = prev;
+  }
+}
+
+WindowedOperator::WindowedOperator(std::string name, std::string topic,
+                                   WindowSpec spec, AccumulatorFactory factory)
+    : Operator(std::move(name), std::move(topic)),
+      spec_(spec),
+      factory_(std::move(factory)) {}
+
+bool WindowedOperator::offer(const Event& event) {
+  spec_.windows_of(event.event_time_us, &scratch_starts_);
+  bool folded = false;
+  for (const std::uint64_t start : scratch_starts_) {
+    const std::uint64_t end = start + spec_.size_us;
+    if (end <= watermark_) continue;  // this window already closed
+    auto [it, inserted] = cells_.try_emplace(CellKey{end, event.key});
+    Cell& cell = it->second;
+    if (inserted) {
+      cell.start_us = start;
+      cell.acc = factory_(event.key);
+    }
+    cell.acc->add(event);
+    ++cell.events;
+    folded = true;
+  }
+  if (folded) {
+    ++stats_.events_in;
+  } else {
+    ++stats_.late_dropped;
+  }
+  return folded;
+}
+
+void WindowedOperator::advance_watermark(std::uint64_t watermark_us,
+                                         std::vector<WindowOutput>* out) {
+  if (watermark_us <= watermark_) return;  // watermarks only move forward
+  watermark_ = watermark_us;
+  auto it = cells_.begin();
+  while (it != cells_.end() && it->first.end_us <= watermark_) {
+    WindowOutput output;
+    output.topic = topic();
+    output.op = name();
+    output.key = it->first.key;
+    output.window_start_us = it->second.start_us;
+    output.window_end_us = it->first.end_us;
+    output.events = it->second.events;
+    output.value =
+        it->second.acc->finish(it->second.start_us, it->first.end_us);
+    out->push_back(std::move(output));
+    ++stats_.windows_closed;
+    it = cells_.erase(it);
+  }
+}
+
+void WindowedOperator::reset() {
+  cells_.clear();
+  watermark_ = 0;
+  stats_ = OperatorStats{};
+}
+
+}  // namespace everest::stream

@@ -1,0 +1,168 @@
+// Windowed incremental operators: tumbling/sliding event-time windows
+// with watermark-driven triggering. An operator folds events into
+// per-(window, key) accumulators as they arrive — O(state), not
+// O(events) — and closes every window the watermark passed, emitting
+// outputs in a deterministic order (ascending window end, then key).
+//
+// The watermark discipline is the standard bounded-out-of-orderness one:
+// the engine advances an operator's watermark to
+// `topic frontier − allowed_lateness`, so an event may trail the frontier
+// by up to allowed_lateness and still be folded; anything later is
+// dropped and counted (`late_dropped`), never silently reordered.
+//
+// Determinism contract (what the TEST_P suites and the crash-replay
+// byte-identity checks rely on): given the same per-key event sequence,
+// offer/advance produce byte-identical outputs — window assignment is
+// integer arithmetic, victim-free state lives in std::map ordered by
+// (window end, key), and accumulator folding is sequential.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/event.hpp"
+
+namespace everest::stream {
+
+enum class WindowKind : std::uint8_t {
+  kTumbling = 0,  ///< back-to-back windows of `size_us`
+  kSliding,       ///< overlapping windows advancing by `slide_us`
+};
+
+std::string_view to_string(WindowKind kind);
+
+struct WindowSpec {
+  WindowKind kind = WindowKind::kTumbling;
+  std::uint64_t size_us = 1'000'000;
+  /// Sliding only; 0 (or kTumbling) means slide == size.
+  std::uint64_t slide_us = 0;
+  /// Bounded out-of-orderness: events may trail the topic frontier by
+  /// this much and still fold; the watermark lags the frontier by it.
+  std::uint64_t allowed_lateness_us = 0;
+
+  [[nodiscard]] std::uint64_t effective_slide_us() const {
+    return (kind == WindowKind::kTumbling || slide_us == 0) ? size_us
+                                                            : slide_us;
+  }
+  /// Start offsets of every window containing event time `t`, descending
+  /// (the window ending soonest comes last). Tumbling yields one.
+  void windows_of(std::uint64_t t, std::vector<std::uint64_t>* starts) const;
+};
+
+/// Incremental per-(window, key) state. `add` must be O(1)-ish and
+/// deterministic in the event sequence; `finish` produces the window's
+/// output value and is called exactly once, when the window closes.
+class Accumulator {
+ public:
+  virtual ~Accumulator() = default;
+  virtual void add(const Event& event) = 0;
+  virtual double finish(std::uint64_t window_start_us,
+                        std::uint64_t window_end_us) = 0;
+};
+
+/// Makes a fresh accumulator for one key (called once per open cell).
+using AccumulatorFactory =
+    std::function<std::unique_ptr<Accumulator>(std::uint64_t key)>;
+
+struct OperatorStats {
+  std::uint64_t events_in = 0;      ///< events folded into >=1 window
+  std::uint64_t late_dropped = 0;   ///< events behind every window
+  std::uint64_t windows_closed = 0; ///< outputs emitted
+};
+
+/// Interface the stream engine drives. Implementations are single-owner:
+/// the engine serializes offer/advance under its pump.
+class Operator {
+ public:
+  Operator(std::string name, std::string topic)
+      : name_(std::move(name)), topic_(std::move(topic)) {}
+  virtual ~Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& topic() const { return topic_; }
+
+  /// Folds one event; false = dropped late (every window it belongs to
+  /// already closed).
+  virtual bool offer(const Event& event) = 0;
+
+  /// Monotonically advances the watermark; closes every window with
+  /// end <= watermark and APPENDS their outputs to `out` in (window end,
+  /// key) order. A non-advancing watermark is a no-op.
+  virtual void advance_watermark(std::uint64_t watermark_us,
+                                 std::vector<WindowOutput>* out) = 0;
+
+  [[nodiscard]] virtual std::uint64_t watermark_us() const = 0;
+  /// Watermark distance behind the topic frontier this operator needs.
+  [[nodiscard]] virtual std::uint64_t allowed_lateness_us() const = 0;
+  /// Longest event-time span one window covers — the horizon a failover
+  /// replay must rewind past the acked watermark to rebuild open windows.
+  [[nodiscard]] virtual std::uint64_t max_window_span_us() const = 0;
+
+  /// Drops all window state and rewinds the watermark (a failover
+  /// re-attach replays from the WAL into a reset operator).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual const OperatorStats& stats() const = 0;
+
+ private:
+  std::string name_;
+  std::string topic_;
+};
+
+/// The generic windowed operator: per-(window, key) accumulators from a
+/// factory, watermark-driven closing, deterministic output order.
+class WindowedOperator : public Operator {
+ public:
+  WindowedOperator(std::string name, std::string topic, WindowSpec spec,
+                   AccumulatorFactory factory);
+
+  bool offer(const Event& event) override;
+  void advance_watermark(std::uint64_t watermark_us,
+                         std::vector<WindowOutput>* out) override;
+  [[nodiscard]] std::uint64_t watermark_us() const override {
+    return watermark_;
+  }
+  [[nodiscard]] std::uint64_t allowed_lateness_us() const override {
+    return spec_.allowed_lateness_us;
+  }
+  [[nodiscard]] std::uint64_t max_window_span_us() const override {
+    return spec_.size_us;
+  }
+  void reset() override;
+  [[nodiscard]] const OperatorStats& stats() const override { return stats_; }
+
+  [[nodiscard]] const WindowSpec& spec() const { return spec_; }
+  /// Open (window, key) cells currently held.
+  [[nodiscard]] std::size_t open_cells() const { return cells_.size(); }
+
+ private:
+  struct CellKey {
+    std::uint64_t end_us = 0;
+    std::uint64_t key = 0;
+    friend bool operator<(const CellKey& a, const CellKey& b) {
+      if (a.end_us != b.end_us) return a.end_us < b.end_us;
+      return a.key < b.key;
+    }
+  };
+  struct Cell {
+    std::uint64_t start_us = 0;
+    std::uint64_t events = 0;
+    std::unique_ptr<Accumulator> acc;
+  };
+
+  WindowSpec spec_;
+  AccumulatorFactory factory_;
+  /// Ordered by (window end, key): advance_watermark pops a prefix.
+  std::map<CellKey, Cell> cells_;
+  std::uint64_t watermark_ = 0;
+  OperatorStats stats_;
+  std::vector<std::uint64_t> scratch_starts_;
+};
+
+}  // namespace everest::stream

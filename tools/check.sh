@@ -6,7 +6,7 @@
 #      self-check criterion (exit 1) from a usage error (exit 2);
 #   3. a ThreadSanitizer build (EVEREST_SANITIZE=thread) of the
 #      concurrency-heavy test binaries (serve, obs, data, cluster,
-#      storage) run under ctest;
+#      storage, stream) run under ctest;
 #   4. an AddressSanitizer build (EVEREST_SANITIZE=address) of the
 #      I/O-error-path-heavy test binaries (storage, data): fault
 #      injection exercises every short-write/EIO/ENOSPC cleanup path,
@@ -45,12 +45,12 @@ if [ "$smoke_failures" -ne 0 ]; then
 fi
 
 echo
-echo "=== [3/4] TSan: serve + obs + data + cluster + storage tests ==="
+echo "=== [3/4] TSan: serve + obs + data + cluster + storage + stream tests ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DEVEREST_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target test_serve test_obs test_data test_cluster test_storage
+  --target test_serve test_obs test_data test_cluster test_storage test_stream
 (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'test_serve|test_obs|test_data|test_cluster|test_storage')
+  -R 'test_serve|test_obs|test_data|test_cluster|test_storage|test_stream')
 
 echo
 echo "=== [4/4] ASan: storage + data tests (fault-injection leak check) ==="
