@@ -1,0 +1,701 @@
+// E25 — federation-wide telemetry quantified. Five experiment series
+// plus two nanosecond budgets:
+//   (1) full-pipeline overhead: the E21 keyless closed loop with the
+//       whole telemetry stack off vs on (shared tracer, per-node
+//       time-series samplers) — the stack must cost <=5% goodput
+//       (smoke: on/off ratio >= 0.95);
+//   (2) cross-node stitching: keyed traffic at replication 2 forwards
+//       between nodes; every span any node emits must chain back to its
+//       federation root — one stitched trace per ingress request
+//       (smoke: acyclic, 100% root-reachable, 100% of multi-node traces
+//       single-rooted, >0 forwarded traces, zero ring drops, and the
+//       chrome-trace export lints);
+//   (3) critical-path extraction: the stitched forest attributed to
+//       queue / batch / forward / execute / reply segments, averaged
+//       over local vs forwarded requests — where the time goes;
+//   (4) time-series rollups: per-node snapshot rings sampled during the
+//       run, then merged per the GaugeKind contract (smoke: merged
+//       counters equal the direct per-node sums, the federation p99 is
+//       computable from merged windowed histograms, and the
+//       obs.trace.dropped self-telemetry series reads zero);
+//   (5) SLO burn-rate control timeline: a latency fault injected into a
+//       serving node drives the fast+slow burn windows over threshold;
+//       the page engages load shedding, the queue drains, the page
+//       clears, and the flight recorder captures the incident window as
+//       a Perfetto-loadable bundle (smoke: alert within 3 fast windows
+//       of injection, SLO restored after shedding, bundle lints and
+//       covers the fault instant, dump files written);
+//   budgets: TraceContext propagation <50 ns/hop, TimeSeriesStore
+//       append <100 ns (smoke-enforced; bench_micro tracks both).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/federation.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "obs/obs.hpp"
+#include "serve/loadgen.hpp"
+
+#include "smoke.hpp"
+
+using namespace everest;
+using namespace everest::cluster;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+/// Fixed per-request service time for the federation series: per-node
+/// capacity is worker_threads / kServiceUs, so overhead and stitching
+/// results are properties of the telemetry, not of kernel noise.
+constexpr long kServiceUs = 800;
+
+serve::Endpoint kv_endpoint() {
+  serve::Endpoint ep;
+  ep.kernel = "kv";
+  compiler::Variant v;
+  v.id = "kv-cpu";
+  v.kernel = "kv";
+  v.target = compiler::TargetKind::kCpu;
+  v.latency_us = static_cast<double>(kServiceUs);
+  v.energy_uj = 10.0;
+  ep.variants = {v};
+  ep.handler = [](const serve::Batch& batch, std::vector<double>* values) {
+    std::this_thread::sleep_for(std::chrono::microseconds(kServiceUs));
+    values->clear();
+    for (const serve::PendingRequest& pending : batch.requests) {
+      values->push_back(static_cast<double>(pending.request.seed % 1000));
+    }
+    return OkStatus();
+  };
+  return ep;
+}
+
+FederationOptions base_options(std::size_t nodes) {
+  FederationOptions options;
+  options.num_nodes = nodes;
+  options.node.queue_capacity = 256;
+  options.node.worker_threads = 2;
+  options.node.batch.max_batch = 1;
+  options.node.batch.max_wait = std::chrono::microseconds(500);
+  options.shard_map.num_shards = 64;
+  options.shard_map.replication = 2;
+  options.seed = kSeed;
+  return options;
+}
+
+struct Cluster {
+  Federation federation;
+  explicit Cluster(FederationOptions options)
+      : federation(std::move(options)) {
+    Status st = federation.register_endpoint(kv_endpoint());
+    if (!st.ok()) std::printf("register failed: %s\n", st.to_string().c_str());
+    st = federation.start();
+    if (!st.ok()) std::printf("start failed: %s\n", st.to_string().c_str());
+  }
+};
+
+/// Samples every node's registry into its TimeSeriesStore on a fixed
+/// cadence — the per-node telemetry loop the rollup queries assume.
+class SamplerLoop {
+ public:
+  SamplerLoop(std::vector<obs::TimeSeriesStore*> stores,
+              const obs::Tracer* clock, std::chrono::milliseconds period)
+      : stores_(std::move(stores)), clock_(clock), period_(period) {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_acquire)) {
+        const double now = clock_->wall_now_us();
+        for (obs::TimeSeriesStore* store : stores_) store->sample(now);
+        std::this_thread::sleep_for(period_);
+      }
+    });
+  }
+  ~SamplerLoop() { stop(); }
+  void stop() {
+    if (thread_.joinable()) {
+      stop_.store(true, std::memory_order_release);
+      thread_.join();
+      // One closing sample so the rings include the post-drain totals.
+      const double now = clock_->wall_now_us();
+      for (obs::TimeSeriesStore* store : stores_) store->sample(now);
+    }
+  }
+
+ private:
+  std::vector<obs::TimeSeriesStore*> stores_;
+  const obs::Tracer* clock_;
+  std::chrono::milliseconds period_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+std::string pct(double x) { return fmt_double(100.0 * x, 1) + "%"; }
+
+serve::WorkloadSpec keyed_spec(std::chrono::milliseconds horizon) {
+  serve::WorkloadSpec spec;
+  spec.kernels = {"kv"};
+  spec.offered_rps = 800.0;
+  spec.duration = horizon;
+  spec.lc_fraction = 0.0;
+  spec.lc_deadline_ms = 0.0;
+  spec.tp_deadline_ms = 0.0;
+  spec.num_data_objects = 48;
+  spec.zipf_skew = 1.0;
+  spec.input_bytes = 64.0 * 1024;
+  spec.seed = kSeed;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+  everest::bench::SmokeChecker checker;
+
+  std::printf(
+      "=== E25: federation-wide telemetry (stitched traces, rollups, SLO "
+      "burn control, flight recorder) ===\n\n");
+  const auto horizon = std::chrono::milliseconds(smoke ? 300 : 600);
+
+  // --- Series 1: full-pipeline telemetry overhead -----------------------
+  std::printf(
+      "--- overhead: 3-node keyless closed loop, telemetry off vs on "
+      "(tracer + per-node samplers) ---\n");
+  Table s1({"telemetry", "achieved rps", "p50 ms", "p99 ms", "spans",
+            "samples"});
+  double rps_off = 0.0;
+  double rps_on = 0.0;
+  // Interleaved best-of-2 per config: the ratio compares each stack's
+  // best achievable goodput, so a scheduler hiccup in one run cannot
+  // masquerade as telemetry overhead.
+  const auto run_overhead_config = [&](bool telemetry) {
+    obs::TracerConfig tracer_config;
+    tracer_config.ring_capacity = 1 << 18;
+    tracer_config.enabled = telemetry;
+    obs::Tracer tracer(tracer_config);
+    FederationOptions options = base_options(3);
+    if (telemetry) {
+      options.tracer = &tracer;
+      options.node.tracer = &tracer;
+    }
+    Cluster cluster(options);
+    std::vector<std::unique_ptr<obs::TimeSeriesStore>> stores;
+    std::vector<obs::TimeSeriesStore*> store_ptrs;
+    if (telemetry) {
+      for (std::size_t i = 0; i < cluster.federation.num_nodes(); ++i) {
+        stores.push_back(std::make_unique<obs::TimeSeriesStore>(
+            &cluster.federation.node(i).metrics().registry(),
+            obs::TimeSeriesConfig{}, &tracer));
+        store_ptrs.push_back(stores.back().get());
+      }
+    }
+    {
+      std::unique_ptr<SamplerLoop> sampler;
+      if (telemetry) {
+        sampler = std::make_unique<SamplerLoop>(
+            store_ptrs, &tracer, std::chrono::milliseconds(20));
+      }
+      serve::WorkloadSpec spec;
+      spec.kernels = {"kv"};
+      spec.duration = horizon;
+      spec.lc_fraction = 0.0;
+      spec.lc_deadline_ms = 0.0;
+      spec.tp_deadline_ms = 0.0;
+      spec.seed = kSeed;
+      const serve::LoadReport report = serve::run_closed_loop(
+          cluster.federation.submit_fn(), cluster.federation.drain_fn(), spec,
+          /*clients=*/12);
+      if (sampler) sampler->stop();
+      cluster.federation.stop();
+      const double rps = report.achieved_rps();
+      double& best = telemetry ? rps_on : rps_off;
+      best = std::max(best, rps);
+      std::size_t samples = 0;
+      for (const obs::TimeSeriesStore* store : store_ptrs) {
+        samples += store->size();
+      }
+      s1.add_row({telemetry ? "on" : "off", fmt_double(rps, 0),
+                  fmt_double(report.p50_us() / 1e3, 2),
+                  fmt_double(report.p99_us() / 1e3, 2),
+                  std::to_string(telemetry ? tracer.collect().size()
+                                           : std::size_t{0}),
+                  std::to_string(samples)});
+    }
+  };
+  for (int rep = 0; rep < 2; ++rep) {
+    run_overhead_config(false);
+    run_overhead_config(true);
+  }
+  std::printf("%s\n", s1.render().c_str());
+  const double overhead_ratio = rps_off > 0.0 ? rps_on / rps_off : 0.0;
+  std::printf(
+      "telemetry-on keeps %s of the telemetry-off goodput (the stack is\n"
+      "per-thread rings + one registry snapshot per sampling tick).\n\n",
+      pct(overhead_ratio).c_str());
+  if (smoke) {
+    checker.check(overhead_ratio >= 0.95, "telemetry-overhead<=5%");
+  }
+
+  // --- Series 2+3+4: stitching, critical path, rollups (one keyed run) --
+  std::printf(
+      "--- stitching: 3 nodes, repl 2, keyed 800 rps, locality routing "
+      "(forwards cross nodes) ---\n");
+  {
+    obs::TracerConfig tracer_config;
+    tracer_config.ring_capacity = 1 << 18;
+    tracer_config.enabled = true;
+    obs::Tracer tracer(tracer_config);
+    FederationOptions options = base_options(3);
+    options.tracer = &tracer;
+    options.node.tracer = &tracer;
+    options.node.input_cache.capacity_bytes = 1.25 * 1024 * 1024;
+    options.node.input_stage_scale = 0.2;
+    Cluster cluster(options);
+    std::vector<std::unique_ptr<obs::TimeSeriesStore>> stores;
+    std::vector<obs::TimeSeriesStore*> store_ptrs;
+    std::vector<const obs::TimeSeriesStore*> store_views;
+    for (std::size_t i = 0; i < cluster.federation.num_nodes(); ++i) {
+      stores.push_back(std::make_unique<obs::TimeSeriesStore>(
+          &cluster.federation.node(i).metrics().registry(),
+          obs::TimeSeriesConfig{}, &tracer));
+      store_ptrs.push_back(stores.back().get());
+      store_views.push_back(stores.back().get());
+    }
+    serve::LoadReport report;
+    {
+      SamplerLoop sampler(store_ptrs, &tracer, std::chrono::milliseconds(20));
+      report = serve::run_open_loop(cluster.federation.submit_fn(),
+                                    cluster.federation.drain_fn(),
+                                    keyed_spec(horizon));
+      sampler.stop();
+    }
+    const FederationStats stats = cluster.federation.stats();
+
+    // Direct per-node totals BEFORE stop() for the rollup cross-check.
+    std::uint64_t direct_completed = 0;
+    for (std::size_t i = 0; i < cluster.federation.num_nodes(); ++i) {
+      const obs::RegistrySnapshot snap =
+          cluster.federation.node(i).metrics().registry().snapshot();
+      const auto it = snap.counters.find("serve.completed");
+      if (it != snap.counters.end()) direct_completed += it->second;
+    }
+    cluster.federation.stop();
+
+    const std::vector<obs::TraceEvent> events = tracer.collect();
+    const bool acyclic = obs::spans_acyclic(events);
+    const double reachable = obs::root_reachable_fraction(events);
+    const double stitched = obs::stitched_cross_node_fraction(events);
+    const std::vector<obs::CriticalPath> paths = obs::critical_paths(events);
+    std::vector<obs::CriticalPath> forwarded_paths;
+    std::vector<obs::CriticalPath> local_paths;
+    for (const obs::CriticalPath& path : paths) {
+      (path.forward_us > 0.0 ? forwarded_paths : local_paths).push_back(path);
+    }
+    Table s2({"metric", "value"});
+    s2.add_row({"spans collected", std::to_string(events.size())});
+    s2.add_row({"ring drops", std::to_string(tracer.dropped())});
+    s2.add_row({"request traces", std::to_string(paths.size())});
+    s2.add_row({"forwarded traces", std::to_string(forwarded_paths.size())});
+    s2.add_row({"federation forwards", std::to_string(stats.forwarded)});
+    s2.add_row({"acyclic", acyclic ? "yes" : "NO"});
+    s2.add_row({"root-reachable", pct(reachable)});
+    s2.add_row({"multi-node single-rooted", pct(stitched)});
+    std::printf("%s\n", s2.render().c_str());
+
+    const std::string exported = obs::chrome_trace(events);
+    const Status lint = obs::validate_chrome_trace(exported);
+    std::printf(
+        "chrome-trace export: %zu bytes, lint %s\n\n", exported.size(),
+        lint.ok() ? "ok" : lint.to_string().c_str());
+
+    std::printf("--- critical path: where the mean request's time goes ---\n");
+    Table s3({"requests", "count", "total ms", "queue", "batch", "forward",
+              "execute", "reply", "other"});
+    const auto path_row = [&](const char* label,
+                              const std::vector<obs::CriticalPath>& set) {
+      const obs::CriticalPath mean = obs::mean_critical_path(set);
+      const auto share = [&](double us) {
+        return mean.total_us > 0.0 ? pct(us / mean.total_us) : pct(0.0);
+      };
+      s3.add_row({label, std::to_string(set.size()),
+                  fmt_double(mean.total_us / 1e3, 2), share(mean.queue_us),
+                  share(mean.batch_us), share(mean.forward_us),
+                  share(mean.execute_us), share(mean.reply_us),
+                  share(mean.other_us)});
+    };
+    path_row("local", local_paths);
+    path_row("forwarded", forwarded_paths);
+    path_row("all", paths);
+    std::printf("%s\n", s3.render().c_str());
+    std::printf(
+        "forwarded requests pay the extra hop; everything else lands in\n"
+        "the same queue/execute split as local ones — the stitched chain\n"
+        "is what makes that attribution possible.\n\n");
+
+    std::printf("--- rollups: merged per-node rings vs direct totals ---\n");
+    const auto merged = obs::TimeSeriesStore::merged(store_views);
+    const std::string latency_key =
+        obs::Registry::key_of("serve.latency_us", {{"class", "tp"}});
+    const double window_us = 60e6;  // generously covers the whole run
+    const auto merged_p99 = obs::TimeSeriesStore::merged_percentile(
+        store_views, latency_key, 99.0, window_us);
+    std::uint64_t merged_completed = 0;
+    std::uint64_t merged_dropped = 0;
+    bool series_gauge_present = false;
+    if (merged.has_value()) {
+      const auto it = merged->counters.find("serve.completed");
+      if (it != merged->counters.end()) merged_completed = it->second;
+      const auto drop_it = merged->counters.find("obs.trace.dropped");
+      if (drop_it != merged->counters.end()) merged_dropped = drop_it->second;
+      series_gauge_present = merged->gauges.count("obs.registry.series") > 0;
+    }
+    Table s4({"metric", "merged", "direct"});
+    s4.add_row({"serve.completed", std::to_string(merged_completed),
+                std::to_string(direct_completed)});
+    s4.add_row({"tp p99 ms",
+                merged_p99 ? fmt_double(*merged_p99 / 1e3, 2) : "n/a",
+                fmt_double(report.p99_us() / 1e3, 2)});
+    s4.add_row({"obs.trace.dropped", std::to_string(merged_dropped),
+                std::to_string(tracer.dropped())});
+    std::printf("%s\n", s4.render().c_str());
+    std::printf(
+        "counters merge by summing reset-aware deltas; the federation p99\n"
+        "comes from merging each node's windowed histogram delta — no\n"
+        "central scrape needed during the run.\n\n");
+
+    if (smoke) {
+      checker.check(acyclic, "span-forest-acyclic");
+      checker.check(reachable >= 1.0, "root-reachable==100%");
+      checker.check(stitched >= 1.0, "multi-node-traces-single-rooted");
+      checker.check(!forwarded_paths.empty(), "forwarded-traces>0");
+      checker.check(tracer.dropped() == 0, "zero-trace-ring-drops");
+      checker.check(lint.ok(), "chrome-trace-export-lints");
+      checker.check(merged.has_value() &&
+                        merged_completed == direct_completed,
+                    "merged-counters==direct-sums");
+      checker.check(merged_p99.has_value() && *merged_p99 > 0.0,
+                    "merged-windowed-p99-computable");
+      checker.check(merged_dropped == 0 && series_gauge_present,
+                    "self-telemetry-zero-drops");
+    }
+  }
+
+  // --- Series 5: SLO burn → shed → recover + flight recorder ------------
+  std::printf(
+      "--- SLO timeline: 1 node, 2000 rps offered, service 400 us; fault "
+      "raises it to 2500 us at t=0.8 s ---\n");
+  {
+    const std::string dump_dir = "e25_flight";
+    std::error_code ec;
+    std::filesystem::create_directories(dump_dir, ec);
+
+    obs::TracerConfig tracer_config;
+    tracer_config.ring_capacity = 1 << 18;
+    tracer_config.enabled = true;
+    obs::Tracer tracer(tracer_config);
+    obs::Registry obs_registry;  // SLO + flight self-telemetry
+
+    std::atomic<long> service_delay_us{400};
+    serve::Endpoint ep;
+    ep.kernel = "kv";
+    compiler::Variant v;
+    v.id = "kv-cpu";
+    v.kernel = "kv";
+    v.target = compiler::TargetKind::kCpu;
+    v.latency_us = 400.0;
+    v.energy_uj = 10.0;
+    ep.variants = {v};
+    ep.handler = [&service_delay_us](const serve::Batch& batch,
+                                     std::vector<double>* values) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(service_delay_us.load()));
+      values->clear();
+      values->resize(batch.requests.size(), 0.0);
+      return OkStatus();
+    };
+
+    serve::ServerOptions server_options;
+    server_options.queue_capacity = 256;
+    server_options.worker_threads = 2;
+    server_options.batch.max_batch = 1;
+    server_options.batch.max_wait = std::chrono::microseconds(200);
+    server_options.tracer = &tracer;
+    runtime::KnowledgeBase kb;
+    serve::Server server(server_options, &kb);
+    (void)server.register_endpoint(ep);
+
+    obs::TimeSeriesStore tsdb(&server.metrics().registry(),
+                              obs::TimeSeriesConfig{}, &tracer);
+    obs::FlightRecorderConfig flight_config;
+    flight_config.retention_us = 5e6;
+    flight_config.dump_dir = dump_dir;
+    obs::FlightRecorder flight(&tracer, &tsdb, flight_config, &obs_registry);
+    // Breaker opens are also dump triggers (none expected in this
+    // timeline — the wiring is what's exercised).
+    server.mutable_breakers().set_on_open(
+        [&flight](const std::string& scope, const std::string& id,
+                  double now_us) {
+          (void)now_us;
+          (void)flight.trigger("breaker.open", {{"scope", scope}, {"id", id}});
+        });
+
+    obs::SloMonitor monitor(&obs_registry);
+    obs::SloObjective objective;
+    objective.key = "tenant0/tp";
+    // 20 ms against a healthy ~1 ms: a scheduler hiccup on a loaded CI
+    // machine must not page, the injected overload (queue growth is
+    // unbounded past capacity) still crosses it within one bucket.
+    objective.latency_threshold_us = 20'000.0;
+    objective.target = 0.95;
+    objective.fast_window_us = 400'000.0;
+    objective.slow_window_us = 1'600'000.0;
+    objective.fast_burn_threshold = 4.0;
+    objective.slow_burn_threshold = 1.0;
+    objective.bucket_us = 100'000.0;
+    objective.min_events = 20;
+    monitor.add_objective(objective);
+
+    double alert_at_us = -1.0;    // first kFastBurn/kPage transition
+    double recover_at_us = -1.0;  // first transition back to kOk
+    double inject_at_us = -1.0;
+    bool shed_engaged = false;
+    Table timeline({"t ms", "transition", "fast burn", "slow burn",
+                    "action"});
+    monitor.set_on_alert([&](const obs::SloAlert& alert) {
+      std::string action = "-";
+      if (inject_at_us < 0.0) {
+        // Pre-injection noise (a CI machine stall can burn a window):
+        // logged, but the controller only reacts to the real incident.
+        timeline.add_row(
+            {fmt_double(alert.at_us / 1e3, 0),
+             std::string(obs::to_string(alert.from)) + " -> " +
+                 std::string(obs::to_string(alert.to)),
+             fmt_double(alert.fast_burn, 1), fmt_double(alert.slow_burn, 1),
+             "ignored (pre-injection)"});
+        return;
+      }
+      if (alert.to != obs::SloAlertState::kOk) {
+        if (alert_at_us < 0.0) alert_at_us = alert.at_us;
+        if (!shed_engaged) {
+          // Telemetry steering admission: shed 70% of throughput
+          // traffic and bias the autotuner toward min-latency until the
+          // burn cools. Held (not toggled per evaluation) so the
+          // recovery is monotone.
+          server.set_slo_shed_fraction(0.7);
+          server.set_slo_degraded(true);
+          shed_engaged = true;
+          action = "engage shed 70%";
+        }
+        if (alert.to == obs::SloAlertState::kPage) {
+          const auto seq =
+              flight.trigger("slo.page", {{"slo", alert.key}});
+          if (seq.has_value()) action += " + flight dump";
+        }
+      } else if (shed_engaged && recover_at_us < 0.0) {
+        recover_at_us = alert.at_us;
+        action = "page cleared";
+      }
+      timeline.add_row(
+          {fmt_double(alert.at_us / 1e3, 0),
+           std::string(obs::to_string(alert.from)) + " -> " +
+               std::string(obs::to_string(alert.to)),
+           fmt_double(alert.fast_burn, 1), fmt_double(alert.slow_burn, 1),
+           action});
+    });
+
+    Status start_status = server.start();
+    if (!start_status.ok()) {
+      std::printf("server start failed: %s\n",
+                  start_status.to_string().c_str());
+    }
+
+    std::atomic<bool> stop_traffic{false};
+    std::atomic<std::uint64_t> shed_count{0};
+    const std::string slo_key = objective.key;
+    std::thread traffic([&] {
+      std::uint64_t seq = 0;
+      auto next = std::chrono::steady_clock::now();
+      const auto period = std::chrono::microseconds(500);  // 2000 rps
+      while (!stop_traffic.load(std::memory_order_acquire)) {
+        serve::Request request;
+        request.kernel = "kv";
+        request.sla = serve::SlaClass::kThroughput;
+        request.seed = kSeed + seq++;
+        const Status admitted = server.submit(
+            std::move(request), [&](const serve::Response& response) {
+              monitor.record(slo_key, response.latency_us,
+                             response.status.ok(), tracer.wall_now_us());
+            });
+        if (!admitted.ok()) {
+          if (admitted.code() == StatusCode::kUnavailable) {
+            // Shed at the front door by the controller's own decision:
+            // counted, but not an SLO event (otherwise shedding could
+            // never clear the page it was meant to fix).
+            shed_count.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Queue-full rejection: the overload is failing real
+            // traffic — that IS an SLO violation.
+            monitor.record(slo_key, 0.0, false, tracer.wall_now_us());
+          }
+        }
+        next += period;
+        std::this_thread::sleep_until(next);
+      }
+    });
+
+    const double inject_after_us = 800'000.0;
+    const double alert_deadline_us = 3.0 * objective.fast_window_us;
+    const double hard_stop_us = 7e6;
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const double now = tracer.wall_now_us();
+      tsdb.sample(now);
+      if (inject_at_us < 0.0 && now >= inject_after_us) {
+        service_delay_us.store(2500);
+        inject_at_us = now;
+        std::printf("t=%4.0f ms: fault injected (service 400 -> 2500 us; "
+                    "capacity 5000 -> 800 rps)\n",
+                    now / 1e3);
+        if (monitor.status(objective.key).state != obs::SloAlertState::kOk) {
+          // Pre-injection noise left the state machine already alerting:
+          // there will be no fresh transition to react to, so the
+          // controller engages off the standing state instead.
+          alert_at_us = now;
+          server.set_slo_shed_fraction(0.7);
+          server.set_slo_degraded(true);
+          shed_engaged = true;
+          (void)flight.trigger("slo.page", {{"slo", objective.key}});
+        }
+      }
+      (void)monitor.evaluate(now);
+      const bool settled =
+          recover_at_us > 0.0 && now > recover_at_us + 400'000.0;
+      if (settled || now > hard_stop_us) break;
+    }
+    stop_traffic.store(true, std::memory_order_release);
+    traffic.join();
+    server.drain();
+    server.stop();
+
+    std::printf("%s\n", timeline.render().c_str());
+    const obs::SloStatusReport final_report = monitor.status(objective.key);
+    const double alert_lag_us =
+        alert_at_us > 0.0 && inject_at_us > 0.0 ? alert_at_us - inject_at_us
+                                                : -1.0;
+    const double recover_lag_us =
+        recover_at_us > 0.0 && alert_at_us > 0.0
+            ? recover_at_us - alert_at_us
+            : -1.0;
+    std::printf(
+        "alert %s ms after injection; SLO restored %s ms after shedding "
+        "engaged; %llu requests shed; %llu page(s).\n\n",
+        alert_lag_us >= 0.0 ? fmt_double(alert_lag_us / 1e3, 0).c_str()
+                            : "n/a",
+        recover_lag_us >= 0.0 ? fmt_double(recover_lag_us / 1e3, 0).c_str()
+                              : "n/a",
+        static_cast<unsigned long long>(shed_count.load()),
+        static_cast<unsigned long long>(final_report.pages));
+
+    // Flight bundle: the page captured the window leading up to it.
+    std::printf("--- flight recorder ---\n");
+    const auto bundle = flight.bundle(0);
+    bool bundle_lints = false;
+    bool bundle_covers_fault = false;
+    bool dump_files_exist = false;
+    std::string bundle_stats = "none";
+    if (bundle.has_value()) {
+      const std::string bundle_trace = bundle->trace_json(2);
+      bundle_lints = obs::validate_chrome_trace(bundle_trace).ok();
+      bundle_covers_fault =
+          inject_at_us > 0.0 && bundle->covers_us(inject_at_us);
+      const std::string stem = dump_dir + "/flight-" +
+                               std::to_string(bundle->seq) + "-" +
+                               bundle->reason;
+      dump_files_exist = std::filesystem::exists(stem + ".trace.json") &&
+                         std::filesystem::exists(stem + ".metrics.json");
+      bundle_stats = "reason=" + bundle->reason + ", " +
+                     std::to_string(bundle->events.size()) + " events, " +
+                     std::to_string(bundle_trace.size()) + " bytes, window " +
+                     fmt_double(bundle->window_start_us / 1e3, 0) + ".." +
+                     fmt_double(bundle->triggered_at_us / 1e3, 0) + " ms";
+    }
+    std::printf(
+        "bundle: %s\n  lint %s, covers fault instant %s, dump files %s "
+        "(%llu trigger(s), %llu suppressed)\n\n",
+        bundle_stats.c_str(), bundle_lints ? "ok" : "FAILED",
+        bundle_covers_fault ? "yes" : "NO",
+        dump_files_exist ? "written" : "MISSING",
+        static_cast<unsigned long long>(flight.triggers()),
+        static_cast<unsigned long long>(flight.suppressed()));
+
+    if (smoke) {
+      checker.check(inject_at_us > 0.0 && alert_lag_us >= 0.0 &&
+                        alert_lag_us <= alert_deadline_us,
+                    "burn-alert-within-3-fast-windows");
+      checker.check(final_report.pages >= 1, "burn-paged");
+      checker.check(recover_lag_us >= 0.0 && recover_lag_us <= 3.5e6,
+                    "shedding-restores-slo");
+      checker.check(tracer.dropped() == 0, "zero-trace-ring-drops-slo-run");
+      checker.check(bundle.has_value() && flight.triggers() >= 1,
+                    "flight-bundle-captured");
+      checker.check(bundle_lints, "flight-bundle-lints");
+      checker.check(bundle_covers_fault, "flight-bundle-covers-fault");
+      checker.check(dump_files_exist, "flight-dump-files-written");
+    }
+  }
+
+  // --- nanosecond budgets ------------------------------------------------
+  std::printf("--- telemetry hot-path budgets ---\n");
+  {
+    // TraceContext propagation: what every forward hop pays to carry the
+    // trace — two 64-bit copies, budget <50 ns.
+    constexpr int kHops = 1 << 20;
+    obs::TraceContext ctx{1, 1};
+    std::uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kHops; ++i) {
+      ctx = ctx.child(ctx.parent_span + 1);
+      sink += ctx.trace_id + ctx.parent_span;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double hop_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kHops;
+
+    // TimeSeriesStore::append: ring bookkeeping only, budget <100 ns.
+    obs::Registry budget_registry;
+    obs::TimeSeriesConfig ring_config;
+    ring_config.capacity = 128;
+    obs::TimeSeriesStore budget_store(&budget_registry, ring_config);
+    constexpr int kAppends = 1 << 17;
+    const auto t2 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kAppends; ++i) {
+      budget_store.append(obs::RegistrySnapshot{});
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+    const double append_ns =
+        std::chrono::duration<double, std::nano>(t3 - t2).count() / kAppends;
+
+    Table budgets({"path", "measured", "budget"});
+    budgets.add_row({"TraceContext per hop", fmt_double(hop_ns, 1) + " ns",
+                     "< 50 ns"});
+    budgets.add_row({"TimeSeriesStore append",
+                     fmt_double(append_ns, 1) + " ns", "< 100 ns"});
+    std::printf("%s\n", budgets.render().c_str());
+    if (sink == 0) std::printf("(unreachable sink)\n");
+    if (smoke) {
+      checker.check(hop_ns < 50.0, "trace-propagation<50ns/hop");
+      checker.check(append_ns < 100.0, "tsdb-append<100ns");
+    }
+  }
+
+  if (!smoke) {
+    std::printf("run with --smoke to self-check the acceptance criteria.\n");
+  }
+  return checker.report("E25");
+}

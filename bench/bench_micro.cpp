@@ -218,6 +218,32 @@ void BM_HistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecord);
 
+// Propagating a TraceContext across a forward hop is two 64-bit copies;
+// the E25 smoke holds it under 50 ns so cross-node stitching can ride
+// every federation forward unconditionally.
+void BM_TraceContextPropagation(benchmark::State& state) {
+  obs::TraceContext ctx{1, 1};
+  for (auto _ : state) {
+    ctx = ctx.child(ctx.parent_span + 1);
+    benchmark::DoNotOptimize(ctx);
+  }
+}
+BENCHMARK(BM_TraceContextPropagation);
+
+// TimeSeriesStore::append is ring bookkeeping only (the snapshot build
+// is the sampler's cost); the E25 smoke holds it under 100 ns.
+void BM_TsdbAppend(benchmark::State& state) {
+  obs::Registry registry;
+  obs::TimeSeriesConfig config;
+  config.capacity = 128;
+  obs::TimeSeriesStore store(&registry, config);
+  for (auto _ : state) {
+    store.append(obs::RegistrySnapshot{});
+  }
+  state.counters["ring"] = double(store.size());
+}
+BENCHMARK(BM_TsdbAppend);
+
 /// Shared 8-node routing rig for the cluster router benchmarks.
 struct RouterRig {
   cluster::Membership membership;

@@ -83,9 +83,14 @@ Federation::Federation(FederationOptions options)
   warm_restored_ = registry_.counter("cluster.warm_restored_entries");
   hinted_handoff_ = registry_.counter("cluster.hinted_handoff_entries");
   warm_restore_us_ = registry_.histogram("cluster.warm_restore_us");
+  // shards_moved_last / shard_imbalance are node-local instantaneous
+  // readings with no meaningful cross-node aggregate — they stay
+  // kLastWrite, which RegistrySnapshot::merge deliberately drops.
+  // last_detection_us is a watermark: merged value = slowest detector.
   shards_moved_ = registry_.gauge("cluster.shards_moved_last");
   imbalance_ = registry_.gauge("cluster.shard_imbalance");
-  last_detection_ = registry_.gauge("cluster.last_detection_us");
+  last_detection_ =
+      registry_.gauge("cluster.last_detection_us", obs::GaugeKind::kMax);
   hop_us_ = registry_.histogram("cluster.hop_us");
 
   imbalance_->set(shard_map_->table()->primary_imbalance());
@@ -197,17 +202,32 @@ Status Federation::submit(serve::Request request,
     }
 
     const std::size_t target = decision.node;
-    double forward_us = 0.0;
+
+    // One federation-wide trace per ingress request: the root
+    // "federation.request" span (emitted when the outcome is known)
+    // parents the forward hop, the target node's serve chain (via
+    // TraceContext propagation on the request), and the reply hop — the
+    // stitched cross-node chain E25 validates root-reachability on.
     std::uint64_t trace_id = 0;
+    std::uint64_t root_span = 0;
+    double t_root0 = 0.0;
+    if (tracing) {
+      trace_id = tracer->next_id();
+      root_span = tracer->next_id();
+      t_root0 = tracer->wall_now_us();
+      request.trace = obs::TraceContext{trace_id, root_span};
+    }
+
+    double forward_us = 0.0;
     if (target != ingress) {
       forwarded_->inc();
       forward_us = fabric_->hop_us(ingress, target, options_.forward_bytes);
       hop_us_->record(forward_us);
       if (tracing) {
-        trace_id = tracer->next_id();
         const double t0 = tracer->wall_now_us();
-        tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(), 0,
-                     t0, t0 + forward_us, obs::kAutoTrack, "hop", "cluster",
+        tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(),
+                     root_span, t0, t0 + forward_us, obs::kAutoTrack, "hop",
+                     "cluster",
                      {{"src", membership_->name(ingress)},
                       {"dst", membership_->name(target)},
                       {"kind", std::string(to_string(decision.kind))},
@@ -223,18 +243,24 @@ Status Federation::submit(serve::Request request,
       // The reply pays the return hop at completion time, so it sees the
       // fabric contention of *that* moment, not of admission.
       cb = [this, done = std::move(on_done), target, ingress, forward_us,
-            trace_id, tracer, tracing](const serve::Response& response) {
+            trace_id, root_span, t_root0, tracer,
+            tracing](const serve::Response& response) {
         const double reply_us =
             fabric_->hop_us(target, ingress, options_.reply_bytes);
         hop_us_->record(reply_us);
         if (tracing) {
           const double t0 = tracer->wall_now_us();
           tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(),
-                       0, t0, t0 + reply_us, obs::kAutoTrack, "hop",
+                       root_span, t0, t0 + reply_us, obs::kAutoTrack, "hop",
                        "cluster",
                        {{"src", membership_->name(target)},
                         {"dst", membership_->name(ingress)},
                         {"kind", "reply"}});
+          tracer->span(obs::TimeDomain::kWall, trace_id, root_span, 0,
+                       t_root0, t0 + reply_us, obs::kAutoTrack,
+                       "federation.request", "cluster",
+                       {{"ingress", membership_->name(ingress)},
+                        {"target", membership_->name(target)}});
         }
         if (options_.charge_hops_in_latency) {
           serve::Response adjusted = response;
@@ -244,13 +270,37 @@ Status Federation::submit(serve::Request request,
           done(response);
         }
       };
+    } else if (tracing) {
+      // Local requests get the same root so every ingress request is
+      // exactly one root-reachable chain regardless of placement.
+      cb = [this, done = std::move(on_done), ingress, trace_id, root_span,
+            t_root0, tracer](const serve::Response& response) {
+        tracer->span(obs::TimeDomain::kWall, trace_id, root_span, 0, t_root0,
+                     tracer->wall_now_us(), obs::kAutoTrack,
+                     "federation.request", "cluster",
+                     {{"ingress", membership_->name(ingress)},
+                      {"target", membership_->name(ingress)}});
+        done(response);
+      };
     } else {
       cb = std::move(on_done);
     }
     // Admission backpressure at the target (queue full, draining) is
     // surfaced end-to-end: bouncing to another node would break keyed
     // locality and hide the overload from the caller's retry policy.
-    return servers_[target]->submit(std::move(request), std::move(cb));
+    const Status admitted =
+        servers_[target]->submit(std::move(request), std::move(cb));
+    if (!admitted.ok() && tracing) {
+      // Rejected at admission: the callback never fires, so close the
+      // root here — the already-emitted forward hop must not dangle.
+      tracer->span(obs::TimeDomain::kWall, trace_id, root_span, 0, t_root0,
+                   tracer->wall_now_us(), obs::kAutoTrack,
+                   "federation.request", "cluster",
+                   {{"ingress", membership_->name(ingress)},
+                    {"target", membership_->name(target)},
+                    {"outcome", "rejected"}});
+    }
+    return admitted;
   }
 
   unroutable_->inc();
@@ -283,6 +333,12 @@ void Federation::crash(std::size_t node) {
                              options_.tracer->wall_now_us(), obs::kAutoTrack,
                              "crash", "cluster",
                              {{"node", membership_->name(node)}});
+  }
+  if (options_.flight_recorder != nullptr) {
+    // Black-box dump: capture the spans and rollups leading up to the
+    // injected fault (debounced inside the recorder).
+    (void)options_.flight_recorder->trigger(
+        "fault.crash", {{"node", membership_->name(node)}});
   }
   EVEREST_LOG(kWarn, "cluster")
       << membership_->name(node) << " crashed (fail-stop at the network)";

@@ -38,6 +38,7 @@
 #include "cluster/membership.hpp"
 #include "cluster/router.hpp"
 #include "cluster/shard_map.hpp"
+#include "obs/flight.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/knowledge.hpp"
@@ -82,7 +83,16 @@ struct FederationOptions {
   bool cold_restart_cache = false;
   /// Optional federation-level tracer (per-hop spans, failover/rebalance
   /// instants). The per-node template's tracer traces inside each node.
+  /// When both point at the SAME tracer, every ingress request becomes
+  /// one stitched cross-node chain: a "federation.request" root span
+  /// with the forward hop, the target node's queue/batch/execute/reply
+  /// spans, and the reply hop all parented under it (TraceContext
+  /// propagation through serve::Request::trace).
   obs::Tracer* tracer = nullptr;
+  /// Optional flight recorder (borrowed): crash() triggers a
+  /// "fault.crash" bundle capturing the spans and rollups leading up to
+  /// the injected fault.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Aggregated federation counters (snapshot of the registry).

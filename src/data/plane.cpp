@@ -114,7 +114,10 @@ DataPlane::DataPlane(platform::Simulator& sim, PlaneConfig config)
       hist_repair_us_ = reg.histogram("storage.repair.mttr_us");
       gauge_tier_ro_.resize(config_.num_nodes);
       for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+        // 0/1 flag per labeled node; kMax keeps re-registration and
+        // cross-registry merges from double-counting the flag.
         gauge_tier_ro_[i] = reg.gauge("storage.tier.read_only",
+                                      obs::GaugeKind::kMax,
                                       {{"node", std::to_string(i)}});
       }
     }
@@ -317,14 +320,23 @@ Result<std::size_t> DataPlane::primary_node(ObjectId id) const {
 
 Status DataPlane::stage(ObjectId id, std::size_t dst,
                         platform::Simulator::Callback on_staged) {
-  return stage_impl(id, dst, /*is_prefetch=*/false, std::move(on_staged));
+  return stage_impl(id, dst, /*is_prefetch=*/false, obs::TraceContext{},
+                    std::move(on_staged));
+}
+
+Status DataPlane::stage(ObjectId id, std::size_t dst, obs::TraceContext ctx,
+                        platform::Simulator::Callback on_staged) {
+  return stage_impl(id, dst, /*is_prefetch=*/false, ctx,
+                    std::move(on_staged));
 }
 
 Status DataPlane::prefetch(ObjectId id, std::size_t dst) {
-  return stage_impl(id, dst, /*is_prefetch=*/true, nullptr);
+  return stage_impl(id, dst, /*is_prefetch=*/true, obs::TraceContext{},
+                    nullptr);
 }
 
 Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
+                             obs::TraceContext ctx,
                              platform::Simulator::Callback on_staged) {
   if (!available(id)) {
     return NotFound("object " + std::to_string(id) +
@@ -373,18 +385,37 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
       ctr_cache_misses_->inc();
     }
 
+    // Propagated identity wins: a request-triggered staging's spans join
+    // the caller's trace; standalone stagings keep the per-object trace.
+    const std::uint64_t span_trace = ctx.valid() ? ctx.trace_id
+                                                 : key.object + 1;
+    const std::uint64_t span_parent = ctx.valid() ? ctx.parent_span : 0;
+
     // Miss. Cheapest source first: this node's own disk tier — a local
     // NVMe read instead of any fabric traffic.
     if (dst < tiers_.size() && tiers_[dst]->resident(key)) {
       const double cost = tiers_[dst]->read_estimate_us(sb);
       if (!is_prefetch) ++state->pending;
+      const double issue_us = sim_->now();
       (void)tiers_[dst]->promote(
-          key, [this, key, sb, cost, dst, is_prefetch, state] {
+          key, [this, key, sb, cost, dst, is_prefetch, state, issue_us,
+                span_trace, span_parent] {
             ++counters_.tier_hits;
             if (ctr_tier_hits_ != nullptr) ctr_tier_hits_->inc();
             counters_.bytes_promoted += sb;
             log_apply({storage::LogRecordType::kPromote, 0, key.object,
                        key.shard, key.version, dst, sb});
+            if (tracing()) {
+              config_.tracer->span(
+                  obs::TimeDomain::kSim, span_trace,
+                  config_.tracer->next_id(), span_parent, issue_us,
+                  sim_->now(), static_cast<std::uint32_t>(dst), "promote",
+                  "data",
+                  {{"object", std::to_string(key.object)},
+                   {"shard", std::to_string(key.shard)},
+                   {"node", std::to_string(dst)},
+                   {"bytes", std::to_string(sb)}});
+            }
             const std::uint64_t ev0 = caches_[dst]->stats().evictions;
             (void)caches_[dst]->insert(key, sb, cost);
             mirror_evictions(ev0, *caches_[dst]);
@@ -408,13 +439,14 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
       const double issue_us = sim_->now();
       xfer_.fetch(key, sb, src, dst,
                   [this, key, sb, refetch_cost, src, dst, is_prefetch, state,
-                   issue_us] {
+                   issue_us, span_trace, span_parent] {
                     if (tracing()) {
                       // Sim-time transfer span on the destination's track,
-                      // in the owning object/task's trace.
+                      // in the owning object/task's (or caller's) trace.
                       config_.tracer->span(
-                          obs::TimeDomain::kSim, key.object + 1,
-                          config_.tracer->next_id(), 0, issue_us, sim_->now(),
+                          obs::TimeDomain::kSim, span_trace,
+                          config_.tracer->next_id(), span_parent, issue_us,
+                          sim_->now(),
                           static_cast<std::uint32_t>(dst), "xfer", "data",
                           {{"object", std::to_string(key.object)},
                            {"shard", std::to_string(key.shard)},
@@ -447,7 +479,8 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
     if (!is_prefetch) ++state->pending;
     const double issue_us = sim_->now();
     (void)tiers_[src]->promote(
-        key, [this, key, sb, cost, src, dst, is_prefetch, state, issue_us] {
+        key, [this, key, sb, cost, src, dst, is_prefetch, state, issue_us,
+              span_trace, span_parent] {
           ++counters_.tier_hits;
           if (ctr_tier_hits_ != nullptr) ctr_tier_hits_->inc();
           counters_.bytes_promoted += sb;
@@ -455,11 +488,13 @@ Status DataPlane::stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
                      key.shard, key.version, src, sb});
           xfer_.fetch(
               key, sb, src, dst,
-              [this, key, sb, cost, src, dst, is_prefetch, state, issue_us] {
+              [this, key, sb, cost, src, dst, is_prefetch, state, issue_us,
+               span_trace, span_parent] {
                 if (tracing()) {
                   config_.tracer->span(
-                      obs::TimeDomain::kSim, key.object + 1,
-                      config_.tracer->next_id(), 0, issue_us, sim_->now(),
+                      obs::TimeDomain::kSim, span_trace,
+                      config_.tracer->next_id(), span_parent, issue_us,
+                      sim_->now(),
                       static_cast<std::uint32_t>(dst), "xfer", "data",
                       {{"object", std::to_string(key.object)},
                        {"shard", std::to_string(key.shard)},

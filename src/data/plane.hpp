@@ -148,6 +148,13 @@ class DataPlane {
   Status stage(ObjectId id, std::size_t dst,
                platform::Simulator::Callback on_staged);
 
+  /// stage() with propagated trace identity: promote/xfer spans emitted
+  /// for this staging join `ctx`'s trace (parented under
+  /// ctx.parent_span) instead of the per-object synthetic trace, so a
+  /// request-triggered promote-on-miss stitches into the request chain.
+  Status stage(ObjectId id, std::size_t dst, obs::TraceContext ctx,
+               platform::Simulator::Callback on_staged);
+
   /// Same movement as stage() but initiated ahead of demand: cache
   /// inserts are tagged so a later demand hit counts as prefetch_useful.
   /// Already-resident shards are skipped silently (no hit/miss counting).
@@ -236,6 +243,7 @@ class DataPlane {
 
  private:
   Status stage_impl(ObjectId id, std::size_t dst, bool is_prefetch,
+                    obs::TraceContext ctx,
                     platform::Simulator::Callback on_staged);
   void drop_object_replicas(const DataObject& object);
   /// Stamps (via the WAL when durable, a memory counter otherwise) and

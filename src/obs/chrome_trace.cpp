@@ -114,4 +114,122 @@ bool span_chains_complete(const std::vector<TraceEvent>& events) {
   return true;
 }
 
+namespace {
+
+/// True when `ev`'s parent chain reaches a parent_id-0 span of the same
+/// trace without leaving `by_id` or crossing traces; cycle-bounded.
+bool reaches_root(const TraceEvent* ev,
+                  const std::unordered_map<std::uint64_t, const TraceEvent*>&
+                      by_id) {
+  const TraceEvent* cur = ev;
+  std::size_t hops = 0;
+  while (cur->parent_id != 0) {
+    if (++hops > by_id.size()) return false;  // cycle
+    auto it = by_id.find(cur->parent_id);
+    if (it == by_id.end()) return false;
+    if (it->second->trace_id != ev->trace_id) return false;
+    cur = it->second;
+  }
+  return true;
+}
+
+}  // namespace
+
+double root_reachable_fraction(const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  std::vector<const TraceEvent*> spans;
+  for (const auto& ev : events) {
+    if (ev.kind != TraceEvent::Kind::kSpan) continue;
+    spans.push_back(&ev);
+    by_id.emplace(ev.span_id, &ev);
+  }
+  if (spans.empty()) return 1.0;
+  std::size_t reachable = 0;
+  for (const TraceEvent* ev : spans) {
+    if (reaches_root(ev, by_id)) ++reachable;
+  }
+  return static_cast<double>(reachable) / static_cast<double>(spans.size());
+}
+
+double stitched_cross_node_fraction(const std::vector<TraceEvent>& events) {
+  struct TraceInfo {
+    std::unordered_set<std::string> components;
+    std::vector<const TraceEvent*> spans;
+    std::size_t roots = 0;
+  };
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  std::unordered_map<std::uint64_t, TraceInfo> traces;
+  for (const auto& ev : events) {
+    if (ev.kind != TraceEvent::Kind::kSpan || ev.trace_id == 0) continue;
+    by_id.emplace(ev.span_id, &ev);
+    TraceInfo& info = traces[ev.trace_id];
+    info.components.insert(ev.component);
+    info.spans.push_back(&ev);
+    if (ev.parent_id == 0) ++info.roots;
+  }
+  std::size_t multi = 0, stitched = 0;
+  for (const auto& [trace_id, info] : traces) {
+    (void)trace_id;
+    if (info.components.size() < 2) continue;
+    ++multi;
+    if (info.roots != 1) continue;
+    bool all_reach = true;
+    for (const TraceEvent* ev : info.spans) {
+      if (!reaches_root(ev, by_id)) {
+        all_reach = false;
+        break;
+      }
+    }
+    if (all_reach) ++stitched;
+  }
+  if (multi == 0) return 1.0;
+  return static_cast<double>(stitched) / static_cast<double>(multi);
+}
+
+Status validate_chrome_trace(std::string_view json_text) {
+  auto parsed = json::parse(json_text);
+  if (!parsed.ok()) {
+    return InvalidArgument("chrome-trace: unparsable JSON: " +
+                           parsed.status().message());
+  }
+  const json::Value& root = parsed.value();
+  if (!root.is_object()) {
+    return InvalidArgument("chrome-trace: top level must be an object");
+  }
+  const json::Value& trace_events = root.at("traceEvents");
+  if (!trace_events.is_array()) {
+    return InvalidArgument("chrome-trace: missing traceEvents array");
+  }
+  const json::Array& arr = trace_events.as_array();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const json::Value& ev = arr[i];
+    const std::string where = "chrome-trace: event " + std::to_string(i);
+    if (!ev.is_object()) return InvalidArgument(where + ": not an object");
+    if (!ev.at("ph").is_string()) {
+      return InvalidArgument(where + ": missing string ph");
+    }
+    const std::string& ph = ev.at("ph").as_string();
+    if (!ev.at("pid").is_number() || !ev.at("tid").is_number()) {
+      return InvalidArgument(where + ": missing numeric pid/tid");
+    }
+    if (ph == "M") {
+      if (!ev.at("name").is_string()) {
+        return InvalidArgument(where + ": metadata without a name");
+      }
+      continue;
+    }
+    if (ph == "X" || ph == "B" || ph == "E" || ph == "i" || ph == "I") {
+      if (!ev.at("ts").is_number()) {
+        return InvalidArgument(where + ": missing numeric ts");
+      }
+    }
+    if (ph == "X") {
+      if (!ev.at("dur").is_number() || ev.at("dur").as_number() < 0.0) {
+        return InvalidArgument(where + ": X event needs dur >= 0");
+      }
+    }
+  }
+  return OkStatus();
+}
+
 }  // namespace everest::obs

@@ -5,9 +5,11 @@
 // benches.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/status.hpp"
 #include "obs/trace.hpp"
 
 namespace everest::obs {
@@ -32,5 +34,27 @@ namespace everest::obs {
 /// True when every span either is a root (parent_id == 0) or its parent
 /// chain reaches a root within the same trace_id.
 [[nodiscard]] bool span_chains_complete(const std::vector<TraceEvent>& events);
+
+/// Fraction of spans whose parent chain reaches a root span (parent_id
+/// 0) of the same trace_id within `events`. 1.0 for an empty set. The
+/// E25 smoke requires 1.0: every span a forwarded request produced on
+/// any node must stitch back to the federation root.
+[[nodiscard]] double root_reachable_fraction(
+    const std::vector<TraceEvent>& events);
+
+/// Fraction of multi-component traces whose spans form ONE root-rooted
+/// forest: exactly one root span and every other span root-reachable.
+/// Only traces touching >= 2 components count (single-node requests
+/// cannot be unstitched); 1.0 when there are none.
+[[nodiscard]] double stitched_cross_node_fraction(
+    const std::vector<TraceEvent>& events);
+
+/// Lints serialized chrome-trace JSON the way Perfetto's importer
+/// would: top level must be an object with a traceEvents array; every
+/// event needs string "ph" and numeric pid/tid; "X"/"B"/"i" events need
+/// numeric ts; "X" additionally needs numeric dur >= 0; "M" metadata
+/// needs a name. Returns OK or INVALID_ARGUMENT naming the first
+/// offending event index.
+[[nodiscard]] Status validate_chrome_trace(std::string_view json_text);
 
 }  // namespace everest::obs

@@ -1,0 +1,109 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+
+namespace everest::obs {
+namespace {
+
+enum class Segment { kQueue, kBatch, kForward, kExecute, kReply, kOther };
+
+Segment classify(const TraceEvent& ev) {
+  if (ev.name == "queue") return Segment::kQueue;
+  if (ev.name == "batch" || ev.name == "stage" || ev.name == "variant") {
+    return Segment::kBatch;
+  }
+  if (ev.name == "execute") return Segment::kExecute;
+  if (ev.name == "reply") return Segment::kReply;
+  if (ev.name == "hop" || ev.name == "xfer" || ev.name == "promote" ||
+      ev.name == "deliver") {
+    // A hop annotated kind=reply is return traffic; everything else on
+    // the wire is forward progress.
+    for (const auto& [key, value] : ev.annotations) {
+      if (key == "kind" && value == "reply") return Segment::kReply;
+    }
+    return Segment::kForward;
+  }
+  return Segment::kOther;
+}
+
+void accumulate(CriticalPath* path, const TraceEvent& ev) {
+  const double d = std::max(0.0, ev.duration_us());
+  switch (classify(ev)) {
+    case Segment::kQueue: path->queue_us += d; break;
+    case Segment::kBatch: path->batch_us += d; break;
+    case Segment::kForward: path->forward_us += d; break;
+    case Segment::kExecute: path->execute_us += d; break;
+    case Segment::kReply: path->reply_us += d; break;
+    case Segment::kOther: break;  // folded into other_us at the end
+  }
+  ++path->segments;
+}
+
+}  // namespace
+
+CriticalPath critical_path(const std::vector<TraceEvent>& events,
+                           std::uint64_t trace_id) {
+  CriticalPath path;
+  path.trace_id = trace_id;
+  const TraceEvent* root = nullptr;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != TraceEvent::Kind::kSpan || ev.trace_id != trace_id) continue;
+    if (ev.parent_id == 0 &&
+        (root == nullptr || ev.duration_us() > root->duration_us())) {
+      root = &ev;
+    }
+  }
+  if (root == nullptr) return path;
+  path.total_us = std::max(0.0, root->duration_us());
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != TraceEvent::Kind::kSpan || ev.trace_id != trace_id) continue;
+    if (&ev == root || ev.parent_id == 0) continue;
+    accumulate(&path, ev);
+  }
+  path.other_us = std::max(0.0, path.total_us - path.categorized_us());
+  return path;
+}
+
+std::vector<CriticalPath> critical_paths(const std::vector<TraceEvent>& events) {
+  std::vector<std::uint64_t> roots;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEvent::Kind::kSpan && ev.parent_id == 0 &&
+        ev.trace_id != 0) {
+      roots.push_back(ev.trace_id);
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  std::vector<CriticalPath> paths;
+  paths.reserve(roots.size());
+  for (std::uint64_t trace_id : roots) {
+    paths.push_back(critical_path(events, trace_id));
+  }
+  return paths;
+}
+
+CriticalPath mean_critical_path(const std::vector<CriticalPath>& paths) {
+  CriticalPath mean;
+  if (paths.empty()) return mean;
+  for (const CriticalPath& p : paths) {
+    mean.total_us += p.total_us;
+    mean.queue_us += p.queue_us;
+    mean.batch_us += p.batch_us;
+    mean.forward_us += p.forward_us;
+    mean.execute_us += p.execute_us;
+    mean.reply_us += p.reply_us;
+    mean.other_us += p.other_us;
+    mean.segments += p.segments;
+  }
+  const double n = static_cast<double>(paths.size());
+  mean.total_us /= n;
+  mean.queue_us /= n;
+  mean.batch_us /= n;
+  mean.forward_us /= n;
+  mean.execute_us /= n;
+  mean.reply_us /= n;
+  mean.other_us /= n;
+  return mean;
+}
+
+}  // namespace everest::obs

@@ -1,0 +1,60 @@
+#pragma once
+
+// Critical-path extraction over stitched request traces: given the span
+// forest of one trace (federation root → forward hops → per-node
+// queue/batch/execute/reply children), attribute the request's
+// end-to-end latency to named segments. The attribution answers the
+// question a latency page always asks first — "where did the time go:
+// queueing, the wire, or the kernel?" — per request and aggregated.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace everest::obs {
+
+/// Latency attribution of one request trace (all values µs).
+struct CriticalPath {
+  std::uint64_t trace_id = 0;
+  /// Root span duration — the client-observed latency.
+  double total_us = 0.0;
+  /// Admission → dispatch (the "queue" spans).
+  double queue_us = 0.0;
+  /// Batch formation + input staging + variant selection ("batch").
+  double batch_us = 0.0;
+  /// Cross-node forward hops ("hop" spans that are not replies).
+  double forward_us = 0.0;
+  /// Handler execution ("execute").
+  double execute_us = 0.0;
+  /// Reply delivery, including the return hop ("reply" spans and
+  /// reply-annotated hops).
+  double reply_us = 0.0;
+  /// total − categorized (clamped at 0): dispatch gaps, bookkeeping.
+  double other_us = 0.0;
+  /// Spans that contributed (root excluded).
+  std::size_t segments = 0;
+
+  [[nodiscard]] double categorized_us() const {
+    return queue_us + batch_us + forward_us + execute_us + reply_us;
+  }
+};
+
+/// Extracts the attribution for one trace. Root = the trace's span with
+/// parent_id 0 (the longest one when several exist). Returns a
+/// zero-initialised result when the trace has no spans.
+[[nodiscard]] CriticalPath critical_path(const std::vector<TraceEvent>& events,
+                                         std::uint64_t trace_id);
+
+/// One CriticalPath per trace that has a root span, in ascending
+/// trace_id order.
+[[nodiscard]] std::vector<CriticalPath> critical_paths(
+    const std::vector<TraceEvent>& events);
+
+/// Element-wise mean over `paths` (zeroes when empty); trace_id is 0.
+[[nodiscard]] CriticalPath mean_critical_path(
+    const std::vector<CriticalPath>& paths);
+
+}  // namespace everest::obs

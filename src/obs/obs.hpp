@@ -1,10 +1,18 @@
 #pragma once
 
 // Umbrella header for the observability substrate: metric instruments +
-// registry (counters, gauges, log-bucketed histograms), the span tracer
-// with per-thread ring buffers, and the Chrome-trace / JSON exporters.
+// registry (counters, gauges, log-bucketed histograms, snapshots with
+// the cross-node GaugeKind merge contract), the span tracer with
+// per-thread ring buffers and TraceContext propagation, Chrome-trace /
+// JSON exporters with stitch validation, time-series rollups, SLO
+// burn-rate monitoring, critical-path extraction, and the
+// fault-triggered flight recorder.
 
 #include "obs/chrome_trace.hpp"   // IWYU pragma: export
+#include "obs/critical_path.hpp"  // IWYU pragma: export
+#include "obs/flight.hpp"         // IWYU pragma: export
 #include "obs/instruments.hpp"    // IWYU pragma: export
 #include "obs/registry.hpp"       // IWYU pragma: export
+#include "obs/slo.hpp"            // IWYU pragma: export
 #include "obs/trace.hpp"          // IWYU pragma: export
+#include "obs/tsdb.hpp"           // IWYU pragma: export

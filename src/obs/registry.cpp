@@ -15,6 +15,48 @@ auto* find_or_create(Map& map, const std::string& key, Factory make) {
 
 }  // namespace
 
+std::string_view to_string(GaugeKind kind) {
+  switch (kind) {
+    case GaugeKind::kLastWrite: return "last-write";
+    case GaugeKind::kSum: return "sum";
+    case GaugeKind::kMax: return "max";
+  }
+  return "?";
+}
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  at_us = std::max(at_us, other.at_us);
+  nodes += other.nodes;
+  for (const auto& [key, n] : other.counters) counters[key] += n;
+  for (const auto& [key, g] : other.gauges) {
+    if (g.kind == GaugeKind::kLastWrite) continue;  // node-local: no rollup
+    auto [it, inserted] = gauges.emplace(key, g);
+    if (inserted) continue;
+    if (it->second.kind == GaugeKind::kSum) {
+      it->second.value += g.value;
+    } else if (it->second.kind == GaugeKind::kMax) {
+      it->second.value = std::max(it->second.value, g.value);
+    }
+  }
+  // A kLastWrite gauge on OUR side must not masquerade as a federation
+  // value either: drop it from the merged result.
+  for (auto it = gauges.begin(); it != gauges.end();) {
+    if (it->second.kind == GaugeKind::kLastWrite) {
+      it = gauges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [key, h] : other.histograms) {
+    auto it = histograms.find(key);
+    if (it == histograms.end()) {
+      histograms.emplace(key, h);
+    } else {
+      (void)it->second.merge(h);  // layout mismatch: keep ours untouched
+    }
+  }
+}
+
 std::string Registry::key_of(const std::string& name, const Labels& labels) {
   if (labels.empty()) return name;
   Labels sorted = labels;
@@ -38,8 +80,15 @@ Counter* Registry::counter(const std::string& name, const Labels& labels) {
 }
 
 Gauge* Registry::gauge(const std::string& name, const Labels& labels) {
+  return gauge(name, GaugeKind::kLastWrite, labels);
+}
+
+Gauge* Registry::gauge(const std::string& name, GaugeKind kind,
+                       const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  return find_or_create(gauges_, key_of(name, labels),
+  const std::string key = key_of(name, labels);
+  gauge_kinds_.emplace(key, kind);  // first registration's kind wins
+  return find_or_create(gauges_, key,
                         [] { return std::make_unique<Gauge>(); });
 }
 
@@ -56,6 +105,30 @@ void Registry::reset() {
   for (auto& [key, c] : counters_) c->reset();
   for (auto& [key, g] : gauges_) g->reset();
   for (auto& [key, h] : histograms_) h->reset();
+}
+
+RegistrySnapshot Registry::snapshot(double at_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.at_us = at_us;
+  for (const auto& [key, c] : counters_) snap.counters[key] = c->value();
+  for (const auto& [key, g] : gauges_) {
+    RegistrySnapshot::GaugeSample sample;
+    sample.value = g->value();
+    auto kit = gauge_kinds_.find(key);
+    sample.kind = kit == gauge_kinds_.end() ? GaugeKind::kLastWrite
+                                            : kit->second;
+    snap.gauges[key] = sample;
+  }
+  for (const auto& [key, h] : histograms_) {
+    snap.histograms.emplace(key, h->snapshot());
+  }
+  return snap;
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 json::Value Registry::to_json() const {

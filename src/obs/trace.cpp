@@ -144,6 +144,18 @@ std::vector<TraceEvent> Tracer::collect() const {
   return out;
 }
 
+std::vector<TraceEvent> Tracer::collect_tail(double min_end_us) const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const TraceEvent& ev : buf->events) {
+      if (ev.end_us >= min_end_us) out.push_back(ev);
+    }
+  }
+  return out;
+}
+
 std::uint64_t Tracer::dropped() const {
   std::uint64_t total = 0;
   std::lock_guard<std::mutex> lock(buffers_mu_);

@@ -27,6 +27,26 @@ namespace everest::obs {
 
 enum class TimeDomain : std::uint8_t { kWall = 0, kSim = 1 };
 
+/// Propagated trace identity: carried alongside a request/event across
+/// process-internal hops (cluster forwards, stream deliveries, storage
+/// promotes) so every subsystem's spans land in ONE stitched chain
+/// instead of per-subsystem fragments. A default-constructed context is
+/// "not sampled" (trace_id 0); propagating it is two 64-bit copies, so
+/// the disabled path costs nothing beyond the enabled() branch the
+/// emitting site already pays (<50 ns per hop; bench_micro tracks it,
+/// bench_e25 enforces it).
+struct TraceContext {
+  std::uint64_t trace_id = 0;     ///< the request's federation-wide trace
+  std::uint64_t parent_span = 0;  ///< span to parent the next hop under
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+  /// Same trace, one level deeper: spans emitted by the callee parent
+  /// under `span`.
+  [[nodiscard]] TraceContext child(std::uint64_t span) const {
+    return TraceContext{trace_id, span};
+  }
+};
+
 /// Key/value annotations attached to an event (variant decisions,
 /// worker names, byte counts, ...).
 using Annotations = std::vector<std::pair<std::string, std::string>>;
@@ -139,6 +159,9 @@ class Tracer {
   /// Copies out every buffered event (all threads). Stable order:
   /// buffers in registration order, events in record order.
   [[nodiscard]] std::vector<TraceEvent> collect() const;
+  /// Copies out only events that ended at or after `min_end_us` (tracer
+  /// wall clock) — the flight-recorder window. Order as in collect().
+  [[nodiscard]] std::vector<TraceEvent> collect_tail(double min_end_us) const;
   /// Total events dropped on full rings across all threads.
   [[nodiscard]] std::uint64_t dropped() const;
   /// Discards buffered events and the drop counts (buffers stay

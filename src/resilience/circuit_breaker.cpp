@@ -76,14 +76,21 @@ bool CircuitBreakerBoard::allow(const std::string& scope,
 void CircuitBreakerBoard::record(const std::string& scope,
                                  const std::string& id, bool success,
                                  double now_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] =
-      breakers_.try_emplace(key(scope, id), CircuitBreaker(policy_));
-  if (success) {
-    it->second.record_success(now_us);
-  } else {
-    it->second.record_failure(now_us);
+  std::function<void(const std::string&, const std::string&, double)> on_open;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] =
+        breakers_.try_emplace(key(scope, id), CircuitBreaker(policy_));
+    const int trips_before = it->second.trips();
+    if (success) {
+      it->second.record_success(now_us);
+    } else {
+      it->second.record_failure(now_us);
+    }
+    if (it->second.trips() > trips_before) on_open = on_open_;
   }
+  // Outside the lock: the observer may dump a flight bundle.
+  if (on_open) on_open(scope, id, now_us);
 }
 
 BreakerState CircuitBreakerBoard::state(const std::string& scope,
@@ -102,6 +109,13 @@ int CircuitBreakerBoard::open_count(const std::string& scope) const {
     if (breaker.state() != BreakerState::kClosed) ++open;
   }
   return open;
+}
+
+void CircuitBreakerBoard::set_on_open(
+    std::function<void(const std::string&, const std::string&, double)>
+        on_open) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_open_ = std::move(on_open);
 }
 
 int CircuitBreakerBoard::total_trips() const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -75,6 +76,14 @@ class CircuitBreakerBoard {
   [[nodiscard]] int open_count(const std::string& scope = "") const;
   [[nodiscard]] int total_trips() const;
 
+  /// Observer invoked (outside the board lock) every time a breaker
+  /// transitions to open — the flight-recorder trigger point. Set it
+  /// before traffic starts; there is no unregistration.
+  void set_on_open(
+      std::function<void(const std::string& scope, const std::string& id,
+                         double now_us)>
+          on_open);
+
  private:
   static std::string key(const std::string& scope, const std::string& id) {
     return scope + '\x1f' + id;
@@ -83,6 +92,7 @@ class CircuitBreakerBoard {
   mutable std::mutex mu_;
   BreakerPolicy policy_;
   std::map<std::string, CircuitBreaker> breakers_;
+  std::function<void(const std::string&, const std::string&, double)> on_open_;
 };
 
 }  // namespace everest::resilience

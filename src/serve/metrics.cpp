@@ -29,8 +29,12 @@ ServingMetrics::ServingMetrics()
       degraded_(registry_.counter("serve.degraded")),
       input_hits_(registry_.counter("serve.input_hits")),
       input_misses_(registry_.counter("serve.input_misses")),
-      input_stall_us_(registry_.gauge("serve.input_stall_us")),
-      max_queue_depth_(registry_.gauge("serve.max_queue_depth")) {
+      // Merge kinds pinned per the registry contract: total stall time
+      // partitions across nodes (sum); queue depth is a watermark (max).
+      input_stall_us_(registry_.gauge("serve.input_stall_us",
+                                      obs::GaugeKind::kSum)),
+      max_queue_depth_(registry_.gauge("serve.max_queue_depth",
+                                       obs::GaugeKind::kMax)) {
   latency_hist_[0] = registry_.histogram("serve.latency_us", latency_buckets(),
                                          {{"class", "lc"}});
   latency_hist_[1] = registry_.histogram("serve.latency_us", latency_buckets(),

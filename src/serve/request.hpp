@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/status.hpp"
+#include "obs/trace.hpp"
 
 namespace everest::serve {
 
@@ -51,6 +52,11 @@ struct Request {
   /// Root span id for this request's trace (0 = tracing off). Assigned
   /// at admission; the span itself is emitted when the outcome is known.
   std::uint64_t span_id = 0;
+  /// Propagated trace identity. When valid (a federation forward, a
+  /// stream delivery), the server's spans join THIS trace, parented
+  /// under trace.parent_span, instead of opening a fresh per-server
+  /// trace — the cross-node stitching contract (DESIGN.md row 19).
+  obs::TraceContext trace;
 };
 
 /// Outcome delivered to the completion callback.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 
 namespace everest::serve {
 
@@ -10,6 +11,14 @@ namespace {
 double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count() /
          1e3;
+}
+
+/// Deterministic shed decision: hash the request seed to uniform
+/// permille so same-seed replays shed the same requests.
+bool slo_shed_hit(std::uint64_t seed, std::uint32_t permille) {
+  if (permille == 0) return false;
+  SplitMix64 sm(seed ^ 0x51c0517eda11edULL);
+  return sm.next() % 1000 < permille;
 }
 }  // namespace
 
@@ -137,10 +146,20 @@ Status Server::submit(Request request, ResponseCallback on_done) {
   if (endpoints_.count(request.kernel) == 0) {
     return NotFound("no endpoint '" + request.kernel + "'");
   }
-  // Degraded mode sheds bulk traffic early: with breakers open the
-  // fallback variants are slower, so the queue is reserved for
-  // latency-critical work once it passes the shed threshold.
-  if (degraded_.load(std::memory_order_acquire) &&
+  // SLO burn-rate shedding: the monitor asked for a fraction of
+  // throughput-class traffic to be dropped at the front door so the
+  // remaining budget goes to requests that can still meet the SLO.
+  if (request.sla == SlaClass::kThroughput &&
+      slo_shed_hit(request.seed,
+                   slo_shed_permille_.load(std::memory_order_acquire))) {
+    metrics_.record_unavailable();
+    return Unavailable("slo burn-rate control: shedding throughput load");
+  }
+  // Degraded mode sheds bulk traffic early: with breakers open (or an
+  // SLO page standing) the queue is reserved for latency-critical work
+  // once it passes the shed threshold.
+  if ((degraded_.load(std::memory_order_acquire) ||
+       slo_degraded_.load(std::memory_order_acquire)) &&
       request.sla == SlaClass::kThroughput &&
       static_cast<double>(queue_->size()) >=
           options_.degraded_shed_fill *
@@ -152,6 +171,11 @@ Status Server::submit(Request request, ResponseCallback on_done) {
   request.enqueue_time = Clock::now();
   if (options_.tracer != nullptr && options_.tracer->enabled()) {
     request.span_id = options_.tracer->next_id();
+    // A request arriving without propagated identity starts its own
+    // trace here; forwarded requests keep the federation's.
+    if (!request.trace.valid()) {
+      request.trace = obs::TraceContext{options_.tracer->next_id(), 0};
+    }
   }
   PendingRequest pending{std::move(request), std::move(on_done)};
   const Status admitted = queue_->push(std::move(pending));
@@ -211,15 +235,17 @@ void Server::execute_batch(Batch batch) {
       response.latency_us =
           us_between(pending.request.enqueue_time, dispatch_time);
       if (tracing && pending.request.span_id != 0) {
+        const std::uint64_t trace_id = pending.request.trace.trace_id;
         const double t_enq = tracer->wall_us(pending.request.enqueue_time);
         const double t_disp = tracer->wall_us(dispatch_time);
-        tracer->span(obs::TimeDomain::kWall, pending.request.id,
-                     tracer->next_id(), pending.request.span_id, t_enq, t_disp,
-                     obs::kAutoTrack, "queue", "serve");
-        tracer->instant(obs::TimeDomain::kWall, pending.request.id, t_disp,
+        tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(),
+                     pending.request.span_id, t_enq, t_disp, obs::kAutoTrack,
+                     "queue", "serve");
+        tracer->instant(obs::TimeDomain::kWall, trace_id, t_disp,
                         obs::kAutoTrack, "expired", "serve");
-        tracer->span(obs::TimeDomain::kWall, pending.request.id,
-                     pending.request.span_id, 0, t_enq, t_disp,
+        tracer->span(obs::TimeDomain::kWall, trace_id,
+                     pending.request.span_id,
+                     pending.request.trace.parent_span, t_enq, t_disp,
                      obs::kAutoTrack, "request", "serve",
                      {{"outcome", "expired"}});
       }
@@ -257,6 +283,12 @@ void Server::execute_batch(Batch batch) {
   state.data_scale = scale / static_cast<double>(batch.size());
 
   runtime::Goal goal = options_.goal;
+  // SLO-degraded: latency is the burning budget, so every batch (not
+  // just latency-critical ones) is tuned for min latency until the
+  // monitor clears the page.
+  if (slo_degraded_.load(std::memory_order_acquire)) {
+    goal.objective = runtime::Goal::Objective::kMinLatency;
+  }
   if (batch.sla == SlaClass::kLatencyCritical) {
     goal.objective = runtime::Goal::Objective::kMinLatency;
     // Tightest remaining deadline in the batch becomes the constraint.
@@ -291,17 +323,20 @@ void Server::execute_batch(Batch batch) {
       response.latency_us = us_between(pending.request.enqueue_time, now);
       response.batch_size = batch.size();
       if (tracing && pending.request.span_id != 0) {
+        const std::uint64_t trace_id = pending.request.trace.trace_id;
         const double t_enq = tracer->wall_us(pending.request.enqueue_time);
         const double t_now = tracer->wall_us(now);
-        tracer->span(obs::TimeDomain::kWall, pending.request.id,
-                     tracer->next_id(), pending.request.span_id, t_enq,
+        tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(),
+                     pending.request.span_id, t_enq,
                      tracer->wall_us(dispatch_time), obs::kAutoTrack, "queue",
                      "serve");
-        tracer->instant(obs::TimeDomain::kWall, pending.request.id, t_now,
+        tracer->instant(obs::TimeDomain::kWall, trace_id, t_now,
                         obs::kAutoTrack, "unavailable", "serve");
-        tracer->span(obs::TimeDomain::kWall, pending.request.id,
-                     pending.request.span_id, 0, t_enq, t_now, obs::kAutoTrack,
-                     "request", "serve", {{"outcome", "unavailable"}});
+        tracer->span(obs::TimeDomain::kWall, trace_id,
+                     pending.request.span_id,
+                     pending.request.trace.parent_span, t_enq, t_now,
+                     obs::kAutoTrack, "request", "serve",
+                     {{"outcome", "unavailable"}});
       }
       if (pending.on_done) pending.on_done(response);
       finished_requests_.fetch_add(1, std::memory_order_acq_rel);
@@ -335,7 +370,8 @@ void Server::execute_batch(Batch batch) {
   if (tracing && fault_injected) {
     // Injected variant failure: surface it on the timeline next to the
     // batch it poisoned.
-    tracer->instant(obs::TimeDomain::kWall, batch.requests.front().request.id,
+    tracer->instant(obs::TimeDomain::kWall,
+                    batch.requests.front().request.trace.trace_id,
                     tracer->wall_us(exec_start), obs::kAutoTrack,
                     "fault-injected", "resilience",
                     {{"kernel", batch.kernel},
@@ -379,7 +415,7 @@ void Server::execute_batch(Batch batch) {
       metrics_.record_failed();
     }
     if (tracing && pending.request.span_id != 0) {
-      const std::uint64_t trace_id = pending.request.id;
+      const std::uint64_t trace_id = pending.request.trace.trace_id;
       const std::uint64_t root = pending.request.span_id;
       const double t_enq = tracer->wall_us(pending.request.enqueue_time);
       const double t_disp = tracer->wall_us(dispatch_time);
@@ -409,7 +445,8 @@ void Server::execute_batch(Batch batch) {
       tracer->span(obs::TimeDomain::kWall, trace_id, tracer->next_id(), root,
                    t_exec1, t_done, obs::kAutoTrack, "reply", "serve");
       tracer->span(
-          obs::TimeDomain::kWall, trace_id, root, 0, t_enq, t_done,
+          obs::TimeDomain::kWall, trace_id, root,
+          pending.request.trace.parent_span, t_enq, t_done,
           obs::kAutoTrack, "request", "serve",
           {{"outcome", handler_status.ok()
                            ? (batch_degraded ? "degraded" : "ok")

@@ -10,6 +10,7 @@
 // requests are dropped at dispatch, not executed late).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -86,7 +87,11 @@ struct ServerOptions {
   /// request gets a wall-clock span chain — root "request" with "queue",
   /// "batch", "execute" (annotated with the autotuner's variant
   /// decision), and "reply" children — plus instant events for expiry,
-  /// unavailability, and injected faults. trace_id is the request id.
+  /// unavailability, and injected faults. A request carrying a valid
+  /// TraceContext joins that trace (spans parent under
+  /// trace.parent_span); otherwise the server opens a fresh trace at
+  /// admission, so local and forwarded traffic alike produce one
+  /// root-reachable chain.
   obs::Tracer* tracer = nullptr;
 };
 
@@ -146,9 +151,37 @@ class Server {
   [[nodiscard]] const resilience::CircuitBreakerBoard& breakers() const {
     return breakers_;
   }
+  /// Mutable access for wiring observers (e.g. a flight recorder's
+  /// breaker-open trigger). Call before traffic starts.
+  resilience::CircuitBreakerBoard& mutable_breakers() { return breakers_; }
   /// Any breaker open right now (degraded mode)?
   [[nodiscard]] bool degraded() const {
     return degraded_.load(std::memory_order_acquire);
+  }
+
+  // ---- telemetry-steered admission (SLO burn-rate control) ----
+  /// Sheds this fraction of throughput-class traffic at admission
+  /// (0 = none, 1 = all). The drop decision hashes Request::seed, so a
+  /// replay with the same seeds sheds the same requests. Set from an SLO
+  /// monitor's alert callback; cleared on recovery.
+  void set_slo_shed_fraction(double fraction) {
+    slo_shed_permille_.store(
+        static_cast<std::uint32_t>(
+            std::clamp(fraction, 0.0, 1.0) * 1000.0),
+        std::memory_order_release);
+  }
+  [[nodiscard]] double slo_shed_fraction() const {
+    return slo_shed_permille_.load(std::memory_order_acquire) / 1000.0;
+  }
+  /// SLO-degraded mode: batches are tuned with a min-latency goal (the
+  /// burn says latency is the scarce resource) and throughput-class
+  /// traffic additionally obeys the degraded_shed_fill gate even while
+  /// no breaker is open.
+  void set_slo_degraded(bool on) {
+    slo_degraded_.store(on, std::memory_order_release);
+  }
+  [[nodiscard]] bool slo_degraded() const {
+    return slo_degraded_.load(std::memory_order_acquire);
   }
 
   /// Input-cache counters (hits/misses of data_key staging).
@@ -185,6 +218,9 @@ class Server {
 
   resilience::CircuitBreakerBoard breakers_;
   std::atomic<bool> degraded_{false};
+  /// SLO burn-rate controls (telemetry-steered admission).
+  std::atomic<std::uint32_t> slo_shed_permille_{0};
+  std::atomic<bool> slo_degraded_{false};
   Clock::time_point breaker_epoch_;
 
   /// Input staging cache; single-owner type, shared across workers under

@@ -48,7 +48,9 @@ CatalogLog::CatalogLog(std::string dir, LogConfig config,
     ctr_checkpoints_ = registry->counter("storage.log.checkpoints");
     ctr_io_errors_ = registry->counter("storage.log.io_errors");
     ctr_recoveries_ = registry->counter("storage.log.recoveries");
-    gauge_degraded_ = registry->gauge("storage.log.degraded");
+    // 0/1 flag; kMax so a federation merge reads 1 when ANY node degraded.
+    gauge_degraded_ =
+        registry->gauge("storage.log.degraded", obs::GaugeKind::kMax);
   }
   const Status made = env_->create_dirs(dir_);
   if (!made.ok()) {

@@ -26,8 +26,9 @@ RecoveryReport recover_catalog(const std::string& dir, obs::Registry* registry,
     obs::ScopedTimerUs timer(
         registry != nullptr ? registry->histogram("storage.recovery.us")
                             : nullptr,
-        registry != nullptr ? registry->gauge("storage.recovery.last_us")
-                            : nullptr);
+        registry != nullptr
+            ? registry->gauge("storage.recovery.last_us", obs::GaugeKind::kMax)
+            : nullptr);  // kMax: merged value = slowest node recovery
     report.replay = CatalogLog::replay(dir, registry);
     report.wall_us = timer.elapsed_us();
   }

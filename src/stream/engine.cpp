@@ -13,7 +13,9 @@ StreamEngine::StreamEngine(EngineConfig config, obs::Registry* registry,
   if (registry_ != nullptr) {
     ctr_events_ = registry_->counter("stream.events_processed");
     ctr_outputs_ = registry_->counter("stream.outputs_emitted");
-    gauge_watermark_lag_ = registry_->gauge("stream.watermark_lag_us");
+    // kMax: the merged federation value is the worst watermark lag.
+    gauge_watermark_lag_ = registry_->gauge("stream.watermark_lag_us",
+                                            obs::GaugeKind::kMax);
     hist_staleness_ = registry_->histogram("stream.staleness_us");
   }
 }
@@ -199,6 +201,17 @@ void StreamEngine::deliver(const std::string& topic, std::uint64_t frontier,
     }
   }
   if (targets.empty()) return;
+  obs::Tracer* tracer = config_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  obs::TraceContext ctx;
+  double t0 = 0.0;
+  if (tracing) {
+    // One trace per fan-out: the "deliver" span roots it and each
+    // Delivery carries a context parented under it, so consumer-side
+    // spans stitch into this chain.
+    ctx = obs::TraceContext{tracer->next_id(), tracer->next_id()};
+    t0 = tracer->wall_now_us();
+  }
   std::uint64_t delivered = 0;
   for (WindowOutput& output : outputs) {
     if (hist_staleness_ != nullptr && frontier > output.window_start_us) {
@@ -208,9 +221,16 @@ void StreamEngine::deliver(const std::string& topic, std::uint64_t frontier,
           static_cast<double>(frontier - output.window_start_us));
     }
     for (const auto& session : targets) {
-      session->push(Delivery{output, frontier});
+      session->push(Delivery{output, frontier, ctx});
       ++delivered;
     }
+  }
+  if (tracing) {
+    tracer->span(obs::TimeDomain::kWall, ctx.trace_id, ctx.parent_span, 0, t0,
+                 tracer->wall_now_us(), obs::kAutoTrack, "deliver", "stream",
+                 {{"topic", topic},
+                  {"outputs", std::to_string(outputs.size())},
+                  {"sessions", std::to_string(targets.size())}});
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.deliveries += delivered;

@@ -34,6 +34,7 @@
 
 #include "common/status.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "storage/env.hpp"
 #include "stream/ingestor.hpp"
 #include "stream/session.hpp"
@@ -48,6 +49,11 @@ struct EngineConfig {
   std::size_t max_sessions = 64;
   /// Pump poll granularity while the queue is empty.
   std::chrono::microseconds idle_poll{200};
+  /// Span sink (borrowed; may be null). When enabled, each delivery
+  /// fan-out gets a "deliver" span and every Delivery carries a
+  /// TraceContext parented under it, so consumer-side work stitches
+  /// into the engine's chain.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct EngineStats {

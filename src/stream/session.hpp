@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 #include "stream/event.hpp"
 
@@ -34,6 +35,10 @@ struct Delivery {
   /// Topic frontier (µs) when the output was queued — staleness at the
   /// consumer is frontier − window_start.
   std::uint64_t frontier_us = 0;
+  /// Propagated trace identity: valid when the engine traced this
+  /// delivery (parented under its "deliver" span), so a consumer's
+  /// downstream spans stitch into the same chain.
+  obs::TraceContext trace;
 };
 
 struct SessionConfig {

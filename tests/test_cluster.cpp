@@ -606,6 +606,13 @@ TEST(Federation, CrashFailoverThenRejoinKeepsKeyedTrafficAvailable) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   ASSERT_EQ(federation.membership().view()->health[0], Health::kHealthy);
+  // The pump publishes the healthy view BEFORE it rebuilds the map, so
+  // poll the counter too (the gap is microseconds natively but real
+  // under sanitizers).
+  while (federation.stats().rebuilds < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   stats = federation.stats();
   EXPECT_GE(stats.rejoins, 1u);
   EXPECT_GE(stats.rebuilds, 2u);

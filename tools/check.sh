@@ -4,10 +4,13 @@
 #      registered bench smokes);
 #   2. every bench_e* binary in --smoke mode, distinguishing a failed
 #      self-check criterion (exit 1) from a usage error (exit 2);
-#   3. a ThreadSanitizer build (EVEREST_SANITIZE=thread) of the
+#   3. trace_lint over the flight-recorder bundles the E25 smoke dumped:
+#      the standalone validator proves the exported chrome traces load
+#      in Perfetto (structure + span forest + root reachability);
+#   4. a ThreadSanitizer build (EVEREST_SANITIZE=thread) of the
 #      concurrency-heavy test binaries (serve, obs, data, cluster,
 #      storage, stream) run under ctest;
-#   4. an AddressSanitizer build (EVEREST_SANITIZE=address) of the
+#   5. an AddressSanitizer build (EVEREST_SANITIZE=address) of the
 #      I/O-error-path-heavy test binaries (storage, data): fault
 #      injection exercises every short-write/EIO/ENOSPC cleanup path,
 #      and ASan proves none of them leaks or double-frees.
@@ -17,19 +20,21 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 
-echo "=== [1/3] tier-1: configure + build + ctest ==="
+echo "=== [1/5] tier-1: configure + build + ctest ==="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 (cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
 
 echo
-echo "=== [2/3] bench smokes (exit 1 = criterion failed, 2 = bad usage) ==="
+echo "=== [2/5] bench smokes (exit 1 = criterion failed, 2 = bad usage) ==="
 smoke_failures=0
 for bench in "$ROOT"/build/bench/bench_e*; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   set +e
-  "$bench" --smoke >/dev/null 2>&1
+  # Run from build/ so relative artifacts (E25's e25_flight/ dumps) land
+  # in a predictable place for the later gates.
+  (cd "$ROOT/build" && "$bench" --smoke >/dev/null 2>&1)
   code=$?
   set -e
   case "$code" in
@@ -45,7 +50,16 @@ if [ "$smoke_failures" -ne 0 ]; then
 fi
 
 echo
-echo "=== [3/4] TSan: serve + obs + data + cluster + storage + stream tests ==="
+echo "=== [3/5] trace lint: flight-recorder bundles load in Perfetto ==="
+if ls "$ROOT"/build/e25_flight/*.trace.json >/dev/null 2>&1; then
+  "$ROOT"/build/tools/trace_lint "$ROOT"/build/e25_flight/*.trace.json
+else
+  echo "no flight bundles found (expected from the E25 smoke)" >&2
+  exit 1
+fi
+
+echo
+echo "=== [4/5] TSan: serve + obs + data + cluster + storage + stream tests ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DEVEREST_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target test_serve test_obs test_data test_cluster test_storage test_stream
@@ -53,7 +67,7 @@ cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   -R 'test_serve|test_obs|test_data|test_cluster|test_storage|test_stream')
 
 echo
-echo "=== [4/4] ASan: storage + data tests (fault-injection leak check) ==="
+echo "=== [5/5] ASan: storage + data tests (fault-injection leak check) ==="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DEVEREST_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_storage test_data
 (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" \

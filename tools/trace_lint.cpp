@@ -1,0 +1,88 @@
+// trace_lint: standalone chrome-trace validator.
+//
+//   trace_lint <file.trace.json> [more files...]
+//
+// Lints each file the way Perfetto's importer would (structure, ph/ts/
+// dur fields) via obs::validate_chrome_trace, then re-checks span
+// structure on the embedded span args (acyclic parents, root
+// reachability). Exit 0 when every file passes, 1 on the first lint
+// failure, 2 on usage/IO errors. Wired into tools/check.sh so any
+// exporter change that would break Perfetto loading fails the gate.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+
+namespace {
+
+int lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const everest::Status lint = everest::obs::validate_chrome_trace(text);
+  if (!lint.ok()) {
+    std::fprintf(stderr, "trace_lint: %s: %s\n", path.c_str(),
+                 lint.to_string().c_str());
+    return 1;
+  }
+
+  // Rebuild the span forest from the args the exporter embeds and check
+  // root reachability — a structural property the JSON shape alone
+  // cannot guarantee.
+  auto parsed = everest::json::parse(text);
+  const auto& events = parsed.value().at("traceEvents").as_array();
+  std::vector<everest::obs::TraceEvent> spans;
+  for (const auto& ev : events) {
+    if (!ev.at("ph").is_string() || ev.at("ph").as_string() != "X") continue;
+    const auto& args = ev.at("args");
+    everest::obs::TraceEvent span;
+    span.kind = everest::obs::TraceEvent::Kind::kSpan;
+    span.trace_id = static_cast<std::uint64_t>(args.at("trace_id").as_int());
+    span.span_id = static_cast<std::uint64_t>(args.at("span_id").as_int());
+    span.parent_id =
+        static_cast<std::uint64_t>(args.at("parent_id").as_int());
+    span.start_us = ev.at("ts").as_number();
+    span.end_us = span.start_us + ev.at("dur").as_number();
+    span.name = ev.at("name").as_string();
+    spans.push_back(std::move(span));
+  }
+  if (!everest::obs::spans_acyclic(spans)) {
+    std::fprintf(stderr, "trace_lint: %s: span parent links are not a forest\n",
+                 path.c_str());
+    return 1;
+  }
+  const double reachable = everest::obs::root_reachable_fraction(spans);
+  if (reachable < 1.0) {
+    std::fprintf(stderr,
+                 "trace_lint: %s: only %.4f of spans reach a root\n",
+                 path.c_str(), reachable);
+    return 1;
+  }
+  std::printf("trace_lint: %s: ok (%zu events, %zu spans)\n", path.c_str(),
+              events.size(), spans.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_lint <file.trace.json> [...]\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int rc = lint_file(argv[i]);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
