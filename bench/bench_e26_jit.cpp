@@ -1,0 +1,520 @@
+// E26 — online variant specialization: closing the compile↔serve loop.
+// The JIT watches live traffic (per-kernel data-feature histograms the
+// serving layer exports), mints shape-specialized variants through the
+// compiler's DSE pipeline on a budgeted background service, and hot-swaps
+// them into the knowledge base mid-flight. Four questions, one per series:
+//
+//   1. Does specialization pay? A drifting workload (the hot data-feature
+//      bucket moves every few seconds) served with the JIT on vs the
+//      specialization-off ablation: post-engagement p99 and mean
+//      regret-vs-oracle must both improve.
+//   2. Is compilation harmless? Compile work must stay inside the token
+//      bucket (compile-µs per wall-second), and a server's measured p99
+//      while the JIT compiles continuously must stay within 1.2x of the
+//      no-compile baseline.
+//   3. Is the hot swap safe? A live server keeps answering while minted
+//      variant sets replace each other; zero in-flight requests may be
+//      lost (epoch-based retirement: in-flight batches finish on their
+//      snapshot, new batches never see retired ids).
+//   4. Does the cache survive restart? A fresh process warm-restarted
+//      from the persisted VariantCache must select specialized variants
+//      immediately, with zero DSE reruns.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "jit/jit.hpp"
+#include "serve/endpoints.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "storage/env.hpp"
+
+#include "smoke.hpp"
+
+using namespace everest;
+using namespace everest::jit;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+constexpr const char* kKernel = "aq_dispersion";
+
+double steady_us() {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+KernelSpec make_spec() {
+  KernelSpec spec;
+  spec.kernel = kKernel;
+  spec.profile.flops = 4e6;
+  spec.profile.bytes_read = 2e6;
+  spec.profile.bytes_written = 5e5;
+  spec.profile.live_bytes = 1 << 20;
+  spec.base_dim = 64.0;
+  return spec;
+}
+
+/// The offline variant set: a compile-time sweep estimated at the
+/// profiled size (scale 1). Generic (specialized_scale 0), so they are
+/// eligible at every scale — but their tile choices were made blind to
+/// the shapes live traffic actually sends.
+std::vector<compiler::Variant> offline_variants(const KernelSpec& spec) {
+  struct Knobs {
+    const char* id;
+    int threads;
+    int tile;
+    const char* layout;
+  };
+  const Knobs knobs[] = {{"cpu-t1-plain", 1, 0, "aos"},
+                         {"cpu-t4-tile32", 4, 32, "soa"},
+                         {"cpu-t8-tile128", 8, 128, "soa"}};
+  std::vector<compiler::Variant> out;
+  for (const Knobs& k : knobs) {
+    const ShapeEstimate est =
+        estimate_shaped(spec, k.threads, k.tile, k.layout, 1.0);
+    compiler::Variant v;
+    v.id = k.id;
+    v.kernel = spec.kernel;
+    v.threads = k.threads;
+    v.tile = k.tile;
+    v.layout = k.layout;
+    v.latency_us = est.latency_us;
+    v.energy_uj = est.energy_uj;
+    v.bytes_in = spec.profile.bytes_read;
+    v.bytes_out = spec.profile.bytes_written;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+// percentile() and mean_of() come from common/stats.hpp.
+
+// ------------------------------------------------------------ series 1 --
+
+struct DriftReport {
+  std::vector<double> round_p99_us;           ///< per round
+  std::vector<double> round_mean_regret_us;   ///< per round
+  std::vector<std::vector<double>> latencies; ///< per round, per request
+  std::vector<std::vector<double>> regrets;
+  /// Rounds that STARTED with the hot bucket already specialized (always
+  /// empty for the ablation; filled by the jit-on run and reused as the
+  /// comparison window for both).
+  std::vector<bool> engaged;
+  std::uint64_t publishes = 0;
+  double granted_us = 0.0;
+  double elapsed_s = 0.0;
+  std::uint64_t budget_denied = 0;
+  double specialized_fraction = 0.0;  ///< selections served by minted code
+};
+
+/// One closed-loop pass over the drifting workload. The execution model
+/// is the same shape-aware estimator the specializer ranks candidates
+/// with, so a minted variant's advantage shows up in *measured* latency;
+/// the oracle is the best any knob setting could have done per request.
+DriftReport run_drift(bool jit_on, int rounds_per_bucket, int per_round,
+                      const std::string& cache_path) {
+  const KernelSpec spec = make_spec();
+  const std::vector<int> phases = {1, 3, 5};  // the hot bucket drifts
+
+  runtime::KnowledgeBase kb;
+  (void)kb.load(offline_variants(spec));
+  runtime::Autotuner tuner(&kb);
+  serve::ServingMetrics metrics;
+  obs::Registry jit_registry;
+
+  JitConfig config;
+  config.detector.min_requests = 24;
+  config.cache_path = cache_path;
+  JitService jitsvc(&kb, &metrics.registry(), &jit_registry, nullptr,
+                    cache_path.empty() ? nullptr : storage::Env::posix(),
+                    config);
+  jitsvc.register_kernel(spec);
+
+  Rng rng(kSeed);
+  DriftReport report;
+  double now_us = 0.0;
+  std::uint64_t specialized = 0, total = 0;
+
+  for (std::size_t phase = 0; phase < phases.size(); ++phase) {
+    const int bucket = phases[phase];
+    for (int r = 0; r < rounds_per_bucket; ++r) {
+      const HotTuple tuple{kKernel, bucket, "t0"};
+      report.engaged.push_back(jit_on &&
+                               jitsvc.cache().covers(tuple) > 0);
+      std::vector<double> lat, reg;
+      for (int i = 0; i < per_round; ++i) {
+        const double scale =
+            serve::feature_bucket_scale(bucket) * rng.uniform(0.8, 1.3);
+        runtime::SystemState state;
+        state.fpgas_available = 0;
+        state.data_scale = scale;
+        auto sel = tuner.select(kKernel, runtime::Goal{}, state);
+        if (!sel.ok()) continue;
+        const double measured =
+            estimate_variant(spec, sel->variant, scale).latency_us;
+        // Feedback at the profiled size (expectations are per scale 1).
+        tuner.observe(kKernel, sel->variant.id, measured / scale,
+                      estimate_variant(spec, sel->variant, scale).energy_uj /
+                          scale);
+        metrics.record_feature(kKernel, "t0", scale, measured);
+        lat.push_back(measured);
+        reg.push_back(measured - oracle_latency_us(spec, scale));
+        ++total;
+        if (sel->variant.specialized_scale > 0.0) ++specialized;
+      }
+      report.round_p99_us.push_back(percentile(lat, 0.99));
+      report.round_mean_regret_us.push_back(mean_of(reg));
+      report.latencies.push_back(std::move(lat));
+      report.regrets.push_back(std::move(reg));
+      now_us += 1e6;  // one wall-second per round
+      if (jit_on) report.publishes += jitsvc.tick(now_us);
+    }
+  }
+  const BudgetStats budget = jitsvc.service().budget_stats();
+  report.granted_us = budget.granted_us;
+  report.budget_denied = jitsvc.service().stats().budget_denied;
+  report.elapsed_s = now_us / 1e6;
+  report.specialized_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(specialized) / static_cast<double>(total);
+  if (jit_on && !cache_path.empty()) (void)jitsvc.persist();
+  return report;
+}
+
+// ------------------------------------------------------- series 2 and 3 --
+
+/// A variant-aware endpoint over the E26 kernel spec: the handler's
+/// answer depends deterministically on the selected variant, so hot swaps
+/// are exercised by real batch execution.
+serve::Endpoint make_jit_endpoint(const KernelSpec& spec) {
+  serve::Endpoint ep;
+  ep.kernel = spec.kernel;
+  ep.variants = offline_variants(spec);
+  ep.variant_handler = [spec](const serve::Batch& batch,
+                              const compiler::Variant* variant,
+                              std::vector<double>* values) -> Status {
+    for (const serve::PendingRequest& pending : batch.requests) {
+      const double scale = pending.request.payload_scale;
+      values->push_back(variant == nullptr
+                            ? 0.0
+                            : estimate_variant(spec, *variant, scale)
+                                  .latency_us);
+    }
+    return OkStatus();
+  };
+  return ep;
+}
+
+/// Measures a served workload's p99 with an optional concurrent compile
+/// storm (a JitService re-minting continuously, gated only by its
+/// budget). Returns latency p99 in µs.
+double serve_p99_under_compile(bool compile_storm,
+                               std::chrono::milliseconds horizon) {
+  const KernelSpec spec = make_spec();
+  runtime::KnowledgeBase kb;
+  serve::ServerOptions options;
+  options.worker_threads = 2;
+  options.queue_capacity = 512;
+  options.fpgas_available = 0;
+  serve::Server server(options, &kb);
+  (void)server.register_endpoint(make_jit_endpoint(spec));
+  (void)server.start();
+
+  // The storm compiles against its OWN knowledge base: series 2 isolates
+  // the CPU cost of compilation, series 3 covers swap correctness.
+  runtime::KnowledgeBase storm_kb;
+  VariantCache storm_cache(&storm_kb);
+  ServiceConfig storm_config;
+  storm_config.budget.compile_us_per_s = 50'000.0;
+  storm_config.budget.burst_us = 50'000.0;
+  CompilationService storm(&storm_cache, nullptr, nullptr, storm_config);
+  storm.register_kernel(spec);
+  std::atomic<bool> stop{false};
+  std::thread storm_thread;
+  if (compile_storm) {
+    storm_thread = std::thread([&] {
+      // The production contract: compile work runs at idle priority, so
+      // on a fully loaded core serving preempts it instead of waiting
+      // behind a compile slice.
+      set_background_thread_priority();
+      int bucket = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // compile_now bypasses the coverage check, so every call is a
+        // full DSE run — continuous compile pressure, budget-gated.
+        (void)storm.compile_now({kKernel, bucket, "storm"}, steady_us());
+        bucket = (bucket + 1) % 8;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  serve::WorkloadSpec workload;
+  workload.kernels = {kKernel};
+  workload.offered_rps = 400.0;
+  workload.duration = horizon;
+  workload.lc_fraction = 0.0;
+  workload.lc_deadline_ms = 0.0;
+  workload.tp_deadline_ms = 0.0;
+  workload.seed = kSeed;
+  const serve::LoadReport report = serve::run_open_loop(server, workload);
+  stop.store(true, std::memory_order_release);
+  if (storm_thread.joinable()) storm_thread.join();
+  server.stop();
+  return report.p99_us();
+}
+
+struct SwapReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t epoch_start = 0;
+  std::uint64_t epoch_end = 0;
+  bool retired_gone = false;
+  bool latest_live = false;
+};
+
+/// Serves a steady stream while the JIT re-mints the hot tuple's variant
+/// set over and over — every publish retires the previous version while
+/// batches are in flight.
+SwapReport run_hot_swap(int requests, int swaps) {
+  const KernelSpec spec = make_spec();
+  runtime::KnowledgeBase kb;
+  serve::ServerOptions options;
+  options.worker_threads = 2;
+  options.queue_capacity = 4096;
+  options.fpgas_available = 0;
+  serve::Server server(options, &kb);
+  (void)server.register_endpoint(make_jit_endpoint(spec));
+  (void)server.start();
+
+  VariantCache cache(&kb);
+  CompilationService service(&cache, nullptr, nullptr, ServiceConfig{});
+  service.register_kernel(spec);
+  const HotTuple tuple{kKernel, 2, ""};
+
+  SwapReport report;
+  report.epoch_start = kb.epoch(kKernel);
+
+  std::atomic<std::uint64_t> completed{0}, failed{0}, rejected{0};
+  std::atomic<bool> clients_done{false};
+  std::thread client([&] {
+    Rng rng(kSeed);
+    for (int i = 0; i < requests; ++i) {
+      serve::Request request;
+      request.kernel = kKernel;
+      // Keep traffic inside the specialized tuple's bucket so minted
+      // variants genuinely win selection while being swapped.
+      request.payload_scale = 4.0 * rng.uniform(0.8, 1.3);
+      request.seed = static_cast<std::uint64_t>(i);
+      Status st = server.submit(request, [&](const serve::Response& r) {
+        if (r.status.ok()) {
+          completed.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      });
+      if (!st.ok()) rejected.fetch_add(1);
+      if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    clients_done.store(true, std::memory_order_release);
+  });
+
+  // Re-mint the live tuple while the client hammers it.
+  std::vector<std::string> previous_ids;
+  while (!clients_done.load(std::memory_order_acquire) &&
+         report.swaps < static_cast<std::uint64_t>(swaps) * 8) {
+    const auto before = cache.lookup(tuple);
+    if (before.has_value()) {
+      previous_ids.clear();
+      for (const compiler::Variant& v : before->variants) {
+        previous_ids.push_back(v.id);
+      }
+    }
+    if (service.compile_now(tuple, steady_us()).ok()) ++report.swaps;
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  client.join();
+  server.drain();
+  server.stop();
+
+  report.submitted = static_cast<std::uint64_t>(requests);
+  report.completed = completed.load();
+  report.failed = failed.load();
+  report.rejected = rejected.load();
+  report.epoch_end = kb.epoch(kKernel);
+  // The previous version's ids are retired; the latest entry is live.
+  report.retired_gone = true;
+  for (const std::string& id : previous_ids) {
+    if (kb.find(kKernel, id).has_value()) report.retired_gone = false;
+  }
+  const auto latest = cache.lookup(tuple);
+  report.latest_live = latest.has_value();
+  if (latest.has_value()) {
+    for (const compiler::Variant& v : latest->variants) {
+      if (!kb.find(kKernel, v.id).has_value()) report.latest_live = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = everest::bench::smoke_mode(argc, argv);
+  everest::bench::SmokeChecker checker;
+
+  std::printf(
+      "=== E26: online variant specialization (compile<->serve loop) ===\n\n");
+
+  const int rounds_per_bucket = smoke ? 3 : 10;
+  const int per_round = smoke ? 120 : 400;
+  const std::string cache_path = "bench_e26_jitcache.json";
+  std::remove(cache_path.c_str());
+
+  // --- Series 1: drifting workload, JIT on vs specialization-off -------
+  std::printf("--- drifting data features: JIT on vs ablation (%d rounds x "
+              "%d req, hot bucket 1 -> 3 -> 5) ---\n",
+              3 * rounds_per_bucket, per_round);
+  const DriftReport on = run_drift(true, rounds_per_bucket, per_round,
+                                   cache_path);
+  const DriftReport off = run_drift(false, rounds_per_bucket, per_round, "");
+
+  Table s1({"round", "p99 off (us)", "p99 jit (us)", "regret off (us)",
+            "regret jit (us)", "specialized"});
+  std::vector<double> on_post_lat, off_post_lat, on_post_reg, off_post_reg;
+  for (std::size_t r = 0; r < on.round_p99_us.size(); ++r) {
+    s1.add_row({std::to_string(r), fmt_double(off.round_p99_us[r], 1),
+                fmt_double(on.round_p99_us[r], 1),
+                fmt_double(off.round_mean_regret_us[r], 1),
+                fmt_double(on.round_mean_regret_us[r], 1),
+                on.engaged[r] ? "yes" : "-"});
+    if (on.engaged[r]) {
+      on_post_lat.insert(on_post_lat.end(), on.latencies[r].begin(),
+                         on.latencies[r].end());
+      off_post_lat.insert(off_post_lat.end(), off.latencies[r].begin(),
+                          off.latencies[r].end());
+      on_post_reg.insert(on_post_reg.end(), on.regrets[r].begin(),
+                         on.regrets[r].end());
+      off_post_reg.insert(off_post_reg.end(), off.regrets[r].begin(),
+                          off.regrets[r].end());
+    }
+  }
+  std::printf("%s\n", s1.render().c_str());
+  const double p99_on = percentile(on_post_lat, 0.99);
+  const double p99_off = percentile(off_post_lat, 0.99);
+  const double regret_on = mean_of(on_post_reg);
+  const double regret_off = mean_of(off_post_reg);
+  std::printf("post-engagement (%zu req/run): p99 %s -> %s us, mean regret "
+              "%s -> %s us, %s publishes, %.0f%% of jit-run selections "
+              "specialized\n\n",
+              on_post_lat.size(), fmt_double(p99_off, 1).c_str(),
+              fmt_double(p99_on, 1).c_str(), fmt_double(regret_off, 2).c_str(),
+              fmt_double(regret_on, 2).c_str(),
+              std::to_string(on.publishes).c_str(),
+              100.0 * on.specialized_fraction);
+  checker.check(!on_post_lat.empty() && p99_on < p99_off,
+                "specialization improves post-engagement p99 vs ablation");
+  checker.check(!on_post_reg.empty() && regret_on < regret_off,
+                "specialization reduces mean regret-vs-oracle vs ablation");
+
+  // --- Series 2: compile work stays inside the budget ------------------
+  const ServiceConfig default_service;
+  const double budget_cap_us = default_service.budget.burst_us +
+                               default_service.budget.compile_us_per_s *
+                                   on.elapsed_s;
+  std::printf("--- compile budget: granted %s us over %.0f s (cap %s us, "
+              "%llu denials) ---\n",
+              fmt_double(on.granted_us, 0).c_str(), on.elapsed_s,
+              fmt_double(budget_cap_us, 0).c_str(),
+              static_cast<unsigned long long>(on.budget_denied));
+  checker.check(on.granted_us <= budget_cap_us + 1e-6,
+                "compile work never exceeds the token-bucket budget");
+
+  const auto horizon = std::chrono::milliseconds(smoke ? 150 : 500);
+  // Warm up allocators/thread pools once so the quiet baseline does not
+  // carry first-run cold-start cost into the ratio.
+  (void)serve_p99_under_compile(false, std::chrono::milliseconds(50));
+  const double p99_quiet = serve_p99_under_compile(false, horizon);
+  const double p99_storm = serve_p99_under_compile(true, horizon);
+  std::printf("serving p99: %s us quiet, %s us under continuous compile "
+              "(ratio %s)\n\n",
+              fmt_double(p99_quiet / 1.0, 1).c_str(),
+              fmt_double(p99_storm / 1.0, 1).c_str(),
+              fmt_double(p99_storm / std::max(p99_quiet, 1e-9), 3).c_str());
+  checker.check(p99_storm <= 1.2 * p99_quiet,
+                "serving p99 during compilation within 1.2x of no-compile");
+
+  // --- Series 3: hot swap under live traffic ----------------------------
+  const SwapReport swap = run_hot_swap(smoke ? 1200 : 4000, smoke ? 6 : 20);
+  std::printf("--- hot swap under load: %llu swaps, epoch %llu -> %llu ---\n",
+              static_cast<unsigned long long>(swap.swaps),
+              static_cast<unsigned long long>(swap.epoch_start),
+              static_cast<unsigned long long>(swap.epoch_end));
+  std::printf("submitted %llu | completed %llu | failed %llu | rejected "
+              "%llu | retired ids gone: %s | latest version live: %s\n\n",
+              static_cast<unsigned long long>(swap.submitted),
+              static_cast<unsigned long long>(swap.completed),
+              static_cast<unsigned long long>(swap.failed),
+              static_cast<unsigned long long>(swap.rejected),
+              swap.retired_gone ? "yes" : "NO",
+              swap.latest_live ? "yes" : "NO");
+  checker.check(swap.swaps >= 2 && swap.failed == 0 &&
+                    swap.completed + swap.rejected == swap.submitted &&
+                    swap.epoch_end > swap.epoch_start + swap.swaps &&
+                    swap.retired_gone && swap.latest_live,
+                "hot swap loses zero in-flight requests (epoch retirement)");
+
+  // --- Series 4: warm restart from the persisted cache ------------------
+  {
+    const KernelSpec spec = make_spec();
+    runtime::KnowledgeBase kb;
+    (void)kb.load(offline_variants(spec));
+    serve::ServingMetrics metrics;  // no traffic yet: restart is cold-path
+    JitConfig config;
+    config.cache_path = cache_path;
+    JitService jitsvc(&kb, &metrics.registry(), nullptr, nullptr,
+                      storage::Env::posix(), config);
+    jitsvc.register_kernel(spec);
+    auto restored = jitsvc.warm_restart();
+    const std::size_t entries = restored.ok() ? *restored : 0;
+
+    // Selection at every drifted bucket must hit minted code immediately.
+    runtime::Autotuner tuner(&kb);
+    int specialized_hits = 0, probes = 0;
+    for (int bucket : {1, 3, 5}) {
+      runtime::SystemState state;
+      state.fpgas_available = 0;
+      state.data_scale = serve::feature_bucket_scale(bucket);
+      auto sel = tuner.select(kKernel, runtime::Goal{}, state);
+      ++probes;
+      if (sel.ok() && sel->variant.specialized_scale > 0.0) {
+        ++specialized_hits;
+      }
+    }
+    const std::uint64_t compiles =
+        jitsvc.service().stats().compiles_ok +
+        jitsvc.service().stats().compiles_failed;
+    std::printf("--- warm restart: %zu cache entries restored, %d/%d hot "
+                "buckets served specialized, %llu DSE runs ---\n\n",
+                entries, specialized_hits, probes,
+                static_cast<unsigned long long>(compiles));
+    checker.check(entries >= 3 && specialized_hits == probes && compiles == 0,
+                  "warm restart serves specialized variants with zero DSE "
+                  "reruns");
+  }
+  std::remove(cache_path.c_str());
+
+  return checker.report("E26");
+}

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
       state.fpga_queue_depth = (t / 250) % 2 == 1 ? 3.0 : 0.0;
       auto sel = tuner.select("k", runtime::Goal{}, state);
       double best = std::numeric_limits<double>::infinity();
-      for (const Variant& v : kb.variants_for("k")) {
+      for (const Variant& v : *kb.variants_for("k")) {
         best = std::min(best, tuner.adjusted_latency("k", v, state));
       }
       if (sel.ok()) tuned += sel->predicted_latency_us;

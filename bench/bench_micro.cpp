@@ -22,7 +22,10 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "jit/cache.hpp"
+#include "jit/detector.hpp"
 #include "obs/obs.hpp"
+#include "serve/metrics.hpp"
 #include "security/aes.hpp"
 #include "security/sha256.hpp"
 #include "storage/storage.hpp"
@@ -434,6 +437,70 @@ void BM_StreamPublishFanout(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_StreamPublishFanout)->Arg(1)->Arg(8);
+
+// The JIT's serving-path tax: every batch's coverage probe is one
+// covers() call — a hash lookup plus an LRU tick, budgeted <200 ns so
+// specialization checks never show up in a p99 (same bar as the cluster
+// router's keyless route()). Arg is the number of cached tuples.
+void BM_JitVariantCacheLookup(benchmark::State& state) {
+  runtime::KnowledgeBase kb;
+  jit::VariantCache cache(&kb, nullptr,
+                          {static_cast<std::size_t>(state.range(0))});
+  compiler::Variant v;
+  v.kernel = "k";
+  v.threads = 1;
+  v.layout = "soa";
+  v.latency_us = 10.0;
+  for (int b = 0; b < state.range(0); ++b) {
+    jit::MintedVariants minted;
+    v.id = "jit-k-b" + std::to_string(b);
+    minted.variants = {v};
+    (void)cache.publish({"k", b, ""}, minted, /*seed=*/1);
+  }
+  const jit::HotTuple hot{"k", static_cast<int>(state.range(0)) / 2, ""};
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += cache.covers(hot);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JitVariantCacheLookup)->Arg(8)->Arg(64);
+
+// One detector pass over a populated serving registry: parse every
+// serve.feature.* series, delta against the previous window, rank by
+// requests x regret. Runs once per scan period (default 250 ms), so the
+// budget is microseconds, not nanoseconds — but it must stay flat in the
+// number of (kernel, bucket, tenant) series. Arg is distinct tuples.
+void BM_JitHotTupleScan(benchmark::State& state) {
+  runtime::KnowledgeBase kb;
+  compiler::Variant v;
+  v.kernel = "k";
+  v.id = "cpu-generic";
+  v.threads = 1;
+  v.layout = "soa";
+  v.latency_us = 25.0;
+  (void)kb.load({v});
+  serve::ServingMetrics metrics;
+  Rng rng(7);
+  for (int t = 0; t < state.range(0); ++t) {
+    const double scale = std::exp2(t % 8);
+    for (int i = 0; i < 40; ++i) {
+      metrics.record_feature("k", "tenant" + std::to_string(t / 8), scale,
+                             scale * rng.uniform(20.0, 200.0));
+    }
+  }
+  jit::HotTupleDetector detector(&kb);
+  double now_us = 0.0;
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    now_us += 250'000.0;
+    sink += detector.scan(metrics.registry().snapshot(now_us)).size();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JitHotTupleScan)->Arg(8)->Arg(64);
 
 }  // namespace
 

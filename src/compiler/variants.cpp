@@ -183,6 +183,7 @@ json::Value Variant::to_json() const {
   o["device"] = device;
   o["dift"] = dift;
   o["encrypted"] = encrypted;
+  if (specialized_scale > 0.0) o["specialized_scale"] = specialized_scale;
   o["latency_us"] = latency_us;
   o["energy_uj"] = energy_uj;
   o["area_fraction"] = area_fraction;
@@ -208,6 +209,10 @@ Result<Variant> Variant::from_json(const json::Value& v) {
   out.device = v.at("device").as_string();
   out.dift = v.at("dift").as_bool();
   out.encrypted = v.at("encrypted").as_string();
+  // Absent in metadata emitted before shape specialization existed.
+  if (v.contains("specialized_scale")) {
+    out.specialized_scale = v.at("specialized_scale").as_number();
+  }
   out.latency_us = v.at("latency_us").as_number();
   out.energy_uj = v.at("energy_uj").as_number();
   out.area_fraction = v.at("area_fraction").as_number();

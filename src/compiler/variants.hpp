@@ -57,6 +57,14 @@ struct Variant {
   bool dift = false;
   std::string encrypted;     // crypto algo or ""
 
+  // Shape specialization (the JIT compile↔serve loop). 0 = generic code,
+  // valid at any data scale. >0 = the code was specialized (tile choice,
+  // layout conversion, unrolled remainder elision) for inputs whose
+  // data-volume scale sits near this value; the runtime only selects it
+  // when the live data_scale falls inside the specialization window
+  // (runtime::specialization_matches).
+  double specialized_scale = 0.0;
+
   // Estimated metrics (compute only; link transfer is the runtime's job).
   double latency_us = 0.0;
   double energy_uj = 0.0;

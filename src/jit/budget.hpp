@@ -1,0 +1,96 @@
+// The compilation-cost budget: a token bucket of compile-microseconds
+// per wall-second. Background specialization must never starve serving —
+// the bucket caps how much compile work the service may start per unit
+// time, and everything over budget is dropped-and-accounted (the
+// detector will re-surface a still-hot tuple on a later scan, when
+// tokens have refilled).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+
+namespace everest::jit {
+
+struct BudgetConfig {
+  /// Refill rate: compile-us granted per wall-second.
+  double compile_us_per_s = 50'000.0;
+  /// Bucket capacity (burst): at most this much compile debt at once.
+  double burst_us = 100'000.0;
+};
+
+struct BudgetStats {
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;
+  double granted_us = 0.0;   ///< estimates acquired
+  double settled_us = 0.0;   ///< actual compile time charged back
+};
+
+/// Thread-safe token bucket on an injected clock (microseconds; wall or
+/// simulated — the owner passes now_us on every call, so tests drive it
+/// deterministically).
+class CompileBudget {
+ public:
+  explicit CompileBudget(BudgetConfig config = {}) : config_(config) {}
+
+  /// Tries to reserve `estimated_us` of compile work. On success the
+  /// tokens are taken immediately (pessimistic — settle() reconciles).
+  bool try_acquire(double estimated_us, double now_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    refill(now_us);
+    if (tokens_us_ < estimated_us) {
+      ++stats_.denied;
+      return false;
+    }
+    tokens_us_ -= estimated_us;
+    ++stats_.granted;
+    stats_.granted_us += estimated_us;
+    return true;
+  }
+
+  /// Reconciles a finished compile: refunds an over-estimate, charges an
+  /// overrun (tokens may go negative — the debt delays the next grant,
+  /// so long compiles cannot cheat the rate).
+  void settle(double estimated_us, double actual_us, double now_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    refill(now_us);
+    tokens_us_ =
+        std::min(tokens_us_ + estimated_us - actual_us, config_.burst_us);
+    stats_.settled_us += actual_us;
+  }
+
+  [[nodiscard]] double available_us(double now_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    refill(now_us);
+    return tokens_us_;
+  }
+
+  [[nodiscard]] BudgetStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  [[nodiscard]] const BudgetConfig& config() const { return config_; }
+
+ private:
+  /// Caller holds mu_.
+  void refill(double now_us) {
+    if (last_us_ < 0.0) {
+      last_us_ = now_us;  // first touch: start full
+      tokens_us_ = config_.burst_us;
+      return;
+    }
+    const double dt_s = std::max(0.0, (now_us - last_us_) / 1e6);
+    last_us_ = std::max(last_us_, now_us);
+    tokens_us_ = std::min(tokens_us_ + dt_s * config_.compile_us_per_s,
+                          config_.burst_us);
+  }
+
+  BudgetConfig config_;
+  mutable std::mutex mu_;
+  double tokens_us_ = 0.0;
+  double last_us_ = -1.0;
+  BudgetStats stats_;
+};
+
+}  // namespace everest::jit

@@ -1,0 +1,211 @@
+#include "jit/cache.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+
+namespace everest::jit {
+
+VariantCache::VariantCache(runtime::KnowledgeBase* kb, obs::Registry* registry,
+                           CacheConfig config)
+    : kb_(kb), registry_(registry), config_(config) {}
+
+std::uint32_t VariantCache::covers(const HotTuple& tuple) {
+  std::uint32_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(tuple);
+    if (it != entries_.end()) {
+      it->second.last_used = ++tick_;
+      version = it->second.entry.version;
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (registry_ != nullptr) {
+    registry_->counter(version > 0 ? "jit.cache.hit" : "jit.cache.miss")
+        ->inc();
+  }
+  return version;
+}
+
+Result<std::uint32_t> VariantCache::publish(const HotTuple& tuple,
+                                            const MintedVariants& minted,
+                                            std::uint64_t seed) {
+  if (minted.variants.empty()) {
+    return InvalidArgument("publish of an empty minted set for tuple " +
+                           tuple.key());
+  }
+  for (const compiler::Variant& v : minted.variants) {
+    if (v.kernel != tuple.kernel) {
+      return InvalidArgument("minted variant '" + v.id + "' targets kernel '" +
+                             v.kernel + "', tuple is for '" + tuple.kernel +
+                             "'");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(tuple);
+  std::vector<std::string> prior_ids;
+  std::uint32_t version = 1;
+  if (it != entries_.end()) {
+    version = it->second.entry.version + 1;
+    for (const compiler::Variant& v : it->second.entry.variants) {
+      prior_ids.push_back(v.id);
+    }
+  }
+
+  // Publish first, then retire: there is never a window where the kernel
+  // has NO specialized coverage for the tuple mid-re-mint.
+  std::uint64_t epoch = 0;
+  Status st = kb_->upsert(tuple.kernel, minted.variants, &epoch);
+  if (!st.ok()) return st;
+  std::vector<std::string> stale;
+  for (const std::string& id : prior_ids) {
+    const bool reused =
+        std::any_of(minted.variants.begin(), minted.variants.end(),
+                    [&](const compiler::Variant& v) { return v.id == id; });
+    if (!reused) stale.push_back(id);
+  }
+  if (!stale.empty()) kb_->retire(tuple.kernel, stale, &epoch);
+
+  Slot& slot = entries_[tuple];
+  slot.entry.tuple = tuple;
+  slot.entry.version = version;
+  slot.entry.seed = seed;
+  slot.entry.variants = minted.variants;
+  slot.entry.kb_epoch = epoch;
+  slot.last_used = ++tick_;
+  ++stats_.publishes;
+
+  while (entries_.size() > config_.max_entries) evict_one_locked();
+
+  if (registry_ != nullptr) {
+    registry_->counter("jit.cache.publish")->inc();
+    registry_->gauge("jit.cache.entries", obs::GaugeKind::kLastWrite)
+        ->set(static_cast<double>(entries_.size()));
+  }
+  return version;
+}
+
+std::optional<CacheEntry> VariantCache::lookup(const HotTuple& tuple) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(tuple);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.entry;
+}
+
+std::size_t VariantCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CacheStats VariantCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void VariantCache::evict_one_locked() {
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (victim == entries_.end() ||
+        it->second.last_used < victim->second.last_used) {
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) return;
+  std::vector<std::string> ids;
+  for (const compiler::Variant& v : victim->second.entry.variants) {
+    ids.push_back(v.id);
+  }
+  kb_->retire(victim->first.kernel, ids);
+  entries_.erase(victim);
+  ++stats_.evictions;
+  if (registry_ != nullptr) registry_->counter("jit.cache.evict")->inc();
+}
+
+Status VariantCache::save(storage::Env* env, const std::string& path) const {
+  json::Array entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Deterministic file bytes: serialize in tuple order, not hash order.
+    std::vector<const Slot*> slots;
+    slots.reserve(entries_.size());
+    for (const auto& [tuple, slot] : entries_) slots.push_back(&slot);
+    std::sort(slots.begin(), slots.end(), [](const Slot* a, const Slot* b) {
+      return a->entry.tuple < b->entry.tuple;
+    });
+    for (const Slot* slot : slots) {
+      json::Object o;
+      o["kernel"] = slot->entry.tuple.kernel;
+      o["bucket"] = slot->entry.tuple.bucket;
+      o["tenant"] = slot->entry.tuple.tenant;
+      o["version"] = static_cast<std::int64_t>(slot->entry.version);
+      o["seed"] = static_cast<std::int64_t>(slot->entry.seed);
+      o["variants"] = compiler::variants_to_json(slot->entry.variants);
+      entries.emplace_back(std::move(o));
+    }
+  }
+  json::Object root;
+  root["schema"] = "everest.jitcache.v1";
+  root["entries"] = std::move(entries);
+  const std::string bytes = json::Value(std::move(root)).dump();
+
+  const std::string tmp = path + ".tmp";
+  auto file = env->open_trunc(tmp);
+  if (!file.ok()) return file.status();
+  Status st = (*file)->append(bytes);
+  if (st.ok()) st = (*file)->sync();
+  if (st.ok()) st = (*file)->close();
+  if (!st.ok()) {
+    env->remove_file(tmp);
+    return st;
+  }
+  return env->rename_file(tmp, path);
+}
+
+Result<std::size_t> VariantCache::load(storage::Env* env,
+                                       const std::string& path) {
+  auto bytes = env->read_file(path);
+  if (!bytes.ok()) return bytes.status();
+  auto parsed = json::parse(*bytes);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->at("schema").as_string() != "everest.jitcache.v1") {
+    return InvalidArgument("jit cache file '" + path +
+                           "' has an unknown schema");
+  }
+  std::size_t restored = 0;
+  for (const json::Value& e : parsed->at("entries").as_array()) {
+    auto variants = compiler::variants_from_json(e.at("variants"));
+    if (!variants.ok()) return variants.status();
+    if (variants->empty()) continue;
+    HotTuple tuple;
+    tuple.kernel = e.at("kernel").as_string();
+    tuple.bucket = static_cast<int>(e.at("bucket").as_int());
+    tuple.tenant = e.at("tenant").as_string();
+
+    std::uint64_t epoch = 0;
+    Status st = kb_->upsert(tuple.kernel, *variants, &epoch);
+    if (!st.ok()) return st;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = entries_[tuple];
+    slot.entry.tuple = tuple;
+    slot.entry.version = static_cast<std::uint32_t>(e.at("version").as_int());
+    slot.entry.seed = static_cast<std::uint64_t>(e.at("seed").as_int());
+    slot.entry.variants = std::move(*variants);
+    slot.entry.kb_epoch = epoch;
+    slot.last_used = ++tick_;
+    while (entries_.size() > config_.max_entries) evict_one_locked();
+    ++restored;
+  }
+  if (registry_ != nullptr) {
+    registry_->counter("jit.cache.restored")->inc(restored);
+    registry_->gauge("jit.cache.entries", obs::GaugeKind::kLastWrite)
+        ->set(static_cast<double>(size()));
+  }
+  return restored;
+}
+
+}  // namespace everest::jit

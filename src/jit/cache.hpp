@@ -1,0 +1,108 @@
+// VariantCache — the publish side of the compile↔serve loop. Holds one
+// versioned entry per hot tuple; publishing an entry atomically hot-swaps
+// its minted variants into the KnowledgeBase (upsert new ids, retire the
+// previous version's ids), so serving workers pick them up on their next
+// selection while in-flight batches finish on the snapshot they hold
+// (epoch-based retirement, see runtime/knowledge.hpp).
+//
+// The cache is also the warm-restart store: save() serializes every entry
+// (schema "everest.jitcache.v1") through storage::Env with the
+// write-to-temp + rename atomic-replace idiom, and load() republishes the
+// persisted variants into the KnowledgeBase without re-running DSE.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "jit/specialize.hpp"
+#include "jit/tuple.hpp"
+#include "obs/registry.hpp"
+#include "runtime/knowledge.hpp"
+#include "storage/env.hpp"
+
+namespace everest::jit {
+
+struct CacheConfig {
+  /// LRU capacity; evicting an entry also retires its variants from the
+  /// KnowledgeBase (the cache is the authority on JIT-minted ids).
+  std::size_t max_entries = 64;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t publishes = 0;
+};
+
+/// One published specialization.
+struct CacheEntry {
+  HotTuple tuple;
+  std::uint32_t version = 0;  ///< bumped on every re-specialization
+  std::uint64_t seed = 0;     ///< the DSE seed the entry was minted with
+  std::vector<compiler::Variant> variants;  ///< what is live in the KB
+  std::uint64_t kb_epoch = 0;  ///< KB epoch after this entry's publish
+};
+
+class VariantCache {
+ public:
+  /// `kb` receives the hot swaps; `registry` (optional) receives
+  /// jit.cache.{hit,miss,evict,publish} counters and the
+  /// jit.cache.entries gauge.
+  explicit VariantCache(runtime::KnowledgeBase* kb,
+                        obs::Registry* registry = nullptr,
+                        CacheConfig config = {});
+
+  /// Fast-path membership probe (the serving scan's dedup check): the
+  /// published version covering `tuple`, or 0 when none. Counts a
+  /// hit/miss and refreshes LRU recency on hit. Budgeted <200 ns in
+  /// bench_micro — one hash lookup, no string allocation.
+  std::uint32_t covers(const HotTuple& tuple);
+
+  /// Publishes a freshly minted set for `tuple`: upserts into the
+  /// KnowledgeBase, retires the previous version's ids that the new set
+  /// does not reuse, stores the entry (evicting LRU over capacity).
+  /// Returns the entry's new version.
+  Result<std::uint32_t> publish(const HotTuple& tuple,
+                                const MintedVariants& minted,
+                                std::uint64_t seed);
+
+  /// Copy of the entry covering `tuple` (no stats side effects).
+  [[nodiscard]] std::optional<CacheEntry> lookup(const HotTuple& tuple) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] CacheStats stats() const;
+
+  // ---- persistence (warm restart without recompilation) ----
+
+  /// Atomic-replace save of every entry to `path` via `env`.
+  Status save(storage::Env* env, const std::string& path) const;
+
+  /// Loads a saved cache and republishes every entry into the
+  /// KnowledgeBase. Returns the number of entries restored; NOT_FOUND
+  /// from the Env is surfaced (callers treat it as a cold start).
+  Result<std::size_t> load(storage::Env* env, const std::string& path);
+
+ private:
+  /// Caller holds mu_. Removes the LRU entry and retires its ids.
+  void evict_one_locked();
+
+  runtime::KnowledgeBase* kb_;
+  obs::Registry* registry_;
+  CacheConfig config_;
+
+  mutable std::mutex mu_;
+  struct Slot {
+    CacheEntry entry;
+    std::uint64_t last_used = 0;
+  };
+  std::unordered_map<HotTuple, Slot, HotTupleHash> entries_;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace everest::jit

@@ -1,0 +1,168 @@
+#include "jit/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/autotuner.hpp"
+
+namespace everest::jit {
+
+namespace {
+
+/// Reset-aware counter delta: a restarted serving process re-counts from
+/// zero, so current < previous means the whole current value is new.
+std::uint64_t counter_delta(std::uint64_t current, std::uint64_t previous) {
+  return current >= previous ? current - previous : current;
+}
+
+}  // namespace
+
+bool parse_feature_key(const std::string& key, const std::string& prefix,
+                       HotTuple* out) {
+  // Canonical key shape (Registry::key_of, labels sorted):
+  //   <prefix>{bucket=<b>,kernel=<k>,tenant=<t>}
+  if (key.size() <= prefix.size() + 2 ||
+      key.compare(0, prefix.size(), prefix) != 0 ||
+      key[prefix.size()] != '{' || key.back() != '}') {
+    return false;
+  }
+  const std::string body =
+      key.substr(prefix.size() + 1, key.size() - prefix.size() - 2);
+  HotTuple tuple;
+  bool have_bucket = false, have_kernel = false, have_tenant = false;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string pair = body.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string k = pair.substr(0, eq);
+    const std::string v = pair.substr(eq + 1);
+    if (k == "bucket") {
+      try {
+        tuple.bucket = std::stoi(v);
+      } catch (...) {
+        return false;
+      }
+      have_bucket = true;
+    } else if (k == "kernel") {
+      tuple.kernel = v;
+      have_kernel = true;
+    } else if (k == "tenant") {
+      tuple.tenant = v;
+      have_tenant = true;
+    }
+  }
+  if (!have_bucket || !have_kernel || !have_tenant) return false;
+  *out = tuple;
+  return true;
+}
+
+HotTupleDetector::HotTupleDetector(const runtime::KnowledgeBase* kb,
+                                   obs::Registry* jit_registry,
+                                   DetectorConfig config)
+    : kb_(kb), jit_registry_(jit_registry), config_(config) {}
+
+std::vector<HotCandidate> HotTupleDetector::scan(
+    const obs::RegistrySnapshot& snapshot) {
+  static const std::string kRequests = "serve.feature.requests";
+  static const std::string kServiceUs = "serve.feature.service_us";
+
+  const double window_s =
+      has_prev_ ? std::max(0.0, (snapshot.at_us - prev_.at_us) / 1e6) : 0.0;
+
+  std::vector<HotCandidate> candidates;
+  last_window_tuples_ = 0;
+  for (const auto& [key, count] : snapshot.counters) {
+    HotTuple tuple;
+    if (!parse_feature_key(key, kRequests, &tuple)) continue;
+
+    std::uint64_t prev_count = 0;
+    if (has_prev_) {
+      auto it = prev_.counters.find(key);
+      if (it != prev_.counters.end()) prev_count = it->second;
+    }
+    const std::uint64_t requests = counter_delta(count, prev_count);
+    if (requests == 0) continue;
+    ++last_window_tuples_;
+
+    // Windowed mean service share from the paired histogram's
+    // (count, sum) deltas.
+    TupleSignal signal;
+    signal.requests = requests;
+    signal.rate_per_s =
+        window_s > 0.0 ? static_cast<double>(requests) / window_s : 0.0;
+    const std::string hist_key = kServiceUs + key.substr(kRequests.size());
+    auto hist_it = snapshot.histograms.find(hist_key);
+    if (hist_it != snapshot.histograms.end()) {
+      double dsum = hist_it->second.sum;
+      std::uint64_t dcount = hist_it->second.count;
+      if (has_prev_) {
+        auto pit = prev_.histograms.find(hist_key);
+        if (pit != prev_.histograms.end() &&
+            pit->second.count <= hist_it->second.count) {
+          dsum -= pit->second.sum;
+          dcount -= pit->second.count;
+        }
+      }
+      if (dcount > 0) signal.mean_service_us = dsum / static_cast<double>(dcount);
+    }
+
+    // Regret vs best-known: the cheapest calibrated expectation any
+    // variant eligible at this tuple's scale offers right now.
+    const double scale = tuple.scale();
+    double best_expected = std::numeric_limits<double>::infinity();
+    const runtime::VariantSet variants = kb_->variants_for(tuple.kernel);
+    for (const compiler::Variant& v : *variants) {
+      if (!runtime::specialization_matches(v, scale)) continue;
+      best_expected = std::min(
+          best_expected, kb_->expected_latency(tuple.kernel, v) * scale);
+    }
+    if (std::isfinite(best_expected) && signal.mean_service_us > 0.0) {
+      signal.regret_us = signal.mean_service_us - best_expected;
+    }
+
+    if (jit_registry_ != nullptr) {
+      // Node-local instantaneous diagnostic — neither sum nor max is
+      // meaningful across nodes, so kLastWrite (PR 9 contract).
+      jit_registry_
+          ->gauge("jit.regret", obs::GaugeKind::kLastWrite,
+                  {{"kernel", tuple.kernel},
+                   {"bucket", std::to_string(tuple.bucket)},
+                   {"tenant", tuple.tenant}})
+          ->set(signal.regret_us);
+    }
+
+    if (requests < config_.min_requests) continue;
+    if (signal.regret_us < config_.min_regret_us) continue;
+
+    HotCandidate c;
+    c.tuple = std::move(tuple);
+    c.signal = signal;
+    c.priority = static_cast<double>(requests) * signal.regret_us;
+    candidates.push_back(std::move(c));
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const HotCandidate& a, const HotCandidate& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.tuple < b.tuple;  // deterministic tie-break
+            });
+  if (candidates.size() > config_.max_candidates) {
+    candidates.resize(config_.max_candidates);
+  }
+
+  if (jit_registry_ != nullptr) {
+    jit_registry_->counter("jit.detector.scans")->inc();
+    jit_registry_->counter("jit.detector.candidates")
+        ->inc(candidates.size());
+  }
+
+  prev_ = snapshot;
+  has_prev_ = true;
+  return candidates;
+}
+
+}  // namespace everest::jit

@@ -1,0 +1,71 @@
+// The JIT's eyes: mines the serving layer's data-feature export
+// (serve.feature.* registry series, written by ServingMetrics::
+// record_feature at batch dispatch) for hot (kernel, bucket, tenant)
+// tuples worth specializing. "Hot" = enough requests in the scan window
+// AND positive regret: the observed per-request cost exceeds the best
+// expectation any CURRENT variant offers at that tuple's scale (the
+// KnowledgeBase::observe-calibrated blend), so fresh shape-specialized
+// code could plausibly buy the difference back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jit/tuple.hpp"
+#include "obs/registry.hpp"
+#include "runtime/knowledge.hpp"
+
+namespace everest::jit {
+
+struct DetectorConfig {
+  /// A tuple must see at least this many requests in the scan window
+  /// before it is surfaced (cold tuples are not worth compile budget).
+  std::uint64_t min_requests = 32;
+  /// Minimum per-request regret (us) to surface a tuple.
+  double min_regret_us = 1.0;
+  /// At most this many candidates per scan, best priority first.
+  std::size_t max_candidates = 4;
+};
+
+/// Stateful scanner over serving-registry snapshots. Keeps the previous
+/// snapshot and works on reset-aware deltas, so each scan sees only the
+/// traffic of its own window. Single owner (the compilation service's
+/// scan loop); not thread-safe by itself.
+class HotTupleDetector {
+ public:
+  /// `kb` supplies the best-known expectations regret is measured
+  /// against. `jit_registry` (optional) receives jit.regret{...} gauges
+  /// and the jit.detector.* scan counters.
+  HotTupleDetector(const runtime::KnowledgeBase* kb,
+                   obs::Registry* jit_registry = nullptr,
+                   DetectorConfig config = {});
+
+  /// Scans one serving-registry snapshot against the previous one.
+  /// Returns surfaced candidates sorted by descending priority
+  /// (requests x regret — the window cost left on the table).
+  std::vector<HotCandidate> scan(const obs::RegistrySnapshot& snapshot);
+
+  /// Tuples with any traffic in the last window (before thresholds) —
+  /// visible for tests and the bench.
+  [[nodiscard]] std::size_t last_window_tuples() const {
+    return last_window_tuples_;
+  }
+
+ private:
+  const runtime::KnowledgeBase* kb_;
+  obs::Registry* jit_registry_;
+  DetectorConfig config_;
+  obs::RegistrySnapshot prev_;
+  bool has_prev_ = false;
+  std::size_t last_window_tuples_ = 0;
+};
+
+/// Parses a canonical serve.feature.* instrument key back into a tuple.
+/// `prefix` is the series name, e.g. "serve.feature.requests". Returns
+/// false when the key is not that series or lacks the tuple labels.
+bool parse_feature_key(const std::string& key, const std::string& prefix,
+                       HotTuple* out);
+
+}  // namespace everest::jit

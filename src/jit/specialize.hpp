@@ -1,0 +1,99 @@
+// The JIT's compile step: feed a hot (kernel, data-feature, tenant) tuple
+// through the compiler's rewrite/DSE pipeline and mint shape-specialized
+// variant descriptors. The pipeline is the offline variant generator's
+// machinery (estimate_software roofline, pareto_front, knee_point from
+// src/compiler/{variants,dse}) applied to a profile rescaled to the
+// tuple's data feature, plus a shape-match term the offline sweep cannot
+// have: the tile is chosen against the ACTUAL problem dimension the
+// bucket implies, so remainder waste and strip-mining overhead are
+// modeled — and rewarded — per shape.
+//
+// Determinism contract (the warm-restart precondition, tested by TEST_P
+// in test_jit): specialize() is a pure function of (spec, tuple, seed,
+// version). Same inputs => byte-identical descriptor JSON across reruns
+// and processes, so a persisted VariantCache can be trusted to equal
+// what recompilation would produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "compiler/analysis.hpp"
+#include "compiler/variants.hpp"
+#include "jit/tuple.hpp"
+
+namespace everest::jit {
+
+/// Everything the JIT needs to compile variants for one kernel —
+/// registered once by the application (the compiler emits profiles; the
+/// serving layer knows which kernels it exposes).
+struct KernelSpec {
+  std::string kernel;
+  /// Static cost profile at data scale 1 (compiler::profile_kernel, or
+  /// hand-calibrated like the serving endpoints' variants).
+  compiler::KernelProfile profile;
+  compiler::CpuModel cpu;
+  /// Problem dimension at scale 1 (the tile-match axis): a scale-s
+  /// request works on a ~(base_dim*sqrt(s))^2 working set.
+  double base_dim = 64.0;
+  /// Knob space the specializer sweeps.
+  std::vector<int> thread_candidates = {1, 2, 4, 8};
+  std::vector<std::string> layouts = {"soa", "aos"};
+};
+
+/// Shape-aware roofline estimate for one configuration at one data scale.
+struct ShapeEstimate {
+  double latency_us = 0.0;  ///< at the given scale (NOT normalized)
+  double energy_uj = 0.0;
+};
+
+/// estimate_software on the scale-adjusted profile, multiplied by the
+/// tile-vs-shape match factor:
+///   * tile > dim  -> padding/remainder waste, latency x (tile/dim)
+///   * tile < dim  -> strip-mining overhead, latency x (1 + 0.25*(1-r))
+///   * tile == dim -> exact fit (as long as it also fits L2)
+/// Used by both the specializer (to rank candidates) and the E26
+/// endpoint's execution model (so minted variants genuinely run faster).
+ShapeEstimate estimate_shaped(const KernelSpec& spec, int threads, int tile,
+                              const std::string& layout, double scale);
+
+/// Convenience: estimate a variant's knobs (tile/threads/layout) at a
+/// scale. FPGA variants fall back to their static estimate x scale.
+ShapeEstimate estimate_variant(const KernelSpec& spec,
+                               const compiler::Variant& variant, double scale);
+
+/// The best latency ANY configuration in the spec's knob space achieves
+/// at this scale — the per-request oracle the E26 regret series is
+/// measured against.
+double oracle_latency_us(const KernelSpec& spec, double scale);
+
+struct SpecializeRequest {
+  HotTuple tuple;
+  /// Seed for the DSE exploration points (deterministic expansion).
+  std::uint64_t seed = 0;
+  /// Version of this tuple's minted set; baked into the variant ids so a
+  /// re-specialization retires its predecessor unambiguously.
+  std::uint32_t version = 1;
+};
+
+struct MintedVariants {
+  /// Up to 3 variants (knee point, min-latency, min-energy of the Pareto
+  /// front), latency normalized to scale 1 (the autotuner multiplies by
+  /// the live data_scale), specialized_scale set to the tuple's scale.
+  std::vector<compiler::Variant> variants;
+  std::size_t dse_points = 0;   ///< configurations swept
+  std::size_t pareto_size = 0;  ///< Pareto-optimal subset size
+  /// Canonical serialized descriptor bytes (variants_to_json dump) — the
+  /// unit of the byte-identity determinism contract.
+  std::string descriptor_json;
+};
+
+/// Runs the specialization pipeline. InvalidArgument when the spec has an
+/// empty cost profile or no knobs to sweep (the compile-failure path the
+/// per-tuple circuit breaker guards).
+Result<MintedVariants> specialize(const KernelSpec& spec,
+                                  const SpecializeRequest& request);
+
+}  // namespace everest::jit

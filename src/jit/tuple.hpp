@@ -1,0 +1,79 @@
+// The unit of online specialization: a (kernel, data-feature, tenant)
+// tuple. Live traffic is aggregated onto these keys by the serving
+// layer's feature export (serve.feature.* registry series); the detector
+// ranks them by observed cost x regret; the compilation service mints
+// shape-specialized variants per tuple (DESIGN.md row 20).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace everest::jit {
+
+/// One specialization target. `bucket` is the log2 data-feature bucket
+/// (serve::feature_bucket of the requests' payload_scale).
+struct HotTuple {
+  std::string kernel;
+  int bucket = 0;
+  std::string tenant;
+
+  /// Representative data scale of the bucket — what the JIT specializes
+  /// the tile/layout choice for.
+  [[nodiscard]] double scale() const {
+    return serve::feature_bucket_scale(bucket);
+  }
+
+  /// Canonical string key, e.g. "aq_dispersion|b2|tenant-7". Used for
+  /// breaker scopes, journal lines, and persisted cache entries.
+  [[nodiscard]] std::string key() const {
+    return kernel + "|b" + std::to_string(bucket) + "|" + tenant;
+  }
+
+  friend bool operator==(const HotTuple& a, const HotTuple& b) {
+    return a.bucket == b.bucket && a.kernel == b.kernel && a.tenant == b.tenant;
+  }
+  friend bool operator<(const HotTuple& a, const HotTuple& b) {
+    if (a.kernel != b.kernel) return a.kernel < b.kernel;
+    if (a.bucket != b.bucket) return a.bucket < b.bucket;
+    return a.tenant < b.tenant;
+  }
+};
+
+/// Hash over the tuple's fields directly (no key-string allocation) —
+/// what keeps VariantCache::covers inside its <200 ns bench_micro budget.
+struct HotTupleHash {
+  std::size_t operator()(const HotTuple& t) const {
+    std::size_t h = std::hash<std::string>{}(t.kernel);
+    h ^= std::hash<std::string>{}(t.tenant) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    h ^= std::hash<int>{}(t.bucket) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
+/// What the detector measured about a tuple over its scan window.
+struct TupleSignal {
+  std::uint64_t requests = 0;    ///< requests in the window
+  double rate_per_s = 0.0;       ///< request rate over covered time
+  double mean_service_us = 0.0;  ///< observed per-request handler share
+  /// Observed cost minus the best expectation any CURRENT variant offers
+  /// at this tuple's scale — the "how much would specialization help"
+  /// signal fed by KnowledgeBase::observe calibration. <= 0 means the
+  /// current variant set already serves this shape well.
+  double regret_us = 0.0;
+};
+
+/// A ranked specialization candidate.
+struct HotCandidate {
+  HotTuple tuple;
+  TupleSignal signal;
+  /// Ranking score: window cost the tuple left on the table
+  /// (requests x regret). Higher = compile first.
+  double priority = 0.0;
+};
+
+}  // namespace everest::jit

@@ -6,6 +6,15 @@
 
 namespace everest::runtime {
 
+bool specialization_matches(const compiler::Variant& variant,
+                            double data_scale) {
+  if (variant.specialized_scale <= 0.0) return true;  // generic code
+  if (data_scale <= 0.0) return false;
+  // Within half a log2 bucket of the target scale: the window the tile /
+  // layout choice was specialized for.
+  return std::abs(std::log2(data_scale / variant.specialized_scale)) <= 0.5;
+}
+
 bool Autotuner::eligible(const compiler::Variant& variant,
                          const SystemState& state) const {
   using security::ProtectionLevel;
@@ -13,6 +22,8 @@ bool Autotuner::eligible(const compiler::Variant& variant,
       state.fpgas_available <= 0) {
     return false;
   }
+  // Shape-specialized code only runs on the shapes it was minted for.
+  if (!specialization_matches(variant, state.data_scale)) return false;
   switch (state.protection) {
     case ProtectionLevel::kNormal:
     case ProtectionLevel::kMonitor:
@@ -53,10 +64,15 @@ Result<Selection> Autotuner::select(const std::string& kernel,
     return FailedPrecondition("kernel '" + kernel +
                               "' is quarantined by auto-protection");
   }
-  const auto& variants = kb_->variants_for(kernel);
+  // One immutable snapshot per decision: a concurrent hot swap (the JIT
+  // publishing mid-flight) is either entirely before or entirely after
+  // this selection, never interleaved with it.
+  const VariantSet snapshot = kb_->variants_for(kernel);
+  const std::vector<compiler::Variant>& variants = *snapshot;
   if (variants.empty()) {
     return NotFound("no variants loaded for kernel '" + kernel + "'");
   }
+  const std::uint64_t kb_epoch = kb_->epoch(kernel);
 
   const bool prefer_protected =
       state.protection == security::ProtectionLevel::kMonitor;
@@ -75,6 +91,7 @@ Result<Selection> Autotuner::select(const std::string& kernel,
     }
     Selection s;
     s.variant = v;
+    s.kb_epoch = kb_epoch;
     s.predicted_latency_us = adjusted_latency(kernel, v, state);
     s.predicted_energy_uj =
         kb_->expected_energy(kernel, v) * state.data_scale;

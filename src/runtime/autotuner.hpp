@@ -49,7 +49,18 @@ struct Selection {
   double predicted_latency_us = 0.0;
   double predicted_energy_uj = 0.0;
   bool constraints_met = true;
+  /// Knowledge-base epoch of the variant snapshot this decision was made
+  /// against (the hot-swap audit trail: a decision stamped epoch N can
+  /// only name variants live at N).
+  std::uint64_t kb_epoch = 0;
 };
+
+/// Does a shape-specialized variant cover the live data scale? Generic
+/// variants (specialized_scale == 0) match everything; specialized ones
+/// match within half a log2 bucket of their target scale — the same
+/// bucketing the serving layer exports data-feature histograms under.
+[[nodiscard]] bool specialization_matches(const compiler::Variant& variant,
+                                          double data_scale);
 
 /// The decision maker. Stateless across calls except through the shared
 /// KnowledgeBase (observations feed back via observe()).

@@ -87,7 +87,9 @@ Result<DemonstratorRun> run_demonstrator(
         }
       };
 
-      const auto& variants = knowledge.variants_for(task.kernel);
+      const runtime::VariantSet variant_snapshot =
+          knowledge.variants_for(task.kernel);
+      const auto& variants = *variant_snapshot;
       if (!variants.empty()) {
         for (const compiler::Variant& v : variants) {
           // Graceful degradation: a tripped breaker withholds this

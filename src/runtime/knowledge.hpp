@@ -1,10 +1,24 @@
 // Application knowledge base (mARGOt-style, paper §IV): holds the variant
 // metadata emitted by the compiler plus online observations, and blends the
 // two into calibrated expectations.
+//
+// Hot-swap contract (the compile↔serve loop, DESIGN.md row 20): the
+// variant set of a kernel is an immutable snapshot behind a shared_ptr.
+// Readers (autotuner selection, serving workers) grab the snapshot once
+// and iterate it lock-free; writers (the JIT compilation service
+// publishing freshly minted variants, or retiring superseded ones) build
+// a NEW vector and swap the pointer under the mutex, bumping the kernel's
+// epoch. Epoch-based retirement falls out of the shared_ptr: a batch that
+// selected against epoch N keeps that snapshot alive until it finishes,
+// while every selection started after the swap sees epoch N+1 — a retired
+// variant is never handed to a NEW batch (regression-tested under TSan in
+// test_runtime).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,14 +35,17 @@ struct Observation {
   int samples = 0;
 };
 
+/// Immutable snapshot of one kernel's variant set. Holders may iterate it
+/// without locks for as long as they keep the pointer alive.
+using VariantSet = std::shared_ptr<const std::vector<compiler::Variant>>;
+
 /// Per-application store of variants and their observed behavior.
 ///
-/// Thread safety: observations (observe / expected_* / observation_count)
-/// are guarded by an internal mutex, so any number of serving workers may
-/// record measurements while others select variants. Variant *loading* is
-/// a setup-phase operation: `load`/`load_json` must complete before
-/// concurrent readers start, because `variants_for` hands out references
-/// into the store.
+/// Thread safety: everything is safe to call concurrently. observe /
+/// expected_* / observation_count are guarded by an internal mutex;
+/// variants_for returns an immutable snapshot (see the hot-swap contract
+/// above), so any number of serving workers may select variants while the
+/// JIT publishes new ones mid-flight.
 class KnowledgeBase {
  public:
   KnowledgeBase() = default;
@@ -43,10 +60,35 @@ class KnowledgeBase {
   Status load_json(const std::string& json_text);
 
   [[nodiscard]] std::vector<std::string> kernels() const;
-  [[nodiscard]] const std::vector<compiler::Variant>& variants_for(
-      const std::string& kernel) const;
-  [[nodiscard]] const compiler::Variant* find(const std::string& kernel,
-                                              const std::string& variant_id) const;
+  /// Immutable snapshot of the kernel's current variant set (never null;
+  /// empty vector for unknown kernels). Iterate the snapshot, not
+  /// repeated calls — each call may observe a newer epoch.
+  [[nodiscard]] VariantSet variants_for(const std::string& kernel) const;
+  /// Copy of the named variant in the CURRENT snapshot (nullopt when the
+  /// kernel or id is unknown — including ids retired by a hot swap).
+  [[nodiscard]] std::optional<compiler::Variant> find(
+      const std::string& kernel, const std::string& variant_id) const;
+
+  // ---- hot swap (the JIT publish path) ----
+
+  /// Adds or replaces variants by id in one atomic swap. Replaced ids
+  /// drop their accumulated observations (a re-minted variant is new
+  /// code; stale EWMAs would mis-calibrate it). Bumps the kernel epoch.
+  /// Returns the post-swap epoch via `epoch_out` when non-null.
+  Status upsert(const std::string& kernel,
+                const std::vector<compiler::Variant>& minted,
+                std::uint64_t* epoch_out = nullptr);
+
+  /// Removes the named variants in one atomic swap (their observations
+  /// too). Unknown ids are ignored. Returns how many were removed; bumps
+  /// the epoch when at least one was.
+  std::size_t retire(const std::string& kernel,
+                     const std::vector<std::string>& variant_ids,
+                     std::uint64_t* epoch_out = nullptr);
+
+  /// Monotone per-kernel version: bumped by every load/upsert/retire that
+  /// changed the set. 0 = kernel never loaded.
+  [[nodiscard]] std::uint64_t epoch(const std::string& kernel) const;
 
   /// Records a runtime measurement for a variant.
   void observe(const std::string& kernel, const std::string& variant_id,
@@ -67,9 +109,10 @@ class KnowledgeBase {
   [[nodiscard]] const Observation* observation(
       const std::string& kernel, const std::string& variant_id) const;
 
-  /// Guards observations_ (and load-time mutation of variants_).
+  /// Guards the snapshot map, epochs, and observations.
   mutable std::mutex mu_;
-  std::map<std::string, std::vector<compiler::Variant>> variants_;
+  std::map<std::string, VariantSet> variants_;
+  std::map<std::string, std::uint64_t> epochs_;
   std::map<std::string, std::map<std::string, Observation>> observations_;
 };
 

@@ -27,13 +27,25 @@ namespace everest::serve {
 using BatchHandler =
     std::function<Status(const Batch& batch, std::vector<double>* values)>;
 
+/// Variant-aware batch handler: additionally receives the variant the
+/// autotuner selected for this batch (null when selection failed and the
+/// batch runs generically), so the execution cost genuinely depends on
+/// the decision — tiling/layout choices matched to the batch's shape run
+/// faster. This is what lets the JIT's minted variants move measured
+/// latency, not just predictions (bench E26).
+using VariantBatchHandler = std::function<Status(
+    const Batch& batch, const compiler::Variant* variant,
+    std::vector<double>* values)>;
+
 /// A servable kernel: its handler plus the compiler-style variant
 /// metadata the autotuner selects from (loaded into the knowledge base at
-/// registration).
+/// registration). Exactly one of handler / variant_handler must be set;
+/// variant_handler wins when both are.
 struct Endpoint {
   std::string kernel;
   std::vector<compiler::Variant> variants;
   BatchHandler handler;
+  VariantBatchHandler variant_handler;
 };
 
 /// §VI-A wind-power forecast: per batch one downscaled ensemble wind

@@ -16,6 +16,16 @@ obs::HistogramOptions latency_buckets() {
   return opt;
 }
 
+// Payload-scale buckets: 1/64x resolution, x1.25 growth, 48 buckets
+// (~2^15 ceiling) — covers the feature_bucket range at finer grain.
+obs::HistogramOptions scale_buckets() {
+  obs::HistogramOptions opt;
+  opt.min = 1.0 / 64.0;
+  opt.growth = 1.25;
+  opt.buckets = 48;
+  return opt;
+}
+
 }  // namespace
 
 ServingMetrics::ServingMetrics()
@@ -59,6 +69,56 @@ void ServingMetrics::record_input_stage(std::uint64_t hits,
   input_hits_->inc(hits);
   input_misses_->inc(misses);
   input_stall_us_->add(stall_us);
+}
+
+void ServingMetrics::record_feature(const std::string& kernel,
+                                    const std::string& tenant,
+                                    double payload_scale,
+                                    double service_share_us) {
+  const int bucket = feature_bucket(payload_scale);
+  const obs::Labels tuple_labels = {{"kernel", kernel},
+                                    {"tenant", tenant},
+                                    {"bucket", std::to_string(bucket)}};
+  const std::string tuple_key =
+      obs::Registry::key_of("serve.feature", tuple_labels);
+  FeatureInstruments instruments;
+  obs::Histogram* scale_hist = nullptr;
+  obs::Gauge* last_scale = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = feature_cache_.find(tuple_key);
+    if (it == feature_cache_.end()) {
+      FeatureInstruments fresh;
+      fresh.requests =
+          registry_.counter("serve.feature.requests", tuple_labels);
+      fresh.service_us = registry_.histogram("serve.feature.service_us",
+                                             latency_buckets(), tuple_labels);
+      it = feature_cache_.emplace(tuple_key, fresh).first;
+    }
+    instruments = it->second;
+    auto sit = feature_scale_cache_.find(kernel);
+    if (sit == feature_scale_cache_.end()) {
+      sit = feature_scale_cache_
+                .emplace(kernel,
+                         registry_.histogram("serve.feature.scale",
+                                             scale_buckets(),
+                                             {{"kernel", kernel}}))
+                .first;
+      // kLastWrite pinned here, the registration site: an instantaneous
+      // node-local value the cross-node rollup must drop, per the PR 9
+      // GaugeKind contract.
+      feature_last_scale_cache_.emplace(
+          kernel, registry_.gauge("serve.feature.last_scale",
+                                  obs::GaugeKind::kLastWrite,
+                                  {{"kernel", kernel}}));
+    }
+    scale_hist = sit->second;
+    last_scale = feature_last_scale_cache_.at(kernel);
+  }
+  instruments.requests->inc();
+  instruments.service_us->record(service_share_us);
+  scale_hist->record(payload_scale);
+  last_scale->set(payload_scale);
 }
 
 void ServingMetrics::record_completion(SlaClass sla, double latency_us) {

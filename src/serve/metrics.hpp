@@ -85,6 +85,23 @@ class ServingMetrics {
   void record_input_stage(std::uint64_t hits, std::uint64_t misses,
                           double stall_us);
 
+  /// Data-feature export (the JIT detector's input signal), recorded per
+  /// request at batch dispatch:
+  ///   serve.feature.requests{bucket,kernel,tenant}   counter
+  ///   serve.feature.service_us{bucket,kernel,tenant} histogram (per-
+  ///     request share of the batch's handler time)
+  ///   serve.feature.scale{kernel}                    histogram of
+  ///     payload_scale (the shape distribution itself)
+  ///   serve.feature.last_scale{kernel}               gauge, kLastWrite
+  ///     pinned at the registration site (a node-local instantaneous
+  ///     value; summing or maxing it across nodes means nothing, so the
+  ///     rollup contract drops it from merges).
+  /// Instrument pointers are cached per (kernel, tenant, bucket) so the
+  /// registry's find-or-create mutex is paid once per new tuple, not per
+  /// request.
+  void record_feature(const std::string& kernel, const std::string& tenant,
+                      double payload_scale, double service_share_us);
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// The backing instrument registry (for JSON/text export alongside
@@ -121,6 +138,16 @@ class ServingMetrics {
   std::map<std::size_t, std::uint64_t> batch_sizes_;
   OnlineStats service_us_;
   OnlineStats batch_size_;
+
+  /// Cached feature instruments, keyed by the canonical registry key of
+  /// the (kernel, tenant, bucket) tuple. Guarded by mu_.
+  struct FeatureInstruments {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* service_us = nullptr;
+  };
+  std::map<std::string, FeatureInstruments> feature_cache_;
+  std::map<std::string, obs::Histogram*> feature_scale_cache_;
+  std::map<std::string, obs::Gauge*> feature_last_scale_cache_;
 };
 
 }  // namespace everest::serve

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -28,6 +29,22 @@ enum class SlaClass : std::uint8_t {
 
 std::string_view to_string(SlaClass sla);
 
+/// Log2 bucket of a request's data-volume scale — the "data feature" axis
+/// of the serving layer's shape histograms and the JIT's hot-tuple key.
+/// Bucket b covers scales in [2^(b-0.5), 2^(b+0.5)); clamped to ±16 so a
+/// garbage scale cannot explode registry cardinality.
+inline int feature_bucket(double payload_scale) {
+  if (!(payload_scale > 0.0)) return 0;
+  const double b = std::lround(std::log2(payload_scale));
+  return static_cast<int>(b < -16 ? -16 : (b > 16 ? 16 : b));
+}
+
+/// Representative scale of a feature bucket (the center the JIT
+/// specializes for): inverse of feature_bucket at bucket centers.
+inline double feature_bucket_scale(int bucket) {
+  return std::exp2(static_cast<double>(bucket));
+}
+
 /// One unit of client work addressed to a servable kernel.
 struct Request {
   /// Assigned by the server at admission; unique per server instance.
@@ -37,6 +54,10 @@ struct Request {
   SlaClass sla = SlaClass::kThroughput;
   /// Data-volume scale relative to the profiled size (autotuner feature).
   double payload_scale = 1.0;
+  /// Originating tenant ("" = anonymous). Third axis of the JIT's hot
+  /// (kernel, data-feature, tenant) tuples; labels the per-kernel shape
+  /// histograms the serving layer exports.
+  std::string tenant;
   /// Named input data object this request reads ("" = no input staging).
   /// Repeated keys hit the server's input cache — warm replicas for
   /// repeated same-tenant requests.

@@ -103,7 +103,8 @@ Status Server::register_endpoint(Endpoint endpoint) {
   if (running_.load()) {
     return FailedPrecondition("cannot register endpoints while serving");
   }
-  if (endpoint.kernel.empty() || !endpoint.handler) {
+  if (endpoint.kernel.empty() ||
+      (!endpoint.handler && !endpoint.variant_handler)) {
     return InvalidArgument("endpoint needs a kernel name and a handler");
   }
   if (endpoints_.count(endpoint.kernel) != 0) {
@@ -357,10 +358,27 @@ void Server::execute_batch(Batch batch) {
   }
   const Clock::time_point exec_start = Clock::now();
   if (handler_status.ok()) {
-    handler_status = endpoint.handler(batch, &values);
+    if (endpoint.variant_handler) {
+      handler_status = endpoint.variant_handler(
+          batch, selection.ok() ? &selection->variant : nullptr, &values);
+    } else {
+      handler_status = endpoint.handler(batch, &values);
+    }
   }
   const Clock::time_point exec_end = Clock::now();
   const double service_us = us_between(exec_start, exec_end);
+
+  // Data-feature export (the JIT detector's input signal): per-request
+  // shape/tenant tuples with each request's share of the batch's handler
+  // time — hot (kernel, feature, tenant) tuples and their measured cost
+  // become registry facts the detector can mine.
+  {
+    const double share_us = service_us / static_cast<double>(batch.size());
+    for (const PendingRequest& pending : batch.requests) {
+      metrics_.record_feature(batch.kernel, pending.request.tenant,
+                              pending.request.payload_scale, share_us);
+    }
+  }
   if (handler_status.ok() && values.size() != batch.size()) {
     handler_status = Internal("endpoint '" + batch.kernel + "' returned " +
                               std::to_string(values.size()) + " values for " +

@@ -3,6 +3,9 @@
 // and the closed adaptation loop (including auto-protection reactions).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "runtime/adaptation.hpp"
 #include "runtime/autotuner.hpp"
 #include "runtime/knowledge.hpp"
@@ -48,10 +51,10 @@ TEST(KnowledgeBase, LoadAndQuery) {
   KnowledgeBase kb;
   ASSERT_TRUE(kb.load(standard_variants()).ok());
   EXPECT_EQ(kb.kernels(), (std::vector<std::string>{"k"}));
-  EXPECT_EQ(kb.variants_for("k").size(), 5u);
-  EXPECT_NE(kb.find("k", "cpu-fast"), nullptr);
-  EXPECT_EQ(kb.find("k", "nope"), nullptr);
-  EXPECT_TRUE(kb.variants_for("other").empty());
+  EXPECT_EQ(kb.variants_for("k")->size(), 5u);
+  EXPECT_TRUE(kb.find("k", "cpu-fast").has_value());
+  EXPECT_FALSE(kb.find("k", "nope").has_value());
+  EXPECT_TRUE(kb.variants_for("other")->empty());
   // Duplicate id rejected.
   EXPECT_EQ(kb.load({make_variant("cpu-fast", TargetKind::kCpu, 1, 1)}).code(),
             StatusCode::kAlreadyExists);
@@ -61,14 +64,14 @@ TEST(KnowledgeBase, LoadFromJsonMetadata) {
   const auto doc = compiler::variants_to_json(standard_variants());
   KnowledgeBase kb;
   ASSERT_TRUE(kb.load_json(doc.dump()).ok());
-  EXPECT_EQ(kb.variants_for("k").size(), 5u);
+  EXPECT_EQ(kb.variants_for("k")->size(), 5u);
   EXPECT_FALSE(kb.load_json("{bad json").ok());
 }
 
 TEST(KnowledgeBase, ObservationsOverrideEstimates) {
   KnowledgeBase kb;
   ASSERT_TRUE(kb.load(standard_variants()).ok());
-  const Variant& v = *kb.find("k", "cpu-fast");
+  const Variant v = *kb.find("k", "cpu-fast");
   EXPECT_DOUBLE_EQ(kb.expected_latency("k", v), 100.0);  // static estimate
   // Reality is 4x slower than estimated.
   for (int i = 0; i < 5; ++i) kb.observe("k", "cpu-fast", 400.0, 9000.0);
@@ -80,7 +83,7 @@ TEST(KnowledgeBase, ObservationsOverrideEstimates) {
 TEST(KnowledgeBase, BlendIsGradual) {
   KnowledgeBase kb;
   ASSERT_TRUE(kb.load(standard_variants()).ok());
-  const Variant& v = *kb.find("k", "cpu-fast");
+  const Variant v = *kb.find("k", "cpu-fast");
   kb.observe("k", "cpu-fast", 400.0, 9000.0);
   const double after_one = kb.expected_latency("k", v);
   EXPECT_GT(after_one, 100.0);
@@ -415,6 +418,140 @@ TEST(AdaptationLoop, ProtectModeSwitchesToSecuredVariant) {
           << r->variant_id;
     }
   }
+}
+
+// ------------------------------------------------- hot swap (JIT loop) --
+
+TEST(KnowledgeBaseHotSwap, UpsertReplacesAndResetsObservations) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  const std::uint64_t e0 = kb.epoch("k");
+  ASSERT_GE(e0, 1u);
+  for (int i = 0; i < 5; ++i) kb.observe("k", "cpu-fast", 400.0, 9000.0);
+
+  // Re-mint cpu-fast with a new estimate: the stale EWMA must not
+  // mis-calibrate the new code.
+  std::uint64_t e1 = 0;
+  ASSERT_TRUE(
+      kb.upsert("k", {make_variant("cpu-fast", TargetKind::kCpu, 50.0, 800.0)},
+                &e1)
+          .ok());
+  EXPECT_GT(e1, e0);
+  EXPECT_EQ(kb.variants_for("k")->size(), 5u);  // replaced, not appended
+  EXPECT_EQ(kb.observation_count("k", "cpu-fast"), 0);
+  EXPECT_DOUBLE_EQ(kb.find("k", "cpu-fast")->latency_us, 50.0);
+
+  // Mismatched kernel name rejected.
+  Variant wrong = make_variant("x", TargetKind::kCpu, 1.0, 1.0);
+  wrong.kernel = "other";
+  EXPECT_EQ(kb.upsert("k", {wrong}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KnowledgeBaseHotSwap, RetireRemovesFromNewSnapshotsOnly) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  const VariantSet before = kb.variants_for("k");
+
+  std::uint64_t epoch = 0;
+  EXPECT_EQ(kb.retire("k", {"cpu-eco", "does-not-exist"}, &epoch), 1u);
+  EXPECT_EQ(kb.epoch("k"), epoch);
+  EXPECT_FALSE(kb.find("k", "cpu-eco").has_value());
+  EXPECT_EQ(kb.variants_for("k")->size(), 4u);
+  // The pre-retire snapshot is immutable: an in-flight batch that picked
+  // cpu-eco still sees it until the batch lets the snapshot go.
+  EXPECT_EQ(before->size(), 5u);
+  // Retiring nothing does not bump the epoch.
+  const std::uint64_t e = kb.epoch("k");
+  EXPECT_EQ(kb.retire("k", {"nope"}), 0u);
+  EXPECT_EQ(kb.epoch("k"), e);
+}
+
+TEST(Autotuner, SpecializationWindowGatesEligibility) {
+  EXPECT_TRUE(specialization_matches(
+      make_variant("g", TargetKind::kCpu, 1.0, 1.0), 37.0));  // generic
+  Variant s = make_variant("s", TargetKind::kCpu, 1.0, 1.0);
+  s.specialized_scale = 4.0;
+  EXPECT_TRUE(specialization_matches(s, 4.0));
+  EXPECT_TRUE(specialization_matches(s, 4.0 * 1.4));   // inside half bucket
+  EXPECT_FALSE(specialization_matches(s, 8.0));        // next bucket
+  EXPECT_FALSE(specialization_matches(s, 1.0));
+
+  KnowledgeBase kb;
+  Variant spec4 = make_variant("cpu-spec4", TargetKind::kCpu, 10.0, 500.0);
+  spec4.specialized_scale = 4.0;
+  ASSERT_TRUE(
+      kb.load({make_variant("cpu-gen", TargetKind::kCpu, 100.0, 9000.0),
+               spec4})
+          .ok());
+  Autotuner tuner(&kb);
+  SystemState state;
+  state.fpgas_available = 0;
+  state.data_scale = 4.0;
+  auto at_scale = tuner.select("k", Goal{}, state);
+  ASSERT_TRUE(at_scale.ok());
+  EXPECT_EQ(at_scale->variant.id, "cpu-spec4");
+  EXPECT_EQ(at_scale->kb_epoch, kb.epoch("k"));
+  state.data_scale = 1.0;  // outside the window: specialist ineligible
+  auto off_scale = tuner.select("k", Goal{}, state);
+  ASSERT_TRUE(off_scale.ok());
+  EXPECT_EQ(off_scale->variant.id, "cpu-gen");
+}
+
+// The TSan regression for the compile↔serve loop: concurrent hot-swap +
+// observe + selection, with the invariant that a selection STARTED after
+// a retire completed never returns the retired variant.
+TEST(KnowledgeBaseHotSwap, ConcurrentSwapObserveSelectIsSafe) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.load(standard_variants()).ok());
+  Autotuner tuner(&kb);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> minted_generation{0};
+  std::atomic<int> violations{0};
+
+  std::thread writer([&] {
+    for (int gen = 1; gen <= 200; ++gen) {
+      const std::string id = "jit-gen-" + std::to_string(gen);
+      Variant v = make_variant(id, TargetKind::kCpu, 5.0 + gen % 3, 100.0);
+      EXPECT_TRUE(kb.upsert("k", {v}).ok());
+      const std::string prev = "jit-gen-" + std::to_string(gen - 1);
+      if (gen > 1) kb.retire("k", {prev});
+      // Publish order: retire(prev) happens-before this store, so any
+      // reader that sees `gen` must not be handed `prev` on a fresh
+      // selection.
+      minted_generation.store(gen, std::memory_order_release);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      SystemState state;
+      state.fpgas_available = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int gen = minted_generation.load(std::memory_order_acquire);
+        auto sel = tuner.select("k", Goal{}, state);
+        if (!sel.ok()) continue;
+        kb.observe("k", sel->variant.id, sel->predicted_latency_us, 100.0);
+        if (gen > 1) {
+          // Any generation older than the one visible BEFORE this
+          // selection started is retired; serving it would be the
+          // lost-hot-swap bug.
+          for (int old = 1; old < gen; ++old) {
+            if (sel->variant.id == "jit-gen-" + std::to_string(old)) {
+              violations.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_TRUE(kb.find("k", "jit-gen-200").has_value());
+  EXPECT_FALSE(kb.find("k", "jit-gen-199").has_value());
 }
 
 }  // namespace

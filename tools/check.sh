@@ -9,7 +9,9 @@
 #      in Perfetto (structure + span forest + root reachability);
 #   4. a ThreadSanitizer build (EVEREST_SANITIZE=thread) of the
 #      concurrency-heavy test binaries (serve, obs, data, cluster,
-#      storage, stream) run under ctest;
+#      storage, stream, jit, runtime — the last two cover the JIT's
+#      KnowledgeBase hot-swap against concurrent selection) run under
+#      ctest;
 #   5. an AddressSanitizer build (EVEREST_SANITIZE=address) of the
 #      I/O-error-path-heavy test binaries (storage, data): fault
 #      injection exercises every short-write/EIO/ENOSPC cleanup path,
@@ -59,12 +61,13 @@ else
 fi
 
 echo
-echo "=== [4/5] TSan: serve + obs + data + cluster + storage + stream tests ==="
+echo "=== [4/5] TSan: serve + obs + data + cluster + storage + stream + jit + runtime tests ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DEVEREST_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target test_serve test_obs test_data test_cluster test_storage test_stream
+  --target test_serve test_obs test_data test_cluster test_storage test_stream \
+  test_jit test_runtime
 (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'test_serve|test_obs|test_data|test_cluster|test_storage|test_stream')
+  -R 'test_serve|test_obs|test_data|test_cluster|test_storage|test_stream|test_jit|test_runtime')
 
 echo
 echo "=== [5/5] ASan: storage + data tests (fault-injection leak check) ==="
